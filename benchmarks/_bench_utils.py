@@ -1,0 +1,18 @@
+"""Helpers shared by the benchmark modules.
+
+Every benchmark module reproduces one table or figure of the paper: it runs
+the corresponding experiment driver once (module-scoped fixture), prints the
+reproduced rows in the paper's layout, asserts the headline *shapes* hold,
+and uses pytest-benchmark to time the analytic model itself (the quantity
+the paper's "execution time" result is about — estimation must be cheap
+enough for runtime use).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table so it lands in the benchmark log."""
+    sys.stdout.write("\n" + text + "\n")

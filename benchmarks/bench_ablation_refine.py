@@ -1,0 +1,63 @@
+"""Ablation — plain vs refined BOE in contended states.
+
+DESIGN.md design choice: the published BOE counts every task as a full user
+of each resource it touches; the refined mode iterates the paper's own
+``p_X`` partial-usage term to a fixed point.  This ablation quantifies the
+difference on the contended states of WC+TS, where the two jobs bottleneck
+on *different* resources and redistribution matters most.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import percentage, render_table
+from repro.cluster import paper_cluster
+from repro.core import BOEModel
+from repro.experiments.ablations import run_refine_ablation
+from repro.mapreduce import StageKind
+from repro.workloads import terasort, wordcount
+
+
+@pytest.fixture(scope="module")
+def cells():
+    result = run_refine_ablation()
+    emit(
+        render_table(
+            ["state", "job", "stage", "measured", "plain", "acc", "refined", "acc"],
+            [
+                [
+                    f"s{c.state_index}",
+                    c.job,
+                    c.kind.value,
+                    f"{c.measured_s:.1f}",
+                    f"{c.plain_s:.1f}",
+                    percentage(c.plain_accuracy),
+                    f"{c.refined_s:.1f}",
+                    percentage(c.refined_accuracy),
+                ]
+                for c in result
+            ],
+            title="Ablation: plain vs refined BOE on WC+TS contended states",
+        )
+    )
+    return result
+
+
+def test_bench_ablation_refine(benchmark, cells):
+    assert cells, "the hybrid run must produce contended measurable states"
+    plain = sum(c.plain_accuracy for c in cells) / len(cells)
+    refined = sum(c.refined_accuracy for c in cells) / len(cells)
+    assert refined > plain, (
+        f"refinement must pay off on heterogeneous states ({refined:.2f} vs "
+        f"{plain:.2f})"
+    )
+
+    # The refinement costs extra model iterations — quantify them.
+    cluster = paper_cluster()
+    refined_model = BOEModel(cluster, refine=True)
+    wc, ts = wordcount(), terasort()
+    benchmark(
+        lambda: refined_model.task_time(
+            ts, StageKind.MAP, 80.0, [(wc, StageKind.MAP, 80.0)]
+        )
+    )

@@ -1,0 +1,74 @@
+"""Ablation — what happens when the model assumes the wrong scheduler.
+
+Algorithm 1's step 1 derives ``Delta_i`` "using the properties of
+schedulers" (§IV-A2): the estimator must assume the policy the cluster
+actually runs.  This ablation simulates the WC+TS hybrid under FIFO and
+estimates it twice — once assuming FIFO (matched) and once assuming DRF
+(mismatched) — to quantify how much a wrong scheduler assumption costs.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import accuracy, percentage, render_table
+from repro.cluster import paper_cluster
+from repro.core import BOEModel, BOESource, DagEstimator
+from repro.dag import single_job_workflow
+from repro.simulator import SimulationConfig, simulate
+from repro.units import gb
+from repro.workloads import hybrid, micro_workflow
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    cluster = paper_cluster()
+    # Jobs big enough that FIFO genuinely starves the second one.
+    workflow = hybrid(
+        "WC+TS",
+        micro_workflow("wc", gb(25)),
+        micro_workflow("ts", gb(25)),
+    )
+    sim = simulate(workflow, cluster, SimulationConfig(policy="fifo"))
+    source = BOESource(BOEModel(cluster, refine=True))
+    rows = []
+    estimates = {}
+    for assumed in ("fifo", "drf"):
+        estimate = DagEstimator(cluster, source, policy=assumed).estimate(workflow)
+        estimates[assumed] = estimate.total_time
+        rows.append(
+            [
+                assumed,
+                f"{estimate.total_time:.1f}",
+                percentage(accuracy(estimate.total_time, sim.makespan)),
+            ]
+        )
+    emit(
+        render_table(
+            ["assumed scheduler", "estimate (s)", "accuracy vs FIFO cluster"],
+            rows,
+            title=(
+                f"Ablation: scheduler assumption (cluster runs FIFO, "
+                f"simulated makespan {sim.makespan:.1f}s)"
+            ),
+        )
+    )
+    return sim.makespan, estimates
+
+
+def test_bench_ablation_scheduler(benchmark, outcome):
+    makespan, estimates = outcome
+    matched = accuracy(estimates["fifo"], makespan)
+    mismatched = accuracy(estimates["drf"], makespan)
+    assert matched > mismatched, (
+        "assuming the deployed scheduler must beat assuming the wrong one"
+    )
+    assert matched > 0.9
+
+    cluster = paper_cluster()
+    workflow = hybrid(
+        "WC+TS", micro_workflow("wc", gb(25)), micro_workflow("ts", gb(25))
+    )
+    estimator = DagEstimator(
+        cluster, BOESource(BOEModel(cluster, refine=True)), policy="fifo"
+    )
+    benchmark(lambda: estimator.estimate(workflow))

@@ -1,0 +1,71 @@
+"""Ablation — state-based iteration (Algorithm 1) vs critical path.
+
+DESIGN.md design choice: ParaTimer-style estimators sum standalone per-job
+times along the DAG's critical path, ignoring cross-job resource contention
+(§VI).  Algorithm 1 instead re-derives every job's allocation per state.
+On hybrid workloads, where contention is the whole story, the state-based
+estimate must win.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import percentage, render_table
+from repro.cluster import paper_cluster
+from repro.dag import single_job_workflow
+from repro.experiments.ablations import run_state_ablation
+from repro.units import gb
+from repro.workloads import hybrid, micro_workflow, weblog_dag
+
+
+@pytest.fixture(scope="module")
+def rows():
+    workflows = [
+        hybrid(
+            "WC+TS",
+            micro_workflow("wc", gb(10)),
+            micro_workflow("ts", gb(10)),
+        ),
+        hybrid(
+            "WC+TS3R",
+            micro_workflow("wc", gb(10)),
+            micro_workflow("ts3r", gb(10)),
+        ),
+        weblog_dag(input_mb=gb(10)),
+    ]
+    result = run_state_ablation(workflows)
+    emit(
+        render_table(
+            ["workflow", "simulated", "Algorithm 1", "acc", "critical path", "acc"],
+            [
+                [
+                    r.workflow,
+                    f"{r.simulated_s:.1f}",
+                    f"{r.state_based_s:.1f}",
+                    percentage(r.state_based_accuracy),
+                    f"{r.critical_path_s:.1f}",
+                    percentage(r.critical_path_accuracy),
+                ]
+                for r in result
+            ],
+            title="Ablation: state-based (Algorithm 1) vs ParaTimer-style "
+            "critical path",
+        )
+    )
+    return result
+
+
+def test_bench_ablation_states(benchmark, rows):
+    # Contention-aware estimation must win on the contended hybrids.
+    for row in rows:
+        if row.workflow.startswith("WC+"):
+            assert row.state_based_accuracy > row.critical_path_accuracy, row.workflow
+    mean_state = sum(r.state_based_accuracy for r in rows) / len(rows)
+    mean_cp = sum(r.critical_path_accuracy for r in rows) / len(rows)
+    assert mean_state > mean_cp
+
+    from repro.experiments.ablations import critical_path_estimate
+
+    cluster = paper_cluster()
+    workflow = weblog_dag(input_mb=gb(10))
+    benchmark(lambda: critical_path_estimate(workflow, cluster))

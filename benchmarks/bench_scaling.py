@@ -1,0 +1,69 @@
+"""Extension bench — capacity planning: the model across cluster sizes.
+
+One of the paper's §I motivations is "capacity planning on the cloud": the
+model must rank cluster sizes correctly so a planner can pick the smallest
+deployment that meets a deadline.  This bench sweeps the worker count for
+the WC+TS hybrid and checks (a) per-size estimation accuracy and (b) that
+estimated and simulated makespans rank the sizes identically.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import accuracy, percentage, render_table
+from repro.cluster import Cluster
+from repro.cluster.node import PAPER_NODE
+from repro.core import BOEModel, BOESource, DagEstimator
+from repro.simulator import simulate
+from repro.units import gb
+from repro.workloads import hybrid, micro_workflow
+
+WORKERS = (4, 8, 12, 20)
+
+
+def _workload():
+    return hybrid(
+        "WC+TS", micro_workflow("wc", gb(15)), micro_workflow("ts", gb(15))
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for workers in WORKERS:
+        cluster = Cluster(node=PAPER_NODE, workers=workers)
+        workflow = _workload()
+        sim = simulate(workflow, cluster)
+        # The refined BOE (partial-usage fixed point) carries the
+        # heterogeneous WC+TS contention across cluster sizes.
+        estimator = DagEstimator(cluster, BOESource(BOEModel(cluster, refine=True)))
+        est = estimator.estimate(workflow)
+        rows.append((workers, sim.makespan, est.total_time))
+    emit(
+        render_table(
+            ["workers", "simulated (s)", "estimated (s)", "accuracy"],
+            [
+                [w, f"{s:.1f}", f"{e:.1f}", percentage(accuracy(e, s))]
+                for w, s, e in rows
+            ],
+            title="Capacity planning: WC+TS across cluster sizes",
+        )
+    )
+    return rows
+
+
+def test_bench_scaling(benchmark, sweep):
+    # Per-size accuracy holds everywhere.
+    for workers, sim, est in sweep:
+        assert accuracy(est, sim) > 0.85, f"{workers} workers"
+    # Both columns decrease monotonically with cluster size, so the model
+    # ranks the candidate deployments exactly like the ground truth.
+    sims = [s for _, s, _ in sweep]
+    ests = [e for _, _, e in sweep]
+    assert sims == sorted(sims, reverse=True)
+    assert ests == sorted(ests, reverse=True)
+
+    cluster = Cluster(node=PAPER_NODE, workers=20)
+    workflow = _workload()
+    estimator = DagEstimator(cluster, BOESource(BOEModel(cluster, refine=True)))
+    benchmark(lambda: estimator.estimate(workflow))

@@ -1,0 +1,56 @@
+"""Extension bench — the models applied to Spark applications (§I claim).
+
+Shapes asserted: the unchanged BOE + Algorithm 1 machinery estimates Spark
+DAGs at high accuracy; RDD caching produces a real, model-predicted speed-up
+for iterative PageRank.  The benchmark times a full Spark-DAG estimate.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import accuracy, percentage, render_table
+from repro.cluster import paper_cluster
+from repro.core import estimate_workflow
+from repro.simulator import simulate
+from repro.spark import spark_kmeans, spark_pagerank, spark_sort
+from repro.units import gb
+
+
+@pytest.fixture(scope="module")
+def results():
+    cluster = paper_cluster()
+    workloads = [
+        spark_sort(gb(10)),
+        spark_pagerank(gb(10), cached=True),
+        spark_pagerank(gb(10), cached=False),
+        spark_kmeans(gb(10), cached=True),
+    ]
+    rows = []
+    for wf in workloads:
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        rows.append((wf.name, sim.makespan, est.total_time))
+    emit(
+        render_table(
+            ["application", "simulated (s)", "estimated (s)", "accuracy"],
+            [
+                [name, f"{s:.1f}", f"{e:.1f}", percentage(accuracy(e, s))]
+                for name, s, e in rows
+            ],
+            title="Spark extension: estimation accuracy on Spark DAGs",
+        )
+    )
+    return {name: (s, e) for name, s, e in rows}
+
+
+def test_bench_spark(benchmark, results):
+    for name, (sim, est) in results.items():
+        assert accuracy(est, sim) > 0.9, name
+    # The caching win, in both the simulator and the model.
+    assert results["spark-pr"][0] < results["spark-pr-nocache"][0] * 0.85
+    assert results["spark-pr"][1] < results["spark-pr-nocache"][1] * 0.85
+
+    cluster = paper_cluster()
+    workflow = spark_pagerank(gb(10), cached=True)
+    estimate = benchmark(lambda: estimate_workflow(workflow, cluster))
+    assert estimate.model_overhead_s < 1.0

@@ -1,0 +1,44 @@
+"""Table I — the workload catalogue with identified bottlenecks.
+
+Paper shape asserted: the BOE model identifies every bottleneck the paper
+annotates (WC: CPU; TSC: CPU; TS: CPU+disk; TS3R: CPU+network; the micro
+multi-job rows likewise).  The benchmark times a full catalogue scan.
+"""
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import render_table
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    result = run_table1(scale=0.1)
+    emit(
+        render_table(
+            ["workload", "C", "R", "expected", "identified", "match"],
+            [
+                [
+                    r.name,
+                    "Y" if r.compressed else "N",
+                    ",".join(str(x) for x in r.replicas),
+                    ",".join(x.value for x in r.expected) or "(hybrid)",
+                    ",".join(x.value for x in r.identified),
+                    "yes" if r.matches else "NO",
+                ]
+                for r in result
+            ],
+            title="Table I — workloads and BOE-identified bottlenecks",
+        )
+    )
+    return result
+
+
+def test_bench_table1(benchmark, rows):
+    for row in rows:
+        assert row.matches, (
+            f"{row.name}: expected {[x.value for x in row.expected]}, "
+            f"identified {[x.value for x in row.identified]}"
+        )
+    benchmark.pedantic(run_table1, kwargs={"scale": 0.1}, rounds=3, iterations=1)

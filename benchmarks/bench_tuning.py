@@ -1,0 +1,63 @@
+"""Extension bench — model-driven auto-tuning (the paper's stated follow-up).
+
+Shape asserted: on a deliberately mis-configured TeraSort the tuner's
+recommendation, found purely with the estimator, yields a real (simulated)
+speed-up; on the already-sensible catalogue WordCount it does no harm.  The
+benchmark times one full tuning run — it must stay interactive (the whole
+point of a millisecond-class cost model).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import render_table
+from repro.cluster import paper_cluster
+from repro.dag import single_job_workflow
+from repro.simulator import simulate
+from repro.tuning import GreedyTuner, tune_workflow
+from repro.units import gb
+from repro.workloads import terasort, wordcount
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    cluster = paper_cluster()
+    mistuned = single_job_workflow(replace(terasort(gb(10)), num_reducers=6))
+    result, tuned_wf = tune_workflow(mistuned, cluster)
+    before = simulate(mistuned, cluster).makespan
+    after = simulate(tuned_wf, cluster).makespan
+    emit(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["baseline estimate (s)", f"{result.baseline_estimate_s:.1f}"],
+                ["tuned estimate (s)", f"{result.tuned_estimate_s:.1f}"],
+                ["estimated speed-up", f"{result.improvement:.2f}x"],
+                ["simulated before (s)", f"{before:.1f}"],
+                ["simulated after (s)", f"{after:.1f}"],
+                ["actual speed-up", f"{before / after:.2f}x"],
+                ["estimator calls", result.evaluations],
+                ["tuning wall time (ms)", f"{result.wall_time_s * 1000:.0f}"],
+            ],
+            title="Auto-tuning a mis-configured TeraSort (6 reducers)",
+        )
+    )
+    return result, before, after
+
+
+def test_bench_tuning(benchmark, tuned):
+    result, before, after = tuned
+    assert result.improvement > 1.5  # the model predicts a substantial win
+    assert after < before * 0.75  # and the simulator confirms it
+    # Well-configured workloads must not be made worse.
+    cluster = paper_cluster()
+    good = single_job_workflow(wordcount(gb(5)))
+    good_result, _ = tune_workflow(good, cluster)
+    assert good_result.tuned_estimate_s <= good_result.baseline_estimate_s + 1e-9
+
+    mistuned = single_job_workflow(replace(terasort(gb(10)), num_reducers=6))
+    tuner = GreedyTuner(cluster)
+    outcome = benchmark(lambda: tuner.tune(mistuned))
+    assert outcome.wall_time_s < 2.0

@@ -1,0 +1,12 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_cluster
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    return paper_cluster()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Explore how configuration knobs move a job's resource bottleneck.
+
+The BOE model's defining ability is *identifying* the bottleneck, not just
+predicting a number.  This script takes TeraSort and turns the knobs the
+paper's Table I varies — compression and the HDFS replication factor — plus
+the degree of parallelism, and prints where the bottleneck lands each time
+(with the predicted reduce-task time and the utilisation of the other
+resources).
+
+Run:  python examples/bottleneck_explorer.py
+"""
+
+from repro import BOEModel, StageKind, paper_cluster, terasort
+from repro.mapreduce.config import GZIP_BINARY, JobConfig, NO_COMPRESSION
+
+
+def describe(model: BOEModel, job, delta: float) -> str:
+    estimate = model.task_time(job, StageKind.REDUCE, delta, staggered=False)
+    sub = max(estimate.substages, key=lambda s: s.duration)
+    utils = " ".join(
+        f"p_{op.resource.value}={op.utilisation:.2f}" for op in sub.ops
+    )
+    return (
+        f"task {estimate.duration:6.1f}s, dominant sub-stage '{sub.name}' "
+        f"bound by {sub.bottleneck.value:7s} ({utils})"
+    )
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    model = BOEModel(cluster)
+
+    print("TeraSort reduce stage under different configurations")
+    print("(paper Table I: TS -> CPU/disk, TSC -> CPU, TS3R -> network)\n")
+
+    configs = [
+        ("TS   (C=N, R=1)", JobConfig(compression=NO_COMPRESSION, replicas=1)),
+        ("TSC  (C=Y, R=1)", JobConfig(compression=GZIP_BINARY, replicas=1)),
+        ("TS2R (C=N, R=2)", JobConfig(compression=NO_COMPRESSION, replicas=2)),
+        ("TS3R (C=N, R=3)", JobConfig(compression=NO_COMPRESSION, replicas=3)),
+    ]
+    for label, config in configs:
+        job = terasort().with_config(
+            compression=config.compression, replicas=config.replicas
+        )
+        print(f"{label}:")
+        for delta in (10.0, 60.0, 120.0):
+            print(f"  delta={delta:5.0f}: {describe(model, job, delta)}")
+        print()
+
+    print(
+        "Reading the sweep: with one replica the reduce crosses from CPU-"
+        "\nbound (free cores at low parallelism) to disk-bound; the deflate"
+        "\ncodec shifts work onto the CPU; two and three replicas push the"
+        "\nHDFS write pipeline onto the network, exactly as Table I annotates."
+    )
+
+
+if __name__ == "__main__":
+    main()

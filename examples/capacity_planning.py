@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Capacity planning: how many nodes does this workload actually need?
+
+One of the paper's motivating applications (§I: "capacity planning on the
+cloud").  Given a deadline for the hybrid WC+TS workload, sweep the cluster
+size with the state-based estimator — each evaluation costs milliseconds —
+and pick the smallest cluster that meets the deadline.  The chosen point is
+then verified against the ground-truth simulator.
+
+The sweep also demonstrates a BOE insight no black-box model provides: the
+*reason* for diminishing returns.  As the cluster grows, the per-node task
+density falls and the bottleneck shifts (CPU -> disk -> none), which is
+printed alongside the estimates.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    BOEModel,
+    Cluster,
+    StageKind,
+    estimate_workflow,
+    parallel,
+    simulate,
+    single_job_workflow,
+    terasort,
+    wordcount,
+)
+from repro.cluster.node import PAPER_NODE
+from repro.units import gb
+
+
+DEADLINE_S = 120.0
+
+
+def build_workload():
+    return parallel(
+        "nightly",
+        [
+            single_job_workflow(wordcount(gb(30))),
+            single_job_workflow(terasort(gb(30))),
+        ],
+    )
+
+
+def main() -> None:
+    workload = build_workload()
+    print(f"workload : {workload.describe()}")
+    print(f"deadline : {DEADLINE_S:.0f}s\n")
+
+    chosen = None
+    print("workers | est. makespan | WC map bottleneck | meets deadline")
+    for workers in (4, 6, 8, 10, 14, 20, 28):
+        cluster = Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
+        estimate = estimate_workflow(workload, cluster)
+        model = BOEModel(cluster)
+        wc = workload.job("wc.wc")
+        ts = workload.job("ts.ts")
+        # Bottleneck of WC maps while both map stages contend.
+        half = cluster.capacity.max_containers(wc.config.map_container) / 2
+        bottleneck = model.stage_bottleneck(
+            wc, StageKind.MAP, half, [(ts, StageKind.MAP, half)]
+        )
+        ok = estimate.total_time <= DEADLINE_S
+        if ok and chosen is None:
+            chosen = workers
+        print(
+            f"{workers:7d} | {estimate.total_time:12.1f}s | {bottleneck.value:17s} |"
+            f" {'yes' if ok else 'no'}"
+        )
+
+    if chosen is None:
+        print("\nno swept size meets the deadline — widen the sweep")
+        return
+
+    cluster = Cluster(node=PAPER_NODE, workers=chosen, name="chosen")
+    result = simulate(workload, cluster)
+    verdict = "meets" if result.makespan <= DEADLINE_S * 1.05 else "MISSES"
+    print(
+        f"\nchosen size: {chosen} workers -> simulated makespan "
+        f"{result.makespan:.1f}s ({verdict} the deadline)"
+    )
+
+
+if __name__ == "__main__":
+    main()

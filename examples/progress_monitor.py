@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Contention-aware progress estimation for a running DAG.
+
+One of the paper's motivating applications (§I: progress estimation, the
+ParaTimer use case — §VI notes ParaTimer ignores resource contention).
+This script replays a traced execution of the WC+TS hybrid and, at evenly
+spaced instants, rebuilds the progress snapshot and asks Algorithm 1 for
+the remaining time.  The printed ETA column should hover around the true
+makespan from start to finish.
+
+Run:  python examples/progress_monitor.py
+"""
+
+from repro import (
+    parallel,
+    paper_cluster,
+    simulate,
+    single_job_workflow,
+    terasort,
+    wordcount,
+)
+from repro.analysis.timeline import render_gantt
+from repro.progress import ProgressEstimator, snapshot_at
+from repro.units import gb
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    workflow = parallel(
+        "WC+TS",
+        [
+            single_job_workflow(wordcount(gb(15))),
+            single_job_workflow(terasort(gb(15))),
+        ],
+    )
+    result = simulate(workflow, cluster)
+    print(render_gantt(result))
+    print(f"\ntrue makespan: {result.makespan:.1f}s\n")
+
+    estimator = ProgressEstimator(cluster)
+    print("   t (s) | done | remaining | ETA    | running")
+    for report in estimator.timeline(workflow, result, points=8):
+        snapshot = snapshot_at(result, workflow, report.at_time)
+        running = ", ".join(
+            f"{name.split('.')[-1]}/{kind.value}"
+            for name, (kind, _) in sorted(snapshot.running.items())
+        )
+        print(
+            f"  {report.at_time:6.1f} | {report.fraction:4.0%} |"
+            f" {report.remaining_s:8.1f}s | {report.eta_s:5.1f}s | {running}"
+        )
+    print(
+        "\nEvery row is a fresh Algorithm 1 run seeded with the snapshot —"
+        "\neach costs about a millisecond, cheap enough to refresh a UI."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: predict a MapReduce job's execution time before running it.
+
+Builds the paper's testbed cluster, describes a WordCount-like job, and
+compares three views of its execution:
+
+1. the BOE task-level estimate (what the paper contributes),
+2. the state-based workflow estimate (Algorithm 1),
+3. the ground-truth simulation (the stand-in for a real Hadoop cluster).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BOEModel,
+    StageKind,
+    estimate_workflow,
+    paper_cluster,
+    simulate,
+    single_job_workflow,
+    wordcount,
+)
+from repro.units import gb
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    print(f"cluster : {cluster.describe()}")
+
+    job = wordcount(input_mb=gb(20))
+    print(f"job     : {job.describe()}")
+    workflow = single_job_workflow(job)
+
+    # 1. Task-level: what does one map task cost at full parallelism, and
+    #    what is the bottleneck resource?
+    model = BOEModel(cluster)
+    map_estimate = model.task_time(job, StageKind.MAP, delta=160.0)
+    print(
+        f"\nBOE map task  : {map_estimate.duration:.1f}s "
+        f"(bottleneck: {map_estimate.substages[0].bottleneck})"
+    )
+    reduce_estimate = model.task_time(job, StageKind.REDUCE, delta=60.0)
+    for sub in reduce_estimate.substages:
+        print(
+            f"BOE {sub.name:8s}  : {sub.duration:.1f}s (bottleneck: {sub.bottleneck})"
+        )
+
+    # 2. Workflow-level: the full execution plan, state by state.
+    estimate = estimate_workflow(workflow, cluster)
+    print(f"\nestimated makespan: {estimate.total_time:.1f}s "
+          f"(computed in {estimate.model_overhead_s * 1000:.1f} ms)")
+    for state in estimate.states:
+        running = ", ".join(sorted(f"{j}/{k}" for j, k in state.running))
+        print(f"  state {state.index}: {state.duration:6.1f}s  [{running}]")
+
+    # 3. Ground truth: run the cluster simulator and compare.
+    result = simulate(workflow, cluster)
+    error = abs(estimate.total_time - result.makespan) / result.makespan
+    print(f"\nsimulated makespan: {result.makespan:.1f}s")
+    print(f"prediction error  : {100 * error:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

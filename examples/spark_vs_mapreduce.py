@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The paper's generality claim, exercised: Spark on the same cost models.
+
+§I argues the models "are easy to be extended to other cluster-based
+distributed systems such as Spark and Tez".  This script puts that to work:
+the same iterative PageRank workload is expressed three ways — as a
+MapReduce DAG, as a Spark application without RDD caching, and as a Spark
+application with the link structure cached — and each is both simulated and
+estimated with the unchanged BOE + Algorithm 1 machinery.
+
+Two things to observe in the output:
+
+1. the estimator stays accurate across all three framings (the models only
+   consume the task anatomy, which is exactly what changes);
+2. the famous Spark caching win appears *in the model as well as the
+   simulator*: iterations that read from executor memory do no I/O, so the
+   estimated and simulated makespans both collapse.
+
+Run:  python examples/spark_vs_mapreduce.py
+"""
+
+from repro import estimate_workflow, paper_cluster, simulate
+from repro.analysis import accuracy, percentage, render_table
+from repro.spark import spark_pagerank
+from repro.units import gb
+from repro.workloads import pagerank
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    contenders = [
+        ("MapReduce PageRank", pagerank(input_mb=gb(20), iterations=3)),
+        ("Spark, no caching", spark_pagerank(gb(20), iterations=3, cached=False)),
+        ("Spark, links cached", spark_pagerank(gb(20), iterations=3, cached=True)),
+    ]
+
+    rows = []
+    for label, workflow in contenders:
+        simulated = simulate(workflow, cluster)
+        estimated = estimate_workflow(workflow, cluster)
+        rows.append(
+            [
+                label,
+                len(workflow.jobs),
+                f"{simulated.makespan:.1f}",
+                f"{estimated.total_time:.1f}",
+                percentage(accuracy(estimated.total_time, simulated.makespan)),
+            ]
+        )
+
+    print(
+        render_table(
+            ["framing", "stages", "simulated (s)", "estimated (s)", "accuracy"],
+            rows,
+            title="Iterative PageRank, three framings, one cost model",
+        )
+    )
+    print(
+        "\nCaching removes the per-iteration I/O entirely; the estimator"
+        "\npredicts the collapse because the cached stages simply carry no"
+        "\nread/transfer operations in their task anatomy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""What-if analysis for a TPC-H query sharing the cluster with a batch job.
+
+The question a production scheduler asks before co-locating workloads:
+"Q5 runs alone in X seconds — how much slower does it get if the nightly
+TeraSort is running at the same time, and is the estimate trustworthy?"
+
+This script answers it entirely with the cost models (no simulation needed
+at decision time), then verifies both answers against the ground-truth
+simulator — the workflow the paper envisions for runtime self-tuning (§I).
+
+Run:  python examples/tpch_whatif.py
+"""
+
+from repro import (
+    estimate_workflow,
+    parallel,
+    paper_cluster,
+    simulate,
+    single_job_workflow,
+    terasort,
+    tpch_query,
+)
+from repro.analysis import percentage, accuracy
+from repro.units import gb
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    scale = 0.1  # 8 GB TPC-H dataset, 10 GB TeraSort — fast to verify
+
+    query = tpch_query(5, dataset_mb=gb(80) * scale)
+    batch = single_job_workflow(terasort(input_mb=gb(100) * scale))
+    together = parallel("Q5+TS", [query, batch])
+
+    print(f"query plan: {query.describe()}")
+    for name in query.topological_order():
+        parents = sorted(query.parents(name)) or ["-"]
+        print(f"  {name:22s} <- {', '.join(parents)}")
+
+    # Decision-time answers (models only, milliseconds to compute).
+    alone_est = estimate_workflow(query, cluster)
+    together_est = estimate_workflow(together, cluster)
+    slowdown_est = together_est.total_time / alone_est.total_time
+    print(f"\nestimated Q5 alone        : {alone_est.total_time:8.1f}s")
+    print(f"estimated Q5 + TeraSort   : {together_est.total_time:8.1f}s "
+          f"(whole workload)")
+    print(f"estimated workload stretch: {slowdown_est:8.2f}x")
+    print(f"decision cost             : "
+          f"{(alone_est.model_overhead_s + together_est.model_overhead_s) * 1000:.1f} ms")
+
+    # Verification (what the cluster would actually do).
+    alone_sim = simulate(query, cluster)
+    together_sim = simulate(together, cluster)
+    print(f"\nsimulated Q5 alone        : {alone_sim.makespan:8.1f}s  "
+          f"(estimate accuracy {percentage(accuracy(alone_est.total_time, alone_sim.makespan))})")
+    print(f"simulated Q5 + TeraSort   : {together_sim.makespan:8.1f}s  "
+          f"(estimate accuracy {percentage(accuracy(together_est.total_time, together_sim.makespan))})")
+
+
+if __name__ == "__main__":
+    main()

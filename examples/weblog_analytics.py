@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Fig. 1): a web-analytics DAG.
+
+Four jobs process a page-view log: pre-aggregation, a WordCount-like view
+counter (j2), a Sort-like ranking job (j3), and a report join.  j2 and j3
+run in parallel after j1 — and the execution time of j2's map tasks *varies
+across workflow states* as j3's stage transitions move the system bottleneck
+around.  That observation is the reason single-job cost models break on DAGs
+and the BOE model exists.
+
+This script simulates the DAG, prints the task execution plan state by
+state, and shows the measured vs BOE-predicted j2 map-task time per state
+(the paper measures 27 s -> 24 s -> 20 s on its cluster).
+
+Run:  python examples/weblog_analytics.py
+"""
+
+from repro.experiments.fig1 import run_fig1
+from repro.units import format_seconds
+
+
+def main() -> None:
+    result, rows = run_fig1()
+
+    print(f"workflow makespan: {format_seconds(result.makespan)}\n")
+    print("task execution plan (simulated):")
+    for state in result.states:
+        running = ", ".join(sorted(f"{j}/{k}" for j, k in state.running))
+        print(
+            f"  state {state.index}: {state.t_start:7.1f}s .. {state.t_end:7.1f}s"
+            f"  [{running}]"
+        )
+
+    print("\nj2 (count views) map-task time across states:")
+    print("  state | running with                | measured | BOE")
+    for row in rows:
+        others = ", ".join(r for r in row.running if not r.startswith("j2"))
+        measured = "-" if row.measured_s is None else f"{row.measured_s:7.1f}s"
+        print(
+            f"  {row.state_index:5d} | {others:27s} | {measured:>8s} | "
+            f"{row.boe_s:6.1f}s"
+        )
+    print(
+        "\nThe j2 map-task time falls as j3 leaves the map stage and then the"
+        "\ncluster — the bottleneck-shift effect the BOE model captures and"
+        "\nfixed-profile models (Starfish, MRTuner) cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Metadata lives in setup.cfg.  A classic setup.py is kept (rather than a
+PEP 660 pyproject-only build) so that ``pip install -e .`` works on minimal
+environments without the ``wheel`` package installed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Accuracy metrics and table rendering for the experiment harness."""
+
+from repro.analysis.accuracy import (
+    AccuracySummary,
+    accuracy,
+    improvement_factor,
+    relative_error,
+    summarise,
+)
+from repro.analysis.tables import percentage, render_series, render_table
+from repro.analysis.timeline import render_gantt, render_utilisation, utilisation_series
+
+__all__ = [
+    "AccuracySummary",
+    "accuracy",
+    "improvement_factor",
+    "percentage",
+    "relative_error",
+    "render_gantt",
+    "render_series",
+    "render_table",
+    "render_utilisation",
+    "summarise",
+    "utilisation_series",
+]

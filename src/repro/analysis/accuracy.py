@@ -1,0 +1,84 @@
+"""Accuracy metrics, matching the paper's reporting conventions.
+
+The paper reports *accuracy* percentages (e.g. "the average accuracy for the
+execution time estimation is 95.2%") computed as one minus the relative
+error against the measured value, and expresses model comparisons as error
+ratios ("outperforms the baseline by a factor of 6.6x").
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import EstimationError
+
+
+def accuracy(estimated: float, actual: float) -> float:
+    """``1 - |est - actual| / actual``, clamped to [0, 1].
+
+    Matches the paper's percentages; an estimate more than 100 % off scores
+    zero rather than going negative, which keeps averages interpretable.
+    """
+    if actual <= 0:
+        raise EstimationError(f"actual value must be positive, got {actual}")
+    return max(0.0, 1.0 - abs(estimated - actual) / actual)
+
+
+def relative_error(estimated: float, actual: float) -> float:
+    """``|est - actual| / actual`` (unclamped)."""
+    if actual <= 0:
+        raise EstimationError(f"actual value must be positive, got {actual}")
+    return abs(estimated - actual) / actual
+
+
+def improvement_factor(
+    baseline_estimate: float, model_estimate: float, actual: float
+) -> float:
+    """The paper's "outperforms by a factor of k": baseline error over
+    model error.  Unbounded when the model is exact; capped at 1000x to keep
+    tables printable."""
+    base_err = relative_error(baseline_estimate, actual)
+    model_err = relative_error(model_estimate, actual)
+    if model_err <= 1e-12:
+        return 1000.0
+    return min(1000.0, base_err / model_err)
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Aggregate accuracy over a set of (estimate, actual) pairs."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def of(cls, pairs: Sequence[Sequence[float]]) -> "AccuracySummary":
+        if not pairs:
+            raise EstimationError("cannot summarise zero accuracy pairs")
+        values = [accuracy(est, act) for est, act in pairs]
+        return cls(
+            mean=statistics.fmean(values),
+            median=float(statistics.median(values)),
+            minimum=min(values),
+            maximum=max(values),
+            n=len(values),
+        )
+
+
+def summarise(values: Mapping[str, float]) -> AccuracySummary:
+    """Summary of already-computed per-item accuracies."""
+    if not values:
+        raise EstimationError("cannot summarise an empty accuracy map")
+    data = list(values.values())
+    return AccuracySummary(
+        mean=statistics.fmean(data),
+        median=float(statistics.median(data)),
+        minimum=min(data),
+        maximum=max(data),
+        n=len(data),
+    )

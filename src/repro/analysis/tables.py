@@ -1,0 +1,68 @@
+"""ASCII rendering of result tables.
+
+The benchmark harness prints the same rows the paper reports (Tables I-III,
+the Fig. 6 series); these helpers keep that formatting in one place so every
+experiment renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Monospace table with column alignment.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]], precision=1))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells = [[_format_cell(c, precision) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """A figure-style table: one row per x value, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)] for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def percentage(value: float) -> str:
+    """Render an accuracy in the paper's percent style."""
+    return f"{100.0 * value:.2f}%"

@@ -1,0 +1,146 @@
+"""Trace timelines: the textual equivalent of the paper's Fig. 1 diagram.
+
+Given a simulation trace, render the task execution plan the way the paper
+draws it — one lane per job stage, time flowing right, state boundaries
+marked — plus per-resource utilisation strips derived from the recorded
+task sub-stages.  Used by ``repro-dag timeline`` and handy when debugging
+model-vs-simulator gaps (where exactly does the plan diverge?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import Resource
+from repro.errors import SimulationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.phases import build_task_substages
+from repro.mapreduce.stage import StageKind
+from repro.simulator.trace import SimulationResult
+
+
+def _lane_label(job: str, kind: StageKind) -> str:
+    return f"{job}/{kind.value}"
+
+
+def render_gantt(
+    result: SimulationResult, width: int = 72, show_states: bool = True
+) -> str:
+    """An ASCII Gantt chart of the traced execution.
+
+    Each stage is a lane; ``#`` marks the interval in which any of its tasks
+    ran; digits on a separate scale row mark workflow-state boundaries.
+    """
+    if width < 20:
+        raise SimulationError(f"gantt width must be >= 20 columns: {width}")
+    if result.makespan <= 0:
+        raise SimulationError("cannot render an empty trace")
+    scale = width / result.makespan
+
+    lanes: List[Tuple[str, float, float]] = [
+        (_lane_label(s.job, s.kind), s.t_start, s.t_end)
+        for s in sorted(result.stages, key=lambda s: (s.t_start, s.job))
+    ]
+    label_width = max(len(label) for label, _, _ in lanes)
+    lines: List[str] = []
+    header = f"{'':{label_width}}  0s{'':{max(0, width - 12)}}{result.makespan:.0f}s"
+    lines.append(header)
+    for label, t0, t1 in lanes:
+        start = int(t0 * scale)
+        end = max(start + 1, int(t1 * scale))
+        bar = " " * start + "#" * (end - start)
+        lines.append(f"{label:{label_width}}  |{bar[:width]:{width}}|")
+    if show_states and result.states:
+        marks = [" "] * width
+        for state in result.states[1:]:
+            pos = min(width - 1, int(state.t_start * scale))
+            marks[pos] = "|"
+        lines.append(f"{'states':{label_width}}  |{''.join(marks)}|")
+        labels = [" "] * width
+        for state in result.states:
+            pos = min(width - 2, int(0.5 * (state.t_start + state.t_end) * scale))
+            text = str(state.index)
+            for i, ch in enumerate(text):
+                if pos + i < width:
+                    labels[pos + i] = ch
+        lines.append(f"{'':{label_width}}  |{''.join(labels)}|")
+    return "\n".join(lines)
+
+
+def utilisation_series(
+    result: SimulationResult,
+    workflow_jobs: Dict[str, MapReduceJob],
+    cluster: Cluster,
+    resource: Resource,
+    buckets: int = 24,
+) -> List[float]:
+    """Approximate cluster-wide utilisation of ``resource`` over time.
+
+    Each task's resource consumption is reconstructed from its sub-stage
+    spans and its job's declared operation volumes (demand spread uniformly
+    over the observed sub-stage interval — the fluid view the simulator
+    itself uses), then bucketed and normalised by the cluster's capacity.
+    """
+    if buckets < 1:
+        raise SimulationError(f"buckets must be >= 1: {buckets}")
+    if resource is Resource.CPU:
+        capacity = float(cluster.total_cores)
+    else:
+        capacity = cluster.aggregate_bandwidth(resource)
+    usage = [0.0] * buckets
+    bucket_span = result.makespan / buckets
+    if bucket_span <= 0:
+        raise SimulationError("cannot bucket an empty trace")
+
+    for task in result.tasks:
+        job = workflow_jobs.get(task.job)
+        if job is None:
+            raise SimulationError(f"trace references unknown job {task.job!r}")
+        substages = build_task_substages(
+            job,
+            task.kind,
+            task_input_mb=task.input_mb if task.input_mb > 0 else None,
+            remote_fraction=cluster.remote_fraction,
+        )
+        by_name = {s.name: s for s in substages}
+        for span in task.substages:
+            spec = by_name.get(span.name)
+            if spec is None or span.duration <= 0:
+                continue
+            amount = spec.amount(resource)
+            if amount <= 0:
+                continue
+            rate = amount / span.duration
+            first = min(buckets - 1, int(span.t_start / bucket_span))
+            last = min(buckets - 1, int(max(span.t_start, span.t_end - 1e-9) / bucket_span))
+            for b in range(first, last + 1):
+                b_start = b * bucket_span
+                b_end = b_start + bucket_span
+                overlap = min(span.t_end, b_end) - max(span.t_start, b_start)
+                if overlap > 0:
+                    usage[b] += rate * overlap
+    return [u / (capacity * bucket_span) for u in usage]
+
+
+def render_utilisation(
+    result: SimulationResult,
+    workflow_jobs: Dict[str, MapReduceJob],
+    cluster: Cluster,
+    buckets: int = 24,
+) -> str:
+    """Utilisation strips (0-9 scale, ``*`` = saturated) for CPU/disk/network."""
+    lines = []
+    for resource in (Resource.CPU, Resource.DISK, Resource.NETWORK):
+        series = utilisation_series(
+            result, workflow_jobs, cluster, resource, buckets
+        )
+        cells = []
+        for value in series:
+            if value >= 0.95:
+                cells.append("*")
+            else:
+                cells.append(str(min(9, int(value * 10))))
+        lines.append(f"{resource.value:8s} |{''.join(cells)}|")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Baseline cost models the paper compares BOE against (§V-B, §VI)."""
+
+from repro.baselines.base import BOEPredictor, TaskTimePredictor
+from repro.baselines.ernest import ErnestModel
+from repro.baselines.mrtuner import MRTunerBestCase
+from repro.baselines.regression import RegressionModel
+from repro.baselines.starfish import StarfishBestCase
+
+__all__ = [
+    "BOEPredictor",
+    "ErnestModel",
+    "MRTunerBestCase",
+    "RegressionModel",
+    "StarfishBestCase",
+    "TaskTimePredictor",
+]

@@ -1,0 +1,71 @@
+"""Common interface for baseline task-time predictors.
+
+The paper compares BOE against the *best case* of Starfish [16] and MRTuner
+[31]: "the ground truth execution time when the degree of parallelism is
+equal to that in the profiling stage" (§V-B).  Both are profile-driven
+single-job models; their shared limitation — the one BOE removes — is the
+assumption that the resource allocation observed while profiling still holds
+at prediction time.
+
+Every baseline implements :class:`TaskTimePredictor`; the Fig. 6 experiment
+sweeps the degree of parallelism and scores each predictor against the
+simulator's measured medians.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence, Tuple
+
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+
+
+class TaskTimePredictor(abc.ABC):
+    """Predicts the execution time of one task of a job stage."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def predict(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        substage: Optional[str] = None,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]] = (),
+    ) -> float:
+        """Predicted task time (s) at cluster-wide parallelism ``delta``.
+
+        Args:
+            job: the target job.
+            kind: MAP or REDUCE.
+            delta: cluster-wide degree of parallelism of the target stage.
+            substage: restrict to one sub-stage ("map"/"shuffle"/"reduce");
+                None predicts the whole task.
+            concurrent: other running stages; single-job baselines ignore
+                this (that is exactly their documented limitation).
+        """
+
+
+class BOEPredictor(TaskTimePredictor):
+    """Adapter presenting the BOE model through the predictor interface."""
+
+    name = "BOE"
+
+    def __init__(self, model) -> None:
+        self._model = model
+
+    def predict(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        substage: Optional[str] = None,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]] = (),
+    ) -> float:
+        estimate = self._model.task_time(job, kind, delta, concurrent)
+        if substage is None:
+            return estimate.duration
+        return estimate.substage(substage).duration

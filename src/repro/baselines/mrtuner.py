@@ -1,0 +1,61 @@
+"""MRTuner-style best-case baseline (Shi et al., VLDB'14).
+
+MRTuner's PTC (Producer-Transporter-Consumer) model is analytic: it computes
+per-phase times from resource throughputs, but — like Starfish — it fixes the
+resource *shares* at their profiling-stage values.  We realise its best case
+by evaluating the BOE arithmetic at the profiling parallelism and returning
+that answer for every requested parallelism: the analytic machinery is
+right, the allocation assumption is frozen.
+
+The difference between :class:`MRTunerBestCase` and
+:class:`~repro.baselines.starfish.StarfishBestCase` is therefore *where* the
+frozen number comes from (analytic closed form vs measured median); both are
+constant in the actual degree of parallelism, which is why the paper groups
+them as one baseline family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.baselines.base import TaskTimePredictor
+from repro.cluster.cluster import Cluster
+from repro.core.boe import BOEModel
+from repro.errors import ProfileError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+
+
+class MRTunerBestCase(TaskTimePredictor):
+    """PTC-style analytic prediction with profiling-time shares frozen.
+
+    Attributes:
+        cluster: the target cluster.
+        profiling_delta: cluster-wide degree of parallelism assumed by the
+            frozen allocation (the "profiling stage" parallelism).
+    """
+
+    name = "MRTuner"
+
+    def __init__(self, cluster: Cluster, profiling_delta: float):
+        if profiling_delta <= 0:
+            raise ProfileError(
+                f"profiling parallelism must be positive: {profiling_delta}"
+            )
+        self._model = BOEModel(cluster)
+        self._profiling_delta = profiling_delta
+
+    def predict(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        substage: Optional[str] = None,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]] = (),
+    ) -> float:
+        # `delta` and `concurrent` unused by design: the shares are frozen
+        # at the profiling parallelism.
+        estimate = self._model.task_time(job, kind, self._profiling_delta)
+        if substage is None:
+            return estimate.duration
+        return estimate.substage(substage).duration

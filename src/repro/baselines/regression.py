@@ -1,0 +1,76 @@
+"""Black-box ML regression baseline (Singhal & Singh style, [32]).
+
+A plain least-squares linear regression over generic job/cluster features.
+The paper's critique of this family: "the identified features do not
+consider the impact of parallelism on system bottleneck", so it interpolates
+within the training distribution but cannot extrapolate the bottleneck
+*switches* (CPU -> disk -> network) that parallelism changes induce — which
+the Fig. 6 sweep makes visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import TaskTimePredictor
+from repro.errors import ProfileError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+
+
+def _features(job: MapReduceJob, kind: StageKind, delta: float) -> np.ndarray:
+    """Generic features: parallelism, per-task volume, selectivity, config."""
+    task_mb = job.task_input_mb(kind)
+    selectivity = (
+        job.map_selectivity if kind is StageKind.MAP else job.reduce_selectivity
+    )
+    compressed = 1.0 if job.config.compression.enabled else 0.0
+    return np.array(
+        [
+            1.0,
+            delta,
+            task_mb,
+            task_mb * selectivity,
+            float(job.config.replicas),
+            compressed,
+        ]
+    )
+
+
+class RegressionModel(TaskTimePredictor):
+    """Least-squares regression over (job, parallelism) features."""
+
+    name = "Regression"
+
+    def __init__(self) -> None:
+        self._coeffs: Dict[Optional[str], np.ndarray] = {}
+
+    def fit(
+        self,
+        observations: Sequence[Tuple[MapReduceJob, StageKind, float, float]],
+        substage: Optional[str] = None,
+    ) -> None:
+        """Fit from (job, stage, delta, measured task time) samples."""
+        if len(observations) < 3:
+            raise ProfileError(
+                f"regression needs at least 3 training points, got {len(observations)}"
+            )
+        X = np.stack([_features(j, k, d) for j, k, d, _ in observations])
+        y = np.array([t for _, _, _, t in observations], dtype=float)
+        coeffs, *_ = np.linalg.lstsq(X, y, rcond=None)
+        self._coeffs[substage] = coeffs
+
+    def predict(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        substage: Optional[str] = None,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]] = (),
+    ) -> float:
+        if substage not in self._coeffs:
+            raise ProfileError(f"regression not fitted for sub-stage {substage!r}")
+        value = float(self._coeffs[substage] @ _features(job, kind, delta))
+        return max(0.0, value)

@@ -1,0 +1,71 @@
+"""Starfish-style best-case baseline (Herodotou & Babu, VLDB'11).
+
+Starfish profiles a job once and answers what-if questions by replaying the
+profiled task statistics.  Its best case — the one the paper benchmarks
+against — returns the *ground-truth* task time observed at the profiling
+degree of parallelism, for every requested degree of parallelism.  When the
+actual parallelism differs, the preemptable-resource shares differ, and the
+prediction error is exactly the gap BOE closes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.baselines.base import TaskTimePredictor
+from repro.errors import ProfileError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+from repro.profiling.profile import JobProfile
+from repro.profiling.profiler import profile_job
+from repro.simulator.engine import SimulationConfig
+
+
+class StarfishBestCase(TaskTimePredictor):
+    """Replay profiled medians regardless of the actual parallelism.
+
+    Attributes:
+        profiles: profile per job name, collected at the profiling
+            parallelism (pass precollected ones, or use :meth:`profile`).
+    """
+
+    name = "Starfish"
+
+    def __init__(self, profiles: Optional[Dict[str, JobProfile]] = None):
+        self._profiles: Dict[str, JobProfile] = dict(profiles or {})
+
+    def profile(
+        self,
+        job: MapReduceJob,
+        cluster: Cluster,
+        config: SimulationConfig = SimulationConfig(),
+    ) -> JobProfile:
+        """Collect (and retain) a profile by running the job alone."""
+        prof = profile_job(job, cluster, config)
+        self._profiles[job.name] = prof
+        return prof
+
+    def predict(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        substage: Optional[str] = None,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]] = (),
+    ) -> float:
+        # `delta` and `concurrent` are deliberately unused: Starfish assumes
+        # the profiling-time allocation persists.
+        try:
+            stage = self._profiles[job.name].stage(kind)
+        except KeyError:
+            raise ProfileError(
+                f"Starfish has no profile for {job.name!r}; call .profile() first"
+            ) from None
+        if substage is None:
+            return stage.task_time.median
+        if substage not in stage.substage_times:
+            raise ProfileError(
+                f"profile of {job.name!r}/{kind} has no sub-stage {substage!r}"
+            )
+        return stage.substage_times[substage].median

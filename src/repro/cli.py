@@ -1,0 +1,405 @@
+"""Command-line interface: ``repro-dag``.
+
+Sub-commands mirror the library's main entry points:
+
+* ``repro-dag estimate`` — estimate a named workload's execution plan;
+* ``repro-dag simulate`` — run the ground-truth simulator on it;
+* ``repro-dag compare``  — both, with the accuracy the paper reports;
+* ``repro-dag timeline`` — ASCII Gantt + resource utilisation of a run;
+* ``repro-dag tune``     — model-driven configuration auto-tuning;
+* ``repro-dag fig4 | fig6 | table1 | table2 | table3 | overhead`` — print
+  the corresponding reproduced table/figure;
+* ``repro-dag list``     — show the available named workloads.
+
+Named workloads are the Table III identifiers (``WC-Q5``, ``TS-Q21``,
+``WC-TS3R``, ...), plus ``weblog`` (the Fig. 1 DAG) and the Table I micro
+benchmarks (``wc``, ``ts``, ``ts2r``, ``ts3r``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.analysis.accuracy import accuracy
+from repro.analysis.tables import percentage, render_series, render_table
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.core.distributions import Variant
+from repro.core.estimator import estimate_workflow
+from repro.dag.workflow import Workflow
+from repro.errors import ReproError
+from repro.mapreduce.task import SkewModel
+from repro.simulator.engine import SimulationConfig, simulate
+from repro.units import format_seconds
+from repro.workloads.hybrid import micro_workflow, table3_workflows
+from repro.workloads.weblog import weblog_dag
+
+
+def _named_workflows(scale: float) -> Dict[str, Workflow]:
+    out = dict(table3_workflows(scale=scale))
+    out["weblog"] = weblog_dag()
+    for micro in ("wc", "ts", "ts2r", "ts3r"):
+        out[micro] = micro_workflow(micro, input_mb=100_000.0 * scale)
+    return out
+
+
+def _resolve(name: str, scale: float) -> Workflow:
+    workflows = _named_workflows(scale)
+    if name not in workflows:
+        raise ReproError(
+            f"unknown workload {name!r}; run `repro-dag list` for choices"
+        )
+    return workflows[name]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(_named_workflows(args.scale)):
+        print(name)
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    cluster = paper_cluster()
+    workflow = _resolve(args.workload, args.scale)
+    estimate = estimate_workflow(workflow, cluster, variant=Variant(args.variant))
+    print(f"workflow : {workflow.describe()}")
+    print(f"estimate : {format_seconds(estimate.total_time)} "
+          f"({estimate.total_time:.1f} s, variant={estimate.variant})")
+    print(f"overhead : {estimate.model_overhead_s * 1000:.1f} ms")
+    rows = [
+        [
+            s.index,
+            f"{s.t_start:.1f}",
+            f"{s.t_end:.1f}",
+            ", ".join(sorted(f"{j}/{k.value}" for j, k in s.running)),
+        ]
+        for s in estimate.states
+    ]
+    print(render_table(["state", "start", "end", "running"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cluster = paper_cluster()
+    workflow = _resolve(args.workload, args.scale)
+    result = simulate(
+        workflow, cluster, SimulationConfig(skew=SkewModel(sigma=args.skew))
+    )
+    print(f"workflow : {workflow.describe()}")
+    print(f"makespan : {format_seconds(result.makespan)} ({result.makespan:.1f} s)")
+    print(f"tasks    : {len(result.tasks)}, states: {len(result.states)}")
+    rows = [
+        [
+            s.index,
+            f"{s.t_start:.1f}",
+            f"{s.t_end:.1f}",
+            ", ".join(sorted(f"{j}/{k.value}" for j, k in s.running)),
+        ]
+        for s in result.states
+    ]
+    print(render_table(["state", "start", "end", "running"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cluster = paper_cluster()
+    workflow = _resolve(args.workload, args.scale)
+    result = simulate(
+        workflow, cluster, SimulationConfig(skew=SkewModel(sigma=args.skew))
+    )
+    estimate = estimate_workflow(workflow, cluster, variant=Variant(args.variant))
+    acc = accuracy(estimate.total_time, result.makespan)
+    print(f"workflow  : {workflow.describe()}")
+    print(f"simulated : {result.makespan:.1f} s")
+    print(f"estimated : {estimate.total_time:.1f} s ({estimate.variant})")
+    print(f"accuracy  : {percentage(acc)}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import render_gantt, render_utilisation
+
+    cluster = paper_cluster()
+    workflow = _resolve(args.workload, args.scale)
+    result = simulate(
+        workflow, cluster, SimulationConfig(skew=SkewModel(sigma=args.skew))
+    )
+    print(f"workflow : {workflow.describe()}")
+    print(f"makespan : {result.makespan:.1f}s\n")
+    print(render_gantt(result, width=args.width))
+    print("\nresource utilisation (0-9 tenths, * = saturated):")
+    print(render_utilisation(result, workflow.job_map, cluster, buckets=args.width))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuning import tune_workflow
+
+    cluster = paper_cluster()
+    workflow = _resolve(args.workload, args.scale)
+    result, tuned = tune_workflow(workflow, cluster)
+    print(f"workflow          : {workflow.describe()}")
+    print(f"baseline estimate : {result.baseline_estimate_s:.1f}s")
+    print(f"tuned estimate    : {result.tuned_estimate_s:.1f}s "
+          f"({result.improvement:.2f}x, {result.evaluations} evaluations, "
+          f"{result.wall_time_s * 1000:.0f} ms)")
+    if not result.assignment:
+        print("no change recommended — the configuration is already good")
+        return 0
+    print("recommended changes:")
+    for (job, fieldname), value in sorted(result.assignment.items()):
+        print(f"  {job}: {fieldname} -> {value}")
+    if args.verify:
+        before = simulate(workflow, cluster).makespan
+        after = simulate(tuned, cluster).makespan
+        print(f"verified on simulator: {before:.1f}s -> {after:.1f}s "
+              f"({before / after:.2f}x)")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments.fig4 import run_fig4
+
+    rows = run_fig4()
+    print(
+        render_table(
+            ["parallelism", "duration (s)", "bottleneck", "p_disk", "p_net", "p_cpu"],
+            [
+                [
+                    r.delta,
+                    f"{r.duration_s:.0f}",
+                    r.bottleneck.value,
+                    f"{r.utilisation.get('disk', 0):.2f}",
+                    f"{r.utilisation.get('network', 0):.2f}",
+                    f"{r.utilisation.get('cpu', 0):.2f}",
+                ]
+                for r in rows
+            ],
+            title="Fig. 4 — BOE worked example",
+        )
+    )
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.fig6 import run_fig6
+
+    panels = run_fig6(args.workload_micro)
+    for label, panel in panels.items():
+        series = {
+            "measured": [f"{p.measured_s:.1f}" for p in panel.points],
+            "BOE": [f"{p.boe_s:.1f}" for p in panel.points],
+            "baseline": [f"{p.baseline_s:.1f}" for p in panel.points],
+        }
+        print(
+            render_series(
+                "delta/node",
+                [p.delta_per_node for p in panel.points],
+                series,
+                title=(
+                    f"Fig. 6 {args.workload_micro.upper()} {label}: "
+                    f"BOE acc {percentage(panel.boe_mean_accuracy)}, "
+                    f"baseline {percentage(panel.baseline_mean_accuracy)}"
+                ),
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    rows = run_table1()
+    print(
+        render_table(
+            ["workload", "C", "R", "expected", "identified", "match"],
+            [
+                [
+                    r.name,
+                    "Y" if r.compressed else "N",
+                    ",".join(str(x) for x in r.replicas),
+                    ",".join(x.value for x in r.expected) or "-",
+                    ",".join(x.value for x in r.identified),
+                    "yes" if r.matches else "NO",
+                ]
+                for r in rows
+            ],
+            title="Table I — workloads and identified bottlenecks",
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import average_accuracy, run_table2
+
+    cells = run_table2()
+    print(
+        render_table(
+            ["DAG", "state", "job", "stage", "measured", "BOE", "acc", "BOE-refined", "acc"],
+            [
+                [
+                    c.dag,
+                    f"s{c.state_index}",
+                    c.job,
+                    c.kind.value,
+                    f"{c.measured_s:.1f}",
+                    f"{c.plain_s:.1f}",
+                    percentage(c.plain_accuracy),
+                    f"{c.refined_s:.1f}",
+                    percentage(c.refined_accuracy),
+                ]
+                for c in cells
+            ],
+            title="Table II — task-level accuracy for parallel jobs",
+        )
+    )
+    for dag in ("WC+TS", "WC+TS3R"):
+        print(
+            f"{dag}: avg plain {percentage(average_accuracy(cells, dag, refined=False))}, "
+            f"avg refined {percentage(average_accuracy(cells, dag))}"
+        )
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import (
+        VARIANTS,
+        VARIANT_LABELS,
+        run_table3,
+        summarise_variant,
+    )
+
+    names = args.names.split(",") if args.names else None
+    rows = run_table3(names=names, scale=args.scale)
+    print(
+        render_table(
+            ["workflow", "simulated", *(VARIANT_LABELS[v] for v in VARIANTS)],
+            [
+                [
+                    r.workflow,
+                    f"{r.simulated_s:.1f}",
+                    *(percentage(r.accuracy(v)) for v in VARIANTS),
+                ]
+                for r in rows
+            ],
+            title="Table III — DAG estimation accuracy",
+        )
+    )
+    for v in VARIANTS:
+        s = summarise_variant(rows, v)
+        print(
+            f"{VARIANT_LABELS[v]}: mean {percentage(s['mean'])}, "
+            f"median {percentage(s['median'])}, min {percentage(s['min'])}"
+        )
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.experiments.overhead import run_overhead
+
+    rows = run_overhead()
+    worst = max(rows, key=lambda r: r.overhead_s)
+    print(
+        render_table(
+            ["workflow", "jobs", "states", "overhead (ms)"],
+            [
+                [r.workflow, r.jobs, r.states, f"{r.overhead_s * 1000:.1f}"]
+                for r in sorted(rows, key=lambda r: -r.overhead_s)[:10]
+            ],
+            title="Estimation overhead (10 most expensive workflows)",
+        )
+    )
+    print(f"max overhead: {worst.overhead_s * 1000:.1f} ms ({worst.workflow}) — "
+          f"paper requires < 1 s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dag",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, workload: bool = True) -> None:
+        p.add_argument("--scale", type=float, default=0.05,
+                       help="input-volume scale vs the paper (default 0.05)")
+        if workload:
+            p.add_argument("workload", help="named workload (see `list`)")
+
+    p = sub.add_parser("list", help="list named workloads")
+    common(p, workload=False)
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("estimate", help="estimate a workflow (BOE + Algorithm 1)")
+    common(p)
+    p.add_argument("--variant", choices=[v.value for v in Variant], default="mean")
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("simulate", help="run the ground-truth simulator")
+    common(p)
+    p.add_argument("--skew", type=float, default=0.2, help="lognormal skew sigma")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("compare", help="simulate + estimate + accuracy")
+    common(p)
+    p.add_argument("--variant", choices=[v.value for v in Variant], default="mean")
+    p.add_argument("--skew", type=float, default=0.2)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("timeline", help="ASCII Gantt + utilisation of a run")
+    common(p)
+    p.add_argument("--skew", type=float, default=0.2)
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser("tune", help="auto-tune a workload's configuration")
+    common(p)
+    p.add_argument("--verify", action="store_true",
+                   help="also verify the tuned config on the simulator")
+    p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser("fig4", help="reproduce the Fig. 4 worked example")
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig6", help="reproduce a Fig. 6 sweep")
+    p.add_argument("workload_micro", choices=["wc", "ts"])
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("table1", help="reproduce Table I")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="reproduce Table II")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("table3", help="reproduce Table III (or a subset)")
+    p.add_argument("--names", default="", help="comma-separated workflow subset")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("overhead", help="reproduce the estimation-cost result")
+    p.set_defaults(func=_cmd_overhead)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; exit quietly like a
+        # well-behaved Unix tool.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

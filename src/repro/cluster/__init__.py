@@ -1,0 +1,22 @@
+"""Cluster substrate: hardware descriptions consumed by models and simulator."""
+
+from repro.cluster.cluster import Cluster, paper_cluster, single_node_cluster
+from repro.cluster.node import NodeSpec, PAPER_NODE
+from repro.cluster.resources import (
+    PREEMPTABLE_RESOURCES,
+    Resource,
+    ResourceVector,
+    ZERO_VECTOR,
+)
+
+__all__ = [
+    "Cluster",
+    "NodeSpec",
+    "PAPER_NODE",
+    "PREEMPTABLE_RESOURCES",
+    "Resource",
+    "ResourceVector",
+    "ZERO_VECTOR",
+    "paper_cluster",
+    "single_node_cluster",
+]

@@ -1,0 +1,94 @@
+"""Cluster specification.
+
+A :class:`Cluster` is a homogeneous set of worker nodes (the paper's testbed
+is homogeneous: eleven identical servers, one of which runs the master).  The
+models consume aggregate capacities; the simulator additionally places tasks
+on individual nodes, so the node list is materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cluster.node import NodeSpec, PAPER_NODE
+from repro.cluster.resources import Resource, ResourceVector
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster of ``workers`` nodes of spec ``node``.
+
+    Attributes:
+        node: hardware description shared by every worker.
+        workers: number of worker nodes available to run tasks (the paper
+            uses 11 servers; one hosts the resource manager and HDFS
+            namenode, leaving 10 workers).
+        name: label used in reports.
+    """
+
+    node: NodeSpec = PAPER_NODE
+    workers: int = 10
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise SpecificationError(f"cluster needs at least one worker: {self}")
+
+    # -- schedulable capacity -------------------------------------------------
+
+    @property
+    def capacity(self) -> ResourceVector:
+        """Total schedulable (vcores, memory) capacity across all workers."""
+        return self.node.capacity * float(self.workers)
+
+    @property
+    def total_cores(self) -> int:
+        return self.node.cores * self.workers
+
+    # -- preemptable throughput pools -----------------------------------------
+
+    def aggregate_bandwidth(self, resource: Resource) -> float:
+        """Cluster-wide bandwidth of ``resource`` in MB/s (DISK or NETWORK)."""
+        return self.node.bandwidth(resource) * self.workers
+
+    def per_node_bandwidth(self, resource: Resource) -> float:
+        """Per-node bandwidth of ``resource`` in MB/s (DISK or NETWORK)."""
+        return self.node.bandwidth(resource)
+
+    # -- locality --------------------------------------------------------------
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of uniformly-spread traffic that crosses the network.
+
+        When data is hash-partitioned uniformly across ``n`` workers (the
+        shuffle, or replica placement), ``1/n`` of it lands on the node that
+        produced it and the rest crosses the switch.
+        """
+        return 1.0 - 1.0 / self.workers
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the CLI and reports."""
+        n = self.node
+        return (
+            f"{self.name}: {self.workers} workers x ({n.cores} cores, "
+            f"{n.memory_mb / 1000:.0f} GB RAM, {n.disks} disks @ {n.disk_mb_s:.0f} MB/s agg, "
+            f"NIC {n.network_mb_s:.0f} MB/s)"
+        )
+
+
+def paper_cluster(workers: int = 10) -> Cluster:
+    """The cluster of the paper's evaluation (§V-A).
+
+    Eleven identical servers; we expose the ten that run NodeManagers as
+    workers.  Pass a different ``workers`` count for capacity-planning
+    what-if studies.
+    """
+    return Cluster(node=PAPER_NODE, workers=workers, name="paper-testbed")
+
+
+def single_node_cluster(node: NodeSpec = PAPER_NODE) -> Cluster:
+    """A one-node cluster, handy for unit tests and the Fig. 4 worked example."""
+    return Cluster(node=node, workers=1, name="single-node")

@@ -1,0 +1,117 @@
+"""Resource kinds and capacity vectors.
+
+Two distinct notions of "resource" appear in the paper and therefore in this
+package, and it is important not to conflate them:
+
+* **Preemptable throughput resources** (:class:`Resource`): CPU processing
+  bandwidth, disk bandwidth and network bandwidth.  These are the quantities
+  the BOE model reasons about — a running task draws on them continuously and
+  the operating system time-shares them among tasks, so their per-task share
+  ``mu(delta)`` varies with the degree of parallelism.  Memory is explicitly
+  *not* preemptable (it is pinned by the JVM heap), so it never appears as a
+  throughput pool; it constrains *admission* instead.
+
+* **Schedulable capacity** (:class:`ResourceVector`): the (vcores, memory)
+  pair that YARN's resource manager hands out as containers.  The scheduler
+  (DRF) decides the degree of parallelism from these; the throughput pools
+  then decide how fast the admitted tasks run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SpecificationError
+
+
+class Resource(enum.Enum):
+    """Preemptable throughput resources recognised by the cost models.
+
+    ``CPU`` is preemptable only once the number of runnable compute threads
+    exceeds the core count (paper §III-A2); ``DISK`` and ``NETWORK`` are
+    always preemptable.  ``MEMORY`` is listed for completeness but is never a
+    throughput pool — it gates container admission only.
+    """
+
+    CPU = "cpu"
+    DISK = "disk"
+    NETWORK = "network"
+    MEMORY = "memory"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: The resources whose bandwidth is shared max-min among running tasks.
+PREEMPTABLE_RESOURCES = (Resource.CPU, Resource.DISK, Resource.NETWORK)
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A schedulable (vcores, memory) capacity, as used by YARN/DRF.
+
+    Attributes:
+        vcores: virtual CPU cores.  Fractional values are permitted for
+            shares and accumulators, though container requests are normally
+            integral.
+        memory_mb: memory in MB.
+    """
+
+    vcores: float
+    memory_mb: float
+
+    def __post_init__(self) -> None:
+        if self.vcores < 0 or self.memory_mb < 0:
+            raise SpecificationError(
+                f"resource vector components must be non-negative: {self}"
+            )
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(self.vcores + other.vcores, self.memory_mb + other.memory_mb)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        # Long add/release chains accumulate float error; genuine negative
+        # balances are still rejected by __post_init__, but drift within
+        # tolerance snaps back to zero.
+        def clamp(value: float) -> float:
+            return 0.0 if -1e-6 < value < 0.0 else value
+
+        return ResourceVector(
+            clamp(self.vcores - other.vcores),
+            clamp(self.memory_mb - other.memory_mb),
+        )
+
+    def __mul__(self, k: float) -> "ResourceVector":
+        return ResourceVector(self.vcores * k, self.memory_mb * k)
+
+    __rmul__ = __mul__
+
+    def fits_into(self, capacity: "ResourceVector") -> bool:
+        """True when this request can be satisfied from ``capacity``."""
+        return self.vcores <= capacity.vcores and self.memory_mb <= capacity.memory_mb
+
+    def dominant_share(self, capacity: "ResourceVector") -> float:
+        """The DRF dominant share of this usage relative to ``capacity``.
+
+        The dominant share is the maximum, over resource dimensions, of the
+        fraction of the cluster capacity this vector consumes (Ghodsi et al.,
+        NSDI'11).
+        """
+        if capacity.vcores <= 0 or capacity.memory_mb <= 0:
+            raise SpecificationError(f"capacity must be strictly positive: {capacity}")
+        return max(self.vcores / capacity.vcores, self.memory_mb / capacity.memory_mb)
+
+    def max_containers(self, request: "ResourceVector") -> int:
+        """How many containers of size ``request`` fit into this capacity."""
+        if request.vcores <= 0 and request.memory_mb <= 0:
+            raise SpecificationError("container request must be non-zero")
+        limits = []
+        if request.vcores > 0:
+            limits.append(self.vcores / request.vcores)
+        if request.memory_mb > 0:
+            limits.append(self.memory_mb / request.memory_mb)
+        return int(min(limits) + 1e-9)
+
+
+ZERO_VECTOR = ResourceVector(0.0, 0.0)

@@ -1,0 +1,112 @@
+"""Estimating the per-task share ``mu_X(Delta)`` of preemptable resources.
+
+This is the resource-usage half of the BOE model (paper §III-A2): given the
+set of job stages running in the current workflow state and their degrees of
+parallelism, how much disk, network, and CPU bandwidth does *one* task of the
+target stage get?
+
+Under the paper's uniformity assumption:
+
+* tasks spread evenly over the ``W`` workers, so a cluster-wide degree of
+  parallelism ``Delta_i`` puts ``Delta_i / W`` tasks of stage *i* on each
+  node;
+* a saturated resource is split equally among the tasks *using* it — the
+  Table II discussion is explicit that only users count ("the number of
+  parallel tasks to use the bottleneck resource is reduced by a factor of
+  2");
+* CPU is special: a pipelined compute thread can use at most one core, so
+  the per-task CPU share is ``min(1, cores / n_cpu)`` cores (CPU only
+  becomes preemptable once tasks outnumber cores).
+
+:func:`resource_users` counts, per resource, how many tasks per node are
+using it, and :func:`per_task_throughput` converts that into the share one
+task receives.  The optional *refinement* (``utilisation`` weights) supports
+the extended BOE variant: tasks bottlenecked elsewhere only occupy a resource
+at their utilisation ``p_X < 1``, freeing the remainder for others — a
+fixed-point iteration implemented in :mod:`repro.core.boe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import Resource
+from repro.errors import EstimationError
+from repro.mapreduce.phases import SubStageSpec
+
+
+@dataclass(frozen=True)
+class StageLoad:
+    """One job stage competing for resources in the current workflow state.
+
+    Attributes:
+        name: job name (diagnostics only).
+        substage: the sub-stage its tasks are currently executing.
+        delta: cluster-wide degree of parallelism of the stage.
+    """
+
+    name: str
+    substage: SubStageSpec
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise EstimationError(f"delta of {self.name!r} must be >= 0")
+
+    def per_node(self, workers: int) -> float:
+        """Tasks of this stage per node under uniform spreading."""
+        return self.delta / workers
+
+
+def resource_users(
+    loads: Sequence[StageLoad],
+    cluster: Cluster,
+    utilisation: Optional[Mapping[str, Mapping[Resource, float]]] = None,
+) -> Dict[Resource, float]:
+    """Per-node count of tasks using each resource.
+
+    Args:
+        loads: every stage running in the current state (including the
+            target's own).
+        cluster: supplies the worker count for per-node conversion.
+        utilisation: optional ``p_X`` weights per load name from a previous
+            refinement iteration; plain BOE passes None (all users count
+            fully, the paper's formulation).
+    """
+    users: Dict[Resource, float] = {}
+    for load in loads:
+        weight_by_resource: Dict[Resource, float] = {}
+        for op in load.substage.ops:
+            # Several ops of one sub-stage may hit the same resource (e.g.
+            # read + write on DISK); they belong to one task, so the task
+            # counts once per resource.
+            weight_by_resource[op.resource] = 1.0
+        if utilisation is not None and load.name in utilisation:
+            for resource in weight_by_resource:
+                weight_by_resource[resource] = utilisation[load.name].get(resource, 1.0)
+        for resource, weight in weight_by_resource.items():
+            users[resource] = users.get(resource, 0.0) + load.per_node(cluster.workers) * weight
+    return users
+
+
+def per_task_throughput(
+    resource: Resource, users: Mapping[Resource, float], cluster: Cluster
+) -> float:
+    """Throughput one task receives from ``resource``, in the resource's
+    native units per second (MB/s for I/O, cores for CPU).
+
+    The denominator is clamped at 1: when fewer than one task per node uses
+    the resource, a task simply enjoys the full node bandwidth — spreading
+    cannot give it more than one node's worth.
+    """
+    n = max(1.0, users.get(resource, 0.0))
+    if resource is Resource.CPU:
+        return min(1.0, cluster.node.cores / n)
+    return cluster.node.bandwidth(resource) / n
+
+
+def share_fraction(resource: Resource, users: Mapping[Resource, float]) -> float:
+    """The paper's ``mu_X(Delta)`` — the per-task fraction of the resource."""
+    return 1.0 / max(1.0, users.get(resource, 0.0))

@@ -1,0 +1,371 @@
+"""Algorithm 1 — state-based cost estimation for a DAG workflow (§IV).
+
+The estimator walks the workflow through its states.  Per iteration it
+
+1. estimates the degree of parallelism ``Delta_i`` of every running job
+   (scheduler equilibrium, :mod:`repro.core.parallelism`);
+2. obtains each running stage's per-task time distribution from a pluggable
+   :class:`TaskTimeSource` — the BOE model for end-to-end prediction, or
+   measured profiles for the Table III setting ("to eliminate the error of
+   task-level models, we use task execution time profiles");
+3. computes each stage's remaining duration via wave arithmetic
+   (:func:`repro.core.distributions.stage_time`) under the chosen variant
+   (Alg1-Mean / Alg1-Mid / Alg2-Normal);
+4. advances time to the earliest stage completion, updates everyone else's
+   progress, and transitions the workflow (map -> reduce, job completion,
+   DAG children arriving).
+
+``t_dag = sum_s t_stage(s)`` falls out as the sum of state durations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.boe import BOEModel
+from repro.core.distributions import TaskTimeDistribution, Variant, stage_time
+from repro.core.parallelism import RunningStage, estimate_parallelism
+from repro.core.state import DagEstimate, EstimatedState, WorkflowProgress
+from repro.dag.workflow import Workflow
+from repro.errors import EstimationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+
+_EPS = 1e-9
+_MAX_ITERATIONS = 100_000
+
+
+class TaskTimeSource(Protocol):
+    """Supplies per-task time distributions to the workflow estimator."""
+
+    def distribution(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+    ) -> TaskTimeDistribution:
+        """Task-time distribution of (job, kind) at parallelism ``delta``
+        while ``concurrent`` stages share the cluster."""
+        ...  # pragma: no cover - protocol
+
+
+class BOESource:
+    """Task times from the BOE model (fully analytic, no measurements).
+
+    Attributes:
+        model: the BOE model to evaluate.
+        skew_cv: optional coefficient of variation attributed to data skew;
+            task time scales with task input, so a skewed input distribution
+            widens the task-time distribution by roughly the same CV.  Used
+            by the Alg2-Normal variant; 0 keeps the distribution degenerate.
+        include_overhead: add the job's configured per-task startup cost
+            (container launch) to the planned task time.  The overhead is
+            declared configuration, not a measurement, so using it keeps the
+            estimate fully analytic; the Fig. 6 task-level evaluation calls
+            :meth:`BOEModel.task_time` directly and is unaffected.
+    """
+
+    def __init__(
+        self, model: BOEModel, skew_cv: float = 0.0, include_overhead: bool = True
+    ):
+        if skew_cv < 0:
+            raise EstimationError(f"skew CV must be >= 0: {skew_cv}")
+        self._model = model
+        self._skew_cv = skew_cv
+        self._include_overhead = include_overhead
+
+    def distribution(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+    ) -> TaskTimeDistribution:
+        estimate = self._model.task_time(job, kind, delta, concurrent)
+        value = estimate.duration
+        if self._include_overhead:
+            value += job.config.task_overhead_s
+        return TaskTimeDistribution(
+            mean=value, median=value, std=value * self._skew_cv, n=0
+        )
+
+
+class ScaledSource:
+    """Wrap a task-time source with a multiplicative correction factor.
+
+    The prime use is fault tolerance: under a task-attempt failure rate the
+    expected work per task grows by
+    :meth:`repro.simulator.failures.FailureModel.expected_work_factor`, and
+    Algorithm 1 stays unchanged — only the per-task time stretches.
+
+    Example::
+
+        failures = FailureModel(probability=0.05)
+        source = ScaledSource(BOESource(model), failures.expected_work_factor())
+    """
+
+    def __init__(self, inner: TaskTimeSource, factor: float):
+        if factor <= 0:
+            raise EstimationError(f"scale factor must be positive: {factor}")
+        self._inner = inner
+        self._factor = factor
+
+    def distribution(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+    ) -> TaskTimeDistribution:
+        return self._inner.distribution(job, kind, delta, concurrent).scaled(
+            self._factor
+        )
+
+
+@dataclass
+class _StageProgress:
+    job: MapReduceJob
+    kind: StageKind
+    remaining: float  # task-equivalents of work left (fractional mid-flight)
+    total: float  # task count of the stage
+    t_start: float
+    prev_delta: float = 0.0  # parallelism granted in the previous state
+
+
+class DagEstimator:
+    """State-based DAG workflow cost estimator (Algorithm 1)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        source: TaskTimeSource,
+        variant: Variant = Variant.MEAN,
+        policy: str = "drf",
+        enforce_vcores: bool = False,
+    ):
+        self._cluster = cluster
+        self._source = source
+        self._variant = variant
+        self._policy = policy
+        self._enforce_vcores = enforce_vcores
+
+    def _whole_stage_time(
+        self,
+        progress: _StageProgress,
+        delta: float,
+        dist: TaskTimeDistribution,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+    ) -> float:
+        """Whole-stage duration with a wave-aware final correction.
+
+        A stage whose task count is not a multiple of its parallelism runs a
+        ragged final wave at *lower* parallelism — and for contention-driven
+        task times (the BOE source) those final tasks are genuinely faster.
+        The final wave is therefore re-priced at its own parallelism;
+        sources that ignore ``delta`` (measured profiles) are unaffected.
+        """
+        from repro.core.distributions import wave_sizes
+
+        waves = wave_sizes(progress.total, delta)
+        per_wave = max(1, int(delta + 1e-9))
+        if len(waves) < 2 or waves[-1] >= per_wave:
+            return stage_time(progress.total, delta, dist, self._variant)
+        last_dist = self._source.distribution(
+            progress.job, progress.kind, float(waves[-1]), concurrent
+        )
+        if self._variant is Variant.NORMAL:
+            body = (progress.total - waves[-1]) / per_wave * dist.mean
+            return body + last_dist.expected_wave_max(waves[-1])
+        return (len(waves) - 1) * dist.statistic(self._variant) + last_dist.statistic(
+            self._variant
+        )
+
+    def estimate(
+        self,
+        workflow: Workflow,
+        initial: Optional[WorkflowProgress] = None,
+    ) -> DagEstimate:
+        """Estimate the execution plan and total time of ``workflow``.
+
+        With ``initial`` the estimate resumes from a mid-execution snapshot
+        and ``total_time`` becomes the *remaining* time — the progress-
+        estimation application (see :mod:`repro.progress`).
+        """
+        t_wall = time.perf_counter()
+        running: Dict[str, _StageProgress] = {}
+        done: Set[str] = set()
+        arrival: Dict[str, int] = {}
+        now = 0.0
+        states: List[EstimatedState] = []
+        spans: Dict[Tuple[str, StageKind], Tuple[float, float]] = {}
+
+        def start_stage(
+            name: str, kind: StageKind, remaining: Optional[float] = None
+        ) -> None:
+            job = workflow.job(name)
+            # FIFO/fair policies serve jobs by arrival; a job keeps its slot
+            # in that order across its own map -> reduce transition.
+            arrival.setdefault(name, len(arrival))
+            tasks = float(job.num_tasks(kind))
+            resumed_mid_flight = remaining is not None and remaining < tasks
+            running[name] = _StageProgress(
+                job=job,
+                kind=kind,
+                remaining=tasks if remaining is None else min(remaining, tasks),
+                total=tasks,
+                t_start=now,
+                # A stage resumed mid-flight may have up to a full slot grant
+                # of tasks already running; seed the demand cap accordingly
+                # (the scheduler clamps it to the actual slots).
+                prev_delta=tasks if resumed_mid_flight else 0.0,
+            )
+
+        if initial is None:
+            for name in workflow.roots():
+                start_stage(name, StageKind.MAP)
+        else:
+            done = set(initial.completed_jobs)
+            for name, (kind, remaining) in initial.running.items():
+                start_stage(name, kind, remaining=remaining)
+            # Jobs whose parents all finished before the snapshot but which
+            # the snapshot does not list are about to launch their maps.
+            for job_spec in workflow.jobs:
+                name = job_spec.name
+                if name in done or name in running:
+                    continue
+                parents = workflow.parents(name)
+                if parents and all(p in done for p in parents):
+                    start_stage(name, StageKind.MAP)
+                elif not parents:
+                    start_stage(name, StageKind.MAP)
+
+        iterations = 0
+        while running:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise EstimationError(
+                    f"estimator did not converge on {workflow.name!r}"
+                )
+
+            # The scheduler demand cap is the number of *not yet completed*
+            # tasks.  Fluid work accounting cannot distinguish "W task
+            # equivalents pending" from "W spread as partial progress over a
+            # full wave in flight", so we bound it from above: the tasks in
+            # flight (at most the previous state's parallelism) plus the
+            # pending work.  Under-capping here would starve a single-wave
+            # stage whose tasks all stay in flight to the very end.
+            stage_list = [
+                RunningStage(
+                    p.job,
+                    p.kind,
+                    min(p.total, math.ceil(p.remaining + p.prev_delta)),
+                )
+                for _, p in sorted(
+                    running.items(), key=lambda item: arrival[item[0]]
+                )
+            ]
+            deltas = estimate_parallelism(
+                stage_list,
+                self._cluster,
+                policy=self._policy,
+                enforce_vcores=self._enforce_vcores,
+            )
+
+            dists: Dict[str, TaskTimeDistribution] = {}
+            rests: Dict[str, float] = {}
+            for name, progress in running.items():
+                delta = max(deltas.get(name, 0.0), _EPS)
+                concurrent = [
+                    (other.job, other.kind, max(deltas.get(other_name, 0.0), _EPS))
+                    for other_name, other in running.items()
+                    if other_name != name
+                ]
+                dist = self._source.distribution(
+                    progress.job, progress.kind, delta, concurrent
+                )
+                dists[name] = dist
+                progress.prev_delta = delta
+                # Wave-quantized duration of the whole stage at the current
+                # parallelism, scaled by the fraction of work left.  The
+                # scaling (rather than re-quantizing the remaining task
+                # count into waves) keeps in-flight partial progress: a wave
+                # two-thirds done has one third of a wave left, not a whole
+                # fresh wave.
+                whole = self._whole_stage_time(
+                    progress, delta, dist, concurrent
+                )
+                rests[name] = whole * (progress.remaining / progress.total)
+
+            dt = min(rests.values())
+            finishing = {name for name, rest in rests.items() if rest <= dt + _EPS}
+
+            states.append(
+                EstimatedState(
+                    index=len(states) + 1,
+                    t_start=now,
+                    t_end=now + dt,
+                    running=frozenset(
+                        (p.job.name, p.kind) for p in running.values()
+                    ),
+                    deltas={n: deltas.get(n, 0.0) for n in running},
+                    task_times={
+                        (p.job.name, p.kind): dists[n].statistic(self._variant)
+                        for n, p in running.items()
+                    },
+                )
+            )
+            now += dt
+
+            # Progress everyone; transition the finishers.
+            for name in list(running):
+                progress = running[name]
+                if name in finishing:
+                    spans[(name, progress.kind)] = (progress.t_start, now)
+                    del running[name]
+                    if progress.kind is StageKind.MAP and not progress.job.is_map_only:
+                        start_stage(name, StageKind.REDUCE)
+                    else:
+                        done.add(name)
+                        for child in sorted(workflow.children(name)):
+                            if child in done or child in running:
+                                continue
+                            parents = workflow.parents(child)
+                            if all(p in done for p in parents):
+                                start_stage(child, StageKind.MAP)
+                    continue
+                # Work accrued during dt at this stage's current rate
+                # (task-equivalents per second = total / whole-stage time).
+                if rests[name] > _EPS:
+                    rate = progress.remaining / rests[name]
+                    progress.remaining = max(0.0, progress.remaining - dt * rate)
+
+        total = now
+        overhead = time.perf_counter() - t_wall
+        return DagEstimate(
+            workflow_name=workflow.name,
+            total_time=total,
+            states=states,
+            stage_spans=spans,
+            variant=self._variant.value,
+            model_overhead_s=overhead,
+        )
+
+
+def estimate_workflow(
+    workflow: Workflow,
+    cluster: Cluster,
+    source: Optional[TaskTimeSource] = None,
+    variant: Variant = Variant.MEAN,
+    policy: str = "drf",
+) -> DagEstimate:
+    """Convenience wrapper: BOE-sourced state-based estimate of a workflow."""
+    if source is None:
+        source = BOESource(BOEModel(cluster))
+    return DagEstimator(cluster, source, variant=variant, policy=policy).estimate(
+        workflow
+    )

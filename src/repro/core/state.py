@@ -1,0 +1,111 @@
+"""Workflow states as seen by the estimator (paper §IV-A1, Fig. 5).
+
+A *state* is a maximal interval during which the set of running (job, stage)
+pairs — and therefore every job's degree of parallelism and the allocation of
+preemptable resources — is fixed.  The estimator emits one
+:class:`EstimatedState` per Algorithm 1 iteration; they concatenate into the
+estimated execution plan, directly comparable with the simulator's
+:class:`~repro.simulator.trace.StateTrace` sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import EstimationError
+from repro.mapreduce.stage import StageKind
+
+
+@dataclass(frozen=True)
+class WorkflowProgress:
+    """A mid-execution snapshot Algorithm 1 can resume estimation from.
+
+    Used by the progress-estimation application (§I's ParaTimer-style use
+    case): given what has already happened, estimate the *remaining* time.
+
+    Attributes:
+        completed_jobs: jobs whose final stage has finished.
+        running: job name -> (current stage kind, remaining work in
+            task-equivalents).  A fresh stage's remaining work equals its
+            task count; in-flight partial progress subtracts fractionally.
+    """
+
+    completed_jobs: FrozenSet[str]
+    running: Dict[str, Tuple[StageKind, float]]
+
+    def __post_init__(self) -> None:
+        for name, (kind, remaining) in self.running.items():
+            if remaining < 0:
+                raise EstimationError(
+                    f"remaining work of {name!r} must be >= 0: {remaining}"
+                )
+        overlap = self.completed_jobs & set(self.running)
+        if overlap:
+            raise EstimationError(
+                f"jobs cannot be both completed and running: {sorted(overlap)}"
+            )
+
+
+@dataclass(frozen=True)
+class EstimatedState:
+    """One state of the estimated execution plan.
+
+    Attributes:
+        index: 1-based state number.
+        t_start, t_end: estimated boundaries (s).
+        running: the (job name, stage kind) pairs active in the state.
+        deltas: estimated degree of parallelism per job name.
+        task_times: estimated per-task time per (job name, stage kind).
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    running: FrozenSet[Tuple[str, StageKind]]
+    deltas: Dict[str, float]
+    task_times: Dict[Tuple[str, StageKind], float]
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class DagEstimate:
+    """Full output of the state-based workflow estimator.
+
+    Attributes:
+        workflow_name: which workflow was estimated.
+        total_time: estimated end-to-end execution time ``t_dag``.
+        states: the estimated execution plan, one entry per state.
+        stage_spans: estimated (start, end) per (job name, stage kind).
+        variant: which per-task statistic was planned with.
+        model_overhead_s: wall-clock cost of computing this estimate (the
+            §V "execution time" metric — must stay well under a second).
+    """
+
+    workflow_name: str
+    total_time: float
+    states: List[EstimatedState] = field(default_factory=list)
+    stage_spans: Dict[Tuple[str, StageKind], Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    variant: str = "mean"
+    model_overhead_s: float = 0.0
+
+    def stage_duration(self, job: str, kind: StageKind) -> float:
+        try:
+            t0, t1 = self.stage_spans[(job, kind)]
+        except KeyError:
+            raise EstimationError(f"no estimated span for {job!r}/{kind}") from None
+        return t1 - t0
+
+    def job_span(self, job: str) -> Tuple[float, float]:
+        spans = [v for (name, _), v in self.stage_spans.items() if name == job]
+        if not spans:
+            raise EstimationError(f"no estimated spans for job {job!r}")
+        return min(t0 for t0, _ in spans), max(t1 for _, t1 in spans)
+
+    def state_durations(self) -> List[float]:
+        return [s.duration for s in self.states]

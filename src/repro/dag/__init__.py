@@ -1,0 +1,25 @@
+"""DAG workflow substrate (paper Definition 1)."""
+
+from repro.dag.analysis import (
+    critical_path_weight,
+    level_groups,
+    levels,
+    max_concurrency,
+    serial_stage_count,
+)
+from repro.dag.builder import WorkflowBuilder, chain, parallel, sequence
+from repro.dag.workflow import Workflow, single_job_workflow
+
+__all__ = [
+    "Workflow",
+    "WorkflowBuilder",
+    "chain",
+    "critical_path_weight",
+    "level_groups",
+    "levels",
+    "max_concurrency",
+    "parallel",
+    "sequence",
+    "serial_stage_count",
+    "single_job_workflow",
+]

@@ -1,0 +1,69 @@
+"""Structural analysis of workflows.
+
+These helpers support the experiments (e.g. counting the states a workflow
+will pass through, as the paper does for Q21: "9 MapReduce jobs, which leads
+to 18 stages when run in parallel with the WC job") and the ParaTimer-style
+critical-path reasoning we compare against in the ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dag.workflow import Workflow
+from repro.mapreduce.stage import StageKind
+
+
+def levels(workflow: Workflow) -> Dict[str, int]:
+    """Longest-path depth of each job (roots are level 0)."""
+    depth: Dict[str, int] = {}
+    for name in workflow.topological_order():
+        parents = workflow.parents(name)
+        depth[name] = 0 if not parents else 1 + max(depth[p] for p in parents)
+    return depth
+
+
+def level_groups(workflow: Workflow) -> List[List[str]]:
+    """Jobs grouped by level, each group internally in declaration order."""
+    depth = levels(workflow)
+    max_level = max(depth.values())
+    groups: List[List[str]] = [[] for _ in range(max_level + 1)]
+    for job in workflow.jobs:
+        groups[depth[job.name]].append(job.name)
+    return groups
+
+
+def max_concurrency(workflow: Workflow) -> int:
+    """Upper bound on simultaneously runnable jobs (widest level)."""
+    return max(len(group) for group in level_groups(workflow))
+
+
+def serial_stage_count(workflow: Workflow) -> int:
+    """Total map/reduce stages — an upper bound on the state count when the
+    workflow runs alone and jobs never overlap."""
+    return workflow.num_stages
+
+
+def critical_path_weight(workflow: Workflow, weight: Dict[str, float]) -> Tuple[float, List[str]]:
+    """Heaviest root-to-sink path under per-job ``weight`` (e.g. estimated
+    standalone durations).  Returns (total weight, path job names).
+
+    This is the ParaTimer-flavoured estimate used as an ablation baseline: it
+    ignores resource contention between parallel branches entirely.
+    """
+    best: Dict[str, float] = {}
+    via: Dict[str, str] = {}
+    for name in workflow.topological_order():
+        parents = workflow.parents(name)
+        incoming = 0.0
+        if parents:
+            parent = max(parents, key=lambda p: best[p])
+            incoming = best[parent]
+            via[name] = parent
+        best[name] = incoming + weight[name]
+    end = max(best, key=lambda n: best[n])
+    path = [end]
+    while path[-1] in via:
+        path.append(via[path[-1]])
+    path.reverse()
+    return best[end], path

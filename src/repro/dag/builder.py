@@ -1,0 +1,124 @@
+"""Fluent construction and composition of workflows.
+
+Two composition operators cover everything the evaluation needs:
+
+* :func:`chain` — run jobs serially (each depends on its predecessor), the
+  shape of an iterative algorithm (KMeans, PageRank) or a multi-job query;
+* :func:`parallel` — run whole workflows side by side with no cross arcs,
+  the shape of the paper's *hybrid* workloads (Table II/III: ``WC+TS``,
+  ``WC-Q5`` etc.), which is where preemptable-resource contention appears.
+
+Job names are prefixed with the originating workflow's name on composition so
+the combined name space stays collision-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import WorkflowError
+from repro.mapreduce.job import MapReduceJob
+from repro.dag.workflow import Workflow
+
+
+class WorkflowBuilder:
+    """Incremental workflow construction.
+
+    Example::
+
+        wf = (
+            WorkflowBuilder("weblog")
+            .add(j1)
+            .add(j2, after=["j1"])
+            .add(j3, after=["j1"])
+            .add(j4, after=["j2", "j3"])
+            .build()
+        )
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise WorkflowError("workflow name must be non-empty")
+        self._name = name
+        self._jobs: List[MapReduceJob] = []
+        self._edges: Set[Tuple[str, str]] = set()
+
+    def add(self, job: MapReduceJob, after: Sequence[str] = ()) -> "WorkflowBuilder":
+        """Add ``job``, depending on the already-added jobs named in ``after``."""
+        existing = {j.name for j in self._jobs}
+        if job.name in existing:
+            raise WorkflowError(f"job {job.name!r} already in builder {self._name!r}")
+        for parent in after:
+            if parent not in existing:
+                raise WorkflowError(
+                    f"dependency {parent!r} of {job.name!r} not yet added"
+                )
+            self._edges.add((parent, job.name))
+        self._jobs.append(job)
+        return self
+
+    def build(self) -> Workflow:
+        return Workflow(
+            name=self._name, jobs=tuple(self._jobs), edges=frozenset(self._edges)
+        )
+
+
+def chain(name: str, jobs: Sequence[MapReduceJob]) -> Workflow:
+    """A serial pipeline: each job waits for the previous one."""
+    if not jobs:
+        raise WorkflowError(f"chain {name!r} needs at least one job")
+    builder = WorkflowBuilder(name)
+    previous: List[str] = []
+    for job in jobs:
+        builder.add(job, after=previous)
+        previous = [job.name]
+    return builder.build()
+
+
+def _prefixed(workflow: Workflow, prefix: str) -> Tuple[List[MapReduceJob], Set[Tuple[str, str]]]:
+    rename = {j.name: f"{prefix}.{j.name}" for j in workflow.jobs}
+    jobs = [j.renamed(rename[j.name]) for j in workflow.jobs]
+    edges = {(rename[p], rename[c]) for p, c in workflow.edges}
+    return jobs, edges
+
+
+def parallel(name: str, workflows: Sequence[Workflow]) -> Workflow:
+    """Run several workflows side by side (the paper's hybrid workloads).
+
+    No arcs are added between the constituents: their jobs compete for the
+    cluster from time zero, which is precisely the contention scenario the
+    BOE model targets.
+    """
+    if not workflows:
+        raise WorkflowError(f"parallel composition {name!r} needs at least one workflow")
+    seen: Set[str] = set()
+    for wf in workflows:
+        if wf.name in seen:
+            raise WorkflowError(f"duplicate constituent name {wf.name!r} in {name!r}")
+        seen.add(wf.name)
+    jobs: List[MapReduceJob] = []
+    edges: Set[Tuple[str, str]] = set()
+    for wf in workflows:
+        wf_jobs, wf_edges = _prefixed(wf, wf.name)
+        jobs.extend(wf_jobs)
+        edges |= wf_edges
+    return Workflow(name=name, jobs=tuple(jobs), edges=frozenset(edges))
+
+
+def sequence(name: str, workflows: Sequence[Workflow]) -> Workflow:
+    """Concatenate workflows: every sink of one precedes every root of the next."""
+    if not workflows:
+        raise WorkflowError(f"sequence {name!r} needs at least one workflow")
+    jobs: List[MapReduceJob] = []
+    edges: Set[Tuple[str, str]] = set()
+    prev_sinks: List[str] = []
+    for wf in workflows:
+        wf_jobs, wf_edges = _prefixed(wf, wf.name)
+        jobs.extend(wf_jobs)
+        edges |= wf_edges
+        roots = [f"{wf.name}.{r}" for r in wf.roots()]
+        for sink in prev_sinks:
+            for root in roots:
+                edges.add((sink, root))
+        prev_sinks = [f"{wf.name}.{s}" for s in wf.sinks()]
+    return Workflow(name=name, jobs=tuple(jobs), edges=frozenset(edges))

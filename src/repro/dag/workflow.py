@@ -1,0 +1,129 @@
+"""DAG workflow model (paper Definition 1).
+
+A workflow is a set of jobs connected by precedence arcs: ``(a, b)`` means
+job ``b`` may start only when job ``a`` has completed.  Jobs with no pending
+parents run simultaneously, which is exactly what makes cost estimation hard
+(preemptable resources are shared among them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import WorkflowError
+from repro.mapreduce.job import MapReduceJob
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """A DAG workflow ``G_F(J, E)``.
+
+    Attributes:
+        name: workflow label used in reports (e.g. ``"WC-Q5"``).
+        jobs: the jobs, keyed by unique name.
+        edges: precedence arcs as (parent_name, child_name) pairs.
+    """
+
+    name: str
+    jobs: Tuple[MapReduceJob, ...]
+    edges: FrozenSet[Tuple[str, str]] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("workflow name must be non-empty")
+        if not self.jobs:
+            raise WorkflowError(f"workflow {self.name!r} has no jobs")
+        names = [j.name for j in self.jobs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise WorkflowError(f"duplicate job names in {self.name!r}: {dupes}")
+        known = set(names)
+        for parent, child in self.edges:
+            if parent not in known or child not in known:
+                raise WorkflowError(
+                    f"edge ({parent!r}, {child!r}) references unknown job in {self.name!r}"
+                )
+            if parent == child:
+                raise WorkflowError(f"self-loop on {parent!r} in {self.name!r}")
+        # Reject cycles up-front (Definition 1 requires acyclicity).
+        self.topological_order()
+
+    # -- structure queries -----------------------------------------------------
+
+    @property
+    def job_map(self) -> Dict[str, MapReduceJob]:
+        return {j.name: j for j in self.jobs}
+
+    def job(self, name: str) -> MapReduceJob:
+        try:
+            return self.job_map[name]
+        except KeyError:
+            raise WorkflowError(f"no job {name!r} in workflow {self.name!r}") from None
+
+    def parents(self, name: str) -> Set[str]:
+        """Names of jobs that must complete before ``name`` starts."""
+        return {p for p, c in self.edges if c == name}
+
+    def children(self, name: str) -> Set[str]:
+        """Names of jobs unlocked (partially) by ``name``'s completion."""
+        return {c for p, c in self.edges if p == name}
+
+    def roots(self) -> List[str]:
+        """Jobs with no parents — they all start at time zero."""
+        have_parents = {c for _, c in self.edges}
+        return [j.name for j in self.jobs if j.name not in have_parents]
+
+    def sinks(self) -> List[str]:
+        """Jobs with no children — the workflow ends when the last finishes."""
+        have_children = {p for p, _ in self.edges}
+        return [j.name for j in self.jobs if j.name not in have_children]
+
+    def topological_order(self) -> List[str]:
+        """Kahn topological order; raises :class:`WorkflowError` on a cycle.
+
+        Ties are broken by job declaration order so the result is
+        deterministic.
+        """
+        order_index = {j.name: i for i, j in enumerate(self.jobs)}
+        indegree = {j.name: 0 for j in self.jobs}
+        for _, child in self.edges:
+            indegree[child] += 1
+        ready = sorted(
+            (n for n, d in indegree.items() if d == 0), key=order_index.__getitem__
+        )
+        out: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            out.append(node)
+            for child in sorted(self.children(node), key=order_index.__getitem__):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+            ready.sort(key=order_index.__getitem__)
+        if len(out) != len(self.jobs):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise WorkflowError(f"cycle detected in {self.name!r} involving {stuck}")
+        return out
+
+    # -- aggregate stats -------------------------------------------------------
+
+    @property
+    def total_input_mb(self) -> float:
+        return sum(j.input_mb for j in self.jobs)
+
+    @property
+    def num_stages(self) -> int:
+        """Total schedulable stages across all jobs (map + reduce each)."""
+        return sum(len(j.stages()) for j in self.jobs)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.jobs)} jobs, {len(self.edges)} edges, "
+            f"{self.num_stages} stages, input {self.total_input_mb:.0f} MB"
+        )
+
+
+def single_job_workflow(job: MapReduceJob, name: str = "") -> Workflow:
+    """Wrap one job as a trivial workflow (used all over the evaluation)."""
+    return Workflow(name=name or job.name, jobs=(job,), edges=frozenset())

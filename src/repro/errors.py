@@ -1,0 +1,53 @@
+"""Exception hierarchy for the library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers embedding the models inside larger systems can
+catch one type at the integration boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SpecificationError(ReproError):
+    """A cluster, job, or workflow specification is invalid.
+
+    Raised at construction time (fail fast) rather than when the broken value
+    is eventually consumed by a model or the simulator.
+    """
+
+
+class WorkflowError(SpecificationError):
+    """A DAG workflow violates Definition 1 (cycle, dangling edge, ...)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler cannot produce a feasible allocation.
+
+    Typical cause: a single container request exceeds the capacity of every
+    node in the cluster, so the job can never run.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This always indicates a bug in the engine (e.g. a flow with zero rate but
+    remaining work and no pending event) and is raised instead of looping
+    forever.
+    """
+
+
+class EstimationError(ReproError):
+    """A cost model cannot produce an estimate from the inputs it was given.
+
+    For example: asking for a profile-driven estimate when the profile lacks
+    the needed stage, or estimating a workflow whose jobs have no tasks.
+    """
+
+
+class ProfileError(ReproError):
+    """A job profile is missing, malformed, or incompatible."""

@@ -1,0 +1,68 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation."""
+
+from repro.experiments.common import (
+    at_parallelism,
+    single_wave_reducers,
+    with_tasks_per_node,
+)
+from repro.experiments.fig1 import Fig1Row, run_fig1
+from repro.experiments.fig4 import EXPECTED as FIG4_EXPECTED
+from repro.experiments.fig4 import Fig4Row, fig4_cluster, fig4_substage, run_fig4
+from repro.experiments.fig6 import Fig6Panel, Fig6Point, run_fig6
+from repro.experiments.overhead import OverheadRow, run_overhead
+from repro.experiments.table1 import Table1Row, identify_bottlenecks, run_table1
+from repro.experiments.table2 import Table2Cell, average_accuracy, run_table2
+from repro.experiments.table3 import (
+    Table3Row,
+    VARIANT_LABELS,
+    VARIANTS,
+    evaluate_workflow,
+    run_table3,
+    summarise_variant,
+)
+from repro.experiments.ablations import (
+    RefineCell,
+    SkewAblationRow,
+    StateAblationRow,
+    critical_path_estimate,
+    run_refine_ablation,
+    run_skew_ablation,
+    run_state_ablation,
+)
+
+__all__ = [
+    "FIG4_EXPECTED",
+    "Fig1Row",
+    "Fig4Row",
+    "Fig6Panel",
+    "Fig6Point",
+    "OverheadRow",
+    "RefineCell",
+    "SkewAblationRow",
+    "StateAblationRow",
+    "Table1Row",
+    "Table2Cell",
+    "Table3Row",
+    "VARIANTS",
+    "VARIANT_LABELS",
+    "at_parallelism",
+    "average_accuracy",
+    "critical_path_estimate",
+    "evaluate_workflow",
+    "fig4_cluster",
+    "fig4_substage",
+    "identify_bottlenecks",
+    "run_fig1",
+    "run_fig4",
+    "run_fig6",
+    "run_overhead",
+    "run_refine_ablation",
+    "run_skew_ablation",
+    "run_state_ablation",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "single_wave_reducers",
+    "summarise_variant",
+    "with_tasks_per_node",
+]

@@ -1,0 +1,211 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+Three questions, each answered by an experiment the benches print:
+
+1. **Refined vs plain BOE** — does redistributing non-bottleneck slack
+   (the ``refine=True`` fixed point) improve task-time estimates in
+   contended states?  Plain BOE is the paper's published model.
+2. **State-based vs critical path** — does iterating workflow states
+   (Algorithm 1) beat a ParaTimer-flavoured critical-path sum of standalone
+   job estimates that ignores cross-job contention?
+3. **Variant under skew** — how do Alg1-Mean / Alg1-Mid / Alg2-Normal rank
+   as data skew grows (the paper's closing "skew-aware" claim)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.accuracy import accuracy
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.core.boe import BOEModel
+from repro.core.distributions import Variant
+from repro.core.estimator import BOESource, DagEstimator
+from repro.dag.analysis import critical_path_weight
+from repro.dag.workflow import Workflow, single_job_workflow
+from repro.mapreduce.stage import StageKind
+from repro.mapreduce.task import SkewModel
+from repro.profiling.profiler import ProfileSource, profile_workflow
+from repro.simulator.engine import SimulationConfig, simulate
+from repro.simulator.metrics import (
+    median_task_time_in_state,
+    observed_parallelism,
+)
+from repro.units import gb
+from repro.workloads.hybrid import hybrid, micro_workflow
+
+
+# -- 1. refined vs plain BOE ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RefineCell:
+    """Task-level accuracy of both BOE modes for one contended stage."""
+
+    state_index: int
+    job: str
+    kind: StageKind
+    measured_s: float
+    plain_s: float
+    refined_s: float
+
+    @property
+    def plain_accuracy(self) -> float:
+        return accuracy(self.plain_s, self.measured_s)
+
+    @property
+    def refined_accuracy(self) -> float:
+        return accuracy(self.refined_s, self.measured_s)
+
+
+def run_refine_ablation(
+    cluster: Optional[Cluster] = None,
+    scale: float = 0.2,
+    skew_sigma: float = 0.1,
+) -> List[RefineCell]:
+    """Score plain and refined BOE on the contended states of WC+TS."""
+    cluster = cluster or paper_cluster()
+    workflow = hybrid(
+        "WC+TS",
+        micro_workflow("wc", gb(100) * scale),
+        micro_workflow("ts", gb(100) * scale),
+    )
+    result = simulate(
+        workflow, cluster, SimulationConfig(skew=SkewModel(sigma=skew_sigma))
+    )
+    plain = BOEModel(cluster, refine=False)
+    refined = BOEModel(cluster, refine=True)
+    cells: List[RefineCell] = []
+    for state in result.states:
+        if len(state.running) < 2 or state.duration < 2.0:
+            continue
+        mid = 0.5 * (state.t_start + state.t_end)
+        observed = {}
+        for job_name, kind in sorted(state.running):
+            delta = float(observed_parallelism(result, job_name, kind, mid))
+            if delta > 0:
+                observed[job_name] = (kind, delta)
+        for job_name, (kind, delta) in observed.items():
+            measured = median_task_time_in_state(result, state, job_name, kind)
+            if measured is None:
+                continue
+            concurrent = [
+                (workflow.job(o), ok, od)
+                for o, (ok, od) in observed.items()
+                if o != job_name
+            ]
+            job = workflow.job(job_name)
+            cells.append(
+                RefineCell(
+                    state_index=state.index,
+                    job=job_name.split(".")[-1],
+                    kind=kind,
+                    measured_s=measured,
+                    plain_s=plain.task_time(job, kind, delta, concurrent).duration,
+                    refined_s=refined.task_time(job, kind, delta, concurrent).duration,
+                )
+            )
+    return cells
+
+
+# -- 2. state-based vs critical path ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateAblationRow:
+    """End-to-end accuracy of Algorithm 1 vs a critical-path estimate."""
+
+    workflow: str
+    simulated_s: float
+    state_based_s: float
+    critical_path_s: float
+
+    @property
+    def state_based_accuracy(self) -> float:
+        return accuracy(self.state_based_s, self.simulated_s)
+
+    @property
+    def critical_path_accuracy(self) -> float:
+        return accuracy(self.critical_path_s, self.simulated_s)
+
+
+def critical_path_estimate(workflow: Workflow, cluster: Cluster) -> float:
+    """ParaTimer-style: per-job standalone estimates summed along the
+    heaviest path — no cross-job resource contention modelled."""
+    estimator = DagEstimator(cluster, BOESource(BOEModel(cluster)))
+    weights: Dict[str, float] = {}
+    for job in workflow.jobs:
+        standalone = estimator.estimate(single_job_workflow(job))
+        weights[job.name] = standalone.total_time
+    total, _ = critical_path_weight(workflow, weights)
+    return total
+
+
+def run_state_ablation(
+    workflows: Sequence[Workflow],
+    cluster: Optional[Cluster] = None,
+    skew_sigma: float = 0.2,
+) -> List[StateAblationRow]:
+    """Compare the two workflow-level approaches over given workflows."""
+    cluster = cluster or paper_cluster()
+    estimator = DagEstimator(cluster, BOESource(BOEModel(cluster)))
+    rows: List[StateAblationRow] = []
+    for workflow in workflows:
+        result = simulate(
+            workflow, cluster, SimulationConfig(skew=SkewModel(sigma=skew_sigma))
+        )
+        rows.append(
+            StateAblationRow(
+                workflow=workflow.name,
+                simulated_s=result.makespan,
+                state_based_s=estimator.estimate(workflow).total_time,
+                critical_path_s=critical_path_estimate(workflow, cluster),
+            )
+        )
+    return rows
+
+
+# -- 3. estimator variant under skew ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SkewAblationRow:
+    """Accuracy of each variant at one skew level."""
+
+    sigma: float
+    simulated_s: float
+    accuracies: Dict[Variant, float]
+
+
+def run_skew_ablation(
+    workflow_factory,
+    sigmas: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
+    cluster: Optional[Cluster] = None,
+) -> List[SkewAblationRow]:
+    """Sweep data skew and score the three Table III variants.
+
+    ``workflow_factory`` builds a fresh workflow per run (factories, not
+    instances, so each sigma gets identical structure).
+    """
+    cluster = cluster or paper_cluster()
+    rows: List[SkewAblationRow] = []
+    for sigma in sigmas:
+        workflow = workflow_factory()
+        result = simulate(
+            workflow, cluster, SimulationConfig(skew=SkewModel(sigma=sigma))
+        )
+        profiles = profile_workflow(workflow, cluster, result=result)
+        source = ProfileSource(profiles)
+        accuracies: Dict[Variant, float] = {}
+        for variant in (Variant.MEAN, Variant.MEDIAN, Variant.NORMAL):
+            estimate = DagEstimator(cluster, source, variant=variant).estimate(
+                workflow
+            )
+            accuracies[variant] = accuracy(estimate.total_time, result.makespan)
+        rows.append(
+            SkewAblationRow(
+                sigma=sigma, simulated_s=result.makespan, accuracies=accuracies
+            )
+        )
+    return rows

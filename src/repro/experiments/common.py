@@ -1,0 +1,50 @@
+"""Shared plumbing for the experiment drivers.
+
+The paper's Fig. 6 sweeps "the degree of parallelism" from 1 to 12 *per
+node* (the CPU saturates at the 6-core mark).  On a stock YARN deployment
+that knob is the container memory size: a node admits
+``floor(node_memory / container_memory)`` tasks.  :func:`with_tasks_per_node`
+performs that translation so experiments can speak in tasks-per-node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import ResourceVector
+from repro.errors import SpecificationError
+from repro.mapreduce.job import MapReduceJob
+
+
+def with_tasks_per_node(
+    job: MapReduceJob, cluster: Cluster, tasks_per_node: int
+) -> MapReduceJob:
+    """Re-size the job's containers so each node admits exactly
+    ``tasks_per_node`` of them (memory-based admission)."""
+    if tasks_per_node < 1:
+        raise SpecificationError(
+            f"tasks per node must be >= 1, got {tasks_per_node}"
+        )
+    memory = cluster.node.memory_mb / tasks_per_node
+    container = ResourceVector(1.0, memory)
+    return job.with_config(map_container=container, reduce_container=container)
+
+
+def single_wave_reducers(cluster: Cluster, tasks_per_node: int) -> int:
+    """Reducer count that exactly fills the cluster at the given parallelism
+    (so the whole reduce stage runs as one wave at that parallelism)."""
+    return tasks_per_node * cluster.workers
+
+
+def at_parallelism(
+    job: MapReduceJob, cluster: Cluster, tasks_per_node: int
+) -> MapReduceJob:
+    """The job configured to run both stages at exactly ``tasks_per_node``:
+    containers sized for that admission and reducers filling one wave."""
+    from dataclasses import replace
+
+    sized = with_tasks_per_node(job, cluster, tasks_per_node)
+    return replace(
+        sized, num_reducers=single_wave_reducers(cluster, tasks_per_node)
+    )

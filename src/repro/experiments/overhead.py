@@ -1,0 +1,56 @@
+"""§V-C "Execution time" — the cost of computing an estimate.
+
+The paper's closing evaluation point: computing the state-based estimate
+takes under one second per DAG workflow, cheap enough for runtime use
+(query re-writing, self-tuning).  This driver measures the wall-clock
+overhead of Algorithm 1 for a set of workflows, using the BOE source so the
+measurement includes the task-level model's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.core.boe import BOEModel
+from repro.core.distributions import Variant
+from repro.core.estimator import BOESource, DagEstimator
+from repro.workloads.hybrid import table3_workflows
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Estimation cost for one workflow."""
+
+    workflow: str
+    jobs: int
+    states: int
+    overhead_s: float
+    estimate_s: float
+
+
+def run_overhead(
+    cluster: Optional[Cluster] = None,
+    scale: float = 0.05,
+    names: Optional[Sequence[str]] = None,
+) -> List[OverheadRow]:
+    """Measure pure estimation overhead (no simulation in the loop)."""
+    cluster = cluster or paper_cluster()
+    workflows = table3_workflows(scale=scale)
+    if names is not None:
+        workflows = {n: workflows[n] for n in names}
+    estimator = DagEstimator(cluster, BOESource(BOEModel(cluster)), variant=Variant.MEAN)
+    rows: List[OverheadRow] = []
+    for name, workflow in workflows.items():
+        estimate = estimator.estimate(workflow)
+        rows.append(
+            OverheadRow(
+                workflow=name,
+                jobs=len(workflow.jobs),
+                states=len(estimate.states),
+                overhead_s=estimate.model_overhead_s,
+                estimate_s=estimate.total_time,
+            )
+        )
+    return rows

@@ -1,0 +1,52 @@
+"""MapReduce substrate: job specifications, configuration, task decomposition."""
+
+from repro.mapreduce.config import (
+    CompressionSpec,
+    DEFAULT_CONFIG,
+    GZIP_BINARY,
+    JobConfig,
+    NO_COMPRESSION,
+    SNAPPY_BINARY,
+    SNAPPY_TEXT,
+)
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.phases import (
+    OP_COMPUTE,
+    OP_KINDS,
+    OP_READ,
+    OP_TRANSFER,
+    OP_WRITE,
+    OpSpec,
+    SubStageSpec,
+    build_task_substages,
+    map_task_substages,
+    reduce_task_substages,
+)
+from repro.mapreduce.stage import StageKind
+from repro.mapreduce.task import NO_SKEW, SkewModel, TaskSpec, build_task_specs
+
+__all__ = [
+    "CompressionSpec",
+    "DEFAULT_CONFIG",
+    "GZIP_BINARY",
+    "JobConfig",
+    "MapReduceJob",
+    "NO_COMPRESSION",
+    "NO_SKEW",
+    "OP_COMPUTE",
+    "OP_KINDS",
+    "OP_READ",
+    "OP_TRANSFER",
+    "OP_WRITE",
+    "OpSpec",
+    "SNAPPY_BINARY",
+    "SNAPPY_TEXT",
+    "SkewModel",
+    "StageKind",
+    "SubStageSpec",
+    "TaskSpec",
+    "build_task_specs",
+    "build_task_substages",
+    "map_task_substages",
+    "reduce_task_substages",
+]

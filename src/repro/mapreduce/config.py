@@ -1,0 +1,126 @@
+"""Job configuration knobs.
+
+These mirror the Hadoop/YARN configuration surface that matters to the cost
+models: compression (the ``C`` column of Table I), the HDFS replication
+factor (the ``R`` column), split size, container sizes, the map-side sort
+buffer and reduce slow-start.
+
+The defaults reproduce the paper's testbed configuration; individual
+workloads override what Table I specifies (e.g. TeraSort runs uncompressed
+with one replica, its ``TS3R`` variant with three).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Map-output compression parameters.
+
+    Compression trades CPU for disk/network I/O (paper §II-A): the spilled
+    and shuffled bytes shrink by ``ratio`` while the map (compress) and
+    reduce (decompress) sides pay extra CPU work.
+
+    Attributes:
+        enabled: whether map-output compression is on (Table I column ``C``).
+        ratio: compressed size / uncompressed size.  Snappy on text achieves
+            roughly 0.35; on already-random TeraSort data closer to 0.8.
+        compress_mb_s: per-core compression throughput, uncompressed MB/s.
+        decompress_mb_s: per-core decompression throughput, uncompressed MB/s.
+    """
+
+    enabled: bool = False
+    ratio: float = 0.35
+    compress_mb_s: float = 250.0
+    decompress_mb_s: float = 500.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise SpecificationError(f"compression ratio must be in (0, 1]: {self}")
+        if self.compress_mb_s <= 0 or self.decompress_mb_s <= 0:
+            raise SpecificationError(f"compression throughputs must be positive: {self}")
+
+    @property
+    def effective_ratio(self) -> float:
+        """The on-disk/on-wire size multiplier (1.0 when disabled)."""
+        return self.ratio if self.enabled else 1.0
+
+
+#: Compression disabled — the default for TeraSort (Table I, ``TS``).
+NO_COMPRESSION = CompressionSpec(enabled=False)
+
+#: Snappy-like compression of textual map output (WC, TPC-H intermediates).
+SNAPPY_TEXT = CompressionSpec(enabled=True, ratio=0.35)
+
+#: Snappy on high-entropy binary data (TeraSort records barely compress).
+SNAPPY_BINARY = CompressionSpec(enabled=True, ratio=0.80)
+
+#: Deflate/gzip on binary data: better ratio, far more CPU — the codec that
+#: turns compressed TeraSort (``TSC``) CPU-bound, as Table I annotates.
+GZIP_BINARY = CompressionSpec(
+    enabled=True, ratio=0.60, compress_mb_s=40.0, decompress_mb_s=120.0
+)
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Framework configuration for one MapReduce job.
+
+    Attributes:
+        split_mb: HDFS split size; determines the number of map tasks.
+        replicas: HDFS replication factor for the job *output* (Table I
+            column ``R``).  The first replica is written locally, each
+            further replica crosses the network to a remote disk.
+        compression: map-output compression settings.
+        map_container: YARN container request for a map task.
+        reduce_container: YARN container request for a reduce task.
+        io_sort_mb: map-side sort buffer.  When a map task's (compressed)
+            output exceeds it, the framework performs an external merge pass
+            (extra read + write of the spilled bytes, paper §II-A).
+        shuffle_from_cache: when True, shuffle source reads are served from
+            the OS buffer cache (the intermediate data "is just written by
+            the previous stage", §II-A) and cost no disk bandwidth.
+        slowstart: fraction of map tasks that must finish before reduce
+            tasks launch.  The paper's state division assumes 1.0 (reduce
+            stage strictly follows map stage); the simulator honours other
+            values for sensitivity studies.
+        task_overhead_s: fixed per-task startup cost (container launch, JVM
+            reuse amortised).  Consumed by the simulator only — the analytic
+            models deliberately ignore it, which is one genuine source of
+            model error.
+    """
+
+    split_mb: float = 128.0
+    replicas: int = 3
+    compression: CompressionSpec = NO_COMPRESSION
+    map_container: ResourceVector = ResourceVector(1.0, 2_000.0)
+    reduce_container: ResourceVector = ResourceVector(1.0, 3_000.0)
+    io_sort_mb: float = 512.0
+    shuffle_from_cache: bool = True
+    slowstart: float = 1.0
+    task_overhead_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.split_mb <= 0:
+            raise SpecificationError(f"split size must be positive: {self.split_mb}")
+        if self.replicas < 1:
+            raise SpecificationError(f"replication factor must be >= 1: {self.replicas}")
+        if self.io_sort_mb <= 0:
+            raise SpecificationError(f"io_sort_mb must be positive: {self.io_sort_mb}")
+        if not 0.0 < self.slowstart <= 1.0:
+            raise SpecificationError(f"slowstart must be in (0, 1]: {self.slowstart}")
+        if self.task_overhead_s < 0:
+            raise SpecificationError(f"task overhead must be >= 0: {self.task_overhead_s}")
+
+    def with_(self, **changes) -> "JobConfig":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+
+DEFAULT_CONFIG = JobConfig()

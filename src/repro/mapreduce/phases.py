@@ -1,0 +1,269 @@
+"""Task decomposition into sub-stages of tuple-level operations.
+
+This module implements the paper's *task execution model* (Fig. 3): a task is
+a sequence of sub-stages; within a sub-stage a subset of {read, transfer,
+compute, write} operations runs pipelined tuple-by-tuple; a bulk
+synchronisation barrier separates consecutive sub-stages.
+
+:func:`build_task_substages` is the single source of truth for what work a
+task performs.  Both consumers read it:
+
+* the BOE model evaluates each sub-stage in closed form (Eq. 3-5);
+* the simulator turns each sub-stage into a fluid flow and integrates it
+  against shared resource pools.
+
+Operation amounts are expressed in the unit their resource pool is measured
+in: MB for disk and network, **core-seconds** for CPU (a compute operation
+needing ``work_mb / rate_mb_s`` core-seconds, with a per-flow cap of one core,
+exactly captures "one pipelined compute thread cannot use more than one
+core", §III-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.resources import Resource
+from repro.errors import SpecificationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+
+#: Operation kinds of the task execution model (Fig. 3).
+OP_READ = "read"
+OP_TRANSFER = "transfer"
+OP_COMPUTE = "compute"
+OP_WRITE = "write"
+
+OP_KINDS = (OP_READ, OP_TRANSFER, OP_COMPUTE, OP_WRITE)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One tuple-level operation of a sub-stage.
+
+    Attributes:
+        kind: one of :data:`OP_KINDS`.
+        resource: the preemptable resource the operation draws on.
+        amount: total units the operation must move for the whole sub-stage
+            of one task (MB for DISK/NETWORK, core-seconds for CPU).
+        per_flow_cap: maximum units/s a single task can push through this
+            operation regardless of pool availability.  ``1.0`` for compute
+            ops (one core per pipelined thread); ``None`` for I/O ops.
+    """
+
+    kind: str
+    resource: Resource
+    amount: float
+    per_flow_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise SpecificationError(f"unknown operation kind: {self.kind}")
+        if self.amount < 0:
+            raise SpecificationError(f"operation amount must be >= 0: {self}")
+        if self.per_flow_cap is not None and self.per_flow_cap <= 0:
+            raise SpecificationError(f"per-flow cap must be positive: {self}")
+
+
+@dataclass(frozen=True)
+class SubStageSpec:
+    """A pipelined sub-stage: a subset of operations + trailing barrier.
+
+    Attributes:
+        name: label used in traces and reports ("map", "merge", "shuffle",
+            "reduce").
+        ops: the pipelined operations.  Zero-amount operations are dropped
+            at construction sites, not here, so the invariant is simply that
+            at least one op exists and amounts are non-negative.
+    """
+
+    name: str
+    ops: Tuple[OpSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise SpecificationError(f"sub-stage {self.name!r} has no operations")
+
+    def amount(self, resource: Resource) -> float:
+        """Total units this sub-stage demands from ``resource``."""
+        return sum(op.amount for op in self.ops if op.resource is resource)
+
+    def op(self, kind: str) -> Optional[OpSpec]:
+        """The operation of the given kind, or None if absent."""
+        for candidate in self.ops:
+            if candidate.kind == kind:
+                return candidate
+        return None
+
+
+def _ops(*candidates: Optional[OpSpec]) -> Tuple[OpSpec, ...]:
+    """Drop absent / zero-amount operations (a sub-stage uses a *subset*)."""
+    return tuple(op for op in candidates if op is not None and op.amount > 0)
+
+
+def _compute_op(core_seconds: float) -> Optional[OpSpec]:
+    if core_seconds <= 0:
+        return None
+    return OpSpec(OP_COMPUTE, Resource.CPU, core_seconds, per_flow_cap=1.0)
+
+
+def map_task_substages(
+    job: MapReduceJob, task_input_mb: float, remote_fraction: float = 0.0
+) -> List[SubStageSpec]:
+    """Sub-stages of one map task processing ``task_input_mb`` of input.
+
+    Pipeline (paper §II-A): read the split from HDFS (data-local, hence a
+    disk read), run the map function (+ combiner + serialisation + optional
+    compression), spill the output to local disk.  If the spilled output
+    exceeds the sort buffer, an external merge pass re-reads and re-writes
+    it behind a barrier.  A map-only job instead writes its output to HDFS
+    with replication.
+    """
+    if task_input_mb <= 0:
+        raise SpecificationError(f"map task input must be positive: {task_input_mb}")
+    cfg = job.config
+    comp = cfg.compression
+    out_logical = task_input_mb * job.map_selectivity
+    out_disk = out_logical * comp.effective_ratio
+
+    core_seconds = task_input_mb / job.map_cpu_mb_s
+    if comp.enabled and out_logical > 0:
+        core_seconds += out_logical / comp.compress_mb_s
+
+    substages: List[SubStageSpec] = []
+    if job.is_map_only:
+        # Output goes straight to HDFS: replicas cost disk everywhere and
+        # network for every non-local copy.
+        disk_write = out_disk * cfg.replicas
+        net = out_disk * (cfg.replicas - 1) if cfg.replicas > 1 else 0.0
+        substages.append(
+            SubStageSpec(
+                "map",
+                _ops(
+                    OpSpec(OP_READ, Resource.DISK, task_input_mb),
+                    _compute_op(core_seconds),
+                    OpSpec(OP_WRITE, Resource.DISK, disk_write),
+                    OpSpec(OP_TRANSFER, Resource.NETWORK, net) if net > 0 else None,
+                ),
+            )
+        )
+        return substages
+
+    substages.append(
+        SubStageSpec(
+            "map",
+            _ops(
+                OpSpec(OP_READ, Resource.DISK, task_input_mb),
+                _compute_op(core_seconds),
+                OpSpec(OP_WRITE, Resource.DISK, out_disk) if out_disk > 0 else None,
+            ),
+        )
+    )
+    if out_disk > cfg.io_sort_mb:
+        # External merge & sort: one extra pass over the spilled bytes,
+        # blocked behind the map pipeline (bulk synchronisation).
+        merge_cpu = _compute_op(out_logical / (4.0 * job.map_cpu_mb_s))
+        substages.append(
+            SubStageSpec(
+                "merge",
+                _ops(
+                    OpSpec(OP_READ, Resource.DISK, out_disk),
+                    merge_cpu,
+                    OpSpec(OP_WRITE, Resource.DISK, out_disk),
+                ),
+            )
+        )
+    return substages
+
+
+def reduce_task_substages(
+    job: MapReduceJob, task_shuffle_mb: float, remote_fraction: float
+) -> List[SubStageSpec]:
+    """Sub-stages of one reduce task receiving ``task_shuffle_mb`` (on-wire).
+
+    Pipeline: **shuffle** copies this task's partition from every map output
+    (reads served by the OS buffer cache when ``shuffle_from_cache``),
+    crossing the network for the remote fraction, and materialises the
+    reduce input on local disk (§II-A: "the reduce input is materialized on
+    the disk").  Behind the barrier, **reduce** re-reads the materialised
+    input, runs the reduce function (+ decompression) and writes the output
+    to HDFS with ``replicas`` copies — the first local, the rest across the
+    network onto remote disks.
+    """
+    if task_shuffle_mb < 0:
+        raise SpecificationError(f"reduce task input must be >= 0: {task_shuffle_mb}")
+    if not 0.0 <= remote_fraction <= 1.0:
+        raise SpecificationError(f"remote fraction must be in [0,1]: {remote_fraction}")
+    cfg = job.config
+    comp = cfg.compression
+    in_logical = task_shuffle_mb / comp.effective_ratio
+    out = in_logical * job.reduce_selectivity
+
+    shuffle_ops = _ops(
+        None
+        if cfg.shuffle_from_cache
+        else OpSpec(OP_READ, Resource.DISK, task_shuffle_mb),
+        OpSpec(OP_TRANSFER, Resource.NETWORK, task_shuffle_mb * remote_fraction),
+        OpSpec(OP_WRITE, Resource.DISK, task_shuffle_mb),
+    )
+
+    core_seconds = in_logical / job.reduce_cpu_mb_s
+    if comp.enabled and in_logical > 0:
+        core_seconds += in_logical / comp.decompress_mb_s
+    reduce_ops = _ops(
+        OpSpec(OP_READ, Resource.DISK, task_shuffle_mb),
+        _compute_op(core_seconds),
+        OpSpec(OP_WRITE, Resource.DISK, out * cfg.replicas) if out > 0 else None,
+        OpSpec(OP_TRANSFER, Resource.NETWORK, out * (cfg.replicas - 1))
+        if out > 0 and cfg.replicas > 1
+        else None,
+    )
+
+    substages: List[SubStageSpec] = []
+    if shuffle_ops:
+        substages.append(SubStageSpec("shuffle", shuffle_ops))
+    if reduce_ops:
+        substages.append(SubStageSpec("reduce", reduce_ops))
+    if not substages:
+        # An empty reduce partition (possible under heavy skew) still runs a
+        # task that sets up, finds nothing, and exits: represent it as a
+        # nominal sliver of compute so the engine and models handle it
+        # uniformly instead of special-casing zero-work tasks.
+        substages.append(
+            SubStageSpec("reduce", (OpSpec(OP_COMPUTE, Resource.CPU, 1e-9, 1.0),))
+        )
+    return substages
+
+
+def build_task_substages(
+    job: MapReduceJob,
+    kind: StageKind,
+    task_input_mb: Optional[float] = None,
+    remote_fraction: float = 0.9,
+) -> List[SubStageSpec]:
+    """Sub-stages of one task of ``job``'s ``kind`` stage.
+
+    Args:
+        job: the job specification.
+        kind: MAP or REDUCE.
+        task_input_mb: per-task input volume; defaults to the job's average
+            (total stage input / task count).  The simulator passes skewed
+            per-task values here.
+        remote_fraction: fraction of shuffle / replica traffic that crosses
+            the network — ``Cluster.remote_fraction`` for real clusters,
+            0 for a single node.
+    """
+    if task_input_mb is None:
+        task_input_mb = job.task_input_mb(kind)
+    # Extension hook: frameworks with different task anatomies (e.g. the
+    # Spark stages of repro.spark) provide their own decomposition while
+    # reusing every consumer of this function (simulator, BOE, estimator).
+    custom = getattr(job, "custom_task_substages", None)
+    if custom is not None:
+        return custom(kind, task_input_mb, remote_fraction)
+    if kind is StageKind.MAP:
+        return map_task_substages(job, task_input_mb, remote_fraction)
+    if job.is_map_only:
+        raise SpecificationError(f"job {job.name} is map-only but REDUCE was requested")
+    return reduce_task_substages(job, task_input_mb, remote_fraction)

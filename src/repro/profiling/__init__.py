@@ -1,0 +1,12 @@
+"""Profiles: the stand-in for Hadoop job-history trace collection."""
+
+from repro.profiling.profile import JobProfile, StageProfile
+from repro.profiling.profiler import ProfileSource, profile_job, profile_workflow
+
+__all__ = [
+    "JobProfile",
+    "ProfileSource",
+    "StageProfile",
+    "profile_job",
+    "profile_workflow",
+]

@@ -1,0 +1,190 @@
+"""Job profiles — the measured statistics the estimators consume.
+
+In the authors' system, profiles come from the Hadoop job-history server
+("historical profile P" in Problem 1).  Here they come from simulator traces
+(:meth:`JobProfile.from_simulation`) and can be serialised to JSON so a
+profiling run is paid once per workload (replacing the awkward real-world
+trace collection this reproduction substitutes for).
+
+A profile records, per stage and optionally per sub-stage, the task-time
+distribution together with the degree of parallelism it was observed at —
+the baselines' defining limitation is precisely that they assume the
+observed-at parallelism still holds at prediction time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.distributions import TaskTimeDistribution
+from repro.errors import ProfileError
+from repro.mapreduce.stage import StageKind
+from repro.simulator.metrics import average_parallelism, task_durations
+from repro.simulator.trace import SimulationResult
+
+
+def _pooled_within_state_std(
+    result: SimulationResult, job_name: str, kind: StageKind
+) -> Optional[float]:
+    """Pooled standard deviation of task times within each workflow state.
+
+    Tasks are grouped by the state containing their midpoint; the pooled
+    variance is the sample-count-weighted mean of per-group variances.
+    Returns None when the trace carries no states (nothing to group by).
+    """
+    if not result.states:
+        return None
+    import statistics
+
+    groups: Dict[int, list] = {}
+    for task in result.tasks_of(job_name, kind):
+        mid = 0.5 * (task.t_start + task.t_end)
+        for state in result.states:
+            if state.t_start <= mid < state.t_end or (
+                state is result.states[-1] and abs(mid - state.t_end) < 1e-9
+            ):
+                groups.setdefault(state.index, []).append(task.work_duration)
+                break
+    weighted = 0.0
+    count = 0
+    for durations in groups.values():
+        if len(durations) < 2:
+            continue
+        weighted += statistics.pvariance(durations) * len(durations)
+        count += len(durations)
+    if count == 0:
+        return 0.0
+    return (weighted / count) ** 0.5
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Measured statistics of one job stage.
+
+    Attributes:
+        kind: MAP or REDUCE.
+        num_tasks: tasks the stage ran.
+        delta: time-averaged degree of parallelism during the observation.
+        task_time: distribution of whole-task times (sub-stage pipeline,
+            excluding container startup).
+        substage_times: distributions per sub-stage name ("map", "merge",
+            "shuffle", "reduce").
+        overhead_s: the per-task startup cost in effect during profiling.
+    """
+
+    kind: StageKind
+    num_tasks: int
+    delta: float
+    task_time: TaskTimeDistribution
+    substage_times: Dict[str, TaskTimeDistribution] = field(default_factory=dict)
+    overhead_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Measured statistics of one job across its stages."""
+
+    job_name: str
+    stages: Dict[StageKind, StageProfile]
+
+    def stage(self, kind: StageKind) -> StageProfile:
+        try:
+            return self.stages[kind]
+        except KeyError:
+            raise ProfileError(
+                f"profile of {self.job_name!r} has no {kind} stage"
+            ) from None
+
+    @classmethod
+    def from_simulation(
+        cls, result: SimulationResult, job_name: str, overhead_s: float = 0.0
+    ) -> "JobProfile":
+        """Extract a profile for ``job_name`` from a simulation trace.
+
+        The task-time distribution's ``std`` is the *pooled within-state*
+        standard deviation: task times differ across workflow states because
+        the resource allocation differs (that part is what Algorithm 1
+        models explicitly), while the within-state spread is the genuine
+        randomness (skew, stragglers) the Alg2-Normal variant should absorb.
+        Mixing the two would double-count the cross-state variation.
+        """
+        stages: Dict[StageKind, StageProfile] = {}
+        for stage_trace in result.stages:
+            if stage_trace.job != job_name:
+                continue
+            kind = stage_trace.kind
+            durations = task_durations(result, job_name, kind)
+            substage_names = {
+                s.name for t in result.tasks_of(job_name, kind) for s in t.substages
+            }
+            substage_times = {}
+            for name in sorted(substage_names):
+                subs = task_durations(result, job_name, kind, substage=name)
+                substage_times[name] = TaskTimeDistribution.from_durations(subs)
+            dist = TaskTimeDistribution.from_durations(durations)
+            within_std = _pooled_within_state_std(result, job_name, kind)
+            if within_std is not None:
+                dist = TaskTimeDistribution(
+                    mean=dist.mean, median=dist.median, std=within_std, n=dist.n
+                )
+            stages[kind] = StageProfile(
+                kind=kind,
+                num_tasks=stage_trace.num_tasks,
+                delta=average_parallelism(result, job_name, kind),
+                task_time=dist,
+                substage_times=substage_times,
+                overhead_s=overhead_s,
+            )
+        if not stages:
+            raise ProfileError(f"trace has no stages for job {job_name!r}")
+        return cls(job_name=job_name, stages=stages)
+
+    # -- JSON round-trip ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "job_name": self.job_name,
+            "stages": {
+                kind.value: {
+                    "num_tasks": sp.num_tasks,
+                    "delta": sp.delta,
+                    "overhead_s": sp.overhead_s,
+                    "task_time": asdict(sp.task_time),
+                    "substage_times": {
+                        name: asdict(d) for name, d in sp.substage_times.items()
+                    },
+                }
+                for kind, sp in self.stages.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "JobProfile":
+        try:
+            stages = {
+                StageKind(kind): StageProfile(
+                    kind=StageKind(kind),
+                    num_tasks=entry["num_tasks"],
+                    delta=entry["delta"],
+                    overhead_s=entry.get("overhead_s", 0.0),
+                    task_time=TaskTimeDistribution(**entry["task_time"]),
+                    substage_times={
+                        name: TaskTimeDistribution(**d)
+                        for name, d in entry["substage_times"].items()
+                    },
+                )
+                for kind, entry in raw["stages"].items()
+            }
+            return cls(job_name=raw["job_name"], stages=stages)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed profile payload: {exc}") from exc
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "JobProfile":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,9 @@
+"""Progress estimation for running DAG workflows (§I application)."""
+
+from repro.progress.tracker import (
+    ProgressEstimator,
+    ProgressReport,
+    snapshot_at,
+)
+
+__all__ = ["ProgressEstimator", "ProgressReport", "snapshot_at"]

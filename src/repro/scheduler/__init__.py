@@ -1,0 +1,19 @@
+"""Resource management and job scheduling substrate (YARN/DRF, §II-B)."""
+
+from repro.scheduler.container import JobDemand, container_for, demand_for
+from repro.scheduler.drf import drf_equilibrium, drf_single_job_slots
+from repro.scheduler.fair import fair_equilibrium
+from repro.scheduler.fifo import fifo_equilibrium
+from repro.scheduler.yarn import POLICIES, YarnPlacer
+
+__all__ = [
+    "JobDemand",
+    "POLICIES",
+    "YarnPlacer",
+    "container_for",
+    "demand_for",
+    "drf_equilibrium",
+    "drf_single_job_slots",
+    "fair_equilibrium",
+    "fifo_equilibrium",
+]

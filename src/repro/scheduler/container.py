@@ -1,0 +1,59 @@
+"""Container demands.
+
+A *container* is YARN's unit of schedulable capacity: a (vcores, memory)
+request that hosts one task.  :class:`JobDemand` bundles what the schedulers
+need to know about one job at a scheduling instant — its per-task container
+size and how many tasks it could run right now.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import SpecificationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.stage import StageKind
+
+
+@dataclass(frozen=True)
+class JobDemand:
+    """One job's demand at a scheduling instant.
+
+    Attributes:
+        name: job name (unique within the scheduling problem).
+        container: per-task resource request.
+        max_tasks: number of tasks the job can usefully run simultaneously
+            (pending + running); the scheduler never allocates beyond it.
+        weight: fair-share weight (1.0 = plain fairness).
+    """
+
+    name: str
+    container: ResourceVector
+    max_tasks: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("job demand needs a name")
+        if self.container.vcores <= 0 and self.container.memory_mb <= 0:
+            raise SpecificationError(f"container of {self.name!r} is empty")
+        if self.max_tasks < 0:
+            raise SpecificationError(f"max_tasks of {self.name!r} must be >= 0")
+        if self.weight <= 0:
+            raise SpecificationError(f"weight of {self.name!r} must be positive")
+
+
+def container_for(job: MapReduceJob, kind: StageKind) -> ResourceVector:
+    """The container request of one task of ``job``'s ``kind`` stage."""
+    cfg = job.config
+    return cfg.map_container if kind is StageKind.MAP else cfg.reduce_container
+
+
+def demand_for(job: MapReduceJob, kind: StageKind, pending_tasks: int) -> JobDemand:
+    """Build the :class:`JobDemand` of a job stage with ``pending_tasks`` left."""
+    return JobDemand(
+        name=job.name,
+        container=container_for(job, kind),
+        max_tasks=pending_tasks,
+    )

@@ -1,0 +1,34 @@
+"""Memory-fair scheduling — equilibrium form.
+
+The Hadoop Fair Scheduler's default resource calculator considers memory
+only.  We express it as DRF restricted to the memory dimension: each job's
+"dominant" share *is* its memory share, so equal-memory fairness falls out of
+the same progressive-filling machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.cluster.resources import ResourceVector
+from repro.scheduler.container import JobDemand
+from repro.scheduler.drf import drf_equilibrium
+
+
+def fair_equilibrium(
+    demands: Sequence[JobDemand],
+    capacity: ResourceVector,
+    integral: bool = False,
+) -> Dict[str, float]:
+    """Memory-only fair allocation.
+
+    Containers are projected onto the memory axis (vcores zeroed) before the
+    DRF progressive fill, so fairness and saturation are both judged purely
+    by memory — matching a DefaultResourceCalculator deployment.
+    """
+    projected = [
+        replace(d, container=ResourceVector(0.0, d.container.memory_mb))
+        for d in demands
+    ]
+    return drf_equilibrium(projected, capacity, integral=integral)

@@ -1,0 +1,56 @@
+"""FIFO scheduling — equilibrium form.
+
+Hadoop's original JobTracker scheduler: jobs are served strictly in arrival
+order; a later job only receives capacity left over by earlier ones.  Kept as
+an alternative policy for ablations (the paper's models assume DRF, and the
+ablation shows how much the ``Delta`` estimate degrades if the deployed
+scheduler is actually FIFO).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import SchedulingError
+from repro.scheduler.container import JobDemand
+
+_EPS = 1e-9
+
+
+def fifo_equilibrium(
+    demands: Sequence[JobDemand],
+    capacity: ResourceVector,
+    integral: bool = False,
+    enforce_vcores: bool = False,
+) -> Dict[str, float]:
+    """Allocate greedily in demand order (= arrival order).
+
+    Each job takes ``min(max_tasks, what fits in the remaining capacity)``
+    containers before the next job sees anything.  Admission is memory-only
+    by default, matching stock YARN (see :mod:`repro.scheduler.drf`).
+    """
+    names = [d.name for d in demands]
+    if len(set(names)) != len(names):
+        raise SchedulingError(f"duplicate job names in demands: {names}")
+
+    free_vcores = capacity.vcores
+    free_memory = capacity.memory_mb
+    allocation: Dict[str, float] = {}
+    for d in demands:
+        if d.max_tasks > 0 and d.container.memory_mb > capacity.memory_mb:
+            raise SchedulingError(
+                f"container of {d.name!r} ({d.container}) exceeds cluster capacity"
+            )
+        limits = [float(d.max_tasks)]
+        if enforce_vcores and d.container.vcores > _EPS:
+            limits.append(free_vcores / d.container.vcores)
+        if d.container.memory_mb > _EPS:
+            limits.append(free_memory / d.container.memory_mb)
+        count = max(0.0, min(limits))
+        if integral:
+            count = float(int(count + _EPS))
+        allocation[d.name] = count
+        free_vcores -= count * d.container.vcores
+        free_memory -= count * d.container.memory_mb
+    return allocation

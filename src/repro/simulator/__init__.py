@@ -1,0 +1,52 @@
+"""Ground-truth substrate: fluid discrete-event cluster simulation."""
+
+from repro.simulator.engine import SimulationConfig, Simulator, simulate
+from repro.simulator.failures import FailureModel, NO_FAILURES
+from repro.simulator.events import EventQueue
+from repro.simulator.metrics import (
+    average_parallelism,
+    fit_normal,
+    mean_task_time,
+    median_task_time,
+    median_task_time_in_state,
+    observed_parallelism,
+    stage_duration,
+    state_summary,
+    task_durations,
+    tasks_in_state,
+)
+from repro.simulator.sharing import FlowSpec, pool_utilisation, solve_max_min
+from repro.simulator.trace import (
+    SimulationResult,
+    StageTrace,
+    StateTrace,
+    SubStageTrace,
+    TaskTrace,
+)
+
+__all__ = [
+    "EventQueue",
+    "FailureModel",
+    "NO_FAILURES",
+    "FlowSpec",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "StageTrace",
+    "StateTrace",
+    "SubStageTrace",
+    "TaskTrace",
+    "average_parallelism",
+    "fit_normal",
+    "mean_task_time",
+    "median_task_time",
+    "median_task_time_in_state",
+    "observed_parallelism",
+    "pool_utilisation",
+    "simulate",
+    "solve_max_min",
+    "stage_duration",
+    "state_summary",
+    "task_durations",
+    "tasks_in_state",
+]

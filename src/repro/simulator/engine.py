@@ -1,0 +1,651 @@
+"""Fluid discrete-event simulation of a DAG workflow on a cluster.
+
+This engine is the reproduction's *ground truth* — the stand-in for the
+paper's 11-node Hadoop testbed.  It executes a :class:`~repro.dag.Workflow`
+mechanistically:
+
+* jobs arrive when their DAG parents complete (Definition 1);
+* a YARN-like placer (:class:`~repro.scheduler.yarn.YarnPlacer`) grants
+  containers to pending tasks under DRF with memory-only admission;
+* every running task executes its sub-stages (from
+  :func:`~repro.mapreduce.phases.build_task_substages`) as fluid flows whose
+  rates are re-solved by progressive-filling max-min sharing
+  (:func:`~repro.simulator.sharing.solve_max_min`) each time the set of
+  active flows changes;
+* per-task startup overheads, task waves, data skew and stage barriers all
+  emerge from the mechanics rather than being asserted.
+
+Crucially, the engine shares **no estimation code** with the BOE model or
+Algorithm 1 — only the workload description.  Model accuracy measured
+against these traces is therefore a genuine comparison, mirroring the
+paper's model-vs-cluster evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import Resource, ResourceVector
+from repro.dag.workflow import Workflow
+from repro.errors import SchedulingError, SimulationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.phases import SubStageSpec, build_task_substages
+from repro.mapreduce.stage import StageKind
+from repro.mapreduce.task import NO_SKEW, SkewModel, TaskSpec, build_task_specs
+from repro.simulator.failures import NO_FAILURES, FailureModel
+from repro.scheduler.container import container_for
+from repro.scheduler.yarn import YarnPlacer
+from repro.simulator.events import EventQueue
+from repro.simulator.sharing import FlowSpec, solve_max_min
+from repro.simulator.trace import (
+    SimulationResult,
+    StageTrace,
+    StateTrace,
+    SubStageTrace,
+    TaskTrace,
+)
+
+_EPS = 1e-9
+_TIME_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulation run.
+
+    Attributes:
+        policy: scheduler policy ("drf", "fifo", "fair").
+        skew: per-task input-size skew model.
+        enforce_vcores: strict DRF admission (default off = stock YARN).
+        failures: task-attempt failure injection (fault tolerance).
+        max_iterations: hard stop against engine bugs.
+    """
+
+    policy: str = "drf"
+    skew: SkewModel = NO_SKEW
+    enforce_vcores: bool = False
+    failures: FailureModel = NO_FAILURES
+    max_iterations: int = 5_000_000
+
+
+class _RunState:
+    """Mutable execution state of one launched task."""
+
+    __slots__ = (
+        "spec",
+        "node",
+        "container",
+        "substages",
+        "stage_idx",
+        "progress",
+        "active",
+        "t_launch",
+        "t_work_start",
+        "substage_traces",
+        "flow_cache",
+        "attempt",
+        "fail_substage",
+        "fail_fraction",
+    )
+
+    def __init__(
+        self,
+        spec: TaskSpec,
+        node: int,
+        container: ResourceVector,
+        substages: List[SubStageSpec],
+        t_launch: float,
+    ):
+        self.spec = spec
+        self.node = node
+        self.container = container
+        self.substages = substages
+        self.stage_idx = 0
+        self.progress = 0.0
+        self.active = False  # False while paying the startup overhead
+        self.t_launch = t_launch
+        self.t_work_start = t_launch
+        self.substage_traces: List[SubStageTrace] = []
+        self.flow_cache: Optional[FlowSpec] = None
+        self.attempt = 1
+        # Failure injection: the substage index and intra-substage progress
+        # fraction at which this attempt dies (None = attempt succeeds).
+        self.fail_substage: Optional[int] = None
+        self.fail_fraction = 1.0
+
+    @property
+    def current(self) -> SubStageSpec:
+        return self.substages[self.stage_idx]
+
+    def flow_id(self) -> str:
+        return f"{self.spec.task_id}/{self.stage_idx}"
+
+    def build_flow(self) -> FlowSpec:
+        if self.flow_cache is not None:
+            return self.flow_cache
+        sub = self.current
+        demands: List[Tuple[str, float]] = []
+        cap: Optional[float] = None
+        for op in sub.ops:
+            pool = _pool_id(op.resource, self.node)
+            demands.append((pool, op.amount))
+            if op.per_flow_cap is not None:
+                op_cap = op.per_flow_cap / op.amount
+                cap = op_cap if cap is None else min(cap, op_cap)
+        self.flow_cache = FlowSpec(self.flow_id(), tuple(demands), cap)
+        return self.flow_cache
+
+
+class _JobState:
+    """Mutable execution state of one job (bookkeeping per stage, because
+    slow-start lets the map and reduce stages overlap)."""
+
+    __slots__ = (
+        "job",
+        "arrived",
+        "pending",
+        "running",
+        "completed",
+        "total",
+        "stage_open",
+        "stage_bounds",
+        "done",
+        "maps_completed",
+        "reduces_opened",
+    )
+
+    def __init__(self, job: MapReduceJob):
+        self.job = job
+        self.arrived = False
+        self.pending: Dict[StageKind, List[TaskSpec]] = {}
+        self.running: Dict[StageKind, int] = {}
+        self.completed: Dict[StageKind, int] = {}
+        self.total: Dict[StageKind, int] = {}
+        self.stage_open: Dict[StageKind, bool] = {}
+        self.stage_bounds: Dict[StageKind, List[float]] = {}
+        self.done = False
+        self.maps_completed = 0
+        self.reduces_opened = False
+
+    def open_kinds(self):
+        return [k for k, is_open in self.stage_open.items() if is_open]
+
+    @property
+    def map_stage_open(self) -> bool:
+        return self.stage_open.get(StageKind.MAP, False)
+
+
+def _pool_id(resource: Resource, node: int) -> str:
+    if resource is Resource.CPU:
+        return f"cpu:{node}"
+    if resource is Resource.DISK:
+        return f"disk:{node}"
+    if resource is Resource.NETWORK:
+        return f"net:{node}"
+    raise SimulationError(f"{resource} is not a throughput pool")
+
+
+class Simulator:
+    """Executes one workflow on one cluster and returns its trace."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workflow: Workflow,
+        config: SimulationConfig = SimulationConfig(),
+    ):
+        self._cluster = cluster
+        self._workflow = workflow
+        self._config = config
+        self._placer = YarnPlacer(
+            cluster, policy=config.policy, enforce_vcores=config.enforce_vcores
+        )
+        node = cluster.node
+        self._pools: Dict[str, float] = {}
+        for i in range(cluster.workers):
+            self._pools[f"cpu:{i}"] = float(node.cores)
+            self._pools[f"disk:{i}"] = node.disk_mb_s
+            self._pools[f"net:{i}"] = node.network_mb_s
+
+        # Per-node pool sub-maps: flows only ever touch their own node's
+        # pools, so the sharing problem decomposes by node and only nodes
+        # whose flow set changed need re-solving (a large speed-up).
+        self._node_pools: List[Dict[str, float]] = [
+            {
+                f"cpu:{i}": float(node.cores),
+                f"disk:{i}": node.disk_mb_s,
+                f"net:{i}": node.network_mb_s,
+            }
+            for i in range(cluster.workers)
+        ]
+        self._rates: Dict[str, float] = {}
+        self._dirty_nodes = set(range(cluster.workers))
+
+        self._jobs: Dict[str, _JobState] = {
+            j.name: _JobState(j) for j in workflow.jobs
+        }
+        self._events = EventQueue()
+        self._now = 0.0
+        self._runs: Dict[str, _RunState] = {}  # task_id -> run (launched, not finished)
+        self._attempts: Dict[str, int] = {}  # task_id -> attempts launched
+        self._failed_attempts: List[Tuple[str, int, float]] = []
+        self._finished_tasks: List[TaskTrace] = []
+        self._stage_traces: List[StageTrace] = []
+        self._states: List[StateTrace] = []
+        self._open_set: FrozenSet[Tuple[str, StageKind]] = frozenset()
+        self._state_start = 0.0
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the workflow to completion and return its trace."""
+        for name in self._workflow.roots():
+            self._arrive(name)
+        self._schedule_pending()
+        self._note_state_change()
+
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self._config.max_iterations:
+                raise SimulationError(
+                    f"simulation of {self._workflow.name!r} exceeded "
+                    f"{self._config.max_iterations} iterations"
+                )
+            active = [
+                r
+                for r in self._runs.values()
+                if r.active and not self._is_gated(r)
+            ]
+            if self._dirty_nodes:
+                by_node: Dict[int, List[_RunState]] = {}
+                for run in active:
+                    if run.node in self._dirty_nodes:
+                        by_node.setdefault(run.node, []).append(run)
+                for node_idx in self._dirty_nodes:
+                    node_runs = by_node.get(node_idx, [])
+                    solved = solve_max_min(
+                        [r.build_flow() for r in node_runs],
+                        self._node_pools[node_idx],
+                    )
+                    self._rates.update(solved)
+                self._dirty_nodes.clear()
+            rates = self._rates
+
+            dt_complete = math.inf
+            for run in active:
+                rate = rates[run.flow_id()]
+                if rate > _EPS:
+                    target = self._shuffle_target(run)
+                    if run.fail_substage == run.stage_idx:
+                        target = min(target, run.fail_fraction)
+                    dt_complete = min(
+                        dt_complete, max(0.0, (target - run.progress)) / rate
+                    )
+            t_event = self._events.peek_time()
+            t_next = min(
+                self._now + dt_complete,
+                t_event if t_event is not None else math.inf,
+            )
+            if t_next == math.inf:
+                if self._runs or any(
+                    not js.done for js in self._jobs.values()
+                ):
+                    self._raise_stall(active, rates)
+                break
+
+            dt = t_next - self._now
+            for run in active:
+                target = self._shuffle_target(run)
+                run.progress = min(
+                    target, run.progress + dt * rates[run.flow_id()]
+                )
+                if target < 1.0 and run.progress >= target - _EPS:
+                    # Newly gated at the availability boundary: stop it from
+                    # consuming bandwidth until more map output exists.
+                    self._dirty_nodes.add(run.node)
+            self._now = t_next
+
+            for payload in self._events.pop_all_at(self._now, tol=_TIME_TOL):
+                kind, task_id = payload
+                if kind == "ready":
+                    run = self._runs.get(task_id)
+                    if run is not None:
+                        run.active = True
+                        run.t_work_start = self._now
+                        self._dirty_nodes.add(run.node)
+
+            for run in list(self._runs.values()):
+                if not run.active:
+                    continue
+                if (
+                    run.fail_substage == run.stage_idx
+                    and run.progress >= run.fail_fraction - _EPS
+                ):
+                    self._kill_attempt(run)
+                elif run.progress >= 1.0 - _EPS:
+                    self._complete_substage(run)
+
+            self._schedule_pending()
+            self._note_state_change()
+
+            if all(js.done for js in self._jobs.values()) and not self._runs:
+                break
+
+        self._close_state()
+        result = SimulationResult(
+            workflow_name=self._workflow.name,
+            makespan=self._now,
+            tasks=sorted(
+                self._finished_tasks, key=lambda t: (t.t_start, t.job, t.index)
+            ),
+            stages=sorted(self._stage_traces, key=lambda s: (s.t_start, s.job)),
+            states=self._states,
+            failed_attempts=list(self._failed_attempts),
+        )
+        return result
+
+    # -- job / stage lifecycle -----------------------------------------------------
+
+    def _arrive(self, name: str) -> None:
+        js = self._jobs[name]
+        if js.arrived:
+            raise SimulationError(f"job {name!r} arrived twice")
+        js.arrived = True
+        self._open_stage(js, StageKind.MAP)
+
+    def _open_stage(self, js: _JobState, kind: StageKind) -> None:
+        specs = build_task_specs(js.job, kind, self._config.skew)
+        js.pending[kind] = list(specs)
+        js.running[kind] = 0
+        js.completed[kind] = 0
+        js.total[kind] = len(specs)
+        js.stage_open[kind] = True
+        js.stage_bounds[kind] = [self._now, self._now]
+        if kind is StageKind.REDUCE:
+            js.reduces_opened = True
+        if js.total[kind] == 0:
+            self._close_stage(js, kind)
+
+    def _close_stage(self, js: _JobState, kind: StageKind) -> None:
+        js.stage_open[kind] = False
+        js.stage_bounds[kind][1] = self._now
+        self._stage_traces.append(
+            StageTrace(
+                job=js.job.name,
+                kind=kind,
+                t_start=js.stage_bounds[kind][0],
+                t_end=self._now,
+                num_tasks=js.job.num_tasks(kind),
+            )
+        )
+        if kind is StageKind.MAP and not js.job.is_map_only:
+            # With slow-start < 1 the reduce stage already opened while the
+            # maps were running; its gated shuffles are free to drain now.
+            if not js.reduces_opened:
+                self._open_stage(js, StageKind.REDUCE)
+            return
+        if kind is StageKind.REDUCE or js.job.is_map_only:
+            js.done = True
+            self._release_children(js.job.name)
+
+    def _release_children(self, name: str) -> None:
+        for child in sorted(self._workflow.children(name)):
+            if self._jobs[child].arrived:
+                continue
+            if all(self._jobs[p].done for p in self._workflow.parents(child)):
+                self._arrive(child)
+
+    # -- task lifecycle --------------------------------------------------------------
+
+    def _launch(self, js: _JobState, node: int, kind: StageKind) -> None:
+        spec = js.pending[kind].pop(0)
+        container = container_for(js.job, spec.kind)
+        substages = build_task_substages(
+            js.job,
+            spec.kind,
+            task_input_mb=spec.input_mb if spec.input_mb > 0 else None,
+            remote_fraction=self._cluster.remote_fraction,
+        )
+        run = _RunState(spec, node, container, substages, self._now)
+        attempt = self._attempts.get(spec.task_id, 0) + 1
+        self._attempts[spec.task_id] = attempt
+        self._plan_failure(run, attempt=attempt)
+        self._runs[spec.task_id] = run
+        self._dirty_nodes.add(node)
+        js.running[kind] += 1
+        overhead = js.job.config.task_overhead_s
+        if overhead > 0:
+            self._events.push(self._now + overhead, ("ready", spec.task_id))
+        else:
+            run.active = True
+
+    def _plan_failure(self, run: _RunState, attempt: int) -> None:
+        """Decide whether (and where) this attempt dies, deterministically."""
+        run.attempt = attempt
+        model = self._config.failures
+        if not model.enabled:
+            return
+        fails, fail_at = model.draw(run.spec.task_id, attempt)
+        if not fails:
+            run.fail_substage = None
+            run.fail_fraction = 1.0
+            return
+        # Map the whole-task death point onto a (substage, fraction) pair,
+        # weighting substages by their total operation amounts.
+        weights = [sum(op.amount for op in sub.ops) for sub in run.substages]
+        total = sum(weights) or 1.0
+        cumulative = 0.0
+        for idx, weight in enumerate(weights):
+            share = weight / total
+            if share <= 0:
+                continue
+            if fail_at <= cumulative + share or idx == len(weights) - 1:
+                run.fail_substage = idx
+                run.fail_fraction = min(0.999, (fail_at - cumulative) / share)
+                return
+            cumulative += share
+
+    def _kill_attempt(self, run: _RunState) -> None:
+        """A failed attempt: release the container and re-queue the task."""
+        spec = run.spec
+        model = self._config.failures
+        if run.attempt >= model.max_attempts:
+            raise SimulationError(
+                f"task {spec.task_id} failed {run.attempt} attempts "
+                f"(limit {model.max_attempts}); job aborted"
+            )
+        self._rates.pop(run.flow_id(), None)
+        self._dirty_nodes.add(run.node)
+        del self._runs[spec.task_id]
+        self._placer.release(spec.job_name, run.node, run.container)
+        js = self._jobs[spec.job_name]
+        js.running[spec.kind] -= 1
+        # Re-queue at the back: the scheduler hands the retry a fresh
+        # container on its next pass, with a new startup overhead.
+        js.pending[spec.kind].append(spec)
+        self._failed_attempts.append((spec.task_id, run.attempt, self._now))
+
+    def _complete_substage(self, run: _RunState) -> None:
+        run.substage_traces.append(
+            SubStageTrace(run.current.name, run.t_work_start, self._now)
+        )
+        self._rates.pop(run.flow_id(), None)
+        self._dirty_nodes.add(run.node)
+        run.stage_idx += 1
+        run.progress = 0.0
+        run.flow_cache = None
+        run.t_work_start = self._now
+        if run.stage_idx < len(run.substages):
+            return
+        # Task finished.
+        spec = run.spec
+        del self._runs[spec.task_id]
+        self._placer.release(spec.job_name, run.node, run.container)
+        self._finished_tasks.append(
+            TaskTrace(
+                job=spec.job_name,
+                kind=spec.kind,
+                index=spec.index,
+                node=run.node,
+                input_mb=spec.input_mb,
+                t_ready=run.t_launch,
+                t_start=run.t_launch,
+                t_end=self._now,
+                substages=tuple(run.substage_traces),
+            )
+        )
+        js = self._jobs[spec.job_name]
+        js.running[spec.kind] -= 1
+        js.completed[spec.kind] += 1
+        if spec.kind is StageKind.MAP:
+            js.maps_completed += 1
+            self._on_map_completed(js)
+        if (
+            js.completed[spec.kind] >= js.total[spec.kind]
+            and not js.pending[spec.kind]
+            and js.running[spec.kind] == 0
+        ):
+            self._close_stage(js, spec.kind)
+
+    def _on_map_completed(self, js: _JobState) -> None:
+        """Slow-start bookkeeping after one of ``js``'s maps finishes."""
+        cfg = js.job.config
+        if js.job.is_map_only:
+            return
+        if not js.reduces_opened and cfg.slowstart < 1.0:
+            threshold = math.ceil(cfg.slowstart * js.job.num_map_tasks)
+            if js.maps_completed >= threshold:
+                self._open_stage(js, StageKind.REDUCE)
+        if js.reduces_opened and js.map_stage_open:
+            # Gated shuffles may now drain further; force a re-solve on the
+            # nodes hosting them so freed targets take effect.
+            for run in self._runs.values():
+                if run.spec.job_name == js.job.name and run.spec.kind is StageKind.REDUCE:
+                    self._dirty_nodes.add(run.node)
+
+    # -- scheduling --------------------------------------------------------------------
+
+    def _schedule_pending(self) -> None:
+        """Grant free capacity.
+
+        Each job offers its map queue before its reduce queue (Hadoop
+        prioritises maps *within* an application — that is how slow-started
+        reduces coexist with the remaining map waves), while the cluster
+        policy arbitrates between jobs on every grant.
+        """
+        kinds = (StageKind.MAP, StageKind.REDUCE)
+        requests: Dict[str, List[Tuple[ResourceVector, int]]] = {}
+        for name, js in self._jobs.items():
+            if not js.arrived or js.done:
+                continue
+            queues = [
+                (container_for(js.job, kind), len(js.pending.get(kind, [])))
+                if js.stage_open.get(kind, False)
+                else (container_for(js.job, kind), 0)
+                for kind in kinds
+            ]
+            if any(count for _, count in queues):
+                requests[name] = queues
+        if not requests:
+            return
+        for name, node, queue_idx in self._placer.assign_queues(requests):
+            self._launch(self._jobs[name], node, kinds[queue_idx])
+
+    # -- state tracking -------------------------------------------------------------------
+
+    def _current_open_set(self) -> FrozenSet[Tuple[str, StageKind]]:
+        out: Set[Tuple[str, StageKind]] = set()
+        for name, js in self._jobs.items():
+            if js.arrived and not js.done:
+                for kind in js.open_kinds():
+                    out.add((name, kind))
+        return frozenset(out)
+
+    def _note_state_change(self) -> None:
+        current = self._current_open_set()
+        if current == self._open_set:
+            return
+        if self._now > self._state_start + _TIME_TOL and self._open_set:
+            self._states.append(
+                StateTrace(
+                    index=len(self._states) + 1,
+                    t_start=self._state_start,
+                    t_end=self._now,
+                    running=self._open_set,
+                )
+            )
+        self._open_set = current
+        self._state_start = self._now
+
+    def _close_state(self) -> None:
+        if self._open_set and self._now > self._state_start + _TIME_TOL:
+            self._states.append(
+                StateTrace(
+                    index=len(self._states) + 1,
+                    t_start=self._state_start,
+                    t_end=self._now,
+                    running=self._open_set,
+                )
+            )
+
+    # -- slow-start gating ----------------------------------------------------------------
+
+    def _shuffle_target(self, run: _RunState) -> float:
+        """How far this run's current sub-stage may progress right now.
+
+        A reduce task launched by slow-start can only copy map output that
+        exists: its shuffle sub-stage is capped at the completed-map
+        fraction until the map stage closes.
+        """
+        if run.spec.kind is not StageKind.REDUCE or run.stage_idx != 0:
+            return 1.0
+        if run.current.name != "shuffle":
+            return 1.0
+        js = self._jobs[run.spec.job_name]
+        if not js.map_stage_open:
+            return 1.0
+        total = js.job.num_map_tasks
+        return js.maps_completed / total if total else 1.0
+
+    def _is_gated(self, run: _RunState) -> bool:
+        """True when the run sits at its availability boundary (stalled)."""
+        target = self._shuffle_target(run)
+        return target < 1.0 and run.progress >= target - _EPS
+
+    # -- diagnostics --------------------------------------------------------------------------
+
+    def _raise_stall(self, active: List[_RunState], rates: Dict[str, float]) -> None:
+        stuck_jobs = [n for n, js in self._jobs.items() if not js.done]
+        zero_flows = [r.flow_id() for r in active if rates.get(r.flow_id(), 0.0) <= _EPS]
+        if zero_flows:
+            raise SimulationError(
+                f"stall in {self._workflow.name!r}: flows {zero_flows} have zero "
+                "rate with no pending events"
+            )
+        pending = {
+            n: sum(len(q) for q in js.pending.values())
+            for n, js in self._jobs.items()
+            if any(js.pending.values())
+        }
+        if pending and not self._runs:
+            raise SchedulingError(
+                f"deadlock in {self._workflow.name!r}: pending tasks {pending} "
+                "cannot be placed and nothing is running to free capacity"
+            )
+        raise SimulationError(
+            f"stall in {self._workflow.name!r}: unfinished jobs {stuck_jobs}, "
+            f"{len(self._runs)} runs in flight, no future events"
+        )
+
+
+def simulate(
+    workflow: Workflow,
+    cluster: Cluster,
+    config: SimulationConfig = SimulationConfig(),
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(cluster, workflow, config).run()

@@ -1,0 +1,72 @@
+"""Deterministic event queue for the discrete-event engine.
+
+A thin wrapper over :mod:`heapq` that (a) breaks time ties by insertion order
+so runs are reproducible, and (b) supports lazy cancellation, which the
+engine uses when an allocation change invalidates a previously predicted
+completion time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventQueue:
+    """A priority queue of (time, payload) events with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    def push(self, time: float, payload: Any) -> int:
+        """Schedule ``payload`` at ``time``; returns a token for cancellation."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event in negative time: {time}")
+        token = next(self._counter)
+        heapq.heappush(self._heap, (time, token, payload))
+        return token
+
+    def cancel(self, token: int) -> None:
+        """Lazily cancel the event with the given token."""
+        self._cancelled.add(token)
+
+    def _skip_cancelled(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, token, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(token)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None when empty."""
+        self._skip_cancelled()
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest live event as (time, payload)."""
+        self._skip_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def pop_all_at(self, time: float, tol: float = 1e-9) -> List[Any]:
+        """Pop every live event scheduled within ``tol`` of ``time``."""
+        payloads: List[Any] = []
+        while True:
+            head = self.peek_time()
+            if head is None or head > time + tol:
+                break
+            _, payload = self.pop()
+            payloads.append(payload)
+        return payloads
+
+    def __len__(self) -> int:
+        self._skip_cancelled()
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

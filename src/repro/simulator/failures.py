@@ -1,0 +1,97 @@
+"""Task-failure injection — MapReduce's fault-tolerance substrate.
+
+The frameworks the paper targets re-execute failed tasks (Dean & Ghemawat's
+original fault-tolerance story, cited in §I as one of the mechanisms shared
+by MapReduce/Spark/Tez).  The simulator reproduces that behaviour so model
+error under churn can be studied: a failing task dies partway through its
+work, its container is released, and the task is re-queued for a fresh
+attempt (Hadoop's ``mapreduce.map.maxattempts`` limit applies).
+
+Failures are *deterministic* given the model's seed: each (task, attempt)
+pair draws a failure decision and, if it fails, a progress fraction at which
+the attempt dies.  Determinism keeps experiments reproducible and lets the
+estimator-side expected-rework correction be validated exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Per-attempt task failure injection.
+
+    Attributes:
+        probability: chance that any given task *attempt* fails.
+        max_attempts: attempts after which the job is declared failed
+            (Hadoop default: 4).
+        seed: RNG seed mixed with the task identity.
+    """
+
+    probability: float = 0.0
+    max_attempts: int = 4
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise SpecificationError(
+                f"failure probability must be in [0, 1): {self.probability}"
+            )
+        if self.max_attempts < 1:
+            raise SpecificationError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.probability > 0.0
+
+    def draw(self, task_id: str, attempt: int) -> Tuple[bool, float]:
+        """Failure decision for one attempt.
+
+        Returns:
+            (fails, fail_at): whether this attempt fails and, if so, the
+            fraction of the attempt's work at which it dies (uniform in
+            (0.05, 0.95) — deaths at the very edges are indistinguishable
+            from immediate restarts or successes).
+        """
+        key = f"{self.seed}/{task_id}/{attempt}"
+        rng = np.random.default_rng(zlib.crc32(key.encode()) & 0xFFFFFFFF)
+        fails = bool(rng.random() < self.probability)
+        fail_at = float(0.05 + 0.9 * rng.random()) if fails else 1.0
+        return fails, fail_at
+
+    def expected_attempts(self) -> float:
+        """Expected number of attempts per task (geometric, truncated)."""
+        p = self.probability
+        if p == 0.0:
+            return 1.0
+        # Sum_{k=1..max} k * p^(k-1) * (1-p), conditioned on success within
+        # the attempt budget (jobs that exhaust it abort the simulation).
+        total = 0.0
+        norm = 0.0
+        for k in range(1, self.max_attempts + 1):
+            weight = (p ** (k - 1)) * (1 - p)
+            total += k * weight
+            norm += weight
+        return total / norm
+
+    def expected_work_factor(self) -> float:
+        """Expected total work per task relative to a failure-free run.
+
+        A failed attempt dies halfway through on average (uniform death
+        point), so each extra attempt beyond the first costs ~0.5 task's
+        work plus the final full attempt.
+        """
+        extra_attempts = self.expected_attempts() - 1.0
+        return 1.0 + 0.5 * extra_attempts
+
+
+NO_FAILURES = FailureModel(probability=0.0)

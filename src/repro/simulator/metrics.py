@@ -1,0 +1,217 @@
+"""Derived measurements over simulation traces.
+
+The paper's evaluation compares model output against specific statistics of
+the measured traces — "we use the median execution time of tasks as the
+ground truth in all the evaluations" (§V-B) — and reports per-stage
+break-downs and per-state task times.  This module computes those statistics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mapreduce.stage import StageKind
+from repro.simulator.trace import SimulationResult, StateTrace, TaskTrace
+
+
+def task_durations(
+    result: SimulationResult,
+    job: str,
+    kind: StageKind,
+    substage: Optional[str] = None,
+    include_overhead: bool = False,
+) -> List[float]:
+    """Durations of all tasks of a job stage (optionally one sub-stage).
+
+    Args:
+        result: the trace.
+        job: job name.
+        kind: MAP or REDUCE.
+        substage: restrict to one sub-stage name ("map", "shuffle",
+            "reduce", "merge"); None takes the whole task.
+        include_overhead: count the container-startup overhead in whole-task
+            durations (ignored when ``substage`` is given).
+    """
+    out: List[float] = []
+    for task in result.tasks_of(job, kind):
+        if substage is not None:
+            d = task.substage_duration(substage)
+            if d is not None:
+                out.append(d)
+        else:
+            out.append(task.duration if include_overhead else task.work_duration)
+    if not out:
+        raise SimulationError(
+            f"no task durations for {job!r}/{kind}"
+            + (f"/{substage!r}" if substage else "")
+        )
+    return out
+
+
+def median_task_time(
+    result: SimulationResult,
+    job: str,
+    kind: StageKind,
+    substage: Optional[str] = None,
+) -> float:
+    """The paper's ground-truth statistic: the median task execution time."""
+    return float(statistics.median(task_durations(result, job, kind, substage)))
+
+
+def mean_task_time(
+    result: SimulationResult,
+    job: str,
+    kind: StageKind,
+    substage: Optional[str] = None,
+) -> float:
+    return float(statistics.fmean(task_durations(result, job, kind, substage)))
+
+
+def stage_duration(result: SimulationResult, job: str, kind: StageKind) -> float:
+    return result.stage(job, kind).duration
+
+
+def tasks_in_state(
+    result: SimulationResult,
+    state: StateTrace,
+    job: str,
+    kind: StageKind,
+    strict: bool = False,
+) -> List[TaskTrace]:
+    """Tasks of a job stage attributed to a state.
+
+    ``strict=False`` attributes a task by its midpoint; ``strict=True``
+    keeps only tasks that ran *entirely* inside the state, which excludes
+    wave-boundary stragglers whose contention conditions straddle two states
+    (the clean per-state measurement Table II needs).
+    """
+    out = []
+    tol = 1e-6
+    for task in result.tasks_of(job, kind):
+        if strict:
+            if (
+                task.t_start >= state.t_start - tol
+                and task.t_end <= state.t_end + tol
+            ):
+                out.append(task)
+        else:
+            mid = 0.5 * (task.t_start + task.t_end)
+            if state.t_start <= mid < state.t_end:
+                out.append(task)
+    return out
+
+
+def steady_state_tasks(
+    result: SimulationResult, state: StateTrace, job: str, kind: StageKind
+) -> List[TaskTrace]:
+    """Tasks fully inside ``state`` that were in flight at its midpoint.
+
+    This is the clean per-state sample: fully-inside alone over-represents
+    the stage-drain tail (the last tasks run under lighter contention than
+    the state's steady regime), while midpoint attribution admits tasks
+    straddling two allocation regimes.
+    """
+    mid = 0.5 * (state.t_start + state.t_end)
+    return [
+        t
+        for t in tasks_in_state(result, state, job, kind, strict=True)
+        if t.t_start <= mid < t.t_end
+    ]
+
+
+def median_task_time_in_state(
+    result: SimulationResult,
+    state: StateTrace,
+    job: str,
+    kind: StageKind,
+    substage: Optional[str] = None,
+    strict: bool = False,
+    min_samples: int = 1,
+    steady: bool = False,
+) -> Optional[float]:
+    """Median task (or sub-stage) time among tasks attributed to ``state``.
+
+    Returns None when fewer than ``min_samples`` tasks qualify — the caller
+    decides whether that's an error (Table II needs a value per state) or
+    simply an empty cell.  Attribution modes fall back in order of
+    strictness: ``steady`` (fully inside + in flight at the midpoint) ->
+    ``strict`` (fully inside) -> midpoint.
+    """
+    candidates: List[TaskTrace] = []
+    if steady:
+        candidates = steady_state_tasks(result, state, job, kind)
+    if (steady and len(candidates) < min_samples) or (strict and not steady):
+        candidates = tasks_in_state(result, state, job, kind, strict=True)
+    if (strict or steady) and len(candidates) < min_samples:
+        candidates = tasks_in_state(result, state, job, kind, strict=False)
+    if not (strict or steady):
+        candidates = tasks_in_state(result, state, job, kind, strict=False)
+    durations: List[float] = []
+    for task in candidates:
+        if substage is not None:
+            d = task.substage_duration(substage)
+            if d is not None:
+                durations.append(d)
+        else:
+            durations.append(task.work_duration)
+    if len(durations) < min_samples:
+        return None
+    return float(statistics.median(durations))
+
+
+def observed_parallelism(
+    result: SimulationResult, job: str, kind: StageKind, at_time: float
+) -> int:
+    """Number of tasks of a job stage in flight at a given instant."""
+    count = 0
+    for task in result.tasks_of(job, kind):
+        if task.t_start <= at_time < task.t_end:
+            count += 1
+    return count
+
+
+def average_parallelism(
+    result: SimulationResult, job: str, kind: StageKind
+) -> float:
+    """Time-averaged degree of parallelism over the stage's span.
+
+    Computed as total task-seconds divided by stage duration — the quantity
+    the model's ``Delta_i`` estimate should match in steady state.
+    """
+    stage = result.stage(job, kind)
+    if stage.duration <= 0:
+        return 0.0
+    task_seconds = sum(t.duration for t in result.tasks_of(job, kind))
+    return task_seconds / stage.duration
+
+
+def state_summary(result: SimulationResult) -> List[Dict]:
+    """One row per workflow state: interval, running stages, per-stage medians."""
+    rows: List[Dict] = []
+    for state in result.states:
+        entry: Dict = {
+            "state": state.index,
+            "t_start": state.t_start,
+            "t_end": state.t_end,
+            "duration": state.duration,
+            "running": sorted((job, kind.value) for job, kind in state.running),
+            "median_task_times": {},
+        }
+        for job, kind in sorted(state.running):
+            med = median_task_time_in_state(result, state, job, kind)
+            if med is not None:
+                entry["median_task_times"][f"{job}/{kind.value}"] = med
+        rows.append(entry)
+    return rows
+
+
+def fit_normal(durations: List[float]) -> Tuple[float, float]:
+    """(mu, sigma) of a normal fit to task durations (Alg2-Normal input)."""
+    if not durations:
+        raise SimulationError("cannot fit a distribution to zero durations")
+    arr = np.asarray(durations, dtype=float)
+    return float(arr.mean()), float(arr.std(ddof=0))

@@ -1,0 +1,222 @@
+"""Fair sharing of resource pools among fluid flows.
+
+This is the mechanism that makes the simulator a faithful stand-in for a real
+cluster: at any instant, every active task sub-stage is a *flow* that needs
+several resources at once (its pipelined operations), and the OS/hardware
+time-share each resource among its users — the disk scheduler fair-queues
+bytes, the CPU scheduler round-robins runnable threads, the NIC serialises
+packets.
+
+The physical semantics are **per-device equal sharing among demanding flows,
+with redistribution**:
+
+* each device serves its active demanders at equal rates, *except* that a
+  flow whose progress is limited elsewhere (its bottleneck operation sits on
+  another device, or it is capped at one core) demands less than its fair
+  share — and the slack goes back to the hungry flows (water-filling);
+* a flow's progress rate is the minimum over its operations of what each
+  device grants it (the pipeline moves at its slowest operation — the fluid
+  version of the paper's Eq. 3).
+
+Formally the allocation is the fixed point of
+
+    r_i = min( cap_i,  min_{R in ops(i)}  tau_R / w_iR )
+    where tau_R solves   sum_i min(w_iR * r_i, tau_R) = C_R   (tau_R = inf
+    when the device is unsaturated)
+
+which we compute by Gauss-Seidel iteration from an optimistic start.  The
+fixed point realises the paper's execution model mechanically: every flow is
+limited by exactly one bottleneck operation, and non-bottleneck devices run
+at utilisation ``p_X < 1`` (the Fig. 4 numbers); a CPU-bound job's tasks
+occupy the disk only at their actual ``p_disk``, so a co-running disk-bound
+job observes a larger effective share — the redistribution the paper's
+Table II discussion relies on.
+
+Rates are expressed in *progress units per second*: a flow that must move
+``w_p`` units through pool ``p`` per unit of progress consumes ``rate * w_p``
+of that pool's capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+_EPS = 1e-12
+_MAX_ITER = 500
+_REL_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One fluid flow competing for pooled resources.
+
+    Attributes:
+        flow_id: unique identifier.
+        demands: (pool_id, weight) pairs; ``weight`` is the pool units the
+            flow consumes per unit of progress.  Zero-weight entries must be
+            filtered out by the caller.
+        cap: optional private progress-rate cap (units of progress per
+            second), e.g. ``1/amount`` for a one-core compute operation.
+    """
+
+    flow_id: str
+    demands: Tuple[Tuple[str, float], ...]
+    cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.demands and self.cap is None:
+            raise SimulationError(
+                f"flow {self.flow_id!r} has no demands and no cap; its rate "
+                "would be unbounded — zero-work flows must complete instantly "
+                "at the engine level instead"
+            )
+        for pool_id, weight in self.demands:
+            if weight <= 0:
+                raise SimulationError(
+                    f"flow {self.flow_id!r} has non-positive demand {weight} on {pool_id!r}"
+                )
+        if self.cap is not None and self.cap <= 0:
+            raise SimulationError(f"flow {self.flow_id!r} has non-positive cap")
+
+
+def _hungry_level(others: List[float], capacity: float) -> float:
+    """The share a flow would receive on a device if it demanded infinitely,
+    while the ``others`` demand the given amounts.
+
+    Solves ``tau + sum_j min(d_j, tau) = capacity`` for ``tau``: the flows
+    smaller than the water level keep their demand, everyone else (including
+    the hungry flow) gets ``tau``.
+    """
+    if not others:
+        return capacity
+    ordered = sorted(others)
+    n = len(ordered)
+    prefix = 0.0
+    for m, demand in enumerate(ordered):
+        # Hypothesis: the m smallest others are fully satisfied; the hungry
+        # flow and the remaining (n - m) others all sit at the level.
+        tau = (capacity - prefix) / (n - m + 1)
+        if tau <= demand + _EPS:
+            return tau
+        prefix += demand
+    return capacity - prefix
+
+
+def solve_max_min(
+    flows: Sequence[FlowSpec], capacities: Mapping[str, float]
+) -> Dict[str, float]:
+    """Equilibrium progress rates for ``flows`` over ``capacities``.
+
+    Args:
+        flows: the competing flows.  Flow ids must be unique.
+        capacities: pool id -> capacity (units per second).  Every pool a
+            flow references must be present and positive.
+
+    Returns:
+        flow id -> progress rate (units of progress per second).
+    """
+    seen = set()
+    for flow in flows:
+        if flow.flow_id in seen:
+            raise SimulationError(f"duplicate flow id {flow.flow_id!r}")
+        seen.add(flow.flow_id)
+        for pool_id, _ in flow.demands:
+            if pool_id not in capacities:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r} references unknown pool {pool_id!r}"
+                )
+    for pool_id, cap in capacities.items():
+        if cap <= 0:
+            raise SimulationError(f"pool {pool_id!r} has non-positive capacity {cap}")
+    if not flows:
+        return {}
+
+    # A flow may carry several operations on the same pool (e.g. a disk read
+    # and a disk write): they serialise on that device, so the flow's demand
+    # per unit of progress is their *sum*.
+    weights: List[Dict[str, float]] = []
+    for flow in flows:
+        agg: Dict[str, float] = {}
+        for pool_id, weight in flow.demands:
+            agg[pool_id] = agg.get(pool_id, 0.0) + weight
+        weights.append(agg)
+
+    pool_users: Dict[str, List[int]] = {}
+    for idx, agg in enumerate(weights):
+        for pool_id in agg:
+            pool_users.setdefault(pool_id, []).append(idx)
+
+    # Optimistic start: each flow alone on the cluster.
+    rates: List[float] = []
+    for idx, flow in enumerate(flows):
+        bound = flow.cap if flow.cap is not None else float("inf")
+        for pool_id, weight in weights[idx].items():
+            bound = min(bound, capacities[pool_id] / weight)
+        rates.append(bound)
+
+    def sweep(damping: float) -> float:
+        """One Gauss-Seidel sweep; returns the largest relative change."""
+        max_change = 0.0
+        for idx, flow in enumerate(flows):
+            bound = flow.cap if flow.cap is not None else float("inf")
+            for pool_id, weight in weights[idx].items():
+                others = [
+                    weights[j][pool_id] * rates[j]
+                    for j in pool_users[pool_id]
+                    if j != idx
+                ]
+                level = _hungry_level(others, capacities[pool_id])
+                bound = min(bound, level / weight)
+            if bound == float("inf"):  # pragma: no cover - FlowSpec forbids
+                raise SimulationError(f"flow {flow.flow_id!r} is unbounded")
+            updated = damping * rates[idx] + (1.0 - damping) * bound
+            max_change = max(
+                max_change, abs(updated - rates[idx]) / max(rates[idx], _EPS)
+            )
+            rates[idx] = updated
+        return max_change
+
+    converged = False
+    for _ in range(_MAX_ITER):
+        if sweep(damping=0.0) <= _REL_TOL:
+            converged = True
+            break
+    if not converged:
+        # The undamped iteration can (rarely) oscillate between two points;
+        # a short damped phase settles it onto the same fixed point.
+        for _ in range(_MAX_ITER):
+            if sweep(damping=0.5) <= 1e-9:
+                break
+
+    # Feasibility repair: numerical leftovers may overshoot a pool by a hair;
+    # scale back its users proportionally (bounded by one pass per pool).
+    result = {flow.flow_id: max(rates[idx], 0.0) for idx, flow in enumerate(flows)}
+    for pool_id, users in pool_users.items():
+        used = sum(weights[i][pool_id] * result[flows[i].flow_id] for i in users)
+        cap = capacities[pool_id]
+        if used > cap * (1.0 + 1e-9):
+            scale = cap / used
+            for i in users:
+                result[flows[i].flow_id] *= scale
+    return result
+
+
+def pool_utilisation(
+    flows: Sequence[FlowSpec],
+    rates: Mapping[str, float],
+    capacities: Mapping[str, float],
+) -> Dict[str, float]:
+    """Utilisation ``p_X`` of every pool under the given rates.
+
+    This is the quantity the paper reports in the Fig. 4 walk-through
+    (e.g. "the disk utilisation is 20 %, the network utilisation is 100 %").
+    """
+    used: Dict[str, float] = {pool_id: 0.0 for pool_id in capacities}
+    for flow in flows:
+        rate = rates[flow.flow_id]
+        for pool_id, weight in flow.demands:
+            used[pool_id] += rate * weight
+    return {pool_id: used[pool_id] / capacities[pool_id] for pool_id in capacities}

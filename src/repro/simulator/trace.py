@@ -1,0 +1,213 @@
+"""Execution traces — the simulator's equivalent of Hadoop job history.
+
+The paper's authors collect task-level timelines from the cluster's job
+history server; all their models are trained/validated against those traces.
+Our :class:`SimulationResult` plays the same role: it records when every task
+ran, how long each of its sub-stages took, the workflow *states* the
+execution passed through (Fig. 5), and per-job stage boundaries.  It can be
+round-tripped through JSON so profiles can be collected once and reused
+(mirroring the awkward real-world trace collection this reproduction
+replaces).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.mapreduce.stage import StageKind
+
+
+@dataclass(frozen=True)
+class SubStageTrace:
+    """Timing of one sub-stage of one task."""
+
+    name: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """Timeline of one executed task."""
+
+    job: str
+    kind: StageKind
+    index: int
+    node: int
+    input_mb: float
+    t_ready: float
+    t_start: float
+    t_end: float
+    substages: Tuple[SubStageTrace, ...]
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration including the startup overhead."""
+        return self.t_end - self.t_start
+
+    @property
+    def work_duration(self) -> float:
+        """Duration of the sub-stage pipeline only (no startup overhead)."""
+        if not self.substages:
+            return 0.0
+        return self.substages[-1].t_end - self.substages[0].t_start
+
+    def substage_duration(self, name: str) -> Optional[float]:
+        for sub in self.substages:
+            if sub.name == name:
+                return sub.duration
+        return None
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """Boundaries of one schedulable stage of one job."""
+
+    job: str
+    kind: StageKind
+    t_start: float
+    t_end: float
+    num_tasks: int
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class StateTrace:
+    """One workflow state: an interval with a fixed set of running stages.
+
+    ``running`` holds (job name, stage kind) pairs.  States are maximal
+    intervals between map/reduce transitions of any job (paper §IV-A1).
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    running: FrozenSet[Tuple[str, StageKind]]
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced.
+
+    ``failed_attempts`` records fault-injection casualties as
+    (task id, attempt number, failure time) triples; successful re-executions
+    appear in ``tasks`` as usual.
+    """
+
+    workflow_name: str
+    makespan: float
+    tasks: List[TaskTrace] = field(default_factory=list)
+    stages: List[StageTrace] = field(default_factory=list)
+    states: List[StateTrace] = field(default_factory=list)
+    failed_attempts: List[Tuple[str, int, float]] = field(default_factory=list)
+
+    # -- queries ---------------------------------------------------------------
+
+    def tasks_of(self, job: str, kind: Optional[StageKind] = None) -> List[TaskTrace]:
+        return [
+            t
+            for t in self.tasks
+            if t.job == job and (kind is None or t.kind is kind)
+        ]
+
+    def stage(self, job: str, kind: StageKind) -> StageTrace:
+        for s in self.stages:
+            if s.job == job and s.kind is kind:
+                return s
+        raise SimulationError(f"no stage trace for {job!r}/{kind}")
+
+    def job_span(self, job: str) -> Tuple[float, float]:
+        """(start, end) of a job = span of its stage traces."""
+        spans = [s for s in self.stages if s.job == job]
+        if not spans:
+            raise SimulationError(f"no stage traces for job {job!r}")
+        return min(s.t_start for s in spans), max(s.t_end for s in spans)
+
+    def state_of_time(self, t: float) -> StateTrace:
+        for s in self.states:
+            if s.t_start <= t < s.t_end:
+                return s
+        if self.states and abs(t - self.states[-1].t_end) < 1e-9:
+            return self.states[-1]
+        raise SimulationError(f"time {t} outside traced states")
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    def to_json(self) -> str:
+        def encode(obj):
+            if isinstance(obj, StageKind):
+                return obj.value
+            if isinstance(obj, frozenset):
+                return sorted([list(x) for x in obj])
+            raise TypeError(f"cannot encode {type(obj)}")
+
+        payload = {
+            "workflow_name": self.workflow_name,
+            "makespan": self.makespan,
+            "tasks": [asdict(t) for t in self.tasks],
+            "stages": [asdict(s) for s in self.stages],
+            "states": [asdict(s) for s in self.states],
+            "failed_attempts": [list(f) for f in self.failed_attempts],
+        }
+        return json.dumps(payload, default=encode, indent=None)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        raw = json.loads(text)
+        tasks = [
+            TaskTrace(
+                job=t["job"],
+                kind=StageKind(t["kind"]),
+                index=t["index"],
+                node=t["node"],
+                input_mb=t["input_mb"],
+                t_ready=t["t_ready"],
+                t_start=t["t_start"],
+                t_end=t["t_end"],
+                substages=tuple(SubStageTrace(**s) for s in t["substages"]),
+            )
+            for t in raw["tasks"]
+        ]
+        stages = [
+            StageTrace(
+                job=s["job"],
+                kind=StageKind(s["kind"]),
+                t_start=s["t_start"],
+                t_end=s["t_end"],
+                num_tasks=s["num_tasks"],
+            )
+            for s in raw["stages"]
+        ]
+        states = [
+            StateTrace(
+                index=s["index"],
+                t_start=s["t_start"],
+                t_end=s["t_end"],
+                running=frozenset(
+                    (job, StageKind(kind)) for job, kind in s["running"]
+                ),
+            )
+            for s in raw["states"]
+        ]
+        return cls(
+            workflow_name=raw["workflow_name"],
+            makespan=raw["makespan"],
+            tasks=tasks,
+            stages=stages,
+            states=states,
+            failed_attempts=[tuple(f) for f in raw.get("failed_attempts", [])],
+        )

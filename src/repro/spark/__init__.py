@@ -1,0 +1,16 @@
+"""Spark extension: the paper's §I generality claim made concrete."""
+
+from repro.spark.job import DEFAULT_EXECUTOR_SLICE, SparkAppBuilder
+from repro.spark.stage import SINKS, SOURCES, SparkStageJob
+from repro.spark.workloads import spark_kmeans, spark_pagerank, spark_sort
+
+__all__ = [
+    "DEFAULT_EXECUTOR_SLICE",
+    "SINKS",
+    "SOURCES",
+    "SparkAppBuilder",
+    "SparkStageJob",
+    "spark_kmeans",
+    "spark_pagerank",
+    "spark_sort",
+]

@@ -1,0 +1,157 @@
+"""Spark-style stages on top of the shared cost-model machinery.
+
+The paper argues its results "are easy to be extended to other cluster-based
+distributed systems such as Spark and Tez, of which the key mechanisms for
+execution model, task distribution and fault-tolerance are similar" (§I).
+This package makes that claim concrete: a Spark application is a DAG of
+*stages* separated by shuffle boundaries, each stage a set of tasks
+pipelining narrow transformations — which maps directly onto the task
+execution model of Fig. 3.  What changes versus MapReduce is the task
+anatomy:
+
+* a stage reads from HDFS, from its parents' **shuffle files** (network
+  fetch + source-disk read, *without* MapReduce's materialise-to-disk before
+  reduce), or from a **cached RDD** (memory — no I/O at all, Spark's
+  signature advantage for iterative workloads);
+* it writes shuffle files for a child stage, caches its output, or persists
+  to HDFS with replication.
+
+:class:`SparkStageJob` is a map-only job whose task decomposition encodes
+that anatomy via the ``custom_task_substages`` hook, so the simulator, the
+BOE model, Algorithm 1, the tuner and the progress estimator all work on
+Spark DAGs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.resources import Resource
+from repro.errors import SpecificationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.phases import (
+    OP_COMPUTE,
+    OP_READ,
+    OP_TRANSFER,
+    OP_WRITE,
+    OpSpec,
+    SubStageSpec,
+)
+from repro.mapreduce.stage import StageKind
+
+#: Recognised stage inputs/outputs.
+SOURCES = ("hdfs", "shuffle", "cache")
+SINKS = ("shuffle", "cache", "hdfs")
+
+
+@dataclass(frozen=True)
+class SparkStageJob(MapReduceJob):
+    """One Spark stage, expressed as a schedulable (map-only) job.
+
+    Field reuse from :class:`MapReduceJob`: ``input_mb`` is the data the
+    stage consumes, ``map_selectivity`` its output/input ratio,
+    ``map_cpu_mb_s`` the per-core throughput of its fused narrow
+    transformations, ``config.replicas`` the HDFS replication when the sink
+    is HDFS.  ``num_reducers`` is forced to 0 (stages are map-only; the
+    shuffle boundary lives *between* stages).
+
+    Attributes:
+        input_from: where the stage's input lives ("hdfs", "shuffle",
+            "cache").
+        output_to: where its output goes ("shuffle", "cache", "hdfs").
+        partitions: task count of the stage (Spark's RDD partition count);
+            0 falls back to HDFS-split-derived sizing.
+    """
+
+    # Redeclared with default 0: Spark stages are map-only by construction.
+    num_reducers: int = 0
+
+    input_from: str = "hdfs"
+    output_to: str = "shuffle"
+    partitions: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.input_from not in SOURCES:
+            raise SpecificationError(
+                f"stage {self.name!r}: input_from must be one of {SOURCES}"
+            )
+        if self.output_to not in SINKS:
+            raise SpecificationError(
+                f"stage {self.name!r}: output_to must be one of {SINKS}"
+            )
+        if self.partitions < 0:
+            raise SpecificationError(
+                f"stage {self.name!r}: partitions must be >= 0"
+            )
+        if self.num_reducers != 0:
+            raise SpecificationError(
+                f"stage {self.name!r}: Spark stages are map-only "
+                "(set partitions, not num_reducers)"
+            )
+
+    # -- task counts ------------------------------------------------------------
+
+    @property
+    def num_map_tasks(self) -> int:
+        if self.partitions > 0:
+            return self.partitions
+        return super().num_map_tasks
+
+    # -- task anatomy -----------------------------------------------------------
+
+    def custom_task_substages(
+        self, kind: StageKind, task_input_mb: float, remote_fraction: float
+    ) -> List[SubStageSpec]:
+        """The Spark task pipeline: fetch -> compute -> emit, all fused."""
+        if kind is not StageKind.MAP:
+            raise SpecificationError(
+                f"Spark stage {self.name!r} has no {kind} tasks"
+            )
+        if task_input_mb <= 0:
+            raise SpecificationError(
+                f"stage {self.name!r}: task input must be positive"
+            )
+        ops: List[Optional[OpSpec]] = []
+
+        if self.input_from == "hdfs":
+            ops.append(OpSpec(OP_READ, Resource.DISK, task_input_mb))
+        elif self.input_from == "shuffle":
+            # Fetch the partition from every parent task's shuffle files:
+            # source-disk read (attributed symmetrically to this node) plus
+            # the remote fraction over the network.  Unlike MapReduce there
+            # is no materialise-to-disk before processing.
+            ops.append(OpSpec(OP_READ, Resource.DISK, task_input_mb))
+            ops.append(
+                OpSpec(OP_TRANSFER, Resource.NETWORK, task_input_mb * remote_fraction)
+            )
+        # input_from == "cache": served from executor memory, no I/O ops.
+
+        ops.append(
+            OpSpec(
+                OP_COMPUTE,
+                Resource.CPU,
+                task_input_mb / self.map_cpu_mb_s,
+                per_flow_cap=1.0,
+            )
+        )
+
+        out = task_input_mb * self.map_selectivity
+        if out > 0:
+            if self.output_to == "shuffle":
+                ops.append(OpSpec(OP_WRITE, Resource.DISK, out))
+            elif self.output_to == "hdfs":
+                replicas = self.config.replicas
+                ops.append(OpSpec(OP_WRITE, Resource.DISK, out * replicas))
+                if replicas > 1:
+                    ops.append(
+                        OpSpec(OP_TRANSFER, Resource.NETWORK, out * (replicas - 1))
+                    )
+            # output_to == "cache": pinned in executor memory, no I/O ops.
+
+        filtered = tuple(op for op in ops if op is not None and op.amount > 0)
+        if not filtered:
+            # A fully in-memory no-op stage still schedules tasks.
+            filtered = (OpSpec(OP_COMPUTE, Resource.CPU, 1e-9, 1.0),)
+        return [SubStageSpec("stage", filtered)]

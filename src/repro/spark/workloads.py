@@ -1,0 +1,70 @@
+"""Spark reference applications, mirroring the HiBench workloads.
+
+Each factory builds the Spark-native shape of a workload the MapReduce
+catalogue also carries, so experiments can put the paper's §I claim — the
+models extend to Spark — under test, and quantify Spark's caching advantage
+on iterative algorithms inside one consistent world model.
+"""
+
+from __future__ import annotations
+
+from repro.dag.workflow import Workflow
+from repro.spark.job import SparkAppBuilder
+from repro.units import gb
+
+
+def spark_pagerank(
+    input_mb: float = gb(30), iterations: int = 3, cached: bool = True
+) -> Workflow:
+    """PageRank: scan edges, build link structure, iterate rank updates.
+
+    With ``cached=True`` the link structure is pinned in executor memory and
+    every iteration reads it for free — the canonical Spark-vs-MapReduce
+    win.  With ``cached=False`` each iteration re-reads shuffle files,
+    approximating what a framework without RDD caching must do.
+    """
+    builder = (
+        SparkAppBuilder("spark-pr" + ("" if cached else "-nocache"))
+        .read(input_mb, cpu_mb_s=80.0, selectivity=1.0)
+        .shuffle(selectivity=1.0, partitions=120, cpu_mb_s=70.0)
+    )
+    if cached:
+        builder.cache()
+    return (
+        builder.iterate(iterations, selectivity=1.0, partitions=120, cpu_mb_s=70.0)
+        .write(selectivity=0.05, cpu_mb_s=100.0)
+        .build()
+    )
+
+
+def spark_kmeans(
+    input_mb: float = gb(30), iterations: int = 3, cached: bool = True
+) -> Workflow:
+    """KMeans: scan and vectorise points, then iterate Lloyd steps.
+
+    The point set is the cached RDD; each iteration is CPU-heavy distance
+    computation with a tiny shuffle of partial centroid sums.
+    """
+    builder = (
+        SparkAppBuilder("spark-km" + ("" if cached else "-nocache"))
+        .read(input_mb, cpu_mb_s=60.0, selectivity=1.0)
+        .shuffle(selectivity=1.0, partitions=160, cpu_mb_s=80.0)
+    )
+    if cached:
+        builder.cache()
+    return (
+        builder.iterate(iterations, selectivity=0.02, partitions=160, cpu_mb_s=25.0)
+        .write(selectivity=1.0, cpu_mb_s=100.0)
+        .build()
+    )
+
+
+def spark_sort(input_mb: float = gb(30)) -> Workflow:
+    """TeraSort in Spark clothes: scan, range-partition shuffle, write."""
+    return (
+        SparkAppBuilder("spark-sort")
+        .read(input_mb, cpu_mb_s=90.0, selectivity=1.0)
+        .shuffle(selectivity=1.0, partitions=120, cpu_mb_s=50.0)
+        .write(selectivity=1.0, cpu_mb_s=90.0, replicas=1)
+        .build()
+    )

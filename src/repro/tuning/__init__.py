@@ -1,0 +1,21 @@
+"""Model-driven auto-tuning — the application the paper's conclusion names."""
+
+from repro.tuning.knobs import (
+    Assignment,
+    FIELDS,
+    Knob,
+    apply_assignment,
+    default_space,
+)
+from repro.tuning.tuner import GreedyTuner, TuningResult, tune_workflow
+
+__all__ = [
+    "Assignment",
+    "FIELDS",
+    "GreedyTuner",
+    "Knob",
+    "TuningResult",
+    "apply_assignment",
+    "default_space",
+    "tune_workflow",
+]

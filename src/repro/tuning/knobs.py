@@ -1,0 +1,134 @@
+"""Tunable configuration knobs and search spaces.
+
+The paper's closing line promises to "apply our cost models in automatic
+tuning for DAG workflows" — this package builds that application.  A *knob*
+is one configuration field of one job together with its candidate values;
+an *assignment* maps knobs to chosen values and can be applied to a workflow
+to produce the re-configured copy.
+
+The default search space covers the classic Hadoop tuning surface the
+paper's workloads exercise (Table I's ``C`` column, reducer counts, split
+sizes, container sizing), with candidate grids anchored at the job's current
+configuration so the tuner explores around the deployment rather than a
+fixed absolute menu.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import ResourceVector
+from repro.dag.workflow import Workflow
+from repro.errors import SpecificationError
+from repro.mapreduce.config import NO_COMPRESSION, SNAPPY_TEXT
+from repro.mapreduce.job import MapReduceJob
+
+#: Knob field names understood by :func:`apply_assignment`.
+FIELDS = ("num_reducers", "compression", "split_mb", "map_memory_mb")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable field of one job.
+
+    Attributes:
+        job: job name within the workflow.
+        field: one of :data:`FIELDS`.
+        choices: candidate values, first entry = current value.
+    """
+
+    job: str
+    field: str
+    choices: Tuple
+
+    def __post_init__(self) -> None:
+        if self.field not in FIELDS:
+            raise SpecificationError(
+                f"unknown knob field {self.field!r}; pick one of {FIELDS}"
+            )
+        if len(self.choices) < 2:
+            raise SpecificationError(
+                f"knob {self.job}/{self.field} needs at least 2 choices"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.job, self.field)
+
+
+Assignment = Dict[Tuple[str, str], object]
+
+
+def default_space(workflow: Workflow, cluster: Cluster) -> List[Knob]:
+    """The standard knob grid for every job of a workflow."""
+    knobs: List[Knob] = []
+    slots = cluster.capacity.max_containers(ResourceVector(1.0, 3000.0))
+    for job in workflow.jobs:
+        if not job.is_map_only:
+            current = job.num_reducers
+            candidates = sorted(
+                {
+                    current,
+                    max(2, current // 2),
+                    current * 2,
+                    slots,
+                    2 * slots,
+                }
+            )
+            # Current first (the tuner's baseline), then the rest.
+            ordered = (current, *[c for c in candidates if c != current])
+            knobs.append(Knob(job.name, "num_reducers", ordered))
+        compression = job.config.compression
+        knobs.append(
+            Knob(
+                job.name,
+                "compression",
+                (compression, SNAPPY_TEXT if not compression.enabled else NO_COMPRESSION),
+            )
+        )
+        split = job.config.split_mb
+        knobs.append(
+            Knob(job.name, "split_mb", (split, split / 2, split * 2))
+        )
+        memory = job.config.map_container.memory_mb
+        knobs.append(
+            Knob(
+                job.name,
+                "map_memory_mb",
+                (memory, memory / 2, memory * 2),
+            )
+        )
+    return knobs
+
+
+def apply_assignment(workflow: Workflow, assignment: Assignment) -> Workflow:
+    """A copy of the workflow with the assignment's values applied."""
+    jobs: List[MapReduceJob] = []
+    for job in workflow.jobs:
+        updated = job
+        for (job_name, field), value in assignment.items():
+            if job_name != job.name:
+                continue
+            if field == "num_reducers":
+                reducers = int(value)
+                if reducers < 0:
+                    raise SpecificationError(
+                        f"reducer count must be >= 0: {reducers}"
+                    )
+                updated = replace(updated, num_reducers=reducers)
+            elif field == "compression":
+                updated = updated.with_config(compression=value)
+            elif field == "split_mb":
+                updated = updated.with_config(split_mb=float(value))
+            elif field == "map_memory_mb":
+                container = updated.config.map_container
+                updated = updated.with_config(
+                    map_container=ResourceVector(container.vcores, float(value))
+                )
+            else:  # pragma: no cover - Knob validates fields
+                raise SpecificationError(f"unknown knob field {field!r}")
+        jobs.append(updated)
+    return Workflow(name=workflow.name, jobs=tuple(jobs), edges=workflow.edges)

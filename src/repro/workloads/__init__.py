@@ -1,0 +1,59 @@
+"""Workload definitions: Table I catalogue, HiBench, TPC-H, Fig. 1 weblog."""
+
+from repro.workloads.catalog import TABLE1, CatalogEntry, catalog, entry
+from repro.workloads.generator import GeneratorSpec, random_workflow, workflow_family
+from repro.workloads.hybrid import (
+    hybrid,
+    micro_plus_analytics,
+    micro_plus_query,
+    micro_workflow,
+    table3_workflows,
+)
+from repro.workloads.kmeans import kmeans, kmeans_classification, kmeans_iteration
+from repro.workloads.pagerank import (
+    pagerank,
+    pagerank_aggregate,
+    pagerank_contrib,
+    pagerank_init,
+)
+from repro.workloads.terasort import (
+    terasort,
+    terasort_2r,
+    terasort_3r,
+    terasort_compressed,
+)
+from repro.workloads.tpch import QUERY_SPECS, all_queries, table_mb, tpch_query
+from repro.workloads.weblog import weblog_dag
+from repro.workloads.wordcount import wordcount
+
+__all__ = [
+    "CatalogEntry",
+    "GeneratorSpec",
+    "QUERY_SPECS",
+    "TABLE1",
+    "all_queries",
+    "catalog",
+    "entry",
+    "hybrid",
+    "kmeans",
+    "kmeans_classification",
+    "kmeans_iteration",
+    "micro_plus_analytics",
+    "micro_plus_query",
+    "micro_workflow",
+    "pagerank",
+    "pagerank_aggregate",
+    "pagerank_contrib",
+    "pagerank_init",
+    "random_workflow",
+    "table3_workflows",
+    "table_mb",
+    "terasort",
+    "terasort_2r",
+    "terasort_3r",
+    "terasort_compressed",
+    "tpch_query",
+    "weblog_dag",
+    "wordcount",
+    "workflow_family",
+]

@@ -1,0 +1,150 @@
+"""The workload catalogue of Table I.
+
+Each row records the workload factory together with the paper's annotations:
+whether compression is enabled (``C``), the output replication factor
+(``R``), and the expected bottleneck resource(s) — which the Table I bench
+verifies the BOE model identifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.cluster.resources import Resource
+from repro.dag.workflow import Workflow, single_job_workflow
+from repro.errors import SpecificationError
+from repro.units import gb
+from repro.workloads.hybrid import hybrid, micro_workflow
+from repro.workloads.kmeans import kmeans
+from repro.workloads.pagerank import pagerank
+from repro.workloads.terasort import terasort, terasort_3r, terasort_compressed
+from repro.workloads.wordcount import wordcount
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One Table I row.
+
+    Attributes:
+        name: the paper's workload label.
+        group: Table I row group ("micro-single", "micro-multi", "hybrid").
+        compressed: the ``C`` column.
+        replicas: the ``R`` column (per constituent job for multi-job rows).
+        expected_bottlenecks: the paper's bottleneck annotation, as the set
+            of resources that should dominate at least one stage.
+        factory: builds the workflow at a given scale.
+    """
+
+    name: str
+    group: str
+    compressed: bool
+    replicas: Tuple[int, ...]
+    expected_bottlenecks: Tuple[Resource, ...]
+    factory: Callable[[float], Workflow]
+
+
+def _wc(scale: float) -> Workflow:
+    return single_job_workflow(wordcount(input_mb=gb(100) * scale))
+
+
+def _tsc(scale: float) -> Workflow:
+    return single_job_workflow(terasort_compressed(input_mb=gb(100) * scale))
+
+
+def _ts(scale: float) -> Workflow:
+    return single_job_workflow(terasort(input_mb=gb(100) * scale))
+
+
+def _ts3r(scale: float) -> Workflow:
+    return single_job_workflow(terasort_3r(input_mb=gb(100) * scale))
+
+
+def _wc_ts(scale: float) -> Workflow:
+    return hybrid(
+        "WC+TS",
+        micro_workflow("wc", gb(100) * scale),
+        micro_workflow("ts", gb(100) * scale),
+    )
+
+
+def _wc_ts3r(scale: float) -> Workflow:
+    return hybrid(
+        "WC+TS3R",
+        micro_workflow("wc", gb(100) * scale),
+        micro_workflow("ts3r", gb(100) * scale),
+    )
+
+
+def _wc_km(scale: float) -> Workflow:
+    return hybrid(
+        "WC+KMeans", micro_workflow("wc", gb(100) * scale), kmeans(gb(100) * scale)
+    )
+
+
+def _wc_pr(scale: float) -> Workflow:
+    return hybrid(
+        "WC+PageRank", micro_workflow("wc", gb(100) * scale), pagerank(gb(60) * scale)
+    )
+
+
+def _ts_km(scale: float) -> Workflow:
+    return hybrid(
+        "TS+KMeans", micro_workflow("ts", gb(100) * scale), kmeans(gb(100) * scale)
+    )
+
+
+def _ts_pr(scale: float) -> Workflow:
+    return hybrid(
+        "TS+PageRank", micro_workflow("ts", gb(100) * scale), pagerank(gb(60) * scale)
+    )
+
+
+TABLE1: List[CatalogEntry] = [
+    CatalogEntry(
+        "WC", "micro-single", True, (3,), (Resource.CPU,), _wc
+    ),
+    CatalogEntry(
+        "TSC", "micro-single", True, (1,), (Resource.CPU,), _tsc
+    ),
+    CatalogEntry(
+        "TS", "micro-single", False, (1,), (Resource.CPU, Resource.DISK), _ts
+    ),
+    CatalogEntry(
+        "TS3R",
+        "micro-single",
+        False,
+        (3,),
+        (Resource.CPU, Resource.NETWORK),
+        _ts3r,
+    ),
+    CatalogEntry(
+        "WC+TS", "micro-multi", False, (3, 1), (Resource.CPU,), _wc_ts
+    ),
+    CatalogEntry(
+        "WC+TS3R",
+        "micro-multi",
+        False,
+        (3, 3),
+        (Resource.CPU, Resource.NETWORK),
+        _wc_ts3r,
+    ),
+    CatalogEntry("WC+KMeans", "hybrid", True, (3,), (), _wc_km),
+    CatalogEntry("WC+PageRank", "hybrid", True, (3,), (), _wc_pr),
+    CatalogEntry("TS+KMeans", "hybrid", True, (3,), (), _ts_km),
+    CatalogEntry("TS+PageRank", "hybrid", True, (3,), (), _ts_pr),
+]
+
+
+def catalog() -> Dict[str, CatalogEntry]:
+    """Table I entries keyed by workload name."""
+    return {entry.name: entry for entry in TABLE1}
+
+
+def entry(name: str) -> CatalogEntry:
+    try:
+        return catalog()[name]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown catalogue workload {name!r}; see workloads.catalog.TABLE1"
+        ) from None

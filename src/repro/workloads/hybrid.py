@@ -1,0 +1,105 @@
+"""Hybrid (parallel) workload composition — the Table II / Table III DAGs.
+
+The paper's hybrid workloads "run two jobs/queries in parallel" so that the
+cluster's preemptable resources are contended: ``WC+TS``, ``WC+TS3R``
+(Table II), and the 51 Table III workflows pairing a micro-benchmark with a
+TPC-H query or a HiBench analytics DAG (``TS-Q1`` ... ``WC-PR``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dag.builder import parallel
+from repro.dag.workflow import Workflow, single_job_workflow
+from repro.errors import SpecificationError
+from repro.units import gb
+from repro.workloads.kmeans import kmeans
+from repro.workloads.pagerank import pagerank
+from repro.workloads.terasort import terasort, terasort_2r, terasort_3r
+from repro.workloads.tpch import tpch_query
+from repro.workloads.wordcount import wordcount
+
+
+def hybrid(name: str, left: Workflow, right: Workflow) -> Workflow:
+    """Run two workflows side by side, contending for the cluster."""
+    return parallel(name, [left, right])
+
+
+def micro_workflow(kind: str, input_mb: float = gb(100)) -> Workflow:
+    """The micro-benchmark half of a hybrid: 'wc', 'ts', 'ts2r' or 'ts3r'."""
+    factories = {
+        "wc": wordcount,
+        "ts": terasort,
+        "ts2r": terasort_2r,
+        "ts3r": terasort_3r,
+    }
+    if kind not in factories:
+        raise SpecificationError(
+            f"unknown micro benchmark {kind!r}; pick one of {sorted(factories)}"
+        )
+    return single_job_workflow(factories[kind](input_mb=input_mb))
+
+
+def micro_plus_query(
+    micro: str,
+    query: int,
+    micro_mb: float = gb(100),
+    dataset_mb: float = gb(80),
+) -> Workflow:
+    """A Table III workflow like ``WC-Q5`` or ``TS-Q21``."""
+    left = micro_workflow(micro, input_mb=micro_mb)
+    right = tpch_query(query, dataset_mb=dataset_mb)
+    return hybrid(f"{micro.upper()}-Q{query}", left, right)
+
+
+def micro_plus_analytics(
+    micro: str,
+    analytics: str,
+    micro_mb: float = gb(100),
+    analytics_mb: Optional[float] = None,
+) -> Workflow:
+    """A Table III workflow like ``WC-KM`` or ``TS-PR``."""
+    if analytics == "km":
+        right = kmeans(input_mb=analytics_mb or gb(100))
+    elif analytics == "pr":
+        right = pagerank(input_mb=analytics_mb or gb(60))
+    else:
+        raise SpecificationError(
+            f"unknown analytics workload {analytics!r}; pick 'km' or 'pr'"
+        )
+    left = micro_workflow(micro, input_mb=micro_mb)
+    return hybrid(f"{micro.upper()}-{analytics.upper()}", left, right)
+
+
+def table3_workflows(scale: float = 1.0) -> Dict[str, Workflow]:
+    """All 51 workflows of Table III.
+
+    22 ``TS-Q*`` + 22 ``WC-Q*`` hybrids, the three ``WC-TS*`` micro pairs,
+    and the four micro+analytics pairs.  ``scale`` shrinks every input
+    volume proportionally (the DAG shapes and bottleneck structure are
+    volume-invariant, so benches can run at reduced scale).
+    """
+    if scale <= 0:
+        raise SpecificationError(f"scale must be positive: {scale}")
+    micro_mb = gb(100) * scale
+    dataset_mb = gb(80) * scale
+    out: Dict[str, Workflow] = {}
+    for q in range(1, 23):
+        out[f"TS-Q{q}"] = micro_plus_query("ts", q, micro_mb, dataset_mb)
+    for q in range(1, 23):
+        out[f"WC-Q{q}"] = micro_plus_query("wc", q, micro_mb, dataset_mb)
+    out["WC-TS"] = hybrid(
+        "WC-TS", micro_workflow("wc", micro_mb), micro_workflow("ts", micro_mb)
+    )
+    out["WC-TS2R"] = hybrid(
+        "WC-TS2R", micro_workflow("wc", micro_mb), micro_workflow("ts2r", micro_mb)
+    )
+    out["WC-TS3R"] = hybrid(
+        "WC-TS3R", micro_workflow("wc", micro_mb), micro_workflow("ts3r", micro_mb)
+    )
+    out["WC-KM"] = micro_plus_analytics("wc", "km", micro_mb, gb(100) * scale)
+    out["WC-PR"] = micro_plus_analytics("wc", "pr", micro_mb, gb(60) * scale)
+    out["TS-KM"] = micro_plus_analytics("ts", "km", micro_mb, gb(100) * scale)
+    out["TS-PR"] = micro_plus_analytics("ts", "pr", micro_mb, gb(60) * scale)
+    return out

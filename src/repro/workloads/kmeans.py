@@ -1,0 +1,72 @@
+"""KMeans clustering DAG (HiBench "huge" preset; Table I hybrid rows).
+
+HiBench KMeans on MapReduce runs one job per Lloyd iteration — the map
+assigns each sample to its nearest centroid (distance computation, heavily
+CPU-bound), a combiner pre-aggregates partial sums per centroid so the
+shuffle is tiny, and the reduce recomputes the centroids — followed by a
+final classification job that labels the dataset and writes it back.
+
+The DAG is a pure chain: iteration *k+1* consumes the centroids of
+iteration *k*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dag.builder import chain
+from repro.dag.workflow import Workflow
+from repro.mapreduce.config import JobConfig, SNAPPY_TEXT
+from repro.mapreduce.job import MapReduceJob
+from repro.units import gb
+
+#: Distance computation over dense vectors, MB/s per core.
+KMEANS_MAP_CPU_MB_S = 25.0
+#: Centroid recomputation, MB/s per core.
+KMEANS_REDUCE_CPU_MB_S = 50.0
+#: Combiner output (partial centroid sums) per input byte.
+KMEANS_MAP_SELECTIVITY = 0.02
+
+
+def kmeans_iteration(
+    input_mb: float, iteration: int, name_prefix: str = "km"
+) -> MapReduceJob:
+    """One Lloyd iteration: assign samples, recompute centroids."""
+    return MapReduceJob(
+        name=f"{name_prefix}-it{iteration}",
+        input_mb=input_mb,
+        map_selectivity=KMEANS_MAP_SELECTIVITY,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=KMEANS_MAP_CPU_MB_S,
+        reduce_cpu_mb_s=KMEANS_REDUCE_CPU_MB_S,
+        num_reducers=10,
+        config=JobConfig(compression=SNAPPY_TEXT, replicas=3),
+    )
+
+
+def kmeans_classification(
+    input_mb: float, name_prefix: str = "km"
+) -> MapReduceJob:
+    """The final map-only labelling pass (writes the clustered dataset)."""
+    return MapReduceJob(
+        name=f"{name_prefix}-classify",
+        input_mb=input_mb,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=KMEANS_MAP_CPU_MB_S * 2,  # no combiner aggregation work
+        reduce_cpu_mb_s=KMEANS_REDUCE_CPU_MB_S,
+        num_reducers=0,  # map-only
+        config=JobConfig(compression=SNAPPY_TEXT, replicas=3),
+    )
+
+
+def kmeans(
+    input_mb: float = gb(100), iterations: int = 3, name: str = "kmeans"
+) -> Workflow:
+    """The KMeans DAG: ``iterations`` Lloyd steps then a classification."""
+    jobs: List[MapReduceJob] = [
+        kmeans_iteration(input_mb, i + 1, name_prefix=name)
+        for i in range(iterations)
+    ]
+    jobs.append(kmeans_classification(input_mb, name_prefix=name))
+    return chain(name, jobs)

@@ -1,0 +1,81 @@
+"""PageRank DAG (HiBench "huge" preset; Table I hybrid rows).
+
+HiBench PageRank on MapReduce runs two jobs per power iteration: the first
+joins the rank vector with the adjacency lists and emits contributions along
+every edge (selectivity ~1, shuffle-heavy — this is where the network gets
+exercised), the second aggregates the contributions into new ranks.  An
+initialisation job builds the (rank, adjacency) structure up front.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dag.builder import chain
+from repro.dag.workflow import Workflow
+from repro.mapreduce.config import JobConfig, NO_COMPRESSION, SNAPPY_TEXT
+from repro.mapreduce.job import MapReduceJob
+from repro.units import gb
+
+#: Graph-edge processing throughput, MB/s per core (join/emit is cheap).
+PR_MAP_CPU_MB_S = 70.0
+#: Rank aggregation throughput, MB/s per core.
+PR_REDUCE_CPU_MB_S = 60.0
+
+
+def pagerank_init(input_mb: float, name_prefix: str = "pr") -> MapReduceJob:
+    """Build the initial (rank, adjacency) table from the edge list."""
+    return MapReduceJob(
+        name=f"{name_prefix}-init",
+        input_mb=input_mb,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=PR_MAP_CPU_MB_S,
+        reduce_cpu_mb_s=PR_REDUCE_CPU_MB_S,
+        num_reducers=60,
+        config=JobConfig(compression=NO_COMPRESSION, replicas=1),
+    )
+
+
+def pagerank_contrib(
+    input_mb: float, iteration: int, name_prefix: str = "pr"
+) -> MapReduceJob:
+    """Join ranks with adjacency and emit per-edge contributions."""
+    return MapReduceJob(
+        name=f"{name_prefix}-it{iteration}-contrib",
+        input_mb=input_mb,
+        map_selectivity=1.2,  # contributions fan out along edges
+        reduce_selectivity=0.8,
+        map_cpu_mb_s=PR_MAP_CPU_MB_S,
+        reduce_cpu_mb_s=PR_REDUCE_CPU_MB_S,
+        num_reducers=60,
+        config=JobConfig(compression=NO_COMPRESSION, replicas=1),
+    )
+
+
+def pagerank_aggregate(
+    input_mb: float, iteration: int, name_prefix: str = "pr"
+) -> MapReduceJob:
+    """Sum contributions into the next rank vector (small output)."""
+    return MapReduceJob(
+        name=f"{name_prefix}-it{iteration}-agg",
+        input_mb=input_mb,
+        map_selectivity=1.0,
+        reduce_selectivity=0.1,
+        map_cpu_mb_s=PR_MAP_CPU_MB_S,
+        reduce_cpu_mb_s=PR_REDUCE_CPU_MB_S,
+        num_reducers=30,
+        config=JobConfig(compression=NO_COMPRESSION, replicas=1),
+    )
+
+
+def pagerank(
+    input_mb: float = gb(60), iterations: int = 2, name: str = "pagerank"
+) -> Workflow:
+    """The PageRank DAG: init, then (contrib, aggregate) per iteration."""
+    jobs: List[MapReduceJob] = [pagerank_init(input_mb, name_prefix=name)]
+    per_iter = input_mb
+    for i in range(1, iterations + 1):
+        jobs.append(pagerank_contrib(per_iter, i, name_prefix=name))
+        jobs.append(pagerank_aggregate(per_iter * 1.2 * 0.8, i, name_prefix=name))
+    return chain(name, jobs)

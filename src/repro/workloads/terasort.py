@@ -1,0 +1,90 @@
+"""TeraSort variants (Table I: TS, TSC, TS3R — plus TS2R used in Table III).
+
+TeraSort moves every byte through the full MapReduce pipeline: the map
+range-partitions records (selectivity 1), the shuffle carries the whole
+dataset, and the reduce writes it all back to HDFS.  The Table I variants
+differ only in configuration:
+
+* ``TS``   — no compression, 1 output replica; map is CPU/disk-bound
+  (crossing over as parallelism grows), shuffle network-bound, reduce
+  CPU-bound at low parallelism and disk-bound at high (Fig. 6d-f);
+* ``TSC``  — deflate compression on (a heavier codec than snappy: ratio
+  ~0.6 at real CPU cost), 1 replica; CPU becomes the bottleneck;
+* ``TS2R`` / ``TS3R`` — no compression, 2/3 output replicas; the extra
+  replicas cross the network, making the reduce network-bound.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.config import GZIP_BINARY, JobConfig, NO_COMPRESSION
+from repro.mapreduce.job import MapReduceJob
+from repro.units import gb
+
+#: Range-partitioning map pipeline throughput, MB/s per core.  Chosen so the
+#: map crosses from CPU-bound (low parallelism, one free core each) to
+#: disk-bound (high parallelism) — the Table I "CPU, Disk" entry.
+TS_MAP_CPU_MB_S = 60.0
+#: Merge + write reduce pipeline throughput, MB/s per core: CPU-bound at low
+#: parallelism, disk-bound at high (paper §V-B1).
+TS_REDUCE_CPU_MB_S = 40.0
+
+
+def _terasort(
+    name: str,
+    input_mb: float,
+    num_reducers: int,
+    config: JobConfig,
+) -> MapReduceJob:
+    return MapReduceJob(
+        name=name,
+        input_mb=input_mb,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=TS_MAP_CPU_MB_S,
+        reduce_cpu_mb_s=TS_REDUCE_CPU_MB_S,
+        num_reducers=num_reducers,
+        config=config,
+    )
+
+
+def terasort(
+    input_mb: float = gb(100),
+    num_reducers: int = 60,
+    name: str = "ts",
+    replicas: int = 1,
+) -> MapReduceJob:
+    """``TS`` (and, via ``replicas``, the TS2R/TS3R variants)."""
+    return _terasort(
+        name,
+        input_mb,
+        num_reducers,
+        JobConfig(compression=NO_COMPRESSION, replicas=replicas),
+    )
+
+
+def terasort_compressed(
+    input_mb: float = gb(100),
+    num_reducers: int = 60,
+    name: str = "tsc",
+) -> MapReduceJob:
+    """``TSC``: compression on, 1 replica (Table I row 2)."""
+    return _terasort(
+        name,
+        input_mb,
+        num_reducers,
+        JobConfig(compression=GZIP_BINARY, replicas=1),
+    )
+
+
+def terasort_2r(
+    input_mb: float = gb(100), num_reducers: int = 60, name: str = "ts2r"
+) -> MapReduceJob:
+    """``TS2R``: 2 output replicas (Table III's WC-TS2R hybrid)."""
+    return terasort(input_mb, num_reducers, name=name, replicas=2)
+
+
+def terasort_3r(
+    input_mb: float = gb(100), num_reducers: int = 60, name: str = "ts3r"
+) -> MapReduceJob:
+    """``TS3R``: 3 output replicas; reduce becomes network-bound (Table I)."""
+    return terasort(input_mb, num_reducers, name=name, replicas=3)

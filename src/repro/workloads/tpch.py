@@ -1,0 +1,213 @@
+"""TPC-H queries Q1-Q22 as MapReduce DAG workflows.
+
+The paper runs the Hive translation of TPC-H (80 GB across 8 tables) and
+evaluates its models on the resulting DAGs of MapReduce jobs.  We reproduce
+the *DAG shapes* of those plans — job counts (e.g. Q21 compiles to 9 jobs,
+§V-C), scan/join/aggregate structure, and data-flow volumes derived from the
+TPC-H table sizes — rather than executing SQL, because the models only ever
+see the job profiles and the topology (Problem 1).  This substitution is
+recorded in DESIGN.md.
+
+Plan synthesis per query:
+
+* one **scan** job per sufficiently large base table (small dimension tables
+  ride along as Hive map-side joins and do not get their own job);
+* a chain of **join** jobs folding in the scan outputs pairwise, largest
+  first — the left-deep shape Hive's planner produces;
+* trailing **aggregate/order** jobs consuming the final join output.
+
+Table sizes follow the official TPC-H scale-factor proportions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dag.builder import WorkflowBuilder
+from repro.dag.workflow import Workflow
+from repro.errors import SpecificationError
+from repro.mapreduce.config import JobConfig, SNAPPY_TEXT
+from repro.mapreduce.job import MapReduceJob
+from repro.units import gb
+
+#: Fraction of the total dataset occupied by each table (TPC-H SF layout).
+TABLE_FRACTIONS: Dict[str, float] = {
+    "lineitem": 0.680,
+    "orders": 0.160,
+    "partsupp": 0.107,
+    "part": 0.027,
+    "customer": 0.023,
+    "supplier": 0.0014,
+    "nation": 0.00001,
+    "region": 0.00001,
+}
+
+#: Tables smaller than this fraction of the dataset are map-side joined.
+_MAPJOIN_FRACTION = 0.002
+
+#: (number of MapReduce jobs in the Hive plan, tables referenced).
+QUERY_SPECS: Dict[int, Tuple[int, Tuple[str, ...]]] = {
+    1: (2, ("lineitem",)),
+    2: (5, ("part", "supplier", "partsupp", "nation", "region")),
+    3: (3, ("customer", "orders", "lineitem")),
+    4: (3, ("orders", "lineitem")),
+    5: (5, ("customer", "orders", "lineitem", "supplier", "nation", "region")),
+    6: (1, ("lineitem",)),
+    7: (6, ("supplier", "lineitem", "orders", "customer", "nation")),
+    8: (7, ("part", "supplier", "lineitem", "orders", "customer", "nation", "region")),
+    9: (7, ("part", "supplier", "lineitem", "partsupp", "orders", "nation")),
+    10: (4, ("customer", "orders", "lineitem", "nation")),
+    11: (4, ("partsupp", "supplier", "nation")),
+    12: (3, ("orders", "lineitem")),
+    13: (3, ("customer", "orders")),
+    14: (2, ("lineitem", "part")),
+    15: (3, ("lineitem", "supplier")),
+    16: (4, ("partsupp", "part", "supplier")),
+    17: (4, ("lineitem", "part")),
+    18: (5, ("customer", "orders", "lineitem")),
+    19: (2, ("lineitem", "part")),
+    20: (5, ("supplier", "nation", "partsupp", "part", "lineitem")),
+    21: (9, ("supplier", "lineitem", "orders", "nation")),
+    22: (5, ("customer", "orders")),
+}
+
+#: Hive's row-filter selectivity assumed for scans and joins.
+_SCAN_SELECTIVITY = 0.35
+_JOIN_SELECTIVITY = 0.5
+
+#: Per-core throughputs (MB/s): text parsing + predicate evaluation for
+#: scans; (de)serialisation + hash probing for joins; tiny-input aggregates.
+_SCAN_CPU = 25.0
+_JOIN_MAP_CPU = 55.0
+_JOIN_REDUCE_CPU = 40.0
+
+_CONFIG = JobConfig(compression=SNAPPY_TEXT, replicas=3)
+
+
+def _reducers_for(input_mb: float) -> int:
+    """Hive's bytes-per-reducer heuristic (~500 MB per reducer)."""
+    return max(2, min(120, math.ceil(input_mb / 500.0)))
+
+
+def table_mb(table: str, dataset_mb: float) -> float:
+    try:
+        return TABLE_FRACTIONS[table] * dataset_mb
+    except KeyError:
+        raise SpecificationError(f"unknown TPC-H table {table!r}") from None
+
+
+def _scan_job(query: int, table: str, dataset_mb: float) -> MapReduceJob:
+    size = table_mb(table, dataset_mb)
+    return MapReduceJob(
+        name=f"q{query}-scan-{table}",
+        input_mb=size,
+        map_selectivity=_SCAN_SELECTIVITY,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=_SCAN_CPU,
+        reduce_cpu_mb_s=_JOIN_REDUCE_CPU,
+        num_reducers=_reducers_for(size * _SCAN_SELECTIVITY),
+        config=_CONFIG,
+    )
+
+
+def _join_job(query: int, index: int, input_mb: float) -> MapReduceJob:
+    return MapReduceJob(
+        name=f"q{query}-join{index}",
+        input_mb=input_mb,
+        map_selectivity=1.0,
+        reduce_selectivity=_JOIN_SELECTIVITY,
+        map_cpu_mb_s=_JOIN_MAP_CPU,
+        reduce_cpu_mb_s=_JOIN_REDUCE_CPU,
+        num_reducers=_reducers_for(input_mb),
+        config=_CONFIG,
+    )
+
+
+def _agg_job(query: int, index: int, input_mb: float) -> MapReduceJob:
+    return MapReduceJob(
+        name=f"q{query}-agg{index}",
+        input_mb=input_mb,
+        map_selectivity=0.3,
+        reduce_selectivity=0.2,
+        map_cpu_mb_s=_JOIN_MAP_CPU,
+        reduce_cpu_mb_s=_JOIN_REDUCE_CPU,
+        num_reducers=_reducers_for(input_mb * 0.3),
+        config=_CONFIG,
+    )
+
+
+def tpch_query(query: int, dataset_mb: float = gb(80)) -> Workflow:
+    """The DAG workflow of TPC-H query ``query`` at the given dataset size."""
+    if query not in QUERY_SPECS:
+        raise SpecificationError(f"TPC-H query number must be 1..22, got {query}")
+    num_jobs, tables = QUERY_SPECS[query]
+
+    big_tables = sorted(
+        (t for t in tables if TABLE_FRACTIONS[t] >= _MAPJOIN_FRACTION),
+        key=lambda t: -TABLE_FRACTIONS[t],
+    )
+    # A plan always keeps at least one post-scan job; scans beyond the job
+    # budget fold into the first join (Hive merges cheap stages).
+    num_scans = max(1, min(len(big_tables), num_jobs - 1)) if num_jobs > 1 else 1
+    scans = big_tables[:num_scans]
+    folded = big_tables[num_scans:]
+
+    builder = WorkflowBuilder(f"q{query}")
+    outputs: List[Tuple[str, float]] = []  # (job name, output volume)
+    for table in scans:
+        job = _scan_job(query, table, dataset_mb)
+        builder.add(job)
+        outputs.append((job.name, job.output_mb))
+    folded_mb = sum(table_mb(t, dataset_mb) * _SCAN_SELECTIVITY for t in folded)
+
+    remaining = num_jobs - len(scans)
+    if remaining == 0:
+        return builder.build()
+
+    # Left-deep join chain, folding scan outputs in pairwise (largest first).
+    outputs.sort(key=lambda pair: -pair[1])
+    current_name, current_mb = outputs[0]
+    pending = outputs[1:]
+    join_index = 0
+    # Reserve the last job of the plan for the aggregation/order stage.
+    while remaining > 1 and (pending or join_index == 0):
+        join_index += 1
+        parents = [current_name]
+        input_mb = current_mb + folded_mb
+        folded_mb = 0.0
+        if pending:
+            other_name, other_mb = pending.pop(0)
+            parents.append(other_name)
+            input_mb += other_mb
+        job = _join_job(query, join_index, input_mb)
+        builder.add(job, after=parents)
+        current_name, current_mb = job.name, job.output_mb
+        remaining -= 1
+
+    # Any spare budget beyond the joins becomes cascading aggregations
+    # (GROUP BY + HAVING + ORDER BY stages in the original plans).  The
+    # first aggregation also absorbs any scan outputs the join budget did
+    # not cover (Hive merges cheap stages), so the plan has a single sink.
+    agg_index = 0
+    while remaining > 0:
+        agg_index += 1
+        parents = [current_name]
+        input_mb = current_mb + folded_mb
+        folded_mb = 0.0
+        while pending:
+            other_name, other_mb = pending.pop(0)
+            parents.append(other_name)
+            input_mb += other_mb
+        job = _agg_job(query, agg_index, max(input_mb, 1.0))
+        builder.add(job, after=parents)
+        current_name, current_mb = job.name, job.output_mb
+        remaining -= 1
+
+    return builder.build()
+
+
+def all_queries(dataset_mb: float = gb(80)) -> Dict[int, Workflow]:
+    """All 22 query workflows, keyed by query number."""
+    return {q: tpch_query(q, dataset_mb) for q in sorted(QUERY_SPECS)}

@@ -1,0 +1,91 @@
+"""The web-site-analytics DAG of the paper's Fig. 1.
+
+Four jobs process a page-view event log:
+
+* **j1** pre-aggregates visit durations into (page, IP, duration) records;
+* **j2** counts views per page — "Word Count like" (CPU-bound, compressed);
+* **j3** sorts pages by visit duration — "Sort like" (shuffle/network-heavy);
+* **j4** reports min/median/max duration per page.
+
+j2 and j3 both depend on j1 and run *in parallel*; j4 waits for both.  The
+execution passes through seven states, and — the paper's motivating
+observation — the map-task time of j2 shrinks across states 3-5 (27 s ->
+24 s -> 20 s in their measurement) as j3's stage transitions move the system
+bottleneck from CPU to network to idle.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.resources import ResourceVector
+from repro.dag.builder import WorkflowBuilder
+from repro.dag.workflow import Workflow
+from repro.mapreduce.config import JobConfig, NO_COMPRESSION, SNAPPY_TEXT
+from repro.mapreduce.job import MapReduceJob
+from repro.units import gb
+
+
+def weblog_dag(input_mb: float = gb(50), name: str = "weblog") -> Workflow:
+    """The four-job web-analytics DAG of Fig. 1."""
+    pre_aggregate = MapReduceJob(
+        name="j1-preagg",
+        input_mb=input_mb,
+        map_selectivity=0.6,
+        reduce_selectivity=0.5,
+        map_cpu_mb_s=30.0,
+        reduce_cpu_mb_s=50.0,
+        num_reducers=40,
+        config=JobConfig(compression=SNAPPY_TEXT, replicas=1),
+    )
+    visits_mb = input_mb * 0.6 * 0.5
+    count_views = MapReduceJob(  # Word Count like
+        name="j2-count",
+        input_mb=visits_mb,
+        map_selectivity=0.25,
+        reduce_selectivity=0.1,
+        # Heavy per-event parsing: j2's map stage deliberately outlasts both
+        # of j3's stages, so its tasks are observable under three different
+        # bottleneck regimes (the Fig. 1 walk-through).  Its map container is
+        # sized so the cluster admits a *fixed* 80 of them: when j3
+        # departs, j2 keeps its parallelism and the freed resources show up
+        # as faster tasks — the paper's 27s -> 24s -> 20s effect (their
+        # testbed pinned per-job slots the same way).
+        map_cpu_mb_s=8.0,
+        reduce_cpu_mb_s=30.0,
+        num_reducers=20,
+        config=JobConfig(
+            compression=SNAPPY_TEXT,
+            replicas=1,
+            map_container=ResourceVector(1.0, 4000.0),
+        ),
+    )
+    sort_by_duration = MapReduceJob(  # Sort like
+        name="j3-sort",
+        # Only sessions above the duration threshold get ranked, so the
+        # sort works on half the visit records and finishes well before
+        # j2's heavier scan — giving j2's maps a third, uncontended state.
+        input_mb=visits_mb * 0.5,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=60.0,
+        reduce_cpu_mb_s=40.0,
+        num_reducers=60,
+        config=JobConfig(compression=NO_COMPRESSION, replicas=1),
+    )
+    report = MapReduceJob(
+        name="j4-report",
+        input_mb=visits_mb * (0.25 * 0.1 + 0.5),  # j2 output + j3 output
+        map_selectivity=0.5,
+        reduce_selectivity=0.2,
+        map_cpu_mb_s=40.0,
+        reduce_cpu_mb_s=40.0,
+        num_reducers=10,
+        config=JobConfig(compression=SNAPPY_TEXT, replicas=3),
+    )
+    return (
+        WorkflowBuilder(name)
+        .add(pre_aggregate)
+        .add(count_views, after=["j1-preagg"])
+        .add(sort_by_duration, after=["j1-preagg"])
+        .add(report, after=["j2-count", "j3-sort"])
+        .build()
+    )

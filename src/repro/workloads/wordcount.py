@@ -1,0 +1,47 @@
+"""Word Count (HiBench micro-benchmark; Table I: C=Y, R=3, CPU-bound).
+
+WC is the canonical CPU-bound MapReduce job: tokenising text and running the
+combiner dominates, the combiner collapses the map output to a small word
+histogram per split, and compression shrinks the spill further.  The reduce
+side merges per-word counts — tiny I/O, still CPU-heavy per byte.
+
+Calibration (per-core throughputs) reflects the paper's 2.4 GHz cores:
+Java tokenisation + combining sustains roughly 15 MB/s of raw text per core,
+which keeps the map CPU-bound at every degree of parallelism (Fig. 6a-c).
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.config import JobConfig, SNAPPY_TEXT
+from repro.mapreduce.job import MapReduceJob
+from repro.units import gb
+
+#: Raw-text processing throughput of the WC map pipeline, MB/s per core.
+WC_MAP_CPU_MB_S = 15.0
+#: Post-combiner reduce pipeline throughput, MB/s per core.
+WC_REDUCE_CPU_MB_S = 30.0
+#: Combiner output per input byte (word histogram per 128 MB split).
+WC_MAP_SELECTIVITY = 0.25
+#: Final counts per reduce-input byte.
+WC_REDUCE_SELECTIVITY = 0.1
+
+
+def wordcount(
+    input_mb: float = gb(100),
+    num_reducers: int = 60,
+    name: str = "wc",
+    config: JobConfig = None,
+) -> MapReduceJob:
+    """The WC job of Table I (100 GB input, compression on, 3 replicas)."""
+    if config is None:
+        config = JobConfig(compression=SNAPPY_TEXT, replicas=3)
+    return MapReduceJob(
+        name=name,
+        input_mb=input_mb,
+        map_selectivity=WC_MAP_SELECTIVITY,
+        reduce_selectivity=WC_REDUCE_SELECTIVITY,
+        map_cpu_mb_s=WC_MAP_CPU_MB_S,
+        reduce_cpu_mb_s=WC_REDUCE_CPU_MB_S,
+        num_reducers=num_reducers,
+        config=config,
+    )

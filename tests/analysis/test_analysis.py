@@ -1,0 +1,90 @@
+"""Tests for repro.analysis — metrics and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    AccuracySummary,
+    accuracy,
+    improvement_factor,
+    percentage,
+    relative_error,
+    render_series,
+    render_table,
+    summarise,
+)
+from repro.errors import EstimationError
+
+
+class TestAccuracy:
+    def test_exact_estimate(self):
+        assert accuracy(10.0, 10.0) == 1.0
+
+    def test_symmetric_over_and_under(self):
+        assert accuracy(12.0, 10.0) == pytest.approx(0.8)
+        assert accuracy(8.0, 10.0) == pytest.approx(0.8)
+
+    def test_clamped_at_zero(self):
+        assert accuracy(100.0, 10.0) == 0.0
+
+    def test_requires_positive_actual(self):
+        with pytest.raises(EstimationError):
+            accuracy(1.0, 0.0)
+
+    def test_relative_error_unclamped(self):
+        assert relative_error(30.0, 10.0) == pytest.approx(2.0)
+
+
+class TestImprovementFactor:
+    def test_paper_style_factor(self):
+        # Baseline 50% off, model 10% off -> 5x.
+        assert improvement_factor(15.0, 11.0, 10.0) == pytest.approx(5.0)
+
+    def test_exact_model_caps(self):
+        assert improvement_factor(15.0, 10.0, 10.0) == 1000.0
+
+    def test_cap(self):
+        assert improvement_factor(1e9, 10.0 + 1e-13, 10.0) == 1000.0
+
+
+class TestSummaries:
+    def test_accuracy_summary_of_pairs(self):
+        s = AccuracySummary.of([(9.0, 10.0), (10.0, 10.0)])
+        assert s.mean == pytest.approx(0.95)
+        assert s.minimum == pytest.approx(0.9)
+        assert s.n == 2
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(EstimationError):
+            AccuracySummary.of([])
+
+    def test_summarise_map(self):
+        s = summarise({"a": 0.9, "b": 0.7})
+        assert s.median == pytest.approx(0.8)
+        assert s.maximum == pytest.approx(0.9)
+
+    def test_summarise_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            summarise({})
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["name", "v"], [["a", 1.5], ["bb", 22.25]], precision=2)
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "22.25" in lines[-1]
+
+    def test_render_table_none_cell(self):
+        out = render_table(["x"], [[None]])
+        assert "-" in out
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="Table 42")
+        assert out.splitlines()[0] == "Table 42"
+
+    def test_render_series(self):
+        out = render_series("delta", [1, 2], {"measured": [1.0, 2.0], "boe": [1.1, 2.1]})
+        assert "delta" in out and "measured" in out and "boe" in out
+
+    def test_percentage(self):
+        assert percentage(0.9342) == "93.42%"

@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.timeline — Gantt and utilisation rendering."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    render_gantt,
+    render_utilisation,
+    utilisation_series,
+)
+from repro.cluster import Resource
+from repro.dag import single_job_workflow
+from repro.errors import SimulationError
+from repro.simulator import simulate
+from repro.units import gb
+from repro.workloads import terasort, weblog_dag
+
+
+@pytest.fixture
+def run(cluster):
+    wf = weblog_dag(gb(10))
+    return wf, simulate(wf, cluster)
+
+
+class TestGantt:
+    def test_one_lane_per_stage(self, cluster, run):
+        wf, res = run
+        chart = render_gantt(res)
+        for stage in res.stages:
+            assert f"{stage.job}/{stage.kind.value}" in chart
+
+    def test_state_markers_present(self, cluster, run):
+        _, res = run
+        chart = render_gantt(res)
+        assert "states" in chart
+        assert "|" in chart.splitlines()[-2]
+
+    def test_width_respected(self, cluster, run):
+        _, res = run
+        lanes = render_gantt(res, width=40).splitlines()[1 : 1 + len(res.stages)]
+        for line in lanes:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+    def test_bars_ordered_by_time(self, cluster, run):
+        _, res = run
+        chart = render_gantt(res).splitlines()
+        first_bar = chart[1]
+        last_bar = chart[len(res.stages)]
+        assert first_bar.split("|")[1].index("#") <= last_bar.split("|")[1].index("#")
+
+    def test_too_narrow_rejected(self, cluster, run):
+        _, res = run
+        with pytest.raises(SimulationError):
+            render_gantt(res, width=5)
+
+
+class TestUtilisation:
+    def test_series_bounded(self, cluster, run):
+        wf, res = run
+        for resource in (Resource.CPU, Resource.DISK, Resource.NETWORK):
+            series = utilisation_series(res, wf.job_map, cluster, resource)
+            assert all(-1e-9 <= v <= 1.2 for v in series)  # fluid approx
+
+    def test_cpu_busy_during_cpu_bound_job(self, cluster):
+        wf = single_job_workflow(terasort(gb(10)))
+        res = simulate(wf, cluster)
+        disk = utilisation_series(res, wf.job_map, cluster, Resource.DISK, buckets=10)
+        assert max(disk) > 0.5  # TeraSort hammers the disks
+
+    def test_render_has_three_strips(self, cluster, run):
+        wf, res = run
+        text = render_utilisation(res, wf.job_map, cluster)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("cpu")
+
+    def test_unknown_job_rejected(self, cluster, run):
+        _, res = run
+        with pytest.raises(SimulationError):
+            utilisation_series(res, {}, cluster, Resource.DISK)
+
+    def test_invalid_buckets_rejected(self, cluster, run):
+        wf, res = run
+        with pytest.raises(SimulationError):
+            utilisation_series(res, wf.job_map, cluster, Resource.DISK, buckets=0)

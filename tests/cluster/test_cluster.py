@@ -1,0 +1,55 @@
+"""Tests for repro.cluster.cluster."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    NodeSpec,
+    Resource,
+    paper_cluster,
+    single_node_cluster,
+)
+from repro.errors import SpecificationError
+
+
+class TestCluster:
+    def test_paper_cluster_has_ten_workers(self):
+        # Eleven servers, one runs the masters (§V-A).
+        assert paper_cluster().workers == 10
+
+    def test_total_capacity_scales_with_workers(self):
+        c = paper_cluster()
+        assert c.capacity.vcores == 60.0
+        assert c.capacity.memory_mb == pytest.approx(320_000.0)
+
+    def test_total_cores(self):
+        assert paper_cluster().total_cores == 60
+
+    def test_aggregate_bandwidth(self):
+        c = paper_cluster()
+        assert c.aggregate_bandwidth(Resource.DISK) == pytest.approx(2400.0)
+        assert c.aggregate_bandwidth(Resource.NETWORK) == pytest.approx(1120.0)
+
+    def test_per_node_bandwidth(self):
+        assert paper_cluster().per_node_bandwidth(Resource.DISK) == pytest.approx(240.0)
+
+    def test_remote_fraction(self):
+        assert paper_cluster().remote_fraction == pytest.approx(0.9)
+        assert single_node_cluster().remote_fraction == 0.0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SpecificationError):
+            Cluster(workers=0)
+
+    def test_describe_mentions_workers_and_cores(self):
+        text = paper_cluster().describe()
+        assert "10 workers" in text
+        assert "6 cores" in text
+
+    def test_custom_worker_count(self):
+        assert paper_cluster(workers=4).capacity.vcores == 24.0
+
+    def test_single_node_cluster(self):
+        c = single_node_cluster(NodeSpec(cores=2, memory_mb=8000))
+        assert c.workers == 1
+        assert c.total_cores == 2

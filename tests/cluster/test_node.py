@@ -1,0 +1,50 @@
+"""Tests for repro.cluster.node."""
+
+import pytest
+
+from repro.cluster.node import NodeSpec, PAPER_NODE
+from repro.cluster.resources import Resource
+from repro.errors import SpecificationError
+
+
+class TestNodeSpec:
+    def test_paper_node_matches_testbed(self):
+        # §V-A: 6 physical cores, 2 disks, 32 GB, 1 GbE.
+        assert PAPER_NODE.cores == 6
+        assert PAPER_NODE.disks == 2
+        assert PAPER_NODE.memory_mb == pytest.approx(32_000.0)
+        assert PAPER_NODE.network_mb_s == pytest.approx(112.0)
+
+    def test_capacity_vector(self):
+        node = NodeSpec(cores=4, memory_mb=16_000)
+        assert node.capacity.vcores == 4.0
+        assert node.capacity.memory_mb == 16_000
+
+    def test_disk_bandwidth(self):
+        assert PAPER_NODE.bandwidth(Resource.DISK) == pytest.approx(240.0)
+
+    def test_network_bandwidth(self):
+        assert PAPER_NODE.bandwidth(Resource.NETWORK) == pytest.approx(112.0)
+
+    def test_cpu_has_no_generic_bandwidth(self):
+        # CPU MB/s depends on the job; asking the node is a caller bug.
+        with pytest.raises(SpecificationError):
+            PAPER_NODE.bandwidth(Resource.CPU)
+
+    def test_memory_is_not_a_throughput_pool(self):
+        with pytest.raises(SpecificationError):
+            PAPER_NODE.bandwidth(Resource.MEMORY)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"memory_mb": 0},
+            {"disk_mb_s": -1},
+            {"network_mb_s": 0},
+            {"disks": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(SpecificationError):
+            NodeSpec(**kwargs)

@@ -1,0 +1,96 @@
+"""Tests for repro.cluster.resources."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.resources import (
+    PREEMPTABLE_RESOURCES,
+    Resource,
+    ResourceVector,
+    ZERO_VECTOR,
+)
+from repro.errors import SpecificationError
+
+
+class TestResourceEnum:
+    def test_preemptable_set(self):
+        assert Resource.CPU in PREEMPTABLE_RESOURCES
+        assert Resource.DISK in PREEMPTABLE_RESOURCES
+        assert Resource.NETWORK in PREEMPTABLE_RESOURCES
+
+    def test_memory_not_preemptable(self):
+        assert Resource.MEMORY not in PREEMPTABLE_RESOURCES
+
+    def test_str(self):
+        assert str(Resource.DISK) == "disk"
+
+
+class TestResourceVector:
+    def test_add(self):
+        assert ResourceVector(1, 100) + ResourceVector(2, 200) == ResourceVector(3, 300)
+
+    def test_sub(self):
+        assert ResourceVector(3, 300) - ResourceVector(1, 100) == ResourceVector(2, 200)
+
+    def test_sub_clamps_float_drift(self):
+        # Tiny negative residue from float error snaps to zero.
+        a = ResourceVector(0.0, 0.1 + 0.2)
+        b = ResourceVector(0.0, 0.3 + 1e-9)
+        result = a - b
+        assert result.memory_mb == 0.0
+
+    def test_sub_genuinely_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            ResourceVector(1, 100) - ResourceVector(2, 50)
+
+    def test_scalar_multiply(self):
+        assert ResourceVector(1, 100) * 3 == ResourceVector(3, 300)
+
+    def test_rmul(self):
+        assert 2 * ResourceVector(1, 100) == ResourceVector(2, 200)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(SpecificationError):
+            ResourceVector(-1, 100)
+
+    def test_fits_into(self):
+        assert ResourceVector(1, 100).fits_into(ResourceVector(2, 200))
+        assert not ResourceVector(3, 100).fits_into(ResourceVector(2, 200))
+
+    def test_fits_into_equal(self):
+        assert ResourceVector(2, 200).fits_into(ResourceVector(2, 200))
+
+    def test_dominant_share_picks_max_dimension(self):
+        capacity = ResourceVector(10, 1000)
+        assert ResourceVector(5, 100).dominant_share(capacity) == pytest.approx(0.5)
+        assert ResourceVector(1, 900).dominant_share(capacity) == pytest.approx(0.9)
+
+    def test_dominant_share_requires_positive_capacity(self):
+        with pytest.raises(SpecificationError):
+            ResourceVector(1, 1).dominant_share(ZERO_VECTOR)
+
+    def test_max_containers(self):
+        capacity = ResourceVector(10, 32_000)
+        assert capacity.max_containers(ResourceVector(1, 2_000)) == 10
+        assert capacity.max_containers(ResourceVector(0, 2_000)) == 16
+
+    def test_max_containers_zero_request_rejected(self):
+        with pytest.raises(SpecificationError):
+            ResourceVector(10, 100).max_containers(ZERO_VECTOR)
+
+    @given(
+        v=st.floats(0, 100),
+        m=st.floats(0, 1e6),
+        k=st.floats(0, 10),
+    )
+    def test_scaling_preserves_nonnegativity(self, v, m, k):
+        scaled = ResourceVector(v, m) * k
+        assert scaled.vcores >= 0 and scaled.memory_mb >= 0
+
+    @given(
+        a_v=st.floats(0, 100), a_m=st.floats(0, 1e5),
+        b_v=st.floats(0, 100), b_m=st.floats(0, 1e5),
+    )
+    def test_add_commutes(self, a_v, a_m, b_v, b_m):
+        a, b = ResourceVector(a_v, a_m), ResourceVector(b_v, b_m)
+        assert a + b == b + a

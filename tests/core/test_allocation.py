@@ -1,0 +1,97 @@
+"""Tests for repro.core.allocation — mu(Delta) share arithmetic."""
+
+import pytest
+
+from repro.cluster import Resource, paper_cluster, single_node_cluster
+from repro.core import StageLoad, per_task_throughput, resource_users, share_fraction
+from repro.errors import EstimationError
+from repro.mapreduce.phases import OP_COMPUTE, OP_READ, OP_WRITE, OpSpec, SubStageSpec
+
+
+def sub(*ops) -> SubStageSpec:
+    return SubStageSpec("s", tuple(ops))
+
+
+DISK_READ = OpSpec(OP_READ, Resource.DISK, 100.0)
+DISK_WRITE = OpSpec(OP_WRITE, Resource.DISK, 50.0)
+COMPUTE = OpSpec(OP_COMPUTE, Resource.CPU, 5.0, per_flow_cap=1.0)
+
+
+class TestResourceUsers:
+    def test_counts_tasks_per_node(self):
+        cluster = paper_cluster()  # 10 workers
+        users = resource_users([StageLoad("a", sub(DISK_READ), 40.0)], cluster)
+        assert users[Resource.DISK] == pytest.approx(4.0)
+
+    def test_task_counts_once_per_resource(self):
+        # read + write on disk = one task using the disk, not two.
+        cluster = paper_cluster()
+        users = resource_users(
+            [StageLoad("a", sub(DISK_READ, DISK_WRITE), 40.0)], cluster
+        )
+        assert users[Resource.DISK] == pytest.approx(4.0)
+
+    def test_cross_job_users_accumulate(self):
+        cluster = paper_cluster()
+        users = resource_users(
+            [
+                StageLoad("a", sub(DISK_READ), 40.0),
+                StageLoad("b", sub(DISK_WRITE, COMPUTE), 20.0),
+            ],
+            cluster,
+        )
+        assert users[Resource.DISK] == pytest.approx(6.0)
+        assert users[Resource.CPU] == pytest.approx(2.0)
+
+    def test_utilisation_weights_discount_users(self):
+        cluster = paper_cluster()
+        users = resource_users(
+            [StageLoad("a", sub(DISK_READ), 40.0)],
+            cluster,
+            utilisation={"a": {Resource.DISK: 0.25}},
+        )
+        assert users[Resource.DISK] == pytest.approx(1.0)
+
+
+class TestPerTaskThroughput:
+    def test_disk_share(self):
+        cluster = paper_cluster()
+        users = {Resource.DISK: 4.0}
+        assert per_task_throughput(Resource.DISK, users, cluster) == pytest.approx(
+            60.0  # 240 MB/s node disk split four ways
+        )
+
+    def test_underloaded_node_gives_full_bandwidth(self):
+        cluster = paper_cluster()
+        users = {Resource.DISK: 0.5}  # fewer than one task per node
+        assert per_task_throughput(Resource.DISK, users, cluster) == pytest.approx(
+            240.0
+        )
+
+    def test_cpu_capped_at_one_core(self):
+        cluster = paper_cluster()  # 6 cores
+        assert per_task_throughput(
+            Resource.CPU, {Resource.CPU: 3.0}, cluster
+        ) == pytest.approx(1.0)
+
+    def test_cpu_preemptable_beyond_cores(self):
+        cluster = paper_cluster()
+        assert per_task_throughput(
+            Resource.CPU, {Resource.CPU: 12.0}, cluster
+        ) == pytest.approx(0.5)
+
+    def test_share_fraction(self):
+        assert share_fraction(Resource.DISK, {Resource.DISK: 5.0}) == pytest.approx(
+            0.2
+        )
+        assert share_fraction(Resource.DISK, {}) == 1.0
+
+
+class TestStageLoad:
+    def test_per_node(self):
+        load = StageLoad("a", sub(DISK_READ), 40.0)
+        assert load.per_node(10) == pytest.approx(4.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(EstimationError):
+            StageLoad("a", sub(DISK_READ), -1.0)

@@ -1,0 +1,189 @@
+"""Tests for repro.core.boe — the BOE model itself."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, NodeSpec, Resource, paper_cluster
+from repro.core import BOEModel, StageLoad, align_substage
+from repro.errors import EstimationError
+from repro.experiments.fig4 import EXPECTED, fig4_cluster, fig4_substage
+from repro.mapreduce import (
+    JobConfig,
+    MapReduceJob,
+    SNAPPY_TEXT,
+    StageKind,
+    build_task_substages,
+)
+from repro.mapreduce.phases import OP_COMPUTE, OP_READ, OpSpec, SubStageSpec
+from repro.units import gb
+
+
+class TestFig4WorkedExample:
+    """The paper's own walk-through, asserted exactly."""
+
+    @pytest.mark.parametrize("delta", [1, 5])
+    def test_duration_and_bottleneck(self, delta):
+        model = BOEModel(fig4_cluster())
+        estimate = model.substage_time(
+            StageLoad("demo", fig4_substage(), float(delta))
+        )
+        expected = EXPECTED[delta]
+        assert estimate.duration == pytest.approx(expected["duration"])
+        assert estimate.bottleneck is expected["bottleneck"]
+
+    @pytest.mark.parametrize("delta", [1, 5])
+    def test_utilisations(self, delta):
+        model = BOEModel(fig4_cluster())
+        estimate = model.substage_time(
+            StageLoad("demo", fig4_substage(), float(delta))
+        )
+        expected = EXPECTED[delta]
+        by_resource = {op.resource.value: op.utilisation for op in estimate.ops}
+        assert by_resource["disk"] == pytest.approx(expected["disk"])
+        assert by_resource["network"] == pytest.approx(expected["network"])
+
+
+class TestSingleJobEstimates:
+    def test_wc_map_is_cpu_bound(self, cluster, small_wc):
+        model = BOEModel(cluster)
+        estimate = model.task_time(small_wc, StageKind.MAP, 120.0)
+        assert estimate.substages[0].bottleneck is Resource.CPU
+
+    def test_ts_map_is_disk_bound_at_high_parallelism(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        estimate = model.task_time(small_ts, StageKind.MAP, 160.0)
+        assert estimate.substages[0].bottleneck is Resource.DISK
+
+    def test_ts_reduce_bottleneck_flips_with_parallelism(self, cluster, small_ts):
+        """§V-B1: 'CPU-bound for the low degree of parallelism, disk-bound
+        for the high' — the max operator captures the crossover."""
+        model = BOEModel(cluster)
+        low = model.task_time(small_ts, StageKind.REDUCE, 10.0)
+        high = model.task_time(small_ts, StageKind.REDUCE, 40.0)
+        assert low.substage("reduce").bottleneck is Resource.CPU
+        assert high.substage("reduce").bottleneck is Resource.DISK
+
+    def test_three_replicas_make_reduce_network_bound(self, cluster, small_ts):
+        ts3r = small_ts.with_config(replicas=3)
+        model = BOEModel(cluster)
+        estimate = model.task_time(ts3r, StageKind.REDUCE, 40.0)
+        assert estimate.substage("reduce").bottleneck is Resource.NETWORK
+
+    def test_task_time_sums_substages(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        estimate = model.task_time(small_ts, StageKind.REDUCE, 40.0)
+        assert estimate.duration == pytest.approx(
+            sum(s.duration for s in estimate.substages)
+        )
+
+    def test_missing_substage_lookup_raises(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        estimate = model.task_time(small_ts, StageKind.MAP, 10.0)
+        with pytest.raises(EstimationError):
+            estimate.substage("shuffle")
+
+    def test_stage_bottleneck_helper(self, cluster, small_wc):
+        model = BOEModel(cluster)
+        assert model.stage_bottleneck(small_wc, StageKind.MAP, 120.0) is Resource.CPU
+
+
+class TestConcurrentJobs:
+    def test_competitor_slows_shared_bottleneck(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        alone = model.task_time(small_ts, StageKind.MAP, 80.0)
+        contended = model.task_time(
+            small_ts, StageKind.MAP, 80.0, [(small_ts.renamed("other"), StageKind.MAP, 80.0)]
+        )
+        assert contended.duration > alone.duration
+
+    def test_refined_discounts_nonbottleneck_users(self, cluster, small_wc, small_ts):
+        """A CPU-bound WC occupies the disk only at its p_disk, so the
+        refined model predicts a faster TS map than the plain one."""
+        plain = BOEModel(cluster, refine=False)
+        refined = BOEModel(cluster, refine=True)
+        concurrent = [(small_wc, StageKind.MAP, 80.0)]
+        t_plain = plain.task_time(small_ts, StageKind.MAP, 80.0, concurrent)
+        t_refined = refined.task_time(small_ts, StageKind.MAP, 80.0, concurrent)
+        assert t_refined.duration < t_plain.duration
+
+    def test_network_split_counts_only_users(self, cluster, small_wc, small_ts):
+        """Table II discussion: only tasks *using* a resource share it.  WC
+        maps use no network, so TS's transfer operation is unaffected by
+        their presence (its disk writes are another story)."""
+        model = BOEModel(cluster)
+        ts3r = small_ts.with_config(replicas=3)
+        alone = model.task_time(ts3r, StageKind.REDUCE, 40.0)
+        with_wc_maps = model.task_time(
+            ts3r, StageKind.REDUCE, 40.0, [(small_wc, StageKind.MAP, 80.0)]
+        )
+
+        def transfer_time(estimate):
+            return estimate.substage("shuffle").op("transfer").time
+
+        assert transfer_time(with_wc_maps) == pytest.approx(transfer_time(alone))
+
+
+class TestAlignment:
+    def test_same_name_aligns(self):
+        subs = [
+            SubStageSpec("shuffle", (OpSpec(OP_READ, Resource.DISK, 1.0),)),
+            SubStageSpec("reduce", (OpSpec(OP_READ, Resource.DISK, 9.0),)),
+        ]
+        assert align_substage("shuffle", subs).name == "shuffle"
+
+    def test_fallback_picks_heaviest(self):
+        subs = [
+            SubStageSpec("shuffle", (OpSpec(OP_READ, Resource.DISK, 1.0),)),
+            SubStageSpec("reduce", (OpSpec(OP_READ, Resource.DISK, 9.0),)),
+        ]
+        assert align_substage("map", subs).name == "reduce"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            align_substage("map", [])
+
+
+class TestMonotonicityProperties:
+    @given(delta=st.floats(1.0, 200.0))
+    @settings(max_examples=40, deadline=None)
+    def test_time_nondecreasing_in_parallelism(self, delta):
+        """More contention can never speed a task up."""
+        cluster = paper_cluster()
+        job = MapReduceJob(
+            name="j", input_mb=gb(30), map_cpu_mb_s=30.0, num_reducers=10
+        )
+        model = BOEModel(cluster)
+        t1 = model.task_time(job, StageKind.MAP, delta).duration
+        t2 = model.task_time(job, StageKind.MAP, delta * 1.5).duration
+        assert t2 >= t1 - 1e-9
+
+    @given(mb=st.floats(16.0, 256.0))
+    @settings(max_examples=40, deadline=None)
+    def test_time_scales_with_task_input(self, mb):
+        cluster = paper_cluster()
+        job = MapReduceJob(
+            name="j", input_mb=gb(30), map_cpu_mb_s=30.0, num_reducers=10
+        )
+        model = BOEModel(cluster)
+        # Stay below the sort buffer: beyond it an extra merge pass makes
+        # the growth legitimately super-linear.
+        t1 = model.task_time(job, StageKind.MAP, 60.0, task_input_mb=mb).duration
+        t2 = model.task_time(
+            job, StageKind.MAP, 60.0, task_input_mb=2 * mb
+        ).duration
+        assert t2 == pytest.approx(2 * t1, rel=1e-6)
+
+    @given(
+        disk=st.floats(50.0, 1000.0),
+        net=st.floats(50.0, 1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_faster_hardware_never_slower(self, disk, net):
+        job = MapReduceJob(name="j", input_mb=gb(10), num_reducers=10)
+        slow = Cluster(node=NodeSpec(disk_mb_s=disk, network_mb_s=net), workers=10)
+        fast = Cluster(
+            node=NodeSpec(disk_mb_s=disk * 2, network_mb_s=net * 2), workers=10
+        )
+        t_slow = BOEModel(slow).task_time(job, StageKind.REDUCE, 40.0).duration
+        t_fast = BOEModel(fast).task_time(job, StageKind.REDUCE, 40.0).duration
+        assert t_fast <= t_slow + 1e-9

@@ -1,0 +1,238 @@
+"""Tests for repro.core.estimator — Algorithm 1."""
+
+import pytest
+
+from repro.core import (
+    BOEModel,
+    BOESource,
+    DagEstimator,
+    TaskTimeDistribution,
+    Variant,
+    estimate_workflow,
+)
+from repro.dag import chain, parallel, single_job_workflow
+from repro.errors import EstimationError
+from repro.mapreduce import JobConfig, MapReduceJob, StageKind
+from repro.units import gb
+
+
+def job(name="j", **kwargs) -> MapReduceJob:
+    defaults = dict(
+        input_mb=gb(5),
+        map_cpu_mb_s=30.0,
+        reduce_cpu_mb_s=30.0,
+        num_reducers=20,
+        config=JobConfig(replicas=1),
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(name=name, **defaults)
+
+
+class ConstantSource:
+    """A source returning a fixed distribution — isolates Algorithm 1's
+    state machinery from the task-level model."""
+
+    def __init__(self, seconds: float, std: float = 0.0):
+        self._dist = TaskTimeDistribution(
+            mean=seconds, median=seconds, std=std
+        )
+
+    def distribution(self, job, kind, delta, concurrent):
+        return self._dist
+
+
+class TestSingleJob:
+    def test_two_states_for_map_reduce(self, cluster):
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job())
+        )
+        assert len(est.states) == 2
+        kinds = [sorted(k.value for _, k in s.running) for s in est.states]
+        assert kinds == [["map"], ["reduce"]]
+
+    def test_total_is_sum_of_states(self, cluster):
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job())
+        )
+        assert est.total_time == pytest.approx(sum(est.state_durations()))
+
+    def test_wave_arithmetic(self, cluster):
+        # 40 maps at 160 slots = 1 wave; 20 reduces at 106 slots = 1 wave.
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job())
+        )
+        assert est.total_time == pytest.approx(20.0)
+
+    def test_multiwave_map_stage(self, cluster):
+        # 391 maps at 160 slots = 3 waves.
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job(input_mb=gb(50)))
+        )
+        assert est.stage_duration("j", StageKind.MAP) == pytest.approx(30.0)
+
+    def test_map_only_job_single_state(self, cluster):
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job(num_reducers=0))
+        )
+        assert len(est.states) == 1
+
+    def test_stage_spans_cover_total(self, cluster):
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job())
+        )
+        t0, t1 = est.job_span("j")
+        assert t0 == 0.0 and t1 == pytest.approx(est.total_time)
+
+    def test_overhead_is_measured(self, cluster):
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(
+            single_job_workflow(job())
+        )
+        assert 0 < est.model_overhead_s < 1.0  # the §V-C requirement
+
+
+class TestDagSemantics:
+    def test_chain_adds_up(self, cluster):
+        wf = chain("c", [job("a"), job("b")])
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(wf)
+        assert est.total_time == pytest.approx(40.0)  # 2 stages x 2 jobs
+
+    def test_parallel_jobs_share_states(self, cluster):
+        wf = parallel(
+            "p",
+            [single_job_workflow(job("a"), "A"), single_job_workflow(job("b"), "B")],
+        )
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(wf)
+        assert len(est.states[0].running) == 2
+
+    def test_identical_parallel_jobs_transition_together(self, cluster):
+        wf = parallel(
+            "p",
+            [single_job_workflow(job("a"), "A"), single_job_workflow(job("b"), "B")],
+        )
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(wf)
+        # 80 slots each -> map 1 wave, reduce 1 wave, in lock step.
+        assert est.total_time == pytest.approx(20.0)
+
+    def test_dependent_job_starts_after_parent(self, cluster):
+        wf = chain("c", [job("a"), job("b")])
+        est = DagEstimator(cluster, ConstantSource(10.0)).estimate(wf)
+        assert est.job_span("b")[0] == pytest.approx(est.job_span("a")[1])
+
+
+class TestVariants:
+    def test_normal_variant_slower_under_spread(self, cluster):
+        wf = single_job_workflow(job())
+        mean_est = DagEstimator(
+            cluster, ConstantSource(10.0, std=3.0), variant=Variant.MEAN
+        ).estimate(wf)
+        normal_est = DagEstimator(
+            cluster, ConstantSource(10.0, std=3.0), variant=Variant.NORMAL
+        ).estimate(wf)
+        assert normal_est.total_time > mean_est.total_time
+
+    def test_median_variant_uses_median(self, cluster):
+        source = ConstantSource(10.0)
+        source._dist = TaskTimeDistribution(mean=10.0, median=6.0, std=0.0)
+        est = DagEstimator(cluster, source, variant=Variant.MEDIAN).estimate(
+            single_job_workflow(job())
+        )
+        assert est.total_time == pytest.approx(12.0)
+
+    def test_variant_recorded_in_estimate(self, cluster):
+        est = DagEstimator(
+            cluster, ConstantSource(1.0), variant=Variant.NORMAL
+        ).estimate(single_job_workflow(job()))
+        assert est.variant == "normal"
+
+
+class TestBOESource:
+    def test_boe_source_produces_positive_times(self, cluster, small_wc):
+        source = BOESource(BOEModel(cluster))
+        dist = source.distribution(small_wc, StageKind.MAP, 80.0, [])
+        assert dist.mean > 0
+
+    def test_overhead_inclusion(self, cluster, small_wc):
+        with_oh = BOESource(BOEModel(cluster), include_overhead=True)
+        without = BOESource(BOEModel(cluster), include_overhead=False)
+        d1 = with_oh.distribution(small_wc, StageKind.MAP, 80.0, [])
+        d2 = without.distribution(small_wc, StageKind.MAP, 80.0, [])
+        assert d1.mean == pytest.approx(d2.mean + 1.0)
+
+    def test_skew_cv_widens_distribution(self, cluster, small_wc):
+        source = BOESource(BOEModel(cluster), skew_cv=0.3)
+        dist = source.distribution(small_wc, StageKind.MAP, 80.0, [])
+        assert dist.std == pytest.approx(dist.mean * 0.3)
+
+    def test_negative_cv_rejected(self, cluster):
+        with pytest.raises(EstimationError):
+            BOESource(BOEModel(cluster), skew_cv=-0.1)
+
+    def test_estimate_workflow_convenience(self, cluster):
+        est = estimate_workflow(single_job_workflow(job()), cluster)
+        assert est.total_time > 0
+
+    def test_estimator_recomputes_task_times_per_state(self, cluster):
+        """The Fig. 1 phenomenon: a stage's planned task time changes when a
+        competitor leaves.  The slow job has exactly 80 map tasks so its own
+        parallelism stays pinned while the fast job comes and goes."""
+        slow = job("slow", input_mb=80 * 128.0, map_cpu_mb_s=5.0)
+        fast = job("fast", input_mb=gb(5))
+        wf = parallel(
+            "p",
+            [single_job_workflow(slow, "S"), single_job_workflow(fast, "F")],
+        )
+        est = estimate_workflow(wf, cluster)
+        times = [
+            s.task_times.get(("S.slow", StageKind.MAP))
+            for s in est.states
+            if ("S.slow", StageKind.MAP) in s.running
+        ]
+        assert len(times) >= 2
+        # Once the fast job's stages drain, the slow job's maps speed up.
+        assert times[-1] < times[0]
+
+
+class TestPolicyVariants:
+    def test_fair_policy_runs(self, cluster):
+        from repro.core import BOEModel, BOESource
+
+        wf = parallel(
+            "p",
+            [single_job_workflow(job("a")), single_job_workflow(job("b"))],
+        )
+        est = DagEstimator(
+            cluster, BOESource(BOEModel(cluster)), policy="fair"
+        ).estimate(wf)
+        assert est.total_time > 0
+
+    def test_enforce_vcores_lengthens_estimate(self, cluster):
+        from repro.core import BOEModel, BOESource
+
+        wf = single_job_workflow(job("a", input_mb=gb(20)))
+        source = BOESource(BOEModel(cluster))
+        loose = DagEstimator(cluster, source).estimate(wf)
+        strict = DagEstimator(
+            cluster, source, enforce_vcores=True
+        ).estimate(wf)
+        # 60 slots instead of 160 -> more waves -> longer estimate.
+        assert strict.total_time > loose.total_time
+
+    def test_fifo_preserves_arrival_across_stage_transition(self, cluster):
+        """Regression: a job must keep its FIFO position when it moves from
+        its map stage to its reduce stage (re-inserting it at the back of
+        the running set starves its reduces behind later arrivals)."""
+        from repro.core import BOEModel, BOESource
+
+        first = job("first", input_mb=gb(20))
+        second = job("second", input_mb=gb(20))
+        wf = parallel(
+            "p",
+            [single_job_workflow(first, "A"), single_job_workflow(second, "B")],
+        )
+        source = BOESource(BOEModel(cluster))
+        fifo = DagEstimator(cluster, source, policy="fifo").estimate(wf)
+        drf = DagEstimator(cluster, source, policy="drf").estimate(wf)
+        # FIFO favours the first arrival: its completion time must beat the
+        # fair split, and it must clearly precede the second job's.
+        assert fifo.job_span("A.first")[1] < drf.job_span("A.first")[1]
+        assert fifo.job_span("A.first")[1] < fifo.job_span("B.second")[1]

@@ -1,0 +1,57 @@
+"""Tests for repro.core.parallelism — the Delta_i estimate."""
+
+import pytest
+
+from repro.core import RunningStage, estimate_parallelism
+from repro.errors import EstimationError
+from repro.mapreduce import JobConfig, MapReduceJob, StageKind
+from repro.units import gb
+
+
+def job(name: str, **kwargs) -> MapReduceJob:
+    defaults = dict(input_mb=gb(30), num_reducers=60)
+    defaults.update(kwargs)
+    return MapReduceJob(name=name, **defaults)
+
+
+class TestEstimateParallelism:
+    def test_single_job_fills_memory(self, cluster):
+        stages = [RunningStage(job("a"), StageKind.MAP, 1000.0)]
+        deltas = estimate_parallelism(stages, cluster)
+        assert deltas["a"] == pytest.approx(160.0)  # 320 GB / 2 GB
+
+    def test_two_jobs_split(self, cluster):
+        stages = [
+            RunningStage(job("a"), StageKind.MAP, 1000.0),
+            RunningStage(job("b"), StageKind.MAP, 1000.0),
+        ]
+        deltas = estimate_parallelism(stages, cluster)
+        assert deltas["a"] == pytest.approx(deltas["b"]) == pytest.approx(80.0)
+
+    def test_remaining_tasks_cap(self, cluster):
+        stages = [RunningStage(job("a"), StageKind.MAP, 12.3)]
+        deltas = estimate_parallelism(stages, cluster)
+        assert deltas["a"] == pytest.approx(13.0)  # ceil of remaining
+
+    def test_reduce_containers_differ(self, cluster):
+        # Reduce containers are 3 GB -> fewer fit.
+        stages = [RunningStage(job("a"), StageKind.REDUCE, 1000.0)]
+        deltas = estimate_parallelism(stages, cluster)
+        assert deltas["a"] == pytest.approx(320_000.0 / 3000.0)
+
+    def test_fifo_policy(self, cluster):
+        stages = [
+            RunningStage(job("a"), StageKind.MAP, 1000.0),
+            RunningStage(job("b"), StageKind.MAP, 1000.0),
+        ]
+        deltas = estimate_parallelism(stages, cluster, policy="fifo")
+        assert deltas["a"] == pytest.approx(160.0)
+        assert deltas["b"] == 0.0
+
+    def test_unknown_policy_rejected(self, cluster):
+        with pytest.raises(EstimationError):
+            estimate_parallelism([], cluster, policy="magic")
+
+    def test_negative_remaining_rejected(self, cluster):
+        with pytest.raises(EstimationError):
+            RunningStage(job("a"), StageKind.MAP, -1.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.progress — remaining-time estimation."""
+
+import pytest
+
+from repro.analysis import accuracy
+from repro.core import BOEModel, BOESource, DagEstimator
+from repro.core.state import WorkflowProgress
+from repro.dag import chain, single_job_workflow
+from repro.errors import EstimationError
+from repro.mapreduce import StageKind
+from repro.progress import ProgressEstimator, snapshot_at
+from repro.simulator import simulate
+from repro.units import gb
+from repro.workloads import terasort, weblog_dag, wordcount
+
+
+@pytest.fixture
+def run(cluster):
+    wf = single_job_workflow(terasort(gb(10)))
+    return wf, simulate(wf, cluster)
+
+
+class TestSnapshot:
+    def test_snapshot_at_zero_is_fresh(self, cluster, run):
+        wf, res = run
+        snap = snapshot_at(res, wf, 0.0)
+        assert not snap.completed_jobs
+        (kind, remaining) = snap.running["ts"]
+        assert kind is StageKind.MAP
+        assert remaining == pytest.approx(float(wf.job("ts").num_map_tasks))
+
+    def test_snapshot_midway_has_partial_work(self, cluster, run):
+        wf, res = run
+        t = res.makespan / 2
+        snap = snapshot_at(res, wf, t)
+        kind, remaining = snap.running["ts"]
+        total = float(wf.job("ts").num_tasks(kind))
+        assert 0 < remaining < total
+
+    def test_snapshot_at_end_completes_everything(self, cluster, run):
+        wf, res = run
+        snap = snapshot_at(res, wf, res.makespan + 1.0)
+        assert snap.completed_jobs == {"ts"}
+        assert not snap.running
+
+    def test_negative_time_rejected(self, cluster, run):
+        wf, res = run
+        with pytest.raises(EstimationError):
+            snapshot_at(res, wf, -1.0)
+
+    def test_workflow_progress_validation(self):
+        with pytest.raises(EstimationError):
+            WorkflowProgress(
+                completed_jobs=frozenset({"a"}),
+                running={"a": (StageKind.MAP, 1.0)},
+            )
+        with pytest.raises(EstimationError):
+            WorkflowProgress(
+                completed_jobs=frozenset(),
+                running={"a": (StageKind.MAP, -1.0)},
+            )
+
+
+class TestRemainingTime:
+    def test_remaining_shrinks_monotonically(self, cluster, run):
+        wf, res = run
+        pe = ProgressEstimator(cluster)
+        reports = pe.timeline(wf, res, points=5)
+        remaining = [r.remaining_s for r in reports]
+        assert all(a >= b - 1e-6 for a, b in zip(remaining, remaining[1:]))
+
+    def test_eta_tracks_true_makespan(self, cluster, run):
+        wf, res = run
+        pe = ProgressEstimator(cluster)
+        for report in pe.timeline(wf, res, points=5):
+            assert accuracy(report.eta_s, res.makespan) > 0.75
+
+    def test_fraction_increases(self, cluster, run):
+        wf, res = run
+        pe = ProgressEstimator(cluster)
+        fractions = [r.fraction for r in pe.timeline(wf, res, points=5)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+
+    def test_snapshot_resume_equals_fresh_estimate_at_zero(self, cluster, run):
+        wf, res = run
+        estimator = DagEstimator(cluster, BOESource(BOEModel(cluster)))
+        fresh = estimator.estimate(wf)
+        resumed = estimator.estimate(wf, initial=snapshot_at(res, wf, 0.0))
+        assert resumed.total_time == pytest.approx(fresh.total_time, rel=1e-6)
+
+    def test_completed_parent_releases_child(self, cluster):
+        a = wordcount(gb(2), name="a")
+        b = wordcount(gb(2), name="b")
+        wf = chain("c", [a, b])
+        snap = WorkflowProgress(completed_jobs=frozenset({"a"}), running={})
+        estimator = DagEstimator(cluster, BOESource(BOEModel(cluster)))
+        remaining = estimator.estimate(wf, initial=snap)
+        alone = estimator.estimate(single_job_workflow(b))
+        assert remaining.total_time == pytest.approx(alone.total_time, rel=1e-6)
+
+    def test_dag_progress_across_job_boundaries(self, cluster):
+        wf = weblog_dag(gb(10))
+        res = simulate(wf, cluster)
+        pe = ProgressEstimator(cluster)
+        mid = res.makespan * 0.6
+        report = pe.report(wf, snapshot_at(res, wf, mid), mid)
+        assert 0 < report.remaining_s < res.makespan
+        assert accuracy(report.eta_s, res.makespan) > 0.6
+
+    def test_invalid_points_rejected(self, cluster, run):
+        wf, res = run
+        with pytest.raises(EstimationError):
+            ProgressEstimator(cluster).timeline(wf, res, points=0)

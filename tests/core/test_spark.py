@@ -1,0 +1,182 @@
+"""Tests for repro.spark — the Spark extension of the cost models."""
+
+import pytest
+
+from repro.analysis import accuracy
+from repro.cluster import Resource
+from repro.core import BOEModel, estimate_workflow
+from repro.errors import SpecificationError
+from repro.mapreduce import StageKind
+from repro.mapreduce.phases import OP_COMPUTE, OP_READ, OP_TRANSFER, OP_WRITE
+from repro.simulator import simulate
+from repro.spark import SparkAppBuilder, SparkStageJob, spark_kmeans, spark_pagerank, spark_sort
+from repro.units import gb
+
+
+def stage(**kwargs) -> SparkStageJob:
+    defaults = dict(
+        name="s", input_mb=gb(1), map_cpu_mb_s=50.0, partitions=10
+    )
+    defaults.update(kwargs)
+    return SparkStageJob(**defaults)
+
+
+class TestSparkStageJob:
+    def test_is_map_only(self):
+        assert stage().is_map_only
+        assert stage().stages() == (StageKind.MAP,)
+
+    def test_partitions_override_task_count(self):
+        assert stage(partitions=42).num_map_tasks == 42
+
+    def test_zero_partitions_fall_back_to_splits(self):
+        s = stage(partitions=0, input_mb=gb(1))
+        assert s.num_map_tasks == 8  # 1000 MB / 128 MB
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(SpecificationError):
+            stage(input_from="tape")
+
+    def test_invalid_sink_rejected(self):
+        with pytest.raises(SpecificationError):
+            stage(output_to="printer")
+
+    def test_reducers_forbidden(self):
+        with pytest.raises(SpecificationError):
+            stage(num_reducers=4)
+
+
+class TestTaskAnatomy:
+    def _ops(self, s, kinds_only=True):
+        subs = s.custom_task_substages(StageKind.MAP, 100.0, 0.9)
+        assert len(subs) == 1
+        return subs[0]
+
+    def test_hdfs_read(self):
+        sub = self._ops(stage(input_from="hdfs"))
+        assert sub.op(OP_READ).amount == pytest.approx(100.0)
+        assert sub.op(OP_TRANSFER) is None  # shuffle output is local disk
+
+    def test_shuffle_read_crosses_network(self):
+        sub = self._ops(stage(input_from="shuffle"))
+        assert sub.op(OP_TRANSFER).amount == pytest.approx(90.0)
+        assert sub.op(OP_READ).amount == pytest.approx(100.0)
+
+    def test_cache_read_costs_no_io(self):
+        sub = self._ops(stage(input_from="cache", output_to="cache"))
+        assert sub.op(OP_READ) is None
+        assert sub.op(OP_TRANSFER) is None
+        assert sub.op(OP_WRITE) is None
+        assert sub.op(OP_COMPUTE).amount == pytest.approx(2.0)  # 100 / 50
+
+    def test_hdfs_write_replicates(self):
+        s = stage(input_from="cache", output_to="hdfs").with_config(replicas=3)
+        sub = s.custom_task_substages(StageKind.MAP, 100.0, 0.9)[0]
+        assert sub.op(OP_WRITE).amount == pytest.approx(300.0)
+        assert sub.op(OP_TRANSFER).amount == pytest.approx(200.0)
+
+    def test_reduce_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            stage().custom_task_substages(StageKind.REDUCE, 100.0, 0.9)
+
+    def test_boe_consumes_spark_stages(self, cluster):
+        s = stage(input_from="shuffle", partitions=60)
+        estimate = BOEModel(cluster).task_time(s, StageKind.MAP, 60.0)
+        assert estimate.duration > 0
+        assert estimate.substages[0].name == "stage"
+
+
+class TestBuilder:
+    def test_pagerank_shape(self):
+        wf = spark_pagerank(gb(5), iterations=2)
+        # scan, shuffle(links), 2 iterations, write.
+        assert len(wf.jobs) == 5
+        order = wf.topological_order()
+        assert order[0].endswith("scan")
+        assert order[-1].endswith("write")
+
+    def test_cached_iterations_read_memory(self):
+        wf = spark_pagerank(gb(5), iterations=2, cached=True)
+        iters = [j for j in wf.jobs if "-iter" in j.name]
+        assert all(j.input_from == "cache" for j in iters)
+
+    def test_uncached_iterations_reshuffle(self):
+        wf = spark_pagerank(gb(5), iterations=2, cached=False)
+        iters = [j for j in wf.jobs if "-iter" in j.name]
+        assert all(j.input_from == "shuffle" for j in iters)
+
+    def test_iterations_reread_base_volume(self):
+        wf = spark_kmeans(gb(5), iterations=3)
+        iters = [j for j in wf.jobs if "-iter" in j.name]
+        # Every Lloyd step scans the full (cached) point set, not the
+        # previous step's tiny centroid update.
+        volumes = {j.input_mb for j in iters}
+        assert len(volumes) == 1
+        assert volumes.pop() == pytest.approx(gb(5))
+
+    def test_transformations_before_read_rejected(self):
+        with pytest.raises(SpecificationError):
+            SparkAppBuilder("x").shuffle(selectivity=1.0, partitions=10)
+
+    def test_empty_app_rejected(self):
+        with pytest.raises(SpecificationError):
+            SparkAppBuilder("x").build()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "factory", [spark_sort, spark_pagerank, spark_kmeans]
+    )
+    def test_models_track_simulator(self, cluster, factory):
+        wf = factory(gb(10))
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        assert accuracy(est.total_time, sim.makespan) > 0.9
+
+    def test_caching_speeds_up_pagerank(self, cluster):
+        cached = simulate(spark_pagerank(gb(10), cached=True), cluster)
+        uncached = simulate(spark_pagerank(gb(10), cached=False), cluster)
+        assert cached.makespan < uncached.makespan * 0.85
+
+    def test_model_predicts_the_caching_win(self, cluster):
+        cached = estimate_workflow(spark_pagerank(gb(10), cached=True), cluster)
+        uncached = estimate_workflow(
+            spark_pagerank(gb(10), cached=False), cluster
+        )
+        assert cached.total_time < uncached.total_time * 0.85
+
+
+class TestJoin:
+    def test_join_merges_two_branches(self):
+        builder = (
+            SparkAppBuilder("j")
+            .read(gb(2), cpu_mb_s=80.0)
+            .shuffle(selectivity=1.0, partitions=20)
+        )
+        left_head = builder.head_name
+        builder.read(gb(1), cpu_mb_s=80.0)
+        builder.join(left_head, selectivity=0.5, partitions=20)
+        wf = builder.build()
+        join_stage = next(j for j in wf.jobs if "-join" in j.name)
+        assert len(wf.parents(join_stage.name)) == 2
+        assert join_stage.input_from == "shuffle"
+
+    def test_join_to_unknown_stage_rejected(self):
+        builder = SparkAppBuilder("j").read(gb(1))
+        with pytest.raises(SpecificationError):
+            builder.join("ghost", selectivity=0.5, partitions=10)
+
+    def test_joined_app_simulates_and_estimates(self, cluster):
+        builder = (
+            SparkAppBuilder("j")
+            .read(gb(2), cpu_mb_s=80.0)
+            .shuffle(selectivity=1.0, partitions=20)
+        )
+        left = builder.head_name
+        builder.read(gb(1), cpu_mb_s=80.0)
+        builder.join(left, selectivity=0.5, partitions=20)
+        builder.write(selectivity=0.2)
+        wf = builder.build()
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        assert accuracy(est.total_time, sim.makespan) > 0.85

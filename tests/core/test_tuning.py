@@ -1,0 +1,120 @@
+"""Tests for repro.tuning — model-driven configuration search."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.dag import single_job_workflow
+from repro.errors import EstimationError, SpecificationError
+from repro.mapreduce.config import NO_COMPRESSION, SNAPPY_TEXT
+from repro.simulator import simulate
+from repro.tuning import (
+    GreedyTuner,
+    Knob,
+    apply_assignment,
+    default_space,
+    tune_workflow,
+)
+from repro.units import gb
+from repro.workloads import terasort, wordcount
+
+
+@pytest.fixture
+def mistuned(cluster):
+    """TeraSort with six huge reducers — an obvious tuning target."""
+    return single_job_workflow(replace(terasort(gb(5)), num_reducers=6))
+
+
+class TestKnobs:
+    def test_default_space_covers_every_job(self, cluster, small_wc):
+        space = default_space(single_job_workflow(small_wc), cluster)
+        fields = {k.field for k in space}
+        assert {"num_reducers", "compression", "split_mb", "map_memory_mb"} <= fields
+
+    def test_map_only_job_has_no_reducer_knob(self, cluster):
+        from repro.mapreduce import MapReduceJob
+
+        job = MapReduceJob(name="m", input_mb=gb(1), num_reducers=0)
+        space = default_space(single_job_workflow(job), cluster)
+        assert not any(k.field == "num_reducers" for k in space)
+
+    def test_first_choice_is_current_value(self, cluster, small_ts):
+        space = default_space(single_job_workflow(small_ts), cluster)
+        reducers = next(k for k in space if k.field == "num_reducers")
+        assert reducers.choices[0] == small_ts.num_reducers
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecificationError):
+            Knob("j", "teleport", (1, 2))
+
+    def test_single_choice_rejected(self):
+        with pytest.raises(SpecificationError):
+            Knob("j", "split_mb", (128.0,))
+
+
+class TestApplyAssignment:
+    def test_reducer_change(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        tuned = apply_assignment(wf, {("ts", "num_reducers"): 80})
+        assert tuned.job("ts").num_reducers == 80
+        assert wf.job("ts").num_reducers == small_ts.num_reducers  # original kept
+
+    def test_compression_toggle(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        tuned = apply_assignment(wf, {("ts", "compression"): SNAPPY_TEXT})
+        assert tuned.job("ts").config.compression.enabled
+
+    def test_split_change_alters_task_count(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        tuned = apply_assignment(wf, {("ts", "split_mb"): 256.0})
+        assert tuned.job("ts").num_map_tasks < small_ts.num_map_tasks
+
+    def test_map_memory_change(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        tuned = apply_assignment(wf, {("ts", "map_memory_mb"): 4000.0})
+        assert tuned.job("ts").config.map_container.memory_mb == 4000.0
+
+    def test_foreign_job_keys_ignored(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        tuned = apply_assignment(wf, {("ghost", "num_reducers"): 5})
+        assert tuned.job("ts").num_reducers == small_ts.num_reducers
+
+
+class TestGreedyTuner:
+    def test_finds_the_reducer_fix(self, cluster, mistuned):
+        result, tuned_wf = tune_workflow(mistuned, cluster)
+        assert result.improvement > 1.5
+        assert tuned_wf.job("ts").num_reducers > 6
+
+    def test_tuned_config_verifies_on_simulator(self, cluster, mistuned):
+        result, tuned_wf = tune_workflow(mistuned, cluster)
+        before = simulate(mistuned, cluster).makespan
+        after = simulate(tuned_wf, cluster).makespan
+        assert after < before
+
+    def test_well_tuned_workflow_left_alone(self, cluster):
+        # The catalogue WC is already configured sensibly; tuning must not
+        # regress its estimate.
+        wf = single_job_workflow(wordcount(gb(5)))
+        result, _ = tune_workflow(wf, cluster)
+        assert result.tuned_estimate_s <= result.baseline_estimate_s + 1e-9
+
+    def test_tuning_is_fast(self, cluster, mistuned):
+        result, _ = tune_workflow(mistuned, cluster)
+        assert result.wall_time_s < 2.0
+        assert result.evaluations < 200
+
+    def test_trajectory_is_monotone(self, cluster, mistuned):
+        result, _ = tune_workflow(mistuned, cluster)
+        estimates = [e for _, _, e in result.trajectory]
+        assert all(a >= b for a, b in zip(estimates, estimates[1:]))
+
+    def test_custom_space(self, cluster, mistuned):
+        space = [Knob("ts", "num_reducers", (6, 60, 120))]
+        result = GreedyTuner(cluster).tune(mistuned, space)
+        assert result.assignment.get(("ts", "num_reducers")) in (60, 120)
+
+    def test_invalid_passes_rejected(self, cluster):
+        with pytest.raises(EstimationError):
+            GreedyTuner(cluster, max_passes=0)

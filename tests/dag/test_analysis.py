@@ -1,0 +1,61 @@
+"""Tests for repro.dag.analysis — structural queries."""
+
+import pytest
+
+from repro.dag import (
+    Workflow,
+    chain,
+    critical_path_weight,
+    level_groups,
+    levels,
+    max_concurrency,
+    serial_stage_count,
+    single_job_workflow,
+)
+from repro.mapreduce import MapReduceJob
+
+
+def job(name: str, reducers: int = 4) -> MapReduceJob:
+    return MapReduceJob(name=name, input_mb=500.0, num_reducers=reducers)
+
+
+def diamond() -> Workflow:
+    return Workflow(
+        name="d",
+        jobs=(job("a"), job("b"), job("c"), job("d")),
+        edges=frozenset({("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}),
+    )
+
+
+class TestLevels:
+    def test_levels_of_diamond(self):
+        assert levels(diamond()) == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_level_groups(self):
+        assert level_groups(diamond()) == [["a"], ["b", "c"], ["d"]]
+
+    def test_max_concurrency(self):
+        assert max_concurrency(diamond()) == 2
+        assert max_concurrency(chain("c", [job("x"), job("y")])) == 1
+
+    def test_serial_stage_count(self):
+        wf = Workflow(name="w", jobs=(job("a"), job("b", reducers=0)))
+        assert serial_stage_count(wf) == 3
+
+
+class TestCriticalPath:
+    def test_heaviest_path_wins(self):
+        weight = {"a": 1.0, "b": 10.0, "c": 2.0, "d": 1.0}
+        total, path = critical_path_weight(diamond(), weight)
+        assert total == pytest.approx(12.0)
+        assert path == ["a", "b", "d"]
+
+    def test_single_job(self):
+        wf = single_job_workflow(job("solo"))
+        total, path = critical_path_weight(wf, {"solo": 5.0})
+        assert total == 5.0 and path == ["solo"]
+
+    def test_disconnected_branches(self):
+        wf = Workflow(name="w", jobs=(job("a"), job("b")))
+        total, path = critical_path_weight(wf, {"a": 3.0, "b": 7.0})
+        assert total == 7.0 and path == ["b"]

@@ -1,0 +1,84 @@
+"""Tests for repro.dag.builder — composition operators."""
+
+import pytest
+
+from repro.dag import WorkflowBuilder, chain, parallel, sequence, single_job_workflow
+from repro.errors import WorkflowError
+from repro.mapreduce import MapReduceJob
+
+
+def job(name: str) -> MapReduceJob:
+    return MapReduceJob(name=name, input_mb=500.0, num_reducers=4)
+
+
+class TestBuilder:
+    def test_fluent_construction(self):
+        wf = (
+            WorkflowBuilder("w")
+            .add(job("a"))
+            .add(job("b"), after=["a"])
+            .build()
+        )
+        assert wf.parents("b") == {"a"}
+
+    def test_dependency_must_exist(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder("w").add(job("b"), after=["ghost"])
+
+    def test_duplicate_add_rejected(self):
+        b = WorkflowBuilder("w").add(job("a"))
+        with pytest.raises(WorkflowError):
+            b.add(job("a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            WorkflowBuilder("")
+
+
+class TestChain:
+    def test_chain_is_serial(self):
+        wf = chain("c", [job("a"), job("b"), job("c")])
+        assert wf.parents("b") == {"a"}
+        assert wf.parents("c") == {"b"}
+        assert wf.topological_order() == ["a", "b", "c"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(WorkflowError):
+            chain("c", [])
+
+
+class TestParallel:
+    def test_parallel_prefixes_names(self):
+        left = single_job_workflow(job("a"), name="L")
+        right = single_job_workflow(job("a"), name="R")
+        wf = parallel("both", [left, right])
+        assert {j.name for j in wf.jobs} == {"L.a", "R.a"}
+
+    def test_parallel_adds_no_cross_edges(self):
+        left = chain("L", [job("a"), job("b")])
+        right = chain("R", [job("a"), job("b")])
+        wf = parallel("both", [left, right])
+        assert len(wf.roots()) == 2
+        assert wf.parents("R.b") == {"R.a"}
+
+    def test_duplicate_constituents_rejected(self):
+        w = single_job_workflow(job("a"), name="same")
+        with pytest.raises(WorkflowError):
+            parallel("p", [w, w])
+
+
+class TestSequence:
+    def test_sequence_links_sinks_to_roots(self):
+        first = chain("one", [job("a")])
+        second = chain("two", [job("a")])
+        wf = sequence("seq", [first, second])
+        assert wf.parents("two.a") == {"one.a"}
+
+    def test_sequence_with_fanout(self):
+        first = parallel(
+            "fan",
+            [single_job_workflow(job("x"), "X"), single_job_workflow(job("y"), "Y")],
+        )
+        second = single_job_workflow(job("z"), "Z")
+        wf = sequence("seq", [first, second])
+        assert wf.parents("Z.z") == {"fan.X.x", "fan.Y.y"}

@@ -1,0 +1,61 @@
+"""Integration: the repro-dag command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "WC-Q5" in out and "weblog" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "200" in out and "500" in out and "network" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "WC-Q1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out and "state" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "WC-Q1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "WC-Q1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_compare_variant_flag(self, capsys):
+        assert main(["compare", "WC-Q1", "--scale", "0.02", "--variant", "normal"]) == 0
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["estimate", "SortBench-Q99"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_table3_subset(self, capsys):
+        assert main(["table3", "--names", "WC-Q1,TS-Q6", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Alg1-Mean" in out and "Alg2-Normal" in out
+
+
+class TestCliExtensions:
+    def test_timeline(self, capsys):
+        assert main(["timeline", "wc", "--scale", "0.02", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "wc/map" in out and "cpu" in out and "|" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "ts", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline estimate" in out
+
+    def test_tune_verify(self, capsys):
+        assert main(["tune", "ts", "--scale", "0.02", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "tuned estimate" in out

@@ -1,0 +1,77 @@
+"""Tests for the experiment plumbing (repro.experiments.common) and for
+random knob assignments keeping workflows valid."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import paper_cluster
+from repro.dag import single_job_workflow
+from repro.errors import SpecificationError
+from repro.experiments.common import (
+    at_parallelism,
+    single_wave_reducers,
+    with_tasks_per_node,
+)
+from repro.mapreduce.config import NO_COMPRESSION, SNAPPY_TEXT
+from repro.tuning import apply_assignment
+from repro.units import gb
+from repro.workloads import terasort, wordcount
+
+
+class TestParallelismHelpers:
+    def test_with_tasks_per_node_sizes_containers(self):
+        cluster = paper_cluster()
+        job = with_tasks_per_node(wordcount(gb(5)), cluster, 8)
+        assert job.config.map_container.memory_mb == pytest.approx(4000.0)
+        assert job.config.reduce_container.memory_mb == pytest.approx(4000.0)
+
+    def test_admission_matches_request(self):
+        cluster = paper_cluster()
+        for k in (1, 4, 6, 12):
+            job = with_tasks_per_node(wordcount(gb(50)), cluster, k)
+            per_node = cluster.node.memory_mb / job.config.map_container.memory_mb
+            assert int(per_node) == k
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(SpecificationError):
+            with_tasks_per_node(wordcount(gb(1)), paper_cluster(), 0)
+
+    def test_single_wave_reducers(self):
+        assert single_wave_reducers(paper_cluster(), 6) == 60
+
+    def test_at_parallelism_combines_both(self):
+        cluster = paper_cluster()
+        job = at_parallelism(terasort(gb(20)), cluster, 4)
+        assert job.num_reducers == 40
+        assert job.config.map_container.memory_mb == pytest.approx(8000.0)
+
+
+class TestRandomAssignments:
+    @given(
+        reducers=st.integers(1, 400),
+        split=st.sampled_from([64.0, 128.0, 256.0]),
+        memory=st.sampled_from([1000.0, 2000.0, 4000.0]),
+        compressed=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_assignment_yields_a_valid_workflow(
+        self, reducers, split, memory, compressed
+    ):
+        wf = single_job_workflow(terasort(gb(5)))
+        assignment = {
+            ("ts", "num_reducers"): reducers,
+            ("ts", "split_mb"): split,
+            ("ts", "map_memory_mb"): memory,
+            ("ts", "compression"): SNAPPY_TEXT if compressed else NO_COMPRESSION,
+        }
+        tuned = apply_assignment(wf, assignment)
+        job = tuned.job("ts")
+        assert job.num_reducers == reducers
+        assert job.config.split_mb == split
+        assert job.config.map_container.memory_mb == memory
+        assert job.config.compression.enabled is compressed
+        # The tuned workflow is still estimable end to end.
+        from repro.core import estimate_workflow
+
+        estimate = estimate_workflow(tuned, paper_cluster())
+        assert estimate.total_time > 0

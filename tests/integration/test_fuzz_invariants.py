@@ -1,0 +1,99 @@
+"""Fuzz-style integration: invariants over randomly generated workflows.
+
+The generator produces structurally diverse DAGs; every one of them must
+satisfy the physical invariants the whole reproduction rests on, for both
+the simulator and the estimator.  A failure here is a real bug, not a
+calibration issue.
+"""
+
+import pytest
+
+from repro.analysis import accuracy
+from repro.core import estimate_workflow
+from repro.dag.analysis import critical_path_weight
+from repro.mapreduce import SkewModel, StageKind
+from repro.simulator import SimulationConfig, simulate
+from repro.workloads.generator import GeneratorSpec, random_workflow, workflow_family
+
+SPEC = GeneratorSpec(max_jobs=6, max_input_mb=8_000.0)
+FAMILY = workflow_family(12, SPEC)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_workflow(3, SPEC)
+        b = random_workflow(3, SPEC)
+        assert [j.describe() for j in a.jobs] == [j.describe() for j in b.jobs]
+        assert a.edges == b.edges
+
+    def test_family_is_diverse(self):
+        sizes = {len(wf.jobs) for wf in FAMILY}
+        assert len(sizes) >= 3
+
+    def test_invalid_spec_rejected(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            GeneratorSpec(min_jobs=5, max_jobs=2)
+
+
+@pytest.mark.parametrize("workflow", FAMILY, ids=lambda w: w.name)
+class TestSimulatorInvariants:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {}
+
+    def _run(self, workflow, cluster, results):
+        if workflow.name not in results:
+            results[workflow.name] = simulate(
+                workflow, cluster, SimulationConfig(skew=SkewModel(sigma=0.3))
+            )
+        return results[workflow.name]
+
+    def test_every_task_executes_exactly_once(self, workflow, cluster, results):
+        result = self._run(workflow, cluster, results)
+        for job in workflow.jobs:
+            for kind in job.stages():
+                assert len(result.tasks_of(job.name, kind)) == job.num_tasks(kind)
+
+    def test_dependencies_respected(self, workflow, cluster, results):
+        result = self._run(workflow, cluster, results)
+        for parent, child in workflow.edges:
+            assert result.job_span(child)[0] >= result.job_span(parent)[1] - 1e-6
+
+    def test_states_tile_the_makespan(self, workflow, cluster, results):
+        result = self._run(workflow, cluster, results)
+        assert result.states[0].t_start == pytest.approx(0.0)
+        assert result.states[-1].t_end == pytest.approx(result.makespan)
+        for a, b in zip(result.states, result.states[1:]):
+            assert b.t_start == pytest.approx(a.t_end)
+
+    def test_task_intervals_are_sane(self, workflow, cluster, results):
+        result = self._run(workflow, cluster, results)
+        for task in result.tasks:
+            assert 0 <= task.t_start < task.t_end <= result.makespan + 1e-6
+            for first, second in zip(task.substages, task.substages[1:]):
+                assert second.t_start >= first.t_end - 1e-9
+
+    def test_makespan_exceeds_serial_lower_bound(self, workflow, cluster, results):
+        """No schedule can beat the per-job critical path of pure compute."""
+        result = self._run(workflow, cluster, results)
+        weights = {}
+        for job in workflow.jobs:
+            # One task of each stage must run start to finish somewhere.
+            cost = job.config.task_overhead_s * len(job.stages())
+            weights[job.name] = cost
+        lower, _ = critical_path_weight(workflow, weights)
+        assert result.makespan >= lower - 1e-6
+
+
+class TestEstimatorTracksSimulator:
+    def test_family_mean_accuracy(self, cluster):
+        accuracies = []
+        for workflow in FAMILY:
+            sim = simulate(workflow, cluster)
+            est = estimate_workflow(workflow, cluster)
+            accuracies.append(accuracy(est.total_time, sim.makespan))
+        mean = sum(accuracies) / len(accuracies)
+        assert mean > 0.8, f"mean accuracy {mean:.2f} over {len(FAMILY)} DAGs"
+        assert min(accuracies) > 0.4, "no generated DAG may collapse entirely"

@@ -1,0 +1,116 @@
+"""Integration: analytic models scored against the ground-truth simulator.
+
+These are the end-to-end invariants the whole reproduction stands on: BOE
+matches the simulator's steady-state task times closely for single jobs, the
+state-based estimator tracks whole-DAG makespans, and profile-driven
+estimation (the Table III protocol) is tighter still.
+"""
+
+import pytest
+
+from repro.analysis import accuracy
+from repro.core import (
+    BOEModel,
+    DagEstimator,
+    Variant,
+    estimate_workflow,
+)
+from repro.dag import parallel, single_job_workflow
+from repro.mapreduce import SkewModel, StageKind
+from repro.profiling import ProfileSource, profile_workflow
+from repro.simulator import SimulationConfig, median_task_time, simulate
+from repro.units import gb
+from repro.workloads import terasort, weblog_dag, wordcount
+
+
+class TestTaskLevelAgreement:
+    @pytest.mark.parametrize("factory", [wordcount, terasort])
+    def test_boe_matches_simulated_medians(self, cluster, factory):
+        job = factory(input_mb=gb(10))
+        wf = single_job_workflow(job)
+        result = simulate(wf, cluster)
+        model = BOEModel(cluster)
+        for kind in (StageKind.MAP, StageKind.REDUCE):
+            measured = median_task_time(result, job.name, kind)
+            from repro.simulator.metrics import average_parallelism
+
+            delta = average_parallelism(result, job.name, kind)
+            estimated = model.task_time(job, kind, max(delta, 1.0)).duration
+            assert accuracy(estimated, measured) > 0.75, (
+                f"{job.name}/{kind}: {estimated:.1f} vs {measured:.1f}"
+            )
+
+
+class TestWorkflowLevelAgreement:
+    @pytest.mark.parametrize("factory", [wordcount, terasort])
+    def test_single_job_makespan(self, cluster, factory):
+        wf = single_job_workflow(factory(input_mb=gb(10)))
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        assert accuracy(est.total_time, sim.makespan) > 0.9
+
+    def test_hybrid_makespan(self, cluster):
+        wf = parallel(
+            "h",
+            [
+                single_job_workflow(wordcount(gb(10))),
+                single_job_workflow(terasort(gb(10))),
+            ],
+        )
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        assert accuracy(est.total_time, sim.makespan) > 0.7
+
+    def test_weblog_dag_makespan(self, cluster):
+        wf = weblog_dag(input_mb=gb(10))
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        assert accuracy(est.total_time, sim.makespan) > 0.75
+
+    def test_estimator_state_count_matches_simulator(self, cluster):
+        wf = weblog_dag(input_mb=gb(10))
+        sim = simulate(wf, cluster)
+        est = estimate_workflow(wf, cluster)
+        # Both sides decompose the run into the same number of states
+        # (every map/reduce transition of every job), give or take overlap
+        # differences at job boundaries.
+        assert abs(len(est.states) - len(sim.states)) <= 2
+
+
+class TestProfileDrivenAgreement:
+    def test_normal_variant_absorbs_single_wave_skew(self, cluster):
+        """A single-wave reduce under skew ends at its *max* task; Alg1-Mean
+        under-predicts that tail while the skew-aware Alg2-Normal captures
+        it — the paper's motivation for the normal variant."""
+        wf = parallel(
+            "h",
+            [
+                single_job_workflow(wordcount(gb(10))),
+                single_job_workflow(terasort(gb(10))),
+            ],
+        )
+        config = SimulationConfig(skew=SkewModel(sigma=0.2))
+        result = simulate(wf, cluster, config)
+        profiles = profile_workflow(wf, cluster, result=result)
+        source = ProfileSource(profiles)
+        acc = {
+            variant: accuracy(
+                DagEstimator(cluster, source, variant=variant)
+                .estimate(wf)
+                .total_time,
+                result.makespan,
+            )
+            for variant in (Variant.MEAN, Variant.NORMAL)
+        }
+        assert acc[Variant.NORMAL] > 0.85
+        assert acc[Variant.NORMAL] > acc[Variant.MEAN] > 0.7
+
+    def test_all_three_variants_reasonable(self, cluster):
+        wf = single_job_workflow(terasort(gb(10)))
+        config = SimulationConfig(skew=SkewModel(sigma=0.3))
+        result = simulate(wf, cluster, config)
+        profiles = profile_workflow(wf, cluster, result=result)
+        source = ProfileSource(profiles)
+        for variant in Variant:
+            est = DagEstimator(cluster, source, variant=variant).estimate(wf)
+            assert accuracy(est.total_time, result.makespan) > 0.7, variant

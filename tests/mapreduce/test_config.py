@@ -1,0 +1,65 @@
+"""Tests for repro.mapreduce.config."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.mapreduce.config import (
+    CompressionSpec,
+    DEFAULT_CONFIG,
+    JobConfig,
+    NO_COMPRESSION,
+    SNAPPY_BINARY,
+    SNAPPY_TEXT,
+)
+
+
+class TestCompressionSpec:
+    def test_disabled_effective_ratio_is_one(self):
+        assert NO_COMPRESSION.effective_ratio == 1.0
+
+    def test_enabled_effective_ratio(self):
+        assert SNAPPY_TEXT.effective_ratio == pytest.approx(0.35)
+
+    def test_binary_data_barely_compresses(self):
+        assert SNAPPY_BINARY.ratio > SNAPPY_TEXT.ratio
+
+    def test_ratio_bounds(self):
+        with pytest.raises(SpecificationError):
+            CompressionSpec(enabled=True, ratio=0.0)
+        with pytest.raises(SpecificationError):
+            CompressionSpec(enabled=True, ratio=1.5)
+
+    def test_throughputs_must_be_positive(self):
+        with pytest.raises(SpecificationError):
+            CompressionSpec(compress_mb_s=0)
+        with pytest.raises(SpecificationError):
+            CompressionSpec(decompress_mb_s=-1)
+
+
+class TestJobConfig:
+    def test_defaults_match_hadoop_conventions(self):
+        assert DEFAULT_CONFIG.split_mb == 128.0
+        assert DEFAULT_CONFIG.replicas == 3
+        assert DEFAULT_CONFIG.slowstart == 1.0
+
+    def test_with_updates_one_field(self):
+        updated = DEFAULT_CONFIG.with_(replicas=1)
+        assert updated.replicas == 1
+        assert updated.split_mb == DEFAULT_CONFIG.split_mb
+        # Original untouched (frozen semantics).
+        assert DEFAULT_CONFIG.replicas == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"split_mb": 0},
+            {"replicas": 0},
+            {"io_sort_mb": -5},
+            {"slowstart": 0.0},
+            {"slowstart": 1.5},
+            {"task_overhead_s": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(SpecificationError):
+            JobConfig(**kwargs)

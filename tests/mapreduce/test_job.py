@@ -1,0 +1,105 @@
+"""Tests for repro.mapreduce.job."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.mapreduce import JobConfig, MapReduceJob, SNAPPY_TEXT, StageKind
+from repro.units import gb
+
+
+def make(**kwargs) -> MapReduceJob:
+    defaults = dict(name="j", input_mb=gb(10))
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+class TestTaskCounts:
+    def test_map_tasks_follow_split_size(self):
+        job = make(input_mb=gb(10))  # 10000 MB / 128 MB = 79 splits
+        assert job.num_map_tasks == 79
+
+    def test_tiny_input_still_one_map(self):
+        assert make(input_mb=1.0).num_map_tasks == 1
+
+    def test_reduce_tasks_explicit(self):
+        assert make(num_reducers=42).num_reduce_tasks == 42
+
+    def test_map_only_job(self):
+        job = make(num_reducers=0)
+        assert job.is_map_only
+        assert job.stages() == (StageKind.MAP,)
+
+    def test_two_stage_job(self):
+        assert make().stages() == (StageKind.MAP, StageKind.REDUCE)
+
+    def test_num_tasks_dispatch(self):
+        job = make(num_reducers=7)
+        assert job.num_tasks(StageKind.REDUCE) == 7
+        assert job.num_tasks(StageKind.MAP) == job.num_map_tasks
+
+
+class TestDataFlow:
+    def test_map_output_uses_selectivity(self):
+        job = make(map_selectivity=0.5)
+        assert job.map_output_mb == pytest.approx(gb(5))
+
+    def test_shuffle_respects_compression(self):
+        job = make(
+            map_selectivity=1.0,
+            config=JobConfig(compression=SNAPPY_TEXT),
+        )
+        assert job.shuffle_mb == pytest.approx(gb(10) * 0.35)
+
+    def test_map_only_has_no_shuffle(self):
+        assert make(num_reducers=0).shuffle_mb == 0.0
+
+    def test_output_chains_selectivities(self):
+        job = make(map_selectivity=0.5, reduce_selectivity=0.2)
+        assert job.output_mb == pytest.approx(gb(10) * 0.5 * 0.2)
+
+    def test_map_only_output(self):
+        job = make(num_reducers=0, map_selectivity=0.3)
+        assert job.output_mb == pytest.approx(gb(3))
+
+    def test_task_input_is_stage_average(self):
+        job = make(num_reducers=10, map_selectivity=1.0)
+        assert job.task_input_mb(StageKind.REDUCE) == pytest.approx(gb(1))
+
+
+class TestValidationAndHelpers:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"input_mb": 0},
+            {"map_selectivity": -0.1},
+            {"map_cpu_mb_s": 0},
+            {"num_reducers": -1},
+        ],
+    )
+    def test_invalid_jobs_rejected(self, kwargs):
+        with pytest.raises(SpecificationError):
+            make(**kwargs)
+
+    def test_renamed_copy(self):
+        job = make()
+        other = job.renamed("k")
+        assert other.name == "k" and job.name == "j"
+        assert other.input_mb == job.input_mb
+
+    def test_with_config(self):
+        job = make().with_config(replicas=1)
+        assert job.config.replicas == 1
+
+    def test_scaled_preserves_rates(self):
+        job = make(map_cpu_mb_s=33.0).scaled(2.0)
+        assert job.input_mb == pytest.approx(gb(20))
+        assert job.map_cpu_mb_s == 33.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(SpecificationError):
+            make().scaled(0)
+
+    def test_describe_contains_key_facts(self):
+        text = make(num_reducers=5).describe()
+        assert "reds=5" in text and "R=3" in text

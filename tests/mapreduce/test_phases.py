@@ -1,0 +1,165 @@
+"""Tests for repro.mapreduce.phases — the task execution model (Fig. 3)."""
+
+import pytest
+
+from repro.cluster.resources import Resource
+from repro.errors import SpecificationError
+from repro.mapreduce import (
+    JobConfig,
+    MapReduceJob,
+    SNAPPY_TEXT,
+    StageKind,
+    build_task_substages,
+    map_task_substages,
+    reduce_task_substages,
+)
+from repro.mapreduce.phases import OP_COMPUTE, OP_READ, OP_TRANSFER, OP_WRITE, OpSpec, SubStageSpec
+
+
+def job(**kwargs) -> MapReduceJob:
+    defaults = dict(
+        name="j",
+        input_mb=12_800.0,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_mb_s=64.0,
+        reduce_cpu_mb_s=64.0,
+        num_reducers=10,
+        config=JobConfig(replicas=1),
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+class TestOpSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            OpSpec("think", Resource.CPU, 1.0)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(SpecificationError):
+            OpSpec(OP_READ, Resource.DISK, -1.0)
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(SpecificationError):
+            OpSpec(OP_COMPUTE, Resource.CPU, 1.0, per_flow_cap=0.0)
+
+
+class TestSubStageSpec:
+    def test_amount_sums_per_resource(self):
+        sub = SubStageSpec(
+            "s",
+            (
+                OpSpec(OP_READ, Resource.DISK, 10.0),
+                OpSpec(OP_WRITE, Resource.DISK, 5.0),
+                OpSpec(OP_TRANSFER, Resource.NETWORK, 3.0),
+            ),
+        )
+        assert sub.amount(Resource.DISK) == 15.0
+        assert sub.amount(Resource.NETWORK) == 3.0
+        assert sub.amount(Resource.CPU) == 0.0
+
+    def test_op_lookup(self):
+        sub = SubStageSpec("s", (OpSpec(OP_READ, Resource.DISK, 10.0),))
+        assert sub.op(OP_READ).amount == 10.0
+        assert sub.op(OP_WRITE) is None
+
+    def test_empty_substage_rejected(self):
+        with pytest.raises(SpecificationError):
+            SubStageSpec("s", ())
+
+
+class TestMapTask:
+    def test_plain_map_has_read_compute_write(self):
+        subs = map_task_substages(job(), 128.0)
+        assert [s.name for s in subs] == ["map"]
+        ops = {op.kind for op in subs[0].ops}
+        assert ops == {OP_READ, OP_COMPUTE, OP_WRITE}
+
+    def test_compute_amount_is_core_seconds(self):
+        subs = map_task_substages(job(map_cpu_mb_s=64.0), 128.0)
+        compute = subs[0].op(OP_COMPUTE)
+        assert compute.amount == pytest.approx(2.0)  # 128 / 64
+        assert compute.per_flow_cap == 1.0  # one core per pipelined thread
+
+    def test_compression_shrinks_spill_and_costs_cpu(self):
+        plain = map_task_substages(job(), 128.0)[0]
+        compressed = map_task_substages(
+            job(config=JobConfig(compression=SNAPPY_TEXT, replicas=1)), 128.0
+        )[0]
+        assert compressed.op(OP_WRITE).amount < plain.op(OP_WRITE).amount
+        assert compressed.op(OP_COMPUTE).amount > plain.op(OP_COMPUTE).amount
+
+    def test_large_spill_adds_merge_pass(self):
+        # Output of 1000 MB exceeds the 512 MB sort buffer.
+        subs = map_task_substages(job(), 1000.0)
+        assert [s.name for s in subs] == ["map", "merge"]
+        merge = subs[1]
+        assert merge.op(OP_READ).amount == pytest.approx(1000.0)
+        assert merge.op(OP_WRITE).amount == pytest.approx(1000.0)
+
+    def test_map_only_job_writes_replicas(self):
+        j = job(num_reducers=0, config=JobConfig(replicas=3))
+        subs = map_task_substages(j, 128.0, remote_fraction=0.9)
+        sub = subs[0]
+        assert sub.op(OP_WRITE).amount == pytest.approx(128.0 * 3)
+        assert sub.op(OP_TRANSFER).amount == pytest.approx(128.0 * 2)
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(SpecificationError):
+            map_task_substages(job(), 0.0)
+
+
+class TestReduceTask:
+    def test_shuffle_then_reduce(self):
+        subs = reduce_task_substages(job(), 128.0, remote_fraction=0.9)
+        assert [s.name for s in subs] == ["shuffle", "reduce"]
+
+    def test_shuffle_network_uses_remote_fraction(self):
+        subs = reduce_task_substages(job(), 100.0, remote_fraction=0.9)
+        assert subs[0].op(OP_TRANSFER).amount == pytest.approx(90.0)
+
+    def test_shuffle_materialises_reduce_input(self):
+        # §II-A: "the reduce input is materialized on the disk".
+        subs = reduce_task_substages(job(), 100.0, remote_fraction=0.9)
+        assert subs[0].op(OP_WRITE).amount == pytest.approx(100.0)
+
+    def test_shuffle_from_cache_skips_source_read(self):
+        cached = reduce_task_substages(job(), 100.0, 0.9)[0]
+        j = job(config=JobConfig(replicas=1, shuffle_from_cache=False))
+        uncached = reduce_task_substages(j, 100.0, 0.9)[0]
+        assert cached.op(OP_READ) is None
+        assert uncached.op(OP_READ).amount == pytest.approx(100.0)
+
+    def test_replicas_cost_disk_and_network(self):
+        j = job(config=JobConfig(replicas=3))
+        sub = reduce_task_substages(j, 100.0, 0.9)[1]
+        assert sub.op(OP_WRITE).amount == pytest.approx(300.0)
+        assert sub.op(OP_TRANSFER).amount == pytest.approx(200.0)
+
+    def test_single_replica_has_no_output_network(self):
+        sub = reduce_task_substages(job(), 100.0, 0.9)[1]
+        assert sub.op(OP_TRANSFER) is None
+
+    def test_empty_partition_yields_nominal_work(self):
+        # Heavy skew can leave a reducer with zero input; it still runs.
+        j = job(reduce_selectivity=0.0)
+        subs = reduce_task_substages(j, 0.0, 0.9)
+        assert len(subs) == 1
+        assert subs[0].ops[0].amount > 0
+
+    def test_invalid_remote_fraction_rejected(self):
+        with pytest.raises(SpecificationError):
+            reduce_task_substages(job(), 100.0, 1.5)
+
+
+class TestBuildDispatch:
+    def test_defaults_to_average_task_input(self):
+        j = job(num_reducers=10)
+        subs = build_task_substages(j, StageKind.REDUCE)
+        expected = j.shuffle_mb / 10
+        assert subs[0].op(OP_WRITE).amount == pytest.approx(expected)
+
+    def test_reduce_of_map_only_job_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_task_substages(job(num_reducers=0), StageKind.REDUCE)

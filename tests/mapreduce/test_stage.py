@@ -1,0 +1,61 @@
+"""Tests for repro.mapreduce.stage — data-flow arithmetic."""
+
+import pytest
+
+from repro.mapreduce import JobConfig, MapReduceJob, SNAPPY_TEXT
+from repro.mapreduce.stage import (
+    StageKind,
+    map_output_mb,
+    map_output_on_disk_mb,
+    num_map_tasks,
+    reduce_input_mb,
+    reduce_output_mb,
+    shuffle_mb,
+    stage_input_mb,
+)
+
+
+def job(**kwargs):
+    defaults = dict(name="j", input_mb=1000.0, map_selectivity=0.5, reduce_selectivity=0.2)
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+class TestStageKind:
+    def test_order(self):
+        assert StageKind.MAP.order < StageKind.REDUCE.order
+
+    def test_str(self):
+        assert str(StageKind.MAP) == "map"
+
+
+class TestDataFlow:
+    def test_num_map_tasks_rounds_up(self):
+        assert num_map_tasks(1000.0, 128.0) == 8
+        assert num_map_tasks(128.0, 128.0) == 1
+        assert num_map_tasks(129.0, 128.0) == 2
+
+    def test_num_map_tasks_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            num_map_tasks(0.0, 128.0)
+
+    def test_map_output(self):
+        assert map_output_mb(job()) == pytest.approx(500.0)
+
+    def test_compression_applies_to_disk_and_wire(self):
+        j = job(config=JobConfig(compression=SNAPPY_TEXT))
+        assert map_output_on_disk_mb(j) == pytest.approx(500.0 * 0.35)
+        assert shuffle_mb(j) == pytest.approx(500.0 * 0.35)
+
+    def test_reduce_input_is_logical_bytes(self):
+        # The reduce function sees uncompressed data.
+        j = job(config=JobConfig(compression=SNAPPY_TEXT))
+        assert reduce_input_mb(j) == pytest.approx(500.0)
+
+    def test_reduce_output(self):
+        assert reduce_output_mb(job()) == pytest.approx(100.0)
+
+    def test_stage_input_dispatch(self):
+        j = job(config=JobConfig(compression=SNAPPY_TEXT))
+        assert stage_input_mb(j, StageKind.MAP) == pytest.approx(1000.0)
+        assert stage_input_mb(j, StageKind.REDUCE) == pytest.approx(175.0)

@@ -1,0 +1,86 @@
+"""Tests for repro.mapreduce.task — skew models and task specs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpecificationError
+from repro.mapreduce import MapReduceJob, NO_SKEW, SkewModel, StageKind, build_task_specs
+from repro.units import gb
+
+
+class TestSkewModel:
+    def test_no_skew_is_uniform(self):
+        sizes = NO_SKEW.task_sizes(100.0, 4)
+        assert sizes == [25.0] * 4
+
+    def test_single_task_gets_everything(self):
+        assert SkewModel(sigma=0.5).task_sizes(100.0, 1) == [100.0]
+
+    def test_skewed_sizes_conserve_total(self):
+        sizes = SkewModel(sigma=0.4).task_sizes(1000.0, 37)
+        assert sum(sizes) == pytest.approx(1000.0)
+
+    def test_skewed_sizes_vary(self):
+        sizes = SkewModel(sigma=0.4).task_sizes(1000.0, 50)
+        assert max(sizes) > min(sizes)
+
+    def test_deterministic_given_seed_and_salt(self):
+        a = SkewModel(sigma=0.3, seed=1).task_sizes(100.0, 10, salt="x")
+        b = SkewModel(sigma=0.3, seed=1).task_sizes(100.0, 10, salt="x")
+        assert a == b
+
+    def test_different_salts_differ(self):
+        a = SkewModel(sigma=0.3).task_sizes(100.0, 10, salt="x")
+        b = SkewModel(sigma=0.3).task_sizes(100.0, 10, salt="y")
+        assert a != b
+
+    def test_map_sigma_defaults_to_quarter(self):
+        model = SkewModel(sigma=0.4)
+        assert model.sigma_for(StageKind.MAP) == pytest.approx(0.1)
+        assert model.sigma_for(StageKind.REDUCE) == pytest.approx(0.4)
+
+    def test_explicit_map_sigma(self):
+        model = SkewModel(sigma=0.4, map_sigma=0.0)
+        assert model.sigma_for(StageKind.MAP) == 0.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(SpecificationError):
+            SkewModel(sigma=-0.1)
+        with pytest.raises(SpecificationError):
+            SkewModel(sigma=0.1, map_sigma=-0.1)
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(SpecificationError):
+            NO_SKEW.task_sizes(10.0, 0)
+
+    @given(
+        total=st.floats(1.0, 1e6),
+        n=st.integers(1, 200),
+        sigma=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_property(self, total, n, sigma):
+        """Bytes are conserved for any skew level (simulator invariant)."""
+        sizes = SkewModel(sigma=sigma).task_sizes(total, n)
+        assert sum(sizes) == pytest.approx(total, rel=1e-9)
+        assert all(s >= 0 for s in sizes)
+
+
+class TestTaskSpecs:
+    def test_specs_enumerate_stage(self, small_wc):
+        specs = build_task_specs(small_wc, StageKind.MAP)
+        assert len(specs) == small_wc.num_map_tasks
+        assert specs[0].task_id == "wc/m0"
+        assert specs[-1].index == len(specs) - 1
+
+    def test_reduce_task_ids(self, small_wc):
+        specs = build_task_specs(small_wc, StageKind.REDUCE)
+        assert specs[0].task_id == "wc/r0"
+
+    def test_specs_conserve_stage_input(self, small_ts):
+        specs = build_task_specs(small_ts, StageKind.REDUCE, SkewModel(sigma=0.5))
+        assert sum(s.input_mb for s in specs) == pytest.approx(small_ts.shuffle_mb)
+
+    def test_map_only_reduce_specs_empty(self):
+        job = MapReduceJob(name="m", input_mb=gb(1), num_reducers=0)
+        assert build_task_specs(job, StageKind.REDUCE) == []

@@ -1,0 +1,114 @@
+"""Tests for repro.profiling — profiles and the Table III source."""
+
+import pytest
+
+from repro.core import Variant
+from repro.dag import parallel, single_job_workflow
+from repro.errors import ProfileError
+from repro.mapreduce import SkewModel, StageKind
+from repro.profiling import JobProfile, ProfileSource, profile_job, profile_workflow
+from repro.simulator import SimulationConfig, simulate
+
+
+class TestProfileCollection:
+    def test_profile_job_covers_both_stages(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        assert profile.job_name == "wc"
+        assert profile.stage(StageKind.MAP).num_tasks == small_wc.num_map_tasks
+        assert profile.stage(StageKind.REDUCE).num_tasks == 20
+
+    def test_profile_records_parallelism(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        assert 0 < profile.stage(StageKind.MAP).delta <= 160.0
+
+    def test_profile_has_substage_distributions(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        reduce_profile = profile.stage(StageKind.REDUCE)
+        assert "shuffle" in reduce_profile.substage_times
+        assert "reduce" in reduce_profile.substage_times
+
+    def test_overhead_recorded(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        assert profile.stage(StageKind.MAP).overhead_s == pytest.approx(1.0)
+
+    def test_missing_stage_raises(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        other = profile.stages.pop if False else None  # placeholder
+        with pytest.raises(ProfileError):
+            JobProfile(job_name="x", stages={}).stage(StageKind.MAP)
+
+    def test_profile_workflow_shares_one_trace(self, cluster, small_wc, small_ts):
+        wf = parallel(
+            "p",
+            [single_job_workflow(small_wc, "W"), single_job_workflow(small_ts, "T")],
+        )
+        profiles = profile_workflow(wf, cluster)
+        assert set(profiles) == {"W.wc", "T.ts"}
+
+    def test_within_state_std_smaller_than_global(self, cluster, small_wc, small_ts):
+        """Cross-state variation must not inflate the Alg2-Normal spread."""
+        import statistics
+
+        wf = parallel(
+            "p",
+            [single_job_workflow(small_wc, "W"), single_job_workflow(small_ts, "T")],
+        )
+        result = simulate(
+            wf, cluster, SimulationConfig(skew=SkewModel(sigma=0.2))
+        )
+        profiles = profile_workflow(wf, cluster, result=result)
+        from repro.simulator.metrics import task_durations
+
+        durations = task_durations(result, "T.ts", StageKind.MAP)
+        global_std = statistics.pstdev(durations)
+        profiled_std = profiles["T.ts"].stage(StageKind.MAP).task_time.std
+        assert profiled_std <= global_std + 1e-9
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, cluster, small_wc, tmp_path):
+        profile = profile_job(small_wc, cluster)
+        path = tmp_path / "wc.json"
+        profile.save(path)
+        restored = JobProfile.load(path)
+        assert restored == profile
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProfileError):
+            JobProfile.from_dict({"job_name": "x"})
+
+
+class TestProfileSource:
+    def test_serves_profiled_distribution(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        source = ProfileSource({"wc": profile}, include_overhead=False)
+        dist = source.distribution(small_wc, StageKind.MAP, 80.0, [])
+        assert dist.mean == pytest.approx(
+            profile.stage(StageKind.MAP).task_time.mean
+        )
+
+    def test_overhead_added_by_default(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        bare = ProfileSource({"wc": profile}, include_overhead=False)
+        full = ProfileSource({"wc": profile})
+        d_bare = bare.distribution(small_wc, StageKind.MAP, 80.0, [])
+        d_full = full.distribution(small_wc, StageKind.MAP, 80.0, [])
+        assert d_full.mean == pytest.approx(d_bare.mean + 1.0)
+
+    def test_missing_profile_raises(self, cluster, small_wc, small_ts):
+        profile = profile_job(small_wc, cluster)
+        source = ProfileSource({"wc": profile})
+        with pytest.raises(ProfileError):
+            source.distribution(small_ts, StageKind.MAP, 80.0, [])
+
+    def test_delta_scaling_option(self, cluster, small_wc):
+        profile = profile_job(small_wc, cluster)
+        source = ProfileSource(
+            {"wc": profile}, scale_with_delta=True, include_overhead=False
+        )
+        profiled_delta = profile.stage(StageKind.MAP).delta
+        base = source.distribution(small_wc, StageKind.MAP, profiled_delta, [])
+        doubled = source.distribution(
+            small_wc, StageKind.MAP, profiled_delta * 2, []
+        )
+        assert doubled.mean == pytest.approx(2 * base.mean)

@@ -1,0 +1,139 @@
+"""Tests for repro.scheduler.drf — Dominant Resource Fairness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import SchedulingError
+from repro.scheduler import JobDemand, drf_equilibrium, drf_single_job_slots
+
+CAPACITY = ResourceVector(60.0, 320_000.0)  # the paper cluster
+
+
+def demand(name: str, vcores=1.0, memory=2000.0, tasks=1000, weight=1.0) -> JobDemand:
+    return JobDemand(name, ResourceVector(vcores, memory), tasks, weight)
+
+
+class TestSingleJob:
+    def test_memory_bounds_admission_by_default(self):
+        # 320 GB / 2 GB = 160 containers; vcores oversubscribe (stock YARN).
+        alloc = drf_equilibrium([demand("a")], CAPACITY)
+        assert alloc["a"] == pytest.approx(160.0)
+
+    def test_enforce_vcores_binds_at_core_count(self):
+        alloc = drf_equilibrium([demand("a")], CAPACITY, enforce_vcores=True)
+        assert alloc["a"] == pytest.approx(60.0)
+
+    def test_demand_cap(self):
+        alloc = drf_equilibrium([demand("a", tasks=7)], CAPACITY)
+        assert alloc["a"] == pytest.approx(7.0)
+
+    def test_helper(self):
+        slots = drf_single_job_slots(ResourceVector(1, 2000), CAPACITY, pending=500)
+        assert slots == pytest.approx(160.0)
+
+
+class TestTwoJobs:
+    def test_identical_jobs_split_evenly(self):
+        alloc = drf_equilibrium([demand("a"), demand("b")], CAPACITY)
+        assert alloc["a"] == pytest.approx(alloc["b"])
+        assert alloc["a"] == pytest.approx(80.0)
+
+    def test_capped_job_releases_capacity(self):
+        alloc = drf_equilibrium([demand("a", tasks=10), demand("b")], CAPACITY)
+        assert alloc["a"] == pytest.approx(10.0)
+        assert alloc["b"] == pytest.approx(150.0)
+
+    def test_drf_equalises_dominant_shares(self):
+        # Job a is memory-dominant (8 GB > 320 GB / 60 vcores per vcore);
+        # job b is vcore-dominant.  DRF equalises the *dominant* shares.
+        alloc = drf_equilibrium(
+            [demand("a", memory=8000.0), demand("b", memory=2000.0)], CAPACITY
+        )
+        share_a = alloc["a"] * 8000.0 / 320_000.0  # a's dominant: memory
+        share_b = alloc["b"] * 1.0 / 60.0  # b's dominant: vcores
+        assert share_a == pytest.approx(share_b, rel=1e-6)
+
+    def test_vcore_dominant_jobs_split_container_counts(self):
+        # With 1-vcore / small-memory containers the vcore dimension is
+        # dominant for both jobs, so DRF hands out equal container counts
+        # even when the memory footprints differ.
+        alloc = drf_equilibrium(
+            [demand("a", memory=4000.0), demand("b", memory=2000.0)], CAPACITY
+        )
+        assert alloc["a"] == pytest.approx(alloc["b"], rel=1e-6)
+
+    def test_weights_scale_shares(self):
+        alloc = drf_equilibrium(
+            [demand("a", weight=2.0), demand("b", weight=1.0)], CAPACITY
+        )
+        assert alloc["a"] == pytest.approx(2 * alloc["b"], rel=1e-6)
+
+    def test_integral_floors(self):
+        alloc = drf_equilibrium(
+            [demand("a", tasks=7), demand("b")], CAPACITY, integral=True
+        )
+        assert alloc["a"] == 7.0
+        assert alloc["b"] == float(int(alloc["b"]))
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            drf_equilibrium([demand("a"), demand("a")], CAPACITY)
+
+    def test_oversized_container_rejected(self):
+        huge = demand("a", memory=1e9)
+        with pytest.raises(SchedulingError):
+            drf_equilibrium([huge], CAPACITY)
+
+    def test_zero_task_job_gets_nothing(self):
+        alloc = drf_equilibrium([demand("a", tasks=0), demand("b")], CAPACITY)
+        assert alloc["a"] == 0.0
+        assert alloc["b"] == pytest.approx(160.0)
+
+
+class TestProperties:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(0.5, 4.0),      # vcores
+                st.floats(500.0, 8000.0),  # memory
+                st.integers(0, 500),       # tasks
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_allocation_feasible_and_capped(self, data):
+        demands = [
+            demand(f"j{i}", vcores=v, memory=m, tasks=t)
+            for i, (v, m, t) in enumerate(data)
+        ]
+        alloc = drf_equilibrium(demands, CAPACITY)
+        total_memory = sum(
+            alloc[d.name] * d.container.memory_mb for d in demands
+        )
+        assert total_memory <= CAPACITY.memory_mb * (1 + 1e-6)
+        for d in demands:
+            assert 0.0 <= alloc[d.name] <= d.max_tasks + 1e-6
+
+    @given(
+        data=st.lists(
+            st.tuples(st.floats(500.0, 8000.0), st.integers(1, 500)),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pareto_efficiency_when_saturated(self, data):
+        """If every job still wants more, memory must be exhausted."""
+        demands = [
+            demand(f"j{i}", memory=m, tasks=t) for i, (m, t) in enumerate(data)
+        ]
+        alloc = drf_equilibrium(demands, CAPACITY)
+        unsated = [d for d in demands if alloc[d.name] < d.max_tasks - 1e-6]
+        if unsated:
+            used = sum(alloc[d.name] * d.container.memory_mb for d in demands)
+            assert used == pytest.approx(CAPACITY.memory_mb, rel=1e-6)

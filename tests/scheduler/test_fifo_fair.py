@@ -1,0 +1,55 @@
+"""Tests for the FIFO and memory-fair scheduler equilibria."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import SchedulingError
+from repro.scheduler import JobDemand, fair_equilibrium, fifo_equilibrium
+
+CAPACITY = ResourceVector(60.0, 320_000.0)
+
+
+def demand(name: str, memory=2000.0, tasks=1000) -> JobDemand:
+    return JobDemand(name, ResourceVector(1.0, memory), tasks)
+
+
+class TestFifo:
+    def test_first_job_takes_everything(self):
+        alloc = fifo_equilibrium([demand("a"), demand("b")], CAPACITY)
+        assert alloc["a"] == pytest.approx(160.0)
+        assert alloc["b"] == 0.0
+
+    def test_leftovers_flow_to_later_jobs(self):
+        alloc = fifo_equilibrium([demand("a", tasks=100), demand("b")], CAPACITY)
+        assert alloc["a"] == 100.0
+        assert alloc["b"] == pytest.approx(60.0)
+
+    def test_integral(self):
+        alloc = fifo_equilibrium(
+            [demand("a", memory=3000.0)], CAPACITY, integral=True
+        )
+        assert alloc["a"] == float(int(320_000.0 / 3000.0))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            fifo_equilibrium([demand("a"), demand("a")], CAPACITY)
+
+    def test_oversized_container_rejected(self):
+        with pytest.raises(SchedulingError):
+            fifo_equilibrium([demand("a", memory=1e9)], CAPACITY)
+
+
+class TestFair:
+    def test_equal_memory_shares(self):
+        alloc = fair_equilibrium(
+            [demand("a", memory=4000.0), demand("b", memory=2000.0)], CAPACITY
+        )
+        mem_a = alloc["a"] * 4000.0
+        mem_b = alloc["b"] * 2000.0
+        assert mem_a == pytest.approx(mem_b, rel=1e-6)
+        assert mem_a + mem_b == pytest.approx(320_000.0, rel=1e-6)
+
+    def test_cap_respected(self):
+        alloc = fair_equilibrium([demand("a", tasks=3), demand("b")], CAPACITY)
+        assert alloc["a"] == pytest.approx(3.0)
+        assert alloc["b"] == pytest.approx((320_000.0 - 6000.0) / 2000.0)

@@ -1,0 +1,120 @@
+"""Tests for repro.scheduler.yarn — per-node placement."""
+
+import collections
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, paper_cluster
+from repro.cluster.resources import ResourceVector
+from repro.errors import SchedulingError
+from repro.scheduler import YarnPlacer
+
+CONTAINER = ResourceVector(1.0, 2000.0)
+
+
+class TestPlacement:
+    def test_spreads_one_job_across_nodes(self):
+        placer = YarnPlacer(paper_cluster())
+        placements = placer.assign({"a": (CONTAINER, 20)})
+        counts = collections.Counter(node for _, node in placements)
+        assert len(placements) == 20
+        assert all(c == 2 for c in counts.values())
+
+    def test_interleaves_concurrent_jobs(self):
+        # The critical behaviour: two jobs must share nodes, not segregate
+        # onto disjoint halves (that would erase cross-job contention).
+        placer = YarnPlacer(paper_cluster())
+        placements = placer.assign({"a": (CONTAINER, 40), "b": (CONTAINER, 40)})
+        per_node = collections.defaultdict(set)
+        for job, node in placements:
+            per_node[node].add(job)
+        assert all(jobs == {"a", "b"} for jobs in per_node.values())
+
+    def test_memory_only_admission_oversubscribes_cpu(self):
+        # 16 x 2 GB containers fit a 32 GB / 6-core node.
+        cluster = Cluster(node=NodeSpec(), workers=1)
+        placer = YarnPlacer(cluster)
+        placements = placer.assign({"a": (CONTAINER, 100)})
+        assert len(placements) == 16
+
+    def test_enforce_vcores_limits_to_cores(self):
+        cluster = Cluster(node=NodeSpec(), workers=1)
+        placer = YarnPlacer(cluster, enforce_vcores=True)
+        placements = placer.assign({"a": (CONTAINER, 100)})
+        assert len(placements) == 6
+
+    def test_drf_splits_capacity_evenly(self):
+        placer = YarnPlacer(paper_cluster())
+        placements = placer.assign({"a": (CONTAINER, 500), "b": (CONTAINER, 500)})
+        counts = collections.Counter(job for job, _ in placements)
+        assert counts["a"] == counts["b"] == 80
+
+    def test_fifo_serves_arrival_order(self):
+        placer = YarnPlacer(paper_cluster(), policy="fifo")
+        placer.register_job("first")
+        placer.register_job("second")
+        placements = placer.assign(
+            {"second": (CONTAINER, 500), "first": (CONTAINER, 500)}
+        )
+        counts = collections.Counter(job for job, _ in placements)
+        assert counts["first"] == 160
+        assert "second" not in counts
+
+    def test_release_returns_capacity(self):
+        cluster = Cluster(node=NodeSpec(), workers=1)
+        placer = YarnPlacer(cluster)
+        [(job, node)] = placer.assign({"a": (CONTAINER, 1)})
+        placer.release(job, node, CONTAINER)
+        assert placer.free_capacity().memory_mb == pytest.approx(32_000.0)
+
+    def test_over_release_rejected(self):
+        placer = YarnPlacer(paper_cluster())
+        placer.register_job("a")
+        with pytest.raises(SchedulingError):
+            placer.release("a", 0, CONTAINER)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SchedulingError):
+            YarnPlacer(paper_cluster(), policy="lottery")
+
+    def test_nothing_fits_returns_partial(self):
+        cluster = Cluster(node=NodeSpec(), workers=1)
+        placer = YarnPlacer(cluster)
+        placements = placer.assign({"a": (ResourceVector(1, 20_000.0), 5)})
+        assert len(placements) == 1  # only one 20 GB container fits
+
+    def test_usage_tracking(self):
+        placer = YarnPlacer(paper_cluster())
+        placer.assign({"a": (CONTAINER, 3)})
+        assert placer.usage_of("a").memory_mb == pytest.approx(6000.0)
+
+
+class TestAssignQueues:
+    def test_per_job_queue_order(self):
+        # A job's first queue (its maps) drains before its second.
+        placer = YarnPlacer(paper_cluster())
+        grants = placer.assign_queues(
+            {"a": [(CONTAINER, 3), (CONTAINER, 2)]}
+        )
+        queue_order = [q for _, _, q in grants]
+        assert queue_order == [0, 0, 0, 1, 1]
+
+    def test_cross_job_arbitration_interleaves(self):
+        # Job B's maps are not starved by job A's reduces: the policy
+        # arbitrates between jobs on every grant.
+        placer = YarnPlacer(paper_cluster())
+        grants = placer.assign_queues(
+            {
+                "a": [(CONTAINER, 0), (CONTAINER, 500)],
+                "b": [(CONTAINER, 500), (CONTAINER, 0)],
+            }
+        )
+        import collections
+
+        counts = collections.Counter(name for name, _, _ in grants)
+        assert counts["a"] == counts["b"] == 80
+
+    def test_zero_count_queues_skipped(self):
+        placer = YarnPlacer(paper_cluster())
+        grants = placer.assign_queues({"a": [(CONTAINER, 0), (CONTAINER, 0)]})
+        assert grants == []

@@ -1,0 +1,177 @@
+"""Tests for repro.simulator.engine — the ground-truth executor."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, paper_cluster
+from repro.dag import Workflow, chain, parallel, single_job_workflow
+from repro.errors import SchedulingError
+from repro.cluster.resources import ResourceVector
+from repro.mapreduce import JobConfig, MapReduceJob, SkewModel, StageKind
+from repro.simulator import SimulationConfig, simulate
+from repro.units import gb
+
+
+def job(name="j", **kwargs) -> MapReduceJob:
+    defaults = dict(
+        name=name,
+        input_mb=gb(2),
+        map_cpu_mb_s=50.0,
+        reduce_cpu_mb_s=50.0,
+        num_reducers=10,
+        config=JobConfig(replicas=1),
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(**defaults)
+
+
+class TestSingleJob:
+    def test_runs_to_completion(self, cluster):
+        result = simulate(single_job_workflow(job()), cluster)
+        assert result.makespan > 0
+        assert len(result.tasks) == job().num_map_tasks + 10
+
+    def test_map_precedes_reduce(self, cluster):
+        result = simulate(single_job_workflow(job()), cluster)
+        map_end = result.stage("j", StageKind.MAP).t_end
+        reduce_start = result.stage("j", StageKind.REDUCE).t_start
+        assert reduce_start >= map_end - 1e-9
+
+    def test_task_overhead_delays_work(self, cluster):
+        result = simulate(single_job_workflow(job()), cluster)
+        first = min(result.tasks, key=lambda t: t.t_start)
+        assert first.substages[0].t_start == pytest.approx(
+            first.t_start + 1.0  # default 1 s container startup
+        )
+
+    def test_zero_overhead(self, cluster):
+        j = job(config=JobConfig(replicas=1, task_overhead_s=0.0))
+        result = simulate(single_job_workflow(j), cluster)
+        first = min(result.tasks, key=lambda t: t.t_start)
+        assert first.substages[0].t_start == pytest.approx(first.t_start)
+
+    def test_map_only_job(self, cluster):
+        result = simulate(single_job_workflow(job(num_reducers=0)), cluster)
+        assert all(t.kind is StageKind.MAP for t in result.tasks)
+        assert len(result.stages) == 1
+
+    def test_waves_emerge_from_capacity(self, cluster):
+        # 16 maps, 10 slots (32 GB nodes, ~32 GB containers would be 1/node).
+        j = job(
+            input_mb=16 * 128.0,
+            config=JobConfig(
+                replicas=1, map_container=ResourceVector(1, 32_000.0)
+            ),
+        )
+        result = simulate(single_job_workflow(j), cluster)
+        starts = sorted(t.t_start for t in result.tasks if t.kind is StageKind.MAP)
+        assert starts[10] > starts[9]  # second wave strictly later
+
+    def test_states_cover_makespan(self, cluster):
+        result = simulate(single_job_workflow(job()), cluster)
+        assert result.states[0].t_start == pytest.approx(0.0)
+        assert result.states[-1].t_end == pytest.approx(result.makespan)
+        for a, b in zip(result.states, result.states[1:]):
+            assert b.t_start == pytest.approx(a.t_end)
+
+    def test_deterministic(self, cluster):
+        a = simulate(single_job_workflow(job()), cluster)
+        b = simulate(single_job_workflow(job()), cluster)
+        assert a.makespan == b.makespan
+
+    def test_skew_changes_timeline_but_conserves_tasks(self, cluster):
+        cfg = SimulationConfig(skew=SkewModel(sigma=0.5))
+        skewed = simulate(single_job_workflow(job()), cluster, cfg)
+        uniform = simulate(single_job_workflow(job()), cluster)
+        assert len(skewed.tasks) == len(uniform.tasks)
+        assert skewed.makespan != uniform.makespan
+
+
+class TestDagExecution:
+    def test_chain_runs_serially(self, cluster):
+        wf = chain("c", [job("a"), job("b")])
+        result = simulate(wf, cluster)
+        a_end = result.job_span("a")[1]
+        b_start = result.job_span("b")[0]
+        assert b_start >= a_end - 1e-9
+
+    def test_parallel_jobs_overlap(self, cluster):
+        wf = parallel(
+            "p",
+            [single_job_workflow(job("a"), "A"), single_job_workflow(job("b"), "B")],
+        )
+        result = simulate(wf, cluster)
+        a0, a1 = result.job_span("A.a")
+        b0, b1 = result.job_span("B.b")
+        assert max(a0, b0) < min(a1, b1)  # genuine overlap
+
+    def test_diamond_dependencies(self, cluster):
+        wf = Workflow(
+            name="d",
+            jobs=(job("a"), job("b"), job("c"), job("d")),
+            edges=frozenset({("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")}),
+        )
+        result = simulate(wf, cluster)
+        d_start = result.job_span("d")[0]
+        assert d_start >= result.job_span("b")[1] - 1e-9
+        assert d_start >= result.job_span("c")[1] - 1e-9
+
+    def test_contention_slows_jobs_down(self, cluster):
+        alone = simulate(single_job_workflow(job("a")), cluster)
+        together = simulate(
+            parallel(
+                "p",
+                [
+                    single_job_workflow(job("a"), "A"),
+                    single_job_workflow(job("b"), "B"),
+                ],
+            ),
+            cluster,
+        )
+        a_alone = alone.job_span("a")[1] - alone.job_span("a")[0]
+        a_contended = (
+            together.job_span("A.a")[1] - together.job_span("A.a")[0]
+        )
+        assert a_contended > a_alone
+
+    def test_state_transitions_follow_stage_changes(self, cluster):
+        result = simulate(single_job_workflow(job()), cluster)
+        kinds = [sorted(k.value for _, k in s.running) for s in result.states]
+        assert kinds == [["map"], ["reduce"]]
+
+
+class TestSchedulerInteraction:
+    def test_oversized_container_deadlocks_cleanly(self, cluster):
+        j = job(
+            config=JobConfig(
+                replicas=1, map_container=ResourceVector(1, 1e9)
+            )
+        )
+        with pytest.raises(SchedulingError):
+            simulate(single_job_workflow(j), cluster)
+
+    def test_fifo_policy_serialises_jobs(self, cluster):
+        # Job A alone outsizes the cluster (196 maps > 160 slots), so under
+        # FIFO job B cannot start until A's first tasks finish.
+        wf = parallel(
+            "p",
+            [
+                single_job_workflow(job("a", input_mb=gb(25)), "A"),
+                single_job_workflow(job("b", input_mb=gb(25)), "B"),
+            ],
+        )
+        result = simulate(wf, cluster, SimulationConfig(policy="fifo"))
+        # Under FIFO job A monopolises the cluster; B's maps wait.
+        a_first = min(
+            t.t_start for t in result.tasks_of("A.a", StageKind.MAP)
+        )
+        b_first = min(
+            t.t_start for t in result.tasks_of("B.b", StageKind.MAP)
+        )
+        assert b_first > a_first
+
+    def test_enforce_vcores_reduces_parallelism(self, cluster):
+        cfg = SimulationConfig(enforce_vcores=True)
+        loose = simulate(single_job_workflow(job(input_mb=gb(20))), cluster)
+        strict = simulate(single_job_workflow(job(input_mb=gb(20))), cluster, cfg)
+        # With only 60 slots instead of 160 the job needs more waves.
+        assert strict.makespan > loose.makespan

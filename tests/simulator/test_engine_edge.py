@@ -1,0 +1,105 @@
+"""Edge-case engine behaviour: slow-start, map-only chains, combined
+skew + failures, and scheduler release paths."""
+
+import pytest
+
+from repro.dag import chain, single_job_workflow
+from repro.mapreduce import JobConfig, MapReduceJob, SkewModel, StageKind
+from repro.simulator import FailureModel, SimulationConfig, simulate
+from repro.units import gb
+
+
+def job(name="j", **kwargs) -> MapReduceJob:
+    defaults = dict(
+        input_mb=gb(3),
+        map_cpu_mb_s=40.0,
+        reduce_cpu_mb_s=40.0,
+        num_reducers=12,
+        config=JobConfig(replicas=1),
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(name=name, **defaults)
+
+
+class TestSlowStart:
+    def test_early_slowstart_overlaps_shuffle_with_maps(self, cluster):
+        # Needs multiple map waves so reduces can launch mid-map-stage:
+        # 32 GB memory / 2 GB container = 16/node -> 160 slots < 196 maps.
+        eager = job(
+            input_mb=gb(25),
+            config=JobConfig(replicas=1, slowstart=0.2),
+        )
+        lazy = job(input_mb=gb(25), config=JobConfig(replicas=1, slowstart=1.0))
+        res_eager = simulate(single_job_workflow(eager), cluster)
+        res_lazy = simulate(single_job_workflow(lazy), cluster)
+        map_end_eager = res_eager.stage("j", StageKind.MAP).t_end
+        first_reduce_eager = res_eager.stage("j", StageKind.REDUCE).t_start
+        first_reduce_lazy = res_lazy.stage("j", StageKind.REDUCE).t_start
+        map_end_lazy = res_lazy.stage("j", StageKind.MAP).t_end
+        # Eager slow-start launches reduces before the maps are done...
+        assert first_reduce_eager < map_end_eager
+        # ...while the default waits for the full map stage.
+        assert first_reduce_lazy >= map_end_lazy - 1e-9
+
+    def test_slowstart_still_completes_everything(self, cluster):
+        j = job(input_mb=gb(25), config=JobConfig(replicas=1, slowstart=0.3))
+        result = simulate(single_job_workflow(j), cluster)
+        assert len(result.tasks_of("j", StageKind.REDUCE)) == 12
+
+
+class TestMapOnlyChains:
+    def test_chain_of_map_only_jobs(self, cluster):
+        wf = chain(
+            "c",
+            [job("a", num_reducers=0), job("b", num_reducers=0), job("c", num_reducers=0)],
+        )
+        result = simulate(wf, cluster)
+        assert len(result.stages) == 3
+        assert all(s.kind is StageKind.MAP for s in result.stages)
+        # Strictly serial despite ample capacity (DAG dependencies).
+        for first, second in zip(result.stages, result.stages[1:]):
+            assert second.t_start >= first.t_end - 1e-9
+
+    def test_mixed_chain(self, cluster):
+        wf = chain("c", [job("a"), job("b", num_reducers=0)])
+        result = simulate(wf, cluster)
+        kinds = [(s.job, s.kind) for s in result.stages]
+        assert (("a", StageKind.REDUCE)) in kinds
+        assert (("b", StageKind.MAP)) in kinds
+
+
+class TestCombinedStressors:
+    def test_skew_and_failures_together(self, cluster):
+        config = SimulationConfig(
+            skew=SkewModel(sigma=0.4),
+            failures=FailureModel(probability=0.1),
+        )
+        wf = single_job_workflow(job(input_mb=gb(5)))
+        result = simulate(wf, cluster, config)
+        clean = simulate(wf, cluster)
+        assert len(result.tasks) == len(clean.tasks)
+        assert result.makespan > clean.makespan
+
+    def test_failed_attempt_frees_capacity_for_peers(self, cluster):
+        """A killed attempt must release its container (otherwise capacity
+        leaks and large stages deadlock)."""
+        config = SimulationConfig(failures=FailureModel(probability=0.25))
+        # More tasks than slots: re-queued attempts compete through waves.
+        wf = single_job_workflow(job(input_mb=gb(30)))
+        result = simulate(wf, cluster, config)
+        expected = job(input_mb=gb(30)).num_map_tasks + 12
+        assert len(result.tasks) == expected
+
+
+class TestStateAccounting:
+    def test_zero_duration_states_are_not_recorded(self, cluster):
+        wf = chain("c", [job("a"), job("b")])
+        result = simulate(wf, cluster)
+        assert all(s.duration > 1e-9 for s in result.states)
+
+    def test_state_indices_are_sequential(self, cluster):
+        wf = chain("c", [job("a"), job("b")])
+        result = simulate(wf, cluster)
+        assert [s.index for s in result.states] == list(
+            range(1, len(result.states) + 1)
+        )

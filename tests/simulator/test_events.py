@@ -1,0 +1,61 @@
+"""Tests for repro.simulator.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(2.0, "late")
+        q.push(1.0, "early")
+        assert q.pop() == (1.0, "early")
+        assert q.pop() == (2.0, "late")
+
+    def test_stable_for_equal_times(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(3.0, "x")
+        assert q.peek_time() == 3.0
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, "x")
+
+    def test_cancellation(self):
+        q = EventQueue()
+        token = q.push(1.0, "dead")
+        q.push(2.0, "alive")
+        q.cancel(token)
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_pop_all_at_groups_simultaneous_events(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        q.push(1.0 + 1e-12, "b")
+        q.push(2.0, "c")
+        assert q.pop_all_at(1.0) == ["a", "b"]
+        assert len(q) == 1
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, "x")
+        assert q

@@ -1,0 +1,117 @@
+"""Tests for task-failure injection (the fault-tolerance substrate)."""
+
+import pytest
+
+from repro.core import BOEModel, BOESource, DagEstimator, ScaledSource
+from repro.dag import single_job_workflow
+from repro.errors import SimulationError, SpecificationError
+from repro.simulator import FailureModel, SimulationConfig, SimulationResult, simulate
+from repro.units import gb
+from repro.workloads import terasort
+
+
+@pytest.fixture
+def workflow():
+    return single_job_workflow(terasort(gb(5)))
+
+
+class TestFailureModel:
+    def test_disabled_by_default(self):
+        assert not FailureModel().enabled
+
+    def test_draw_is_deterministic(self):
+        model = FailureModel(probability=0.3)
+        assert model.draw("j/m0", 1) == model.draw("j/m0", 1)
+
+    def test_draw_varies_by_attempt(self):
+        model = FailureModel(probability=0.5)
+        outcomes = {model.draw("j/m0", k) for k in range(1, 20)}
+        assert len(outcomes) > 1
+
+    def test_death_point_inside_attempt(self):
+        model = FailureModel(probability=0.99)
+        for k in range(1, 20):
+            fails, at = model.draw("j/m0", k)
+            if fails:
+                assert 0.05 <= at <= 0.95
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SpecificationError):
+            FailureModel(probability=1.0)
+        with pytest.raises(SpecificationError):
+            FailureModel(probability=-0.1)
+
+    def test_expected_attempts(self):
+        assert FailureModel().expected_attempts() == 1.0
+        flaky = FailureModel(probability=0.5, max_attempts=100)
+        assert flaky.expected_attempts() == pytest.approx(2.0, rel=0.01)
+
+    def test_expected_work_factor(self):
+        assert FailureModel().expected_work_factor() == 1.0
+        flaky = FailureModel(probability=0.5, max_attempts=100)
+        assert flaky.expected_work_factor() == pytest.approx(1.5, rel=0.01)
+
+
+class TestFailureInjection:
+    def test_all_tasks_still_complete(self, cluster, workflow):
+        config = SimulationConfig(failures=FailureModel(probability=0.15))
+        result = simulate(workflow, cluster, config)
+        clean = simulate(workflow, cluster)
+        assert len(result.tasks) == len(clean.tasks)
+
+    def test_failures_slow_the_run(self, cluster, workflow):
+        clean = simulate(workflow, cluster)
+        flaky = simulate(
+            workflow, cluster, SimulationConfig(failures=FailureModel(probability=0.15))
+        )
+        assert flaky.makespan > clean.makespan
+        assert flaky.failed_attempts
+
+    def test_failed_attempts_recorded_with_times(self, cluster, workflow):
+        config = SimulationConfig(failures=FailureModel(probability=0.2))
+        result = simulate(workflow, cluster, config)
+        for task_id, attempt, when in result.failed_attempts:
+            assert attempt >= 1
+            assert 0 <= when <= result.makespan
+
+    def test_deterministic_under_failures(self, cluster, workflow):
+        config = SimulationConfig(failures=FailureModel(probability=0.2))
+        a = simulate(workflow, cluster, config)
+        b = simulate(workflow, cluster, config)
+        assert a.makespan == b.makespan
+        assert a.failed_attempts == b.failed_attempts
+
+    def test_attempt_budget_aborts(self, cluster, workflow):
+        # Probability ~0.95 with 2 attempts: some task exhausts its budget.
+        config = SimulationConfig(
+            failures=FailureModel(probability=0.95, max_attempts=2)
+        )
+        with pytest.raises(SimulationError):
+            simulate(workflow, cluster, config)
+
+    def test_trace_roundtrip_keeps_failures(self, cluster, workflow):
+        config = SimulationConfig(failures=FailureModel(probability=0.2))
+        result = simulate(workflow, cluster, config)
+        restored = SimulationResult.from_json(result.to_json())
+        assert restored.failed_attempts == result.failed_attempts
+
+
+class TestFailureAwareEstimation:
+    def test_scaled_source_tracks_flaky_makespan(self, cluster, workflow):
+        failures = FailureModel(probability=0.15)
+        flaky = simulate(workflow, cluster, SimulationConfig(failures=failures))
+        source = ScaledSource(
+            BOESource(BOEModel(cluster)), failures.expected_work_factor()
+        )
+        est = DagEstimator(cluster, source).estimate(workflow)
+        plain_est = DagEstimator(cluster, BOESource(BOEModel(cluster))).estimate(
+            workflow
+        )
+        # The correction moves the estimate towards the flaky truth.
+        assert abs(est.total_time - flaky.makespan) < abs(
+            plain_est.total_time - flaky.makespan
+        )
+
+    def test_invalid_factor_rejected(self, cluster):
+        with pytest.raises(Exception):
+            ScaledSource(BOESource(BOEModel(cluster)), 0.0)

@@ -1,0 +1,125 @@
+"""Tests for repro.simulator.metrics — trace statistics."""
+
+import pytest
+
+from repro.dag import single_job_workflow
+from repro.errors import SimulationError
+from repro.mapreduce import JobConfig, MapReduceJob, SkewModel, StageKind
+from repro.simulator import (
+    SimulationConfig,
+    average_parallelism,
+    fit_normal,
+    mean_task_time,
+    median_task_time,
+    median_task_time_in_state,
+    observed_parallelism,
+    simulate,
+    stage_duration,
+    state_summary,
+    task_durations,
+    tasks_in_state,
+)
+from repro.units import gb
+
+
+@pytest.fixture
+def result(cluster):
+    job = MapReduceJob(
+        name="j", input_mb=gb(2), num_reducers=8, config=JobConfig(replicas=1)
+    )
+    return simulate(
+        single_job_workflow(job),
+        cluster,
+        SimulationConfig(skew=SkewModel(sigma=0.3)),
+    )
+
+
+class TestDurations:
+    def test_task_durations_counts_stage_tasks(self, result):
+        assert len(task_durations(result, "j", StageKind.REDUCE)) == 8
+
+    def test_substage_filter(self, result):
+        shuffles = task_durations(result, "j", StageKind.REDUCE, substage="shuffle")
+        assert len(shuffles) == 8
+        assert all(d > 0 for d in shuffles)
+
+    def test_include_overhead(self, result):
+        with_oh = task_durations(result, "j", StageKind.MAP, include_overhead=True)
+        without = task_durations(result, "j", StageKind.MAP)
+        assert all(a > b for a, b in zip(with_oh, without))
+
+    def test_missing_stage_raises(self, result):
+        with pytest.raises(SimulationError):
+            task_durations(result, "ghost", StageKind.MAP)
+
+    def test_median_and_mean(self, result):
+        med = median_task_time(result, "j", StageKind.MAP)
+        mean = mean_task_time(result, "j", StageKind.MAP)
+        assert med > 0 and mean > 0
+
+    def test_stage_duration(self, result):
+        assert stage_duration(result, "j", StageKind.MAP) > 0
+
+
+class TestStateAttribution:
+    def test_midpoint_attribution(self, result):
+        s1 = result.states[0]
+        tasks = tasks_in_state(result, s1, "j", StageKind.MAP)
+        assert tasks  # maps run in the first state
+
+    def test_strict_attribution_is_subset(self, result):
+        s1 = result.states[0]
+        loose = tasks_in_state(result, s1, "j", StageKind.MAP)
+        strict = tasks_in_state(result, s1, "j", StageKind.MAP, strict=True)
+        assert set(t.index for t in strict) <= set(t.index for t in loose)
+
+    def test_median_in_state(self, result):
+        s1 = result.states[0]
+        med = median_task_time_in_state(result, s1, "j", StageKind.MAP)
+        assert med is not None and med > 0
+
+    def test_median_in_state_none_when_absent(self, result):
+        s_last = result.states[-1]
+        assert (
+            median_task_time_in_state(result, s_last, "j", StageKind.MAP) is None
+        )
+
+    def test_min_samples_guard(self, result):
+        s1 = result.states[0]
+        med = median_task_time_in_state(
+            result, s1, "j", StageKind.MAP, min_samples=10_000
+        )
+        assert med is None
+
+
+class TestParallelism:
+    def test_observed_parallelism_midstage(self, result):
+        s1 = result.states[0]
+        mid = 0.5 * (s1.t_start + s1.t_end)
+        assert observed_parallelism(result, "j", StageKind.MAP, mid) > 0
+
+    def test_observed_parallelism_after_end(self, result):
+        assert (
+            observed_parallelism(result, "j", StageKind.MAP, result.makespan) == 0
+        )
+
+    def test_average_parallelism_bounded_by_tasks(self, result):
+        avg = average_parallelism(result, "j", StageKind.REDUCE)
+        assert 0 < avg <= 8.0 + 1e-9
+
+
+class TestSummaries:
+    def test_state_summary_shape(self, result):
+        rows = state_summary(result)
+        assert len(rows) == len(result.states)
+        assert rows[0]["state"] == 1
+        assert rows[0]["median_task_times"]
+
+    def test_fit_normal(self):
+        mu, sigma = fit_normal([1.0, 2.0, 3.0])
+        assert mu == pytest.approx(2.0)
+        assert sigma == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_fit_normal_empty_raises(self):
+        with pytest.raises(SimulationError):
+            fit_normal([])

@@ -1,0 +1,183 @@
+"""Tests for repro.simulator.sharing — the fair-sharing equilibrium."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.simulator.sharing import FlowSpec, pool_utilisation, solve_max_min
+
+
+class TestFlowSpec:
+    def test_empty_flow_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowSpec("f", (), None)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowSpec("f", (("p", 0.0),))
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            FlowSpec("f", (("p", 1.0),), cap=0.0)
+
+
+class TestBasicEquilibria:
+    def test_single_flow_gets_full_pool(self):
+        rates = solve_max_min([FlowSpec("f", (("p", 10.0),))], {"p": 100.0})
+        assert rates["f"] == pytest.approx(10.0)
+
+    def test_identical_flows_share_equally(self):
+        flows = [FlowSpec(f"f{i}", (("p", 10.0),)) for i in range(4)]
+        rates = solve_max_min(flows, {"p": 20.0})
+        assert all(r == pytest.approx(0.5) for r in rates.values())
+
+    def test_cap_binds_before_pool(self):
+        flows = [
+            FlowSpec("capped", (("p", 1.0),), cap=2.0),
+            FlowSpec("hungry", (("p", 1.0),)),
+        ]
+        rates = solve_max_min(flows, {"p": 10.0})
+        assert rates["capped"] == pytest.approx(2.0)
+        assert rates["hungry"] == pytest.approx(8.0)
+
+    def test_same_pool_ops_serialise(self):
+        # A read and a write on one disk add up; they do not overlap.
+        rates = solve_max_min(
+            [FlowSpec("f", (("disk", 10.0), ("disk", 10.0)))], {"disk": 100.0}
+        )
+        assert rates["f"] == pytest.approx(5.0)
+
+    def test_empty_flow_list(self):
+        assert solve_max_min([], {"p": 1.0}) == {}
+
+
+class TestRedistribution:
+    def test_cpu_bound_flow_returns_disk_slack(self):
+        """The physics the plain-progressive solver got wrong: a CPU-capped
+        flow releases its unused disk share to the disk-hungry flow."""
+        flows = [
+            # Needs 1 unit disk + 10 core-s per progress; capped at 1 core.
+            FlowSpec("cpubound", (("disk", 1.0), ("cpu", 10.0)), cap=0.1),
+            FlowSpec("diskbound", (("disk", 10.0),)),
+        ]
+        rates = solve_max_min(flows, {"disk": 10.0, "cpu": 6.0})
+        assert rates["cpubound"] == pytest.approx(0.1)
+        # Disk slack: 10 - 0.1 = 9.9 goes entirely to the disk-bound flow.
+        assert rates["diskbound"] == pytest.approx(0.99)
+
+    def test_fig4_example(self):
+        """The paper's Fig. 4 walk-through, exactly."""
+        caps = {"disk": 500.0, "net": 100.0, "cpu": 6.0}
+        def flow(i):
+            return FlowSpec(
+                f"f{i}", (("disk", 10000.0), ("net", 10000.0), ("cpu", 200.0)),
+                cap=1 / 200.0,
+            )
+        alone = solve_max_min([flow(0)], caps)
+        assert 1 / alone["f0"] == pytest.approx(200.0)
+        five = [flow(i) for i in range(5)]
+        rates = solve_max_min(five, caps)
+        assert 1 / rates["f0"] == pytest.approx(500.0)
+        util = pool_utilisation(five, rates, caps)
+        assert util["net"] == pytest.approx(1.0)
+        assert util["disk"] == pytest.approx(0.2)
+
+    def test_heterogeneous_two_pool_equilibrium(self):
+        """Hand-solved WC+TS node: both pools saturate, rates match the
+        per-device processor-sharing fixed point."""
+        flows = []
+        for i in range(8):
+            flows.append(
+                FlowSpec(f"wc{i}", (("disk", 138.5), ("cpu", 8.62)), cap=1 / 8.62)
+            )
+            flows.append(
+                FlowSpec(f"ts{i}", (("disk", 254.8), ("cpu", 2.12)), cap=1 / 2.12)
+            )
+        caps = {"disk": 180.0, "cpu": 6.0}
+        rates = solve_max_min(flows, caps)
+        util = pool_utilisation(flows, rates, caps)
+        assert util["disk"] == pytest.approx(1.0, abs=1e-3)
+        assert util["cpu"] == pytest.approx(1.0, abs=1e-3)
+        # The CPU-heavy job is CPU-bound, the disk-heavy one disk-bound, and
+        # the disk-bound flow runs faster than a naive equal split (11.25
+        # MB/s -> 22.6 s) thanks to redistribution.
+        assert 1 / rates["ts0"] < 22.0
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        f = FlowSpec("f", (("p", 1.0),))
+        with pytest.raises(SimulationError):
+            solve_max_min([f, f], {"p": 1.0})
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([FlowSpec("f", (("ghost", 1.0),))], {"p": 1.0})
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            solve_max_min([FlowSpec("f", (("p", 1.0),))], {"p": 0.0})
+
+
+@st.composite
+def flow_systems(draw):
+    n_pools = draw(st.integers(1, 4))
+    pools = {f"p{i}": draw(st.floats(1.0, 1000.0)) for i in range(n_pools)}
+    n_flows = draw(st.integers(1, 12))
+    flows = []
+    for i in range(n_flows):
+        k = draw(st.integers(1, n_pools))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(sorted(pools)), min_size=k, max_size=k, unique=True
+            )
+        )
+        demands = tuple(
+            (p, draw(st.floats(0.01, 100.0))) for p in chosen
+        )
+        cap = draw(st.one_of(st.none(), st.floats(0.01, 10.0)))
+        flows.append(FlowSpec(f"f{i}", demands, cap))
+    return flows, pools
+
+
+class TestProperties:
+    @given(flow_systems())
+    @settings(max_examples=80, deadline=None)
+    def test_feasibility(self, system):
+        """No pool is over-committed and every rate is positive."""
+        flows, pools = system
+        rates = solve_max_min(flows, pools)
+        util = pool_utilisation(flows, rates, pools)
+        for pool, u in util.items():
+            assert u <= 1.0 + 1e-6
+        for flow in flows:
+            assert rates[flow.flow_id] > 0
+            if flow.cap is not None:
+                assert rates[flow.flow_id] <= flow.cap * (1 + 1e-6)
+
+    @given(flow_systems())
+    @settings(max_examples=80, deadline=None)
+    def test_every_flow_is_bottlenecked(self, system):
+        """Work conservation: each flow is either at its cap or uses at
+        least one pool that is (nearly) saturated."""
+        flows, pools = system
+        rates = solve_max_min(flows, pools)
+        util = pool_utilisation(flows, rates, pools)
+        for flow in flows:
+            at_cap = flow.cap is not None and rates[flow.flow_id] >= flow.cap * (
+                1 - 1e-5
+            )
+            on_saturated = any(
+                util[p] >= 1.0 - 1e-5 for p, _ in flow.demands
+            )
+            assert at_cap or on_saturated, (
+                f"{flow.flow_id} is neither capped nor on a saturated pool"
+            )
+
+    @given(flow_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, system):
+        flows, pools = system
+        a = solve_max_min(flows, pools)
+        b = solve_max_min(list(flows), dict(pools))
+        assert a == b

@@ -1,0 +1,77 @@
+"""Tests for repro.simulator.trace — records and JSON round-trip."""
+
+import pytest
+
+from repro.dag import single_job_workflow
+from repro.errors import SimulationError
+from repro.mapreduce import JobConfig, MapReduceJob, StageKind
+from repro.simulator import SimulationResult, simulate
+from repro.units import gb
+
+
+@pytest.fixture
+def result(cluster):
+    job = MapReduceJob(
+        name="j",
+        input_mb=gb(1),
+        num_reducers=5,
+        config=JobConfig(replicas=1),
+    )
+    return simulate(single_job_workflow(job), cluster)
+
+
+class TestQueries:
+    def test_tasks_of_filters_by_job_and_kind(self, result):
+        maps = result.tasks_of("j", StageKind.MAP)
+        assert maps and all(t.kind is StageKind.MAP for t in maps)
+        assert result.tasks_of("ghost") == []
+
+    def test_stage_lookup(self, result):
+        stage = result.stage("j", StageKind.REDUCE)
+        assert stage.num_tasks == 5
+
+    def test_stage_missing_raises(self, result):
+        with pytest.raises(SimulationError):
+            result.stage("ghost", StageKind.MAP)
+
+    def test_job_span(self, result):
+        t0, t1 = result.job_span("j")
+        assert t0 == pytest.approx(0.0)
+        assert t1 == pytest.approx(result.makespan)
+
+    def test_state_of_time(self, result):
+        state = result.state_of_time(0.0)
+        assert state.index == 1
+        last = result.state_of_time(result.makespan)
+        assert last.index == len(result.states)
+
+    def test_state_of_time_outside_raises(self, result):
+        with pytest.raises(SimulationError):
+            result.state_of_time(result.makespan + 100.0)
+
+    def test_task_durations_positive(self, result):
+        for task in result.tasks:
+            assert task.duration > 0
+            assert task.work_duration > 0
+            assert task.work_duration <= task.duration + 1e-9
+
+    def test_substage_duration_lookup(self, result):
+        reduce_task = result.tasks_of("j", StageKind.REDUCE)[0]
+        assert reduce_task.substage_duration("reduce") is not None
+        assert reduce_task.substage_duration("nope") is None
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, result):
+        restored = SimulationResult.from_json(result.to_json())
+        assert restored.workflow_name == result.workflow_name
+        assert restored.makespan == result.makespan
+        assert restored.tasks == result.tasks
+        assert restored.stages == result.stages
+        assert restored.states == result.states
+
+    def test_round_trip_preserves_stage_kinds(self, result):
+        restored = SimulationResult.from_json(result.to_json())
+        assert restored.tasks_of("j", StageKind.REDUCE) == result.tasks_of(
+            "j", StageKind.REDUCE
+        )

@@ -1,0 +1,71 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_mb_identity(self):
+        assert units.mb(42.0) == 42.0
+
+    def test_kb_is_fraction_of_mb(self):
+        assert units.kb(500) == pytest.approx(0.5)
+
+    def test_gb_converts_to_mb(self):
+        assert units.gb(1) == 1000.0
+
+    def test_tb_converts_to_mb(self):
+        assert units.tb(2) == 2_000_000.0
+
+    def test_gb_fractional(self):
+        assert units.gb(0.5) == 500.0
+
+
+class TestRates:
+    def test_gbit_ethernet_payload(self):
+        assert units.gbit_per_s(1) == pytest.approx(112.0)
+
+    def test_ten_gbit(self):
+        assert units.gbit_per_s(10) == pytest.approx(1120.0)
+
+
+class TestTimes:
+    def test_minutes(self):
+        assert units.minutes(2) == 120.0
+
+    def test_hours(self):
+        assert units.hours(1.5) == 5400.0
+
+
+class TestFormatMb:
+    def test_kilobytes(self):
+        assert units.format_mb(0.5) == "500.0 KB"
+
+    def test_megabytes(self):
+        assert units.format_mb(42.0) == "42.0 MB"
+
+    def test_gigabytes(self):
+        assert units.format_mb(2048) == "2.05 GB"
+
+    def test_terabytes(self):
+        assert units.format_mb(3_500_000) == "3.50 TB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_mb(-1.0)
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert units.format_seconds(42.0) == "42.0s"
+
+    def test_minutes(self):
+        assert units.format_seconds(90) == "1m30.0s"
+
+    def test_hours(self):
+        assert units.format_seconds(3700) == "1h01m40s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_seconds(-0.1)

@@ -1,0 +1,79 @@
+"""Tests for the TPC-H DAG shapes."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.units import gb
+from repro.workloads.tpch import (
+    QUERY_SPECS,
+    TABLE_FRACTIONS,
+    all_queries,
+    table_mb,
+    tpch_query,
+)
+
+
+class TestTableLayout:
+    def test_fractions_cover_the_dataset(self):
+        assert sum(TABLE_FRACTIONS.values()) == pytest.approx(1.0, abs=0.02)
+
+    def test_lineitem_dominates(self):
+        assert TABLE_FRACTIONS["lineitem"] == max(TABLE_FRACTIONS.values())
+
+    def test_table_mb(self):
+        assert table_mb("orders", gb(80)) == pytest.approx(gb(80) * 0.160)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SpecificationError):
+            table_mb("pokemon", gb(80))
+
+
+class TestQueryShapes:
+    def test_all_22_queries_build(self):
+        queries = all_queries(gb(8))
+        assert set(queries) == set(range(1, 23))
+        for wf in queries.values():
+            assert wf.jobs  # valid workflow (validation ran in constructor)
+
+    @pytest.mark.parametrize("q", sorted(QUERY_SPECS))
+    def test_job_count_matches_hive_plan(self, q):
+        expected_jobs, _ = QUERY_SPECS[q]
+        wf = tpch_query(q, gb(8))
+        assert len(wf.jobs) == expected_jobs
+
+    def test_q21_has_nine_jobs(self):
+        # §V-C calls this out explicitly: "Q21 has 9 MapReduce jobs".
+        assert len(tpch_query(21, gb(8)).jobs) == 9
+
+    def test_q6_is_a_single_scan(self):
+        wf = tpch_query(6, gb(8))
+        assert len(wf.jobs) == 1
+
+    def test_scans_are_roots(self):
+        wf = tpch_query(5, gb(8))
+        for root in wf.roots():
+            assert "scan" in root
+
+    def test_final_job_is_a_sink(self):
+        wf = tpch_query(3, gb(8))
+        sinks = wf.sinks()
+        assert len(sinks) == 1
+
+    def test_data_flow_shrinks_down_the_plan(self):
+        wf = tpch_query(5, gb(80))
+        order = wf.topological_order()
+        first_scan = wf.job(order[0])
+        final = wf.job(order[-1])
+        assert final.input_mb < first_scan.input_mb
+
+    def test_query_number_validated(self):
+        with pytest.raises(SpecificationError):
+            tpch_query(23)
+        with pytest.raises(SpecificationError):
+            tpch_query(0)
+
+    def test_scale_invariant_shape(self):
+        small = tpch_query(9, gb(8))
+        large = tpch_query(9, gb(80))
+        assert len(small.jobs) == len(large.jobs)
+        assert small.edges == large.edges

@@ -1,0 +1,161 @@
+"""Tests for the workload definitions (Table I catalogue, HiBench, weblog)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.mapreduce import StageKind
+from repro.units import gb
+from repro.workloads import (
+    TABLE1,
+    catalog,
+    entry,
+    hybrid,
+    kmeans,
+    micro_plus_analytics,
+    micro_plus_query,
+    micro_workflow,
+    pagerank,
+    table3_workflows,
+    terasort,
+    terasort_2r,
+    terasort_3r,
+    terasort_compressed,
+    weblog_dag,
+    wordcount,
+)
+
+
+class TestMicroBenchmarks:
+    def test_wc_matches_table1_row(self):
+        job = wordcount()
+        assert job.config.compression.enabled  # C = Y
+        assert job.config.replicas == 3  # R = 3
+        assert job.input_mb == pytest.approx(gb(100))
+
+    def test_ts_matches_table1_row(self):
+        job = terasort()
+        assert not job.config.compression.enabled  # C = N
+        assert job.config.replicas == 1
+        assert job.map_selectivity == 1.0  # sort moves every byte
+
+    def test_tsc_compressed(self):
+        job = terasort_compressed()
+        assert job.config.compression.enabled
+        assert job.config.replicas == 1
+
+    def test_replica_variants(self):
+        assert terasort_2r().config.replicas == 2
+        assert terasort_3r().config.replicas == 3
+
+    def test_micro_workflow_factory(self):
+        for kind in ("wc", "ts", "ts2r", "ts3r"):
+            wf = micro_workflow(kind, input_mb=gb(1))
+            assert len(wf.jobs) == 1
+
+    def test_unknown_micro_rejected(self):
+        with pytest.raises(SpecificationError):
+            micro_workflow("quicksort")
+
+
+class TestIterativeDags:
+    def test_kmeans_is_a_chain(self):
+        wf = kmeans(input_mb=gb(10), iterations=3)
+        assert len(wf.jobs) == 4  # 3 iterations + classification
+        order = wf.topological_order()
+        assert order[-1].endswith("classify")
+        # Strict chain: every non-root has exactly one parent.
+        for name in order[1:]:
+            assert len(wf.parents(name)) == 1
+
+    def test_kmeans_classification_is_map_only(self):
+        wf = kmeans(input_mb=gb(10))
+        classify = wf.job(wf.sinks()[0])
+        assert classify.is_map_only
+
+    def test_pagerank_has_two_jobs_per_iteration(self):
+        wf = pagerank(input_mb=gb(10), iterations=3)
+        assert len(wf.jobs) == 1 + 2 * 3
+
+    def test_pagerank_is_shuffle_heavy(self):
+        wf = pagerank(input_mb=gb(10))
+        contrib = wf.job("pagerank-it1-contrib")
+        assert contrib.map_selectivity > 1.0  # edge fan-out
+
+
+class TestWeblog:
+    def test_fig1_shape(self):
+        wf = weblog_dag()
+        assert len(wf.jobs) == 4
+        assert wf.parents("j4-report") == {"j2-count", "j3-sort"}
+        assert wf.parents("j2-count") == wf.parents("j3-sort") == {"j1-preagg"}
+
+    def test_j2_and_j3_parallel(self):
+        from repro.dag import max_concurrency
+
+        assert max_concurrency(weblog_dag()) == 2
+
+    def test_seven_schedulable_stages(self):
+        # Fig. 1 shows 7 states; 4 jobs x map+reduce = 8 stages, overlapping
+        # into 7 states in the paper's run.
+        assert weblog_dag().num_stages == 8
+
+
+class TestHybrids:
+    def test_hybrid_composition(self, small_wc, small_ts):
+        from repro.dag import single_job_workflow
+
+        wf = hybrid(
+            "X", single_job_workflow(small_wc), single_job_workflow(small_ts)
+        )
+        assert len(wf.roots()) == 2
+
+    def test_micro_plus_query_naming(self):
+        wf = micro_plus_query("wc", 5, micro_mb=gb(1), dataset_mb=gb(1))
+        assert wf.name == "WC-Q5"
+
+    def test_micro_plus_analytics(self):
+        wf = micro_plus_analytics("ts", "km", micro_mb=gb(1), analytics_mb=gb(1))
+        assert wf.name == "TS-KM"
+        wf = micro_plus_analytics("wc", "pr", micro_mb=gb(1), analytics_mb=gb(1))
+        assert wf.name == "WC-PR"
+
+    def test_unknown_analytics_rejected(self):
+        with pytest.raises(SpecificationError):
+            micro_plus_analytics("wc", "dnn")
+
+    def test_table3_has_51_workflows(self):
+        workflows = table3_workflows(scale=0.01)
+        assert len(workflows) == 51
+        assert {"TS-Q1", "WC-Q22", "WC-TS2R", "TS-PR"} <= set(workflows)
+
+    def test_table3_scale_shrinks_inputs(self):
+        small = table3_workflows(scale=0.01)["WC-TS"]
+        large = table3_workflows(scale=0.02)["WC-TS"]
+        assert large.total_input_mb == pytest.approx(2 * small.total_input_mb)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SpecificationError):
+            table3_workflows(scale=0.0)
+
+
+class TestCatalog:
+    def test_catalog_has_table1_rows(self):
+        names = {e.name for e in TABLE1}
+        assert {"WC", "TSC", "TS", "TS3R", "WC+TS", "WC+TS3R"} <= names
+
+    def test_every_factory_builds(self):
+        for e in TABLE1:
+            wf = e.factory(0.01)
+            assert wf.jobs
+
+    def test_lookup(self):
+        assert entry("WC").compressed is True
+        assert entry("TS").replicas == (1,)
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(SpecificationError):
+            entry("Spark-SQL")
+
+    def test_catalog_keys_match_names(self):
+        for name, e in catalog().items():
+            assert name == e.name
