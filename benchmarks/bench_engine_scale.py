@@ -1,0 +1,153 @@
+"""Engine scaling bench — fast event loop vs the historical reference loop.
+
+The simulator is the reproduction's ground truth, so its cost bounds every
+large-cluster sweep and capacity-planning search built on top of it.  The
+historical loop rescans all active flows on every event (~O(tasks²) per
+run); the fast loop keeps per-event work proportional to the flows an event
+actually affects (completion-time heap + lazily materialised progress +
+equivalence-class sharing).  This bench sweeps the worker count for the
+WC+TS hybrid — the same workload family as ``bench_scaling.py`` — runs both
+engines at every size, verifies the traces agree, and emits one ``BENCH``
+JSON line per size so the performance trajectory is tracked from PR to PR.
+
+Trace-parity contract (also enforced, harder, by
+``tests/simulator/test_engine_parity.py``): identical placements, attempt
+counts and sub-stage structure; makespan within 1e-9 s; per-task sub-stage
+instants within the reference solver's deterministic ~1e-10-relative
+convergence noise.
+"""
+
+import json
+import time
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import render_table
+from repro.cluster import Cluster
+from repro.cluster.node import PAPER_NODE
+from repro.simulator import SimulationConfig, simulate
+from repro.units import gb
+from repro.workloads import hybrid, micro_workflow
+
+#: Worker counts of the full sweep; the largest runs ~9.5k tasks.
+SIZES = (8, 32, 80, 160, 320)
+#: Cheap prefix used by the CI smoke job.
+SMOKE_SIZES = (8, 32)
+
+#: Makespan agreement between the engines, in seconds (absolute).
+MAKESPAN_TOL = 1e-9
+#: Per-instant agreement for task/sub-stage timings, relative to makespan.
+TIMING_RTOL = 1e-9
+
+#: Required wall-clock advantage of the fast engine at the largest size.
+MIN_SPEEDUP_AT_SCALE = 4.0
+
+
+def _workload(workers: int):
+    """WC+TS hybrid sized so ~30 tasks land on each worker (~9.5k at 320)."""
+    size = gb(1.875 * workers)
+    return hybrid(
+        "WC+TS", micro_workflow("wc", size), micro_workflow("ts", size)
+    )
+
+
+def _assert_traces_match(ref, fast, workers: int):
+    tol = TIMING_RTOL * max(1.0, ref.makespan)
+    assert abs(ref.makespan - fast.makespan) <= MAKESPAN_TOL, workers
+    assert len(ref.tasks) == len(fast.tasks), workers
+    ref_by_key = {(t.job, t.kind, t.index): t for t in ref.tasks}
+    for ft in fast.tasks:
+        rt = ref_by_key[(ft.job, ft.kind, ft.index)]
+        assert rt.node == ft.node, (workers, ft.job, ft.index)
+        assert abs(rt.t_start - ft.t_start) <= tol
+        assert abs(rt.t_end - ft.t_end) <= tol
+        assert [s.name for s in rt.substages] == [s.name for s in ft.substages]
+        for rs, fs in zip(rt.substages, ft.substages):
+            assert abs(rs.t_start - fs.t_start) <= tol
+            assert abs(rs.t_end - fs.t_end) <= tol
+
+
+def _run_size(workers: int) -> dict:
+    t0 = time.perf_counter()
+    ref = simulate(
+        _workload(workers),
+        Cluster(node=PAPER_NODE, workers=workers),
+        SimulationConfig(engine="reference"),
+    )
+    ref_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = simulate(
+        _workload(workers),
+        Cluster(node=PAPER_NODE, workers=workers),
+        SimulationConfig(engine="fast"),
+    )
+    fast_s = time.perf_counter() - t0
+
+    _assert_traces_match(ref, fast, workers)
+    row = {
+        "bench": "engine_scale",
+        "workers": workers,
+        "tasks": len(ref.tasks),
+        "makespan_s": round(ref.makespan, 6),
+        "ref_wall_s": round(ref_s, 4),
+        "fast_wall_s": round(fast_s, 4),
+        "speedup": round(ref_s / fast_s, 2),
+        "dmakespan_s": abs(ref.makespan - fast.makespan),
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _render(rows) -> str:
+    return render_table(
+        ["workers", "tasks", "reference (s)", "fast (s)", "speedup"],
+        [
+            [
+                r["workers"],
+                r["tasks"],
+                f"{r['ref_wall_s']:.3f}",
+                f"{r['fast_wall_s']:.3f}",
+                f"{r['speedup']:.1f}x",
+            ]
+            for r in rows
+        ],
+        title="Engine scaling: fast vs reference event loop (WC+TS hybrid)",
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return [_run_size(w) for w in SIZES]
+
+
+def test_engine_scale_smoke():
+    """CI-sized subset: trace parity plus a sanity check that the fast
+    engine is not slower.  Run with ``-k smoke``."""
+    rows = [_run_size(w) for w in SMOKE_SIZES]
+    emit(_render(rows))
+    for row in rows:
+        assert row["dmakespan_s"] <= MAKESPAN_TOL
+    # At tiny sizes constant overheads dominate; just require "not worse".
+    assert rows[-1]["speedup"] >= 1.0
+
+
+def test_engine_scale_full(benchmark, sweep):
+    emit(_render(sweep))
+    for row in sweep:
+        assert row["dmakespan_s"] <= MAKESPAN_TOL
+    # Wall-clock advantage must grow with scale and clear the 4x bar at the
+    # largest size (~9.5k tasks on 320 workers).
+    largest = sweep[-1]
+    assert largest["workers"] == 320
+    assert largest["tasks"] >= 9_000
+    assert largest["speedup"] >= MIN_SPEEDUP_AT_SCALE, largest
+    # pytest-benchmark tracks the fast engine's absolute cost at mid scale.
+    workers = 80
+    cluster = Cluster(node=PAPER_NODE, workers=workers)
+    benchmark(
+        lambda: simulate(
+            _workload(workers), cluster, SimulationConfig(engine="fast")
+        )
+    )

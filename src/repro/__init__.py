@@ -77,6 +77,7 @@ from repro.errors import (
     SchedulingError,
     SimulationError,
     SpecificationError,
+    TraceWindowError,
     WorkflowError,
 )
 from repro.mapreduce import (
@@ -155,6 +156,7 @@ __all__ = [
     "StarfishBestCase",
     "TaskEstimate",
     "TaskTimeDistribution",
+    "TraceWindowError",
     "Variant",
     "Workflow",
     "WorkflowBuilder",

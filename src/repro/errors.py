@@ -41,6 +41,16 @@ class SimulationError(ReproError):
     """
 
 
+class TraceWindowError(SimulationError):
+    """A trace query targets an instant outside the traced time window.
+
+    Unlike its parent :class:`SimulationError`, this does **not** indicate an
+    engine bug — the caller simply asked about a time before the first or
+    after the last recorded workflow state.  It subclasses
+    :class:`SimulationError` so existing handlers keep working.
+    """
+
+
 class EstimationError(ReproError):
     """A cost model cannot produce an estimate from the inputs it was given.
 

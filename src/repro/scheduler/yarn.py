@@ -18,6 +18,7 @@ Alternative policies ("fifo", "fair") are provided for ablations.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -45,12 +46,18 @@ class YarnPlacer:
         cluster: Cluster,
         policy: str = "drf",
         enforce_vcores: bool = False,
+        fast: bool = True,
     ):
         if policy not in POLICIES:
             raise SchedulingError(f"unknown policy {policy!r}; pick one of {POLICIES}")
         self._cluster = cluster
         self._policy = policy
         self._enforce_vcores = enforce_vcores
+        # The heap shortcut below is exact only for memory-only admission
+        # (fits is monotone in free memory); strict-vcores mode keeps the
+        # plain scan, as does ``fast=False`` (the simulator's reference
+        # engine, which must exercise the historical code path).
+        self._fast = fast and not enforce_vcores
         node = cluster.node
         self._nodes = [
             _NodeState(i, float(node.cores), node.memory_mb)
@@ -62,6 +69,16 @@ class YarnPlacer:
         self._arrival_counter = 0
         self._next_node: Dict[str, int] = {}
         self._weights: Dict[str, float] = {}
+        # Lazy max-heap over (-free_memory, index).  Every free-memory
+        # change pushes a fresh entry; stale entries (value no longer equal
+        # to the node's current free memory) are discarded when they reach
+        # the top.  The top therefore always names a node with the maximum
+        # free memory — the O(nodes) "fitting" rescan in `_pick_node`
+        # collapses to an O(log nodes) peek.
+        self._free_heap: List[Tuple[float, int]] = [
+            (-n.free_memory, n.index) for n in self._nodes
+        ]
+        heapq.heapify(self._free_heap)
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -87,7 +104,16 @@ class YarnPlacer:
                 f"released more memory than node {node_index} owns "
                 f"({node.free_memory} > {self._cluster.node.memory_mb})"
             )
+        self._touch(node)
         self._usage[name] = self._usage[name] - container
+
+    def _touch(self, node: _NodeState) -> None:
+        """Record a free-memory change in the lazy max-heap."""
+        heapq.heappush(self._free_heap, (-node.free_memory, node.index))
+        if len(self._free_heap) > max(64, 8 * len(self._nodes)):
+            # Compact: one fresh entry per node replaces the stale pile.
+            self._free_heap = [(-n.free_memory, n.index) for n in self._nodes]
+            heapq.heapify(self._free_heap)
 
     # -- placement -------------------------------------------------------------
 
@@ -108,6 +134,8 @@ class YarnPlacer:
         always wins the even heartbeat, job B the odd one), silently removing
         the cross-job resource contention this whole library studies.
         """
+        if self._fast:
+            return self._pick_node_fast(container, job)
         fitting = [n for n in self._nodes if self._node_fits(n, container)]
         if not fitting:
             return None
@@ -120,6 +148,35 @@ class YarnPlacer:
                 self._next_node[job] = (node.index + 1) % n_nodes
                 return node
         return None  # pragma: no cover - fitting is non-empty
+
+    def _pick_node_fast(
+        self, container: ResourceVector, job: str
+    ) -> Optional[_NodeState]:
+        """Heap-backed `_pick_node`, exact for memory-only admission.
+
+        Admission is monotone in free memory, so either the globally
+        least-loaded node fits (and the scan's ``best_memory`` *is* the
+        global maximum) or nothing does.  The round-robin walk then only
+        pays `_node_fits` for nodes inside the 1e-6 tie window.
+        """
+        heap = self._free_heap
+        nodes = self._nodes
+        while heap and -heap[0][0] != nodes[heap[0][1]].free_memory:
+            heapq.heappop(heap)  # stale: superseded by a later push
+        if not heap:  # pragma: no cover - every change pushes an entry
+            return None
+        best = nodes[heap[0][1]]
+        if not self._node_fits(best, container):
+            return None
+        threshold = best.free_memory - 1e-6
+        start = self._next_node.get(job, 0)
+        n_nodes = len(nodes)
+        for offset in range(n_nodes):
+            node = nodes[(start + offset) % n_nodes]
+            if node.free_memory >= threshold and self._node_fits(node, container):
+                self._next_node[job] = (node.index + 1) % n_nodes
+                return node
+        return None  # pragma: no cover - `best` itself is reachable
 
     def _priority(self, name: str) -> Tuple:
         """Sort key: lower = served first."""
@@ -166,6 +223,7 @@ class YarnPlacer:
                     continue
                 node.free_vcores -= container.vcores
                 node.free_memory -= container.memory_mb
+                self._touch(node)
                 self._usage[name] = self._usage[name] + container
                 placements.append((name, node.index, idx))
                 if count == 1:
@@ -210,6 +268,7 @@ class YarnPlacer:
                     continue
                 node.free_vcores -= container.vcores
                 node.free_memory -= container.memory_mb
+                self._touch(node)
                 self._usage[name] = self._usage[name] + container
                 placements.append((name, node.index))
                 if count == 1:

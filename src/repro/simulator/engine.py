@@ -19,6 +19,23 @@ Crucially, the engine shares **no estimation code** with the BOE model or
 Algorithm 1 — only the workload description.  Model accuracy measured
 against these traces is therefore a genuine comparison, mirroring the
 paper's model-vs-cluster evaluation.
+
+Two event loops are provided, selected by ``SimulationConfig.engine``:
+
+* ``"fast"`` (default) keeps per-event work proportional to the flows a
+  state change actually affects.  Progress is *materialised lazily*: a run
+  stores ``(progress, t_base, rate)`` and its true progress at time ``t`` is
+  ``progress + (t - t_base) * rate``, so untouched flows cost nothing when
+  the clock advances.  Every running sub-stage owns one entry in a
+  completion-time heap; entries are invalidated (lazy cancellation) only
+  when the run's node is re-solved.  The sharing problems themselves
+  collapse symmetric flows into equivalence classes
+  (:func:`~repro.simulator.sharing.solve_max_min` with ``collapse=True``).
+* ``"reference"`` is the historical loop that rescans and advances every
+  active flow on every event — O(active flows) per event.  It is retained
+  as the oracle: ``benchmarks/bench_engine_scale.py`` and
+  ``tests/simulator/test_engine_parity.py`` assert the two produce the same
+  traces, so every accuracy result in EXPERIMENTS.md is preserved.
 """
 
 from __future__ import annotations
@@ -51,6 +68,9 @@ from repro.simulator.trace import (
 _EPS = 1e-9
 _TIME_TOL = 1e-7
 
+#: Recognised values of :attr:`SimulationConfig.engine`.
+ENGINES = ("fast", "reference")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -62,6 +82,10 @@ class SimulationConfig:
         enforce_vcores: strict DRF admission (default off = stock YARN).
         failures: task-attempt failure injection (fault tolerance).
         max_iterations: hard stop against engine bugs.
+        engine: event-loop implementation — ``"fast"`` (lazy progress,
+            completion heap, collapsed sharing; the default) or
+            ``"reference"`` (the historical rescan-everything loop, kept as
+            the trace-fidelity oracle).
     """
 
     policy: str = "drf"
@@ -69,6 +93,7 @@ class SimulationConfig:
     enforce_vcores: bool = False
     failures: FailureModel = NO_FAILURES
     max_iterations: int = 5_000_000
+    engine: str = "fast"
 
 
 class _RunState:
@@ -89,6 +114,9 @@ class _RunState:
         "attempt",
         "fail_substage",
         "fail_fraction",
+        "rate",
+        "t_base",
+        "deadline_token",
     )
 
     def __init__(
@@ -115,6 +143,12 @@ class _RunState:
         # fraction at which this attempt dies (None = attempt succeeds).
         self.fail_substage: Optional[int] = None
         self.fail_fraction = 1.0
+        # Fast-engine bookkeeping: the solved progress rate in effect since
+        # ``t_base`` (lazy materialisation) and the token of this run's live
+        # entry in the completion-time heap (None = no entry).
+        self.rate = 0.0
+        self.t_base = t_launch
+        self.deadline_token: Optional[int] = None
 
     @property
     def current(self) -> SubStageSpec:
@@ -197,11 +231,19 @@ class Simulator:
         workflow: Workflow,
         config: SimulationConfig = SimulationConfig(),
     ):
+        if config.engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {config.engine!r}; pick one of {ENGINES}"
+            )
         self._cluster = cluster
         self._workflow = workflow
         self._config = config
+        self._fast = config.engine == "fast"
         self._placer = YarnPlacer(
-            cluster, policy=config.policy, enforce_vcores=config.enforce_vcores
+            cluster,
+            policy=config.policy,
+            enforce_vcores=config.enforce_vcores,
+            fast=self._fast,
         )
         node = cluster.node
         self._pools: Dict[str, float] = {}
@@ -231,6 +273,7 @@ class Simulator:
         self._now = 0.0
         self._runs: Dict[str, _RunState] = {}  # task_id -> run (launched, not finished)
         self._attempts: Dict[str, int] = {}  # task_id -> attempts launched
+        self._first_launch: Dict[str, float] = {}  # task_id -> first attempt's launch
         self._failed_attempts: List[Tuple[str, int, float]] = []
         self._finished_tasks: List[TaskTrace] = []
         self._stage_traces: List[StageTrace] = []
@@ -238,10 +281,31 @@ class Simulator:
         self._open_set: FrozenSet[Tuple[str, StageKind]] = frozenset()
         self._state_start = 0.0
 
+        # Fast-engine structures: runs grouped by node (insertion-ordered so
+        # symmetric tasks tie-break like the reference loop's run dict), a
+        # completion-time heap with lazy cancellation, and a memo of
+        # sub-stage pipelines (identical tasks share one immutable spec
+        # list instead of rebuilding it per launch).
+        self._node_runs: List[Dict[str, _RunState]] = [
+            {} for _ in range(cluster.workers)
+        ]
+        self._deadlines = EventQueue()
+        self._substage_cache: Dict[
+            Tuple[str, StageKind, float], List[SubStageSpec]
+        ] = {}
+
     # -- public API --------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Execute the workflow to completion and return its trace."""
+        if self._fast:
+            return self._run_fast()
+        return self._run_reference()
+
+    # -- reference event loop ----------------------------------------------------
+
+    def _run_reference(self) -> SimulationResult:
+        """The historical O(active flows)-per-event loop (trace oracle)."""
         for name in self._workflow.roots():
             self._arrive(name)
         self._schedule_pending()
@@ -270,6 +334,7 @@ class Simulator:
                     solved = solve_max_min(
                         [r.build_flow() for r in node_runs],
                         self._node_pools[node_idx],
+                        collapse=False,
                     )
                     self._rates.update(solved)
                 self._dirty_nodes.clear()
@@ -335,18 +400,169 @@ class Simulator:
             if all(js.done for js in self._jobs.values()) and not self._runs:
                 break
 
-        self._close_state()
-        result = SimulationResult(
-            workflow_name=self._workflow.name,
-            makespan=self._now,
-            tasks=sorted(
-                self._finished_tasks, key=lambda t: (t.t_start, t.job, t.index)
-            ),
-            stages=sorted(self._stage_traces, key=lambda s: (s.t_start, s.job)),
-            states=self._states,
-            failed_attempts=list(self._failed_attempts),
+        return self._build_result()
+
+    # -- fast event loop ----------------------------------------------------------
+
+    def _run_fast(self) -> SimulationResult:
+        """Event loop with lazy progress and a completion-time heap.
+
+        Per event, only the flows on *dirty* nodes are touched: their
+        progress is materialised, their node's sharing problem re-solved
+        (over equivalence classes) and their heap deadlines re-issued.
+        Flows on clean nodes keep their piecewise-constant rates, so their
+        stored deadlines stay exact — no rescan, no advancement.
+        """
+        for name in self._workflow.roots():
+            self._arrive(name)
+        self._schedule_pending()
+        self._note_state_change()
+
+        deadlines = self._deadlines
+        events = self._events
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self._config.max_iterations:
+                raise SimulationError(
+                    f"simulation of {self._workflow.name!r} exceeded "
+                    f"{self._config.max_iterations} iterations"
+                )
+            if self._dirty_nodes:
+                for node_idx in sorted(self._dirty_nodes):
+                    self._solve_node(node_idx)
+                self._dirty_nodes.clear()
+
+            t_deadline = deadlines.peek_time()
+            t_event = events.peek_time()
+            t_next = min(
+                t_deadline if t_deadline is not None else math.inf,
+                t_event if t_event is not None else math.inf,
+            )
+            if t_next == math.inf:
+                if self._runs or any(
+                    not js.done for js in self._jobs.values()
+                ):
+                    active = [
+                        r
+                        for r in self._runs.values()
+                        if r.active and not self._is_gated(r)
+                    ]
+                    self._raise_stall(
+                        active, {r.flow_id(): r.rate for r in active}
+                    )
+                break
+            self._now = t_next
+
+            # Fire every deadline inside its run's _EPS progress window of
+            # t_next, not only exact matches.  The reference loop checks
+            # ``progress >= target - _EPS`` for *all* runs at every event, so
+            # a run within _EPS of its target completes at the current event
+            # even if its own predicted instant is marginally later; a
+            # deadline at t_d is that close exactly when
+            # ``(t_d - now) * rate <= _EPS``.  Without this, symmetric waves
+            # whose deadlines differ by ulp noise would complete at separate
+            # micro-instants and the scheduler would see different batches.
+            while True:
+                head = deadlines.peek()
+                if head is None:
+                    break
+                t_d, task_id = head
+                run = self._runs.get(task_id)
+                if run is None or run.deadline_token is None:
+                    deadlines.pop()  # pragma: no cover - cancel() precedes removal
+                    continue
+                if (t_d - t_next) * run.rate > _EPS:
+                    break
+                deadlines.pop()
+                self._fire_deadline(run)
+
+            for payload in events.pop_all_at(t_next, tol=_TIME_TOL):
+                kind, task_id = payload
+                if kind == "ready":
+                    run = self._runs.get(task_id)
+                    if run is not None:
+                        run.active = True
+                        run.t_work_start = self._now
+                        run.t_base = self._now
+                        self._dirty_nodes.add(run.node)
+
+            self._schedule_pending()
+            self._note_state_change()
+
+            if all(js.done for js in self._jobs.values()) and not self._runs:
+                break
+
+        return self._build_result()
+
+    def _solve_node(self, node_idx: int) -> None:
+        """Re-share one dirty node and refresh its runs' heap deadlines."""
+        now = self._now
+        included: List[_RunState] = []
+        for run in self._node_runs[node_idx].values():
+            if not run.active:
+                continue  # still paying the startup overhead
+            target = self._shuffle_target(run)
+            if run.rate > 0.0 and now > run.t_base:
+                run.progress = min(
+                    target, run.progress + (now - run.t_base) * run.rate
+                )
+            run.t_base = now
+            if target < 1.0 and run.progress >= target - _EPS:
+                # Gated at the availability boundary: excluded from the
+                # share until more map output exists (rate pinned to zero so
+                # later materialisations add no progress).
+                run.rate = 0.0
+                self._cancel_deadline(run)
+                continue
+            included.append(run)
+        solved = solve_max_min(
+            [r.build_flow() for r in included], self._node_pools[node_idx]
         )
-        return result
+        for run in included:
+            run.rate = solved[run.flow_id()]
+            self._push_deadline(run)
+
+    def _push_deadline(self, run: _RunState) -> None:
+        """(Re-)issue the heap entry for this run's next decision point."""
+        self._cancel_deadline(run)
+        if run.rate <= _EPS:
+            return  # starved: some future re-share must revive it
+        target = self._shuffle_target(run)
+        if run.fail_substage == run.stage_idx:
+            target = min(target, run.fail_fraction)
+        when = self._now + max(0.0, target - run.progress) / run.rate
+        run.deadline_token = self._deadlines.push(when, run.spec.task_id)
+
+    def _cancel_deadline(self, run: _RunState) -> None:
+        if run.deadline_token is not None:
+            self._deadlines.cancel(run.deadline_token)
+            run.deadline_token = None
+
+    def _fire_deadline(self, run: _RunState) -> None:
+        """A run reached its predicted decision point: materialise and act."""
+        run.deadline_token = None
+        target = self._shuffle_target(run)
+        if run.rate > 0.0 and self._now > run.t_base:
+            run.progress = min(
+                target, run.progress + (self._now - run.t_base) * run.rate
+            )
+        run.t_base = self._now
+        if (
+            run.fail_substage == run.stage_idx
+            and run.progress >= run.fail_fraction - _EPS
+        ):
+            self._kill_attempt(run)
+        elif run.progress >= 1.0 - _EPS:
+            self._complete_substage(run)
+        elif target < 1.0 and run.progress >= target - _EPS:
+            # Newly gated: release its bandwidth back to the node.
+            run.rate = 0.0
+            self._dirty_nodes.add(run.node)
+        else:
+            # The target moved under us (e.g. more map output appeared at
+            # this very instant): let the next re-share re-issue a deadline.
+            self._dirty_nodes.add(run.node)
 
     # -- job / stage lifecycle -----------------------------------------------------
 
@@ -401,20 +617,44 @@ class Simulator:
 
     # -- task lifecycle --------------------------------------------------------------
 
+    def _task_substages(self, js: _JobState, spec: TaskSpec) -> List[SubStageSpec]:
+        """Sub-stage pipeline for one task.
+
+        Identical tasks (same job, kind and input size — the overwhelmingly
+        common case without skew) share one immutable spec list; the memo is
+        only consulted by the fast engine so the reference loop stays the
+        historical code path.
+        """
+        if not self._fast:
+            return build_task_substages(
+                js.job,
+                spec.kind,
+                task_input_mb=spec.input_mb if spec.input_mb > 0 else None,
+                remote_fraction=self._cluster.remote_fraction,
+            )
+        key = (js.job.name, spec.kind, spec.input_mb)
+        substages = self._substage_cache.get(key)
+        if substages is None:
+            substages = build_task_substages(
+                js.job,
+                spec.kind,
+                task_input_mb=spec.input_mb if spec.input_mb > 0 else None,
+                remote_fraction=self._cluster.remote_fraction,
+            )
+            self._substage_cache[key] = substages
+        return substages
+
     def _launch(self, js: _JobState, node: int, kind: StageKind) -> None:
         spec = js.pending[kind].pop(0)
         container = container_for(js.job, spec.kind)
-        substages = build_task_substages(
-            js.job,
-            spec.kind,
-            task_input_mb=spec.input_mb if spec.input_mb > 0 else None,
-            remote_fraction=self._cluster.remote_fraction,
-        )
+        substages = self._task_substages(js, spec)
         run = _RunState(spec, node, container, substages, self._now)
         attempt = self._attempts.get(spec.task_id, 0) + 1
         self._attempts[spec.task_id] = attempt
+        self._first_launch.setdefault(spec.task_id, self._now)
         self._plan_failure(run, attempt=attempt)
         self._runs[spec.task_id] = run
+        self._node_runs[node][spec.task_id] = run
         self._dirty_nodes.add(node)
         js.running[kind] += 1
         overhead = js.job.config.task_overhead_s
@@ -459,8 +699,10 @@ class Simulator:
                 f"(limit {model.max_attempts}); job aborted"
             )
         self._rates.pop(run.flow_id(), None)
+        self._cancel_deadline(run)
         self._dirty_nodes.add(run.node)
         del self._runs[spec.task_id]
+        self._node_runs[run.node].pop(spec.task_id, None)
         self._placer.release(spec.job_name, run.node, run.container)
         js = self._jobs[spec.job_name]
         js.running[spec.kind] -= 1
@@ -474,16 +716,20 @@ class Simulator:
             SubStageTrace(run.current.name, run.t_work_start, self._now)
         )
         self._rates.pop(run.flow_id(), None)
+        self._cancel_deadline(run)
         self._dirty_nodes.add(run.node)
         run.stage_idx += 1
         run.progress = 0.0
+        run.rate = 0.0
         run.flow_cache = None
         run.t_work_start = self._now
+        run.t_base = self._now
         if run.stage_idx < len(run.substages):
             return
         # Task finished.
         spec = run.spec
         del self._runs[spec.task_id]
+        self._node_runs[run.node].pop(spec.task_id, None)
         self._placer.release(spec.job_name, run.node, run.container)
         self._finished_tasks.append(
             TaskTrace(
@@ -492,7 +738,7 @@ class Simulator:
                 index=spec.index,
                 node=run.node,
                 input_mb=spec.input_mb,
-                t_ready=run.t_launch,
+                t_ready=self._first_launch.pop(spec.task_id, run.t_launch),
                 t_start=run.t_launch,
                 t_end=self._now,
                 substages=tuple(run.substage_traces),
@@ -591,6 +837,21 @@ class Simulator:
                     running=self._open_set,
                 )
             )
+
+    # -- result assembly ------------------------------------------------------------------
+
+    def _build_result(self) -> SimulationResult:
+        self._close_state()
+        return SimulationResult(
+            workflow_name=self._workflow.name,
+            makespan=self._now,
+            tasks=sorted(
+                self._finished_tasks, key=lambda t: (t.t_start, t.job, t.index)
+            ),
+            stages=sorted(self._stage_traces, key=lambda s: (s.t_start, s.job)),
+            states=self._states,
+            failed_attempts=list(self._failed_attempts),
+        )
 
     # -- slow-start gating ----------------------------------------------------------------
 

@@ -34,6 +34,15 @@ class EventQueue:
     def cancel(self, token: int) -> None:
         """Lazily cancel the event with the given token."""
         self._cancelled.add(token)
+        # Cancelled entries are normally discarded as they surface at the
+        # top of the heap, but a workload that reschedules far-future events
+        # over and over (the fast engine re-issues completion deadlines on
+        # every re-share) would otherwise accumulate dead weight.  Compact
+        # once the majority of the heap is dead.
+        if len(self._cancelled) > 64 and 2 * len(self._cancelled) > len(self._heap):
+            self._heap = [e for e in self._heap if e[1] not in self._cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled.clear()
 
     def _skip_cancelled(self) -> None:
         while self._heap and self._heap[0][1] in self._cancelled:
@@ -44,6 +53,14 @@ class EventQueue:
         """Time of the earliest live event, or None when empty."""
         self._skip_cancelled()
         return self._heap[0][0] if self._heap else None
+
+    def peek(self) -> Optional[Tuple[float, Any]]:
+        """(time, payload) of the earliest live event without removing it."""
+        self._skip_cancelled()
+        if not self._heap:
+            return None
+        time, _, payload = self._heap[0]
+        return time, payload
 
     def pop(self) -> Tuple[float, Any]:
         """Remove and return the earliest live event as (time, payload)."""

@@ -16,7 +16,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TraceWindowError
 from repro.mapreduce.stage import StageKind
 
 
@@ -138,12 +138,41 @@ class SimulationResult:
         return min(s.t_start for s in spans), max(s.t_end for s in spans)
 
     def state_of_time(self, t: float) -> StateTrace:
-        for s in self.states:
-            if s.t_start <= t < s.t_end:
-                return s
-        if self.states and abs(t - self.states[-1].t_end) < 1e-9:
-            return self.states[-1]
-        raise SimulationError(f"time {t} outside traced states")
+        """The workflow state in effect at instant ``t``.
+
+        The recorded states need not tile the timeline: idle intervals
+        (nothing running) and transitions shorter than the engine's time
+        tolerance are skipped, leaving gaps.  An instant inside such a gap
+        resolves to the **latest state that started at or before** ``t`` —
+        i.e. the configuration the workflow was last in — matching how the
+        paper reads Fig. 5 timelines.  ``t`` equal to the final state's end
+        (within 1e-9) returns that final state.
+
+        Raises:
+            TraceWindowError: ``t`` falls outside the traced window
+                ``[states[0].t_start, states[-1].t_end]`` (or no states were
+                recorded at all).
+        """
+        if not self.states:
+            raise TraceWindowError(
+                f"time {t} outside traced states: no states recorded"
+            )
+        first, last = self.states[0], self.states[-1]
+        if t < first.t_start or t > last.t_end + 1e-9:
+            raise TraceWindowError(
+                f"time {t} outside traced states "
+                f"[{first.t_start}, {last.t_end}]"
+            )
+        # States are stored in increasing t_start order; find the last one
+        # starting at or before t.
+        lo, hi = 0, len(self.states) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.states[mid].t_start <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.states[lo]
 
     # -- (de)serialisation -------------------------------------------------------
 

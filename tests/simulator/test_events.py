@@ -59,3 +59,36 @@ class TestEventQueue:
         assert not q
         q.push(1.0, "x")
         assert q
+
+    def test_peek_returns_payload(self):
+        q = EventQueue()
+        token = q.push(1.0, "dead")
+        q.push(2.0, "alive")
+        q.cancel(token)
+        assert q.peek() == (2.0, "alive")
+        assert len(q) == 1  # peek skipped the cancelled head but kept "alive"
+        assert EventQueue().peek() is None
+
+    def test_compaction_bounds_dead_weight(self):
+        """A reschedule-heavy workload (the fast engine cancels and re-pushes
+        completion deadlines on every re-share) must not accumulate an
+        unbounded pile of cancelled heap entries."""
+        q = EventQueue()
+        keep = q.push(1.0, "keep")
+        for i in range(10_000):
+            token = q.push(100.0 + i, f"dead{i}")
+            q.cancel(token)
+        assert len(q._heap) < 1_000  # compacted, not 10_001 entries
+        assert q.pop() == (1.0, "keep")
+
+    def test_compaction_preserves_order_and_liveness(self):
+        q = EventQueue()
+        tokens = {}
+        for i in range(500):
+            tokens[i] = q.push(float(i), i)
+        for i in range(0, 500, 2):
+            q.cancel(tokens[i])
+        popped = []
+        while q:
+            popped.append(q.pop()[1])
+        assert popped == list(range(1, 500, 2))

@@ -5,6 +5,7 @@ import pytest
 from repro.core import BOEModel, BOESource, DagEstimator, ScaledSource
 from repro.dag import single_job_workflow
 from repro.errors import SimulationError, SpecificationError
+from repro.mapreduce import StageKind
 from repro.simulator import FailureModel, SimulationConfig, SimulationResult, simulate
 from repro.units import gb
 from repro.workloads import terasort
@@ -94,6 +95,30 @@ class TestFailureInjection:
         result = simulate(workflow, cluster, config)
         restored = SimulationResult.from_json(result.to_json())
         assert restored.failed_attempts == result.failed_attempts
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_retried_task_shows_queueing_delay(self, cluster, workflow, engine):
+        """``t_ready`` is the *first* attempt's launch, ``t_start`` the
+        successful attempt's — a retried task must show the gap between
+        them (this used to be silently zero for every task)."""
+        config = SimulationConfig(
+            engine=engine, failures=FailureModel(probability=0.2)
+        )
+        result = simulate(workflow, cluster, config)
+        retried = {task_id for task_id, _, _ in result.failed_attempts}
+        assert retried
+        by_id = {
+            f"{t.job}/{'m' if t.kind is StageKind.MAP else 'r'}{t.index}": t
+            for t in result.tasks
+        }
+        for task_id in retried:
+            trace = by_id[task_id]
+            assert trace.t_ready < trace.t_start
+        # Tasks that succeeded first time keep t_ready == t_start.
+        clean = [t for tid, t in by_id.items() if tid not in retried]
+        assert clean
+        for trace in clean:
+            assert trace.t_ready == trace.t_start
 
 
 class TestFailureAwareEstimation:

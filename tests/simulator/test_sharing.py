@@ -181,3 +181,115 @@ class TestProperties:
         a = solve_max_min(flows, pools)
         b = solve_max_min(list(flows), dict(pools))
         assert a == b
+
+    @given(flow_systems())
+    @settings(max_examples=80, deadline=None)
+    def test_collapsed_matches_flowwise(self, system):
+        """The equivalence-class solver and the per-flow reference converge
+        to the same fixed point (within both iterations' tolerances)."""
+        flows, pools = system
+        collapsed = solve_max_min(flows, pools, collapse=True)
+        flowwise = solve_max_min(flows, pools, collapse=False)
+        for flow in flows:
+            a, b = collapsed[flow.flow_id], flowwise[flow.flow_id]
+            assert a == pytest.approx(b, rel=1e-6, abs=1e-9), flow.flow_id
+
+    @given(flow_systems())
+    @settings(max_examples=80, deadline=None)
+    def test_flowwise_feasible_too(self, system):
+        """The reference path also never over-commits a pool (it shares the
+        iterated feasibility repair with the collapsed path)."""
+        flows, pools = system
+        rates = solve_max_min(flows, pools, collapse=False)
+        util = pool_utilisation(flows, rates, pools)
+        for pool, u in util.items():
+            assert u <= 1.0 + 1e-6
+
+
+class TestEquivalenceClasses:
+    def test_identical_flows_get_identical_rates(self):
+        """Collapsed symmetric flows share one float, not merely close ones."""
+        flows = [FlowSpec(f"f{i}", (("cpu", 2.0), ("disk", 5.0))) for i in range(6)]
+        rates = solve_max_min(flows, {"cpu": 4.0, "disk": 100.0})
+        assert len(set(rates.values())) == 1
+
+    def test_rates_independent_of_flow_order(self):
+        """Class discovery is canonicalised, so presenting the same multiset
+        of flows in any order yields bit-identical rates — symmetric cluster
+        nodes must get float-identical completion deadlines."""
+        flows = [FlowSpec(f"a{i}", (("cpu", 1.0), ("disk", 8.0))) for i in range(4)]
+        flows += [FlowSpec(f"b{i}", (("cpu", 3.0),), cap=0.5) for i in range(3)]
+        pools = {"cpu": 4.0, "disk": 50.0}
+        forward = solve_max_min(flows, pools)
+        backward = solve_max_min(list(reversed(flows)), pools)
+        assert forward == backward
+
+    def test_multiplicity_enters_water_level(self):
+        """Six identical one-pool flows split the pool exactly six ways."""
+        flows = [FlowSpec(f"f{i}", (("disk", 2.0),)) for i in range(6)]
+        rates = solve_max_min(flows, {"disk": 60.0})
+        for rate in rates.values():
+            assert rate == pytest.approx(5.0)
+
+    def test_mixed_classes_redistribute(self):
+        """A capped class's slack flows to the uncapped class (the Fig. 4
+        redistribution), identically in both solver paths."""
+        flows = [FlowSpec(f"c{i}", (("disk", 1.0),), cap=1.0) for i in range(3)]
+        flows += [FlowSpec(f"h{i}", (("disk", 1.0),)) for i in range(2)]
+        pools = {"disk": 13.0}
+        rates = solve_max_min(flows, pools)
+        reference = solve_max_min(flows, pools, collapse=False)
+        for i in range(3):
+            assert rates[f"c{i}"] == pytest.approx(1.0)
+        for i in range(2):
+            # 13 - 3*1 = 10 shared between the two hungry flows.
+            assert rates[f"h{i}"] == pytest.approx(5.0)
+            assert rates[f"h{i}"] == pytest.approx(reference[f"h{i}"], rel=1e-8)
+
+
+class TestFeasibilityRepair:
+    """The explicit repair satellite: deliberately infeasible starting rates
+    must be scaled back until *no* pool exceeds its capacity."""
+
+    def test_repair_converges_on_shared_flows(self):
+        from repro.simulator.sharing import _repair_feasible
+
+        # Flow 0 uses both pools; repairing p0 alone leaves p1 oversubscribed
+        # and vice versa — a single pass in the wrong order is not enough.
+        weights = [{"p0": 1.0, "p1": 1.0}, {"p0": 1.0}, {"p1": 1.0}]
+        rates = [10.0, 10.0, 10.0]
+        pool_users = {"p0": [0, 1], "p1": [0, 2]}
+        caps = {"p0": 10.0, "p1": 5.0}
+        _repair_feasible(rates, weights, [1, 1, 1], pool_users, caps)
+        for pool, users in pool_users.items():
+            used = sum(weights[i][pool] * rates[i] for i in users)
+            assert used <= caps[pool] * (1 + 1e-9)
+
+    @given(
+        st.lists(st.floats(0.1, 50.0), min_size=2, max_size=10),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_repair_never_leaves_a_pool_oversubscribed(self, rates, seed):
+        import random
+
+        from repro.simulator.sharing import _repair_feasible
+
+        rng = random.Random(seed)
+        n_pools = rng.randint(1, 4)
+        caps = {f"p{i}": rng.uniform(1.0, 40.0) for i in range(n_pools)}
+        weights = []
+        for _ in rates:
+            used = rng.sample(sorted(caps), rng.randint(1, n_pools))
+            weights.append({p: rng.uniform(0.1, 3.0) for p in used})
+        mult = [rng.randint(1, 4) for _ in rates]
+        pool_users = {
+            p: [i for i, w in enumerate(weights) if p in w] for p in caps
+        }
+        pool_users = {p: users for p, users in pool_users.items() if users}
+        rates = list(rates)
+        _repair_feasible(rates, weights, mult, pool_users, caps)
+        for pool, users in pool_users.items():
+            used = sum(weights[i][pool] * rates[i] * mult[i] for i in users)
+            assert used <= caps[pool] * (1 + 1e-9)
+        assert all(r >= 0 for r in rates)

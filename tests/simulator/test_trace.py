@@ -3,9 +3,15 @@
 import pytest
 
 from repro.dag import single_job_workflow
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TraceWindowError
 from repro.mapreduce import JobConfig, MapReduceJob, StageKind
-from repro.simulator import SimulationResult, simulate
+from repro.simulator import (
+    FailureModel,
+    SimulationConfig,
+    SimulationResult,
+    simulate,
+)
+from repro.simulator.trace import StateTrace
 from repro.units import gb
 
 
@@ -61,6 +67,56 @@ class TestQueries:
         assert reduce_task.substage_duration("nope") is None
 
 
+class TestStateGaps:
+    """``state_of_time`` over traces whose states do not tile the timeline
+    (idle intervals and sub-tolerance transitions are skipped)."""
+
+    @pytest.fixture
+    def gapped(self):
+        running = frozenset({("j", StageKind.MAP)})
+        return SimulationResult(
+            workflow_name="gapped",
+            makespan=4.0,
+            states=[
+                StateTrace(index=1, t_start=0.0, t_end=1.0, running=running),
+                StateTrace(index=2, t_start=2.5, t_end=4.0, running=running),
+            ],
+        )
+
+    def test_instant_inside_state(self, gapped):
+        assert gapped.state_of_time(0.5).index == 1
+        assert gapped.state_of_time(3.0).index == 2
+
+    def test_instant_in_gap_resolves_to_preceding_state(self, gapped):
+        # 1.7 falls between the recorded states; the workflow was last seen
+        # in state 1, so that's what the query reports.
+        assert gapped.state_of_time(1.7).index == 1
+        assert gapped.state_of_time(1.0).index == 1
+
+    def test_boundary_instants(self, gapped):
+        assert gapped.state_of_time(2.5).index == 2
+        assert gapped.state_of_time(4.0).index == 2
+
+    def test_outside_window_raises_typed_error(self, gapped):
+        with pytest.raises(TraceWindowError):
+            gapped.state_of_time(-0.1)
+        with pytest.raises(TraceWindowError):
+            gapped.state_of_time(4.1)
+        with pytest.raises(TraceWindowError):
+            SimulationResult(workflow_name="empty", makespan=0.0).state_of_time(0.0)
+
+    def test_typed_error_is_a_simulation_error(self):
+        # Callers catching the historical SimulationError keep working.
+        assert issubclass(TraceWindowError, SimulationError)
+
+    def test_simulated_workflow_has_no_dead_instants(self, result):
+        """Every instant of a real run resolves to some state."""
+        steps = 200
+        for i in range(steps + 1):
+            t = result.makespan * i / steps
+            assert result.state_of_time(t) is not None
+
+
 class TestJsonRoundTrip:
     def test_round_trip_preserves_everything(self, result):
         restored = SimulationResult.from_json(result.to_json())
@@ -75,3 +131,27 @@ class TestJsonRoundTrip:
         assert restored.tasks_of("j", StageKind.REDUCE) == result.tasks_of(
             "j", StageKind.REDUCE
         )
+
+    def test_round_trip_with_failed_attempts_is_lossless(self, cluster):
+        """Full equality across all four record lists, including the
+        ``failed_attempts`` triples (rebuilt as tuples from JSON lists)."""
+        job = MapReduceJob(
+            name="flaky",
+            input_mb=gb(2),
+            num_reducers=4,
+            config=JobConfig(replicas=1),
+        )
+        result = simulate(
+            single_job_workflow(job),
+            cluster,
+            SimulationConfig(failures=FailureModel(probability=0.25, seed=13)),
+        )
+        assert result.failed_attempts, "scenario must actually produce retries"
+        restored = SimulationResult.from_json(result.to_json())
+        assert restored.workflow_name == result.workflow_name
+        assert restored.makespan == result.makespan
+        assert restored.tasks == result.tasks
+        assert restored.stages == result.stages
+        assert restored.states == result.states
+        assert restored.failed_attempts == result.failed_attempts
+        assert all(isinstance(f, tuple) for f in restored.failed_attempts)
