@@ -1,0 +1,199 @@
+"""Sweep-layer bench — batched, cached, parallel what-if evaluation.
+
+The paper's applications (auto-tuning, capacity planning, co-location
+what-ifs) all reduce to many estimator evaluations over closely related
+candidates.  This bench measures the two mechanisms ``repro.sweep`` adds
+over the historical serial-and-cold path:
+
+* **Caching.**  The coordinate-descent tuning sweep over the Fig. 1 weblog
+  DAG is run twice — through the memoised runner (task-time cache inside
+  the BOE model + candidate memo in the runner) and through the uncached
+  reference path — asserting bit-identical estimates, a wall-clock speedup
+  floor and a cache hit-rate floor.  The refined BOE model (Eq. 4
+  partial-usage fixed point) is used: it is the expensive configuration,
+  exactly where a sweep needs the cache.
+* **Parallelism.**  A ~200-candidate configuration grid is evaluated with
+  a serial and a process-pool runner, asserting identical results in
+  identical order always, and a pool speedup floor when the machine
+  actually has cores to parallelise over.
+
+Every scenario emits one ``BENCH`` JSON line so the performance trajectory
+is tracked from PR to PR.  Run the CI-sized subset with ``-k smoke``.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from _bench_utils import emit
+from repro.analysis import render_table
+from repro.cluster import paper_cluster
+from repro.core.boe import BOEModel
+from repro.core.estimator import BOESource
+from repro.core.parallelism import clear_parallelism_memo
+from repro.dag import single_job_workflow
+from repro.sweep import Candidate, SweepRunner, default_processes
+from repro.tuning import GreedyTuner
+from repro.workloads import terasort, weblog_dag
+
+#: Floors for the cached coordinate-descent tuning sweep (vs uncached serial).
+TUNE_MIN_SPEEDUP = 3.0
+TUNE_MIN_HIT_RATE = 0.5
+#: Pool speedup floor, only asserted when there are cores to win on.
+POOL_MIN_SPEEDUP = 1.2
+#: Timing repetitions (best-of, to shed scheduler noise).
+REPS = 3
+
+GRID_REDUCERS = range(2, 42, 2)
+GRID_SPLITS = (32.0, 64.0, 128.0, 256.0)
+SMOKE_GRID_REDUCERS = range(2, 18, 2)
+SMOKE_GRID_SPLITS = (64.0, 128.0)
+
+
+def _tune_once(cached: bool):
+    """One tuning run of the weblog DAG with the refined BOE model."""
+    cluster = paper_cluster()
+    clear_parallelism_memo()
+    source = BOESource(BOEModel(cluster, refine=True, cache=cached))
+    runner = SweepRunner(cluster, source=source, memo=cached)
+    tuner = GreedyTuner(cluster, source=source, runner=runner)
+    t0 = time.perf_counter()
+    result = tuner.tune(weblog_dag())
+    wall = time.perf_counter() - t0
+    return wall, result, runner.report
+
+
+def _run_tuning_scenario() -> dict:
+    best_cached = best_cold = float("inf")
+    for _ in range(REPS):
+        wall, cached_result, report = _tune_once(cached=True)
+        best_cached = min(best_cached, wall)
+        wall, cold_result, _ = _tune_once(cached=False)
+        best_cold = min(best_cold, wall)
+
+    # Bit-identical parity with the uncached serial reference path.
+    assert cached_result.baseline_estimate_s == cold_result.baseline_estimate_s
+    assert cached_result.tuned_estimate_s == cold_result.tuned_estimate_s
+    assert cached_result.assignment == cold_result.assignment
+    assert cached_result.evaluations == cold_result.evaluations
+
+    row = {
+        "bench": "sweep_tuning",
+        "workflow": "weblog",
+        "evaluations": cached_result.evaluations,
+        "cold_wall_s": round(best_cold, 4),
+        "cached_wall_s": round(best_cached, 4),
+        "speedup": round(best_cold / best_cached, 2),
+        "hit_rate": round(report.cache.hit_rate, 3),
+        "tuned_estimate_s": round(cached_result.tuned_estimate_s, 6),
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _grid(reducers, splits):
+    """Distinct TeraSort configurations — a typical what-if grid."""
+    base = terasort()
+    candidates = []
+    for r in reducers:
+        for split in splits:
+            job = replace(base, num_reducers=r).with_config(split_mb=split)
+            candidates.append(
+                Candidate(single_job_workflow(job), label=f"r{r}/s{split:g}")
+            )
+    return candidates
+
+
+def _run_grid_scenario(reducers, splits) -> dict:
+    cluster = paper_cluster()
+    candidates = _grid(reducers, splits)
+
+    clear_parallelism_memo()
+    with SweepRunner(cluster) as serial:
+        t0 = time.perf_counter()
+        serial_results = serial.evaluate(candidates)
+        serial_s = time.perf_counter() - t0
+
+    processes = max(2, default_processes())
+    clear_parallelism_memo()
+    with SweepRunner(cluster, processes=processes) as pooled:
+        t0 = time.perf_counter()
+        pooled_results = pooled.evaluate(candidates)
+        pooled_s = time.perf_counter() - t0
+        pool_used = pooled.report.pool_used
+
+    # Determinism: same results, same order, regardless of worker scheduling.
+    assert [r.index for r in pooled_results] == [r.index for r in serial_results]
+    assert [r.total_time_s for r in pooled_results] == [
+        r.total_time_s for r in serial_results
+    ]
+    assert all(r.ok for r in serial_results)
+
+    row = {
+        "bench": "sweep_grid",
+        "candidates": len(candidates),
+        "serial_wall_s": round(serial_s, 4),
+        "pool_wall_s": round(pooled_s, 4),
+        "pool_speedup": round(serial_s / pooled_s, 2),
+        "processes": processes,
+        "pool_used": pool_used,
+        "cpus": os.cpu_count() or 1,
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _render(tuning: dict, grid: dict) -> str:
+    return render_table(
+        ["scenario", "evaluations", "reference (s)", "sweep (s)", "speedup", "note"],
+        [
+            [
+                "tuning (cached)",
+                tuning["evaluations"],
+                f"{tuning['cold_wall_s']:.3f}",
+                f"{tuning['cached_wall_s']:.3f}",
+                f"{tuning['speedup']:.1f}x",
+                f"hit rate {tuning['hit_rate']:.0%}",
+            ],
+            [
+                "grid (pooled)",
+                grid["candidates"],
+                f"{grid['serial_wall_s']:.3f}",
+                f"{grid['pool_wall_s']:.3f}",
+                f"{grid['pool_speedup']:.1f}x",
+                f"{grid['processes']} procs, {grid['cpus']} cpus",
+            ],
+        ],
+        title="What-if sweep layer: cached + parallel vs serial reference",
+    )
+
+
+def _assert_floors(tuning: dict, grid: dict) -> None:
+    assert tuning["speedup"] >= TUNE_MIN_SPEEDUP, tuning
+    assert tuning["hit_rate"] >= TUNE_MIN_HIT_RATE, tuning
+    assert grid["pool_used"], grid
+    if grid["cpus"] >= 2:
+        # On a single-core box the pool is pure overhead; the determinism
+        # assertions above still exercised it.
+        assert grid["pool_speedup"] >= POOL_MIN_SPEEDUP, grid
+
+
+def test_sweep_smoke():
+    """CI-sized subset: full tuning scenario plus a small pooled grid.
+    Run with ``-k smoke``."""
+    tuning = _run_tuning_scenario()
+    grid = _run_grid_scenario(SMOKE_GRID_REDUCERS, SMOKE_GRID_SPLITS)
+    emit(_render(tuning, grid))
+    _assert_floors(tuning, grid)
+
+
+def test_sweep_full(benchmark):
+    tuning = _run_tuning_scenario()
+    grid = _run_grid_scenario(GRID_REDUCERS, GRID_SPLITS)
+    emit(_render(tuning, grid))
+    _assert_floors(tuning, grid)
+    # pytest-benchmark tracks the cached tuning sweep's absolute cost.
+    benchmark(lambda: _tune_once(cached=True))

@@ -7,6 +7,11 @@ size with the state-based estimator — each evaluation costs milliseconds —
 and pick the smallest cluster that meets the deadline.  The chosen point is
 then verified against the ground-truth simulator.
 
+The sweep runs as one :class:`~repro.sweep.SweepRunner` batch: each cluster
+size is a :class:`~repro.sweep.Candidate` with a cluster override, results
+come back in grid order, and the runner's report summarises the whole
+sweep's cost (evaluations/s, cache reuse).
+
 The sweep also demonstrates a BOE insight no black-box model provides: the
 *reason* for diminishing returns.  As the cluster grows, the per-node task
 density falls and the bottleneck shifts (CPU -> disk -> none), which is
@@ -17,9 +22,10 @@ Run:  python examples/capacity_planning.py
 
 from repro import (
     BOEModel,
+    Candidate,
     Cluster,
     StageKind,
-    estimate_workflow,
+    SweepRunner,
     parallel,
     simulate,
     single_job_workflow,
@@ -31,6 +37,7 @@ from repro.units import gb
 
 
 DEADLINE_S = 120.0
+WORKER_GRID = (4, 6, 8, 10, 14, 20, 28)
 
 
 def build_workload():
@@ -48,11 +55,22 @@ def main() -> None:
     print(f"workload : {workload.describe()}")
     print(f"deadline : {DEADLINE_S:.0f}s\n")
 
+    clusters = {
+        workers: Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
+        for workers in WORKER_GRID
+    }
+    runner = SweepRunner(clusters[WORKER_GRID[0]])
+    results = runner.evaluate(
+        [
+            Candidate(workload, cluster=cluster, label=f"{workers} workers")
+            for workers, cluster in clusters.items()
+        ]
+    )
+
     chosen = None
     print("workers | est. makespan | WC map bottleneck | meets deadline")
-    for workers in (4, 6, 8, 10, 14, 20, 28):
-        cluster = Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
-        estimate = estimate_workflow(workload, cluster)
+    for workers, result in zip(WORKER_GRID, results):
+        cluster = clusters[workers]
         model = BOEModel(cluster)
         wc = workload.job("wc.wc")
         ts = workload.job("ts.ts")
@@ -61,13 +79,15 @@ def main() -> None:
         bottleneck = model.stage_bottleneck(
             wc, StageKind.MAP, half, [(ts, StageKind.MAP, half)]
         )
-        ok = estimate.total_time <= DEADLINE_S
+        ok = result.ok and result.total_time_s <= DEADLINE_S
         if ok and chosen is None:
             chosen = workers
+        makespan = f"{result.total_time_s:12.1f}s" if result.ok else "   infeasible"
         print(
-            f"{workers:7d} | {estimate.total_time:12.1f}s | {bottleneck.value:17s} |"
+            f"{workers:7d} | {makespan} | {bottleneck.value:17s} |"
             f" {'yes' if ok else 'no'}"
         )
+    print(f"\nsweep: {runner.report.describe()}")
 
     if chosen is None:
         print("\nno swept size meets the deadline — widen the sweep")

@@ -9,11 +9,17 @@ This script answers it entirely with the cost models (no simulation needed
 at decision time), then verifies both answers against the ground-truth
 simulator — the workflow the paper envisions for runtime self-tuning (§I).
 
+Both what-if scenarios ("alone" and "together") go through one
+:class:`~repro.sweep.SweepRunner` batch: the shared task-time cache
+re-prices only what the co-location changes, and the runner's report is the
+decision cost.
+
 Run:  python examples/tpch_whatif.py
 """
 
 from repro import (
-    estimate_workflow,
+    Candidate,
+    SweepRunner,
     parallel,
     paper_cluster,
     simulate,
@@ -38,24 +44,29 @@ def main() -> None:
         parents = sorted(query.parents(name)) or ["-"]
         print(f"  {name:22s} <- {', '.join(parents)}")
 
-    # Decision-time answers (models only, milliseconds to compute).
-    alone_est = estimate_workflow(query, cluster)
-    together_est = estimate_workflow(together, cluster)
-    slowdown_est = together_est.total_time / alone_est.total_time
-    print(f"\nestimated Q5 alone        : {alone_est.total_time:8.1f}s")
-    print(f"estimated Q5 + TeraSort   : {together_est.total_time:8.1f}s "
+    # Decision-time answers (models only, milliseconds to compute): one
+    # two-candidate batch through a shared runner.
+    runner = SweepRunner(cluster)
+    alone_est, together_est = runner.evaluate(
+        [
+            Candidate(query, label="Q5 alone"),
+            Candidate(together, label="Q5 + TeraSort"),
+        ]
+    )
+    slowdown_est = together_est.total_time_s / alone_est.total_time_s
+    print(f"\nestimated Q5 alone        : {alone_est.total_time_s:8.1f}s")
+    print(f"estimated Q5 + TeraSort   : {together_est.total_time_s:8.1f}s "
           f"(whole workload)")
     print(f"estimated workload stretch: {slowdown_est:8.2f}x")
-    print(f"decision cost             : "
-          f"{(alone_est.model_overhead_s + together_est.model_overhead_s) * 1000:.1f} ms")
+    print(f"decision cost             : {runner.report.describe()}")
 
     # Verification (what the cluster would actually do).
     alone_sim = simulate(query, cluster)
     together_sim = simulate(together, cluster)
     print(f"\nsimulated Q5 alone        : {alone_sim.makespan:8.1f}s  "
-          f"(estimate accuracy {percentage(accuracy(alone_est.total_time, alone_sim.makespan))})")
+          f"(estimate accuracy {percentage(accuracy(alone_est.total_time_s, alone_sim.makespan))})")
     print(f"simulated Q5 + TeraSort   : {together_sim.makespan:8.1f}s  "
-          f"(estimate accuracy {percentage(accuracy(together_est.total_time, together_sim.makespan))})")
+          f"(estimate accuracy {percentage(accuracy(together_est.total_time_s, together_sim.makespan))})")
 
 
 if __name__ == "__main__":

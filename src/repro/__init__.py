@@ -54,6 +54,8 @@ from repro.cluster import (
 from repro.core import (
     BOEModel,
     BOESource,
+    CacheStats,
+    CachingSource,
     DagEstimate,
     DagEstimator,
     ScaledSource,
@@ -97,6 +99,7 @@ from repro.simulator import (
     simulate,
 )
 from repro.spark import SparkAppBuilder, SparkStageJob, spark_kmeans, spark_pagerank, spark_sort
+from repro.sweep import Candidate, CandidateResult, SweepReport, SweepRunner
 from repro.tuning import GreedyTuner, TuningResult, tune_workflow
 from repro.workloads import (
     kmeans,
@@ -128,6 +131,10 @@ __all__ = [
     "BOEModel",
     "BOEPredictor",
     "BOESource",
+    "CacheStats",
+    "CachingSource",
+    "Candidate",
+    "CandidateResult",
     "Cluster",
     "CompressionSpec",
     "DagEstimate",
@@ -154,6 +161,8 @@ __all__ = [
     "SpecificationError",
     "StageKind",
     "StarfishBestCase",
+    "SweepReport",
+    "SweepRunner",
     "TaskEstimate",
     "TaskTimeDistribution",
     "TraceWindowError",

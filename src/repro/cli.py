@@ -7,6 +7,7 @@ Sub-commands mirror the library's main entry points:
 * ``repro-dag compare``  — both, with the accuracy the paper reports;
 * ``repro-dag timeline`` — ASCII Gantt + resource utilisation of a run;
 * ``repro-dag tune``     — model-driven configuration auto-tuning;
+* ``repro-dag sweep``    — batched what-if sweep over cluster sizes;
 * ``repro-dag fig4 | fig6 | table1 | table2 | table3 | overhead`` — print
   the corresponding reproduced table/figure;
 * ``repro-dag list``     — show the available named workloads.
@@ -138,12 +139,15 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     cluster = paper_cluster()
     workflow = _resolve(args.workload, args.scale)
-    result, tuned = tune_workflow(workflow, cluster)
+    result, tuned = tune_workflow(workflow, cluster, processes=args.processes)
     print(f"workflow          : {workflow.describe()}")
     print(f"baseline estimate : {result.baseline_estimate_s:.1f}s")
     print(f"tuned estimate    : {result.tuned_estimate_s:.1f}s "
           f"({result.improvement:.2f}x, {result.evaluations} evaluations, "
+          f"{result.infeasible} infeasible, "
           f"{result.wall_time_s * 1000:.0f} ms)")
+    if result.sweep is not None:
+        print(f"sweep             : {result.sweep.describe()}")
     if not result.assignment:
         print("no change recommended — the configuration is already good")
         return 0
@@ -299,8 +303,11 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
     from repro.experiments.overhead import run_overhead
+    from repro.sweep import SweepRunner
 
-    rows = run_overhead()
+    names = [n for n in args.names.split(",") if n] or None
+    runner = SweepRunner(paper_cluster(), processes=args.processes)
+    rows = run_overhead(scale=args.scale, names=names, runner=runner)
     worst = max(rows, key=lambda r: r.overhead_s)
     print(
         render_table(
@@ -314,6 +321,46 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     )
     print(f"max overhead: {worst.overhead_s * 1000:.1f} ms ({worst.workflow}) — "
           f"paper requires < 1 s")
+    print(f"sweep: {runner.report.describe()}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.cluster.node import PAPER_NODE
+    from repro.sweep import Candidate, SweepRunner
+
+    workflow = _resolve(args.workload, args.scale)
+    try:
+        sizes = sorted({int(w) for w in args.workers.split(",") if w.strip()})
+    except ValueError as exc:
+        raise ReproError(f"--workers must be comma-separated integers: {exc}")
+    if not sizes:
+        raise ReproError("--workers needs at least one cluster size")
+    clusters = {
+        workers: Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
+        for workers in sizes
+    }
+    runner = SweepRunner(clusters[sizes[0]], processes=args.processes)
+    results = runner.evaluate(
+        [
+            Candidate(workflow, cluster=cluster, label=f"{workers} workers")
+            for workers, cluster in clusters.items()
+        ]
+    )
+    print(f"workflow : {workflow.describe()}\n")
+    rows = []
+    for workers, result in zip(sizes, results):
+        rows.append(
+            [
+                workers,
+                f"{result.total_time_s:.1f}" if result.ok else "infeasible",
+                result.states,
+                f"{result.overhead_s * 1000:.1f}",
+            ]
+        )
+    print(render_table(["workers", "estimate (s)", "states", "overhead (ms)"],
+                       rows, title="What-if cluster-size sweep"))
+    print(f"sweep: {runner.report.describe()}")
     return 0
 
 
@@ -361,7 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--verify", action="store_true",
                    help="also verify the tuned config on the simulator")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for candidate batches (default 1)")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "sweep", help="what-if sweep of a workload over cluster sizes"
+    )
+    common(p)
+    p.add_argument("--workers", default="4,6,8,10,14,20,28",
+                   help="comma-separated cluster sizes to evaluate")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for the sweep batch (default 1)")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("fig4", help="reproduce the Fig. 4 worked example")
     p.set_defaults(func=_cmd_fig4)
@@ -382,6 +441,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_table3)
 
     p = sub.add_parser("overhead", help="reproduce the estimation-cost result")
+    p.add_argument("--names", default="", help="comma-separated workflow subset")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for the grid batch (default 1)")
     p.set_defaults(func=_cmd_overhead)
 
     return parser

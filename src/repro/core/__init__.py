@@ -17,10 +17,17 @@ from repro.core.distributions import (
 )
 from repro.core.estimator import (
     BOESource,
+    CachingSource,
     DagEstimator,
     ScaledSource,
     TaskTimeSource,
     estimate_workflow,
+)
+from repro.core.fingerprint import (
+    CacheStats,
+    concurrent_fingerprint,
+    job_fingerprint,
+    value_fingerprint,
 )
 from repro.core.parallelism import RunningStage, estimate_parallelism
 from repro.core.state import DagEstimate, EstimatedState
@@ -28,6 +35,8 @@ from repro.core.state import DagEstimate, EstimatedState
 __all__ = [
     "BOEModel",
     "BOESource",
+    "CacheStats",
+    "CachingSource",
     "DagEstimate",
     "DagEstimator",
     "EstimatedState",
@@ -42,11 +51,14 @@ __all__ = [
     "Variant",
     "align_substage",
     "completion_rate",
+    "concurrent_fingerprint",
     "estimate_parallelism",
     "estimate_workflow",
+    "job_fingerprint",
     "per_task_throughput",
     "resource_users",
     "share_fraction",
     "stage_time",
+    "value_fingerprint",
     "wave_sizes",
 ]

@@ -40,6 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import Resource
 from repro.core.allocation import StageLoad, per_task_throughput, resource_users
+from repro.core.fingerprint import CacheStats
 from repro.errors import EstimationError
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.phases import OpSpec, SubStageSpec, build_task_substages
@@ -143,17 +144,94 @@ class _StageCtx:
         return [d / total for d in self.durations]
 
 
-class BOEModel:
-    """Task-level execution time estimation by bottleneck identification."""
+def _ctx_signature(ctx: _StageCtx) -> tuple:
+    """Call-time fingerprint of one stage's competition inputs.
 
-    def __init__(self, cluster: Cluster, refine: bool = False, max_refine_iter: int = 25):
+    Everything :meth:`BOEModel._solve_system` reads from a context except
+    its (result-irrelevant) name: the sub-stage pipelines down to each
+    operation's amounts and caps, the parallelism and the wave regime.
+    Enum members are keyed by value to stay cheap to hash.
+    """
+    return (
+        tuple(
+            (
+                sub.name,
+                tuple(
+                    (op.kind, op.resource.value, op.amount, op.per_flow_cap)
+                    for op in sub.ops
+                ),
+            )
+            for sub in ctx.substages
+        ),
+        ctx.delta,
+        ctx.staggered,
+    )
+
+
+class BOEModel:
+    """Task-level execution time estimation by bottleneck identification.
+
+    Estimates are memoised by default: :meth:`task_time` is a pure function
+    of (job spec, stage kind, ``delta``, concurrent-load signature) for a
+    fixed cluster and model configuration, so what-if sweeps that revisit a
+    combination — coordinate descent perturbing one knob, an experiment grid
+    sharing sub-stage estimates across panels — pay for the fixed-point
+    solve once.  The key is a call-time fingerprint of every input
+    (:mod:`repro.core.fingerprint`), so a hit returns the *identical*
+    (frozen) estimate the cold path would compute: cached and uncached
+    results are bit-for-bit equal, and mutated jobs can never match a stale
+    entry.  ``cache_stats`` exposes the hit/miss ledger.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        refine: bool = False,
+        max_refine_iter: int = 25,
+        cache: bool = True,
+        max_cache_entries: int = 65_536,
+    ):
+        if max_cache_entries < 1:
+            raise EstimationError(
+                f"max_cache_entries must be >= 1: {max_cache_entries}"
+            )
         self._cluster = cluster
         self._refine = refine
         self._max_iter = max_refine_iter
+        # Two memo levels (see task_time): exact call arguments -> final
+        # estimate, and solved system structure -> sub-stage estimates.
+        self._call_cache: Optional[Dict[object, TaskEstimate]] = {} if cache else None
+        self._cache: Optional[Dict[object, Tuple[SubStageEstimate, ...]]] = (
+            {} if cache else None
+        )
+        self._max_entries = max_cache_entries
+        self._stats = CacheStats()
 
     @property
     def cluster(self) -> Cluster:
         return self._cluster
+
+    # -- memoisation --------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss ledger of the task-time cache (all zeros when disabled)."""
+        return self._stats
+
+    def clear_cache(self) -> None:
+        """Drop every memoised estimate (the stats ledger is kept)."""
+        if self._cache is not None:
+            self._cache.clear()
+        if self._call_cache is not None:
+            self._call_cache.clear()
+
+    def _store(self, cache: Dict, key: object, value) -> None:
+        while len(cache) >= self._max_entries:
+            # FIFO eviction: dicts preserve insertion order, and sweep
+            # reuse is overwhelmingly of recent keys anyway.
+            cache.pop(next(iter(cache)))
+            self._stats.evictions += 1
+        cache[key] = value
 
     # -- primitive: one sub-stage under an explicit users map -------------------
 
@@ -219,8 +297,10 @@ class BOEModel:
         current_util: Optional[Dict[str, Dict[Resource, float]]] = None
         for _ in range(self._max_iter):
             new_util: Dict[str, Dict[Resource, float]] = {}
+            # The users map depends only on the utilisations of the previous
+            # iteration, not on which load is being re-evaluated.
+            users = resource_users(loads, self._cluster, current_util)
             for load in loads:
-                users = resource_users(loads, self._cluster, current_util)
                 sub_est = self._evaluate(load.substage, users)
                 new_util[load.name] = {
                     op.resource: max(op.utilisation, 1e-3) for op in sub_est.ops
@@ -351,6 +431,18 @@ class BOEModel:
                 from the stage's task count vs ``delta`` (concurrent stages
                 always auto-detect).
         """
+        # Level 1: exact call arguments.  Jobs are frozen dataclasses hashing
+        # by value, so the key is recomputed from the *current* field values
+        # on every lookup — a job mutated after estimation hashes elsewhere
+        # and can never match its stale entry.
+        call_key = None
+        if self._call_cache is not None:
+            call_key = (job, kind, delta, task_input_mb, staggered, tuple(concurrent))
+            hit = self._call_cache.get(call_key)
+            if hit is not None:
+                self._stats.hits += 1
+                return hit
+
         remote = self._cluster.remote_fraction
         target_ctx = _StageCtx(
             name=job.name,
@@ -376,6 +468,25 @@ class BOEModel:
                     staggered=self._is_staggered(other, other_kind, other_delta),
                 )
             )
+
+        # Level 2: the competition solve is a pure function of the system
+        # signature (sub-stage structures, parallelisms, wave regimes, in
+        # state order); job identity only labels the result.  Keying on the
+        # *built* sub-stages keeps the fingerprint call-time fresh — a
+        # mutated job builds different sub-stages and misses — while
+        # perturbing a knob that leaves this stage's pipeline untouched
+        # (e.g. the reducer count, for a map estimate) still hits.
+        key = None
+        if self._cache is not None:
+            key = tuple(_ctx_signature(ctx) for ctx in system)
+            substages = self._cache.get(key)
+            if substages is not None:
+                self._stats.hits += 1
+                estimate = TaskEstimate(job=job.name, kind=kind, substages=substages)
+                self._store(self._call_cache, call_key, estimate)
+                return estimate
+            self._stats.misses += 1
+
         self._solve_system(system)
         estimates = tuple(
             self._evaluate(
@@ -384,7 +495,11 @@ class BOEModel:
             )
             for idx in range(len(target_ctx.substages))
         )
-        return TaskEstimate(job=job.name, kind=kind, substages=estimates)
+        estimate = TaskEstimate(job=job.name, kind=kind, substages=estimates)
+        if key is not None:
+            self._store(self._cache, key, estimates)
+            self._store(self._call_cache, call_key, estimate)
+        return estimate
 
     def stage_bottleneck(
         self,

@@ -28,6 +28,11 @@ from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 from repro.cluster.cluster import Cluster
 from repro.core.boe import BOEModel
 from repro.core.distributions import TaskTimeDistribution, Variant, stage_time
+from repro.core.fingerprint import (
+    CacheStats,
+    concurrent_fingerprint,
+    job_fingerprint,
+)
 from repro.core.parallelism import RunningStage, estimate_parallelism
 from repro.core.state import DagEstimate, EstimatedState, WorkflowProgress
 from repro.dag.workflow import Workflow
@@ -79,6 +84,15 @@ class BOESource:
         self._skew_cv = skew_cv
         self._include_overhead = include_overhead
 
+    @property
+    def model(self) -> BOEModel:
+        return self._model
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The wrapped model's task-time cache ledger (sweep observability)."""
+        return self._model.cache_stats
+
     def distribution(
         self,
         job: MapReduceJob,
@@ -115,6 +129,11 @@ class ScaledSource:
         self._inner = inner
         self._factor = factor
 
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Delegate cache observability to the wrapped source, if any."""
+        return getattr(self._inner, "cache_stats", None)
+
     def distribution(
         self,
         job: MapReduceJob,
@@ -125,6 +144,65 @@ class ScaledSource:
         return self._inner.distribution(job, kind, delta, concurrent).scaled(
             self._factor
         )
+
+
+class CachingSource:
+    """Memoise any deterministic :class:`TaskTimeSource`.
+
+    :class:`BOESource` is already cached at the model layer; this wrapper
+    adds the same treatment to other sources (measured profiles, scaled
+    compositions) so :class:`DagEstimator` sweeps stop re-deriving
+    identical distributions.  The key is a call-time fingerprint of
+    (job, stage kind, ``delta``, concurrent signature) — see
+    :mod:`repro.core.fingerprint` — which is exactly the argument tuple of
+    :meth:`TaskTimeSource.distribution`; a source whose output depends only
+    on its arguments (every source in this package) therefore returns
+    bit-identical values cached or not.
+    """
+
+    def __init__(self, inner: TaskTimeSource, max_entries: int = 65_536):
+        if max_entries < 1:
+            raise EstimationError(f"max_entries must be >= 1: {max_entries}")
+        self._inner = inner
+        self._max_entries = max_entries
+        self._cache: Dict[object, TaskTimeDistribution] = {}
+        self._stats = CacheStats()
+
+    @property
+    def inner(self) -> TaskTimeSource:
+        return self._inner
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._stats
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def distribution(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+    ) -> TaskTimeDistribution:
+        key = (
+            job_fingerprint(job),
+            kind,
+            float(delta),
+            concurrent_fingerprint(concurrent),
+        )
+        hit = self._cache.get(key)
+        if hit is not None:
+            self._stats.hits += 1
+            return hit
+        self._stats.misses += 1
+        dist = self._inner.distribution(job, kind, delta, concurrent)
+        while len(self._cache) >= self._max_entries:
+            self._cache.pop(next(iter(self._cache)))
+            self._stats.evictions += 1
+        self._cache[key] = dist
+        return dist
 
 
 @dataclass

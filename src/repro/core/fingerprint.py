@@ -1,0 +1,146 @@
+"""Canonical fingerprints for memoising cost-model evaluations.
+
+What-if analysis (configuration tuning, capacity planning, the experiment
+grids) evaluates the estimator thousands of times on *nearly identical*
+inputs: coordinate descent perturbs one knob at a time, so most (job, stage,
+Delta, concurrent-load) combinations recur verbatim across candidates.  The
+BOE solve for such a combination is a pure function of
+
+* the job specification (every field, including the nested ``JobConfig``),
+* the stage kind and its degree of parallelism ``Delta``,
+* the concurrent-load signature (the same triple for every co-running
+  stage, *in state order* — the fixed-point iteration visits stages in
+  order, so order is part of the identity),
+* the cluster and model parameters (held fixed per model instance, hence
+  left out of the per-call key).
+
+:func:`job_fingerprint` reduces a job to a hashable tuple of primitives at
+**call time** — a fresh fingerprint is taken on every lookup, so mutating a
+job (or passing a different-but-equal copy) can never serve a stale entry.
+Jobs are frozen dataclasses; the fingerprint walks their fields recursively,
+which also covers subclasses with extra fields (e.g.
+:class:`~repro.spark.SparkStageJob`'s ``input_from``/``output_to``).
+
+:class:`CacheStats` is the shared hit/miss ledger every cache in the package
+reports through (:class:`~repro.core.boe.BOEModel`,
+:class:`~repro.core.estimator.CachingSource`,
+:class:`~repro.sweep.SweepReport`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import Dict, Hashable, Mapping, Sequence, Tuple, Type
+
+from repro.errors import EstimationError
+
+#: Per-type field-name tuples, resolved once (``dataclasses.fields`` is slow
+#: enough to matter on the hot lookup path).
+_FIELDS_BY_TYPE: Dict[type, Tuple[str, ...]] = {}
+
+
+def value_fingerprint(value: object) -> Hashable:
+    """A hashable, canonical token for one model-input value.
+
+    Supported: primitives, enums, dataclasses (recursed field by field,
+    tagged with the class name so two types with equal fields stay
+    distinct), sequences, sets and mappings.  Anything else is rejected
+    loudly — silently falling back to ``id()`` or ``repr()`` would risk
+    cache collisions or permanent misses.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, Enum):
+        return (type(value).__qualname__, value.name)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        names = _FIELDS_BY_TYPE.get(cls)
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(cls))
+            _FIELDS_BY_TYPE[cls] = names
+        return (
+            cls.__qualname__,
+            tuple(value_fingerprint(getattr(value, n)) for n in names),
+        )
+    if isinstance(value, (tuple, list)):
+        return tuple(value_fingerprint(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(value_fingerprint(v) for v in value)))
+    if isinstance(value, Mapping):
+        return (
+            "map",
+            tuple(
+                sorted((value_fingerprint(k), value_fingerprint(v)) for k, v in value.items())
+            ),
+        )
+    raise EstimationError(
+        f"cannot fingerprint {type(value).__qualname__!r} for memoisation; "
+        "model inputs must be primitives, enums, or (frozen) dataclasses"
+    )
+
+
+def job_fingerprint(job: object) -> Hashable:
+    """Call-time fingerprint of one job specification."""
+    return value_fingerprint(job)
+
+
+def stage_fingerprint(job: object, kind: object, delta: float) -> Hashable:
+    """Fingerprint of one (job, stage, parallelism) triple."""
+    return (job_fingerprint(job), value_fingerprint(kind), float(delta))
+
+
+def concurrent_fingerprint(
+    concurrent: Sequence[Tuple[object, object, float]],
+) -> Hashable:
+    """Fingerprint of a concurrent-load signature, preserving state order."""
+    return tuple(stage_fingerprint(job, kind, delta) for job, kind, delta in concurrent)
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss ledger of one memoisation cache.
+
+    Attributes:
+        hits: lookups answered from the cache.
+        misses: lookups that fell through to a full evaluation.
+        evictions: entries dropped because the cache reached its bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def add(self, other: "CacheStats") -> None:
+        """Accumulate another ledger into this one (cross-process merge)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """The activity between an earlier snapshot and now."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            evictions=self.evictions - since.evictions,
+        )
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits}/{self.lookups} hits ({self.hit_rate:.0%})"
+            if self.lookups
+            else "unused"
+        )

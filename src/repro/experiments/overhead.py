@@ -5,6 +5,12 @@ takes under one second per DAG workflow, cheap enough for runtime use
 (query re-writing, self-tuning).  This driver measures the wall-clock
 overhead of Algorithm 1 for a set of workflows, using the BOE source so the
 measurement includes the task-level model's arithmetic.
+
+The grid is evaluated through :class:`~repro.sweep.SweepRunner` — the
+workflows form one batch, each row's ``overhead_s`` is the estimator's own
+wall-clock for that workflow (unchanged semantics), and the runner's
+:class:`~repro.sweep.SweepReport` adds batch-level telemetry
+(evaluations/s, cache reuse across the grid).
 """
 
 from __future__ import annotations
@@ -13,9 +19,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster, paper_cluster
-from repro.core.boe import BOEModel
-from repro.core.distributions import Variant
-from repro.core.estimator import BOESource, DagEstimator
+from repro.errors import EstimationError
+from repro.sweep import Candidate, SweepRunner
 from repro.workloads.hybrid import table3_workflows
 
 
@@ -34,23 +39,42 @@ def run_overhead(
     cluster: Optional[Cluster] = None,
     scale: float = 0.05,
     names: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
+    processes: int = 1,
 ) -> List[OverheadRow]:
-    """Measure pure estimation overhead (no simulation in the loop)."""
+    """Measure pure estimation overhead (no simulation in the loop).
+
+    Args:
+        cluster: target cluster (defaults to the paper's).
+        scale: input-volume scale vs the paper.
+        names: workflow subset; ``None`` runs the full Table III grid.
+        runner: a pre-configured shared runner (its report accumulates);
+            overrides ``processes``.
+        processes: worker processes for a runner built here.
+    """
     cluster = cluster or paper_cluster()
     workflows = table3_workflows(scale=scale)
     if names is not None:
         workflows = {n: workflows[n] for n in names}
-    estimator = DagEstimator(cluster, BOESource(BOEModel(cluster)), variant=Variant.MEAN)
+    if runner is None:
+        runner = SweepRunner(cluster, processes=processes)
+    batch = [
+        Candidate(workflow, label=name) for name, workflow in workflows.items()
+    ]
+    results = runner.evaluate(batch)
     rows: List[OverheadRow] = []
-    for name, workflow in workflows.items():
-        estimate = estimator.estimate(workflow)
+    for candidate, result in zip(batch, results):
+        if not result.ok:
+            raise EstimationError(
+                f"overhead grid workflow {result.label!r} failed: {result.error}"
+            )
         rows.append(
             OverheadRow(
-                workflow=name,
-                jobs=len(workflow.jobs),
-                states=len(estimate.states),
-                overhead_s=estimate.model_overhead_s,
-                estimate_s=estimate.total_time,
+                workflow=result.label,
+                jobs=len(candidate.workflow.jobs),
+                states=result.states,
+                overhead_s=result.overhead_s,
+                estimate_s=result.total_time_s,
             )
         )
     return rows

@@ -1,0 +1,24 @@
+"""Batched, cached, parallel what-if evaluation (see ``docs/sweeps.md``).
+
+Shared by the tuner (:mod:`repro.tuning`), the experiment grids
+(:mod:`repro.experiments`), the CLI and the examples: build
+:class:`Candidate` scenarios, hand them to a :class:`SweepRunner`, read the
+estimates back in order and the throughput/cache telemetry from the
+:class:`SweepReport`.
+"""
+
+from repro.sweep.runner import (
+    Candidate,
+    CandidateResult,
+    SweepReport,
+    SweepRunner,
+    default_processes,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateResult",
+    "SweepReport",
+    "SweepRunner",
+    "default_processes",
+]

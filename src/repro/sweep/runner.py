@@ -1,0 +1,451 @@
+"""Batched what-if evaluation of candidate workflows.
+
+The paper's headline use case is that one state-based estimate costs
+milliseconds (§V-C), so configuration tuning, capacity planning and the
+experiment grids reduce to *thousands* of estimator evaluations.  This
+module turns those thousands of calls from serial-and-cold into
+batched-cached-parallel:
+
+* every candidate is evaluated through the memoised BOE model
+  (:class:`~repro.core.boe.BOEModel`), so sub-stage solves shared between
+  candidates — the ~90 % a coordinate-descent step does not perturb — are
+  paid for once;
+* a batch can be fanned out over a process pool with deterministic result
+  ordering (results come back in candidate order regardless of worker
+  scheduling, and each worker runs the same pure code the serial path
+  runs, so estimates are bit-identical either way);
+* every batch feeds a :class:`SweepReport` — evaluations/s, cache hit
+  rate, wall vs CPU time, per-phase breakdown — surfaced by the CLI, the
+  examples and ``benchmarks/bench_sweep.py``.
+
+Process-pool semantics: the worker context (cluster, task-time source,
+estimator configuration) is pickled once per worker at pool start-up, and
+each worker keeps its own task-time cache warm across batches.  A runner
+whose source does not pickle (e.g. a closure-based test stub) silently
+degrades to the serial path — correctness never depends on the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.cluster import Cluster
+from repro.core.boe import BOEModel
+from repro.core.distributions import Variant
+from repro.core.estimator import BOESource, DagEstimator, TaskTimeSource
+from repro.core.fingerprint import CacheStats
+from repro.dag.workflow import Workflow
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One what-if scenario: a workflow, optionally on a different cluster.
+
+    Attributes:
+        workflow: the (re-configured) workflow to estimate.
+        cluster: cluster override for capacity-planning sweeps; ``None``
+            uses the runner's cluster.
+        label: report label; defaults to the workflow name.
+    """
+
+    workflow: Workflow
+    cluster: Optional[Cluster] = None
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None else self.workflow.name
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Outcome of one candidate evaluation.
+
+    Attributes:
+        index: position in the submitted batch (results are returned in
+            this order).
+        label: the candidate's label.
+        total_time_s: estimated makespan; ``None`` when infeasible.
+        states: number of workflow states of the estimate.
+        overhead_s: the estimator's own wall-clock cost for this candidate.
+        error: the :class:`~repro.errors.EstimationError` message for an
+            infeasible candidate, ``None`` on success.
+    """
+
+    index: int
+    label: str
+    total_time_s: Optional[float]
+    states: int = 0
+    overhead_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """Cumulative observability of a runner's evaluations.
+
+    Attributes:
+        candidates: candidates submitted (including infeasible ones).
+        succeeded: candidates that produced an estimate.
+        infeasible: candidates rejected with an estimation error.
+        batches: ``evaluate`` calls served.
+        wall_time_s: wall-clock time spent inside ``evaluate``.
+        cpu_time_s: CPU time across the parent and every worker process
+            (``> wall_time_s`` signals real parallelism).
+        processes: configured worker processes (1 = serial).
+        pool_used: whether any batch actually ran on the process pool.
+        cache: aggregated task-time cache ledger across all processes.
+        phase_s: wall-clock per phase ("build" candidate normalisation,
+            "estimate" the evaluations themselves, "collect" result
+            assembly and stats merging).
+    """
+
+    candidates: int = 0
+    succeeded: int = 0
+    infeasible: int = 0
+    batches: int = 0
+    wall_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+    processes: int = 1
+    pool_used: bool = False
+    cache: CacheStats = field(default_factory=CacheStats)
+    phase_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def evaluations_per_s(self) -> float:
+        return self.candidates / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def _phase(self, name: str, seconds: float) -> None:
+        self.phase_s[name] = self.phase_s.get(name, 0.0) + seconds
+
+    def describe(self) -> str:
+        """One-line summary for CLI / benchmark output."""
+        return (
+            f"{self.candidates} evaluations ({self.infeasible} infeasible) in "
+            f"{self.wall_time_s * 1000:.0f} ms "
+            f"({self.evaluations_per_s:.0f}/s, cpu {self.cpu_time_s * 1000:.0f} ms, "
+            f"{self.processes} proc{'s' if self.processes != 1 else ''}, "
+            f"cache {self.cache.describe()})"
+        )
+
+
+class _EvalContext:
+    """Everything a (worker) process needs to evaluate candidates.
+
+    Holds one task-time source per cluster: the default BOE source is
+    rebuilt for each distinct candidate cluster (its model is bound to a
+    cluster), while an explicitly supplied source is pinned to the
+    runner's cluster and cluster overrides are rejected.
+
+    On top of the per-task cache inside the sources, the context memoises
+    whole candidate outcomes by (workflow, cluster): coordinate descent
+    re-checks every knob against the final assignment on its no-improvement
+    pass, and grids often contain repeated points.  Workflows and clusters
+    are frozen dataclasses hashing by value, so the key is taken at call
+    time and a mutated workflow can never match a stale entry.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        source: Optional[TaskTimeSource],
+        variant: Variant,
+        policy: str,
+        enforce_vcores: bool,
+        refine: bool,
+        memo: bool = True,
+        max_memo_entries: int = 65_536,
+    ):
+        self._cluster = cluster
+        self._fixed_source = source
+        self._variant = variant
+        self._policy = policy
+        self._enforce_vcores = enforce_vcores
+        self._refine = refine
+        self._sources: Dict[Cluster, TaskTimeSource] = {}
+        if source is not None:
+            self._sources[cluster] = source
+        self._memo: Optional[Dict[object, CandidateResult]] = {} if memo else None
+        self._max_memo_entries = max_memo_entries
+        self._memo_stats = CacheStats()
+
+    def source_for(self, cluster: Cluster) -> TaskTimeSource:
+        source = self._sources.get(cluster)
+        if source is None:
+            if self._fixed_source is not None:
+                raise EstimationError(
+                    "candidates with cluster overrides require the runner's "
+                    "default BOE source (an explicit source is bound to one "
+                    "cluster)"
+                )
+            source = BOESource(BOEModel(cluster, refine=self._refine))
+            self._sources[cluster] = source
+        return source
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate ledger: per-task caches of every source, plus the
+        candidate-level memo (a memo hit stands for all the task-time
+        lookups the skipped estimate would have made)."""
+        total = CacheStats()
+        for source in self._sources.values():
+            stats = getattr(source, "cache_stats", None)
+            if stats is not None:
+                total.add(stats)
+        total.add(self._memo_stats)
+        return total
+
+    def evaluate(
+        self,
+        index: int,
+        label: str,
+        workflow: Workflow,
+        cluster: Optional[Cluster],
+    ) -> CandidateResult:
+        target = cluster if cluster is not None else self._cluster
+        memo_key = None
+        if self._memo is not None:
+            memo_key = (workflow, target)
+            hit = self._memo.get(memo_key)
+            if hit is not None:
+                self._memo_stats.hits += 1
+                return replace(hit, index=index, label=label)
+            self._memo_stats.misses += 1
+        estimator = DagEstimator(
+            target,
+            self.source_for(target),
+            variant=self._variant,
+            policy=self._policy,
+            enforce_vcores=self._enforce_vcores,
+        )
+        try:
+            estimate = estimator.estimate(workflow)
+        except EstimationError as exc:
+            result = CandidateResult(
+                index=index, label=label, total_time_s=None, error=str(exc)
+            )
+        else:
+            result = CandidateResult(
+                index=index,
+                label=label,
+                total_time_s=estimate.total_time,
+                states=len(estimate.states),
+                overhead_s=estimate.model_overhead_s,
+            )
+        if memo_key is not None:
+            while len(self._memo) >= self._max_memo_entries:
+                self._memo.pop(next(iter(self._memo)))
+                self._memo_stats.evictions += 1
+            self._memo[memo_key] = result
+        return result
+
+
+#: Per-worker evaluation context, installed by the pool initializer.
+_WORKER_CONTEXT: Optional[_EvalContext] = None
+
+
+def _worker_init(context: _EvalContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+_Item = Tuple[int, str, Workflow, Optional[Cluster]]
+
+
+def _worker_chunk(
+    payload: Sequence[_Item],
+) -> Tuple[List[CandidateResult], CacheStats, float]:
+    """Evaluate one chunk in a worker; returns (results, cache delta, cpu s)."""
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initialisation"
+    before = context.cache_stats().snapshot()
+    cpu0 = time.process_time()
+    results = [context.evaluate(*item) for item in payload]
+    cpu_s = time.process_time() - cpu0
+    return results, context.cache_stats().delta(before), cpu_s
+
+
+class SweepRunner:
+    """Shared batched-evaluation engine for what-if sweeps.
+
+    One runner instance is meant to live for a whole sweep (a tuning run,
+    a grid, a capacity plan): its task-time caches — and, when
+    ``processes > 1``, its worker pool — persist across ``evaluate``
+    calls, which is where the throughput comes from.
+
+    Args:
+        cluster: default target cluster.
+        source: task-time source; ``None`` builds a memoised
+            :class:`~repro.core.estimator.BOESource` per candidate cluster.
+        variant: estimator variant (Alg1-Mean / Alg1-Mid / Alg2-Normal).
+        policy: scheduler policy for the parallelism equilibrium.
+        enforce_vcores: forwarded to :class:`~repro.core.estimator.DagEstimator`.
+        refine: build refined BOE models (only with ``source=None``).
+        memo: memoise whole candidate outcomes by (workflow, cluster);
+            disable to reproduce the uncached serial reference path.
+        processes: worker processes; 1 (default) evaluates in-process.
+        chunksize: candidates per pool task; ``None`` picks
+            ``ceil(n / (4 * processes))``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        source: Optional[TaskTimeSource] = None,
+        variant: Variant = Variant.MEAN,
+        policy: str = "drf",
+        enforce_vcores: bool = False,
+        refine: bool = False,
+        memo: bool = True,
+        processes: int = 1,
+        chunksize: Optional[int] = None,
+    ):
+        if processes < 1:
+            raise EstimationError(f"processes must be >= 1: {processes}")
+        if chunksize is not None and chunksize < 1:
+            raise EstimationError(f"chunksize must be >= 1: {chunksize}")
+        self._context = _EvalContext(
+            cluster, source, variant, policy, enforce_vcores, refine, memo=memo
+        )
+        self._processes = processes
+        self._chunksize = chunksize
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self._report = SweepReport(processes=processes)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for serial runners)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    @property
+    def report(self) -> SweepReport:
+        """Cumulative stats over every ``evaluate`` call so far."""
+        return self._report
+
+    def reset_report(self) -> None:
+        self._report = SweepReport(processes=self._processes)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(
+        self, candidates: Sequence[Union[Candidate, Workflow]]
+    ) -> List[CandidateResult]:
+        """Estimate every candidate; results in submission order.
+
+        Infeasible candidates (estimation errors) are captured in their
+        :class:`CandidateResult` rather than raised, so one broken grid
+        point cannot abort a sweep.
+        """
+        t0 = time.perf_counter()
+        items: List[_Item] = []
+        for index, entry in enumerate(candidates):
+            if isinstance(entry, Workflow):
+                entry = Candidate(workflow=entry)
+            items.append((index, entry.name, entry.workflow, entry.cluster))
+        report = self._report
+        report._phase("build", time.perf_counter() - t0)
+        if not items:
+            return []
+
+        t1 = time.perf_counter()
+        if self._processes > 1 and len(items) > 1:
+            outcome = self._evaluate_parallel(items)
+        else:
+            outcome = None
+        if outcome is None:
+            outcome = self._evaluate_serial(items)
+        results, cache_delta, cpu_s, pooled = outcome
+        report._phase("estimate", time.perf_counter() - t1)
+
+        t2 = time.perf_counter()
+        results.sort(key=lambda r: r.index)
+        report.candidates += len(results)
+        report.succeeded += sum(1 for r in results if r.ok)
+        report.infeasible += sum(1 for r in results if not r.ok)
+        report.batches += 1
+        report.cpu_time_s += cpu_s
+        report.pool_used = report.pool_used or pooled
+        report.cache.add(cache_delta)
+        report._phase("collect", time.perf_counter() - t2)
+        report.wall_time_s += time.perf_counter() - t0
+        return results
+
+    def _evaluate_serial(
+        self, items: Sequence[_Item]
+    ) -> Tuple[List[CandidateResult], CacheStats, float, bool]:
+        before = self._context.cache_stats().snapshot()
+        cpu0 = time.process_time()
+        results = [self._context.evaluate(*item) for item in items]
+        cpu_s = time.process_time() - cpu0
+        return results, self._context.cache_stats().delta(before), cpu_s, False
+
+    def _evaluate_parallel(
+        self, items: Sequence[_Item]
+    ) -> Optional[Tuple[List[CandidateResult], CacheStats, float, bool]]:
+        """Fan chunks out over the pool; ``None`` falls back to serial."""
+        executor = self._ensure_pool()
+        if executor is None:
+            return None
+        chunksize = self._chunksize or max(
+            1, -(-len(items) // (4 * self._processes))
+        )
+        chunks = [
+            items[i : i + chunksize] for i in range(0, len(items), chunksize)
+        ]
+        cpu0 = time.process_time()
+        results: List[CandidateResult] = []
+        cache_delta = CacheStats()
+        worker_cpu = 0.0
+        for chunk_results, chunk_cache, chunk_cpu in executor.map(
+            _worker_chunk, chunks
+        ):
+            results.extend(chunk_results)
+            cache_delta.add(chunk_cache)
+            worker_cpu += chunk_cpu
+        cpu_s = (time.process_time() - cpu0) + worker_cpu
+        return results, cache_delta, cpu_s, True
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool_broken:
+            return None
+        if self._executor is None:
+            try:
+                # The context ships to workers once; an unpicklable source
+                # (closures, open handles) degrades to the serial path.
+                pickle.dumps(self._context)
+            except Exception:
+                self._pool_broken = True
+                return None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._processes,
+                initializer=_worker_init,
+                initargs=(self._context,),
+            )
+        return self._executor
+
+
+def default_processes(cap: int = 8) -> int:
+    """A sensible pool size for CLI/benchmark use: the machine's cores,
+    capped (estimator sweeps saturate quickly), and 1 on single-core boxes
+    (where the pool is pure overhead)."""
+    cores = os.cpu_count() or 1
+    return max(1, min(cap, cores))

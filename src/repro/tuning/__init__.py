@@ -5,6 +5,7 @@ from repro.tuning.knobs import (
     FIELDS,
     Knob,
     apply_assignment,
+    current_value,
     default_space,
 )
 from repro.tuning.tuner import GreedyTuner, TuningResult, tune_workflow
@@ -16,6 +17,7 @@ __all__ = [
     "Knob",
     "TuningResult",
     "apply_assignment",
+    "current_value",
     "default_space",
     "tune_workflow",
 ]

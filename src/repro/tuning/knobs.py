@@ -62,6 +62,30 @@ class Knob:
 Assignment = Dict[Tuple[str, str], object]
 
 
+def current_value(workflow: Workflow, knob: Knob) -> object:
+    """The workflow's *actual* value of the knob's field.
+
+    This is the tuner's baseline.  Knob grids conventionally list the
+    current value first, but nothing enforces it (custom spaces, or a
+    workflow re-configured after the space was built), so the baseline is
+    always derived from the workflow itself.  A knob naming a job absent
+    from the workflow falls back to its first choice (such knobs are inert:
+    :func:`apply_assignment` ignores foreign job names).
+    """
+    if knob.job not in workflow.job_map:
+        return knob.choices[0]
+    job = workflow.job(knob.job)
+    if knob.field == "num_reducers":
+        return job.num_reducers
+    if knob.field == "compression":
+        return job.config.compression
+    if knob.field == "split_mb":
+        return job.config.split_mb
+    if knob.field == "map_memory_mb":
+        return job.config.map_container.memory_mb
+    raise SpecificationError(f"unknown knob field {knob.field!r}")  # pragma: no cover
+
+
 def default_space(workflow: Workflow, cluster: Cluster) -> List[Knob]:
     """The standard knob grid for every job of a workflow."""
     knobs: List[Knob] = []

@@ -7,6 +7,13 @@ coordinate descent over the knob grid — evaluate every candidate of one
 knob with the estimator, keep the best, move to the next knob, repeat until
 a full pass improves nothing.
 
+Candidate evaluation goes through a :class:`~repro.sweep.SweepRunner`: each
+knob's candidates form one batch, the runner's memoised BOE model re-prices
+only the stage/parallelism combinations the knob actually perturbs, and a
+parallel runner fans the batch over worker processes.  Estimates are
+bit-identical to evaluating each candidate serially with a cold model — the
+runner only changes *when* the arithmetic happens, never its result.
+
 The tuner is deliberately *model-only*: it never touches the simulator.
 Experiments then verify the tuned configuration against the simulated
 ground truth (``benchmarks/bench_tuning.py``) — exactly the loop a real
@@ -17,15 +24,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.core.boe import BOEModel
 from repro.core.distributions import Variant
-from repro.core.estimator import BOESource, DagEstimator, TaskTimeSource
+from repro.core.estimator import BOESource, TaskTimeSource
 from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
-from repro.tuning.knobs import Assignment, Knob, apply_assignment, default_space
+from repro.sweep import Candidate, SweepReport, SweepRunner
+from repro.tuning.knobs import (
+    Assignment,
+    Knob,
+    apply_assignment,
+    current_value,
+    default_space,
+)
 
 
 @dataclass
@@ -37,9 +51,12 @@ class TuningResult:
         baseline_estimate_s: estimated makespan of the original config.
         tuned_estimate_s: estimated makespan under ``assignment``.
         assignment: chosen value per knob (only knobs that changed).
-        evaluations: number of estimator calls spent.
+        evaluations: estimator calls *attempted* (baseline + every
+            candidate, whether or not it produced an estimate).
+        infeasible: attempted candidates the estimator rejected.
         wall_time_s: tuning cost (stays near-interactive by design).
         trajectory: (knob key, chosen value, estimate) per improvement.
+        sweep: the runner's cumulative evaluation/cache telemetry.
     """
 
     workflow_name: str
@@ -51,6 +68,8 @@ class TuningResult:
     trajectory: List[Tuple[Tuple[str, str], object, float]] = field(
         default_factory=list
     )
+    infeasible: int = 0
+    sweep: Optional[SweepReport] = None
 
     @property
     def improvement(self) -> float:
@@ -61,7 +80,18 @@ class TuningResult:
 
 
 class GreedyTuner:
-    """Coordinate-descent tuner driven by the state-based estimator."""
+    """Coordinate-descent tuner driven by the state-based estimator.
+
+    Args:
+        cluster: target cluster.
+        source: task-time source (defaults to a memoised BOE source).
+        variant: estimator variant.
+        max_passes: coordinate-descent passes over the knob list.
+        processes: worker processes for candidate batches; 1 stays
+            in-process (the cache alone carries small tuning runs).
+        runner: a pre-configured shared :class:`~repro.sweep.SweepRunner`;
+            overrides ``source``/``variant``/``processes``.
+    """
 
     def __init__(
         self,
@@ -69,6 +99,8 @@ class GreedyTuner:
         source: Optional[TaskTimeSource] = None,
         variant: Variant = Variant.MEAN,
         max_passes: int = 3,
+        processes: int = 1,
+        runner: Optional[SweepRunner] = None,
     ):
         if max_passes < 1:
             raise EstimationError(f"max_passes must be >= 1: {max_passes}")
@@ -76,10 +108,22 @@ class GreedyTuner:
         self._source = source or BOESource(BOEModel(cluster))
         self._variant = variant
         self._max_passes = max_passes
+        self._runner = runner or SweepRunner(
+            cluster, source=self._source, variant=variant, processes=processes
+        )
 
-    def _estimate(self, workflow: Workflow) -> float:
-        estimator = DagEstimator(self._cluster, self._source, variant=self._variant)
-        return estimator.estimate(workflow).total_time
+    @property
+    def runner(self) -> SweepRunner:
+        return self._runner
+
+    def _estimate_baseline(self, workflow: Workflow) -> float:
+        [result] = self._runner.evaluate([Candidate(workflow, label="baseline")])
+        if not result.ok:
+            raise EstimationError(
+                f"baseline configuration of {workflow.name!r} is infeasible: "
+                f"{result.error}"
+            )
+        return result.total_time_s
 
     def tune(
         self, workflow: Workflow, space: Optional[Sequence[Knob]] = None
@@ -89,30 +133,39 @@ class GreedyTuner:
         knobs = list(space) if space is not None else default_space(
             workflow, self._cluster
         )
+        # The workflow's actual configuration is the baseline for every
+        # knob — grids are *not* trusted to list it first.
+        baseline_value = {knob.key: current_value(workflow, knob) for knob in knobs}
         assignment: Assignment = {}
         evaluations = 1
-        baseline = best = self._estimate(workflow)
+        infeasible = 0
+        baseline = best = self._estimate_baseline(workflow)
         trajectory: List[Tuple[Tuple[str, str], object, float]] = []
 
         for _ in range(self._max_passes):
             improved = False
             for knob in knobs:
-                current_choice = assignment.get(knob.key, knob.choices[0])
-                best_choice = current_choice
-                for candidate in knob.choices:
-                    if candidate == current_choice:
-                        continue
+                current_choice = assignment.get(knob.key, baseline_value[knob.key])
+                candidates = [c for c in knob.choices if c != current_choice]
+                batch = []
+                for candidate in candidates:
                     trial = dict(assignment)
                     trial[knob.key] = candidate
-                    try:
-                        estimate = self._estimate(
-                            apply_assignment(workflow, trial)
+                    batch.append(
+                        Candidate(
+                            apply_assignment(workflow, trial),
+                            label=f"{knob.job}.{knob.field}={candidate}",
                         )
-                    except EstimationError:
-                        continue  # infeasible candidate (e.g. zero tasks)
+                    )
+                results = self._runner.evaluate(batch)
+                best_choice = current_choice
+                for candidate, result in zip(candidates, results):
                     evaluations += 1
-                    if estimate < best * (1.0 - 1e-6):
-                        best = estimate
+                    if not result.ok:  # infeasible candidate (e.g. zero tasks)
+                        infeasible += 1
+                        continue
+                    if result.total_time_s < best * (1.0 - 1e-6):
+                        best = result.total_time_s
                         best_choice = candidate
                 if best_choice != current_choice:
                     assignment[knob.key] = best_choice
@@ -121,11 +174,11 @@ class GreedyTuner:
             if not improved:
                 break
 
-        # Drop knobs that ended on their original value.
+        # Drop knobs that ended on the workflow's own value.
         assignment = {
             key: value
             for key, value in assignment.items()
-            if value != next(k.choices[0] for k in knobs if k.key == key)
+            if value != baseline_value[key]
         }
         return TuningResult(
             workflow_name=workflow.name,
@@ -133,8 +186,10 @@ class GreedyTuner:
             tuned_estimate_s=best,
             assignment=assignment,
             evaluations=evaluations,
+            infeasible=infeasible,
             wall_time_s=time.perf_counter() - t0,
             trajectory=trajectory,
+            sweep=self._runner.report,
         )
 
 
@@ -142,7 +197,8 @@ def tune_workflow(
     workflow: Workflow,
     cluster: Cluster,
     space: Optional[Sequence[Knob]] = None,
+    processes: int = 1,
 ) -> Tuple[TuningResult, Workflow]:
     """Convenience: tune and return (result, re-configured workflow)."""
-    result = GreedyTuner(cluster).tune(workflow, space)
+    result = GreedyTuner(cluster, processes=processes).tune(workflow, space)
     return result, apply_assignment(workflow, result.assignment)

@@ -1,0 +1,227 @@
+"""Cache-correctness tests for the memoised BOE model and CachingSource.
+
+The contract under test: memoisation may only change *when* arithmetic
+happens, never its result.  Keys are taken from call-time values, so a
+changed or mutated input can never be served a stale entry, and a hit is
+bit-for-bit identical to what the cold path would compute.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.allocation import StageLoad, resource_users
+from repro.core.boe import BOEModel
+from repro.core.distributions import TaskTimeDistribution
+from repro.core.estimator import BOESource, CachingSource
+from repro.errors import EstimationError
+from repro.mapreduce import StageKind
+from repro.mapreduce.phases import build_task_substages
+
+
+class TestTaskTimeCache:
+    def test_cached_equals_uncached_bit_identical(self, cluster, small_ts, small_wc):
+        cached = BOEModel(cluster)
+        cold = BOEModel(cluster, cache=False)
+        concurrent = [(small_wc, StageKind.MAP, 20.0)]
+        for kind in (StageKind.MAP, StageKind.REDUCE):
+            for _ in range(2):  # second round exercises the hit path
+                a = cached.task_time(small_ts, kind, 40.0, concurrent)
+                b = cold.task_time(small_ts, kind, 40.0, concurrent)
+                assert a == b  # frozen dataclasses compare field by field
+        assert cached.cache_stats.hits > 0
+        assert cold.cache_stats.lookups == 0
+
+    def test_repeat_call_served_from_cache(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        first = model.task_time(small_ts, StageKind.MAP, 40.0)
+        again = model.task_time(small_ts, StageKind.MAP, 40.0)
+        assert again is first  # the identical frozen object, not a rebuild
+        assert model.cache_stats.hits == 1
+        assert model.cache_stats.misses == 1
+
+    def test_affecting_knob_misses(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        base = model.task_time(small_ts, StageKind.MAP, 40.0)
+        misses_before = model.cache_stats.misses
+        # Halving the split doubles the map task count and halves per-task
+        # input — the map pipeline changes, so the lookup must miss and the
+        # fresh result must differ.
+        smaller = small_ts.with_config(split_mb=small_ts.config.split_mb / 2)
+        other = model.task_time(smaller, StageKind.MAP, 40.0)
+        assert model.cache_stats.misses == misses_before + 1
+        assert other.duration != base.duration
+        assert other == BOEModel(cluster, cache=False).task_time(
+            smaller, StageKind.MAP, 40.0
+        )
+
+    def test_irrelevant_knob_hits_and_stays_correct(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        base = model.task_time(small_ts, StageKind.MAP, 40.0)
+        hits_before = model.cache_stats.hits
+        # The reducer count does not touch the map pipeline: the solved
+        # sub-stage structure is shared, only the job label differs.
+        retuned = replace(small_ts, num_reducers=small_ts.num_reducers * 2)
+        other = model.task_time(retuned, StageKind.MAP, 40.0)
+        assert model.cache_stats.hits == hits_before + 1
+        assert other.substages == base.substages
+        assert other == BOEModel(cluster, cache=False).task_time(
+            retuned, StageKind.MAP, 40.0
+        )
+
+    def test_mutated_job_never_served_stale(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        before = model.task_time(small_ts, StageKind.MAP, 40.0)
+        # Frozen dataclasses hash by value, so even an in-place mutation
+        # (bypassing the frozen guard) changes the call-time key.
+        object.__setattr__(small_ts, "input_mb", small_ts.input_mb * 4)
+        after = model.task_time(small_ts, StageKind.MAP, 40.0)
+        assert after.duration != before.duration
+        assert after == BOEModel(cluster, cache=False).task_time(
+            small_ts, StageKind.MAP, 40.0
+        )
+
+    def test_concurrent_signature_is_part_of_the_key(
+        self, cluster, small_ts, small_wc
+    ):
+        model = BOEModel(cluster)
+        alone = model.task_time(small_ts, StageKind.MAP, 20.0)
+        contended = model.task_time(
+            small_ts, StageKind.MAP, 20.0, [(small_wc, StageKind.MAP, 20.0)]
+        )
+        assert contended.duration > alone.duration
+
+    def test_eviction_is_counted(self, cluster, small_ts):
+        model = BOEModel(cluster, max_cache_entries=2)
+        for delta in (4.0, 8.0, 16.0, 32.0):
+            model.task_time(small_ts, StageKind.MAP, delta)
+        assert model.cache_stats.evictions > 0
+
+    def test_clear_cache_forgets_but_keeps_the_ledger(self, cluster, small_ts):
+        model = BOEModel(cluster)
+        model.task_time(small_ts, StageKind.MAP, 40.0)
+        model.clear_cache()
+        model.task_time(small_ts, StageKind.MAP, 40.0)
+        assert model.cache_stats.hits == 0
+        assert model.cache_stats.misses == 2
+
+    def test_disabled_cache_never_counts(self, cluster, small_ts):
+        model = BOEModel(cluster, cache=False)
+        model.task_time(small_ts, StageKind.MAP, 40.0)
+        model.task_time(small_ts, StageKind.MAP, 40.0)
+        assert model.cache_stats.lookups == 0
+
+    def test_invalid_bound_rejected(self, cluster):
+        with pytest.raises(EstimationError):
+            BOEModel(cluster, max_cache_entries=0)
+
+
+class TestRefineHoist:
+    def test_refined_substage_time_matches_reference(
+        self, cluster, small_ts, small_wc
+    ):
+        """The hoisted refine loop must reproduce the reference iteration
+        (users map recomputed for every load) exactly — the users map never
+        depended on which load was being re-evaluated."""
+        model = BOEModel(cluster, refine=True)
+        ts_subs = build_task_substages(small_ts, StageKind.MAP)
+        wc_subs = build_task_substages(small_wc, StageKind.MAP)
+        target = StageLoad("ts", ts_subs[0], 40.0)
+        concurrent = [StageLoad("wc", wc_subs[0], 40.0)]
+
+        def reference(target, concurrent):
+            loads = [target, *concurrent]
+            estimate = model._evaluate(
+                target.substage, resource_users(loads, cluster)
+            )
+            previous = estimate.duration
+            current_util = None
+            for _ in range(model._max_iter):
+                new_util = {}
+                for load in loads:
+                    users = resource_users(loads, cluster, current_util)
+                    sub_est = model._evaluate(load.substage, users)
+                    new_util[load.name] = {
+                        op.resource: max(op.utilisation, 1e-3)
+                        for op in sub_est.ops
+                    }
+                estimate = model._evaluate(
+                    target.substage, resource_users(loads, cluster, new_util)
+                )
+                current_util = new_util
+                if abs(estimate.duration - previous) <= 1e-6 * max(
+                    previous, 1e-9
+                ):
+                    break
+                previous = estimate.duration
+            return estimate
+
+        assert model.substage_time(target, concurrent) == reference(
+            target, concurrent
+        )
+        # And with the roles swapped, for a second fixed point.
+        swapped = StageLoad("wc", wc_subs[0], 40.0)
+        assert model.substage_time(swapped, [target]) == reference(
+            swapped, [target]
+        )
+
+
+class _CountingSource:
+    """Stub task-time source that counts inner evaluations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def distribution(self, job, kind, delta, concurrent):
+        self.calls += 1
+        value = job.input_mb / max(delta, 1.0)
+        return TaskTimeDistribution(mean=value, median=value, std=0.0, n=0)
+
+
+class TestCachingSource:
+    def test_repeat_lookup_hits(self, small_ts):
+        inner = _CountingSource()
+        source = CachingSource(inner)
+        a = source.distribution(small_ts, StageKind.MAP, 8.0, [])
+        b = source.distribution(small_ts, StageKind.MAP, 8.0, [])
+        assert inner.calls == 1
+        assert b is a
+        assert source.cache_stats.hits == 1
+
+    def test_changed_argument_misses(self, small_ts, small_wc):
+        inner = _CountingSource()
+        source = CachingSource(inner)
+        source.distribution(small_ts, StageKind.MAP, 8.0, [])
+        source.distribution(small_ts, StageKind.MAP, 9.0, [])
+        source.distribution(small_ts, StageKind.REDUCE, 8.0, [])
+        source.distribution(
+            small_ts, StageKind.MAP, 8.0, [(small_wc, StageKind.MAP, 8.0)]
+        )
+        assert inner.calls == 4
+        assert source.cache_stats.hits == 0
+
+    def test_mutation_taken_at_call_time(self, small_ts):
+        inner = _CountingSource()
+        source = CachingSource(inner)
+        before = source.distribution(small_ts, StageKind.MAP, 8.0, [])
+        object.__setattr__(small_ts, "input_mb", small_ts.input_mb * 2)
+        after = source.distribution(small_ts, StageKind.MAP, 8.0, [])
+        assert inner.calls == 2
+        assert after.mean == pytest.approx(before.mean * 2)
+
+    def test_eviction_bound(self, small_ts):
+        source = CachingSource(_CountingSource(), max_entries=2)
+        for delta in (1.0, 2.0, 3.0, 4.0):
+            source.distribution(small_ts, StageKind.MAP, delta, [])
+        assert source.cache_stats.evictions == 2
+
+    def test_wraps_boe_source(self, cluster, small_ts):
+        wrapped = CachingSource(BOESource(BOEModel(cluster, cache=False)))
+        a = wrapped.distribution(small_ts, StageKind.MAP, 8.0, [])
+        b = wrapped.distribution(small_ts, StageKind.MAP, 8.0, [])
+        assert a == b
+        assert wrapped.cache_stats.hits == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(EstimationError):
+            CachingSource(_CountingSource(), max_entries=0)

@@ -5,14 +5,19 @@ from dataclasses import replace
 import pytest
 
 from repro.cluster.resources import ResourceVector
+from repro.core.boe import BOEModel
+from repro.core.distributions import TaskTimeDistribution
+from repro.core.estimator import BOESource
 from repro.dag import single_job_workflow
 from repro.errors import EstimationError, SpecificationError
 from repro.mapreduce.config import NO_COMPRESSION, SNAPPY_TEXT
 from repro.simulator import simulate
+from repro.sweep import SweepRunner
 from repro.tuning import (
     GreedyTuner,
     Knob,
     apply_assignment,
+    current_value,
     default_space,
     tune_workflow,
 )
@@ -118,3 +123,135 @@ class TestGreedyTuner:
     def test_invalid_passes_rejected(self, cluster):
         with pytest.raises(EstimationError):
             GreedyTuner(cluster, max_passes=0)
+
+
+class TestCurrentValue:
+    def test_reads_the_workflow_not_the_grid(self, mistuned):
+        knob = Knob("ts", "num_reducers", (120, 6))
+        assert current_value(mistuned, knob) == 6
+
+    def test_every_field(self, small_ts):
+        wf = single_job_workflow(small_ts)
+        assert current_value(wf, Knob("ts", "num_reducers", (1, 2))) == 40
+        assert (
+            current_value(wf, Knob("ts", "compression", (SNAPPY_TEXT, NO_COMPRESSION)))
+            == small_ts.config.compression
+        )
+        assert (
+            current_value(wf, Knob("ts", "split_mb", (1.0, 2.0)))
+            == small_ts.config.split_mb
+        )
+        assert (
+            current_value(wf, Knob("ts", "map_memory_mb", (1.0, 2.0)))
+            == small_ts.config.map_container.memory_mb
+        )
+
+    def test_foreign_job_falls_back_to_first_choice(self, mistuned):
+        assert current_value(mistuned, Knob("ghost", "split_mb", (64.0, 128.0))) == 64.0
+
+
+class TestBaselineRegression:
+    """The tuner must derive each knob's baseline from the workflow itself,
+    not trust ``choices[0]`` to be the current value."""
+
+    def test_improvement_found_when_grid_lists_baseline_last(
+        self, cluster, mistuned
+    ):
+        # Old behaviour: 120 was assumed to *be* the current value, so the
+        # only actual improvement was never evaluated and the tuner
+        # reported nothing.
+        space = [Knob("ts", "num_reducers", (120, 6))]
+        result = GreedyTuner(cluster).tune(mistuned, space)
+        assert result.assignment == {("ts", "num_reducers"): 120}
+        assert result.improvement > 1.0
+
+    def test_no_noop_assignments_reported(self, cluster, mistuned):
+        # A grid whose entries are all equivalent to the current config
+        # must yield an empty assignment, never "change 6 -> 6".
+        space = [Knob("ts", "num_reducers", (6, 6.0))]
+        result = GreedyTuner(cluster).tune(mistuned, space)
+        assert result.assignment == {}
+
+    def test_assignment_never_maps_to_workflow_value(self, cluster, mistuned):
+        space = [Knob("ts", "num_reducers", (120, 6, 240))]
+        result = GreedyTuner(cluster).tune(mistuned, space)
+        for (job, fieldname), value in result.assignment.items():
+            knob = next(k for k in space if k.key == (job, fieldname))
+            assert value != current_value(mistuned, knob)
+
+
+class _GappySource:
+    """Estimates shrink with reducer count; one count is infeasible."""
+
+    def __init__(self, broken_reducers: int):
+        self._broken = broken_reducers
+
+    def distribution(self, job, kind, delta, concurrent):
+        if job.num_reducers == self._broken:
+            raise EstimationError(f"{self._broken} reducers unsupported")
+        value = 1000.0 / (job.num_reducers * max(delta, 1.0))
+        return TaskTimeDistribution(mean=value, median=value, std=0.0, n=0)
+
+
+class TestEvaluationAccounting:
+    """``evaluations`` counts attempts; infeasible candidates are reported
+    separately instead of silently vanishing from the ledger."""
+
+    def test_infeasible_candidates_counted(self, cluster, mistuned):
+        space = [Knob("ts", "num_reducers", (6, 7, 12))]
+        tuner = GreedyTuner(cluster, source=_GappySource(broken_reducers=7))
+        result = tuner.tune(mistuned, space)
+        # Pass 1: candidates 7 (infeasible) and 12 (wins).  Pass 2 from 12:
+        # candidates 6 and 7 (infeasible), no improvement, stop.  Baseline
+        # plus four candidate attempts, two of them infeasible.
+        assert result.evaluations == 5
+        assert result.infeasible == 2
+        assert result.assignment == {("ts", "num_reducers"): 12}
+
+    def test_feasible_run_reports_zero_infeasible(self, cluster, mistuned):
+        result = GreedyTuner(cluster).tune(mistuned)
+        assert result.infeasible == 0
+        assert result.evaluations == result.sweep.candidates
+
+    def test_infeasible_baseline_raises(self, cluster, mistuned):
+        tuner = GreedyTuner(cluster, source=_GappySource(broken_reducers=6))
+        with pytest.raises(EstimationError):
+            tuner.tune(mistuned, [Knob("ts", "num_reducers", (6, 12))])
+
+    def test_sweep_report_attached(self, cluster, mistuned):
+        result = GreedyTuner(cluster).tune(mistuned)
+        assert result.sweep is not None
+        assert result.sweep.candidates == result.evaluations
+        assert result.sweep.cache.lookups > 0
+
+
+class TestTunerParity:
+    """Acceptance: cached/batched/parallel tuning is bit-identical to the
+    uncached serial reference path."""
+
+    def _reference(self, cluster):
+        source = BOESource(BOEModel(cluster, cache=False))
+        return GreedyTuner(
+            cluster,
+            source=source,
+            runner=SweepRunner(cluster, source=source, memo=False),
+        )
+
+    def test_cached_matches_reference(self, cluster, mistuned):
+        cached = GreedyTuner(cluster).tune(mistuned)
+        reference = self._reference(cluster).tune(mistuned)
+        assert cached.baseline_estimate_s == reference.baseline_estimate_s
+        assert cached.tuned_estimate_s == reference.tuned_estimate_s
+        assert cached.assignment == reference.assignment
+        assert cached.evaluations == reference.evaluations
+        assert cached.trajectory == reference.trajectory
+
+    def test_parallel_matches_reference(self, cluster, mistuned):
+        tuner = GreedyTuner(cluster, processes=2)
+        try:
+            parallel = tuner.tune(mistuned)
+        finally:
+            tuner.runner.close()
+        reference = self._reference(cluster).tune(mistuned)
+        assert parallel.tuned_estimate_s == reference.tuned_estimate_s
+        assert parallel.assignment == reference.assignment

@@ -59,3 +59,24 @@ class TestCliExtensions:
         assert main(["tune", "ts", "--scale", "0.02", "--verify"]) == 0
         out = capsys.readouterr().out
         assert "tuned estimate" in out
+
+    def test_tune_reports_sweep_ledger(self, capsys):
+        assert main(["tune", "ts", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+        assert "sweep" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "wc", "--scale", "0.02", "--workers", "4,8"]) == 0
+        out = capsys.readouterr().out
+        assert "4" in out and "8" in out
+        assert "evaluations" in out  # the SweepReport summary line
+
+    def test_sweep_rejects_bad_worker_list(self, capsys):
+        assert main(["sweep", "wc", "--workers", "4,zero"]) == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_overhead_reports_sweep_ledger(self, capsys):
+        assert main(["overhead", "--names", "WC-Q5", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "evaluations" in out

@@ -7,7 +7,10 @@ decreases — rather than absolute seconds.
 
 import pytest
 
+from repro.cluster.cluster import paper_cluster
 from repro.cluster.resources import Resource
+from repro.core.boe import BOEModel
+from repro.core.estimator import BOESource, estimate_workflow
 from repro.experiments import (
     FIG4_EXPECTED,
     run_fig1,
@@ -121,3 +124,27 @@ class TestOverhead:
         rows = run_overhead(names=["WC-Q5", "TS-Q21", "WC-TS3R"])
         for row in rows:
             assert row.overhead_s < 1.0  # the paper's §V-C requirement
+
+    def test_grid_parity_with_serial_seed_path(self):
+        """Acceptance: routing the experiment grid through the cached
+        (and optionally pooled) sweep runner yields estimates bit-identical
+        to the uncached one-workflow-at-a-time seed path."""
+        from repro.sweep import SweepRunner
+        from repro.workloads.hybrid import table3_workflows
+
+        names = ["WC-Q5", "TS-Q21", "WC-TS", "WC-TS3R"]
+        cluster = paper_cluster()
+        cached = run_overhead(names=names)
+        with SweepRunner(cluster, processes=2) as runner:
+            pooled = run_overhead(names=names, runner=runner)
+
+        reference_source = BOESource(BOEModel(cluster, cache=False))
+        workflows = table3_workflows(scale=0.05)
+        for row, pooled_row in zip(cached, pooled):
+            direct = estimate_workflow(
+                workflows[row.workflow], cluster, source=reference_source
+            )
+            assert row.estimate_s == direct.total_time
+            assert row.states == len(direct.states)
+            assert pooled_row.estimate_s == direct.total_time
+            assert pooled_row.states == len(direct.states)

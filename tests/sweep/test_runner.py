@@ -1,0 +1,180 @@
+"""Tests for repro.sweep — the batched what-if evaluation layer."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.node import PAPER_NODE
+from repro.core.boe import BOEModel
+from repro.core.distributions import TaskTimeDistribution
+from repro.core.estimator import BOESource, estimate_workflow
+from repro.dag import single_job_workflow
+from repro.errors import EstimationError
+from repro.mapreduce import StageKind
+from repro.sweep import Candidate, SweepRunner, default_processes
+from repro.units import gb
+from repro.workloads import terasort, wordcount
+
+
+@pytest.fixture
+def grid(small_ts):
+    """Five distinct reducer-count what-ifs plus the base point."""
+    return [
+        Candidate(
+            single_job_workflow(replace(small_ts, num_reducers=r)),
+            label=f"r={r}",
+        )
+        for r in (10, 20, 40, 80, 120, 160)
+    ]
+
+
+class _FlakySource:
+    """Serial-only stub: fails for a marked job, constant otherwise."""
+
+    def distribution(self, job, kind, delta, concurrent):
+        if job.name == "bad":
+            raise EstimationError("deliberately infeasible")
+        return TaskTimeDistribution(mean=1.0, median=1.0, std=0.0, n=0)
+
+
+class TestSweepRunner:
+    def test_results_in_submission_order(self, cluster, grid):
+        results = SweepRunner(cluster).evaluate(grid)
+        assert [r.index for r in results] == list(range(len(grid)))
+        assert [r.label for r in results] == [c.name for c in grid]
+        assert all(r.ok and r.total_time_s > 0 for r in results)
+
+    def test_matches_direct_estimates(self, cluster, grid):
+        """The runner is a batching layer, not a different model: every
+        result equals the direct estimator call, bit for bit."""
+        results = SweepRunner(cluster).evaluate(grid)
+        for candidate, result in zip(grid, results):
+            direct = estimate_workflow(candidate.workflow, cluster)
+            assert result.total_time_s == direct.total_time
+            assert result.states == len(direct.states)
+
+    def test_bare_workflows_are_normalised(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        [result] = SweepRunner(cluster).evaluate([wf])
+        assert result.label == wf.name
+        assert result.ok
+
+    def test_infeasible_candidate_captured_not_raised(self, cluster, small_ts):
+        bad = single_job_workflow(replace(small_ts, name="bad"))
+        good = single_job_workflow(small_ts)
+        runner = SweepRunner(cluster, source=_FlakySource())
+        results = runner.evaluate([good, bad, good])
+        assert [r.ok for r in results] == [True, False, True]
+        assert "infeasible" in results[1].error
+        assert results[1].total_time_s is None
+        assert runner.report.infeasible == 1
+        assert runner.report.succeeded == 2
+
+    def test_cluster_override(self, small_ts):
+        small = Cluster(node=PAPER_NODE, workers=4, name="4w")
+        big = Cluster(node=PAPER_NODE, workers=16, name="16w")
+        wf = single_job_workflow(small_ts)
+        runner = SweepRunner(small)
+        a, b = runner.evaluate(
+            [Candidate(wf, cluster=small), Candidate(wf, cluster=big)]
+        )
+        assert b.total_time_s < a.total_time_s
+        assert a.total_time_s == estimate_workflow(wf, small).total_time
+        assert b.total_time_s == estimate_workflow(wf, big).total_time
+
+    def test_cluster_override_needs_default_source(self, cluster, small_ts):
+        other = Cluster(node=PAPER_NODE, workers=4, name="4w")
+        runner = SweepRunner(cluster, source=BOESource(BOEModel(cluster)))
+        wf = single_job_workflow(small_ts)
+        with pytest.raises(EstimationError):
+            runner.evaluate([Candidate(wf, cluster=other)])
+
+    def test_duplicate_candidates_hit_the_memo(self, cluster, small_ts):
+        wf = single_job_workflow(small_ts)
+        runner = SweepRunner(cluster)
+        first, second = runner.evaluate([wf, wf])
+        assert second.total_time_s == first.total_time_s
+        assert (first.index, second.index) == (0, 1)
+        assert runner.report.cache.hits > 0
+
+    def test_memo_disabled_reproduces_reference(self, cluster, grid):
+        cached = SweepRunner(cluster).evaluate(grid)
+        plain = SweepRunner(
+            cluster, source=BOESource(BOEModel(cluster, cache=False)), memo=False
+        ).evaluate(grid)
+        assert [r.total_time_s for r in cached] == [r.total_time_s for r in plain]
+
+    def test_report_accumulates_across_batches(self, cluster, grid):
+        runner = SweepRunner(cluster)
+        runner.evaluate(grid[:2])
+        runner.evaluate(grid[2:])
+        report = runner.report
+        assert report.candidates == len(grid)
+        assert report.batches == 2
+        assert report.wall_time_s > 0
+        assert report.cpu_time_s > 0
+        assert report.evaluations_per_s > 0
+        assert {"build", "estimate", "collect"} <= set(report.phase_s)
+        assert "evaluations" in report.describe()
+        runner.reset_report()
+        assert runner.report.candidates == 0
+
+    def test_empty_batch(self, cluster):
+        runner = SweepRunner(cluster)
+        assert runner.evaluate([]) == []
+        assert runner.report.batches == 0
+
+    def test_invalid_parameters_rejected(self, cluster):
+        with pytest.raises(EstimationError):
+            SweepRunner(cluster, processes=0)
+        with pytest.raises(EstimationError):
+            SweepRunner(cluster, chunksize=0)
+
+
+class TestParallelRunner:
+    def test_pool_matches_serial_bit_identical(self, cluster, grid):
+        serial = SweepRunner(cluster).evaluate(grid)
+        with SweepRunner(cluster, processes=2, chunksize=2) as runner:
+            pooled = runner.evaluate(grid)
+            assert runner.report.pool_used
+        assert [(r.index, r.label, r.total_time_s) for r in pooled] == [
+            (r.index, r.label, r.total_time_s) for r in serial
+        ]
+
+    def test_pool_merges_worker_cache_stats(self, cluster, grid):
+        with SweepRunner(cluster, processes=2) as runner:
+            runner.evaluate(grid)
+            assert runner.report.cache.lookups > 0
+
+    def test_unpicklable_source_falls_back_to_serial(self, cluster, grid):
+        class Closure:
+            """Unpicklable: holds a lambda."""
+
+            def __init__(self):
+                self.f = lambda x: x
+
+            def distribution(self, job, kind, delta, concurrent):
+                v = self.f(2.0)
+                return TaskTimeDistribution(mean=v, median=v, std=0.0, n=0)
+
+        runner = SweepRunner(cluster, source=Closure(), processes=2)
+        results = runner.evaluate(grid)
+        assert all(r.ok for r in results)
+        assert not runner.report.pool_used
+
+    def test_pool_survives_infeasible_candidates(self, cluster, small_ts):
+        # An infeasible candidate must come back as an error result from
+        # the workers, not break the pool (the stub class is module-level,
+        # so the worker context pickles).
+        wf_ok = single_job_workflow(small_ts)
+        wf_bad = single_job_workflow(replace(small_ts, name="bad"))
+        with SweepRunner(cluster, source=_FlakySource(), processes=2) as runner:
+            results = runner.evaluate([wf_ok, wf_bad, wf_ok, wf_bad])
+        assert [r.ok for r in results] == [True, False, True, False]
+
+
+class TestDefaultProcesses:
+    def test_bounds(self):
+        assert 1 <= default_processes() <= 8
+        assert default_processes(cap=2) <= 2
