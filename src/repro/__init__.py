@@ -34,7 +34,19 @@ Quickstart::
 
 Every table and figure of the paper's evaluation has a driver in
 :mod:`repro.experiments` and a benchmark under ``benchmarks/``.
+
+Observability (:mod:`repro.obs`): span tracing (``trace_span``,
+``REPRO_TRACE=1``), a mergeable metrics registry, Perfetto/Chrome trace
+export of simulation runs and the per-state bottleneck attribution report —
+see ``docs/observability.md``.
 """
+
+import logging as _logging
+
+# Library etiquette: ``repro.*`` modules log via logging.getLogger(__name__)
+# and the package root stays silent unless the embedding application (or the
+# CLI's --log-level) configures a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.baselines import (
     BOEPredictor,
@@ -89,6 +101,19 @@ from repro.mapreduce import (
     SkewModel,
     StageKind,
 )
+from repro.obs import (
+    AttributionReport,
+    MetricsRegistry,
+    Tracer,
+    attribute_bottlenecks,
+    configure_logging,
+    enable_tracing,
+    get_metrics,
+    get_tracer,
+    to_chrome_trace,
+    trace_span,
+    write_trace,
+)
 from repro.profiling import JobProfile, ProfileSource, profile_job, profile_workflow
 from repro.progress import ProgressEstimator, ProgressReport, snapshot_at
 from repro.simulator import (
@@ -115,6 +140,17 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AttributionReport",
+    "MetricsRegistry",
+    "Tracer",
+    "attribute_bottlenecks",
+    "configure_logging",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "to_chrome_trace",
+    "trace_span",
+    "write_trace",
     "tune_workflow",
     "spark_sort",
     "spark_pagerank",

@@ -6,6 +6,8 @@ Sub-commands mirror the library's main entry points:
 * ``repro-dag simulate`` — run the ground-truth simulator on it;
 * ``repro-dag compare``  — both, with the accuracy the paper reports;
 * ``repro-dag timeline`` — ASCII Gantt + resource utilisation of a run;
+* ``repro-dag trace``    — simulate, export a Perfetto/Chrome trace and
+  print the per-state bottleneck attribution report;
 * ``repro-dag tune``     — model-driven configuration auto-tuning;
 * ``repro-dag sweep``    — batched what-if sweep over cluster sizes;
 * ``repro-dag fig4 | fig6 | table1 | table2 | table3 | overhead`` — print
@@ -13,8 +15,14 @@ Sub-commands mirror the library's main entry points:
 * ``repro-dag list``     — show the available named workloads.
 
 Named workloads are the Table III identifiers (``WC-Q5``, ``TS-Q21``,
-``WC-TS3R``, ...), plus ``weblog`` (the Fig. 1 DAG) and the Table I micro
-benchmarks (``wc``, ``ts``, ``ts2r``, ``ts3r``).
+``WC-TS3R``, ...), plus ``weblog`` (the Fig. 1 DAG), ``tpch`` (the TPC-H Q5
+join tree) and the Table I micro benchmarks (``wc``, ``ts``, ``ts2r``,
+``ts3r``).
+
+Observability: every sub-command accepts ``--log-level`` (stdlib logging to
+stderr) and ``--metrics`` (print the process metrics registry after the
+command); ``REPRO_TRACE=1`` arms the span tracer for any invocation.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -32,14 +40,16 @@ from repro.dag.workflow import Workflow
 from repro.errors import ReproError
 from repro.mapreduce.task import SkewModel
 from repro.simulator.engine import SimulationConfig, simulate
-from repro.units import format_seconds
+from repro.units import format_seconds, gb
 from repro.workloads.hybrid import micro_workflow, table3_workflows
+from repro.workloads.tpch import tpch_query
 from repro.workloads.weblog import weblog_dag
 
 
 def _named_workflows(scale: float) -> Dict[str, Workflow]:
     out = dict(table3_workflows(scale=scale))
     out["weblog"] = weblog_dag()
+    out["tpch"] = tpch_query(5, dataset_mb=gb(80) * scale)
     for micro in ("wc", "ts", "ts2r", "ts3r"):
         out[micro] = micro_workflow(micro, input_mb=100_000.0 * scale)
     return out
@@ -131,6 +141,43 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     print(render_gantt(result, width=args.width))
     print("\nresource utilisation (0-9 tenths, * = saturated):")
     print(render_utilisation(result, workflow.job_map, cluster, buckets=args.width))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        attribute_bottlenecks,
+        enable_tracing,
+        get_metrics,
+        get_tracer,
+        to_chrome_trace,
+        write_trace,
+    )
+
+    # Arm both surfaces before any instrumented object is built — hooks
+    # resolve at construction time.
+    enable_tracing()
+    get_metrics().enable()
+    cluster = paper_cluster()
+    workflow = _resolve(args.workload, args.scale)
+    result = simulate(
+        workflow, cluster, SimulationConfig(skew=SkewModel(sigma=args.skew))
+    )
+    report = attribute_bottlenecks(workflow, cluster, result)
+    payload = to_chrome_trace(
+        result,
+        tracer=get_tracer(),
+        metrics=get_metrics().snapshot(),
+        attribution=report.to_rows(),
+    )
+    write_trace(args.out, payload)
+    print(f"workflow : {workflow.describe()}")
+    print(f"makespan : {format_seconds(result.makespan)} ({result.makespan:.1f} s), "
+          f"tasks: {len(result.tasks)}, states: {len(result.states)}")
+    print(f"trace    : {args.out} ({len(payload['traceEvents'])} events) — "
+          "load it at https://ui.perfetto.dev or chrome://tracing")
+    print()
+    print(report.render())
     return 0
 
 
@@ -375,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser, workload: bool = True) -> None:
         p.add_argument("--scale", type=float, default=0.05,
                        help="input-volume scale vs the paper (default 0.05)")
+        p.add_argument("--log-level", default=None,
+                       help="stdlib logging level for repro.* loggers "
+                            "(debug/info/warning/...)")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry after the command")
         if workload:
             p.add_argument("workload", help="named workload (see `list`)")
 
@@ -403,6 +455,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skew", type=float, default=0.2)
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser(
+        "trace",
+        help="simulate, write a Perfetto/Chrome trace, print bottleneck "
+             "attribution",
+    )
+    common(p)
+    p.add_argument("--out", default="trace.json",
+                   help="output path for the trace-event JSON "
+                        "(default trace.json)")
+    p.add_argument("--skew", type=float, default=0.2,
+                   help="lognormal skew sigma")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("tune", help="auto-tune a workload's configuration")
     common(p)
@@ -453,8 +518,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "log_level", None):
+        from repro.obs import configure_logging
+
+        try:
+            configure_logging(args.log_level)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    want_metrics = bool(getattr(args, "metrics", False))
+    if want_metrics:
+        from repro.obs import get_metrics
+
+        # Arm before the command constructs any instrumented object.
+        get_metrics().enable()
     try:
-        return args.func(args)
+        rc = args.func(args)
+        if want_metrics and rc == 0:
+            from repro.obs import get_metrics, render_snapshot
+
+            print("\nmetrics:")
+            print(render_snapshot(get_metrics().snapshot()))
+        return rc
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -45,6 +45,7 @@ from repro.errors import EstimationError
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.phases import OpSpec, SubStageSpec, build_task_substages
 from repro.mapreduce.stage import StageKind
+from repro.obs.metrics import get_metrics
 
 #: A stage is treated as staggered once it runs this many waves.
 _STAGGER_WAVES = 1.5
@@ -206,6 +207,18 @@ class BOEModel:
         )
         self._max_entries = max_cache_entries
         self._stats = CacheStats()
+        # Mirror the CacheStats ledger into the process metrics registry
+        # (when armed) so cache behaviour shows up in --metrics output and
+        # worker merges without new plumbing.  Resolved once; None = off.
+        metrics = get_metrics()
+        if metrics.enabled:
+            self._ctr_hits = metrics.counter("boe.cache.hits")
+            self._ctr_misses = metrics.counter("boe.cache.misses")
+            self._ctr_solves = metrics.counter("boe.system_solves")
+        else:
+            self._ctr_hits = None
+            self._ctr_misses = None
+            self._ctr_solves = None
 
     @property
     def cluster(self) -> Cluster:
@@ -441,6 +454,8 @@ class BOEModel:
             hit = self._call_cache.get(call_key)
             if hit is not None:
                 self._stats.hits += 1
+                if self._ctr_hits is not None:
+                    self._ctr_hits.inc()
                 return hit
 
         remote = self._cluster.remote_fraction
@@ -482,11 +497,17 @@ class BOEModel:
             substages = self._cache.get(key)
             if substages is not None:
                 self._stats.hits += 1
+                if self._ctr_hits is not None:
+                    self._ctr_hits.inc()
                 estimate = TaskEstimate(job=job.name, kind=kind, substages=substages)
                 self._store(self._call_cache, call_key, estimate)
                 return estimate
             self._stats.misses += 1
+            if self._ctr_misses is not None:
+                self._ctr_misses.inc()
 
+        if self._ctr_solves is not None:
+            self._ctr_solves.inc()
         self._solve_system(system)
         estimates = tuple(
             self._evaluate(

@@ -20,6 +20,7 @@ The estimator walks the workflow through its states.  Per iteration it
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 from dataclasses import dataclass, field
@@ -39,9 +40,13 @@ from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.stage import StageKind
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 _EPS = 1e-9
 _MAX_ITERATIONS = 100_000
+
+logger = logging.getLogger(__name__)
 
 
 class TaskTimeSource(Protocol):
@@ -231,6 +236,14 @@ class DagEstimator:
         self._variant = variant
         self._policy = policy
         self._enforce_vcores = enforce_vcores
+        # Observability hooks, resolved once (None = fully disabled; see
+        # repro.obs — results never depend on them).
+        tracer = get_tracer()
+        metrics = get_metrics()
+        self._otr = tracer if tracer.enabled else None
+        self._ctr_iterations = (
+            metrics.counter("est.iterations") if metrics.enabled else None
+        )
 
     def _whole_stage_time(
         self,
@@ -275,6 +288,16 @@ class DagEstimator:
         estimation application (see :mod:`repro.progress`).
         """
         t_wall = time.perf_counter()
+        run_span = (
+            self._otr.begin(
+                "est.run",
+                workflow=workflow.name,
+                variant=self._variant.value,
+                resumed=initial is not None,
+            )
+            if self._otr is not None
+            else None
+        )
         running: Dict[str, _StageProgress] = {}
         done: Set[str] = set()
         arrival: Dict[str, int] = {}
@@ -329,6 +352,13 @@ class DagEstimator:
                 raise EstimationError(
                     f"estimator did not converge on {workflow.name!r}"
                 )
+            iter_span = (
+                self._otr.begin(
+                    "est.state", index=iterations, sim_t_start=now
+                )
+                if self._otr is not None
+                else None
+            )
 
             # The scheduler demand cap is the number of *not yet completed*
             # tasks.  Fluid work accounting cannot distinguish "W task
@@ -422,8 +452,30 @@ class DagEstimator:
                     rate = progress.remaining / rests[name]
                     progress.remaining = max(0.0, progress.remaining - dt * rate)
 
+            if iter_span is not None:
+                self._otr.finish(
+                    iter_span,
+                    dt=dt,
+                    finishing=",".join(sorted(finishing)),
+                    still_running=len(running),
+                )
+
         total = now
         overhead = time.perf_counter() - t_wall
+        if self._ctr_iterations is not None:
+            self._ctr_iterations.inc(iterations)
+        if run_span is not None:
+            self._otr.finish(
+                run_span, total_time_s=total, states=len(states)
+            )
+        logger.debug(
+            "estimated %s (%s): t_dag=%.3fs states=%d overhead=%.1fms",
+            workflow.name,
+            self._variant.value,
+            total,
+            len(states),
+            overhead * 1e3,
+        )
         return DagEstimate(
             workflow_name=workflow.name,
             total_time=total,

@@ -1,0 +1,100 @@
+"""Observability: span tracing, metrics, trace export, bottleneck attribution.
+
+The package's models *explain* where time goes inside a simulated cluster;
+this sub-package explains where time goes inside the models themselves and
+renders both onto inspectable surfaces:
+
+* :mod:`repro.obs.tracer` — nested wall+CPU spans (``trace_span``), a true
+  no-op when disabled; armed by ``REPRO_TRACE=1`` or the CLI.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms with
+  ``snapshot``/``merge`` so pool workers ship their numbers home.
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON rendering of
+  a :class:`~repro.simulator.trace.SimulationResult` (and tracer spans).
+* :mod:`repro.obs.attribution` — the per-state ``p_X`` bottleneck table
+  joining BOE utilisations with observed state occupancy.
+* :mod:`repro.obs.logsetup` — stdlib ``logging`` wiring for the package.
+
+The tracer/metrics/logging primitives import eagerly (they are leaves the
+instrumented hot paths depend on); the export and attribution layers load
+lazily via module ``__getattr__`` because they import the very model modules
+(:mod:`repro.core.boe`, :mod:`repro.simulator`) that are themselves
+instrumented — an eager import here would be circular.
+
+See ``docs/observability.md`` for the guided tour.
+"""
+
+from repro.obs.logsetup import configure_logging, package_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    render_snapshot,
+    set_metrics,
+    snapshot_delta,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    env_truthy,
+    get_tracer,
+    set_tracer,
+    trace_span,
+)
+
+_LAZY = {
+    "AttributionReport": "repro.obs.attribution",
+    "StageAttribution": "repro.obs.attribution",
+    "StateAttribution": "repro.obs.attribution",
+    "attribute_bottlenecks": "repro.obs.attribution",
+    "simulation_events": "repro.obs.export",
+    "to_chrome_trace": "repro.obs.export",
+    "validate_trace_events": "repro.obs.export",
+    "write_trace": "repro.obs.export",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "AttributionReport",
+    "StageAttribution",
+    "StateAttribution",
+    "attribute_bottlenecks",
+    "simulation_events",
+    "to_chrome_trace",
+    "validate_trace_events",
+    "write_trace",
+    "configure_logging",
+    "package_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "render_snapshot",
+    "set_metrics",
+    "snapshot_delta",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "env_truthy",
+    "get_tracer",
+    "set_tracer",
+    "trace_span",
+]

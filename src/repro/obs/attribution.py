@@ -1,0 +1,281 @@
+"""Per-state bottleneck attribution — the paper's ``p_X`` table, surfaced.
+
+BOE already decides, for every sub-stage, which resource is the bottleneck
+and at what fraction ``p_X = t_X / t_sigma`` each non-bottleneck resource
+idles (§III, Eq. 3-5 and the Fig. 4 walk-through).  The simulator already
+knows, for every workflow state, which stages ran and at what observed
+parallelism.  Neither surfaces the join: *which resource bounds each state,
+and by how much*.  This module computes that join:
+
+1. For every :class:`~repro.simulator.trace.StateTrace` in a simulation
+   result, measure each running stage's observed parallelism inside the
+   state window (time-averaged task overlap — the empirical ``Delta_i``).
+2. Re-ask :class:`~repro.core.boe.BOEModel` for each stage's task estimate
+   under exactly that competition, keeping the per-resource utilisations of
+   the dominant sub-stage (the ``p_X`` vector).
+3. Join with the observed median task time in the state
+   (:func:`repro.simulator.metrics.median_task_time_in_state`) so the model
+   verdict sits next to the measurement it explains.
+
+The state's overall bottleneck is the bottleneck of its *pacing* stage —
+the running stage with the longest estimated task time, i.e. the one whose
+progress gates the state transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import render_table
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import PREEMPTABLE_RESOURCES, Resource
+from repro.core.boe import BOEModel
+from repro.dag.workflow import Workflow
+from repro.mapreduce.stage import StageKind
+from repro.simulator.metrics import median_task_time_in_state
+from repro.simulator.trace import SimulationResult, StateTrace
+
+__all__ = [
+    "StageAttribution",
+    "StateAttribution",
+    "AttributionReport",
+    "attribute_bottlenecks",
+]
+
+
+@dataclass(frozen=True)
+class StageAttribution:
+    """One running stage's bottleneck verdict inside one workflow state.
+
+    Attributes:
+        job: job name.
+        kind: MAP or REDUCE.
+        observed_delta: time-averaged number of this stage's tasks in flight
+            during the state window (the empirical ``Delta_i``).
+        dominant_substage: name of the sub-stage that dominates the task
+            timeline under this state's competition.
+        bottleneck: the dominant sub-stage's bottleneck resource.
+        utilisation: ``p_X`` per preemptable resource for the dominant
+            sub-stage (1.0 for the bottleneck, < 1 for overlapped resources,
+            0.0 for resources the sub-stage does not touch).
+        model_task_s: BOE's full-task time estimate under this competition.
+        observed_task_s: median observed task work-time attributed to the
+            state (None when no task ran mostly inside the window).
+    """
+
+    job: str
+    kind: StageKind
+    observed_delta: float
+    dominant_substage: str
+    bottleneck: Resource
+    utilisation: Dict[Resource, float]
+    model_task_s: float
+    observed_task_s: Optional[float]
+
+    @property
+    def stage_label(self) -> str:
+        return f"{self.job}/{self.kind.value}"
+
+    def to_row(self) -> Dict:
+        return {
+            "job": self.job,
+            "kind": self.kind.value,
+            "observed_delta": self.observed_delta,
+            "dominant_substage": self.dominant_substage,
+            "bottleneck": self.bottleneck.value,
+            "utilisation": {r.value: p for r, p in self.utilisation.items()},
+            "model_task_s": self.model_task_s,
+            "observed_task_s": self.observed_task_s,
+        }
+
+
+@dataclass(frozen=True)
+class StateAttribution:
+    """The bottleneck verdict for one workflow state.
+
+    Attributes:
+        index: state index (Algorithm 1 / Fig. 5 numbering).
+        t_start, t_end: state window in simulated seconds.
+        stages: one :class:`StageAttribution` per running stage.
+        bottleneck: the pacing stage's bottleneck — the resource that bounds
+            this state.
+        utilisation: the pacing stage's ``p_X`` vector.
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    stages: Tuple[StageAttribution, ...]
+    bottleneck: Resource
+    utilisation: Dict[Resource, float]
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_row(self) -> Dict:
+        return {
+            "state": self.index,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "bottleneck": self.bottleneck.value,
+            "utilisation": {r.value: p for r, p in self.utilisation.items()},
+            "stages": [s.to_row() for s in self.stages],
+        }
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """Bottleneck attribution for every state of one simulated run."""
+
+    workflow_name: str
+    states: Tuple[StateAttribution, ...]
+
+    def to_rows(self) -> List[Dict]:
+        """JSON-safe rows (embedded in trace files under ``otherData``)."""
+        return [s.to_row() for s in self.states]
+
+    def render(self) -> str:
+        """The ``p_X`` table: one line per (state, running stage)."""
+        headers = [
+            "state",
+            "window [s]",
+            "stage",
+            "Δ_obs",
+            "substage",
+            "bottleneck",
+            *[f"p_{r.value}" for r in PREEMPTABLE_RESOURCES],
+            "t_model [s]",
+            "t_obs [s]",
+        ]
+        rows: List[List] = []
+        for state in self.states:
+            window = f"{state.t_start:.1f}-{state.t_end:.1f}"
+            for i, stage in enumerate(state.stages):
+                pacing = stage.bottleneck is state.bottleneck and (
+                    stage.utilisation == state.utilisation
+                )
+                rows.append(
+                    [
+                        state.index if i == 0 else None,
+                        window if i == 0 else None,
+                        stage.stage_label + (" *" if pacing else ""),
+                        round(stage.observed_delta, 1),
+                        stage.dominant_substage,
+                        stage.bottleneck.value,
+                        *[
+                            stage.utilisation.get(r, 0.0)
+                            for r in PREEMPTABLE_RESOURCES
+                        ],
+                        stage.model_task_s,
+                        stage.observed_task_s,
+                    ]
+                )
+        table = render_table(
+            headers,
+            rows,
+            title=f"bottleneck attribution — {self.workflow_name}"
+            " (* = pacing stage; p_X = 1 marks the bottleneck)",
+            precision=2,
+        )
+        return table
+
+
+def _observed_delta(
+    result: SimulationResult, state: StateTrace, job: str, kind: StageKind
+) -> float:
+    """Time-averaged number of the stage's tasks in flight in the window."""
+    if state.duration <= 0:
+        return 0.0
+    overlap = 0.0
+    for task in result.tasks_of(job, kind):
+        lo = max(task.t_start, state.t_start)
+        hi = min(task.t_end, state.t_end)
+        if hi > lo:
+            overlap += hi - lo
+    return overlap / state.duration
+
+
+def _substage_utilisation(estimate) -> Dict[Resource, float]:
+    """Per-resource ``p_X`` of one sub-stage estimate.
+
+    Several operations on one resource serialise and share the resource's
+    aggregate utilisation (BOE computes it that way), so max == the value.
+    """
+    util: Dict[Resource, float] = {}
+    for op in estimate.ops:
+        current = util.get(op.resource, 0.0)
+        if op.utilisation > current:
+            util[op.resource] = op.utilisation
+    return util
+
+
+def attribute_bottlenecks(
+    workflow: Workflow,
+    cluster: Cluster,
+    result: SimulationResult,
+    model: Optional[BOEModel] = None,
+    refine: bool = False,
+) -> AttributionReport:
+    """Build the per-state bottleneck attribution report.
+
+    Args:
+        workflow: the workflow that was simulated (supplies job specs).
+        cluster: the cluster it ran on.
+        result: the simulation trace to attribute.
+        model: reuse an existing BOE model (and its cache); by default a
+            fresh one is built with the given ``refine`` setting.
+        refine: partial-usage refinement for the default model
+            (see :class:`~repro.core.boe.BOEModel`).
+    """
+    if model is None:
+        model = BOEModel(cluster, refine=refine)
+    job_map = workflow.job_map
+    state_rows: List[StateAttribution] = []
+    for state in result.states:
+        running = sorted(state.running, key=lambda jk: (jk[0], jk[1].value))
+        deltas = {
+            (job, kind): _observed_delta(result, state, job, kind)
+            for job, kind in running
+        }
+        stage_rows: List[StageAttribution] = []
+        for job, kind in running:
+            delta = max(1.0, deltas[(job, kind)])
+            concurrent = [
+                (job_map[oj], ok, max(1.0, deltas[(oj, ok)]))
+                for oj, ok in running
+                if (oj, ok) != (job, kind)
+            ]
+            estimate = model.task_time(job_map[job], kind, delta, concurrent)
+            dominant = max(estimate.substages, key=lambda s: s.duration)
+            stage_rows.append(
+                StageAttribution(
+                    job=job,
+                    kind=kind,
+                    observed_delta=deltas[(job, kind)],
+                    dominant_substage=dominant.name,
+                    bottleneck=dominant.bottleneck,
+                    utilisation=_substage_utilisation(dominant),
+                    model_task_s=estimate.duration,
+                    observed_task_s=median_task_time_in_state(
+                        result, state, job, kind
+                    ),
+                )
+            )
+        if not stage_rows:
+            continue
+        pacing = max(stage_rows, key=lambda s: s.model_task_s)
+        state_rows.append(
+            StateAttribution(
+                index=state.index,
+                t_start=state.t_start,
+                t_end=state.t_end,
+                stages=tuple(stage_rows),
+                bottleneck=pacing.bottleneck,
+                utilisation=dict(pacing.utilisation),
+            )
+        )
+    return AttributionReport(
+        workflow_name=result.workflow_name, states=tuple(state_rows)
+    )

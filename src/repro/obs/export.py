@@ -1,0 +1,325 @@
+"""Chrome trace-event / Perfetto JSON export of simulation runs.
+
+A :class:`~repro.simulator.trace.SimulationResult` already contains a full
+cluster timeline — when every task attempt ran, on which node, through which
+sub-stages, and which workflow state was in effect — but until now the only
+way to look at it was ASCII.  This module renders it in the `trace-event
+format <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``ui.perfetto.dev`` and ``chrome://tracing``:
+
+* one *process* (track group) per cluster node, one *thread* (lane) per
+  concurrently running container slot — tasks are packed greedily into
+  lanes so overlapping attempts never share a lane;
+* every task attempt is a complete-event slice; its sub-stages are nested
+  slices contained within it;
+* workflow states are slices on a dedicated ``workflow`` track (the Fig. 5
+  timeline, directly navigable);
+* failed attempts are flagged: instant events mark each failure, and the
+  surviving attempt's slice carries ``attempt``/``retried`` args;
+* a ``running_tasks`` counter track shows cluster occupancy over time;
+* spans recorded by the process-global tracer (model wall/CPU time) join
+  as one extra process, so "where did the *simulated* time go" and "where
+  did the *model's own* time go" live in one file.
+
+Simulated seconds map to trace microseconds 1:1 (1 s -> 1e6 ticks), so the
+Perfetto ruler reads in simulated seconds directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.mapreduce.stage import StageKind
+from repro.obs.tracer import Tracer, get_tracer
+from repro.simulator.trace import SimulationResult, TaskTrace
+
+__all__ = [
+    "simulation_events",
+    "to_chrome_trace",
+    "write_trace",
+    "validate_trace_events",
+]
+
+#: pid of the workflow-level track (states, failures, counters).
+WORKFLOW_PID = 1
+#: pid of the first cluster node; node ``i`` gets ``NODE_PID_BASE + i``.
+NODE_PID_BASE = 10
+#: pid of the tracer-span process.
+TRACER_PID = 2
+
+
+def _sec_to_us(t: float) -> float:
+    return t * 1e6
+
+
+def _task_id(task: TaskTrace) -> str:
+    prefix = "m" if task.kind is StageKind.MAP else "r"
+    return f"{task.job}/{prefix}{task.index}"
+
+
+def _assign_lanes(tasks: Sequence[TaskTrace]) -> Dict[Tuple[str, StageKind, int], int]:
+    """Greedy interval packing: overlapping tasks get distinct lanes."""
+    lanes: Dict[Tuple[str, StageKind, int], int] = {}
+    # (t_end, lane) heap of busy lanes; reuse the lowest-numbered free lane.
+    busy: List[Tuple[float, int]] = []
+    free: List[int] = []
+    next_lane = 0
+    eps = 1e-12
+    for task in sorted(tasks, key=lambda t: (t.t_start, t.job, t.index)):
+        while busy and busy[0][0] <= task.t_start + eps:
+            _, lane = heapq.heappop(busy)
+            heapq.heappush(free, lane)
+        if free:
+            lane = heapq.heappop(free)
+        else:
+            lane = next_lane
+            next_lane += 1
+        lanes[(task.job, task.kind, task.index)] = lane
+        heapq.heappush(busy, (task.t_end, lane))
+    return lanes
+
+
+def simulation_events(result: SimulationResult) -> List[dict]:
+    """Render one simulation trace as a list of Chrome trace events."""
+    events: List[dict] = []
+
+    # Attempt bookkeeping: how many attempts each task id consumed.  The
+    # trace records failures as (task_id, attempt, t_fail); the surviving
+    # attempt in ``tasks`` is therefore attempt ``max + 1``.
+    failures_of: Dict[str, List[Tuple[int, float]]] = {}
+    for task_id, attempt, t_fail in result.failed_attempts:
+        failures_of.setdefault(task_id, []).append((attempt, t_fail))
+
+    # -- workflow track: states, failures, occupancy counter -------------------
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": WORKFLOW_PID,
+            "tid": 0,
+            "args": {"name": f"workflow {result.workflow_name}"},
+        }
+    )
+    events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": WORKFLOW_PID,
+            "tid": 0,
+            "args": {"name": "states"},
+        }
+    )
+    for state in result.states:
+        running = sorted(f"{job}/{kind.value}" for job, kind in state.running)
+        events.append(
+            {
+                "name": f"S{state.index} " + "+".join(running),
+                "cat": "state",
+                "ph": "X",
+                "ts": _sec_to_us(state.t_start),
+                "dur": _sec_to_us(state.duration),
+                "pid": WORKFLOW_PID,
+                "tid": 0,
+                "args": {"state": state.index, "running": running},
+            }
+        )
+    if result.failed_attempts:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": WORKFLOW_PID,
+                "tid": 1,
+                "args": {"name": "failures"},
+            }
+        )
+        for task_id, attempt, t_fail in result.failed_attempts:
+            events.append(
+                {
+                    "name": f"fail {task_id}#{attempt}",
+                    "cat": "failure",
+                    "ph": "i",
+                    "ts": _sec_to_us(t_fail),
+                    "pid": WORKFLOW_PID,
+                    "tid": 1,
+                    "s": "p",
+                    "args": {"task": task_id, "attempt": attempt},
+                }
+            )
+    # Occupancy counter, sampled at every task boundary.
+    edges: List[Tuple[float, int]] = []
+    for task in result.tasks:
+        edges.append((task.t_start, 1))
+        edges.append((task.t_end, -1))
+    running_now = 0
+    for t, delta in sorted(edges):
+        running_now += delta
+        events.append(
+            {
+                "name": "running_tasks",
+                "cat": "occupancy",
+                "ph": "C",
+                "ts": _sec_to_us(t),
+                "pid": WORKFLOW_PID,
+                "tid": 0,
+                "args": {"tasks": running_now},
+            }
+        )
+
+    # -- node tracks: task attempts with nested sub-stages ---------------------
+    by_node: Dict[int, List[TaskTrace]] = {}
+    for task in result.tasks:
+        by_node.setdefault(task.node, []).append(task)
+    for node in sorted(by_node):
+        pid = NODE_PID_BASE + node
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"node {node}"},
+            }
+        )
+        lanes = _assign_lanes(by_node[node])
+        for task in by_node[node]:
+            tid = lanes[(task.job, task.kind, task.index)]
+            task_id = _task_id(task)
+            fails = failures_of.get(task_id, ())
+            attempt = max((a for a, _ in fails), default=0) + 1
+            args: Dict[str, Any] = {
+                "task": task_id,
+                "input_mb": round(task.input_mb, 3),
+                "t_ready": task.t_ready,
+                "attempt": attempt,
+            }
+            if fails:
+                args["retried"] = True
+                args["failed_attempts"] = len(fails)
+            events.append(
+                {
+                    "name": task_id,
+                    "cat": "task" if not fails else "task,retried",
+                    "ph": "X",
+                    "ts": _sec_to_us(task.t_start),
+                    "dur": _sec_to_us(task.duration),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for sub in task.substages:
+                events.append(
+                    {
+                        "name": sub.name,
+                        "cat": "substage",
+                        "ph": "X",
+                        "ts": _sec_to_us(sub.t_start),
+                        "dur": _sec_to_us(sub.duration),
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"task": task_id},
+                    }
+                )
+    return events
+
+
+def to_chrome_trace(
+    result: SimulationResult,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    attribution: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> dict:
+    """Assemble the full trace document (JSON-object trace-event format).
+
+    Args:
+        result: the simulation run to render.
+        tracer: include this tracer's finished spans as an extra process
+            (defaults to the process-global tracer when it recorded any).
+        metrics: a metrics snapshot embedded under ``otherData.metrics``.
+        attribution: bottleneck-attribution rows embedded under
+            ``otherData.bottleneck_attribution``
+            (see :mod:`repro.obs.attribution`).
+    """
+    events = simulation_events(result)
+    if tracer is None:
+        tracer = get_tracer()
+    if tracer.span_count:
+        events.extend(tracer.to_events(pid=TRACER_PID))
+    other: Dict[str, Any] = {
+        "workflow": result.workflow_name,
+        "makespan_s": result.makespan,
+        "tasks": len(result.tasks),
+        "states": len(result.states),
+        "failed_attempts": len(result.failed_attempts),
+    }
+    if metrics is not None:
+        other["metrics"] = dict(metrics)
+    if attribution is not None:
+        other["bottleneck_attribution"] = list(attribution)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_trace(path: str, payload: dict) -> None:
+    """Write a trace document produced by :func:`to_chrome_trace`."""
+    problems = validate_trace_events(payload)
+    if problems:
+        raise ValueError(f"refusing to write an invalid trace: {problems[:3]}")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+
+
+#: Required keys per event phase, beyond the universal ``ph``/``pid``/``tid``.
+_PHASE_KEYS = {
+    "X": ("name", "ts", "dur"),
+    "i": ("name", "ts"),
+    "C": ("name", "ts", "args"),
+    "M": ("name", "args"),
+}
+
+
+def validate_trace_events(payload: Any) -> List[str]:
+    """Structural validation against the trace-event format.
+
+    Returns a list of problems (empty = valid).  Used by the CI smoke test
+    and by :func:`write_trace`; intentionally strict about the subset this
+    exporter emits rather than the whole, looser, Chrome spec.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["payload must be an object with a 'traceEvents' array"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["'traceEvents' must be a non-empty array"]
+    for i, event in enumerate(events):
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASE_KEYS:
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        for key in _PHASE_KEYS[ph]:
+            if key not in event:
+                problems.append(f"{where}: phase {ph!r} requires {key!r}")
+        for key in ("ts", "dur"):
+            if key in event:
+                value = event[key]
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"{where}: {key} must be a number >= 0")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems

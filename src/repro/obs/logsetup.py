@@ -1,0 +1,59 @@
+"""Logging wiring for the ``repro`` package.
+
+Every module gets its logger via ``logging.getLogger(__name__)``, all of
+which hang under the ``"repro"`` root logger.  The package itself attaches
+only a :class:`logging.NullHandler` (library etiquette — importing ``repro``
+never configures logging for the embedding application); the CLI calls
+:func:`configure_logging` when the user passes ``--log-level``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+__all__ = ["configure_logging", "package_logger"]
+
+#: Name of the package root logger every ``repro.*`` module logger rolls up to.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def package_logger() -> logging.Logger:
+    """The ``repro`` root logger (NullHandler-backed until configured)."""
+    return logging.getLogger(ROOT_LOGGER)
+
+
+def configure_logging(
+    level: Union[int, str],
+    stream=None,
+    fmt: Optional[str] = None,
+) -> logging.Logger:
+    """Attach a stream handler to the package root logger.
+
+    Idempotent: a handler previously installed by this function is replaced,
+    not duplicated, so repeated CLI invocations in one process (tests) don't
+    multiply output lines.
+
+    Args:
+        level: a :mod:`logging` level name ("debug", "INFO", ...) or number.
+        stream: destination (default ``sys.stderr`` — stdout carries results).
+        fmt: log-record format override.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.strip().upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = numeric
+    logger = package_logger()
+    logger.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    handler.set_name("repro-cli")
+    for existing in list(logger.handlers):
+        if existing.get_name() == handler.get_name():
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    return logger

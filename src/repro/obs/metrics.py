@@ -1,0 +1,285 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Instrumented code (the simulator engine, the BOE model's cache, the sweep
+runner, the tuner) records *what happened how often* here; spans
+(:mod:`repro.obs.tracer`) record *where the time went*.  The registry is
+designed around two constraints:
+
+* **Near-zero cost when disabled.**  Hot paths resolve their instruments
+  once at construction time and only touch them behind an
+  ``if registry.enabled`` captured flag, so a disabled run performs no
+  metric work at all (``benchmarks/bench_obs_overhead.py`` enforces this).
+* **Mergeable across processes.**  :meth:`MetricsRegistry.snapshot`
+  produces a plain-dict, picklable image; :func:`snapshot_delta` subtracts
+  a "before" image; :meth:`MetricsRegistry.merge` folds a delta back in.
+  :class:`~repro.sweep.SweepRunner` uses exactly this trio to ship worker
+  metrics back to the parent with deterministic results.
+
+Metric names are dotted, lowercase, and stable — they are part of the
+observable API (see ``docs/observability.md`` for the catalogue).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.tracer import env_truthy
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "snapshot_delta",
+    "render_snapshot",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins float (e.g. a cache's current size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A streaming summary (count/sum/min/max) of observed values.
+
+    Full bucketed histograms are overkill for the package's needs; the
+    four summary moments merge exactly across processes, which bucket
+    boundaries would complicate for no current consumer.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily on first use.
+
+    The ``enabled`` flag is advisory: the registry always works, but
+    instrumented code consults the flag at construction time and skips all
+    metric work when it is off.  Enable the registry *before* building the
+    objects you want instrumented (the CLI does this in ``main``).
+    """
+
+    def __init__(self, enabled: bool = False):
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- instruments -----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A plain-dict, picklable image of every instrument."""
+        with self._lock:
+            out: Dict[str, Dict[str, Any]] = {}
+            for name, c in self._counters.items():
+                out[name] = c.snapshot()
+            for name, g in self._gauges.items():
+                out[name] = g.snapshot()
+            for name, h in self._histograms.items():
+                out[name] = h.snapshot()
+            return out
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a snapshot (typically a worker's delta) into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming value
+        (last-wins — callers merge worker snapshots in deterministic order).
+        """
+        for name, image in snapshot.items():
+            kind = image.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(image["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(image["value"]))
+            elif kind == "histogram":
+                h = self.histogram(name)
+                count = int(image["count"])
+                if count:
+                    h.count += count
+                    h.total += float(image["sum"])
+                    lo, hi = image.get("min"), image.get("max")
+                    if lo is not None and lo < h.min:
+                        h.min = float(lo)
+                    if hi is not None and hi > h.max:
+                        h.max = float(hi)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def snapshot_delta(
+    after: Mapping[str, Mapping[str, Any]],
+    before: Mapping[str, Mapping[str, Any]],
+) -> Dict[str, Dict[str, Any]]:
+    """The activity between two snapshots of the same registry.
+
+    Counters and histogram count/sum subtract; gauges and histogram
+    min/max keep the ``after`` value (they are not differential).
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, image in after.items():
+        prior = before.get(name)
+        kind = image.get("type")
+        if prior is None:
+            out[name] = dict(image)
+            continue
+        if kind == "counter":
+            value = int(image["value"]) - int(prior["value"])
+            if value:
+                out[name] = {"type": "counter", "value": value}
+        elif kind == "gauge":
+            out[name] = dict(image)
+        elif kind == "histogram":
+            count = int(image["count"]) - int(prior["count"])
+            if count:
+                out[name] = {
+                    "type": "histogram",
+                    "count": count,
+                    "sum": float(image["sum"]) - float(prior["sum"]),
+                    "min": image.get("min"),
+                    "max": image.get("max"),
+                }
+    return out
+
+
+def render_snapshot(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Human-readable, sorted rendering for ``--metrics`` CLI output."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    lines: List[str] = []
+    width = max(len(name) for name in snapshot)
+    for name in sorted(snapshot):
+        image = snapshot[name]
+        kind = image.get("type")
+        if kind == "counter":
+            body = f"{image['value']}"
+        elif kind == "gauge":
+            body = f"{image['value']:g}"
+        else:
+            count = image.get("count", 0)
+            if count:
+                mean = float(image["sum"]) / count
+                body = (
+                    f"n={count} mean={mean:g} "
+                    f"min={image['min']:g} max={image['max']:g}"
+                )
+            else:
+                body = "n=0"
+        lines.append(f"{name.ljust(width)}  {body}")
+    return "\n".join(lines)
+
+
+#: The process-global registry; ``REPRO_METRICS=1`` (or ``REPRO_TRACE=1`` —
+#: a trace without its counters is half a story) arms it at import time.
+_GLOBAL_METRICS = MetricsRegistry(
+    enabled=env_truthy("REPRO_METRICS") or env_truthy("REPRO_TRACE")
+)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry; returns the old one."""
+    global _GLOBAL_METRICS
+    old, _GLOBAL_METRICS = _GLOBAL_METRICS, registry
+    return old

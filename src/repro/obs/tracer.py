@@ -1,0 +1,345 @@
+"""Span tracing for the model/simulator hot paths.
+
+The repo's ROADMAP wants the engine "as fast as the hardware allows"; you
+cannot optimise hot paths you cannot measure.  This module provides the
+measurement primitive: a *span* is a named, nested, wall+CPU-timed interval
+with structured attributes, recorded by a process-global :class:`Tracer`.
+
+Design constraints (enforced by ``benchmarks/bench_obs_overhead.py``):
+
+* **True no-op when disabled.**  ``Tracer.span()`` on a disabled tracer
+  returns a shared singleton whose ``__enter__``/``__exit__`` do nothing and
+  allocate nothing; ``Tracer.begin()`` returns ``None``.  Instrumented code
+  on hot paths caches ``tracer if tracer.enabled else None`` once and guards
+  every hook with ``if tracer is not None`` — the disabled cost is a single
+  predicated branch.
+* **Never perturbs results.**  Spans only *read* timestamps; no simulation
+  or estimation arithmetic may depend on them, so instrumented and
+  uninstrumented runs are bit-identical.
+
+Enabling: ``REPRO_TRACE=1`` in the environment (read at import), the CLI's
+``repro-dag trace`` subcommand, or :func:`enable_tracing` /
+:meth:`Tracer.enable` programmatically.
+
+Usage::
+
+    from repro.obs import trace_span
+
+    with trace_span("sweep.batch", candidates=64) as span:
+        ...
+        span.set(pooled=True)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "trace_span",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "env_truthy",
+]
+
+
+def env_truthy(name: str) -> bool:
+    """Is the environment variable set to a truthy value (``1``/``true``...)?"""
+    value = os.environ.get(name, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+class Span:
+    """One finished-or-open traced interval.
+
+    Attributes:
+        name: span name (dotted, e.g. ``"sim.state"``).
+        span_id: unique id within the tracer.
+        parent_id: enclosing span's id on the same thread (None at top level).
+        depth: nesting depth on its thread (0 at top level).
+        thread_id: ``threading.get_ident()`` of the opening thread.
+        t_start, t_end: wall-clock bounds (``time.perf_counter`` seconds);
+            ``t_end`` is ``None`` while the span is open.
+        cpu_start, cpu_end: process CPU clock bounds (``time.process_time``).
+        attrs: structured attributes, set at open time and via :meth:`set`.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "thread_id",
+        "t_start",
+        "t_end",
+        "cpu_start",
+        "cpu_end",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+        thread_id: int,
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.thread_id = thread_id
+        self.t_start = time.perf_counter()
+        self.t_end: Optional[float] = None
+        self.cpu_start = time.process_time()
+        self.cpu_end: Optional[float] = None
+        self.attrs = attrs
+
+    # -- context-manager protocol (the ``with trace_span(...)`` form) ---------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self.attrs.pop("__tracer__", None)
+        if tracer is not None:
+            if exc_type is not None:
+                self.attrs["error"] = exc_type.__name__
+            tracer.finish(self)
+        return False
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) structured attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration in seconds (0 while still open)."""
+        return (self.t_end - self.t_start) if self.t_end is not None else 0.0
+
+    @property
+    def cpu_s(self) -> float:
+        """Process-CPU duration in seconds (0 while still open)."""
+        return (self.cpu_end - self.cpu_start) if self.cpu_end is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = f"{self.wall_s * 1e3:.3f} ms" if self.t_end is not None else "open"
+        return f"Span({self.name!r}, {state}, depth={self.depth})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-global span recorder.
+
+    Spans nest per thread (a thread-local stack supplies parent/depth).
+    Finished spans are kept in memory up to ``max_spans``; further spans are
+    counted in :attr:`dropped` but not stored, so a runaway loop cannot
+    exhaust memory.
+
+    Args:
+        enabled: record spans; a disabled tracer is a true no-op.
+        max_spans: retention bound for finished spans.
+    """
+
+    def __init__(self, enabled: bool = False, max_spans: int = 1_000_000):
+        self._enabled = bool(enabled)
+        self._max_spans = max_spans
+        self._spans: List[Span] = []
+        self._dropped = 0
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: perf_counter origin used by exporters for relative timestamps.
+        self.epoch = time.perf_counter()
+        self.cpu_epoch = time.process_time()
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after the retention bound filled up."""
+        return self._dropped
+
+    # -- recording -------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self, name: str, **attrs: Any) -> Optional[Span]:
+        """Open a span for explicit (non-lexical) lifetimes.
+
+        Returns ``None`` when disabled; pair with :meth:`finish`, which
+        accepts ``None`` so callers need no extra guard.
+        """
+        if not self._enabled:
+            return None
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            name,
+            span_id,
+            parent.span_id if parent is not None else None,
+            len(stack),
+            threading.get_ident(),
+            attrs,
+        )
+        stack.append(span)
+        return span
+
+    def finish(self, span: Optional[Span], **attrs: Any) -> None:
+        """Close a span opened with :meth:`begin` (``None`` is a no-op)."""
+        if span is None:
+            return
+        if attrs:
+            span.attrs.update(attrs)
+        span.t_end = time.perf_counter()
+        span.cpu_end = time.process_time()
+        stack = self._stack()
+        if span in stack:  # tolerate out-of-order finishes
+            stack.remove(span)
+        with self._lock:
+            if len(self._spans) < self._max_spans:
+                self._spans.append(span)
+            else:
+                self._dropped += 1
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span as a context manager (the primary API)."""
+        if not self._enabled:
+            return _NULL_SPAN
+        span = self.begin(name, **attrs)
+        assert span is not None
+        span.attrs["__tracer__"] = self
+        return span
+
+    # -- inspection ------------------------------------------------------------
+
+    def snapshot(self) -> List[Span]:
+        """The finished spans recorded so far (a copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def span_count(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def to_events(self, pid: int = 0, process_name: str = "repro model") -> List[dict]:
+        """Finished spans as Chrome trace-event ``X`` slices.
+
+        Timestamps are microseconds relative to the tracer's epoch; each
+        OS thread becomes one track.  Open spans are skipped.
+        """
+        spans = self.snapshot()
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        tids = sorted({s.thread_id for s in spans})
+        tid_of = {thread: idx for idx, thread in enumerate(tids)}
+        for span in spans:
+            if span.t_end is None:
+                continue
+            args = {
+                k: v if isinstance(v, (bool, int, float, str)) or v is None else str(v)
+                for k, v in span.attrs.items()
+            }
+            args["cpu_ms"] = round(span.cpu_s * 1e3, 6)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": (span.t_start - self.epoch) * 1e6,
+                    "dur": span.wall_s * 1e6,
+                    "pid": pid,
+                    "tid": tid_of[span.thread_id],
+                    "args": args,
+                }
+            )
+        return events
+
+
+#: The process-global tracer; ``REPRO_TRACE=1`` arms it at import time.
+_GLOBAL_TRACER = Tracer(enabled=env_truthy("REPRO_TRACE"))
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-global tracer (tests, workers); returns the old one."""
+    global _GLOBAL_TRACER
+    old, _GLOBAL_TRACER = _GLOBAL_TRACER, tracer
+    return old
+
+
+def enable_tracing() -> Tracer:
+    """Arm the global tracer and return it."""
+    _GLOBAL_TRACER.enable()
+    return _GLOBAL_TRACER
+
+
+def disable_tracing() -> None:
+    _GLOBAL_TRACER.disable()
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a span on the process-global tracer (no-op singleton when off)."""
+    return _GLOBAL_TRACER.span(name, **attrs)

@@ -40,6 +40,7 @@ Two event loops are provided, selected by ``SimulationConfig.engine``:
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -52,6 +53,8 @@ from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.phases import SubStageSpec, build_task_substages
 from repro.mapreduce.stage import StageKind
 from repro.mapreduce.task import NO_SKEW, SkewModel, TaskSpec, build_task_specs
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.simulator.failures import NO_FAILURES, FailureModel
 from repro.scheduler.container import container_for
 from repro.scheduler.yarn import YarnPlacer
@@ -67,6 +70,8 @@ from repro.simulator.trace import (
 
 _EPS = 1e-9
 _TIME_TOL = 1e-7
+
+logger = logging.getLogger(__name__)
 
 #: Recognised values of :attr:`SimulationConfig.engine`.
 ENGINES = ("fast", "reference")
@@ -294,13 +299,52 @@ class Simulator:
             Tuple[str, StageKind, float], List[SubStageSpec]
         ] = {}
 
+        # Observability hooks resolve to None when disabled, so every hot-path
+        # hook is a single predicated attribute test (the overhead budget in
+        # benchmarks/bench_obs_overhead.py depends on this).  Spans/metrics
+        # only *read* clocks and counts; no simulation arithmetic may ever
+        # depend on them — instrumented runs stay bit-identical.
+        tracer = get_tracer()
+        metrics = get_metrics()
+        self._otr = tracer if tracer.enabled else None
+        self._state_span = None
+        if metrics.enabled:
+            self._ctr_launched = metrics.counter("sim.tasks_launched")
+            self._ctr_failed = metrics.counter("sim.attempts_failed")
+            self._ctr_solves = metrics.counter("sim.node_solves")
+            self._ctr_events = metrics.counter("sim.events")
+            self._ctr_deadlines = metrics.counter("sim.deadline_fires")
+            self._ctr_sched = metrics.counter("sim.scheduler_decisions")
+            self._hist_state = metrics.histogram("sim.state_duration_s")
+        else:
+            self._ctr_launched = None
+            self._ctr_failed = None
+            self._ctr_solves = None
+            self._ctr_events = None
+            self._ctr_deadlines = None
+            self._ctr_sched = None
+            self._hist_state = None
+
     # -- public API --------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         """Execute the workflow to completion and return its trace."""
-        if self._fast:
-            return self._run_fast()
-        return self._run_reference()
+        if self._otr is None:
+            return self._run_fast() if self._fast else self._run_reference()
+        with self._otr.span(
+            "sim.run",
+            workflow=self._workflow.name,
+            engine=self._config.engine,
+            workers=self._cluster.workers,
+        ) as span:
+            result = self._run_fast() if self._fast else self._run_reference()
+            span.set(
+                makespan_s=result.makespan,
+                tasks=len(result.tasks),
+                states=len(result.states),
+                failed_attempts=len(result.failed_attempts),
+            )
+            return result
 
     # -- reference event loop ----------------------------------------------------
 
@@ -325,6 +369,8 @@ class Simulator:
                 if r.active and not self._is_gated(r)
             ]
             if self._dirty_nodes:
+                if self._ctr_solves is not None:
+                    self._ctr_solves.inc(len(self._dirty_nodes))
                 by_node: Dict[int, List[_RunState]] = {}
                 for run in active:
                     if run.node in self._dirty_nodes:
@@ -400,6 +446,8 @@ class Simulator:
             if all(js.done for js in self._jobs.values()) and not self._runs:
                 break
 
+        if self._ctr_events is not None:
+            self._ctr_events.inc(iterations)
         return self._build_result()
 
     # -- fast event loop ----------------------------------------------------------
@@ -429,6 +477,8 @@ class Simulator:
                     f"{self._config.max_iterations} iterations"
                 )
             if self._dirty_nodes:
+                if self._ctr_solves is not None:
+                    self._ctr_solves.inc(len(self._dirty_nodes))
                 for node_idx in sorted(self._dirty_nodes):
                     self._solve_node(node_idx)
                 self._dirty_nodes.clear()
@@ -493,6 +543,8 @@ class Simulator:
             if all(js.done for js in self._jobs.values()) and not self._runs:
                 break
 
+        if self._ctr_events is not None:
+            self._ctr_events.inc(iterations)
         return self._build_result()
 
     def _solve_node(self, node_idx: int) -> None:
@@ -541,6 +593,8 @@ class Simulator:
 
     def _fire_deadline(self, run: _RunState) -> None:
         """A run reached its predicted decision point: materialise and act."""
+        if self._ctr_deadlines is not None:
+            self._ctr_deadlines.inc()
         run.deadline_token = None
         target = self._shuffle_target(run)
         if run.rate > 0.0 and self._now > run.t_base:
@@ -653,6 +707,8 @@ class Simulator:
         self._attempts[spec.task_id] = attempt
         self._first_launch.setdefault(spec.task_id, self._now)
         self._plan_failure(run, attempt=attempt)
+        if self._ctr_launched is not None:
+            self._ctr_launched.inc()
         self._runs[spec.task_id] = run
         self._node_runs[node][spec.task_id] = run
         self._dirty_nodes.add(node)
@@ -709,6 +765,8 @@ class Simulator:
         # Re-queue at the back: the scheduler hands the retry a fresh
         # container on its next pass, with a new startup overhead.
         js.pending[spec.kind].append(spec)
+        if self._ctr_failed is not None:
+            self._ctr_failed.inc()
         self._failed_attempts.append((spec.task_id, run.attempt, self._now))
 
     def _complete_substage(self, run: _RunState) -> None:
@@ -798,8 +856,12 @@ class Simulator:
                 requests[name] = queues
         if not requests:
             return
+        grants = 0
         for name, node, queue_idx in self._placer.assign_queues(requests):
             self._launch(self._jobs[name], node, kinds[queue_idx])
+            grants += 1
+        if self._ctr_sched is not None and grants:
+            self._ctr_sched.inc(grants)
 
     # -- state tracking -------------------------------------------------------------------
 
@@ -815,6 +877,7 @@ class Simulator:
         current = self._current_open_set()
         if current == self._open_set:
             return
+        recorded = False
         if self._now > self._state_start + _TIME_TOL and self._open_set:
             self._states.append(
                 StateTrace(
@@ -824,8 +887,35 @@ class Simulator:
                     running=self._open_set,
                 )
             )
+            recorded = True
+            if self._hist_state is not None:
+                self._hist_state.observe(self._now - self._state_start)
+        if self._otr is not None:
+            self._roll_state_span(current, recorded)
         self._open_set = current
         self._state_start = self._now
+
+    def _roll_state_span(self, current: FrozenSet[Tuple[str, StageKind]], recorded: bool) -> None:
+        """Close the wall-clock span of the ending state, open the next one.
+
+        Spans measure where the *model's own* time goes per simulated state;
+        ``recorded=False`` marks zero-duration blips that produced no
+        :class:`StateTrace`.
+        """
+        if self._state_span is not None:
+            self._otr.finish(
+                self._state_span, sim_t_end=self._now, recorded=recorded
+            )
+            self._state_span = None
+        if current:
+            self._state_span = self._otr.begin(
+                "sim.state",
+                index=len(self._states) + 1,
+                sim_t_start=self._now,
+                running=",".join(
+                    sorted(f"{j}/{k.value}" for j, k in current)
+                ),
+            )
 
     def _close_state(self) -> None:
         if self._open_set and self._now > self._state_start + _TIME_TOL:
@@ -837,11 +927,24 @@ class Simulator:
                     running=self._open_set,
                 )
             )
+            if self._hist_state is not None:
+                self._hist_state.observe(self._now - self._state_start)
+        if self._otr is not None and self._state_span is not None:
+            self._otr.finish(self._state_span, sim_t_end=self._now, recorded=True)
+            self._state_span = None
 
     # -- result assembly ------------------------------------------------------------------
 
     def _build_result(self) -> SimulationResult:
         self._close_state()
+        logger.debug(
+            "simulated %s: makespan=%.3fs tasks=%d states=%d failures=%d",
+            self._workflow.name,
+            self._now,
+            len(self._finished_tasks),
+            len(self._states),
+            len(self._failed_attempts),
+        )
         return SimulationResult(
             workflow_name=self._workflow.name,
             makespan=self._now,

@@ -209,9 +209,27 @@ def state_summary(result: SimulationResult) -> List[Dict]:
     return rows
 
 
+# Relative floor substituted for a degenerate (zero / non-finite) sigma in
+# fit_normal: wide enough to keep Phi^-1-based wave arithmetic finite, narrow
+# enough that the fitted normal still behaves as "all tasks take mu".
+_DEGENERATE_SIGMA = 1e-9
+
+
 def fit_normal(durations: List[float]) -> Tuple[float, float]:
-    """(mu, sigma) of a normal fit to task durations (Alg2-Normal input)."""
+    """(mu, sigma) of a normal fit to task durations (Alg2-Normal input).
+
+    A single sample or a constant-duration stage yields ``sigma == 0``;
+    consumers of the fit divide by sigma (order-statistic wave estimates),
+    so the degenerate case substitutes a tiny floor relative to ``mu``
+    instead of handing back an exact zero.
+    """
     if not durations:
         raise SimulationError("cannot fit a distribution to zero durations")
     arr = np.asarray(durations, dtype=float)
-    return float(arr.mean()), float(arr.std(ddof=0))
+    if not np.all(np.isfinite(arr)):
+        raise SimulationError(f"non-finite task durations: {durations!r}")
+    mu = float(arr.mean())
+    sigma = float(arr.std(ddof=0))
+    if not (sigma > 0.0):
+        sigma = _DEGENERATE_SIGMA * max(abs(mu), 1.0)
+    return mu, sigma

@@ -27,12 +27,13 @@ degrades to the serial path — correctness never depends on the pool.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster
 from repro.core.boe import BOEModel
@@ -41,6 +42,10 @@ from repro.core.estimator import BOESource, DagEstimator, TaskTimeSource
 from repro.core.fingerprint import CacheStats
 from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
+from repro.obs.metrics import get_metrics, snapshot_delta
+from repro.obs.tracer import get_tracer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -165,7 +170,11 @@ class _EvalContext:
         refine: bool,
         memo: bool = True,
         max_memo_entries: int = 65_536,
+        metrics_enabled: bool = False,
     ):
+        # Carried to pool workers so their process-global registry is armed
+        # before they build sources (counters bind at construction time).
+        self.metrics_enabled = metrics_enabled
         self._cluster = cluster
         self._fixed_source = source
         self._variant = variant
@@ -256,22 +265,39 @@ _WORKER_CONTEXT: Optional[_EvalContext] = None
 def _worker_init(context: _EvalContext) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
+    if context.metrics_enabled:
+        # Arm the worker's own registry before any source is built so
+        # worker-side counters bind to it; deltas ship home per chunk.
+        get_metrics().enable()
 
 
 _Item = Tuple[int, str, Workflow, Optional[Cluster]]
 
+_MetricsDelta = Dict[str, Dict[str, Any]]
+
 
 def _worker_chunk(
     payload: Sequence[_Item],
-) -> Tuple[List[CandidateResult], CacheStats, float]:
-    """Evaluate one chunk in a worker; returns (results, cache delta, cpu s)."""
+) -> Tuple[List[CandidateResult], CacheStats, float, _MetricsDelta]:
+    """Evaluate one chunk in a worker.
+
+    Returns (results, cache delta, cpu seconds, metrics delta); the metrics
+    delta is empty unless the parent shipped ``metrics_enabled=True``.
+    """
     context = _WORKER_CONTEXT
     assert context is not None, "worker used before initialisation"
+    registry = get_metrics()
+    metrics_before = registry.snapshot() if context.metrics_enabled else {}
     before = context.cache_stats().snapshot()
     cpu0 = time.process_time()
     results = [context.evaluate(*item) for item in payload]
     cpu_s = time.process_time() - cpu0
-    return results, context.cache_stats().delta(before), cpu_s
+    metrics = (
+        snapshot_delta(registry.snapshot(), metrics_before)
+        if context.metrics_enabled
+        else {}
+    )
+    return results, context.cache_stats().delta(before), cpu_s, metrics
 
 
 class SweepRunner:
@@ -314,7 +340,14 @@ class SweepRunner:
         if chunksize is not None and chunksize < 1:
             raise EstimationError(f"chunksize must be >= 1: {chunksize}")
         self._context = _EvalContext(
-            cluster, source, variant, policy, enforce_vcores, refine, memo=memo
+            cluster,
+            source,
+            variant,
+            policy,
+            enforce_vcores,
+            refine,
+            memo=memo,
+            metrics_enabled=get_metrics().enabled,
         )
         self._processes = processes
         self._chunksize = chunksize
@@ -356,6 +389,12 @@ class SweepRunner:
         point cannot abort a sweep.
         """
         t0 = time.perf_counter()
+        tracer = get_tracer()
+        span = (
+            tracer.begin("sweep.batch", candidates=len(candidates))
+            if tracer.enabled
+            else None
+        )
         items: List[_Item] = []
         for index, entry in enumerate(candidates):
             if isinstance(entry, Workflow):
@@ -364,6 +403,7 @@ class SweepRunner:
         report = self._report
         report._phase("build", time.perf_counter() - t0)
         if not items:
+            tracer.finish(span, pooled=False)
             return []
 
         t1 = time.perf_counter()
@@ -387,11 +427,20 @@ class SweepRunner:
         report.cache.add(cache_delta)
         report._phase("collect", time.perf_counter() - t2)
         report.wall_time_s += time.perf_counter() - t0
+        if span is not None:
+            tracer.finish(
+                span,
+                pooled=pooled,
+                infeasible=sum(1 for r in results if not r.ok),
+            )
+        logger.debug("sweep batch: %s", report.describe())
         return results
 
     def _evaluate_serial(
         self, items: Sequence[_Item]
     ) -> Tuple[List[CandidateResult], CacheStats, float, bool]:
+        # In-process evaluation records into the parent's registry directly;
+        # no snapshot/merge round-trip needed.
         before = self._context.cache_stats().snapshot()
         cpu0 = time.process_time()
         results = [self._context.evaluate(*item) for item in items]
@@ -415,12 +464,18 @@ class SweepRunner:
         results: List[CandidateResult] = []
         cache_delta = CacheStats()
         worker_cpu = 0.0
-        for chunk_results, chunk_cache, chunk_cpu in executor.map(
+        registry = get_metrics()
+        for chunk_results, chunk_cache, chunk_cpu, chunk_metrics in executor.map(
             _worker_chunk, chunks
         ):
             results.extend(chunk_results)
             cache_delta.add(chunk_cache)
             worker_cpu += chunk_cpu
+            if chunk_metrics:
+                # Fold worker activity into the parent registry; chunks merge
+                # in submission order (executor.map preserves it), keeping
+                # gauge last-wins deterministic.
+                registry.merge(chunk_metrics)
         cpu_s = (time.process_time() - cpu0) + worker_cpu
         return results, cache_delta, cpu_s, True
 

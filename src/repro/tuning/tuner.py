@@ -22,6 +22,7 @@ self-tuning deployment would close against its cluster.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,7 +33,9 @@ from repro.core.distributions import Variant
 from repro.core.estimator import BOESource, TaskTimeSource
 from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
+from repro.obs.tracer import get_tracer
 from repro.sweep import Candidate, SweepReport, SweepRunner
+
 from repro.tuning.knobs import (
     Assignment,
     Knob,
@@ -40,6 +43,8 @@ from repro.tuning.knobs import (
     current_value,
     default_space,
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -130,6 +135,13 @@ class GreedyTuner:
     ) -> TuningResult:
         """Search the knob space; returns the best assignment found."""
         t0 = time.perf_counter()
+        tracer = get_tracer()
+        otr = tracer if tracer.enabled else None
+        run_span = (
+            otr.begin("tune.run", workflow=workflow.name)
+            if otr is not None
+            else None
+        )
         knobs = list(space) if space is not None else default_space(
             workflow, self._cluster
         )
@@ -142,11 +154,25 @@ class GreedyTuner:
         baseline = best = self._estimate_baseline(workflow)
         trajectory: List[Tuple[Tuple[str, str], object, float]] = []
 
-        for _ in range(self._max_passes):
+        for pass_idx in range(self._max_passes):
             improved = False
+            pass_span = (
+                otr.begin("tune.pass", index=pass_idx + 1)
+                if otr is not None
+                else None
+            )
             for knob in knobs:
                 current_choice = assignment.get(knob.key, baseline_value[knob.key])
                 candidates = [c for c in knob.choices if c != current_choice]
+                knob_span = (
+                    otr.begin(
+                        "tune.knob",
+                        knob=f"{knob.job}.{knob.field}",
+                        candidates=len(candidates),
+                    )
+                    if otr is not None
+                    else None
+                )
                 batch = []
                 for candidate in candidates:
                     trial = dict(assignment)
@@ -171,6 +197,22 @@ class GreedyTuner:
                     assignment[knob.key] = best_choice
                     trajectory.append((knob.key, best_choice, best))
                     improved = True
+                    logger.debug(
+                        "tune %s: %s.%s -> %r (est %.3fs)",
+                        workflow.name,
+                        knob.job,
+                        knob.field,
+                        best_choice,
+                        best,
+                    )
+                if otr is not None:
+                    otr.finish(
+                        knob_span,
+                        chosen=str(best_choice),
+                        changed=best_choice != current_choice,
+                    )
+            if otr is not None:
+                otr.finish(pass_span, improved=improved)
             if not improved:
                 break
 
@@ -180,6 +222,14 @@ class GreedyTuner:
             for key, value in assignment.items()
             if value != baseline_value[key]
         }
+        if otr is not None:
+            otr.finish(
+                run_span,
+                evaluations=evaluations,
+                baseline_s=baseline,
+                tuned_s=best,
+                knobs_changed=len(assignment),
+            )
         return TuningResult(
             workflow_name=workflow.name,
             baseline_estimate_s=baseline,

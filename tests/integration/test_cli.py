@@ -1,8 +1,23 @@
 """Integration: the repro-dag command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import MetricsRegistry, Tracer, validate_trace_events
+from repro.obs.metrics import set_metrics
+from repro.obs.tracer import set_tracer
+
+
+@pytest.fixture
+def obs_sandbox():
+    """Fresh global tracer/metrics: CLI commands arm the process globals."""
+    old_tracer = set_tracer(Tracer(enabled=False))
+    old_metrics = set_metrics(MetricsRegistry(enabled=False))
+    yield
+    set_tracer(old_tracer)
+    set_metrics(old_metrics)
 
 
 class TestCli:
@@ -80,3 +95,61 @@ class TestCliExtensions:
         assert main(["overhead", "--names", "WC-Q5", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "sweep" in out and "evaluations" in out
+
+
+class TestCliObservability:
+    def test_trace_writes_valid_perfetto_json(self, obs_sandbox, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "tpch", "--out", str(out_path), "--scale", "0.02"]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert validate_trace_events(payload) == []
+        # At least one slice per task attempt, plus state markers.
+        slices = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and str(e.get("cat", "")).startswith("task")
+        ]
+        assert len(slices) >= payload["otherData"]["tasks"] >= 1
+        assert any(e.get("cat") == "state" for e in payload["traceEvents"])
+        assert payload["otherData"]["bottleneck_attribution"]
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+
+    def test_trace_prints_attribution_for_every_state(
+        self, obs_sandbox, capsys, tmp_path
+    ):
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["trace", "wc", "--out", str(out_path), "--scale", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck attribution" in out
+        payload = json.loads(out_path.read_text())
+        rows = payload["otherData"]["bottleneck_attribution"]
+        assert len(rows) == payload["otherData"]["states"]
+        for row in rows:
+            assert row["bottleneck"] in ("cpu", "disk", "network")
+            assert row["utilisation"][row["bottleneck"]] == pytest.approx(1.0)
+
+    def test_metrics_flag_prints_registry(self, obs_sandbox, capsys):
+        assert main(["simulate", "wc", "--scale", "0.02", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "sim.tasks_launched" in out
+
+    def test_log_level_flag(self, obs_sandbox, capsys):
+        assert main(
+            ["simulate", "wc", "--scale", "0.02", "--log-level", "debug"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "repro.simulator.engine" in err
+        assert "simulated" in err
+
+    def test_bad_log_level_fails_cleanly(self, obs_sandbox, capsys):
+        assert main(["simulate", "wc", "--log-level", "shout"]) == 1
+        assert "log level" in capsys.readouterr().err.lower()
+
+    def test_tpch_workload_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "tpch" in capsys.readouterr().out

@@ -1,0 +1,21 @@
+"""Shared fixtures: keep the process-global tracer/metrics out of tests.
+
+Every test in this package runs against fresh, private instances so the
+observability state of one test (or of the CLI tests, which arm the
+globals) can never leak into another.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.metrics import set_metrics
+from repro.obs.tracer import set_tracer
+
+
+@pytest.fixture(autouse=True)
+def isolated_obs_globals():
+    old_tracer = set_tracer(Tracer(enabled=False))
+    old_metrics = set_metrics(MetricsRegistry(enabled=False))
+    yield
+    set_tracer(old_tracer)
+    set_metrics(old_metrics)

@@ -1,0 +1,230 @@
+"""Tests for the Chrome trace-event / Perfetto exporter."""
+
+import json
+
+import pytest
+
+from repro.mapreduce import StageKind
+from repro.obs import Tracer, to_chrome_trace, validate_trace_events, write_trace
+from repro.obs.export import (
+    NODE_PID_BASE,
+    TRACER_PID,
+    WORKFLOW_PID,
+    _assign_lanes,
+    simulation_events,
+)
+from repro.simulator.trace import (
+    SimulationResult,
+    StateTrace,
+    SubStageTrace,
+    TaskTrace,
+)
+
+
+def _task(job, kind, index, node, t_start, t_end, subs=None):
+    return TaskTrace(
+        job=job,
+        kind=kind,
+        index=index,
+        node=node,
+        input_mb=128.0,
+        t_ready=t_start,
+        t_start=t_start,
+        t_end=t_end,
+        substages=tuple(subs or (SubStageTrace("map", t_start, t_end),)),
+    )
+
+
+@pytest.fixture
+def result():
+    tasks = [
+        _task("wc", StageKind.MAP, 0, 0, 0.0, 2.0),
+        _task("wc", StageKind.MAP, 1, 0, 0.5, 2.5),  # overlaps task 0
+        _task("wc", StageKind.MAP, 2, 1, 0.0, 1.0),
+        _task(
+            "wc",
+            StageKind.REDUCE,
+            0,
+            1,
+            2.5,
+            4.0,
+            subs=(
+                SubStageTrace("shuffle", 2.5, 3.0),
+                SubStageTrace("reduce", 3.0, 4.0),
+            ),
+        ),
+    ]
+    states = [
+        StateTrace(1, 0.0, 2.5, frozenset({("wc", StageKind.MAP)})),
+        StateTrace(2, 2.5, 4.0, frozenset({("wc", StageKind.REDUCE)})),
+    ]
+    return SimulationResult(
+        workflow_name="wc-test",
+        makespan=4.0,
+        tasks=tasks,
+        states=states,
+        failed_attempts=[("wc/m1", 1, 0.3)],
+    )
+
+
+class TestAssignLanes:
+    def test_overlapping_tasks_get_distinct_lanes(self):
+        a = _task("j", StageKind.MAP, 0, 0, 0.0, 2.0)
+        b = _task("j", StageKind.MAP, 1, 0, 1.0, 3.0)
+        lanes = _assign_lanes([a, b])
+        assert lanes[("j", StageKind.MAP, 0)] != lanes[("j", StageKind.MAP, 1)]
+
+    def test_sequential_tasks_reuse_a_lane(self):
+        a = _task("j", StageKind.MAP, 0, 0, 0.0, 1.0)
+        b = _task("j", StageKind.MAP, 1, 0, 1.0, 2.0)
+        lanes = _assign_lanes([a, b])
+        assert set(lanes.values()) == {0}
+
+    def test_no_two_overlapping_tasks_share_a_lane(self):
+        tasks = [
+            _task("j", StageKind.MAP, i, 0, 0.25 * i, 0.25 * i + 1.0)
+            for i in range(20)
+        ]
+        lanes = _assign_lanes(tasks)
+        by_lane = {}
+        for task in tasks:
+            by_lane.setdefault(lanes[(task.job, task.kind, task.index)], []).append(task)
+        for members in by_lane.values():
+            members.sort(key=lambda t: t.t_start)
+            for prev, cur in zip(members, members[1:]):
+                assert prev.t_end <= cur.t_start + 1e-9
+
+
+class TestSimulationEvents:
+    def test_every_task_attempt_has_a_slice(self, result):
+        events = simulation_events(result)
+        task_slices = [e for e in events if e["ph"] == "X" and "task" in e.get("cat", "")]
+        assert len(task_slices) == len(result.tasks)
+
+    def test_substages_nest_inside_their_task(self, result):
+        events = simulation_events(result)
+        subs = [e for e in events if e.get("cat") == "substage"]
+        assert {e["name"] for e in subs} == {"map", "shuffle", "reduce"}
+        shuffle = next(e for e in subs if e["name"] == "shuffle")
+        parent = next(
+            e for e in events if e.get("cat", "").startswith("task")
+            and e["args"]["task"] == "wc/r0"
+        )
+        assert shuffle["ts"] >= parent["ts"]
+        assert shuffle["ts"] + shuffle["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+        assert (shuffle["pid"], shuffle["tid"]) == (parent["pid"], parent["tid"])
+
+    def test_states_are_workflow_track_slices(self, result):
+        events = simulation_events(result)
+        states = [e for e in events if e.get("cat") == "state"]
+        assert len(states) == 2
+        assert all(e["pid"] == WORKFLOW_PID for e in states)
+        assert states[0]["name"] == "S1 wc/map"
+        assert states[0]["dur"] == pytest.approx(2.5e6)  # 1 s -> 1e6 ticks
+
+    def test_retried_task_flagged(self, result):
+        events = simulation_events(result)
+        retried = next(
+            e for e in events if e.get("cat") == "task,retried"
+        )
+        assert retried["args"]["task"] == "wc/m1"
+        assert retried["args"]["retried"] is True
+        assert retried["args"]["failed_attempts"] == 1
+        assert retried["args"]["attempt"] == 2
+        fails = [e for e in events if e.get("cat") == "failure"]
+        assert len(fails) == 1 and fails[0]["ph"] == "i"
+
+    def test_one_process_per_node(self, result):
+        events = simulation_events(result)
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"node 0", "node 1"} <= names
+        node0 = [e for e in events if e.get("pid") == NODE_PID_BASE]
+        assert any(e.get("cat", "").startswith("task") for e in node0)
+
+    def test_occupancy_counter_tracks_boundaries(self, result):
+        events = simulation_events(result)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 2 * len(result.tasks)
+        assert max(e["args"]["tasks"] for e in counters) == 3
+        assert counters[-1]["args"]["tasks"] == 0  # all tasks retired
+
+
+class TestToChromeTrace:
+    def test_payload_validates(self, result):
+        payload = to_chrome_trace(result)
+        assert validate_trace_events(payload) == []
+        assert payload["otherData"]["workflow"] == "wc-test"
+        assert payload["otherData"]["tasks"] == 4
+        assert payload["otherData"]["failed_attempts"] == 1
+
+    def test_tracer_spans_join_as_extra_process(self, result):
+        tracer = Tracer(enabled=True)
+        with tracer.span("est.run"):
+            pass
+        payload = to_chrome_trace(result, tracer=tracer)
+        spans = [e for e in payload["traceEvents"] if e.get("pid") == TRACER_PID]
+        assert any(e["ph"] == "X" and e["name"] == "est.run" for e in spans)
+
+    def test_metrics_and_attribution_embedded(self, result):
+        payload = to_chrome_trace(
+            result,
+            metrics={"c": {"type": "counter", "value": 1}},
+            attribution=[{"state": 1, "bottleneck": "cpu"}],
+        )
+        assert payload["otherData"]["metrics"]["c"]["value"] == 1
+        assert payload["otherData"]["bottleneck_attribution"][0]["bottleneck"] == "cpu"
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(str(path), to_chrome_trace(result))
+        loaded = json.loads(path.read_text())
+        assert validate_trace_events(loaded) == []
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"foo": 1}) != []
+
+    def test_rejects_empty_events(self):
+        assert validate_trace_events({"traceEvents": []}) != []
+
+    def test_rejects_bad_phase(self):
+        payload = {"traceEvents": [{"ph": "Z", "pid": 0, "tid": 0}]}
+        assert any("unsupported phase" in p for p in validate_trace_events(payload))
+
+    def test_rejects_missing_required_key(self):
+        payload = {"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": 1}]}
+        assert any("requires 'dur'" in p for p in validate_trace_events(payload))
+
+    def test_rejects_negative_timestamps(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "X", "pid": 0, "tid": 0, "name": "x", "ts": -1, "dur": 1}
+            ]
+        }
+        assert any("ts" in p for p in validate_trace_events(payload))
+
+    def test_rejects_non_integer_pid(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "X", "pid": "a", "tid": 0, "name": "x", "ts": 0, "dur": 1}
+            ]
+        }
+        assert any("pid" in p for p in validate_trace_events(payload))
+
+    def test_write_trace_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace(str(tmp_path / "bad.json"), {"traceEvents": []})
+
+    def test_problem_list_truncates(self):
+        payload = {
+            "traceEvents": [{"ph": "Z", "pid": 0, "tid": 0} for _ in range(50)]
+        }
+        problems = validate_trace_events(payload)
+        assert problems[-1] == "... (truncated)"
+        assert len(problems) <= 21

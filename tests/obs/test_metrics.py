@@ -1,0 +1,168 @@
+"""Tests for the metrics registry: snapshot / merge / delta / render."""
+
+import pickle
+
+from repro.obs import MetricsRegistry, get_metrics, render_snapshot, snapshot_delta
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        c = registry.counter("sim.events")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert registry.counter("sim.events") is c  # lazily memoised
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("cache.size")
+        g.set(3)
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_histogram(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("state.duration")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+    def test_enable_disable(self):
+        registry = MetricsRegistry()
+        assert not registry.enabled
+        registry.enable()
+        assert registry.enabled
+        registry.disable()
+        assert not registry.enabled
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_and_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(4.0)
+        snap = registry.snapshot()
+        assert snap == {
+            "c": {"type": "counter", "value": 2},
+            "g": {"type": "gauge", "value": 1.5},
+            "h": {"type": "histogram", "count": 1, "sum": 4.0, "min": 4.0, "max": 4.0},
+        }
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_empty_histogram_snapshots_none_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert registry.snapshot()["h"]["min"] is None
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestMerge:
+    def test_counters_and_histograms_accumulate(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(1)
+        parent.histogram("h").observe(1.0)
+        worker = MetricsRegistry()
+        worker.counter("c").inc(9)
+        worker.histogram("h").observe(5.0)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["c"]["value"] == 10
+        assert snap["h"] == {
+            "type": "histogram", "count": 2, "sum": 6.0, "min": 1.0, "max": 5.0,
+        }
+
+    def test_gauges_last_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("g").set(1.0)
+        parent.merge({"g": {"type": "gauge", "value": 9.0}})
+        assert parent.snapshot()["g"]["value"] == 9.0
+
+    def test_empty_histogram_delta_does_not_pollute(self):
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(2.0)
+        parent.merge({"h": {"type": "histogram", "count": 0, "sum": 0.0, "min": None, "max": None}})
+        assert parent.snapshot()["h"]["count"] == 1
+
+
+class TestSnapshotDelta:
+    def test_counter_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        before = registry.snapshot()
+        registry.counter("c").inc(4)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert delta == {"c": {"type": "counter", "value": 4}}
+
+    def test_unchanged_counter_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        snap = registry.snapshot()
+        assert snapshot_delta(snap, snap) == {}
+
+    def test_new_metric_passes_through(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("new").inc(2)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert delta["new"]["value"] == 2
+
+    def test_histogram_delta_subtracts_count_and_sum(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        registry.histogram("h").observe(3.0)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["sum"] == 3.0
+
+    def test_merge_of_delta_reconstructs_total(self):
+        # The sweep-runner round trip: worker delta merged into the parent.
+        parent = MetricsRegistry()
+        parent.counter("c").inc(5)
+        worker = MetricsRegistry()
+        worker.counter("c").inc(5)  # worker pre-existing state
+        before = worker.snapshot()
+        worker.counter("c").inc(7)  # activity attributable to the chunk
+        parent.merge(snapshot_delta(worker.snapshot(), before))
+        assert parent.snapshot()["c"]["value"] == 12
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_snapshot({}) == "(no metrics recorded)"
+
+    def test_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("z.counter").inc(3)
+        registry.gauge("a.gauge").set(1.5)
+        registry.histogram("m.hist").observe(2.0)
+        text = render_snapshot(registry.snapshot())
+        lines = text.splitlines()
+        assert lines[0].startswith("a.gauge")
+        assert lines[1].startswith("m.hist")
+        assert "n=1" in lines[1] and "mean=2" in lines[1]
+        assert lines[2].startswith("z.counter") and lines[2].endswith("3")
+
+
+class TestGlobalRegistry:
+    def test_global_disabled_by_default_in_tests(self):
+        assert not get_metrics().enabled
+
+    def test_enable_then_record(self):
+        registry = get_metrics()
+        registry.enable()
+        registry.counter("x").inc()
+        assert registry.snapshot()["x"]["value"] == 1

@@ -1,0 +1,162 @@
+"""Tests for the span tracer."""
+
+import threading
+
+from repro.obs import Tracer, enable_tracing, get_tracer, trace_span
+from repro.obs.tracer import _NULL_SPAN, env_truthy
+
+
+class TestEnvTruthy:
+    def test_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "TRUE", "yes", "on", "anything"):
+            monkeypatch.setenv("REPRO_TEST_FLAG", value)
+            assert env_truthy("REPRO_TEST_FLAG"), value
+
+    def test_falsy_values(self, monkeypatch):
+        for value in ("", "0", "false", "no", "off", "  "):
+            monkeypatch.setenv("REPRO_TEST_FLAG", value)
+            assert not env_truthy("REPRO_TEST_FLAG"), repr(value)
+        monkeypatch.delenv("REPRO_TEST_FLAG")
+        assert not env_truthy("REPRO_TEST_FLAG")
+
+
+class TestDisabledTracer:
+    def test_span_returns_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is _NULL_SPAN
+        assert tracer.span("y", attr=1) is _NULL_SPAN
+
+    def test_null_span_context_manager_is_inert(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.set(foo="bar")
+        assert tracer.span_count == 0
+
+    def test_begin_returns_none_and_finish_tolerates_it(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.begin("x")
+        assert span is None
+        tracer.finish(span, result=42)  # must not raise
+        assert tracer.span_count == 0
+
+    def test_global_trace_span_noop_when_disabled(self):
+        with trace_span("x") as span:
+            span.set(a=1)
+        assert get_tracer().span_count == 0
+
+
+class TestEnabledTracer:
+    def test_records_span_with_timing(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", job="wc"):
+            pass
+        [span] = tracer.snapshot()
+        assert span.name == "work"
+        assert span.attrs == {"job": "wc"}
+        assert span.t_end is not None and span.t_end >= span.t_start
+        assert span.wall_s >= 0.0
+        assert span.cpu_s >= 0.0
+
+    def test_nesting_parent_and_depth(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.snapshot()  # inner finishes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.depth == 0 and outer.parent_id is None
+        assert inner.depth == 1 and inner.parent_id == outer.span_id
+
+    def test_begin_finish_explicit_lifetime(self):
+        tracer = Tracer(enabled=True)
+        span = tracer.begin("state", index=3)
+        assert span is not None
+        tracer.finish(span, dt=1.5)
+        [recorded] = tracer.snapshot()
+        assert recorded.attrs == {"index": 3, "dt": 1.5}
+
+    def test_exception_flagged_and_span_closed(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        [span] = tracer.snapshot()
+        assert span.attrs["error"] == "ValueError"
+        assert span.t_end is not None
+
+    def test_set_is_chainable(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x") as span:
+            assert span.set(a=1).set(b=2) is span
+        [recorded] = tracer.snapshot()
+        assert recorded.attrs == {"a": 1, "b": 2}
+
+    def test_retention_bound_counts_dropped(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.span_count == 2
+        assert tracer.dropped == 3
+
+    def test_clear_resets(self):
+        tracer = Tracer(enabled=True, max_spans=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        tracer.clear()
+        assert tracer.span_count == 0
+        assert tracer.dropped == 0
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer(enabled=True)
+        outer = tracer.begin("main-outer")
+
+        def worker():
+            with tracer.span("worker-top"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        tracer.finish(outer)
+        spans = {s.name: s for s in tracer.snapshot()}
+        # The worker's span is top-level on its own thread, not a child of
+        # the span open on the main thread.
+        assert spans["worker-top"].depth == 0
+        assert spans["worker-top"].parent_id is None
+        assert spans["worker-top"].thread_id != spans["main-outer"].thread_id
+
+    def test_enable_global(self):
+        tracer = enable_tracing()
+        assert tracer is get_tracer()
+        with trace_span("x"):
+            pass
+        assert tracer.span_count == 1
+
+
+class TestToEvents:
+    def test_event_structure(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", job="wc", obj=object()):
+            pass
+        events = tracer.to_events(pid=7, process_name="model")
+        meta, slice_ = events
+        assert meta["ph"] == "M" and meta["args"]["name"] == "model"
+        assert slice_["ph"] == "X" and slice_["pid"] == 7
+        assert slice_["ts"] >= 0 and slice_["dur"] >= 0
+        assert slice_["args"]["job"] == "wc"
+        # Non-primitive attrs are stringified for JSON safety.
+        assert isinstance(slice_["args"]["obj"], str)
+        assert "cpu_ms" in slice_["args"]
+
+    def test_open_spans_skipped(self):
+        tracer = Tracer(enabled=True)
+        tracer.begin("open")
+        with tracer.span("closed"):
+            pass
+        # Only the metadata event and the closed span appear.
+        names = [e["name"] for e in tracer.to_events()]
+        assert names == ["process_name", "closed"]

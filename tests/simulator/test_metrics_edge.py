@@ -1,0 +1,170 @@
+"""Edge cases for trace statistics: degenerate traces, retries, empty sets."""
+
+import math
+
+import pytest
+
+from repro.dag import single_job_workflow
+from repro.errors import SimulationError
+from repro.mapreduce import StageKind
+from repro.simulator import (
+    FailureModel,
+    SimulationConfig,
+    average_parallelism,
+    fit_normal,
+    observed_parallelism,
+    simulate,
+    state_summary,
+)
+from repro.simulator.trace import (
+    SimulationResult,
+    StageTrace,
+    StateTrace,
+    SubStageTrace,
+    TaskTrace,
+)
+from repro.units import gb
+from repro.workloads import terasort
+
+
+def _task(index, t_start, t_end, job="j", kind=StageKind.MAP):
+    return TaskTrace(
+        job=job,
+        kind=kind,
+        index=index,
+        node=0,
+        input_mb=64.0,
+        t_ready=t_start,
+        t_start=t_start,
+        t_end=t_end,
+        substages=(SubStageTrace("map", t_start, t_end),),
+    )
+
+
+@pytest.fixture
+def empty_result():
+    """A trace with no states and no tasks (a zero-task workflow)."""
+    return SimulationResult(workflow_name="empty", makespan=0.0)
+
+
+@pytest.fixture
+def zero_duration_result():
+    """A stage whose trace window collapsed to a point (t_start == t_end)."""
+    return SimulationResult(
+        workflow_name="degenerate",
+        makespan=1.0,
+        tasks=[_task(0, 1.0, 1.0)],
+        stages=[StageTrace("j", StageKind.MAP, 1.0, 1.0, num_tasks=1)],
+        states=[StateTrace(1, 1.0, 1.0, frozenset({("j", StageKind.MAP)}))],
+    )
+
+
+class TestEmptyStateSet:
+    def test_state_summary_empty(self, empty_result):
+        assert state_summary(empty_result) == []
+
+    def test_observed_parallelism_no_tasks(self, empty_result):
+        assert observed_parallelism(empty_result, "j", StageKind.MAP, 0.0) == 0
+
+    def test_average_parallelism_missing_stage_raises(self, empty_result):
+        with pytest.raises(SimulationError):
+            average_parallelism(empty_result, "j", StageKind.MAP)
+
+
+class TestZeroDurationStage:
+    def test_average_parallelism_is_zero_not_nan(self, zero_duration_result):
+        avg = average_parallelism(zero_duration_result, "j", StageKind.MAP)
+        assert avg == 0.0
+        assert not math.isnan(avg)
+
+    def test_observed_parallelism_at_the_instant(self, zero_duration_result):
+        # A zero-length task occupies no half-open interval [start, end).
+        assert (
+            observed_parallelism(zero_duration_result, "j", StageKind.MAP, 1.0)
+            == 0
+        )
+
+    def test_state_summary_zero_duration_state(self, zero_duration_result):
+        [row] = state_summary(zero_duration_result)
+        assert row["duration"] == 0.0
+        assert row["running"] == [("j", "map")]
+        # median_task_times may be empty (no task midpoint falls inside a
+        # zero-width window) but the row itself must not blow up.
+        assert isinstance(row["median_task_times"], dict)
+
+
+class TestRetriedTasks:
+    @pytest.fixture
+    def flaky_result(self, cluster):
+        workflow = single_job_workflow(terasort(gb(3)))
+        result = simulate(
+            workflow,
+            cluster,
+            SimulationConfig(
+                failures=FailureModel(probability=0.15, max_attempts=10, seed=7)
+            ),
+        )
+        assert result.failed_attempts, "fixture must actually inject failures"
+        return result
+
+    def test_state_summary_covers_all_states(self, flaky_result):
+        rows = state_summary(flaky_result)
+        assert [r["state"] for r in rows] == [s.index for s in flaky_result.states]
+        for row in rows:
+            assert row["duration"] >= 0.0
+
+    def test_average_parallelism_counts_surviving_attempts_once(self, flaky_result):
+        # ``tasks`` holds only surviving attempts, so the time-averaged
+        # parallelism stays bounded by the stage's task count even when
+        # attempts were re-executed.
+        job = flaky_result.tasks[0].job
+        for kind in (StageKind.MAP, StageKind.REDUCE):
+            stage = flaky_result.stage(job, kind)
+            avg = average_parallelism(flaky_result, job, kind)
+            assert 0.0 < avg <= stage.num_tasks + 1e-9
+
+    def test_observed_parallelism_is_consistent_with_trace(self, flaky_result):
+        job = flaky_result.tasks[0].job
+        stage = flaky_result.stage(job, StageKind.MAP)
+        mid = 0.5 * (stage.t_start + stage.t_end)
+        observed = observed_parallelism(flaky_result, job, StageKind.MAP, mid)
+        manual = sum(
+            1
+            for t in flaky_result.tasks_of(job, StageKind.MAP)
+            if t.t_start <= mid < t.t_end
+        )
+        assert observed == manual
+
+
+class TestFitNormalDegenerate:
+    def test_single_sample_sigma_positive(self):
+        mu, sigma = fit_normal([5.0])
+        assert mu == 5.0
+        assert sigma > 0.0
+        assert sigma < 1e-6 * mu  # tiny relative to the mean
+
+    def test_constant_durations_sigma_positive(self):
+        mu, sigma = fit_normal([2.0, 2.0, 2.0, 2.0])
+        assert mu == 2.0
+        assert 0.0 < sigma < 1e-6
+
+    def test_degenerate_sigma_scales_with_mu(self):
+        _, small = fit_normal([1.0])
+        _, large = fit_normal([1e9])
+        assert large > small
+
+    def test_zero_mean_still_positive_sigma(self):
+        mu, sigma = fit_normal([0.0, 0.0])
+        assert mu == 0.0
+        assert sigma > 0.0
+
+    def test_non_degenerate_unchanged(self):
+        mu, sigma = fit_normal([1.0, 2.0, 3.0])
+        assert mu == pytest.approx(2.0)
+        assert sigma == pytest.approx((2.0 / 3.0) ** 0.5)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(SimulationError):
+            fit_normal([1.0, float("nan")])
+        with pytest.raises(SimulationError):
+            fit_normal([float("inf")])
