@@ -6,13 +6,65 @@ reproduced rows in the paper's layout, asserts the headline *shapes* hold,
 and uses pytest-benchmark to time the analytic model itself (the quantity
 the paper's "execution time" result is about — estimation must be cheap
 enough for runtime use).
+
+Performance-tracking benches additionally persist their headline numbers
+with :func:`emit_json` so the perf trajectory is comparable across PRs
+(CI uploads the ``BENCH_<name>.json`` files as artifacts).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import subprocess
 import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+#: Where BENCH_<name>.json files land; override with REPRO_BENCH_DIR.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 
 def emit(text: str) -> None:
     """Print a reproduced table so it lands in the benchmark log."""
     sys.stdout.write("\n" + text + "\n")
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist one bench's machine-readable results as ``BENCH_<name>.json``.
+
+    The payload is augmented with provenance (git revision, python,
+    timestamp) so a result file is interpretable on its own; the same
+    record is also printed as a ``BENCH`` line for the run log.  Returns
+    the path written.
+    """
+    record = {
+        "bench": name,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **payload,
+    }
+    out_dir = Path(os.environ.get(BENCH_DIR_ENV, Path(__file__).resolve().parent))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print("BENCH " + json.dumps(record, sort_keys=True))
+    return path

@@ -22,7 +22,7 @@ import time
 
 import pytest
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json
 from repro.analysis import render_table
 from repro.cluster import Cluster
 from repro.cluster.node import PAPER_NODE
@@ -127,6 +127,7 @@ def test_engine_scale_smoke():
     engine is not slower.  Run with ``-k smoke``."""
     rows = [_run_size(w) for w in SMOKE_SIZES]
     emit(_render(rows))
+    emit_json("engine_scale", {"mode": "smoke", "sizes": rows})
     for row in rows:
         assert row["dmakespan_s"] <= MAKESPAN_TOL
     # At tiny sizes constant overheads dominate; just require "not worse".
@@ -135,6 +136,7 @@ def test_engine_scale_smoke():
 
 def test_engine_scale_full(benchmark, sweep):
     emit(_render(sweep))
+    emit_json("engine_scale", {"mode": "full", "sizes": sweep})
     for row in sweep:
         assert row["dmakespan_s"] <= MAKESPAN_TOL
     # Wall-clock advantage must grow with scale and clear the 4x bar at the

@@ -1,0 +1,178 @@
+"""Incremental-estimation bench — trajectory reuse + batched BOE kernel.
+
+The tentpole scenario of the incremental layer: coordinate-descent tuning
+of the TPC-H Q21 DAG (the deepest chain in the catalog, 9 jobs), where
+every candidate differs from the incumbent in a single knob and therefore
+shares a long Algorithm-1 state prefix with it.  Three configurations are
+timed over the *same* knob space:
+
+* **cold** — the historical serial-and-cold path: no model cache, no
+  candidate memo, every candidate re-walks Algorithm 1 from t=0 against a
+  freshly solved BOE model (the ``cache=False``/``memo=False`` reference
+  convention of ``bench_sweep``).
+* **warm** — task-time cache + candidate memo (the sweep layer as of the
+  previous PR), still restarting every trajectory from t=0.
+* **incremental** — warm plus trajectory checkpoints, prefix resume and
+  the batched BOE kernel (this PR).
+
+Estimates must be bit-identical across all three — the layers change when
+arithmetic happens, never its result.  Two knob spaces are measured: the
+full default grid (every job), and a late-stage what-if (re-tuning only
+the final aggregation jobs — the re-configuration case trajectory reuse
+is built for, e.g. re-planning the tail of a standing pipeline).
+
+Results land in ``BENCH_incremental.json`` via ``_bench_utils.emit_json``.
+Run the CI-sized subset with ``-k smoke``.
+"""
+
+import time
+
+import pytest
+
+from _bench_utils import emit, emit_json
+from repro.analysis import render_table
+from repro.cluster import paper_cluster
+from repro.core.boe import BOEModel
+from repro.core.estimator import BOESource
+from repro.core.parallelism import clear_parallelism_memo
+from repro.sweep import SweepRunner
+from repro.tuning import GreedyTuner
+from repro.tuning.knobs import default_space
+from repro.workloads.tpch import tpch_query
+
+#: Floors vs the cold-start baseline (the acceptance criterion is >= 3x on
+#: the full knob space; CI smoke keeps a noise margin below that).
+FULL_MIN_SPEEDUP = 3.0
+SMOKE_MIN_SPEEDUP = 2.0
+#: Mean prefix-reuse floor on the full TPC-H knob space.
+MIN_REUSE_RATE = 0.30
+#: Late-stage what-ifs reuse most of the trajectory.
+LATE_MIN_REUSE_RATE = 0.50
+
+#: Mode -> (model cache, candidate memo, trajectory reuse, batched kernel).
+MODES = {
+    "cold": (False, False, False, False),
+    "warm": (True, True, False, False),
+    "incremental": (True, True, True, True),
+}
+
+#: Jobs of the late-stage what-if (Q21's aggregation tail).
+LATE_JOBS = frozenset({"q21-agg3", "q21-agg4", "q21-agg5", "q21-agg6"})
+
+
+def _tune_once(mode: str, space):
+    """One Q21 tuning run in the given configuration."""
+    cluster = paper_cluster()
+    cache, memo, reuse, batch = MODES[mode]
+    clear_parallelism_memo()
+    source = BOESource(BOEModel(cluster, refine=True, cache=cache))
+    runner = SweepRunner(
+        cluster, source=source, memo=memo, reuse=reuse, batch=batch
+    )
+    tuner = GreedyTuner(cluster, source=source, runner=runner)
+    t0 = time.perf_counter()
+    result = tuner.tune(tpch_query(21), space)
+    wall = time.perf_counter() - t0
+    return wall, result, runner.report.reuse
+
+
+def _knob_space(scenario: str):
+    cluster = paper_cluster()
+    knobs = default_space(tpch_query(21), cluster)
+    if scenario == "late":
+        knobs = [k for k in knobs if k.job in LATE_JOBS]
+    return knobs
+
+
+def _run_scenario(scenario: str, reps: int) -> dict:
+    space = _knob_space(scenario)
+    walls = {mode: float("inf") for mode in MODES}
+    results = {}
+    reuse = None
+    for _ in range(reps):
+        for mode in MODES:
+            wall, result, stats = _tune_once(mode, space)
+            walls[mode] = min(walls[mode], wall)
+            results[mode] = result
+            if mode == "incremental":
+                reuse = stats
+
+    # Bit-identical parity across all three configurations.
+    reference = results["cold"]
+    for mode in ("warm", "incremental"):
+        assert results[mode].baseline_estimate_s == reference.baseline_estimate_s
+        assert results[mode].tuned_estimate_s == reference.tuned_estimate_s
+        assert results[mode].assignment == reference.assignment
+        assert results[mode].evaluations == reference.evaluations
+
+    return {
+        "scenario": scenario,
+        "workflow": "tpch-q21",
+        "knobs": len(space),
+        "evaluations": reference.evaluations,
+        "tuned_estimate_s": round(reference.tuned_estimate_s, 6),
+        "cold_wall_s": round(walls["cold"], 4),
+        "warm_wall_s": round(walls["warm"], 4),
+        "incremental_wall_s": round(walls["incremental"], 4),
+        "speedup_vs_cold": round(walls["cold"] / walls["incremental"], 2),
+        "speedup_vs_warm": round(walls["warm"] / walls["incremental"], 2),
+        "warm_starts": reuse.hits,
+        "lookups": reuse.lookups,
+        "reuse_rate": round(reuse.reuse_rate, 3),
+    }
+
+
+def _render(rows) -> str:
+    return render_table(
+        [
+            "scenario",
+            "knobs",
+            "cold (s)",
+            "warm (s)",
+            "incremental (s)",
+            "vs cold",
+            "vs warm",
+            "reuse",
+        ],
+        [
+            [
+                r["scenario"],
+                r["knobs"],
+                f"{r['cold_wall_s']:.3f}",
+                f"{r['warm_wall_s']:.3f}",
+                f"{r['incremental_wall_s']:.3f}",
+                f"{r['speedup_vs_cold']:.1f}x",
+                f"{r['speedup_vs_warm']:.1f}x",
+                f"{r['reuse_rate']:.0%}",
+            ]
+            for r in rows
+        ],
+        title="Incremental Algorithm 1: trajectory reuse on TPC-H Q21 tuning",
+    )
+
+
+def test_incremental_smoke():
+    """CI-sized subset: one rep per configuration, relaxed floors.
+    Run with ``-k smoke``."""
+    full = _run_scenario("full", reps=1)
+    emit(_render([full]))
+    emit_json("incremental", {"mode": "smoke", "scenarios": [full]})
+    assert full["speedup_vs_cold"] >= SMOKE_MIN_SPEEDUP, full
+    assert full["reuse_rate"] >= MIN_REUSE_RATE, full
+
+
+def test_incremental_full(benchmark):
+    full = _run_scenario("full", reps=3)
+    late = _run_scenario("late", reps=3)
+    emit(_render([full, late]))
+    emit_json("incremental", {"mode": "full", "scenarios": [full, late]})
+    assert full["speedup_vs_cold"] >= FULL_MIN_SPEEDUP, full
+    assert full["reuse_rate"] >= MIN_REUSE_RATE, full
+    assert late["speedup_vs_cold"] >= FULL_MIN_SPEEDUP, late
+    assert late["reuse_rate"] >= LATE_MIN_REUSE_RATE, late
+    # The incremental layer must also beat the already-cached sweep layer
+    # where it is designed to: late-stage what-ifs.
+    assert late["speedup_vs_warm"] >= 1.1, late
+    # pytest-benchmark tracks the incremental tuning sweep's absolute cost.
+    space = _knob_space("late")
+    benchmark(lambda: _tune_once("incremental", space))

@@ -28,7 +28,7 @@ from dataclasses import replace
 
 import pytest
 
-from _bench_utils import emit
+from _bench_utils import emit, emit_json
 from repro.analysis import render_table
 from repro.cluster import paper_cluster
 from repro.core.boe import BOEModel
@@ -187,6 +187,7 @@ def test_sweep_smoke():
     tuning = _run_tuning_scenario()
     grid = _run_grid_scenario(SMOKE_GRID_REDUCERS, SMOKE_GRID_SPLITS)
     emit(_render(tuning, grid))
+    emit_json("sweep", {"mode": "smoke", "tuning": tuning, "grid": grid})
     _assert_floors(tuning, grid)
 
 
@@ -194,6 +195,7 @@ def test_sweep_full(benchmark):
     tuning = _run_tuning_scenario()
     grid = _run_grid_scenario(GRID_REDUCERS, GRID_SPLITS)
     emit(_render(tuning, grid))
+    emit_json("sweep", {"mode": "full", "tuning": tuning, "grid": grid})
     _assert_floors(tuning, grid)
     # pytest-benchmark tracks the cached tuning sweep's absolute cost.
     benchmark(lambda: _tune_once(cached=True))

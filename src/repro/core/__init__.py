@@ -25,9 +25,21 @@ from repro.core.estimator import (
 )
 from repro.core.fingerprint import (
     CacheStats,
+    LRUCache,
     concurrent_fingerprint,
+    default_cache_entries,
     job_fingerprint,
     value_fingerprint,
+)
+from repro.core.incremental import (
+    Checkpoint,
+    PrefixMatch,
+    ReuseStats,
+    Trajectory,
+    TrajectoryCache,
+    changed_jobs,
+    parent_map,
+    reusable_prefix,
 )
 from repro.core.parallelism import RunningStage, estimate_parallelism
 from repro.core.state import DagEstimate, EstimatedState
@@ -37,10 +49,14 @@ __all__ = [
     "BOESource",
     "CacheStats",
     "CachingSource",
+    "Checkpoint",
     "DagEstimate",
     "DagEstimator",
     "EstimatedState",
+    "LRUCache",
     "OpEstimate",
+    "PrefixMatch",
+    "ReuseStats",
     "RunningStage",
     "ScaledSource",
     "StageLoad",
@@ -48,15 +64,21 @@ __all__ = [
     "TaskEstimate",
     "TaskTimeDistribution",
     "TaskTimeSource",
+    "Trajectory",
+    "TrajectoryCache",
     "Variant",
     "align_substage",
+    "changed_jobs",
     "completion_rate",
     "concurrent_fingerprint",
+    "default_cache_entries",
     "estimate_parallelism",
     "estimate_workflow",
     "job_fingerprint",
+    "parent_map",
     "per_task_throughput",
     "resource_users",
+    "reusable_prefix",
     "share_fraction",
     "stage_time",
     "value_fingerprint",

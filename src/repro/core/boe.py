@@ -40,7 +40,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import Resource
 from repro.core.allocation import StageLoad, per_task_throughput, resource_users
-from repro.core.fingerprint import CacheStats
+from repro.core.fingerprint import CacheStats, LRUCache, default_cache_entries
 from repro.errors import EstimationError
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.phases import OpSpec, SubStageSpec, build_task_substages
@@ -190,8 +190,10 @@ class BOEModel:
         refine: bool = False,
         max_refine_iter: int = 25,
         cache: bool = True,
-        max_cache_entries: int = 65_536,
+        max_cache_entries: Optional[int] = None,
     ):
+        if max_cache_entries is None:
+            max_cache_entries = default_cache_entries()
         if max_cache_entries < 1:
             raise EstimationError(
                 f"max_cache_entries must be >= 1: {max_cache_entries}"
@@ -199,14 +201,18 @@ class BOEModel:
         self._cluster = cluster
         self._refine = refine
         self._max_iter = max_refine_iter
+        self._stats = CacheStats()
         # Two memo levels (see task_time): exact call arguments -> final
         # estimate, and solved system structure -> sub-stage estimates.
-        self._call_cache: Optional[Dict[object, TaskEstimate]] = {} if cache else None
-        self._cache: Optional[Dict[object, Tuple[SubStageEstimate, ...]]] = (
-            {} if cache else None
+        # Both are LRU-bounded (REPRO_CACHE_ENTRIES, default 4096) so a
+        # week-long sweep session cannot grow memory without bound; sweep
+        # locality keeps the working set resident.
+        self._call_cache: Optional[LRUCache] = (
+            LRUCache(max_cache_entries, self._stats) if cache else None
         )
-        self._max_entries = max_cache_entries
-        self._stats = CacheStats()
+        self._cache: Optional[LRUCache] = (
+            LRUCache(max_cache_entries, self._stats) if cache else None
+        )
         # Mirror the CacheStats ledger into the process metrics registry
         # (when armed) so cache behaviour shows up in --metrics output and
         # worker merges without new plumbing.  Resolved once; None = off.
@@ -215,10 +221,12 @@ class BOEModel:
             self._ctr_hits = metrics.counter("boe.cache.hits")
             self._ctr_misses = metrics.counter("boe.cache.misses")
             self._ctr_solves = metrics.counter("boe.system_solves")
+            self._ctr_batch = metrics.counter("boe.batch_points")
         else:
             self._ctr_hits = None
             self._ctr_misses = None
             self._ctr_solves = None
+            self._ctr_batch = None
 
     @property
     def cluster(self) -> Cluster:
@@ -237,14 +245,6 @@ class BOEModel:
             self._cache.clear()
         if self._call_cache is not None:
             self._call_cache.clear()
-
-    def _store(self, cache: Dict, key: object, value) -> None:
-        while len(cache) >= self._max_entries:
-            # FIFO eviction: dicts preserve insertion order, and sweep
-            # reuse is overwhelmingly of recent keys anyway.
-            cache.pop(next(iter(cache)))
-            self._stats.evictions += 1
-        cache[key] = value
 
     # -- primitive: one sub-stage under an explicit users map -------------------
 
@@ -444,6 +444,73 @@ class BOEModel:
                 from the stage's task count vs ``delta`` (concurrent stages
                 always auto-detect).
         """
+        return self._task_time(job, kind, delta, concurrent, task_input_mb, staggered, None)
+
+    def solve_batch(
+        self,
+        points: Sequence[Tuple[MapReduceJob, StageKind, float, Sequence[Tuple[MapReduceJob, StageKind, float]]]],
+    ) -> List[TaskEstimate]:
+        """Evaluate Eq. 3-5 for a whole vector of (job, stage, Delta,
+        concurrent-set) points in one pass.
+
+        The per-point arithmetic is *exactly* :meth:`task_time`'s — same
+        cache lookups, same fixed-point solves, same float operation order —
+        so batched and serial results are bit-identical.  What the batch
+        amortises is the setup: each distinct (job, stage) pipeline is
+        decomposed into sub-stage operation arrays once
+        (:func:`~repro.mapreduce.phases.build_task_substages`) and shared by
+        every point that references it, instead of being rebuilt per target
+        *and* per concurrent appearance.  An Algorithm 1 state with ``R``
+        running stages performs ``R`` decompositions instead of ``R**2``;
+        a sweep batch shares them across its whole candidate fan-out.
+        """
+        if self._ctr_batch is not None:
+            self._ctr_batch.inc(len(points))
+        built: Dict[Tuple[MapReduceJob, StageKind], List[SubStageSpec]] = {}
+        return [
+            self._task_time(job, kind, delta, concurrent, None, None, built)
+            for job, kind, delta, concurrent in points
+        ]
+
+    def _built_substages(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        task_input_mb: Optional[float],
+        built: Optional[Dict[Tuple[MapReduceJob, StageKind], List[SubStageSpec]]],
+    ) -> List[SubStageSpec]:
+        """Decompose one stage's task pipeline, via the batch memo if any.
+
+        ``build_task_substages`` is a pure function of (job, kind, per-task
+        input, remote fraction); the memo only applies to the default
+        per-task input, where the key is just the value-hashed (job, kind).
+        """
+        if built is None or task_input_mb is not None:
+            return build_task_substages(
+                job,
+                kind,
+                task_input_mb=task_input_mb,
+                remote_fraction=self._cluster.remote_fraction,
+            )
+        key = (job, kind)
+        substages = built.get(key)
+        if substages is None:
+            substages = build_task_substages(
+                job, kind, remote_fraction=self._cluster.remote_fraction
+            )
+            built[key] = substages
+        return substages
+
+    def _task_time(
+        self,
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+        task_input_mb: Optional[float],
+        staggered: Optional[bool],
+        built: Optional[Dict[Tuple[MapReduceJob, StageKind], List[SubStageSpec]]],
+    ) -> TaskEstimate:
         # Level 1: exact call arguments.  Jobs are frozen dataclasses hashing
         # by value, so the key is recomputed from the *current* field values
         # on every lookup — a job mutated after estimation hashes elsewhere
@@ -458,12 +525,9 @@ class BOEModel:
                     self._ctr_hits.inc()
                 return hit
 
-        remote = self._cluster.remote_fraction
         target_ctx = _StageCtx(
             name=job.name,
-            substages=build_task_substages(
-                job, kind, task_input_mb=task_input_mb, remote_fraction=remote
-            ),
+            substages=self._built_substages(job, kind, task_input_mb, built),
             delta=delta,
             staggered=(
                 self._is_staggered(job, kind, delta)
@@ -476,9 +540,7 @@ class BOEModel:
             system.append(
                 _StageCtx(
                     name=other.name,
-                    substages=build_task_substages(
-                        other, other_kind, remote_fraction=remote
-                    ),
+                    substages=self._built_substages(other, other_kind, None, built),
                     delta=other_delta,
                     staggered=self._is_staggered(other, other_kind, other_delta),
                 )
@@ -500,7 +562,7 @@ class BOEModel:
                 if self._ctr_hits is not None:
                     self._ctr_hits.inc()
                 estimate = TaskEstimate(job=job.name, kind=kind, substages=substages)
-                self._store(self._call_cache, call_key, estimate)
+                self._call_cache.put(call_key, estimate)
                 return estimate
             self._stats.misses += 1
             if self._ctr_misses is not None:
@@ -518,8 +580,8 @@ class BOEModel:
         )
         estimate = TaskEstimate(job=job.name, kind=kind, substages=estimates)
         if key is not None:
-            self._store(self._cache, key, estimates)
-            self._store(self._call_cache, call_key, estimate)
+            self._cache.put(key, estimates)
+            self._call_cache.put(call_key, estimate)
         return estimate
 
     def stage_bottleneck(

@@ -28,11 +28,23 @@ from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.core.boe import BOEModel
-from repro.core.distributions import TaskTimeDistribution, Variant, stage_time
+from repro.core.distributions import (
+    TaskTimeDistribution,
+    Variant,
+    stage_time,
+    wave_sizes,
+)
 from repro.core.fingerprint import (
     CacheStats,
-    concurrent_fingerprint,
-    job_fingerprint,
+    LRUCache,
+    default_cache_entries,
+)
+from repro.core.incremental import (
+    Checkpoint,
+    SpanEntry,
+    Trajectory,
+    TrajectoryCache,
+    parent_map,
 )
 from repro.core.parallelism import RunningStage, estimate_parallelism
 from repro.core.state import DagEstimate, EstimatedState, WorkflowProgress
@@ -49,8 +61,25 @@ _MAX_ITERATIONS = 100_000
 logger = logging.getLogger(__name__)
 
 
+#: One estimator query: (job, stage kind, Delta, concurrent-load triples).
+Point = Tuple[
+    MapReduceJob,
+    StageKind,
+    float,
+    Sequence[Tuple[MapReduceJob, StageKind, float]],
+]
+
+
 class TaskTimeSource(Protocol):
-    """Supplies per-task time distributions to the workflow estimator."""
+    """Supplies per-task time distributions to the workflow estimator.
+
+    Sources may additionally provide a ``distribution_batch(points)``
+    method evaluating a whole vector of :data:`Point` queries in one pass
+    (the batched BOE kernel); :class:`DagEstimator` uses it when present.
+    Batched results must be bit-identical to per-point calls — every source
+    in this package guarantees that by running the same arithmetic and only
+    amortising setup.
+    """
 
     def distribution(
         self,
@@ -98,6 +127,14 @@ class BOESource:
         """The wrapped model's task-time cache ledger (sweep observability)."""
         return self._model.cache_stats
 
+    def _wrap(self, job: MapReduceJob, duration: float) -> TaskTimeDistribution:
+        value = duration
+        if self._include_overhead:
+            value += job.config.task_overhead_s
+        return TaskTimeDistribution(
+            mean=value, median=value, std=value * self._skew_cv, n=0
+        )
+
     def distribution(
         self,
         job: MapReduceJob,
@@ -106,12 +143,17 @@ class BOESource:
         concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
     ) -> TaskTimeDistribution:
         estimate = self._model.task_time(job, kind, delta, concurrent)
-        value = estimate.duration
-        if self._include_overhead:
-            value += job.config.task_overhead_s
-        return TaskTimeDistribution(
-            mean=value, median=value, std=value * self._skew_cv, n=0
-        )
+        return self._wrap(job, estimate.duration)
+
+    def distribution_batch(
+        self, points: Sequence[Point]
+    ) -> List[TaskTimeDistribution]:
+        """Vectorised :meth:`distribution` via the batched BOE kernel."""
+        estimates = self._model.solve_batch(points)
+        return [
+            self._wrap(job, estimate.duration)
+            for (job, _, _, _), estimate in zip(points, estimates)
+        ]
 
 
 class ScaledSource:
@@ -150,6 +192,17 @@ class ScaledSource:
             self._factor
         )
 
+    def distribution_batch(
+        self, points: Sequence[Point]
+    ) -> List[TaskTimeDistribution]:
+        """Vectorised lookup: batch through the inner source when it can."""
+        batch = getattr(self._inner, "distribution_batch", None)
+        if batch is not None:
+            inner = batch(points)
+        else:
+            inner = [self._inner.distribution(*point) for point in points]
+        return [dist.scaled(self._factor) for dist in inner]
+
 
 class CachingSource:
     """Memoise any deterministic :class:`TaskTimeSource`.
@@ -165,13 +218,14 @@ class CachingSource:
     bit-identical values cached or not.
     """
 
-    def __init__(self, inner: TaskTimeSource, max_entries: int = 65_536):
+    def __init__(self, inner: TaskTimeSource, max_entries: Optional[int] = None):
+        if max_entries is None:
+            max_entries = default_cache_entries()
         if max_entries < 1:
             raise EstimationError(f"max_entries must be >= 1: {max_entries}")
         self._inner = inner
-        self._max_entries = max_entries
-        self._cache: Dict[object, TaskTimeDistribution] = {}
         self._stats = CacheStats()
+        self._cache = LRUCache(max_entries, self._stats)
 
     @property
     def inner(self) -> TaskTimeSource:
@@ -184,6 +238,24 @@ class CachingSource:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    @staticmethod
+    def _key(
+        job: MapReduceJob,
+        kind: StageKind,
+        delta: float,
+        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+    ) -> Tuple:
+        # Jobs are frozen value-hashing dataclasses (with pinned hashes),
+        # so they key the cache directly; a recursive field fingerprint
+        # would induce exactly the same equivalence classes at many times
+        # the cost per lookup.
+        return (
+            job,
+            kind,
+            float(delta),
+            tuple((j, k, float(d)) for j, k, d in concurrent),
+        )
+
     def distribution(
         self,
         job: MapReduceJob,
@@ -191,23 +263,43 @@ class CachingSource:
         delta: float,
         concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
     ) -> TaskTimeDistribution:
-        key = (
-            job_fingerprint(job),
-            kind,
-            float(delta),
-            concurrent_fingerprint(concurrent),
-        )
+        key = self._key(job, kind, delta, concurrent)
         hit = self._cache.get(key)
         if hit is not None:
             self._stats.hits += 1
             return hit
         self._stats.misses += 1
         dist = self._inner.distribution(job, kind, delta, concurrent)
-        while len(self._cache) >= self._max_entries:
-            self._cache.pop(next(iter(self._cache)))
-            self._stats.evictions += 1
-        self._cache[key] = dist
+        self._cache.put(key, dist)
         return dist
+
+    def distribution_batch(
+        self, points: Sequence[Point]
+    ) -> List[TaskTimeDistribution]:
+        """Vectorised lookup: answer hits from the cache, batch the misses
+        through the inner source when it supports batching."""
+        keys = [self._key(*point) for point in points]
+        results: List[Optional[TaskTimeDistribution]] = []
+        miss_indices: List[int] = []
+        for key in keys:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._stats.hits += 1
+            else:
+                self._stats.misses += 1
+                miss_indices.append(len(results))
+            results.append(hit)
+        if miss_indices:
+            misses = [points[i] for i in miss_indices]
+            batch = getattr(self._inner, "distribution_batch", None)
+            if batch is not None:
+                fresh = batch(misses)
+            else:
+                fresh = [self._inner.distribution(*point) for point in misses]
+            for index, dist in zip(miss_indices, fresh):
+                self._cache.put(keys[index], dist)
+                results[index] = dist
+        return results
 
 
 @dataclass
@@ -221,7 +313,17 @@ class _StageProgress:
 
 
 class DagEstimator:
-    """State-based DAG workflow cost estimator (Algorithm 1)."""
+    """State-based DAG workflow cost estimator (Algorithm 1).
+
+    With a :class:`~repro.core.incremental.TrajectoryCache` attached the
+    estimator records per-state checkpoints after every full run and, on
+    the next candidate, resumes Algorithm 1 from the longest provably
+    unaffected state prefix instead of ``t = 0`` — see
+    :mod:`repro.core.incremental` for the reuse invariant.  With ``batch``
+    (the default) and a source exposing ``distribution_batch``, each
+    state's task-time queries are evaluated in one vectorised call.  Both
+    paths are bit-identical to the cold serial estimator.
+    """
 
     def __init__(
         self,
@@ -230,12 +332,18 @@ class DagEstimator:
         variant: Variant = Variant.MEAN,
         policy: str = "drf",
         enforce_vcores: bool = False,
+        trajectory_cache: Optional[TrajectoryCache] = None,
+        batch: bool = True,
     ):
         self._cluster = cluster
         self._source = source
         self._variant = variant
         self._policy = policy
         self._enforce_vcores = enforce_vcores
+        self._trajectories = trajectory_cache
+        self._batched = bool(batch) and callable(
+            getattr(source, "distribution_batch", None)
+        )
         # Observability hooks, resolved once (None = fully disabled; see
         # repro.obs — results never depend on them).
         tracer = get_tracer()
@@ -244,35 +352,52 @@ class DagEstimator:
         self._ctr_iterations = (
             metrics.counter("est.iterations") if metrics.enabled else None
         )
+        self._ctr_prefix = (
+            metrics.counter("estimator.prefix_states_reused")
+            if metrics.enabled
+            else None
+        )
+
+    @property
+    def trajectory_cache(self) -> Optional[TrajectoryCache]:
+        return self._trajectories
+
+    @staticmethod
+    def _ragged_tail(progress: _StageProgress, delta: float) -> Optional[float]:
+        """Size of a ragged final wave, or ``None`` when the stage is even.
+
+        A stage whose task count is not a multiple of its parallelism runs a
+        ragged final wave at *lower* parallelism — and for contention-driven
+        task times (the BOE source) those final tasks are genuinely faster.
+        """
+        waves = wave_sizes(progress.total, delta)
+        per_wave = max(1, int(delta + 1e-9))
+        if len(waves) < 2 or waves[-1] >= per_wave:
+            return None
+        return float(waves[-1])
 
     def _whole_stage_time(
         self,
         progress: _StageProgress,
         delta: float,
         dist: TaskTimeDistribution,
-        concurrent: Sequence[Tuple[MapReduceJob, StageKind, float]],
+        tail_dist: Optional[TaskTimeDistribution],
     ) -> float:
         """Whole-stage duration with a wave-aware final correction.
 
-        A stage whose task count is not a multiple of its parallelism runs a
-        ragged final wave at *lower* parallelism — and for contention-driven
-        task times (the BOE source) those final tasks are genuinely faster.
-        The final wave is therefore re-priced at its own parallelism;
-        sources that ignore ``delta`` (measured profiles) are unaffected.
+        ``tail_dist`` is the re-priced distribution of the ragged final
+        wave (pre-fetched by the caller so the lookup can ride the batched
+        kernel), or ``None`` when :meth:`_ragged_tail` found none; sources
+        that ignore ``delta`` (measured profiles) are unaffected.
         """
-        from repro.core.distributions import wave_sizes
-
+        if tail_dist is None:
+            return stage_time(progress.total, delta, dist, self._variant)
         waves = wave_sizes(progress.total, delta)
         per_wave = max(1, int(delta + 1e-9))
-        if len(waves) < 2 or waves[-1] >= per_wave:
-            return stage_time(progress.total, delta, dist, self._variant)
-        last_dist = self._source.distribution(
-            progress.job, progress.kind, float(waves[-1]), concurrent
-        )
         if self._variant is Variant.NORMAL:
             body = (progress.total - waves[-1]) / per_wave * dist.mean
-            return body + last_dist.expected_wave_max(waves[-1])
-        return (len(waves) - 1) * dist.statistic(self._variant) + last_dist.statistic(
+            return body + tail_dist.expected_wave_max(waves[-1])
+        return (len(waves) - 1) * dist.statistic(self._variant) + tail_dist.statistic(
             self._variant
         )
 
@@ -288,22 +413,61 @@ class DagEstimator:
         estimation application (see :mod:`repro.progress`).
         """
         t_wall = time.perf_counter()
+        # Trajectory reuse only applies to full runs: a mid-execution
+        # snapshot (`initial`) starts from measured progress, not from
+        # state 0, so its states are not comparable across candidates.
+        cache = self._trajectories if initial is None else None
+        match = (
+            cache.match(
+                workflow,
+                self._cluster,
+                self._variant,
+                self._policy,
+                self._enforce_vcores,
+                self._source,
+            )
+            if cache is not None
+            else None
+        )
         run_span = (
             self._otr.begin(
                 "est.run",
                 workflow=workflow.name,
                 variant=self._variant.value,
                 resumed=initial is not None,
+                prefix=match.prefix if match is not None else 0,
             )
             if self._otr is not None
             else None
         )
+        if match is not None and match.full:
+            # Identical candidate: replay the whole cached estimate.
+            trajectory = match.trajectory
+            reused = len(trajectory.states)
+            cache.stats.states_reused += reused
+            if self._ctr_prefix is not None:
+                self._ctr_prefix.inc(reused)
+            overhead = time.perf_counter() - t_wall
+            if run_span is not None:
+                self._otr.finish(
+                    run_span, total_time_s=trajectory.total_time, states=reused
+                )
+            return DagEstimate(
+                workflow_name=workflow.name,
+                total_time=trajectory.total_time,
+                states=list(trajectory.states),
+                stage_spans={key: span for _, key, span in trajectory.span_log},
+                variant=self._variant.value,
+                model_overhead_s=overhead,
+            )
         running: Dict[str, _StageProgress] = {}
         done: Set[str] = set()
         arrival: Dict[str, int] = {}
         now = 0.0
         states: List[EstimatedState] = []
         spans: Dict[Tuple[str, StageKind], Tuple[float, float]] = {}
+        span_log: List[SpanEntry] = []
+        checkpoints: List[Checkpoint] = []
 
         def start_stage(
             name: str, kind: StageKind, remaining: Optional[float] = None
@@ -326,7 +490,34 @@ class DagEstimator:
                 prev_delta=tasks if resumed_mid_flight else 0.0,
             )
 
-        if initial is None:
+        if match is not None:
+            # Resume Algorithm 1 from the longest reusable checkpoint.  The
+            # running entries are restored in the cached dict order — the
+            # order fixes every stage's concurrent-load signature, so it is
+            # part of the bit-identical guarantee.
+            trajectory = match.trajectory
+            prefix = match.prefix
+            checkpoint = trajectory.checkpoints[prefix - 1]
+            now = checkpoint.now
+            done = set(checkpoint.done)
+            arrival = {name: i for i, name in enumerate(checkpoint.arrival)}
+            for name, kind, remaining, total, t_start, prev_delta in checkpoint.running:
+                running[name] = _StageProgress(
+                    job=workflow.job(name),
+                    kind=kind,
+                    remaining=remaining,
+                    total=total,
+                    t_start=t_start,
+                    prev_delta=prev_delta,
+                )
+            states = list(trajectory.states[:prefix])
+            span_log = [entry for entry in trajectory.span_log if entry[0] <= prefix]
+            spans = {key: span for _, key, span in span_log}
+            checkpoints = list(trajectory.checkpoints[:prefix])
+            cache.stats.states_reused += prefix
+            if self._ctr_prefix is not None:
+                self._ctr_prefix.inc(prefix)
+        elif initial is None:
             for name in workflow.roots():
                 start_stage(name, StageKind.MAP)
         else:
@@ -349,8 +540,16 @@ class DagEstimator:
         while running:
             iterations += 1
             if iterations > _MAX_ITERATIONS:
+                summary = ", ".join(
+                    f"{p.job.name}/{p.kind.value}"
+                    f" {p.remaining:.3f}/{p.total:.0f} tasks left"
+                    f" (Delta={p.prev_delta:.2f})"
+                    for p in running.values()
+                )
                 raise EstimationError(
-                    f"estimator did not converge on {workflow.name!r}"
+                    f"estimator did not converge on {workflow.name!r}: "
+                    f"{_MAX_ITERATIONS} states reached at t={now:.3f}s with "
+                    f"{len(running)} stage(s) still running: [{summary}]"
                 )
             iter_span = (
                 self._otr.begin(
@@ -384,8 +583,20 @@ class DagEstimator:
                 enforce_vcores=self._enforce_vcores,
             )
 
-            dists: Dict[str, TaskTimeDistribution] = {}
-            rests: Dict[str, float] = {}
+            # Assemble the state's task-time queries: one main point per
+            # running stage plus a re-priced point for each ragged final
+            # wave.  With a batching source both vectors go through
+            # ``distribution_batch`` (the batched BOE kernel shares one
+            # substage decomposition per stage across the whole state);
+            # otherwise the identical points are evaluated one by one.
+            entries: List[
+                Tuple[
+                    str,
+                    _StageProgress,
+                    float,
+                    List[Tuple[MapReduceJob, StageKind, float]],
+                ]
+            ] = []
             for name, progress in running.items():
                 delta = max(deltas.get(name, 0.0), _EPS)
                 concurrent = [
@@ -393,9 +604,45 @@ class DagEstimator:
                     for other_name, other in running.items()
                     if other_name != name
                 ]
-                dist = self._source.distribution(
-                    progress.job, progress.kind, delta, concurrent
+                entries.append((name, progress, delta, concurrent))
+
+            main_points: List[Point] = [
+                (progress.job, progress.kind, delta, concurrent)
+                for _, progress, delta, concurrent in entries
+            ]
+            tails = [
+                self._ragged_tail(progress, delta)
+                for _, progress, delta, _ in entries
+            ]
+            tail_points: List[Point] = [
+                (entries[i][1].job, entries[i][1].kind, tail, entries[i][3])
+                for i, tail in enumerate(tails)
+                if tail is not None
+            ]
+            if self._batched:
+                main_dists = self._source.distribution_batch(main_points)
+                tail_queue = (
+                    self._source.distribution_batch(tail_points)
+                    if tail_points
+                    else []
                 )
+            else:
+                main_dists = [
+                    self._source.distribution(*point) for point in main_points
+                ]
+                tail_queue = [
+                    self._source.distribution(*point) for point in tail_points
+                ]
+            tail_dists: List[Optional[TaskTimeDistribution]] = []
+            queued = iter(tail_queue)
+            for tail in tails:
+                tail_dists.append(None if tail is None else next(queued))
+
+            dists: Dict[str, TaskTimeDistribution] = {}
+            rests: Dict[str, float] = {}
+            for (name, progress, delta, concurrent), dist, tail_dist in zip(
+                entries, main_dists, tail_dists
+            ):
                 dists[name] = dist
                 progress.prev_delta = delta
                 # Wave-quantized duration of the whole stage at the current
@@ -404,9 +651,7 @@ class DagEstimator:
                 # count into waves) keeps in-flight partial progress: a wave
                 # two-thirds done has one third of a wave left, not a whole
                 # fresh wave.
-                whole = self._whole_stage_time(
-                    progress, delta, dist, concurrent
-                )
+                whole = self._whole_stage_time(progress, delta, dist, tail_dist)
                 rests[name] = whole * (progress.remaining / progress.total)
 
             dt = min(rests.values())
@@ -434,6 +679,9 @@ class DagEstimator:
                 progress = running[name]
                 if name in finishing:
                     spans[(name, progress.kind)] = (progress.t_start, now)
+                    span_log.append(
+                        (len(states), (name, progress.kind), (progress.t_start, now))
+                    )
                     del running[name]
                     if progress.kind is StageKind.MAP and not progress.job.is_map_only:
                         start_stage(name, StageKind.REDUCE)
@@ -452,6 +700,21 @@ class DagEstimator:
                     rate = progress.remaining / rests[name]
                     progress.remaining = max(0.0, progress.remaining - dt * rate)
 
+            if cache is not None:
+                checkpoints.append(
+                    Checkpoint(
+                        index=len(states),
+                        now=now,
+                        running=tuple(
+                            (p.job.name, p.kind, p.remaining, p.total, p.t_start, p.prev_delta)
+                            for p in running.values()
+                        ),
+                        done=frozenset(done),
+                        arrival=tuple(arrival),
+                        arrived=frozenset(arrival),
+                    )
+                )
+
             if iter_span is not None:
                 self._otr.finish(
                     iter_span,
@@ -461,6 +724,23 @@ class DagEstimator:
                 )
 
         total = now
+        if cache is not None:
+            cache.stats.states_computed += iterations
+            cache.record(
+                Trajectory(
+                    workflow=workflow,
+                    cluster=self._cluster,
+                    variant=self._variant,
+                    policy=self._policy,
+                    enforce_vcores=self._enforce_vcores,
+                    source=self._source,
+                    total_time=total,
+                    states=tuple(states),
+                    span_log=tuple(span_log),
+                    checkpoints=tuple(checkpoints),
+                    parents=cache.parents_of(workflow),
+                )
+            )
         overhead = time.perf_counter() - t_wall
         if self._ctr_iterations is not None:
             self._ctr_iterations.inc(iterations)

@@ -30,10 +30,41 @@ reports through (:class:`~repro.core.boe.BOEModel`,
 from __future__ import annotations
 
 import dataclasses
+import os
+from collections import OrderedDict
 from enum import Enum
-from typing import Dict, Hashable, Mapping, Sequence, Tuple, Type
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple, Type
 
 from repro.errors import EstimationError
+
+#: Environment variable bounding the memoisation caches (entry count).
+CACHE_ENTRIES_ENV = "REPRO_CACHE_ENTRIES"
+
+#: Fallback bound when :data:`CACHE_ENTRIES_ENV` is unset.  Sized for a
+#: week-long sweep session: entries are small (a fingerprint tuple plus a
+#: frozen estimate), and sweep locality means the working set is far
+#: smaller than the total key population.
+DEFAULT_CACHE_ENTRIES = 4096
+
+
+def default_cache_entries() -> int:
+    """The configured cache bound (``REPRO_CACHE_ENTRIES``, default 4096).
+
+    Read at cache construction time, not import time, so tests and
+    long-running services can retune without reloading the package.
+    """
+    raw = os.environ.get(CACHE_ENTRIES_ENV)
+    if raw is None:
+        return DEFAULT_CACHE_ENTRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise EstimationError(
+            f"{CACHE_ENTRIES_ENV} must be an integer: {raw!r}"
+        ) from None
+    if value < 1:
+        raise EstimationError(f"{CACHE_ENTRIES_ENV} must be >= 1: {value}")
+    return value
 
 #: Per-type field-name tuples, resolved once (``dataclasses.fields`` is slow
 #: enough to matter on the hot lookup path).
@@ -144,3 +175,60 @@ class CacheStats:
             if self.lookups
             else "unused"
         )
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping for memoised evaluations.
+
+    Every cache in the package (the BOE model's two levels,
+    :class:`~repro.core.estimator.CachingSource`, the trajectory cache)
+    stores pure-function results, so eviction can never change a value —
+    only force a recompute.  LRU (rather than the historical FIFO) keeps a
+    sweep's working set resident even when a week-long session churns
+    through far more distinct keys than the bound: the keys a coordinate-
+    descent step keeps re-touching stay hot.
+
+    Evictions are reported through the shared :class:`CacheStats` ledger
+    when one is attached (hits/misses stay with the caller, which knows
+    which lookup level it is serving).
+    """
+
+    __slots__ = ("_data", "_max_entries", "_stats")
+
+    def __init__(self, max_entries: int, stats: Optional[CacheStats] = None):
+        if max_entries < 1:
+            raise EstimationError(f"max_entries must be >= 1: {max_entries}")
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._max_entries = max_entries
+        self._stats = stats
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, marking it most recently used on a hit."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert ``key``, evicting least-recently-used entries past the bound."""
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return
+        while len(self._data) >= self._max_entries:
+            self._data.popitem(last=False)
+            if self._stats is not None:
+                self._stats.evictions += 1
+        self._data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -8,8 +8,8 @@ parents run simultaneously, which is exactly what makes cost estimation hard
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.errors import WorkflowError
 from repro.mapreduce.job import MapReduceJob
@@ -49,11 +49,40 @@ class Workflow:
         # Reject cycles up-front (Definition 1 requires acyclicity).
         self.topological_order()
 
+    # -- derived-structure memo -------------------------------------------------
+
+    def _memoised(self, key: str, build: Callable[[], object]) -> object:
+        """Build-once storage for derived structure (adjacency, job map).
+
+        The workflow is frozen, so every derived view is immutable too;
+        hot paths (the estimator's transition loop, trajectory diffing)
+        query them per state and must not rebuild per call.  The memo
+        lives outside the dataclass fields — ``__eq__``/``__hash__``
+        ignore it, and :meth:`__getstate__` strips it, so pickles stay
+        lean and equality is untouched.
+        """
+        memo = self.__dict__.get("_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_memo", memo)
+        value = memo.get(key)
+        if value is None:
+            value = build()
+            memo[key] = value
+        return value
+
+    def __getstate__(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     # -- structure queries -----------------------------------------------------
 
     @property
     def job_map(self) -> Dict[str, MapReduceJob]:
-        return {j.name: j for j in self.jobs}
+        return self._memoised("job_map", lambda: {j.name: j for j in self.jobs})
 
     def job(self, name: str) -> MapReduceJob:
         try:
@@ -61,13 +90,37 @@ class Workflow:
         except KeyError:
             raise WorkflowError(f"no job {name!r} in workflow {self.name!r}") from None
 
-    def parents(self, name: str) -> Set[str]:
-        """Names of jobs that must complete before ``name`` starts."""
-        return {p for p, c in self.edges if c == name}
+    def _parent_sets(self) -> Dict[str, FrozenSet[str]]:
+        def build() -> Dict[str, FrozenSet[str]]:
+            collected: Dict[str, Set[str]] = {j.name: set() for j in self.jobs}
+            for parent, child in self.edges:
+                collected[child].add(parent)
+            return {name: frozenset(v) for name, v in collected.items()}
 
-    def children(self, name: str) -> Set[str]:
+        return self._memoised("parents", build)
+
+    def _child_sets(self) -> Dict[str, FrozenSet[str]]:
+        def build() -> Dict[str, FrozenSet[str]]:
+            collected: Dict[str, Set[str]] = {j.name: set() for j in self.jobs}
+            for parent, child in self.edges:
+                collected[parent].add(child)
+            return {name: frozenset(v) for name, v in collected.items()}
+
+        return self._memoised("children", build)
+
+    def parents(self, name: str) -> FrozenSet[str]:
+        """Names of jobs that must complete before ``name`` starts."""
+        sets = self._parent_sets()
+        return sets[name] if name in sets else frozenset(
+            p for p, c in self.edges if c == name
+        )
+
+    def children(self, name: str) -> FrozenSet[str]:
         """Names of jobs unlocked (partially) by ``name``'s completion."""
-        return {c for p, c in self.edges if p == name}
+        sets = self._child_sets()
+        return sets[name] if name in sets else frozenset(
+            c for p, c in self.edges if p == name
+        )
 
     def roots(self) -> List[str]:
         """Jobs with no parents — they all start at time zero."""
@@ -122,6 +175,27 @@ class Workflow:
             f"{self.name}: {len(self.jobs)} jobs, {len(self.edges)} edges, "
             f"{self.num_stages} stages, input {self.total_input_mb:.0f} MB"
         )
+
+
+# Workflows are hashed constantly on the sweep hot path (candidate memo
+# keys, trajectory-cache keys), and the generated dataclass hash walks every
+# job recursively each time.  The instance is frozen, so the value can be
+# computed once and pinned.  Installed after class creation because
+# ``@dataclass(frozen=True)`` overwrites a ``__hash__`` defined in the class
+# body; ``__getstate__`` strips the pin, so a pickled workflow never carries
+# one process's (seed-randomised) hash into another.
+_GENERATED_WORKFLOW_HASH = Workflow.__hash__
+
+
+def _cached_workflow_hash(self: Workflow) -> int:
+    value = self.__dict__.get("_hash_pin")
+    if value is None:
+        value = _GENERATED_WORKFLOW_HASH(self)
+        object.__setattr__(self, "_hash_pin", value)
+    return value
+
+
+Workflow.__hash__ = _cached_workflow_hash  # type: ignore[method-assign]
 
 
 def single_job_workflow(job: MapReduceJob, name: str = "") -> Workflow:

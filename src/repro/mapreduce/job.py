@@ -11,8 +11,8 @@ history; here they come either from workload definitions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional
 
 from repro.errors import SpecificationError
 from repro.mapreduce.config import DEFAULT_CONFIG, JobConfig
@@ -142,3 +142,34 @@ class MapReduceJob:
             f"{self.reduce_cpu_mb_s:.0f})MB/s C={'Y' if self.config.compression.enabled else 'N'} "
             f"R={self.config.replicas}"
         )
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Strip the hash pin (see below): hash values are per-process
+        # (string hashing is seed-randomised), so they must never travel
+        # through pickle to pool workers.
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+
+# Jobs are hashed on every model-cache lookup (the BOE L1 key contains the
+# target job plus every concurrent job), and the generated dataclass hash
+# re-walks all fields including the nested config each time.  Instances are
+# frozen, so the value is computed once and pinned per object.  Installed
+# after class creation because ``@dataclass(frozen=True)`` overwrites a
+# ``__hash__`` defined in the class body; dataclass subclasses regenerate
+# their own ``__hash__`` and simply skip the pin.
+_GENERATED_JOB_HASH = MapReduceJob.__hash__
+
+
+def _cached_job_hash(self: MapReduceJob) -> int:
+    value = self.__dict__.get("_hash_pin")
+    if value is None:
+        value = _GENERATED_JOB_HASH(self)
+        object.__setattr__(self, "_hash_pin", value)
+    return value
+
+
+MapReduceJob.__hash__ = _cached_job_hash  # type: ignore[method-assign]

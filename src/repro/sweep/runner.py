@@ -40,6 +40,7 @@ from repro.core.boe import BOEModel
 from repro.core.distributions import Variant
 from repro.core.estimator import BOESource, DagEstimator, TaskTimeSource
 from repro.core.fingerprint import CacheStats
+from repro.core.incremental import ReuseStats, TrajectoryCache
 from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
 from repro.obs.metrics import get_metrics, snapshot_delta
@@ -110,6 +111,8 @@ class SweepReport:
         processes: configured worker processes (1 = serial).
         pool_used: whether any batch actually ran on the process pool.
         cache: aggregated task-time cache ledger across all processes.
+        reuse: aggregated trajectory-reuse ledger (incremental Algorithm 1)
+            across all processes; all zeros when reuse is disabled.
         phase_s: wall-clock per phase ("build" candidate normalisation,
             "estimate" the evaluations themselves, "collect" result
             assembly and stats merging).
@@ -124,6 +127,7 @@ class SweepReport:
     processes: int = 1
     pool_used: bool = False
     cache: CacheStats = field(default_factory=CacheStats)
+    reuse: ReuseStats = field(default_factory=ReuseStats)
     phase_s: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -135,12 +139,15 @@ class SweepReport:
 
     def describe(self) -> str:
         """One-line summary for CLI / benchmark output."""
+        reuse = (
+            f", trajectories {self.reuse.describe()}" if self.reuse.lookups else ""
+        )
         return (
             f"{self.candidates} evaluations ({self.infeasible} infeasible) in "
             f"{self.wall_time_s * 1000:.0f} ms "
             f"({self.evaluations_per_s:.0f}/s, cpu {self.cpu_time_s * 1000:.0f} ms, "
             f"{self.processes} proc{'s' if self.processes != 1 else ''}, "
-            f"cache {self.cache.describe()})"
+            f"cache {self.cache.describe()}{reuse})"
         )
 
 
@@ -171,6 +178,8 @@ class _EvalContext:
         memo: bool = True,
         max_memo_entries: int = 65_536,
         metrics_enabled: bool = False,
+        reuse: bool = True,
+        batch: bool = True,
     ):
         # Carried to pool workers so their process-global registry is armed
         # before they build sources (counters bind at construction time).
@@ -181,12 +190,59 @@ class _EvalContext:
         self._policy = policy
         self._enforce_vcores = enforce_vcores
         self._refine = refine
+        self._batch = batch
         self._sources: Dict[Cluster, TaskTimeSource] = {}
         if source is not None:
             self._sources[cluster] = source
         self._memo: Optional[Dict[object, CandidateResult]] = {} if memo else None
         self._max_memo_entries = max_memo_entries
         self._memo_stats = CacheStats()
+        # One trajectory cache per context: lookups filter on cluster and
+        # source identity internally, so candidates with cluster overrides
+        # coexist safely in the same store.
+        self._trajectories: Optional[TrajectoryCache] = (
+            TrajectoryCache() if reuse else None
+        )
+
+    @property
+    def reuse_enabled(self) -> bool:
+        return self._trajectories is not None
+
+    def reuse_stats(self) -> ReuseStats:
+        """The trajectory-reuse ledger (all zeros when reuse is disabled)."""
+        if self._trajectories is None:
+            return ReuseStats()
+        return self._trajectories.stats
+
+    def _estimator(self, cluster: Cluster) -> DagEstimator:
+        return DagEstimator(
+            cluster,
+            self.source_for(cluster),
+            variant=self._variant,
+            policy=self._policy,
+            enforce_vcores=self._enforce_vcores,
+            trajectory_cache=self._trajectories,
+            batch=self._batch,
+        )
+
+    def seed(self, workflow: Workflow, cluster: Optional[Cluster] = None) -> None:
+        """Warm-start the trajectory cache with ``workflow``'s full run.
+
+        Bypasses the candidate memo — a memo hit would skip the estimator
+        and record nothing — so the trajectory is guaranteed resident
+        afterwards (an already-cached trajectory is merely pinned as most
+        recently used).  No-op when reuse is disabled; infeasible seeds are
+        ignored (the candidates will report the error themselves).
+        """
+        if self._trajectories is None:
+            return
+        target = cluster if cluster is not None else self._cluster
+        if self._trajectories.contains(workflow, target):
+            return
+        try:
+            self._estimator(target).estimate(workflow)
+        except EstimationError:
+            pass
 
     def source_for(self, cluster: Cluster) -> TaskTimeSource:
         source = self._sources.get(cluster)
@@ -229,13 +285,7 @@ class _EvalContext:
                 self._memo_stats.hits += 1
                 return replace(hit, index=index, label=label)
             self._memo_stats.misses += 1
-        estimator = DagEstimator(
-            target,
-            self.source_for(target),
-            variant=self._variant,
-            policy=self._policy,
-            enforce_vcores=self._enforce_vcores,
-        )
+        estimator = self._estimator(target)
         try:
             estimate = estimator.estimate(workflow)
         except EstimationError as exc:
@@ -278,17 +328,19 @@ _MetricsDelta = Dict[str, Dict[str, Any]]
 
 def _worker_chunk(
     payload: Sequence[_Item],
-) -> Tuple[List[CandidateResult], CacheStats, float, _MetricsDelta]:
+) -> Tuple[List[CandidateResult], CacheStats, ReuseStats, float, _MetricsDelta]:
     """Evaluate one chunk in a worker.
 
-    Returns (results, cache delta, cpu seconds, metrics delta); the metrics
-    delta is empty unless the parent shipped ``metrics_enabled=True``.
+    Returns (results, cache delta, reuse delta, cpu seconds, metrics
+    delta); the metrics delta is empty unless the parent shipped
+    ``metrics_enabled=True``.
     """
     context = _WORKER_CONTEXT
     assert context is not None, "worker used before initialisation"
     registry = get_metrics()
     metrics_before = registry.snapshot() if context.metrics_enabled else {}
     before = context.cache_stats().snapshot()
+    reuse_before = context.reuse_stats().snapshot()
     cpu0 = time.process_time()
     results = [context.evaluate(*item) for item in payload]
     cpu_s = time.process_time() - cpu0
@@ -297,7 +349,13 @@ def _worker_chunk(
         if context.metrics_enabled
         else {}
     )
-    return results, context.cache_stats().delta(before), cpu_s, metrics
+    return (
+        results,
+        context.cache_stats().delta(before),
+        context.reuse_stats().delta(reuse_before),
+        cpu_s,
+        metrics,
+    )
 
 
 class SweepRunner:
@@ -318,6 +376,15 @@ class SweepRunner:
         refine: build refined BOE models (only with ``source=None``).
         memo: memoise whole candidate outcomes by (workflow, cluster);
             disable to reproduce the uncached serial reference path.
+        reuse: memoise estimator *trajectories* and resume Algorithm 1
+            from the longest reusable state prefix
+            (:mod:`repro.core.incremental`); also orders each batch by
+            knob-diff locality so neighbouring candidates share prefixes.
+            ``None`` (default) follows ``memo``, so the uncached reference
+            path stays fully cold.
+        batch: evaluate each state's task-time queries through the batched
+            BOE kernel (``distribution_batch``) when the source supports
+            it.  ``None`` (default) follows ``memo``.
         processes: worker processes; 1 (default) evaluates in-process.
         chunksize: candidates per pool task; ``None`` picks
             ``ceil(n / (4 * processes))``.
@@ -332,6 +399,8 @@ class SweepRunner:
         enforce_vcores: bool = False,
         refine: bool = False,
         memo: bool = True,
+        reuse: Optional[bool] = None,
+        batch: Optional[bool] = None,
         processes: int = 1,
         chunksize: Optional[int] = None,
     ):
@@ -348,6 +417,8 @@ class SweepRunner:
             refine,
             memo=memo,
             metrics_enabled=get_metrics().enabled,
+            reuse=memo if reuse is None else reuse,
+            batch=memo if batch is None else batch,
         )
         self._processes = processes
         self._chunksize = chunksize
@@ -377,7 +448,33 @@ class SweepRunner:
     def reset_report(self) -> None:
         self._report = SweepReport(processes=self._processes)
 
+    def seed(self, workflow: Workflow, cluster: Optional[Cluster] = None) -> None:
+        """Warm-start the trajectory cache with ``workflow`` (see
+        :meth:`_EvalContext.seed`).  The seed lands in the in-process
+        context; pool workers warm their own caches from the candidates
+        they evaluate."""
+        self._context.seed(workflow, cluster)
+
     # -- evaluation --------------------------------------------------------------
+
+    @staticmethod
+    def _locality_key(item: _Item) -> Tuple[int, ...]:
+        """Sort key grouping candidates by shared leading job specs.
+
+        Workflows list jobs in definition order (roots first), so a
+        lexicographic sort on the per-job value hashes places candidates
+        that differ only in a *late* job next to each other — exactly the
+        neighbourhoods whose trajectories share a long reusable prefix.
+        Jobs and clusters are frozen dataclasses hashing by value.  The
+        sort is stable, so ties keep submission order, and the ordering is
+        a pure performance heuristic — estimates are order-independent, so
+        results are unaffected either way.
+        """
+        _, _, workflow, cluster = item
+        return (
+            0 if cluster is None else hash(cluster),
+            *(hash(job) for job in workflow.jobs),
+        )
 
     def evaluate(
         self, candidates: Sequence[Union[Candidate, Workflow]]
@@ -400,6 +497,11 @@ class SweepRunner:
             if isinstance(entry, Workflow):
                 entry = Candidate(workflow=entry)
             items.append((index, entry.name, entry.workflow, entry.cluster))
+        if self._context.reuse_enabled and len(items) > 1:
+            # Evaluate in locality order so neighbouring candidates hand
+            # each other long trajectory prefixes; results are re-sorted
+            # into submission order below, so callers never notice.
+            items.sort(key=self._locality_key)
         report = self._report
         report._phase("build", time.perf_counter() - t0)
         if not items:
@@ -413,7 +515,7 @@ class SweepRunner:
             outcome = None
         if outcome is None:
             outcome = self._evaluate_serial(items)
-        results, cache_delta, cpu_s, pooled = outcome
+        results, cache_delta, reuse_delta, cpu_s, pooled = outcome
         report._phase("estimate", time.perf_counter() - t1)
 
         t2 = time.perf_counter()
@@ -425,6 +527,7 @@ class SweepRunner:
         report.cpu_time_s += cpu_s
         report.pool_used = report.pool_used or pooled
         report.cache.add(cache_delta)
+        report.reuse.add(reuse_delta)
         report._phase("collect", time.perf_counter() - t2)
         report.wall_time_s += time.perf_counter() - t0
         if span is not None:
@@ -438,18 +541,25 @@ class SweepRunner:
 
     def _evaluate_serial(
         self, items: Sequence[_Item]
-    ) -> Tuple[List[CandidateResult], CacheStats, float, bool]:
+    ) -> Tuple[List[CandidateResult], CacheStats, ReuseStats, float, bool]:
         # In-process evaluation records into the parent's registry directly;
         # no snapshot/merge round-trip needed.
         before = self._context.cache_stats().snapshot()
+        reuse_before = self._context.reuse_stats().snapshot()
         cpu0 = time.process_time()
         results = [self._context.evaluate(*item) for item in items]
         cpu_s = time.process_time() - cpu0
-        return results, self._context.cache_stats().delta(before), cpu_s, False
+        return (
+            results,
+            self._context.cache_stats().delta(before),
+            self._context.reuse_stats().delta(reuse_before),
+            cpu_s,
+            False,
+        )
 
     def _evaluate_parallel(
         self, items: Sequence[_Item]
-    ) -> Optional[Tuple[List[CandidateResult], CacheStats, float, bool]]:
+    ) -> Optional[Tuple[List[CandidateResult], CacheStats, ReuseStats, float, bool]]:
         """Fan chunks out over the pool; ``None`` falls back to serial."""
         executor = self._ensure_pool()
         if executor is None:
@@ -463,13 +573,19 @@ class SweepRunner:
         cpu0 = time.process_time()
         results: List[CandidateResult] = []
         cache_delta = CacheStats()
+        reuse_delta = ReuseStats()
         worker_cpu = 0.0
         registry = get_metrics()
-        for chunk_results, chunk_cache, chunk_cpu, chunk_metrics in executor.map(
-            _worker_chunk, chunks
-        ):
+        for (
+            chunk_results,
+            chunk_cache,
+            chunk_reuse,
+            chunk_cpu,
+            chunk_metrics,
+        ) in executor.map(_worker_chunk, chunks):
             results.extend(chunk_results)
             cache_delta.add(chunk_cache)
+            reuse_delta.add(chunk_reuse)
             worker_cpu += chunk_cpu
             if chunk_metrics:
                 # Fold worker activity into the parent registry; chunks merge
@@ -477,7 +593,7 @@ class SweepRunner:
                 # gauge last-wins deterministic.
                 registry.merge(chunk_metrics)
         cpu_s = (time.process_time() - cpu0) + worker_cpu
-        return results, cache_delta, cpu_s, True
+        return results, cache_delta, reuse_delta, cpu_s, True
 
     def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
         if self._pool_broken:

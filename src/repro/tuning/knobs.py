@@ -128,31 +128,54 @@ def default_space(workflow: Workflow, cluster: Cluster) -> List[Knob]:
     return knobs
 
 
+def _apply_field(job: MapReduceJob, field: str, value: object) -> MapReduceJob:
+    """One job with one configuration field overridden."""
+    if field == "num_reducers":
+        reducers = int(value)
+        if reducers < 0:
+            raise SpecificationError(f"reducer count must be >= 0: {reducers}")
+        return replace(job, num_reducers=reducers)
+    if field == "compression":
+        return job.with_config(compression=value)
+    if field == "split_mb":
+        return job.with_config(split_mb=float(value))
+    if field == "map_memory_mb":
+        container = job.config.map_container
+        return job.with_config(
+            map_container=ResourceVector(container.vcores, float(value))
+        )
+    raise SpecificationError(f"unknown knob field {field!r}")  # pragma: no cover
+
+
 def apply_assignment(workflow: Workflow, assignment: Assignment) -> Workflow:
     """A copy of the workflow with the assignment's values applied."""
     jobs: List[MapReduceJob] = []
     for job in workflow.jobs:
         updated = job
         for (job_name, field), value in assignment.items():
-            if job_name != job.name:
-                continue
-            if field == "num_reducers":
-                reducers = int(value)
-                if reducers < 0:
-                    raise SpecificationError(
-                        f"reducer count must be >= 0: {reducers}"
-                    )
-                updated = replace(updated, num_reducers=reducers)
-            elif field == "compression":
-                updated = updated.with_config(compression=value)
-            elif field == "split_mb":
-                updated = updated.with_config(split_mb=float(value))
-            elif field == "map_memory_mb":
-                container = updated.config.map_container
-                updated = updated.with_config(
-                    map_container=ResourceVector(container.vcores, float(value))
-                )
-            else:  # pragma: no cover - Knob validates fields
-                raise SpecificationError(f"unknown knob field {field!r}")
+            if job_name == job.name:
+                updated = _apply_field(updated, field, value)
         jobs.append(updated)
     return Workflow(name=workflow.name, jobs=tuple(jobs), edges=workflow.edges)
+
+
+def apply_knob_value(
+    workflow: Workflow, key: Tuple[str, str], value: object
+) -> Workflow:
+    """A copy of the workflow with a single knob overridden.
+
+    Equivalent to :func:`apply_assignment` with a one-entry assignment, but
+    every job other than the knob's keeps its *object* identity, so
+    downstream value diffs (candidate memoisation, trajectory prefix
+    matching) short-circuit on ``is`` instead of comparing whole profiles.
+    A key naming a job absent from the workflow is inert, matching
+    :func:`apply_assignment`.
+    """
+    job_name, field = key
+    if job_name not in workflow.job_map:
+        return workflow
+    jobs = tuple(
+        _apply_field(job, field, value) if job.name == job_name else job
+        for job in workflow.jobs
+    )
+    return Workflow(name=workflow.name, jobs=jobs, edges=workflow.edges)

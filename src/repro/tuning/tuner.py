@@ -40,6 +40,7 @@ from repro.tuning.knobs import (
     Assignment,
     Knob,
     apply_assignment,
+    apply_knob_value,
     current_value,
     default_space,
 )
@@ -153,6 +154,12 @@ class GreedyTuner:
         infeasible = 0
         baseline = best = self._estimate_baseline(workflow)
         trajectory: List[Tuple[Tuple[str, str], object, float]] = []
+        # The incumbent workflow (current assignment applied), maintained
+        # incrementally: each improvement adopts the winning candidate's
+        # *object*, so candidates — one-knob diffs built from it — share
+        # every untouched job by identity with the incumbent's cached
+        # estimate trajectory.
+        incumbent = workflow
 
         for pass_idx in range(self._max_passes):
             improved = False
@@ -173,19 +180,22 @@ class GreedyTuner:
                     if otr is not None
                     else None
                 )
-                batch = []
-                for candidate in candidates:
-                    trial = dict(assignment)
-                    trial[knob.key] = candidate
-                    batch.append(
-                        Candidate(
-                            apply_assignment(workflow, trial),
-                            label=f"{knob.job}.{knob.field}={candidate}",
-                        )
+                batch = [
+                    Candidate(
+                        apply_knob_value(incumbent, knob.key, candidate),
+                        label=f"{knob.job}.{knob.field}={candidate}",
                     )
+                    for candidate in candidates
+                ]
+                # Warm-start: pin the incumbent's trajectory so every
+                # candidate of this knob — a one-job diff from it — can
+                # resume Algorithm 1 from a shared state prefix (no-op on
+                # runners without trajectory reuse).
+                self._runner.seed(incumbent)
                 results = self._runner.evaluate(batch)
                 best_choice = current_choice
-                for candidate, result in zip(candidates, results):
+                best_idx: Optional[int] = None
+                for idx, (candidate, result) in enumerate(zip(candidates, results)):
                     evaluations += 1
                     if not result.ok:  # infeasible candidate (e.g. zero tasks)
                         infeasible += 1
@@ -193,8 +203,10 @@ class GreedyTuner:
                     if result.total_time_s < best * (1.0 - 1e-6):
                         best = result.total_time_s
                         best_choice = candidate
-                if best_choice != current_choice:
+                        best_idx = idx
+                if best_idx is not None:
                     assignment[knob.key] = best_choice
+                    incumbent = batch[best_idx].workflow
                     trajectory.append((knob.key, best_choice, best))
                     improved = True
                     logger.debug(

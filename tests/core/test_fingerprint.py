@@ -6,8 +6,12 @@ from dataclasses import dataclass, replace
 import pytest
 
 from repro.core.fingerprint import (
+    CACHE_ENTRIES_ENV,
+    DEFAULT_CACHE_ENTRIES,
     CacheStats,
+    LRUCache,
     concurrent_fingerprint,
+    default_cache_entries,
     job_fingerprint,
     value_fingerprint,
 )
@@ -99,3 +103,33 @@ class TestCacheStats:
 
     def test_describe_mentions_hits(self):
         assert "hits" in CacheStats(hits=1, misses=1).describe()
+
+
+class TestLRUCache:
+    def test_recency_governs_eviction(self):
+        stats = CacheStats()
+        cache = LRUCache(2, stats)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert stats.evictions == 1
+
+    def test_bound_validated(self):
+        with pytest.raises(EstimationError):
+            LRUCache(0, CacheStats())
+
+    def test_env_tunable_default(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENTRIES_ENV, raising=False)
+        assert default_cache_entries() == DEFAULT_CACHE_ENTRIES == 4096
+        monkeypatch.setenv(CACHE_ENTRIES_ENV, "128")
+        assert default_cache_entries() == 128
+        monkeypatch.setenv(CACHE_ENTRIES_ENV, "0")
+        with pytest.raises(EstimationError):
+            default_cache_entries()
+        monkeypatch.setenv(CACHE_ENTRIES_ENV, "lots")
+        with pytest.raises(EstimationError):
+            default_cache_entries()

@@ -69,16 +69,17 @@ class TestTaskTimeCache:
             retuned, StageKind.MAP, 40.0
         )
 
-    def test_mutated_job_never_served_stale(self, cluster, small_ts):
+    def test_changed_job_never_served_stale(self, cluster, small_ts):
         model = BOEModel(cluster)
         before = model.task_time(small_ts, StageKind.MAP, 40.0)
-        # Frozen dataclasses hash by value, so even an in-place mutation
-        # (bypassing the frozen guard) changes the call-time key.
-        object.__setattr__(small_ts, "input_mb", small_ts.input_mb * 4)
-        after = model.task_time(small_ts, StageKind.MAP, 40.0)
+        # Jobs are changed by deriving a copy (`replace`), never in place —
+        # hashes are pinned per frozen instance, so the derived copy is a
+        # distinct key and must re-solve, not hit the original's entry.
+        bigger = replace(small_ts, input_mb=small_ts.input_mb * 4)
+        after = model.task_time(bigger, StageKind.MAP, 40.0)
         assert after.duration != before.duration
         assert after == BOEModel(cluster, cache=False).task_time(
-            small_ts, StageKind.MAP, 40.0
+            bigger, StageKind.MAP, 40.0
         )
 
     def test_concurrent_signature_is_part_of_the_key(
@@ -200,12 +201,14 @@ class TestCachingSource:
         assert inner.calls == 4
         assert source.cache_stats.hits == 0
 
-    def test_mutation_taken_at_call_time(self, small_ts):
+    def test_derived_job_taken_at_call_time(self, small_ts):
         inner = _CountingSource()
         source = CachingSource(inner)
         before = source.distribution(small_ts, StageKind.MAP, 8.0, [])
-        object.__setattr__(small_ts, "input_mb", small_ts.input_mb * 2)
-        after = source.distribution(small_ts, StageKind.MAP, 8.0, [])
+        # A profile change arrives as a derived copy (jobs are frozen and
+        # hash-pinned): the copy keys its own entry and re-queries.
+        bigger = replace(small_ts, input_mb=small_ts.input_mb * 2)
+        after = source.distribution(bigger, StageKind.MAP, 8.0, [])
         assert inner.calls == 2
         assert after.mean == pytest.approx(before.mean * 2)
 
