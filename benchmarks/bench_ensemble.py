@@ -1,0 +1,243 @@
+"""Ensemble-layer bench — parallel Monte Carlo replications of the simulator.
+
+Point estimates hide the risk the paper's capacity-planning application
+cares about: with skew and failure injection enabled the simulator is
+stochastic, and the question becomes "what makespan do we see at P95?".
+``repro.ensemble`` answers it by fanning N seeded replications across a
+fork-once process pool and streaming them into P² quantile and Welford
+summaries.  This bench pins the three properties that layer sells:
+
+* **Pool speedup with bit-identical aggregates.**  The same 64-replication
+  ensemble runs serially and through the pool; samples, quantiles, CIs and
+  per-state summaries must compare equal, and on machines with cores the
+  pooled run must clear a speedup floor (gated on ``os.cpu_count``).
+* **Adaptive early stopping.**  With a CI tolerance set, the run must stop
+  at the first round whose target-quantile CI is tight enough — strictly
+  fewer replications than the hard budget, same answer every time.
+* **Paired what-ifs under common random numbers.**  Comparing two cluster
+  sizes with shared per-replication seeds must yield a strictly tighter
+  delta CI than the unpaired (Welch) interval over the same samples.
+
+Every scenario emits one ``BENCH`` JSON line so the performance trajectory
+is tracked from PR to PR.  Run the CI-sized subset with ``-k smoke``.
+"""
+
+import json
+import os
+import time
+
+from _bench_utils import emit, emit_json
+from repro.analysis import render_table
+from repro.cluster import Cluster, paper_cluster
+from repro.cluster.node import PAPER_NODE
+from repro.ensemble import EnsembleConfig, compare_paired, run_ensemble
+from repro.simulator import FailureModel, SimulationConfig
+from repro.mapreduce import SkewModel
+from repro.sweep import default_processes
+from repro.units import gb
+from repro.workloads import weblog_dag
+
+#: Pool speedup floors, keyed by minimum core count.  The acceptance floor
+#: (3x at 8 workers) only binds where there are 8 cores to win on; below
+#: that the parity assertions still exercise the pool path.
+SPEEDUP_FLOORS = ((8, 3.0), (4, 2.0), (2, 1.2))
+REPLICATIONS = 64
+#: Smoke uses a down-scaled weblog input so 2x64 replications stay CI-sized.
+SMOKE_INPUT_MB = gb(5)
+FULL_INPUT_MB = gb(50)
+
+
+def _config() -> SimulationConfig:
+    # Both noise sources on: skew spreads task times, failure injection
+    # adds retry tails — the regime where a distribution beats a point.
+    return SimulationConfig(
+        skew=SkewModel(sigma=0.3),
+        failures=FailureModel(probability=0.05),
+    )
+
+
+def _speedup_floor(cpus: int) -> float:
+    for min_cpus, floor in SPEEDUP_FLOORS:
+        if cpus >= min_cpus:
+            return floor
+    return 0.0
+
+
+def _run_pool_scenario(input_mb: float) -> dict:
+    workflow = weblog_dag(input_mb=input_mb)
+    cluster = paper_cluster()
+    base = EnsembleConfig(replications=REPLICATIONS, exemplars=0)
+
+    t0 = time.perf_counter()
+    serial = run_ensemble(workflow, cluster, _config(), base)
+    serial_s = time.perf_counter() - t0
+
+    processes = max(2, default_processes())
+    pooled_cfg = EnsembleConfig(
+        replications=REPLICATIONS, exemplars=0, processes=processes
+    )
+    t0 = time.perf_counter()
+    pooled = run_ensemble(workflow, cluster, _config(), pooled_cfg)
+    pooled_s = time.perf_counter() - t0
+
+    # Bit-identical aggregates regardless of process count and chunk
+    # arrival order — the determinism contract of the reorder buffer.
+    assert pooled.samples == serial.samples
+    assert pooled.quantiles == serial.quantiles
+    assert pooled.ci == serial.ci
+    assert pooled.makespan == serial.makespan
+    assert pooled.failed_attempts == serial.failed_attempts
+    assert pooled.state_durations == serial.state_durations
+    assert pooled.pool_used
+
+    cpus = os.cpu_count() or 1
+    row = {
+        "bench": "ensemble_pool",
+        "replications": REPLICATIONS,
+        "serial_wall_s": round(serial_s, 4),
+        "pool_wall_s": round(pooled_s, 4),
+        "pool_speedup": round(serial_s / pooled_s, 2),
+        "processes": processes,
+        "cpus": cpus,
+        "floor": _speedup_floor(cpus),
+        "p95_s": round(serial.quantiles[0.95], 3),
+        "ci_halfwidth_s": round(serial.ci_halfwidth, 3),
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _run_early_stop_scenario(input_mb: float) -> dict:
+    workflow = weblog_dag(input_mb=input_mb)
+    cluster = paper_cluster()
+    cfg = EnsembleConfig(
+        replications=REPLICATIONS, min_replications=8, ci_tol=0.10, exemplars=0
+    )
+    t0 = time.perf_counter()
+    result = run_ensemble(workflow, cluster, _config(), cfg)
+    wall_s = time.perf_counter() - t0
+
+    # The tolerance must beat the hard budget, and the stopping point is a
+    # function of the config alone (re-run must agree).
+    assert result.early_stopped, result.describe()
+    assert result.replications < REPLICATIONS, result.describe()
+    again = run_ensemble(workflow, cluster, _config(), cfg)
+    assert again.replications == result.replications
+    assert again.samples == result.samples
+
+    row = {
+        "bench": "ensemble_early_stop",
+        "max_replications": REPLICATIONS,
+        "replications": result.replications,
+        "savings": round(1 - result.replications / REPLICATIONS, 3),
+        "wall_s": round(wall_s, 4),
+        "rel_halfwidth": round(result.ci_rel_halfwidth, 4),
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _run_paired_scenario(input_mb: float) -> dict:
+    workflow = weblog_dag(input_mb=input_mb)
+    clusters = [
+        Cluster(node=PAPER_NODE, workers=w, name=f"{w}w") for w in (8, 10)
+    ]
+    t0 = time.perf_counter()
+    comparison = compare_paired(
+        workflow,
+        workflow,
+        clusters[0],
+        cluster_b=clusters[1],
+        config=_config(),
+        ensemble=EnsembleConfig(replications=16, exemplars=0),
+        labels=("8 workers", "10 workers"),
+    )
+    wall_s = time.perf_counter() - t0
+
+    # CRN is the point: the paired delta CI must be strictly tighter than
+    # the unpaired interval the same samples would give.
+    assert comparison.paired_halfwidth < comparison.unpaired_halfwidth, (
+        comparison.describe()
+    )
+
+    row = {
+        "bench": "ensemble_paired",
+        "replications": comparison.replications,
+        "mean_delta_s": round(comparison.mean_delta, 3),
+        "paired_halfwidth_s": round(comparison.paired_halfwidth, 3),
+        "unpaired_halfwidth_s": round(comparison.unpaired_halfwidth, 3),
+        "variance_reduction": round(comparison.variance_reduction, 2),
+        "significant": comparison.significant,
+        "wall_s": round(wall_s, 4),
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _render(pool: dict, early: dict, paired: dict) -> str:
+    return render_table(
+        ["scenario", "replications", "reference (s)", "ensemble (s)", "gain", "note"],
+        [
+            [
+                "pool (parity)",
+                pool["replications"],
+                f"{pool['serial_wall_s']:.3f}",
+                f"{pool['pool_wall_s']:.3f}",
+                f"{pool['pool_speedup']:.1f}x",
+                f"{pool['processes']} procs, {pool['cpus']} cpus",
+            ],
+            [
+                "early stop",
+                f"{early['replications']}/{early['max_replications']}",
+                "-",
+                f"{early['wall_s']:.3f}",
+                f"{early['savings']:.0%} reps saved",
+                f"CI {early['rel_halfwidth']:.1%} of estimate",
+            ],
+            [
+                "paired CRN",
+                paired["replications"],
+                f"±{paired['unpaired_halfwidth_s']:.1f}s",
+                f"±{paired['paired_halfwidth_s']:.1f}s",
+                f"{paired['variance_reduction']:.1f}x",
+                f"delta {paired['mean_delta_s']:+.1f}s",
+            ],
+        ],
+        title="Monte Carlo ensemble: pooled + early-stopped vs serial full budget",
+    )
+
+
+def _assert_floors(pool: dict) -> None:
+    floor = _speedup_floor(pool["cpus"])
+    if floor:
+        assert pool["pool_speedup"] >= floor, pool
+
+
+def test_ensemble_smoke():
+    """CI-sized subset on the down-scaled weblog DAG.  Run with ``-k smoke``."""
+    pool = _run_pool_scenario(SMOKE_INPUT_MB)
+    early = _run_early_stop_scenario(SMOKE_INPUT_MB)
+    paired = _run_paired_scenario(SMOKE_INPUT_MB)
+    emit(_render(pool, early, paired))
+    emit_json("ensemble", {"mode": "smoke", "pool": pool, "early_stop": early,
+                           "paired": paired})
+    _assert_floors(pool)
+
+
+def test_ensemble_full(benchmark):
+    pool = _run_pool_scenario(FULL_INPUT_MB)
+    early = _run_early_stop_scenario(FULL_INPUT_MB)
+    paired = _run_paired_scenario(FULL_INPUT_MB)
+    emit(_render(pool, early, paired))
+    emit_json("ensemble", {"mode": "full", "pool": pool, "early_stop": early,
+                           "paired": paired})
+    _assert_floors(pool)
+    # pytest-benchmark tracks the absolute cost of a small serial ensemble.
+    benchmark(
+        lambda: run_ensemble(
+            weblog_dag(input_mb=SMOKE_INPUT_MB),
+            paper_cluster(),
+            _config(),
+            EnsembleConfig(replications=8, exemplars=0),
+        )
+    )

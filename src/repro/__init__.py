@@ -76,6 +76,14 @@ from repro.core import (
     Variant,
     estimate_workflow,
 )
+from repro.ensemble import (
+    EnsembleConfig,
+    EnsembleResult,
+    EnsembleRunner,
+    PairedComparison,
+    compare_paired,
+    run_ensemble,
+)
 from repro.dag import (
     Workflow,
     WorkflowBuilder,
@@ -121,6 +129,8 @@ from repro.simulator import (
     SimulationConfig,
     SimulationResult,
     Simulator,
+    replication_config,
+    replication_seeds,
     simulate,
 )
 from repro.spark import SparkAppBuilder, SparkStageJob, spark_kmeans, spark_pagerank, spark_sort
@@ -175,6 +185,9 @@ __all__ = [
     "CompressionSpec",
     "DagEstimate",
     "DagEstimator",
+    "EnsembleConfig",
+    "EnsembleResult",
+    "EnsembleRunner",
     "ErnestModel",
     "EstimationError",
     "JobConfig",
@@ -182,6 +195,7 @@ __all__ = [
     "MRTunerBestCase",
     "MapReduceJob",
     "NodeSpec",
+    "PairedComparison",
     "ProfileError",
     "ProfileSource",
     "RegressionModel",
@@ -207,6 +221,7 @@ __all__ = [
     "WorkflowBuilder",
     "WorkflowError",
     "chain",
+    "compare_paired",
     "estimate_workflow",
     "kmeans",
     "pagerank",
@@ -214,6 +229,9 @@ __all__ = [
     "parallel",
     "profile_job",
     "profile_workflow",
+    "replication_config",
+    "replication_seeds",
+    "run_ensemble",
     "sequence",
     "simulate",
     "single_job_workflow",

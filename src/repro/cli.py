@@ -10,6 +10,10 @@ Sub-commands mirror the library's main entry points:
   print the per-state bottleneck attribution report;
 * ``repro-dag tune``     — model-driven configuration auto-tuning;
 * ``repro-dag sweep``    — batched what-if sweep over cluster sizes;
+* ``repro-dag ensemble`` — Monte Carlo replication ensemble of the
+  simulator: makespan quantiles with confidence intervals, adaptive early
+  stopping, and ``--paired`` common-random-number comparisons of two
+  cluster sizes;
 * ``repro-dag fig4 | fig6 | table1 | table2 | table3 | overhead`` — print
   the corresponding reproduced table/figure;
 * ``repro-dag list``     — show the available named workloads.
@@ -411,6 +415,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    from repro.cluster.node import PAPER_NODE
+    from repro.ensemble import EnsembleConfig, compare_paired, run_ensemble
+    from repro.simulator import FailureModel
+
+    workflow = _resolve(args.workload, args.scale)
+    config = SimulationConfig(
+        skew=SkewModel(sigma=args.skew),
+        failures=FailureModel(probability=args.failure_prob),
+    )
+    ensemble = EnsembleConfig(
+        replications=args.replications,
+        min_replications=min(args.min_replications, args.replications),
+        base_seed=args.seed,
+        target_quantile=args.target_quantile,
+        ci_tol=args.ci_tol,
+        exemplars=args.exemplars,
+        processes=args.processes,
+    )
+    try:
+        sizes = [int(w) for w in args.workers.split(",") if w.strip()]
+    except ValueError as exc:
+        raise ReproError(f"--workers must be comma-separated integers: {exc}")
+
+    print(f"workflow : {workflow.describe()}")
+    if args.paired:
+        if len(sizes) != 2:
+            raise ReproError(
+                "--paired compares exactly two cluster sizes; pass "
+                "--workers A,B"
+            )
+        clusters = [
+            Cluster(node=PAPER_NODE, workers=w, name=f"{w}w") for w in sizes
+        ]
+        comparison = compare_paired(
+            workflow,
+            workflow,
+            clusters[0],
+            cluster_b=clusters[1],
+            config=config,
+            ensemble=ensemble,
+            labels=(f"{sizes[0]} workers", f"{sizes[1]} workers"),
+        )
+        print(f"baseline : {comparison.mean_a:.1f}s mean ({comparison.label_a})")
+        print(f"what-if  : {comparison.mean_b:.1f}s mean ({comparison.label_b})")
+        print(f"delta    : {comparison.describe()}")
+        print(
+            f"unpaired : ±{comparison.unpaired_halfwidth:.1f}s CI half-width "
+            f"(paired ±{comparison.paired_halfwidth:.1f}s, "
+            f"{comparison.variance_reduction:.1f}x tighter)"
+        )
+        return 0
+
+    if len(sizes) != 1:
+        raise ReproError("ensemble runs one cluster size (or two with --paired)")
+    cluster = (
+        paper_cluster()
+        if sizes == [paper_cluster().workers]
+        else Cluster(node=PAPER_NODE, workers=sizes[0], name=f"{sizes[0]}w")
+    )
+    result = run_ensemble(workflow, cluster, config, ensemble)
+    stopped = (
+        f"early stop at CI tol {args.ci_tol:.1%}"
+        if result.early_stopped
+        else "full budget"
+    )
+    makespan = result.makespan
+    print(f"cluster  : {cluster.workers} workers")
+    print(
+        f"runs     : {result.replications} of max {result.max_replications} "
+        f"({stopped}), base seed {result.base_seed}"
+    )
+    print(
+        f"makespan : mean {makespan['mean']:.1f}s ± {makespan['std']:.1f}s "
+        f"[min {makespan['min']:.1f}, max {makespan['max']:.1f}]"
+    )
+    print(
+        "quantiles: "
+        + "  ".join(
+            f"P{q * 100:g} {v:.1f}s" for q, v in sorted(result.quantiles.items())
+        )
+    )
+    print(
+        f"target   : P{result.target_quantile * 100:g} CI "
+        f"[{result.ci[0]:.1f}, {result.ci[1]:.1f}]s "
+        f"(half-width {result.ci_halfwidth:.1f}s, "
+        f"{result.ci_rel_halfwidth:.1%} of estimate)"
+    )
+    print(
+        f"failures : mean {result.failed_attempts['mean']:.1f} "
+        f"killed attempts/run"
+    )
+    print(f"ensemble : {result.describe()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dag",
@@ -486,6 +586,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes for the sweep batch (default 1)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "ensemble",
+        help="Monte Carlo replication ensemble: makespan quantiles + CIs",
+    )
+    common(p)
+    p.add_argument("--replications", type=int, default=32,
+                   help="max replications to run (default 32)")
+    p.add_argument("--min-replications", type=int, default=8,
+                   help="replications before early stopping may trigger "
+                        "(default 8)")
+    p.add_argument("--target-quantile", type=float, default=0.95,
+                   help="quantile whose CI drives early stopping "
+                        "(default 0.95)")
+    p.add_argument("--ci-tol", type=float, default=None,
+                   help="stop once the target CI half-width is within this "
+                        "fraction of the estimate (default: run full budget)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="base seed; replication i derives from (seed, i)")
+    p.add_argument("--skew", type=float, default=0.3,
+                   help="lognormal skew sigma (default 0.3)")
+    p.add_argument("--failure-prob", type=float, default=0.05,
+                   help="per-attempt failure probability (default 0.05)")
+    p.add_argument("--exemplars", type=int, default=1,
+                   help="full traces to keep for drill-down (default 1)")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for replications (default 1)")
+    p.add_argument("--workers", default=str(paper_cluster().workers),
+                   help="cluster size, or two sizes A,B with --paired")
+    p.add_argument("--paired", action="store_true",
+                   help="compare two cluster sizes under common random "
+                        "numbers (needs --workers A,B)")
+    p.set_defaults(func=_cmd_ensemble)
 
     p = sub.add_parser("fig4", help="reproduce the Fig. 4 worked example")
     p.set_defaults(func=_cmd_fig4)

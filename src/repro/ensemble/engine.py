@@ -1,0 +1,630 @@
+"""Parallel Monte Carlo replication engine for the simulator.
+
+The BOE/Algorithm 1 estimators predict *expected* makespan; the simulator
+that validates them is stochastic (seeded input-size skew, seeded failure
+injection), so a single run is one sample of a distribution.  This engine
+turns N seeded replications into that distribution — cheaply, in parallel
+and deterministically:
+
+* **Seed streaming** — replication *i* re-seeds the caller's
+  :class:`~repro.simulator.engine.SimulationConfig` through
+  :func:`~repro.simulator.seeding.replication_config`, a pure function of
+  ``(base_seed, i)``, so any process may run any replication.
+* **Fork-once shared setup** — the workflow/cluster/config triple is
+  pickled once per worker at pool start-up; work items are bare
+  ``(variant, index)`` integer pairs.
+* **Streaming aggregation** — each replication reduces to a small
+  :class:`ReplicationRecord` inside the worker; the parent folds records
+  into P² quantile markers, Welford summaries and per-state duration
+  summaries *in replication order* (an index-ordered reorder buffer), so
+  no trace is retained beyond the configurable ``exemplars`` prefix.
+* **Adaptive early stopping** — after each round the order-statistic CI of
+  the target quantile is checked against ``ci_tol``; rounds are fixed by
+  the config (never by the worker count), so the replication count at
+  which an ensemble stops is itself deterministic.
+
+Determinism contract: a given ``(base_seed, n)`` produces bit-identical
+aggregates regardless of process count or chunk arrival order, enforced by
+``tests/ensemble/test_engine.py`` against the serial path (mirroring the
+sweep layer's parity contract).
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.dag.workflow import Workflow
+from repro.errors import SpecificationError
+from repro.obs.metrics import get_metrics, snapshot_delta
+from repro.obs.tracer import get_tracer
+from repro.simulator.engine import SimulationConfig, simulate
+from repro.simulator.seeding import replication_seeds
+from repro.simulator.trace import SimulationResult
+from repro.ensemble.quantiles import (
+    P2Quantile,
+    RunningStat,
+    quantile_ci,
+    sample_quantile,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Quantiles every ensemble tracks with streaming P² markers.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """Knobs of one replication ensemble.
+
+    Attributes:
+        replications: hard maximum replication count (the full budget when
+            early stopping is off).
+        min_replications: hard minimum before early stopping may trigger.
+        base_seed: root of the per-replication seed tree
+            (:func:`~repro.simulator.seeding.replication_seeds`).
+        target_quantile: the quantile whose confidence interval drives
+            early stopping (and is reported with its CI).
+        ci_tol: relative CI tolerance — stop once the target quantile's CI
+            half-width is ``<= ci_tol * estimate``.  ``None`` disables
+            early stopping (the full budget runs).
+        ci_z: normal critical value of the CI (1.96 = 95 %).
+        exemplars: how many full :class:`SimulationResult` traces survive
+            (replications ``0..exemplars-1``) for Perfetto export; all
+            other replications are reduced to records in the worker.
+        processes: worker processes; 1 runs in-process.
+        chunksize: work items per pool task; ``None`` picks
+            ``ceil(n / (4 * processes))`` per batch.
+        round_size: replications added per early-stopping round after the
+            initial ``min_replications``; ``None`` uses
+            ``min_replications``.  Rounds are a function of the config
+            only, so early-stop decisions are identical for any process
+            count.
+    """
+
+    replications: int = 64
+    min_replications: int = 8
+    base_seed: int = 42
+    target_quantile: float = 0.95
+    ci_tol: Optional[float] = None
+    ci_z: float = 1.96
+    exemplars: int = 1
+    processes: int = 1
+    chunksize: Optional[int] = None
+    round_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise SpecificationError(
+                f"replications must be >= 1: {self.replications}"
+            )
+        if not 1 <= self.min_replications <= self.replications:
+            raise SpecificationError(
+                "min_replications must be in [1, replications]: "
+                f"{self.min_replications} vs {self.replications}"
+            )
+        if not 0.0 < self.target_quantile < 1.0:
+            raise SpecificationError(
+                f"target quantile must be in (0, 1): {self.target_quantile}"
+            )
+        if self.ci_tol is not None and self.ci_tol <= 0.0:
+            raise SpecificationError(f"ci_tol must be > 0: {self.ci_tol}")
+        if self.ci_z <= 0.0:
+            raise SpecificationError(f"ci_z must be > 0: {self.ci_z}")
+        if self.exemplars < 0:
+            raise SpecificationError(f"exemplars must be >= 0: {self.exemplars}")
+        if self.processes < 1:
+            raise SpecificationError(f"processes must be >= 1: {self.processes}")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise SpecificationError(f"chunksize must be >= 1: {self.chunksize}")
+        if self.round_size is not None and self.round_size < 1:
+            raise SpecificationError(
+                f"round_size must be >= 1: {self.round_size}"
+            )
+
+    def round_targets(self) -> List[int]:
+        """Cumulative replication counts at which early stopping is checked.
+
+        ``[min_replications, min+round, min+2*round, ..., replications]``
+        — a pure function of the config, never of the machine.
+        """
+        step = self.round_size or self.min_replications
+        targets = [min(self.min_replications, self.replications)]
+        while targets[-1] < self.replications:
+            targets.append(min(self.replications, targets[-1] + step))
+        return targets
+
+    def tracked_quantiles(self) -> Tuple[float, ...]:
+        """The streaming quantile set: defaults plus the target."""
+        if self.target_quantile in DEFAULT_QUANTILES:
+            return DEFAULT_QUANTILES
+        return tuple(sorted((*DEFAULT_QUANTILES, self.target_quantile)))
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """The streaming reduction of one replication — all a worker returns
+    for a non-exemplar run."""
+
+    index: int
+    skew_seed: int
+    failure_seed: int
+    makespan: float
+    tasks: int
+    states: int
+    failed_attempts: int
+    state_durations: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Distributional outcome of one ensemble.
+
+    All fields except the wall/CPU telemetry are covered by the
+    determinism contract: identical for a given ``(config, workflow)``
+    across process counts and chunk orders.
+    """
+
+    workflow: str
+    replications: int
+    max_replications: int
+    early_stopped: bool
+    base_seed: int
+    target_quantile: float
+    ci: Tuple[float, float]
+    quantiles: Dict[float, float]
+    makespan: Dict[str, float]
+    failed_attempts: Dict[str, float]
+    state_durations: Tuple[Dict[str, float], ...]
+    samples: Tuple[float, ...]
+    exemplars: Tuple[SimulationResult, ...] = ()
+    wall_time_s: float = 0.0
+    cpu_time_s: float = 0.0
+    processes: int = 1
+    pool_used: bool = False
+
+    def quantile(self, q: float) -> float:
+        """Exact sample quantile of the retained makespan scalars."""
+        return sample_quantile(sorted(self.samples), q)
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return (self.ci[1] - self.ci[0]) / 2.0
+
+    @property
+    def ci_rel_halfwidth(self) -> float:
+        """CI half-width relative to the target-quantile estimate."""
+        estimate = self.quantiles[self.target_quantile]
+        return self.ci_halfwidth / estimate if estimate > 0 else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for CLI / benchmark output."""
+        stopped = " (early stop)" if self.early_stopped else ""
+        return (
+            f"{self.replications}/{self.max_replications} replications"
+            f"{stopped} in {self.wall_time_s * 1000:.0f} ms "
+            f"(cpu {self.cpu_time_s * 1000:.0f} ms, {self.processes} "
+            f"proc{'s' if self.processes != 1 else ''}"
+            f"{', pooled' if self.pool_used else ''}); makespan "
+            f"p50 {self.quantiles[0.5]:.1f}s p95 {self.quantiles[0.95]:.1f}s "
+            f"p99 {self.quantiles[0.99]:.1f}s, "
+            f"P{self.target_quantile * 100:g} CI "
+            f"[{self.ci[0]:.1f}, {self.ci[1]:.1f}]s"
+        )
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One simulated configuration: what a replication index is applied to."""
+
+    workflow: Workflow
+    cluster: Cluster
+    config: SimulationConfig
+
+
+def run_replication(
+    variant: VariantSpec, base_seed: int, index: int, keep_trace: bool
+) -> Tuple[ReplicationRecord, Optional[SimulationResult]]:
+    """Execute one replication and reduce it to its record.
+
+    The full trace is dropped inside the worker unless ``keep_trace`` —
+    this is the streaming-aggregation boundary.
+    """
+    skew_seed, failure_seed = replication_seeds(base_seed, index)
+    config = replace(
+        variant.config,
+        skew=replace(variant.config.skew, seed=skew_seed),
+        failures=replace(variant.config.failures, seed=failure_seed),
+    )
+    result = simulate(variant.workflow, variant.cluster, config)
+    record = ReplicationRecord(
+        index=index,
+        skew_seed=skew_seed,
+        failure_seed=failure_seed,
+        makespan=result.makespan,
+        tasks=len(result.tasks),
+        states=len(result.states),
+        failed_attempts=len(result.failed_attempts),
+        state_durations=tuple(s.duration for s in result.states),
+    )
+    return record, (result if keep_trace else None)
+
+
+class _Accumulator:
+    """Index-ordered streaming aggregation of replication records.
+
+    Records may arrive in any order (pool chunks complete when they
+    complete); a reorder buffer releases them strictly by replication
+    index, so every P²/Welford update sequence — and therefore every
+    aggregate bit — is independent of chunking.
+    """
+
+    def __init__(self, quantiles: Sequence[float], counter=None):
+        self._p2 = {q: P2Quantile(q) for q in quantiles}
+        self.makespan = RunningStat()
+        self.failed = RunningStat()
+        self.states: List[RunningStat] = []
+        self.samples: List[float] = []
+        self.exemplars: Dict[int, SimulationResult] = {}
+        self._pending: Dict[
+            int, Tuple[ReplicationRecord, Optional[SimulationResult]]
+        ] = {}
+        self._next = 0
+        self._counter = counter
+
+    @property
+    def count(self) -> int:
+        return self._next
+
+    def add(
+        self, record: ReplicationRecord, trace: Optional[SimulationResult]
+    ) -> None:
+        self._pending[record.index] = (record, trace)
+        while self._next in self._pending:
+            self._consume(*self._pending.pop(self._next))
+
+    def _consume(
+        self, record: ReplicationRecord, trace: Optional[SimulationResult]
+    ) -> None:
+        assert record.index == self._next
+        self._next += 1
+        self.samples.append(record.makespan)
+        self.makespan.push(record.makespan)
+        self.failed.push(float(record.failed_attempts))
+        for p2 in self._p2.values():
+            p2.push(record.makespan)
+        for i, duration in enumerate(record.state_durations):
+            if i >= len(self.states):
+                self.states.append(RunningStat())
+            self.states[i].push(duration)
+        if trace is not None:
+            self.exemplars[record.index] = trace
+        if self._counter is not None:
+            self._counter.inc()
+
+    def settled(self) -> bool:
+        """True when no out-of-order record is still buffered."""
+        return not self._pending
+
+    def quantiles(self) -> Dict[float, float]:
+        return {q: p2.value for q, p2 in self._p2.items()}
+
+    def target_ci(self, q: float, z: float) -> Tuple[float, float]:
+        return quantile_ci(sorted(self.samples), q, z)
+
+
+# -- worker protocol (fork-once shared setup) ------------------------------------------
+
+
+@dataclass(frozen=True)
+class _EnsembleSetup:
+    """Everything a worker needs, shipped once at pool start-up."""
+
+    variants: Tuple[VariantSpec, ...]
+    base_seed: int
+    keep_trace_below: int
+    metrics_enabled: bool
+
+
+_WORKER_SETUP: Optional[_EnsembleSetup] = None
+
+#: One work item: (variant index, replication index).
+_Item = Tuple[int, int]
+
+_MetricsDelta = Dict[str, Dict[str, Any]]
+
+
+def _ensemble_worker_init(setup: _EnsembleSetup) -> None:
+    global _WORKER_SETUP
+    _WORKER_SETUP = setup
+    if setup.metrics_enabled:
+        # Arm the worker registry before the first simulation constructs
+        # its instruments (hooks bind at construction time).
+        get_metrics().enable()
+
+
+def _evaluate_items(
+    setup: _EnsembleSetup, items: Sequence[_Item]
+) -> List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]]:
+    out = []
+    for variant_idx, index in items:
+        record, trace = run_replication(
+            setup.variants[variant_idx],
+            setup.base_seed,
+            index,
+            keep_trace=index < setup.keep_trace_below,
+        )
+        out.append((variant_idx, record, trace))
+    return out
+
+
+def _ensemble_chunk(
+    items: Sequence[_Item],
+) -> Tuple[
+    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
+    float,
+    _MetricsDelta,
+]:
+    """Evaluate one chunk in a pool worker; ships records + telemetry home."""
+    setup = _WORKER_SETUP
+    assert setup is not None, "ensemble worker used before initialisation"
+    registry = get_metrics()
+    before = registry.snapshot() if setup.metrics_enabled else {}
+    cpu0 = time.process_time()
+    outputs = _evaluate_items(setup, items)
+    cpu_s = time.process_time() - cpu0
+    metrics = (
+        snapshot_delta(registry.snapshot(), before)
+        if setup.metrics_enabled
+        else {}
+    )
+    return outputs, cpu_s, metrics
+
+
+def simulate_replication_chunk(
+    payload: Tuple[VariantSpec, int, Tuple[int, ...], int],
+) -> Tuple[
+    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
+    float,
+    _MetricsDelta,
+]:
+    """Self-contained chunk evaluator for *foreign* pools.
+
+    Unlike :func:`_ensemble_chunk` this carries its whole context in the
+    payload, so any live :class:`~concurrent.futures.ProcessPoolExecutor`
+    (e.g. a :class:`~repro.sweep.SweepRunner`'s estimator pool) can serve
+    replication work without being rebuilt.  Metrics deltas are captured
+    whenever the worker registry is armed, and merged by the caller
+    through the obs ``merge()`` path.
+    """
+    variant, base_seed, indices, keep_trace_below = payload
+    registry = get_metrics()
+    before = registry.snapshot() if registry.enabled else {}
+    cpu0 = time.process_time()
+    outputs = _evaluate_items(
+        _EnsembleSetup(
+            variants=(variant,),
+            base_seed=base_seed,
+            keep_trace_below=keep_trace_below,
+            metrics_enabled=registry.enabled,
+        ),
+        [(0, index) for index in indices],
+    )
+    cpu_s = time.process_time() - cpu0
+    metrics = (
+        snapshot_delta(registry.snapshot(), before) if registry.enabled else {}
+    )
+    return outputs, cpu_s, metrics
+
+
+class _ReplicationDriver:
+    """Runs work items serially or across a fork-once pool.
+
+    Owns the executor lifecycle and the telemetry plumbing; the round /
+    early-stopping policy lives with the caller.  An unpicklable setup
+    (closure-laden test stubs) silently degrades to the serial path —
+    correctness never depends on the pool.
+    """
+
+    def __init__(
+        self,
+        setup: _EnsembleSetup,
+        processes: int,
+        chunksize: Optional[int],
+    ):
+        self._setup = setup
+        self._processes = processes
+        self._chunksize = chunksize
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self.cpu_time_s = 0.0
+        self.pool_used = False
+
+    def __enter__(self) -> "_ReplicationDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def run(
+        self, items: Sequence[_Item]
+    ) -> Iterator[Tuple[int, ReplicationRecord, Optional[SimulationResult]]]:
+        if not items:
+            return iter(())
+        if self._processes > 1 and len(items) > 1:
+            pooled = self._run_pooled(items)
+            if pooled is not None:
+                return pooled
+        cpu0 = time.process_time()
+        outputs = _evaluate_items(self._setup, items)
+        self.cpu_time_s += time.process_time() - cpu0
+        return iter(outputs)
+
+    def _run_pooled(
+        self, items: Sequence[_Item]
+    ) -> Optional[Iterator[Tuple[int, ReplicationRecord, Optional[SimulationResult]]]]:
+        executor = self._ensure_pool()
+        if executor is None:
+            return None
+        chunksize = self._chunksize or max(
+            1, -(-len(items) // (4 * self._processes))
+        )
+        chunks = [
+            items[i : i + chunksize] for i in range(0, len(items), chunksize)
+        ]
+        registry = get_metrics()
+        cpu0 = time.process_time()
+        outputs: List[
+            Tuple[int, ReplicationRecord, Optional[SimulationResult]]
+        ] = []
+        for chunk_out, chunk_cpu, chunk_metrics in executor.map(
+            _ensemble_chunk, chunks
+        ):
+            outputs.extend(chunk_out)
+            self.cpu_time_s += chunk_cpu
+            if chunk_metrics:
+                registry.merge(chunk_metrics)
+        self.cpu_time_s += time.process_time() - cpu0
+        self.pool_used = True
+        return iter(outputs)
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self._pool_broken:
+            return None
+        if self._executor is None:
+            try:
+                pickle.dumps(self._setup)
+            except Exception:
+                self._pool_broken = True
+                return None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._processes,
+                initializer=_ensemble_worker_init,
+                initargs=(self._setup,),
+            )
+        return self._executor
+
+
+class EnsembleRunner:
+    """Replication-ensemble engine bound to one cluster + simulation config.
+
+    Args:
+        cluster: the simulated cluster.
+        config: base :class:`SimulationConfig`; its skew/failure *shapes*
+            apply to every replication while the seeds are re-derived per
+            replication.  ``None`` uses the defaults.
+        ensemble: the :class:`EnsembleConfig` policy.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[SimulationConfig] = None,
+        ensemble: Optional[EnsembleConfig] = None,
+    ):
+        self._cluster = cluster
+        self._config = config if config is not None else SimulationConfig()
+        self._ensemble = ensemble if ensemble is not None else EnsembleConfig()
+
+    @property
+    def ensemble_config(self) -> EnsembleConfig:
+        return self._ensemble
+
+    def run(self, workflow: Workflow) -> EnsembleResult:
+        """Run the ensemble for ``workflow`` and aggregate its distribution."""
+        ens = self._ensemble
+        t0 = time.perf_counter()
+        tracer = get_tracer()
+        span = (
+            tracer.begin(
+                "ensemble.run",
+                workflow=workflow.name,
+                max_replications=ens.replications,
+                processes=ens.processes,
+            )
+            if tracer.enabled
+            else None
+        )
+        registry = get_metrics()
+        replication_ctr = (
+            registry.counter("ensemble.replications") if registry.enabled else None
+        )
+        accumulator = _Accumulator(ens.tracked_quantiles(), replication_ctr)
+        setup = _EnsembleSetup(
+            variants=(VariantSpec(workflow, self._cluster, self._config),),
+            base_seed=ens.base_seed,
+            keep_trace_below=ens.exemplars,
+            metrics_enabled=registry.enabled,
+        )
+        early_stopped = False
+        with _ReplicationDriver(setup, ens.processes, ens.chunksize) as driver:
+            for target in ens.round_targets():
+                items = [(0, i) for i in range(accumulator.count, target)]
+                for _, record, trace in driver.run(items):
+                    accumulator.add(record, trace)
+                assert accumulator.settled()
+                if ens.ci_tol is None or accumulator.count >= ens.replications:
+                    continue
+                lo, hi = accumulator.target_ci(ens.target_quantile, ens.ci_z)
+                estimate = sample_quantile(
+                    sorted(accumulator.samples), ens.target_quantile
+                )
+                if estimate > 0 and (hi - lo) / 2.0 <= ens.ci_tol * estimate:
+                    early_stopped = True
+                    if registry.enabled:
+                        registry.counter("ensemble.early_stops").inc()
+                    break
+            pool_used = driver.pool_used
+            cpu_s = driver.cpu_time_s
+
+        result = EnsembleResult(
+            workflow=workflow.name,
+            replications=accumulator.count,
+            max_replications=ens.replications,
+            early_stopped=early_stopped,
+            base_seed=ens.base_seed,
+            target_quantile=ens.target_quantile,
+            ci=accumulator.target_ci(ens.target_quantile, ens.ci_z),
+            quantiles=accumulator.quantiles(),
+            makespan=accumulator.makespan.snapshot(),
+            failed_attempts=accumulator.failed.snapshot(),
+            state_durations=tuple(s.snapshot() for s in accumulator.states),
+            samples=tuple(accumulator.samples),
+            exemplars=tuple(
+                accumulator.exemplars[i] for i in sorted(accumulator.exemplars)
+            ),
+            wall_time_s=time.perf_counter() - t0,
+            cpu_time_s=cpu_s,
+            processes=ens.processes,
+            pool_used=pool_used,
+        )
+        if span is not None:
+            tracer.finish(
+                span,
+                replications=result.replications,
+                early_stopped=result.early_stopped,
+                pooled=result.pool_used,
+            )
+        logger.debug("ensemble %s: %s", workflow.name, result.describe())
+        return result
+
+
+def run_ensemble(
+    workflow: Workflow,
+    cluster: Cluster,
+    config: Optional[SimulationConfig] = None,
+    ensemble: Optional[EnsembleConfig] = None,
+) -> EnsembleResult:
+    """Convenience wrapper: build an :class:`EnsembleRunner` and run it."""
+    return EnsembleRunner(cluster, config=config, ensemble=ensemble).run(workflow)

@@ -1,0 +1,220 @@
+"""Streaming statistics for replication ensembles.
+
+The ensemble engine aggregates thousands of replications without retaining
+their traces, so its summaries must be *online*:
+
+* :class:`RunningStat` — Welford mean/variance plus min/max, one value at
+  a time, numerically stable;
+* :class:`P2Quantile` — the P² algorithm (Jain & Chlamtac, CACM 1985):
+  a constant-space estimate of an arbitrary quantile maintained from a
+  stream, exact below five observations and O(1) per update after;
+* order-statistic confidence intervals for sample quantiles
+  (:func:`quantile_ci`) and the usual normal-theory interval for means
+  (:func:`mean_halfwidth`), which drive the engine's sequential early
+  stopping.
+
+Everything here is plain float arithmetic applied in caller-defined order,
+so feeding the same values in the same order is bit-reproducible — the
+foundation of the ensemble's determinism contract.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SpecificationError
+
+__all__ = [
+    "RunningStat",
+    "P2Quantile",
+    "sample_quantile",
+    "quantile_ci",
+    "mean_halfwidth",
+]
+
+
+class RunningStat:
+    """Welford online mean/variance with min/max.
+
+    ``std`` is the sample standard deviation (ddof=1), 0.0 below two
+    observations.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def push(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 below two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class P2Quantile:
+    """P² streaming estimate of one quantile.
+
+    Five markers track (min, p/2, p, (1+p)/2, max); each observation moves
+    the middle markers towards their desired positions with a piecewise-
+    parabolic height adjustment.  Until five observations have arrived the
+    estimate is the exact sample quantile of the buffer.
+
+    The update is a deterministic function of the observation *sequence*:
+    two streams with identical values in identical order produce
+    bit-identical marker state.
+    """
+
+    __slots__ = ("p", "_count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise SpecificationError(f"quantile must be in (0, 1): {p}")
+        self.p = p
+        self._count = 0
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._rates = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def push(self, value: float) -> None:
+        self._count += 1
+        if self._count <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            return
+        q, n = self._heights, self._positions
+        # Locate the cell and clamp the extremes.
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= q[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._rates[i]
+        # Nudge the three middle markers towards their desired positions.
+        for i in (1, 2, 3):
+            d = self._desired[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+        return
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        if self._count == 0:
+            return 0.0
+        if self._count <= 5:
+            return sample_quantile(self._heights, self.p)
+        return self._heights[2]
+
+
+def sample_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation sample quantile of an ascending sequence.
+
+    Matches ``numpy.quantile``'s default (``linear``) method.
+    """
+    if not sorted_values:
+        raise SpecificationError("quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise SpecificationError(f"quantile must be in [0, 1]: {q}")
+    position = (len(sorted_values) - 1) * q
+    lower = math.floor(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] + fraction * (
+        sorted_values[upper] - sorted_values[lower]
+    )
+
+
+def quantile_ci(
+    sorted_values: Sequence[float], q: float, z: float = 1.96
+) -> Tuple[float, float]:
+    """Order-statistic confidence interval for the ``q`` sample quantile.
+
+    The rank of the ``q`` quantile in an n-sample is Binomial(n, q); with
+    the normal approximation the interval covers ranks
+    ``n·q ± z·sqrt(n·q·(1-q))``, clamped to the sample.  For tail
+    quantiles that a sample of this size cannot yet resolve (the upper
+    rank falls past the maximum) the interval degrades to the full sample
+    range — honest, and naturally wide enough to keep sequential stopping
+    rules from firing early.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        raise SpecificationError("confidence interval of an empty sample")
+    if not 0.0 < q < 1.0:
+        raise SpecificationError(f"quantile must be in (0, 1): {q}")
+    spread = z * math.sqrt(n * q * (1.0 - q))
+    lower_rank = int(math.floor(n * q - spread))
+    upper_rank = int(math.ceil(n * q + spread)) + 1
+    lower = sorted_values[max(0, min(n - 1, lower_rank - 1))]
+    upper = sorted_values[max(0, min(n - 1, upper_rank - 1))]
+    return lower, upper
+
+
+def mean_halfwidth(count: int, std: float, z: float = 1.96) -> float:
+    """Normal-theory half-width of a mean's confidence interval."""
+    if count < 2:
+        return math.inf
+    return z * std / math.sqrt(count)

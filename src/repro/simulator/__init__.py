@@ -15,6 +15,7 @@ from repro.simulator.metrics import (
     task_durations,
     tasks_in_state,
 )
+from repro.simulator.seeding import replication_config, replication_seeds
 from repro.simulator.sharing import FlowSpec, pool_utilisation, solve_max_min
 from repro.simulator.trace import (
     SimulationResult,
@@ -43,6 +44,8 @@ __all__ = [
     "median_task_time_in_state",
     "observed_parallelism",
     "pool_utilisation",
+    "replication_config",
+    "replication_seeds",
     "simulate",
     "solve_max_min",
     "stage_duration",

@@ -1009,7 +1009,14 @@ class Simulator:
 def simulate(
     workflow: Workflow,
     cluster: Cluster,
-    config: SimulationConfig = SimulationConfig(),
+    config: Optional[SimulationConfig] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    ``config=None`` constructs a fresh default :class:`SimulationConfig`
+    inside the call — a shared default *instance* in the signature would be
+    evaluated once at import time and look mutable to callers.
+    """
+    if config is None:
+        config = SimulationConfig()
     return Simulator(cluster, workflow, config).run()

@@ -1,0 +1,68 @@
+"""Replication seed derivation for Monte Carlo ensembles.
+
+The simulator's stochastic inputs — per-task input-size skew
+(:class:`~repro.mapreduce.task.SkewModel`, default seed 7) and task-attempt
+failure injection (:class:`~repro.simulator.failures.FailureModel`, default
+seed 11) — are deterministic given their seeds, so one
+:class:`~repro.simulator.engine.SimulationConfig` describes exactly one
+sample of the makespan distribution.  Ensembles (:mod:`repro.ensemble`)
+need *N independent* samples whose seeds are reproducible regardless of
+which process evaluates which replication, so the seeds here are derived
+from a :class:`numpy.random.SeedSequence` spawn tree:
+
+    replication *i* of base seed *b*  →  ``SeedSequence(b, spawn_key=(i,))``
+
+``SeedSequence(b, spawn_key=(i,))`` is exactly the *i*-th child of
+``SeedSequence(b).spawn(...)``, but can be constructed directly from
+``(b, i)`` — no shared spawn counter, no ordering constraints — which is
+what makes the ensemble's determinism contract (bit-identical aggregates
+for a given ``(base_seed, n)`` across any process count or chunk order)
+possible.  The child's first two state words become the skew seed and the
+failure seed of that replication's config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.simulator.engine import SimulationConfig
+
+__all__ = ["replication_seeds", "replication_config"]
+
+
+def replication_seeds(base_seed: int, index: int) -> Tuple[int, int]:
+    """(skew_seed, failure_seed) of replication ``index`` under ``base_seed``.
+
+    A pure function of ``(base_seed, index)``: the same pair is produced in
+    any process, in any order, which the ensemble parity tests rely on.
+    """
+    if index < 0:
+        raise SpecificationError(f"replication index must be >= 0: {index}")
+    child = np.random.SeedSequence(base_seed, spawn_key=(index,))
+    skew_seed, failure_seed = (int(word) for word in child.generate_state(2))
+    return skew_seed, failure_seed
+
+
+def replication_config(
+    config: "SimulationConfig", base_seed: int, index: int
+) -> "SimulationConfig":
+    """``config`` re-seeded for replication ``index`` of ``base_seed``.
+
+    Everything except the two RNG seeds (scheduler policy, skew shape,
+    failure probability, engine choice) is preserved; only
+    ``skew.seed`` and ``failures.seed`` are replaced by the derived pair,
+    so replication 0 of an ensemble is *not* the legacy fixed-seed (7/11)
+    run — the legacy run is simply the config as the caller built it.
+    """
+    skew_seed, failure_seed = replication_seeds(base_seed, index)
+    return replace(
+        config,
+        skew=replace(config.skew, seed=skew_seed),
+        failures=replace(config.failures, seed=failure_seed),
+    )

@@ -16,7 +16,13 @@ batched-cached-parallel:
   runs, so estimates are bit-identical either way);
 * every batch feeds a :class:`SweepReport` — evaluations/s, cache hit
   rate, wall vs CPU time, per-phase breakdown — surfaced by the CLI, the
-  examples and ``benchmarks/bench_sweep.py``.
+  examples and ``benchmarks/bench_sweep.py``;
+* candidates can also be evaluated *distributionally*
+  (:meth:`SweepRunner.simulate_candidates`): a Monte Carlo replication
+  ensemble of the ground-truth simulator per candidate, sharing the same
+  worker pool, with common random numbers across candidates so two
+  configurations rank by paired deltas
+  (:meth:`SweepRunner.compare_paired`) rather than two noisy points.
 
 Process-pool semantics: the worker context (cluster, task-time source,
 estimator configuration) is pickled once per worker at pool start-up, and
@@ -538,6 +544,193 @@ class SweepRunner:
             )
         logger.debug("sweep batch: %s", report.describe())
         return results
+
+    # -- distributional evaluation ------------------------------------------------
+
+    def simulate_candidates(
+        self,
+        candidates: Sequence[Union[Candidate, Workflow]],
+        config=None,
+        ensemble=None,
+    ) -> List["EnsembleResult"]:
+        """Evaluate candidates *distributionally*: a replication ensemble
+        of the ground-truth simulator per candidate, instead of one BOE
+        point estimate.
+
+        Reuses the runner's worker pool (replication chunks ride the same
+        executor as estimator chunks; worker metrics deltas come home
+        through the obs ``merge()`` path) and the runner's report
+        accounting.  Every candidate runs the full ``ensemble.replications``
+        budget under the same ``base_seed`` — common random numbers across
+        candidates, so the returned sample vectors are pairable
+        (:func:`repro.ensemble.compare.paired_from_samples`); per-candidate
+        early stopping would break that alignment and is left to
+        :class:`repro.ensemble.EnsembleRunner`.
+
+        Args:
+            candidates: what-if scenarios (cluster overrides respected).
+            config: base :class:`~repro.simulator.engine.SimulationConfig`
+                whose seeds are re-derived per replication.
+            ensemble: :class:`~repro.ensemble.EnsembleConfig`; its
+                ``processes`` field is ignored in favour of the runner's.
+
+        Returns:
+            One :class:`~repro.ensemble.EnsembleResult` per candidate, in
+            submission order.
+        """
+        from repro.ensemble.engine import (
+            EnsembleConfig,
+            EnsembleResult,
+            VariantSpec,
+            _Accumulator,
+            simulate_replication_chunk,
+        )
+        from repro.simulator.engine import SimulationConfig
+
+        ens = ensemble if ensemble is not None else EnsembleConfig()
+        config = config if config is not None else SimulationConfig()
+        t0 = time.perf_counter()
+        tracer = get_tracer()
+        span = (
+            tracer.begin(
+                "sweep.simulate_batch",
+                candidates=len(candidates),
+                replications=ens.replications,
+            )
+            if tracer.enabled
+            else None
+        )
+        registry = get_metrics()
+        replication_ctr = (
+            registry.counter("ensemble.replications") if registry.enabled else None
+        )
+        variants: List[Tuple[str, VariantSpec]] = []
+        for entry in candidates:
+            if isinstance(entry, Workflow):
+                entry = Candidate(workflow=entry)
+            cluster = (
+                entry.cluster
+                if entry.cluster is not None
+                else self._context._cluster
+            )
+            variants.append(
+                (entry.name, VariantSpec(entry.workflow, cluster, config))
+            )
+        accumulators = [
+            _Accumulator(ens.tracked_quantiles(), replication_ctr)
+            for _ in variants
+        ]
+        # One payload per (candidate, index chunk): the chunk function is
+        # self-contained, so the estimator pool serves it as-is.
+        chunksize = ens.chunksize or max(
+            1, -(-ens.replications // (4 * max(1, self._processes)))
+        )
+        payloads = []
+        for cand_idx, (_, variant) in enumerate(variants):
+            for start in range(0, ens.replications, chunksize):
+                indices = tuple(
+                    range(start, min(start + chunksize, ens.replications))
+                )
+                payloads.append(
+                    (cand_idx, (variant, ens.base_seed, indices, ens.exemplars))
+                )
+
+        cpu0 = time.process_time()
+        worker_cpu = 0.0
+        pooled = False
+        executor = (
+            self._ensure_pool()
+            if self._processes > 1 and len(payloads) > 1
+            else None
+        )
+        if executor is not None:
+            outcomes = executor.map(
+                simulate_replication_chunk, [p for _, p in payloads]
+            )
+            pooled = True
+        else:
+            outcomes = (simulate_replication_chunk(p) for _, p in payloads)
+        for (cand_idx, _), (outputs, chunk_cpu, chunk_metrics) in zip(
+            payloads, outcomes
+        ):
+            for _, record, trace in outputs:
+                accumulators[cand_idx].add(record, trace)
+            worker_cpu += chunk_cpu
+            if pooled and chunk_metrics:
+                registry.merge(chunk_metrics)
+        cpu_s = (time.process_time() - cpu0) + (worker_cpu if pooled else 0.0)
+        wall_s = time.perf_counter() - t0
+
+        results = []
+        for (label, _), acc in zip(variants, accumulators):
+            assert acc.settled()
+            results.append(
+                EnsembleResult(
+                    workflow=label,
+                    replications=acc.count,
+                    max_replications=ens.replications,
+                    early_stopped=False,
+                    base_seed=ens.base_seed,
+                    target_quantile=ens.target_quantile,
+                    ci=acc.target_ci(ens.target_quantile, ens.ci_z),
+                    quantiles=acc.quantiles(),
+                    makespan=acc.makespan.snapshot(),
+                    failed_attempts=acc.failed.snapshot(),
+                    state_durations=tuple(s.snapshot() for s in acc.states),
+                    samples=tuple(acc.samples),
+                    exemplars=tuple(
+                        acc.exemplars[i] for i in sorted(acc.exemplars)
+                    ),
+                    wall_time_s=wall_s,
+                    cpu_time_s=cpu_s,
+                    processes=self._processes,
+                    pool_used=pooled,
+                )
+            )
+        report = self._report
+        report.candidates += len(results)
+        report.succeeded += len(results)
+        report.batches += 1
+        report.cpu_time_s += cpu_s
+        report.wall_time_s += wall_s
+        report.pool_used = report.pool_used or pooled
+        if span is not None:
+            tracer.finish(span, pooled=pooled)
+        logger.debug("distributional sweep batch: %s", report.describe())
+        return results
+
+    def compare_paired(
+        self,
+        baseline: Union[Candidate, Workflow],
+        candidate: Union[Candidate, Workflow],
+        config=None,
+        ensemble=None,
+    ) -> "PairedComparison":
+        """Rank two configurations by the distribution of paired deltas.
+
+        Both sides run under common random numbers through
+        :meth:`simulate_candidates` (same pool, same base seed), and the
+        aligned sample vectors become a
+        :class:`~repro.ensemble.PairedComparison` — a delta CI that is
+        tighter than comparing two independent point estimates ever could
+        be.
+        """
+        from repro.ensemble.compare import paired_from_samples
+
+        ens_a, ens_b = self.simulate_candidates(
+            [baseline, candidate], config=config, ensemble=ensemble
+        )
+        return paired_from_samples(
+            ens_a.workflow,
+            ens_a.samples,
+            ens_b.workflow,
+            ens_b.samples,
+            base_seed=ens_a.base_seed,
+            wall_time_s=ens_a.wall_time_s,
+            cpu_time_s=ens_a.cpu_time_s,
+            processes=self._processes,
+            pool_used=ens_a.pool_used,
+        )
 
     def _evaluate_serial(
         self, items: Sequence[_Item]

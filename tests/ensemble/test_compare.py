@@ -1,0 +1,138 @@
+"""Tests for paired CRN comparisons — the variance-reduction acceptance bar."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.node import PAPER_NODE
+from repro.dag import single_job_workflow
+from repro.ensemble import (
+    EnsembleConfig,
+    compare_paired,
+    paired_from_samples,
+)
+from repro.errors import SpecificationError
+from repro.simulator import FailureModel, SimulationConfig
+from repro.mapreduce import SkewModel
+from repro.units import gb
+from repro.workloads import terasort, weblog_dag
+
+
+@pytest.fixture
+def config():
+    return SimulationConfig(
+        skew=SkewModel(sigma=0.3),
+        failures=FailureModel(probability=0.05),
+    )
+
+
+def _cluster(workers):
+    return Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
+
+
+class TestPairedFromSamples:
+    def test_deltas_and_means(self):
+        comparison = paired_from_samples(
+            "a", [10.0, 12.0, 11.0], "b", [9.0, 11.5, 10.0], base_seed=1
+        )
+        assert comparison.deltas == (-1.0, -0.5, -1.0)
+        assert comparison.mean_a == pytest.approx(11.0)
+        assert comparison.mean_b == pytest.approx(10.166666666666666)
+        assert comparison.mean_delta == pytest.approx(-5.0 / 6.0)
+        assert comparison.win_rate == 1.0
+        assert comparison.ci[0] < comparison.mean_delta < comparison.ci[1]
+
+    def test_win_rate_counts_strict_improvements(self):
+        comparison = paired_from_samples(
+            "a", [10.0, 10.0], "b", [9.0, 11.0], base_seed=1
+        )
+        assert comparison.win_rate == 0.5
+
+    def test_mismatched_or_empty_vectors_rejected(self):
+        with pytest.raises(SpecificationError):
+            paired_from_samples("a", [1.0], "b", [1.0, 2.0], base_seed=1)
+        with pytest.raises(SpecificationError):
+            paired_from_samples("a", [], "b", [], base_seed=1)
+
+
+class TestCommonRandomNumbers:
+    def test_paired_strictly_tighter_than_unpaired(self, config):
+        """The acceptance criterion: on the cluster-size knob, pairing the
+        replications by seed yields a strictly tighter delta CI than the
+        unpaired (Welch) interval over the same budget."""
+        comparison = compare_paired(
+            weblog_dag(input_mb=gb(5)),
+            weblog_dag(input_mb=gb(5)),
+            _cluster(8),
+            cluster_b=_cluster(10),
+            config=config,
+            ensemble=EnsembleConfig(replications=10, exemplars=0),
+            labels=("8w", "10w"),
+        )
+        assert comparison.replications == 10
+        assert comparison.paired_halfwidth < comparison.unpaired_halfwidth
+        assert comparison.variance_reduction > 1.0
+        # More workers genuinely help on this DAG, and CRN resolves it.
+        assert comparison.mean_delta < 0
+        assert comparison.significant
+        assert "10w faster" in comparison.describe()
+
+    def test_sides_share_replication_seeds(self, config):
+        """Replication i of both sides must see the same draws: comparing a
+        configuration against itself is exactly zero, every replication."""
+        workflow = single_job_workflow(terasort(gb(2)))
+        comparison = compare_paired(
+            workflow,
+            workflow,
+            _cluster(10),
+            config=config,
+            ensemble=EnsembleConfig(
+                replications=4, min_replications=4, exemplars=0
+            ),
+        )
+        assert comparison.samples_a == comparison.samples_b
+        assert comparison.deltas == (0.0,) * 4
+        assert comparison.paired_halfwidth == 0.0
+        assert comparison.variance_reduction == float("inf")
+        assert not comparison.significant
+
+    def test_pooled_matches_serial(self, config):
+        workflow = single_job_workflow(terasort(gb(2)))
+        kwargs = dict(
+            cluster_b=_cluster(8),
+            config=config,
+            labels=("10w", "8w"),
+        )
+        serial = compare_paired(
+            workflow, workflow, _cluster(10),
+            ensemble=EnsembleConfig(
+                replications=6, min_replications=6, exemplars=0
+            ),
+            **kwargs,
+        )
+        pooled = compare_paired(
+            workflow, workflow, _cluster(10),
+            ensemble=EnsembleConfig(
+                replications=6, min_replications=6, exemplars=0, processes=2
+            ),
+            **kwargs,
+        )
+        assert pooled.pool_used
+        assert pooled.samples_a == serial.samples_a
+        assert pooled.samples_b == serial.samples_b
+        assert pooled.ci == serial.ci
+
+    def test_early_stop_on_delta(self, config):
+        """With CRN the delta CI tightens almost immediately, so a loose
+        tolerance stops at the minimum round."""
+        comparison = compare_paired(
+            weblog_dag(input_mb=gb(5)),
+            weblog_dag(input_mb=gb(5)),
+            _cluster(8),
+            cluster_b=_cluster(10),
+            config=config,
+            ensemble=EnsembleConfig(
+                replications=24, min_replications=4, ci_tol=0.10, exemplars=0
+            ),
+        )
+        assert comparison.early_stopped
+        assert comparison.replications < 24

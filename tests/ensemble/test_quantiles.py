@@ -1,0 +1,162 @@
+"""Tests for the streaming statistics under repro.ensemble.quantiles."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.ensemble import (
+    P2Quantile,
+    RunningStat,
+    mean_halfwidth,
+    quantile_ci,
+    sample_quantile,
+)
+from repro.errors import SpecificationError
+
+
+def _stream(n, seed=0):
+    rng = random.Random(seed)
+    return [rng.lognormvariate(3.0, 0.4) for _ in range(n)]
+
+
+class TestRunningStat:
+    def test_matches_numpy(self):
+        values = _stream(200)
+        stat = RunningStat()
+        for v in values:
+            stat.push(v)
+        assert stat.count == 200
+        assert stat.mean == pytest.approx(np.mean(values))
+        assert stat.variance == pytest.approx(np.var(values, ddof=1))
+        assert stat.std == pytest.approx(np.std(values, ddof=1))
+        assert stat.min == min(values)
+        assert stat.max == max(values)
+
+    def test_degenerate_counts(self):
+        stat = RunningStat()
+        assert stat.variance == 0.0
+        assert stat.snapshot() == {
+            "count": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0,
+        }
+        stat.push(7.0)
+        assert stat.variance == 0.0
+        assert stat.snapshot()["mean"] == 7.0
+        assert stat.snapshot()["min"] == stat.snapshot()["max"] == 7.0
+
+    def test_order_determinism(self):
+        """Same values in the same order -> bit-identical state (the
+        property the ensemble's reorder buffer relies on)."""
+        values = _stream(50, seed=3)
+        a, b = RunningStat(), RunningStat()
+        for v in values:
+            a.push(v)
+            b.push(v)
+        assert a.snapshot() == b.snapshot()
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.95, 0.99])
+    def test_tracks_numpy_percentile(self, p):
+        values = _stream(2000, seed=1)
+        p2 = P2Quantile(p)
+        for v in values:
+            p2.push(v)
+        exact = float(np.quantile(values, p))
+        spread = max(values) - min(values)
+        # P² is an approximation; on a smooth unimodal stream it lands
+        # within a few percent of the sample's range.
+        assert abs(p2.value - exact) <= 0.05 * spread
+
+    def test_exact_below_five_observations(self):
+        p2 = P2Quantile(0.5)
+        assert p2.value == 0.0
+        buffer = []
+        for v in (5.0, 1.0, 3.0, 9.0):
+            p2.push(v)
+            buffer.append(v)
+            assert p2.value == pytest.approx(
+                float(np.quantile(buffer, 0.5))
+            )
+
+    def test_monotone_in_p(self):
+        values = _stream(500, seed=2)
+        estimators = [P2Quantile(p) for p in (0.1, 0.5, 0.9)]
+        for v in values:
+            for p2 in estimators:
+                p2.push(v)
+        assert estimators[0].value <= estimators[1].value <= estimators[2].value
+
+    def test_estimate_within_sample_range(self):
+        values = _stream(300, seed=4)
+        p2 = P2Quantile(0.95)
+        for v in values:
+            p2.push(v)
+        assert min(values) <= p2.value <= max(values)
+
+    def test_invalid_quantile_rejected(self):
+        for p in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(SpecificationError):
+                P2Quantile(p)
+
+
+class TestSampleQuantile:
+    def test_matches_numpy_linear(self):
+        values = sorted(_stream(31, seed=5))
+        for q in (0.0, 0.25, 0.5, 0.95, 1.0):
+            assert sample_quantile(values, q) == pytest.approx(
+                float(np.quantile(values, q))
+            )
+
+    def test_single_value(self):
+        assert sample_quantile([4.0], 0.95) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            sample_quantile([], 0.5)
+        with pytest.raises(SpecificationError):
+            sample_quantile([1.0], 1.5)
+
+
+class TestQuantileCI:
+    def test_brackets_the_quantile_on_large_samples(self):
+        values = sorted(_stream(2000, seed=6))
+        lo, hi = quantile_ci(values, 0.95)
+        assert lo <= sample_quantile(values, 0.95) <= hi
+        assert lo < hi
+
+    def test_narrows_with_sample_size(self):
+        big = sorted(_stream(4000, seed=7))
+        small = sorted(_stream(100, seed=7))
+        lo_s, hi_s = quantile_ci(small, 0.9)
+        lo_b, hi_b = quantile_ci(big, 0.9)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_unresolvable_tail_degrades_to_sample_range(self):
+        """Eight samples cannot resolve P99: the honest interval is wide,
+        which is what keeps early stopping from firing on tiny ensembles."""
+        values = sorted(_stream(8, seed=8))
+        lo, hi = quantile_ci(values, 0.99)
+        assert hi == values[-1]
+        assert lo <= values[-1]
+
+    def test_validation(self):
+        with pytest.raises(SpecificationError):
+            quantile_ci([], 0.5)
+        with pytest.raises(SpecificationError):
+            quantile_ci([1.0], 0.0)
+
+
+class TestMeanHalfwidth:
+    def test_infinite_below_two(self):
+        assert mean_halfwidth(0, 1.0) == math.inf
+        assert mean_halfwidth(1, 1.0) == math.inf
+
+    def test_formula(self):
+        assert mean_halfwidth(16, 2.0, z=1.96) == pytest.approx(
+            1.96 * 2.0 / 4.0
+        )
+
+    def test_shrinks_with_n(self):
+        assert mean_halfwidth(100, 1.0) < mean_halfwidth(25, 1.0)

@@ -83,10 +83,15 @@ class TestCombinedStressors:
     def test_failed_attempt_frees_capacity_for_peers(self, cluster):
         """A killed attempt must release its container (otherwise capacity
         leaks and large stages deadlock)."""
-        config = SimulationConfig(failures=FailureModel(probability=0.25))
+        # max_attempts=16 keeps budget exhaustion (p^16) out of the picture;
+        # the default of 4 is within reach of p=0.25 on a 200+ task stage.
+        config = SimulationConfig(
+            failures=FailureModel(probability=0.25, max_attempts=16)
+        )
         # More tasks than slots: re-queued attempts compete through waves.
         wf = single_job_workflow(job(input_mb=gb(30)))
         result = simulate(wf, cluster, config)
+        assert result.failed_attempts
         expected = job(input_mb=gb(30)).num_map_tasks + 12
         assert len(result.tasks) == expected
 

@@ -24,6 +24,20 @@ class TestFailureModel:
         model = FailureModel(probability=0.3)
         assert model.draw("j/m0", 1) == model.draw("j/m0", 1)
 
+    def test_draw_values_pinned(self):
+        """The draw stream is part of the seed contract: ensembles derive
+        per-replication failure seeds and expect ``(seed, task, attempt)``
+        to map to the same outcome forever.  These exact values guard the
+        hashed-uniform path against accidental reshuffles."""
+        model = FailureModel(probability=0.3)
+        assert model.draw("j/m0", 1) == (False, 1.0)
+        assert model.draw("j/m0", 2) == (False, 1.0)
+        fails, at = model.draw("j/r5", 1)
+        assert fails and at == pytest.approx(0.8838434584985095)
+        reseeded = FailureModel(probability=0.3, seed=12)
+        fails, at = reseeded.draw("j/m0", 1)
+        assert fails and at == pytest.approx(0.14771649051789223)
+
     def test_draw_varies_by_attempt(self):
         model = FailureModel(probability=0.5)
         outcomes = {model.draw("j/m0", k) for k in range(1, 20)}

@@ -259,3 +259,111 @@ class TestDefaultProcesses:
     def test_bounds(self):
         assert 1 <= default_processes() <= 8
         assert default_processes(cap=2) <= 2
+
+
+class TestDistributionalSweep:
+    """`simulate_candidates` — replication ensembles through the sweep pool."""
+
+    def _config(self):
+        from repro.simulator import FailureModel, SimulationConfig
+        from repro.mapreduce import SkewModel
+
+        return SimulationConfig(
+            skew=SkewModel(sigma=0.3),
+            failures=FailureModel(probability=0.05),
+        )
+
+    def _ensemble(self, **overrides):
+        from repro.ensemble import EnsembleConfig
+
+        base = dict(replications=4, min_replications=4, exemplars=0)
+        base.update(overrides)
+        return EnsembleConfig(**base)
+
+    def test_results_in_submission_order(self, cluster, small_ts):
+        workflows = [
+            single_job_workflow(replace(small_ts, num_reducers=r))
+            for r in (10, 40)
+        ]
+        results = SweepRunner(cluster).simulate_candidates(
+            workflows, config=self._config(), ensemble=self._ensemble()
+        )
+        assert [r.workflow for r in results] == [w.name for w in workflows]
+        for r in results:
+            assert r.replications == 4
+            assert len(r.samples) == 4
+
+    def test_matches_standalone_ensemble(self, cluster, small_ts):
+        """The sweep path and the dedicated EnsembleRunner are the same
+        distribution machine: bit-identical aggregates."""
+        from repro.ensemble import run_ensemble
+
+        workflow = single_job_workflow(small_ts)
+        (swept,) = SweepRunner(cluster).simulate_candidates(
+            [workflow], config=self._config(), ensemble=self._ensemble()
+        )
+        direct = run_ensemble(
+            workflow, cluster, self._config(), self._ensemble()
+        )
+        assert swept.samples == direct.samples
+        assert swept.quantiles == direct.quantiles
+        assert swept.ci == direct.ci
+        assert swept.makespan == direct.makespan
+
+    def test_pool_matches_serial_bit_identical(self, cluster, small_ts):
+        workflows = [
+            single_job_workflow(replace(small_ts, num_reducers=r))
+            for r in (10, 40)
+        ]
+        with SweepRunner(cluster) as serial_runner:
+            serial = serial_runner.simulate_candidates(
+                workflows, config=self._config(), ensemble=self._ensemble()
+            )
+        with SweepRunner(cluster, processes=2) as pooled_runner:
+            pooled = pooled_runner.simulate_candidates(
+                workflows, config=self._config(), ensemble=self._ensemble()
+            )
+            assert pooled_runner.report.pool_used
+        for a, b in zip(serial, pooled):
+            assert a.samples == b.samples
+            assert a.quantiles == b.quantiles
+            assert a.ci == b.ci
+
+    def test_cluster_overrides_respected(self, cluster, small_ts):
+        workflow = single_job_workflow(small_ts)
+        big = Cluster(node=PAPER_NODE, workers=20, name="20w")
+        small, large = SweepRunner(cluster).simulate_candidates(
+            [Candidate(workflow), Candidate(workflow, cluster=big)],
+            config=self._config(),
+            ensemble=self._ensemble(),
+        )
+        assert large.makespan["mean"] < small.makespan["mean"]
+
+    def test_report_accounts_replications(self, cluster, small_ts):
+        runner = SweepRunner(cluster)
+        runner.simulate_candidates(
+            [single_job_workflow(small_ts)],
+            config=self._config(),
+            ensemble=self._ensemble(),
+        )
+        assert runner.report.candidates == 1
+        assert runner.report.succeeded == 1
+        assert runner.report.batches == 1
+
+    def test_compare_paired_through_the_runner(self, cluster, small_ts):
+        """CRN pairing via the sweep pool: strictly tighter than unpaired
+        on the reducer knob."""
+        baseline = single_job_workflow(small_ts)
+        candidate = single_job_workflow(replace(small_ts, num_reducers=10))
+        comparison = SweepRunner(cluster).compare_paired(
+            baseline,
+            candidate,
+            config=self._config(),
+            ensemble=self._ensemble(replications=8, min_replications=8),
+        )
+        assert comparison.replications == 8
+        assert comparison.paired_halfwidth < comparison.unpaired_halfwidth
+        assert comparison.deltas == tuple(
+            b - a
+            for a, b in zip(comparison.samples_a, comparison.samples_b)
+        )
