@@ -674,8 +674,13 @@ def main(argv: Optional[list] = None) -> int:
             print(render_snapshot(get_metrics().snapshot()))
         return rc
     except ReproError as exc:
+        # The whole package error hierarchy roots at ReproError, so no
+        # simulation/estimation/specification failure escapes as a raw
+        # traceback.  Exit code 2 distinguishes "the tool rejected the
+        # request" from 1, which subcommands use for "ran fine, but the
+        # checked property does not hold" (e.g. a failed comparison).
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
     except BrokenPipeError:
         # Downstream pager/`head` closed the pipe; exit quietly like a
         # well-behaved Unix tool.

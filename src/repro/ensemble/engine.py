@@ -237,8 +237,16 @@ def run_replication(
     this is the streaming-aggregation boundary.
     """
     skew_seed, failure_seed = replication_seeds(base_seed, index)
+    # Workers run the columnar engine whenever the variant asks for the
+    # default loop: the two are trace-parity twins
+    # (tests/simulator/test_columnar_parity.py) and a replication is
+    # reduced to aggregates anyway, so the ensemble gets the flat-array
+    # throughput for free.  An explicit "reference" choice is honoured —
+    # that is the oracle configuration.
+    engine = "columnar" if variant.config.engine == "fast" else variant.config.engine
     config = replace(
         variant.config,
+        engine=engine,
         skew=replace(variant.config.skew, seed=skew_seed),
         failures=replace(variant.config.failures, seed=failure_seed),
     )
@@ -248,7 +256,7 @@ def run_replication(
         skew_seed=skew_seed,
         failure_seed=failure_seed,
         makespan=result.makespan,
-        tasks=len(result.tasks),
+        tasks=result.task_count,
         states=len(result.states),
         failed_attempts=len(result.failed_attempts),
         state_durations=tuple(s.duration for s in result.states),

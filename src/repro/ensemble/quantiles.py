@@ -148,6 +148,14 @@ class P2Quantile:
         return
 
     def _parabolic(self, i: int, d: float) -> float:
+        # Denominator safety: marker positions are integer-valued floats
+        # that stay *strictly* increasing — an adjustment of ±1 requires a
+        # gap > 1 (i.e. ≥ 2) in the move direction, and new-observation
+        # increments only widen gaps — so every position difference below
+        # is ≥ 1.  Heights may collapse (constant/duplicate-heavy streams);
+        # then this candidate equals q[i], fails the caller's strict-order
+        # guard, and the linear fallback keeps the markers sorted.  Pinned
+        # by tests/ensemble/test_quantiles.py::TestP2Adversarial.
         q, n = self._heights, self._positions
         return q[i] + d / (n[i + 1] - n[i - 1]) * (
             (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])

@@ -31,6 +31,11 @@ _EPS = 1e-9
 POLICIES = ("drf", "fifo", "fair")
 
 
+def _clamp_zero(value: float) -> float:
+    """ResourceVector.__sub__'s drift snap, applied to a bare component."""
+    return 0.0 if -1e-6 < value < 0.0 else value
+
+
 @dataclass
 class _NodeState:
     index: int
@@ -64,7 +69,13 @@ class YarnPlacer:
             for i in range(cluster.workers)
         ]
         self._capacity = cluster.capacity
-        self._usage: Dict[str, ResourceVector] = {}
+        # Per-job usage, tracked as bare float components rather than
+        # ResourceVector instances: the DRF priority reads usage on every
+        # grant, and allocating a fresh frozen dataclass per update is the
+        # single biggest cost of a 10⁵-grant run.  The arithmetic (including
+        # __sub__'s drift clamp) mirrors ResourceVector exactly.
+        self._usage_v: Dict[str, float] = {}
+        self._usage_m: Dict[str, float] = {}
         self._arrival: Dict[str, int] = {}
         self._arrival_counter = 0
         self._next_node: Dict[str, int] = {}
@@ -87,12 +98,15 @@ class YarnPlacer:
         if name not in self._arrival:
             self._arrival[name] = self._arrival_counter
             self._arrival_counter += 1
-            self._usage.setdefault(name, ZERO_VECTOR)
+            self._usage_v.setdefault(name, 0.0)
+            self._usage_m.setdefault(name, 0.0)
             self._next_node.setdefault(name, self._arrival[name] % len(self._nodes))
         self._weights[name] = weight
 
     def usage_of(self, name: str) -> ResourceVector:
-        return self._usage.get(name, ZERO_VECTOR)
+        if name not in self._usage_v:
+            return ZERO_VECTOR
+        return ResourceVector(self._usage_v[name], self._usage_m[name])
 
     def release(self, name: str, node_index: int, container: ResourceVector) -> None:
         """Return a finished task's container to its node."""
@@ -105,7 +119,49 @@ class YarnPlacer:
                 f"({node.free_memory} > {self._cluster.node.memory_mb})"
             )
         self._touch(node)
-        self._usage[name] = self._usage[name] - container
+        self._usage_v[name] = _clamp_zero(self._usage_v[name] - container.vcores)
+        self._usage_m[name] = _clamp_zero(self._usage_m[name] - container.memory_mb)
+
+    def release_batch(self, name, node_counts, container: ResourceVector) -> None:
+        """Return many identical containers of one job at once.
+
+        Float-exact versus the equivalent sequence of :meth:`release` calls:
+        containers are added back one at a time (a single ``k * memory``
+        multiply would reassociate the float sums and drift the admission
+        threshold), and the usage vector shrinks by the same one-at-a-time
+        subtractions.  Only the heap `_touch` is coalesced to one push per
+        node — the lazy heap reads current values, so intermediate pushes
+        carry no information.
+
+        Args:
+            name: the owning job.
+            node_counts: iterable of (node index, container count) pairs.
+            container: the (identical) container size being released.
+        """
+        uv = self._usage_v[name]
+        um = self._usage_m[name]
+        cv = container.vcores
+        cm = container.memory_mb
+        limit = self._cluster.node.memory_mb + _EPS
+        for node_index, count in node_counts:
+            node = self._nodes[node_index]
+            fv = node.free_vcores
+            fm = node.free_memory
+            for _ in range(count):
+                fv += cv
+                fm += cm
+                uv = _clamp_zero(uv - cv)
+                um = _clamp_zero(um - cm)
+            node.free_vcores = fv
+            node.free_memory = fm
+            if fm > limit:
+                raise SchedulingError(
+                    f"released more memory than node {node_index} owns "
+                    f"({fm} > {self._cluster.node.memory_mb})"
+                )
+            self._touch(node)
+        self._usage_v[name] = uv
+        self._usage_m[name] = um
 
     def _touch(self, node: _NodeState) -> None:
         """Record a free-memory change in the lazy max-heap."""
@@ -166,15 +222,30 @@ class YarnPlacer:
         if not heap:  # pragma: no cover - every change pushes an entry
             return None
         best = nodes[heap[0][1]]
-        if not self._node_fits(best, container):
+        # `_node_fits`, inlined: this runs once per grant and the method-call
+        # plus attribute traffic shows up at 10^5-task scale.
+        mem = container.memory_mb
+        vc = container.vcores
+        enforce = self._enforce_vcores
+        if mem > best.free_memory + _EPS:
+            return None
+        if enforce and vc > best.free_vcores + _EPS:
             return None
         threshold = best.free_memory - 1e-6
-        start = self._next_node.get(job, 0)
         n_nodes = len(nodes)
-        for offset in range(n_nodes):
-            node = nodes[(start + offset) % n_nodes]
-            if node.free_memory >= threshold and self._node_fits(node, container):
-                self._next_node[job] = (node.index + 1) % n_nodes
+        idx = self._next_node.get(job, 0)
+        for _ in range(n_nodes):
+            node = nodes[idx]
+            idx += 1
+            if idx == n_nodes:
+                idx = 0
+            free = node.free_memory
+            if (
+                free >= threshold
+                and mem <= free + _EPS
+                and (not enforce or vc <= node.free_vcores + _EPS)
+            ):
+                self._next_node[job] = idx  # == (node.index + 1) % n_nodes
                 return node
         return None  # pragma: no cover - `best` itself is reachable
 
@@ -182,12 +253,15 @@ class YarnPlacer:
         """Sort key: lower = served first."""
         if self._policy == "fifo":
             return (self._arrival.get(name, 1 << 30), name)
-        usage = self._usage.get(name, ZERO_VECTOR)
+        memory = self._usage_m.get(name, 0.0)
         weight = self._weights.get(name, 1.0)
         if self._policy == "fair":
-            share = usage.memory_mb / self._capacity.memory_mb
-        else:  # drf
-            share = usage.dominant_share(self._capacity)
+            share = memory / self._capacity.memory_mb
+        else:  # drf: ResourceVector.dominant_share over the bare components
+            share = max(
+                self._usage_v.get(name, 0.0) / self._capacity.vcores,
+                memory / self._capacity.memory_mb,
+            )
         return (share / weight, self._arrival.get(name, 1 << 30), name)
 
     def assign_queues(
@@ -212,19 +286,52 @@ class YarnPlacer:
         for name in remaining:
             self.register_job(name)
         placements: List[Tuple[str, int, int]] = []
+        # This loop runs once per launched task, so it is the scheduler's
+        # only hot path.  Two things keep it lean: (a) a job's priority only
+        # moves when *it* receives a grant, so the sort keys are cached and
+        # just the winner's entry is refreshed; (b) `_touch` and `_priority`
+        # are inlined (same arithmetic, no per-grant method dispatch).
+        prio = {name: self._priority(name) for name in remaining}
+        pick = self._pick_node_fast if self._fast else self._pick_node
+        policy = self._policy
+        usage_v = self._usage_v
+        usage_m = self._usage_m
+        arrival = self._arrival
+        weights = self._weights
+        cap_v = self._capacity.vcores
+        cap_m = self._capacity.memory_mb
+        heap_limit = max(64, 8 * len(self._nodes))
         while remaining:
-            candidates = sorted(remaining, key=self._priority)
+            candidates = sorted(remaining, key=prio.__getitem__)
             placed = False
             for name in candidates:
                 queue = remaining[name][0]
                 idx, container, count = queue
-                node = self._pick_node(container, name)
+                node = pick(container, name)
                 if node is None:
                     continue
                 node.free_vcores -= container.vcores
                 node.free_memory -= container.memory_mb
-                self._touch(node)
-                self._usage[name] = self._usage[name] + container
+                # `_touch`, inlined.
+                heapq.heappush(self._free_heap, (-node.free_memory, node.index))
+                if len(self._free_heap) > heap_limit:
+                    self._free_heap = [
+                        (-n.free_memory, n.index) for n in self._nodes
+                    ]
+                    heapq.heapify(self._free_heap)
+                v = usage_v[name] = usage_v[name] + container.vcores
+                m = usage_m[name] = usage_m[name] + container.memory_mb
+                # `_priority`, inlined (fifo keys never change).
+                if policy != "fifo":
+                    if policy == "fair":
+                        share = m / cap_m
+                    else:  # drf
+                        share = max(v / cap_v, m / cap_m)
+                    prio[name] = (
+                        share / weights.get(name, 1.0),
+                        arrival.get(name, 1 << 30),
+                        name,
+                    )
                 placements.append((name, node.index, idx))
                 if count == 1:
                     remaining[name].pop(0)
@@ -269,7 +376,8 @@ class YarnPlacer:
                 node.free_vcores -= container.vcores
                 node.free_memory -= container.memory_mb
                 self._touch(node)
-                self._usage[name] = self._usage[name] + container
+                self._usage_v[name] = self._usage_v[name] + container.vcores
+                self._usage_m[name] = self._usage_m[name] + container.memory_mb
                 placements.append((name, node.index))
                 if count == 1:
                     del remaining[name]

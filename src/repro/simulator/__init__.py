@@ -1,8 +1,9 @@
 """Ground-truth substrate: fluid discrete-event cluster simulation."""
 
 from repro.simulator.engine import SimulationConfig, Simulator, simulate
+from repro.simulator.columnar import ColumnarResult, ColumnarSimulator
 from repro.simulator.failures import FailureModel, NO_FAILURES
-from repro.simulator.events import EventQueue
+from repro.simulator.events import CohortDeadlineHeap, EventQueue
 from repro.simulator.metrics import (
     average_parallelism,
     fit_normal,
@@ -16,7 +17,12 @@ from repro.simulator.metrics import (
     tasks_in_state,
 )
 from repro.simulator.seeding import replication_config, replication_seeds
-from repro.simulator.sharing import FlowSpec, pool_utilisation, solve_max_min
+from repro.simulator.sharing import (
+    FlowSpec,
+    pool_utilisation,
+    solve_max_min,
+    solve_max_min_classes,
+)
 from repro.simulator.trace import (
     SimulationResult,
     StageTrace,
@@ -26,6 +32,9 @@ from repro.simulator.trace import (
 )
 
 __all__ = [
+    "CohortDeadlineHeap",
+    "ColumnarResult",
+    "ColumnarSimulator",
     "EventQueue",
     "FailureModel",
     "NO_FAILURES",
@@ -48,6 +57,7 @@ __all__ = [
     "replication_seeds",
     "simulate",
     "solve_max_min",
+    "solve_max_min_classes",
     "stage_duration",
     "state_summary",
     "task_durations",

@@ -1,0 +1,1093 @@
+"""Columnar simulation engine: flat numpy state for million-task DAGs.
+
+The fast engine (:mod:`repro.simulator.engine`) already made per-event work
+proportional to the flows an event touches, but it still spends a Python
+object per run (``_RunState``), a dict entry per flow and a heap entry per
+deadline — at 10⁵–10⁶ tasks the interpreter overhead of *touching* that
+state dominates.  This engine re-hosts the same event loop on columns:
+
+* every launched attempt occupies a **slot** in a set of parallel numpy
+  arrays (progress, rate, re-base time, sub-stage index, failure plan, …)
+  keyed by slot index; per-task facts (job, index, input size, attempt
+  count) live in a second set of arrays keyed by task uid;
+* sub-stage pipelines and their sharing signatures are interned once per
+  ``(job, kind, input_mb)`` into a **class registry**, so a node's sharing
+  problem is described by a small (class id → count) composition; identical
+  compositions across nodes resolve through one cached call to
+  :func:`~repro.simulator.sharing.solve_max_min_classes` — the array-native
+  class-level solver — instead of one solve per node;
+* the deadline heap (:class:`~repro.simulator.events.CohortDeadlineHeap`)
+  stores index *cohorts* — arrays of slots sharing one class, rate and
+  predicted instant — validated by per-slot epochs instead of tokens.
+
+Fidelity discipline is identical to the fast engine's: the object loops are
+the oracle, and ``tests/simulator/test_columnar_parity.py`` pins this
+engine's traces against them across the workload catalog.  The solver
+arithmetic is bit-identical by construction (shared canonical class order,
+same operation sequence — see :func:`~repro.simulator.sharing.class_sort_key`);
+the only tolerated divergence is the ordering of same-instant decisions,
+which the parity suite bounds at 1e-9 relative.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import Resource
+from repro.dag.workflow import Workflow
+from repro.errors import SchedulingError, SimulationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.phases import SubStageSpec, build_task_substages
+from repro.mapreduce.stage import StageKind, stage_input_mb
+from repro.scheduler.container import container_for
+from repro.simulator.engine import (
+    SimulationConfig,
+    Simulator,
+    _EPS,
+    _TIME_TOL,
+    _JobState,
+)
+from repro.simulator.events import CohortDeadlineHeap
+from repro.simulator.sharing import class_sort_key, solve_max_min_classes
+from repro.simulator.trace import (
+    SimulationResult,
+    SubStageTrace,
+    TaskTrace,
+)
+
+logger = logging.getLogger(__name__)
+
+_KINDS = (StageKind.MAP, StageKind.REDUCE)
+
+#: Generic (node-less) pool names.  A flow only ever touches its own node's
+#: pools, so the node suffix in the object engines' ``cpu:<n>`` ids carries
+#: no information within one sharing problem — and the generic names sort
+#: exactly like the suffixed ones do within a node, which keeps
+#: :func:`class_sort_key` orderings (and therefore sweep order and float
+#: results) identical between the engines.
+_POOL_NAME = {
+    Resource.CPU: "cpu",
+    Resource.DISK: "disk",
+    Resource.NETWORK: "net",
+}
+
+
+class _Pipeline:
+    """Interned sub-stage pipeline of one (job, kind, input size)."""
+
+    __slots__ = ("names", "scids", "gate0", "fail_weights", "fail_total")
+
+    def __init__(
+        self,
+        names: Tuple[str, ...],
+        scids: Tuple[int, ...],
+        gate0: bool,
+        fail_weights: List[float],
+        fail_total: float,
+    ):
+        self.names = names
+        self.scids = scids
+        self.gate0 = gate0  # first sub-stage is a slow-start-gated shuffle
+        self.fail_weights = fail_weights
+        self.fail_total = fail_total
+
+
+class _TaskQueue:
+    """Pending-task queue as a uid block plus a retry tail.
+
+    Mirrors the object engines' deque semantics — the initial stage
+    population drains front-to-back, failed attempts re-queue behind it —
+    without materialising a Python object per task.
+    """
+
+    __slots__ = ("uids", "head", "retries", "rhead")
+
+    def __init__(self, uids: np.ndarray):
+        self.uids = uids
+        self.head = 0
+        self.retries: List[int] = []
+        self.rhead = 0
+
+    def __len__(self) -> int:
+        return (len(self.uids) - self.head) + (len(self.retries) - self.rhead)
+
+    def pop(self) -> int:
+        if self.head < len(self.uids):
+            uid = int(self.uids[self.head])
+            self.head += 1
+            return uid
+        uid = self.retries[self.rhead]
+        self.rhead += 1
+        return uid
+
+
+class ColumnarResult(SimulationResult):
+    """Simulation result whose per-task traces materialise lazily.
+
+    A million-task run produces a million :class:`TaskTrace` objects nobody
+    may ever look at; building them eagerly would cost more than the whole
+    columnar simulation.  The trace columns stay as arrays until ``tasks``
+    is first read; aggregate queries (:attr:`task_count`,
+    :meth:`durations_array`) answer straight from the columns.
+    """
+
+    def __init__(
+        self,
+        workflow_name: str,
+        makespan: float,
+        stages,
+        states,
+        failed_attempts,
+        task_builder,
+        task_count: int,
+        columns: Dict[str, np.ndarray],
+        job_names: List[str],
+    ):
+        # Deliberately not the dataclass __init__: ``tasks`` is a lazy
+        # property here, not a field.
+        self.workflow_name = workflow_name
+        self.makespan = makespan
+        self.stages = stages
+        self.states = states
+        self.failed_attempts = failed_attempts
+        self._task_builder = task_builder
+        self._tasks_cache: Optional[List[TaskTrace]] = None
+        self._task_count = task_count
+        self._columns = columns
+        self._job_index = {name: i for i, name in enumerate(job_names)}
+
+    @property
+    def tasks(self) -> List[TaskTrace]:
+        if self._tasks_cache is None:
+            self._tasks_cache = self._task_builder()
+        return self._tasks_cache
+
+    @property
+    def task_count(self) -> int:
+        return self._task_count
+
+    def durations_array(
+        self,
+        job: str,
+        kind: Optional[StageKind] = None,
+        include_overhead: bool = False,
+    ) -> np.ndarray:
+        """Task durations for one job straight from the trace columns.
+
+        Same values, same canonical task order as iterating ``tasks_of`` —
+        ``t_end - t_start`` are the identical floats — minus the object
+        materialisation.
+        """
+        jid = self._job_index.get(job)
+        if jid is None:
+            return np.empty(0)
+        cols = self._columns
+        sel = cols["job"] == jid
+        if kind is not None:
+            sel &= cols["kind"] == (0 if kind is StageKind.MAP else 1)
+        start = cols["t_start"] if include_overhead else cols["work_t0"]
+        return cols["t_end"][sel] - start[sel]
+
+
+class ColumnarSimulator(Simulator):
+    """The fast event loop, re-hosted on flat numpy columns."""
+
+    #: 1-D per-slot columns, grown geometrically and never reused: a task's
+    #: retry occupies a fresh slot, so trace history needs no copying.
+    _SLOT_FIELDS = (
+        ("_s_uid", np.int64),
+        ("_s_node", np.int32),
+        ("_s_pid", np.int32),
+        ("_s_scid", np.int32),
+        ("_s_stage", np.int32),
+        ("_s_attempt", np.int32),
+        ("_s_fail_sub", np.int32),
+        ("_s_progress", np.float64),
+        ("_s_rate", np.float64),
+        ("_s_tbase", np.float64),
+        ("_s_tlaunch", np.float64),
+        ("_s_twork", np.float64),
+        ("_s_fail_frac", np.float64),
+        ("_s_epoch", np.int64),
+        ("_s_active", np.bool_),
+        ("_s_gate", np.bool_),
+        ("_s_dead", np.bool_),
+    )
+
+    _TASK_FIELDS = (
+        ("_t_job", np.int32),
+        ("_t_kind", np.int8),
+        ("_t_index", np.int32),
+        ("_t_pid", np.int32),
+        ("_t_attempts", np.int32),
+        ("_t_input", np.float64),
+        ("_t_first", np.float64),
+    )
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workflow: Workflow,
+        config: SimulationConfig = SimulationConfig(),
+    ):
+        super().__init__(cluster, workflow, config)
+        node = cluster.node
+        self._capacities = {
+            "cpu": float(node.cores),
+            "disk": node.disk_mb_s,
+            "net": node.network_mb_s,
+        }
+
+        # Job registry: stable integer ids in workflow order.
+        self._job_names = [j.name for j in workflow.jobs]
+        self._jid_of = {name: i for i, name in enumerate(self._job_names)}
+        self._js_by_jid = [self._jobs[name] for name in self._job_names]
+        rank_of = {n: r for r, n in enumerate(sorted(self._job_names))}
+        self._job_rank = np.array(
+            [rank_of[n] for n in self._job_names], dtype=np.int64
+        )
+        # node -> count of this job's live reduce attempts, for slow-start
+        # dirty marking (the object engines scan all runs; the set of nodes
+        # marked must be identical, hence exact per-node live counts).
+        self._reduce_nodes: List[Dict[int, int]] = [{} for _ in self._job_names]
+
+        # Solver-class registry (one entry per distinct sharing signature).
+        self._class_key: Dict[tuple, int] = {}
+        self._class_weights: List[Dict[str, float]] = []
+        self._class_caps: List[Optional[float]] = []
+        self._class_sort_keys: List[tuple] = []
+        #: composition (tuple of (class id, count)) -> dense per-class rates
+        self._rate_cache: Dict[tuple, np.ndarray] = {}
+
+        # Pipeline registry + per-pid lookup columns.
+        self._pipes: List[_Pipeline] = []
+        self._pipe_key: Dict[Tuple[str, StageKind, float], int] = {}
+        self._pipe_nsub = np.zeros(16, dtype=np.int32)
+        self._pipe_scid0 = np.zeros(16, dtype=np.int32)
+        self._pipe_gate0 = np.zeros(16, dtype=np.bool_)
+
+        # Slot / task columns.
+        self._slot_cap = 256
+        self._n_slots = 0
+        for name, dtype in self._SLOT_FIELDS:
+            setattr(self, name, np.zeros(self._slot_cap, dtype=dtype))
+        self._max_sub = 1
+        self._sub_t0 = np.zeros((self._slot_cap, self._max_sub))
+        self._sub_t1 = np.zeros((self._slot_cap, self._max_sub))
+        self._task_cap = 256
+        self._n_tasks = 0
+        for name, dtype in self._TASK_FIELDS:
+            setattr(self, name, np.zeros(self._task_cap, dtype=dtype))
+
+        # Insertion-ordered per-node slot sets (dict keys preserve the
+        # object engines' within-node tie-break order) and the cohort heap.
+        self._node_slots: List[Dict[int, None]] = [
+            {} for _ in range(cluster.workers)
+        ]
+        self._dl = CohortDeadlineHeap()
+        self._epoch = 0
+        self._live = 0
+        self._done_slots: List[np.ndarray] = []
+        self._done_count = 0
+        self._failed_raw: List[Tuple[int, int, float]] = []
+
+    # -- capacity management ---------------------------------------------------
+
+    def _alloc_slots(self, n: int) -> np.ndarray:
+        need = self._n_slots + n
+        if need > self._slot_cap:
+            new_cap = max(need, self._slot_cap * 2)
+            for name, dtype in self._SLOT_FIELDS:
+                old = getattr(self, name)
+                arr = np.zeros(new_cap, dtype=dtype)
+                arr[: self._n_slots] = old[: self._n_slots]
+                setattr(self, name, arr)
+            for name in ("_sub_t0", "_sub_t1"):
+                old = getattr(self, name)
+                arr = np.zeros((new_cap, self._max_sub))
+                arr[: self._n_slots, : old.shape[1]] = old[: self._n_slots]
+                setattr(self, name, arr)
+            self._slot_cap = new_cap
+        base = self._n_slots
+        self._n_slots = need
+        return np.arange(base, need, dtype=np.int64)
+
+    def _alloc_tasks(self, n: int) -> np.ndarray:
+        need = self._n_tasks + n
+        if need > self._task_cap:
+            new_cap = max(need, self._task_cap * 2)
+            for name, dtype in self._TASK_FIELDS:
+                old = getattr(self, name)
+                arr = np.zeros(new_cap, dtype=dtype)
+                arr[: self._n_tasks] = old[: self._n_tasks]
+                setattr(self, name, arr)
+            self._task_cap = new_cap
+        base = self._n_tasks
+        self._n_tasks = need
+        return np.arange(base, need, dtype=np.int64)
+
+    def _grow_sub_columns(self, new_max: int) -> None:
+        for name in ("_sub_t0", "_sub_t1"):
+            old = getattr(self, name)
+            arr = np.zeros((self._slot_cap, new_max))
+            arr[:, : old.shape[1]] = old
+            setattr(self, name, arr)
+        self._max_sub = new_max
+
+    # -- registries ------------------------------------------------------------
+
+    def _class_for(self, sub: SubStageSpec) -> int:
+        """Intern one sub-stage's sharing signature, returning its class id.
+
+        Demands aggregate in op order and the per-flow cap folds with
+        ``min`` in op order — the exact accumulation sequence of
+        ``_RunState.build_flow`` + ``solve_max_min``, so the float weights
+        are the identical values the object engines feed their solver.
+        """
+        agg: Dict[str, float] = {}
+        cap: Optional[float] = None
+        for op in sub.ops:
+            pool = _POOL_NAME.get(op.resource)
+            if pool is None:
+                raise SimulationError(f"{op.resource} is not a throughput pool")
+            agg[pool] = agg.get(pool, 0.0) + op.amount
+            if op.per_flow_cap is not None:
+                op_cap = op.per_flow_cap / op.amount
+                cap = op_cap if cap is None else min(cap, op_cap)
+        key = (cap, tuple(sorted(agg.items())))
+        scid = self._class_key.get(key)
+        if scid is None:
+            scid = len(self._class_weights)
+            self._class_key[key] = scid
+            self._class_weights.append(agg)
+            self._class_caps.append(cap)
+            self._class_sort_keys.append(class_sort_key(*key))
+        return scid
+
+    def _pipeline_for(self, job: MapReduceJob, kind: StageKind, input_mb: float) -> int:
+        key = (job.name, kind, input_mb)
+        pid = self._pipe_key.get(key)
+        if pid is not None:
+            return pid
+        substages = build_task_substages(
+            job,
+            kind,
+            task_input_mb=input_mb if input_mb > 0 else None,
+            remote_fraction=self._cluster.remote_fraction,
+        )
+        scids = tuple(self._class_for(sub) for sub in substages)
+        gate0 = kind is StageKind.REDUCE and substages[0].name == "shuffle"
+        fail_weights = [sum(op.amount for op in sub.ops) for sub in substages]
+        fail_total = sum(fail_weights) or 1.0
+        pid = len(self._pipes)
+        self._pipes.append(
+            _Pipeline(
+                tuple(s.name for s in substages),
+                scids,
+                gate0,
+                fail_weights,
+                fail_total,
+            )
+        )
+        self._pipe_key[key] = pid
+        if pid >= len(self._pipe_nsub):
+            new_cap = max(len(self._pipe_nsub) * 2, pid + 1)
+            for name in ("_pipe_nsub", "_pipe_scid0", "_pipe_gate0"):
+                old = getattr(self, name)
+                arr = np.zeros(new_cap, dtype=old.dtype)
+                arr[: len(old)] = old
+                setattr(self, name, arr)
+        self._pipe_nsub[pid] = len(substages)
+        self._pipe_scid0[pid] = scids[0]
+        self._pipe_gate0[pid] = gate0
+        if len(substages) > self._max_sub:
+            self._grow_sub_columns(len(substages))
+        return pid
+
+    def _task_id_str(self, uid: int) -> str:
+        name = self._job_names[int(self._t_job[uid])]
+        prefix = "m" if self._t_kind[uid] == 0 else "r"
+        return f"{name}/{prefix}{int(self._t_index[uid])}"
+
+    # -- job / stage lifecycle ---------------------------------------------------
+
+    def _open_stage(self, js: _JobState, kind: StageKind) -> None:
+        job = js.job
+        n = job.num_tasks(kind)
+        jid = self._jid_of[job.name]
+        uids = self._alloc_tasks(n)
+        if n:
+            total = stage_input_mb(job, kind)
+            skew = self._config.skew
+            sigma = skew.sigma_for(kind)
+            sizes = skew.task_sizes(
+                total, n, salt=f"{job.name}/{kind.value}", sigma=sigma
+            )
+            self._t_job[uids] = jid
+            self._t_kind[uids] = 0 if kind is StageKind.MAP else 1
+            self._t_index[uids] = np.arange(n)
+            self._t_input[uids] = sizes
+            self._t_first[uids] = np.nan
+            self._t_attempts[uids] = 0
+            if n == 1 or sigma == 0.0 or total == 0.0:
+                # task_sizes' uniform branch: one shared pipeline.
+                self._t_pid[uids] = self._pipeline_for(job, kind, sizes[0])
+            else:
+                for uid, size in zip(uids.tolist(), sizes):
+                    self._t_pid[uid] = self._pipeline_for(job, kind, size)
+        js.pending[kind] = _TaskQueue(uids)  # type: ignore[assignment]
+        js.running[kind] = 0
+        js.completed[kind] = 0
+        js.total[kind] = n
+        js.stage_open[kind] = True
+        js.stage_bounds[kind] = [self._now, self._now]
+        if kind is StageKind.REDUCE:
+            js.reduces_opened = True
+        if n == 0:
+            self._close_stage(js, kind)
+
+    def _on_map_completed(self, js: _JobState) -> None:
+        cfg = js.job.config
+        if js.job.is_map_only:
+            return
+        if not js.reduces_opened and cfg.slowstart < 1.0:
+            threshold = math.ceil(cfg.slowstart * js.job.num_map_tasks)
+            if js.maps_completed >= threshold:
+                self._open_stage(js, StageKind.REDUCE)
+        if js.reduces_opened and js.map_stage_open:
+            jid = self._jid_of[js.job.name]
+            for node, count in self._reduce_nodes[jid].items():
+                if count > 0:
+                    self._dirty_nodes.add(node)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _schedule_pending(self) -> None:
+        requests = {}
+        for name, js in self._jobs.items():
+            if not js.arrived or js.done:
+                continue
+            queues = [
+                (container_for(js.job, kind), len(js.pending.get(kind, ())))
+                if js.stage_open.get(kind, False)
+                else (container_for(js.job, kind), 0)
+                for kind in _KINDS
+            ]
+            if any(count for _, count in queues):
+                requests[name] = queues
+        if not requests:
+            return
+        grants = self._placer.assign_queues(requests)
+        if not grants:
+            return
+        if self._ctr_sched is not None:
+            self._ctr_sched.inc(len(grants))
+        if self._ctr_launched is not None:
+            self._ctr_launched.inc(len(grants))
+        self._launch_batch(grants)
+
+    def _launch_batch(self, grants: List[Tuple[str, int, int]]) -> None:
+        n = len(grants)
+        slots = self._alloc_slots(n)
+        now = self._now
+        # Per-grant bookkeeping is plain-python; keep it lean — locals for
+        # every per-iteration attribute, lists instead of elementwise numpy
+        # stores, and one (job-state, overhead, jid) lookup per job name.
+        slot_ids = slots.tolist()
+        uid_list: List[int] = []
+        node_list: List[int] = []
+        overhead_groups: Dict[float, List[int]] = {}
+        jobs = self._jobs
+        node_slots = self._node_slots
+        dirty = self._dirty_nodes
+        jid_of = self._jid_of
+        reduce_nodes = self._reduce_nodes
+        # Cache per (job, queue): the pending queue object, overhead, jid,
+        # and a launch tally — the enum-keyed `pending`/`running` dict
+        # lookups are done once per (job, queue) instead of once per grant.
+        info_cache: Dict[Tuple[str, int], tuple] = {}
+        for i, (name, node, queue_idx) in enumerate(grants):
+            key = (name, queue_idx)
+            info = info_cache.get(key)
+            if info is None:
+                js = jobs[name]
+                info = (
+                    js.pending[_KINDS[queue_idx]],
+                    js.job.config.task_overhead_s,
+                    jid_of[name],
+                    [0],
+                )
+                info_cache[key] = info
+            queue, overhead, jid, tally = info
+            uid = queue.pop()  # type: ignore[attr-defined]
+            tally[0] += 1
+            uid_list.append(uid)
+            node_list.append(node)
+            slot = slot_ids[i]
+            node_slots[node][slot] = None
+            if queue_idx == 1:
+                counts = reduce_nodes[jid]
+                counts[node] = counts.get(node, 0) + 1
+            group = overhead_groups.get(overhead)
+            if group is None:
+                overhead_groups[overhead] = [slot]
+            else:
+                group.append(slot)
+            dirty.add(node)
+        for (name, queue_idx), info in info_cache.items():
+            jobs[name].running[_KINDS[queue_idx]] += info[3][0]
+        uids = np.asarray(uid_list, dtype=np.int64)
+        nodes = np.asarray(node_list, dtype=np.int32)
+        self._s_uid[slots] = uids
+        self._s_node[slots] = nodes
+        pid = self._t_pid[uids]
+        self._s_pid[slots] = pid
+        self._s_scid[slots] = self._pipe_scid0[pid]
+        self._s_gate[slots] = self._pipe_gate0[pid]
+        self._s_stage[slots] = 0
+        self._s_progress[slots] = 0.0
+        self._s_rate[slots] = 0.0
+        self._s_tbase[slots] = now
+        self._s_tlaunch[slots] = now
+        self._s_twork[slots] = now
+        self._s_active[slots] = False
+        self._s_dead[slots] = False
+        self._s_epoch[slots] = -1
+        self._s_fail_sub[slots] = -1
+        self._s_fail_frac[slots] = 1.0
+        attempts = self._t_attempts[uids] + 1
+        self._t_attempts[uids] = attempts
+        self._s_attempt[slots] = attempts
+        fresh = np.isnan(self._t_first[uids])
+        if fresh.any():
+            self._t_first[uids[fresh]] = now
+        if self._config.failures.enabled:
+            self._plan_failures(slots, uids, attempts)
+        self._live += n
+        for overhead, slot_list in overhead_groups.items():
+            arr = np.asarray(slot_list, dtype=np.int64)
+            if overhead > 0:
+                self._events.push(now + overhead, ("ready", arr))
+            else:
+                self._s_active[arr] = True
+
+    def _plan_failures(
+        self, slots: np.ndarray, uids: np.ndarray, attempts: np.ndarray
+    ) -> None:
+        """Per-attempt failure plans; the draw stream matches the object
+        engines exactly (same blake2b over the same ``task_id/attempt``)."""
+        model = self._config.failures
+        for slot, uid, attempt in zip(
+            slots.tolist(), uids.tolist(), attempts.tolist()
+        ):
+            fails, fail_at = model.draw(self._task_id_str(uid), attempt)
+            if not fails:
+                continue
+            pipe = self._pipes[int(self._t_pid[uid])]
+            cumulative = 0.0
+            weights = pipe.fail_weights
+            for idx, weight in enumerate(weights):
+                share = weight / pipe.fail_total
+                if share <= 0:
+                    continue
+                if fail_at <= cumulative + share or idx == len(weights) - 1:
+                    self._s_fail_sub[slot] = idx
+                    self._s_fail_frac[slot] = min(
+                        0.999, (fail_at - cumulative) / share
+                    )
+                    break
+                cumulative += share
+
+    # -- slow-start gating -------------------------------------------------------
+
+    def _targets_for(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorised ``_shuffle_target`` over a slot batch."""
+        out = np.ones(slots.size)
+        gate_mask = self._s_gate[slots]
+        if not gate_mask.any():
+            return out
+        gated = slots[gate_mask]
+        jids = self._t_job[self._s_uid[gated]]
+        values = np.ones(gated.size)
+        for jid in np.unique(jids):
+            js = self._js_by_jid[jid]
+            if not js.map_stage_open:
+                continue
+            total = js.job.num_map_tasks
+            values[jids == jid] = (
+                js.maps_completed / total if total else 1.0
+            )
+        out[gate_mask] = values
+        return out
+
+    # -- sharing -----------------------------------------------------------------
+
+    def _rates_for_comp(self, comp_key: tuple) -> np.ndarray:
+        """Dense per-class rates for one node composition, cached.
+
+        Symmetric cluster nodes running symmetric waves collapse onto a
+        handful of compositions, so most node re-solves are one dict hit.
+        """
+        dense = self._rate_cache.get(comp_key)
+        if dense is None:
+            order = sorted(comp_key, key=lambda it: self._class_sort_keys[it[0]])
+            rates = solve_max_min_classes(
+                [self._class_weights[scid] for scid, _ in order],
+                [self._class_caps[scid] for scid, _ in order],
+                [count for _, count in order],
+                self._capacities,
+            )
+            dense = np.zeros(len(self._class_weights))
+            for (scid, _), rate in zip(order, rates):
+                dense[scid] = rate
+            self._rate_cache[comp_key] = dense
+        return dense
+
+    def _solve_dirty(self) -> None:
+        """Re-share every dirty node in one batched pass.
+
+        Equivalent to the fast engine's per-node ``_solve_node`` over
+        ``sorted(dirty)``: node order does not matter because each node's
+        rates depend only on its own composition, and the solver is a pure
+        function of the canonically-ordered class sequence.
+        """
+        dirty = sorted(self._dirty_nodes)
+        self._dirty_nodes.clear()
+        if self._ctr_solves is not None:
+            self._ctr_solves.inc(len(dirty))
+        segments = []
+        for node in dirty:
+            d = self._node_slots[node]
+            if d:
+                segments.append(np.fromiter(d.keys(), dtype=np.int64, count=len(d)))
+        if not segments:
+            return
+        slots = np.concatenate(segments) if len(segments) > 1 else segments[0]
+        act = slots[self._s_active[slots]]
+        if act.size == 0:
+            return
+        now = self._now
+
+        # Materialise lazily-advanced progress, exactly as _solve_node does:
+        # target first (gating caps the advance), then re-base.
+        targets = self._targets_for(act)
+        prog = self._s_progress[act]
+        rate = self._s_rate[act]
+        tbase = self._s_tbase[act]
+        advanced = (rate > 0.0) & (now > tbase)
+        prog = np.where(
+            advanced, np.minimum(targets, prog + (now - tbase) * rate), prog
+        )
+        self._s_progress[act] = prog
+        self._s_tbase[act] = now
+
+        gated = (targets < 1.0) & (prog >= targets - _EPS)
+        if gated.any():
+            g = act[gated]
+            self._s_rate[g] = 0.0
+            self._s_epoch[g] = -1
+        live = ~gated
+        included = act[live]
+        if included.size == 0:
+            return
+        node_inc = self._s_node[included].astype(np.int64)
+        scid_inc = self._s_scid[included].astype(np.int64)
+        tgt_inc = targets[live]
+        prog_inc = prog[live]
+
+        # Per-node compositions, deduplicated: nodes sharing a composition
+        # share one solve (and usually a cached one).
+        nc = len(self._class_weights)
+        seg_nodes = np.unique(node_inc)
+        node_row = np.zeros(len(self._node_slots), dtype=np.int64)
+        node_row[seg_nodes] = np.arange(seg_nodes.size)
+        rows = node_row[node_inc]
+        comp = np.zeros((seg_nodes.size, nc), dtype=np.int64)
+        np.add.at(comp, (rows, scid_inc), 1)
+        uniq, inverse = np.unique(comp, axis=0, return_inverse=True)
+        dense = np.zeros((uniq.shape[0], nc))
+        for i in range(uniq.shape[0]):
+            present = np.flatnonzero(uniq[i])
+            comp_key = tuple(
+                (int(scid), int(uniq[i, scid])) for scid in present
+            )
+            d = self._rates_for_comp(comp_key)
+            dense[i, : d.size] = d
+        new_rates = dense[inverse[rows], scid_inc]
+        self._s_rate[included] = new_rates
+
+        # Re-issue deadlines as (when, class, rate) cohorts.
+        fail_cap = self._s_fail_sub[included] == self._s_stage[included]
+        tgt2 = np.where(
+            fail_cap, np.minimum(tgt_inc, self._s_fail_frac[included]), tgt_inc
+        )
+        alive = new_rates > _EPS
+        self._s_epoch[included[~alive]] = -1  # starved: no deadline
+        ok = included[alive]
+        if ok.size == 0:
+            return
+        when = now + np.maximum(0.0, tgt2[alive] - prog_inc[alive]) / new_rates[alive]
+        scid_ok = scid_inc[alive]
+        rate_ok = new_rates[alive]
+        self._epoch += 1
+        epoch = self._epoch
+        self._s_epoch[ok] = epoch
+        order = np.lexsort((rate_ok, scid_ok, when))
+        w = when[order]
+        sc = scid_ok[order]
+        rt = rate_ok[order]
+        so = ok[order]
+        if w.size == 1:
+            cuts = np.empty(0, dtype=np.int64)
+        else:
+            cuts = (
+                np.flatnonzero(
+                    (w[1:] != w[:-1]) | (sc[1:] != sc[:-1]) | (rt[1:] != rt[:-1])
+                )
+                + 1
+            )
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), cuts))
+        ends = np.concatenate((cuts, np.array([w.size], dtype=np.int64)))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            self._dl.push(float(w[s]), epoch, so[s:e].copy(), float(rt[s]))
+
+    # -- deadline firing -----------------------------------------------------------
+
+    def _fire_cohort(self, slots: np.ndarray, rate: float) -> None:
+        if self._ctr_deadlines is not None:
+            self._ctr_deadlines.inc(slots.size)
+        now = self._now
+        self._s_epoch[slots] = -1
+        targets = self._targets_for(slots)
+        prog = self._s_progress[slots]
+        if rate > 0.0:
+            tbase = self._s_tbase[slots]
+            prog = np.where(
+                now > tbase,
+                np.minimum(targets, prog + (now - tbase) * rate),
+                prog,
+            )
+            self._s_progress[slots] = prog
+        self._s_tbase[slots] = now
+        failed = (self._s_fail_sub[slots] == self._s_stage[slots]) & (
+            prog >= self._s_fail_frac[slots] - _EPS
+        )
+        completed = ~failed & (prog >= 1.0 - _EPS)
+        gated = ~failed & ~completed & (targets < 1.0) & (prog >= targets - _EPS)
+        moved = ~(failed | completed | gated)
+        if failed.any():
+            for slot in slots[failed].tolist():
+                self._kill_slot(slot)
+        if completed.any():
+            self._complete_batch(slots[completed])
+        if gated.any():
+            g = slots[gated]
+            self._s_rate[g] = 0.0
+            self._dirty_nodes.update(np.unique(self._s_node[g]).tolist())
+        if moved.any():
+            self._dirty_nodes.update(
+                np.unique(self._s_node[slots[moved]]).tolist()
+            )
+
+    def _kill_slot(self, slot: int) -> None:
+        uid = int(self._s_uid[slot])
+        attempt = int(self._s_attempt[slot])
+        model = self._config.failures
+        task_id = self._task_id_str(uid)
+        if attempt >= model.max_attempts:
+            raise SimulationError(
+                f"task {task_id} failed {attempt} attempts "
+                f"(limit {model.max_attempts}); job aborted"
+            )
+        node = int(self._s_node[slot])
+        jid = int(self._t_job[uid])
+        js = self._js_by_jid[jid]
+        kind = _KINDS[int(self._t_kind[uid])]
+        self._s_dead[slot] = True
+        self._s_active[slot] = False
+        del self._node_slots[node][slot]
+        self._live -= 1
+        self._dirty_nodes.add(node)
+        self._placer.release(js.job.name, node, container_for(js.job, kind))
+        js.running[kind] -= 1
+        js.pending[kind].retries.append(uid)  # type: ignore[attr-defined]
+        if kind is StageKind.REDUCE:
+            self._reduce_nodes[jid][node] -= 1
+        if self._ctr_failed is not None:
+            self._ctr_failed.inc()
+        self._failed_raw.append((uid, attempt, self._now))
+
+    def _complete_batch(self, slots: np.ndarray) -> None:
+        now = self._now
+        stage = self._s_stage[slots]
+        self._sub_t0[slots, stage] = self._s_twork[slots]
+        self._sub_t1[slots, stage] = now
+        pid = self._s_pid[slots]
+        new_stage = stage + 1
+        finishing = new_stage >= self._pipe_nsub[pid]
+        self._dirty_nodes.update(np.unique(self._s_node[slots]).tolist())
+        continuing = ~finishing
+        if continuing.any():
+            c = slots[continuing]
+            ns = new_stage[continuing]
+            self._s_stage[c] = ns
+            self._s_progress[c] = 0.0
+            self._s_rate[c] = 0.0
+            self._s_twork[c] = now
+            self._s_tbase[c] = now
+            self._s_gate[c] = False  # gating only ever applies to sub-stage 0
+            pc = pid[continuing]
+            for p, s in sorted(set(zip(pc.tolist(), ns.tolist()))):
+                mask = (pc == p) & (ns == s)
+                self._s_scid[c[mask]] = self._pipes[p].scids[s]
+        if finishing.any():
+            self._finish_batch(slots[finishing])
+
+    def _finish_batch(self, slots: np.ndarray) -> None:
+        self._s_dead[slots] = True
+        self._s_active[slots] = False
+        self._live -= slots.size
+        self._done_slots.append(slots.copy())
+        self._done_count += slots.size
+        uids = self._s_uid[slots]
+        nodes = self._s_node[slots]
+        jids = self._t_job[uids]
+        kind_codes = self._t_kind[uids]
+        # Group completions by (job, kind): bookkeeping totals are
+        # order-independent within one instant, and container releases stay
+        # float-exact because release_batch adds containers back one at a
+        # time (see YarnPlacer.release_batch).
+        groups: Dict[Tuple[int, int], Dict[int, int]] = {}
+        for slot, node, jid, code in zip(
+            slots.tolist(), nodes.tolist(), jids.tolist(), kind_codes.tolist()
+        ):
+            del self._node_slots[node][slot]
+            per_node = groups.setdefault((jid, code), {})
+            per_node[node] = per_node.get(node, 0) + 1
+        for (jid, code), per_node in sorted(groups.items()):
+            js = self._js_by_jid[jid]
+            kind = _KINDS[code]
+            count = sum(per_node.values())
+            self._placer.release_batch(
+                js.job.name, per_node.items(), container_for(js.job, kind)
+            )
+            js.running[kind] -= count
+            js.completed[kind] += count
+            if kind is StageKind.MAP:
+                js.maps_completed += count
+                self._on_map_completed(js)
+            else:
+                counts = self._reduce_nodes[jid]
+                for node, k in per_node.items():
+                    counts[node] -= k
+            if (
+                js.completed[kind] >= js.total[kind]
+                and not js.pending[kind]
+                and js.running[kind] == 0
+            ):
+                self._close_stage(js, kind)
+
+    # -- event loop -----------------------------------------------------------------
+
+    def _run_columnar(self) -> SimulationResult:
+        for name in self._workflow.roots():
+            self._arrive(name)
+        self._schedule_pending()
+        self._note_state_change()
+
+        dl = self._dl
+        events = self._events
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self._config.max_iterations:
+                raise SimulationError(
+                    f"simulation of {self._workflow.name!r} exceeded "
+                    f"{self._config.max_iterations} iterations"
+                )
+            if self._dirty_nodes:
+                self._solve_dirty()
+
+            # Drop heap entries whose every slot was re-shared since the
+            # push (epoch mismatch) so they cannot masquerade as t_next.
+            while True:
+                head = dl.peek()
+                if head is None:
+                    break
+                if bool(np.any(self._s_epoch[head[3]] == head[2])):
+                    break
+                dl.pop()
+            t_deadline = dl.peek_time()
+            t_event = events.peek_time()
+            t_next = min(
+                t_deadline if t_deadline is not None else math.inf,
+                t_event if t_event is not None else math.inf,
+            )
+            if t_next == math.inf:
+                if self._live or any(
+                    not js.done for js in self._jobs.values()
+                ):
+                    self._raise_columnar_stall()
+                break
+            self._now = t_next
+
+            # Fire every cohort within its _EPS progress window of t_next —
+            # the same fuzzy-window rule as the fast loop, evaluated per
+            # cohort because a cohort shares one rate by construction.
+            while True:
+                head = dl.peek()
+                if head is None:
+                    break
+                t_d, _token, epoch, slots, rate = head
+                valid = slots[self._s_epoch[slots] == epoch]
+                if valid.size == 0:
+                    dl.pop()
+                    continue
+                if (t_d - t_next) * rate > _EPS:
+                    break
+                dl.pop()
+                self._fire_cohort(valid, rate)
+
+            for payload in events.pop_all_at(t_next, tol=_TIME_TOL):
+                _kind, slots = payload
+                self._s_active[slots] = True
+                self._s_twork[slots] = t_next
+                self._s_tbase[slots] = t_next
+                self._dirty_nodes.update(
+                    np.unique(self._s_node[slots]).tolist()
+                )
+
+            self._schedule_pending()
+            self._note_state_change()
+
+            if self._live == 0 and all(
+                js.done for js in self._jobs.values()
+            ):
+                break
+
+        if self._ctr_events is not None:
+            self._ctr_events.inc(iterations)
+        return self._build_result()
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def _raise_columnar_stall(self) -> None:
+        stuck_jobs = [n for n, js in self._jobs.items() if not js.done]
+        zero_flows = []
+        for node_dict in self._node_slots:
+            for slot in node_dict:
+                if not self._s_active[slot]:
+                    continue
+                target = float(self._targets_for(np.array([slot]))[0])
+                if target < 1.0 and self._s_progress[slot] >= target - _EPS:
+                    continue  # gated, excluded like the object loops
+                if self._s_rate[slot] <= _EPS:
+                    uid = int(self._s_uid[slot])
+                    zero_flows.append(
+                        f"{self._task_id_str(uid)}/{int(self._s_stage[slot])}"
+                    )
+        if zero_flows:
+            raise SimulationError(
+                f"stall in {self._workflow.name!r}: flows {zero_flows} have zero "
+                "rate with no pending events"
+            )
+        pending = {
+            n: sum(len(q) for q in js.pending.values())
+            for n, js in self._jobs.items()
+            if any(len(q) for q in js.pending.values())
+        }
+        if pending and self._live == 0:
+            raise SchedulingError(
+                f"deadlock in {self._workflow.name!r}: pending tasks {pending} "
+                "cannot be placed and nothing is running to free capacity"
+            )
+        raise SimulationError(
+            f"stall in {self._workflow.name!r}: unfinished jobs {stuck_jobs}, "
+            f"{self._live} runs in flight, no future events"
+        )
+
+    # -- result assembly ------------------------------------------------------------------
+
+    def _build_result(self) -> ColumnarResult:
+        self._close_state()
+        if self._done_count:
+            slots = np.concatenate(self._done_slots)
+            uids = self._s_uid[slots]
+            # Canonical fast-engine task order: (t_start, job name, index).
+            order = np.lexsort(
+                (
+                    self._t_index[uids],
+                    self._job_rank[self._t_job[uids]],
+                    self._s_tlaunch[slots],
+                )
+            )
+            slots = slots[order]
+            uids = uids[order]
+        else:
+            slots = np.empty(0, dtype=np.int64)
+            uids = np.empty(0, dtype=np.int64)
+        nsub = self._pipe_nsub[self._s_pid[slots]]
+        columns = {
+            "job": self._t_job[uids],
+            "kind": self._t_kind[uids],
+            "t_start": self._s_tlaunch[slots],
+            "t_end": self._sub_t1[slots, nsub - 1] if slots.size else np.empty(0),
+            "work_t0": self._sub_t0[slots, 0] if slots.size else np.empty(0),
+        }
+        failed = [
+            (self._task_id_str(uid), attempt, when)
+            for uid, attempt, when in self._failed_raw
+        ]
+        logger.debug(
+            "simulated %s (columnar): makespan=%.3fs tasks=%d states=%d failures=%d",
+            self._workflow.name,
+            self._now,
+            self._done_count,
+            len(self._states),
+            len(failed),
+        )
+        return ColumnarResult(
+            workflow_name=self._workflow.name,
+            makespan=self._now,
+            stages=sorted(self._stage_traces, key=lambda s: (s.t_start, s.job)),
+            states=self._states,
+            failed_attempts=failed,
+            task_builder=lambda: self._materialise_tasks(slots, uids),
+            task_count=self._done_count,
+            columns=columns,
+            job_names=self._job_names,
+        )
+
+    def _materialise_tasks(
+        self, slots: np.ndarray, uids: np.ndarray
+    ) -> List[TaskTrace]:
+        names = self._job_names
+        sub_t0 = self._sub_t0
+        sub_t1 = self._sub_t1
+        pipes = self._pipes
+        tasks: List[TaskTrace] = []
+        for slot, uid in zip(slots.tolist(), uids.tolist()):
+            pipe = pipes[int(self._s_pid[slot])]
+            substages = tuple(
+                SubStageTrace(name, float(sub_t0[slot, i]), float(sub_t1[slot, i]))
+                for i, name in enumerate(pipe.names)
+            )
+            tasks.append(
+                TaskTrace(
+                    job=names[int(self._t_job[uid])],
+                    kind=_KINDS[int(self._t_kind[uid])],
+                    index=int(self._t_index[uid]),
+                    node=int(self._s_node[slot]),
+                    input_mb=float(self._t_input[uid]),
+                    t_ready=float(self._t_first[uid]),
+                    t_start=float(self._s_tlaunch[slot]),
+                    t_end=substages[-1].t_end,
+                    substages=substages,
+                )
+            )
+        return tasks

@@ -36,14 +36,21 @@ Two event loops are provided, selected by ``SimulationConfig.engine``:
   as the oracle: ``benchmarks/bench_engine_scale.py`` and
   ``tests/simulator/test_engine_parity.py`` assert the two produce the same
   traces, so every accuracy result in EXPERIMENTS.md is preserved.
+* ``"columnar"`` (:mod:`repro.simulator.columnar`) re-hosts the fast loop's
+  state in flat numpy arrays — per-run progress/rate/deadline columns keyed
+  by slot index, class-level sharing via
+  :func:`~repro.simulator.sharing.solve_max_min_classes`, and a deadline
+  heap of index *cohorts* instead of objects — for million-task DAGs.
+  ``tests/simulator/test_columnar_parity.py`` pins it against this engine.
 """
 
 from __future__ import annotations
 
 import logging
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import Resource, ResourceVector
@@ -74,7 +81,7 @@ _TIME_TOL = 1e-7
 logger = logging.getLogger(__name__)
 
 #: Recognised values of :attr:`SimulationConfig.engine`.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "columnar")
 
 
 @dataclass(frozen=True)
@@ -88,9 +95,10 @@ class SimulationConfig:
         failures: task-attempt failure injection (fault tolerance).
         max_iterations: hard stop against engine bugs.
         engine: event-loop implementation — ``"fast"`` (lazy progress,
-            completion heap, collapsed sharing; the default) or
+            completion heap, collapsed sharing; the default),
             ``"reference"`` (the historical rescan-everything loop, kept as
-            the trace-fidelity oracle).
+            the trace-fidelity oracle) or ``"columnar"`` (numpy-backed flat
+            state for million-task DAGs, trace-pinned against ``"fast"``).
     """
 
     policy: str = "drf"
@@ -199,7 +207,7 @@ class _JobState:
     def __init__(self, job: MapReduceJob):
         self.job = job
         self.arrived = False
-        self.pending: Dict[StageKind, List[TaskSpec]] = {}
+        self.pending: Dict[StageKind, Deque[TaskSpec]] = {}
         self.running: Dict[StageKind, int] = {}
         self.completed: Dict[StageKind, int] = {}
         self.total: Dict[StageKind, int] = {}
@@ -248,7 +256,7 @@ class Simulator:
             cluster,
             policy=config.policy,
             enforce_vcores=config.enforce_vcores,
-            fast=self._fast,
+            fast=config.engine != "reference",
         )
         node = cluster.node
         self._pools: Dict[str, float] = {}
@@ -329,22 +337,35 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Execute the workflow to completion and return its trace."""
+        if self._config.engine == "columnar" and type(self) is Simulator:
+            # The columnar loop lives in its own subclass; hand this still
+            # untouched simulation over to a fresh instance of it.
+            from repro.simulator.columnar import ColumnarSimulator
+
+            return ColumnarSimulator(
+                self._cluster, self._workflow, self._config
+            ).run()
         if self._otr is None:
-            return self._run_fast() if self._fast else self._run_reference()
+            return self._run_engine()
         with self._otr.span(
             "sim.run",
             workflow=self._workflow.name,
             engine=self._config.engine,
             workers=self._cluster.workers,
         ) as span:
-            result = self._run_fast() if self._fast else self._run_reference()
+            result = self._run_engine()
             span.set(
                 makespan_s=result.makespan,
-                tasks=len(result.tasks),
+                tasks=result.task_count,
                 states=len(result.states),
                 failed_attempts=len(result.failed_attempts),
             )
             return result
+
+    def _run_engine(self) -> SimulationResult:
+        if self._config.engine == "columnar":
+            return self._run_columnar()  # type: ignore[attr-defined]
+        return self._run_fast() if self._fast else self._run_reference()
 
     # -- reference event loop ----------------------------------------------------
 
@@ -629,7 +650,10 @@ class Simulator:
 
     def _open_stage(self, js: _JobState, kind: StageKind) -> None:
         specs = build_task_specs(js.job, kind, self._config.skew)
-        js.pending[kind] = list(specs)
+        # A deque, not a list: _launch consumes from the front and retries
+        # re-queue at the back, which is O(n) total instead of pop(0)'s O(n²)
+        # — material once stages hold 10⁵+ pending tasks.
+        js.pending[kind] = deque(specs)
         js.running[kind] = 0
         js.completed[kind] = 0
         js.total[kind] = len(specs)
@@ -699,7 +723,7 @@ class Simulator:
         return substages
 
     def _launch(self, js: _JobState, node: int, kind: StageKind) -> None:
-        spec = js.pending[kind].pop(0)
+        spec = js.pending[kind].popleft()
         container = container_for(js.job, spec.kind)
         substages = self._task_substages(js, spec)
         run = _RunState(spec, node, container, substages, self._now)

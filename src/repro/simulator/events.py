@@ -15,6 +15,53 @@ from typing import Any, List, Optional, Tuple
 from repro.errors import SimulationError
 
 
+class CohortDeadlineHeap:
+    """Completion-deadline heap for the columnar engine: indices, not objects.
+
+    Each entry covers a *cohort* — a numpy array of run-slot indices that
+    share one solver class, one progress rate and one predicted decision
+    instant (symmetric waves collapse to a handful of cohorts per event).
+    Instead of per-entry cancellation tokens, validity is *epoch*-based: the
+    engine stamps every slot with the epoch of its latest re-share, and an
+    entry only speaks for the slots whose stamp still equals the entry's
+    epoch.  Stale entries cost one pop; there is no cancel bookkeeping at
+    all, which is what keeps re-shares O(cohorts) rather than O(runs).
+
+    Ties in time break by push order (a monotone counter), mirroring
+    :class:`EventQueue`; the counter also keeps the numpy payloads out of
+    tuple comparison.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Any, float]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, epoch: int, slots: Any, rate: float) -> None:
+        """Schedule the cohort ``slots`` (validity ``epoch``) at ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule deadline in negative time: {time}")
+        heapq.heappush(self._heap, (time, next(self._counter), epoch, slots, rate))
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def peek(self) -> Optional[Tuple[float, int, int, Any, float]]:
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Tuple[float, int, int, Any, float]:
+        if not self._heap:
+            raise SimulationError("pop from empty deadline heap")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
 class EventQueue:
     """A priority queue of (time, payload) events with stable ordering."""
 

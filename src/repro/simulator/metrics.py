@@ -37,13 +37,22 @@ def task_durations(
             durations (ignored when ``substage`` is given).
     """
     out: List[float] = []
-    for task in result.tasks_of(job, kind):
-        if substage is not None:
-            d = task.substage_duration(substage)
-            if d is not None:
-                out.append(d)
-        else:
-            out.append(task.duration if include_overhead else task.work_duration)
+    if substage is None and hasattr(result, "durations_array"):
+        # Columnar traces answer whole-task durations straight from the
+        # trace columns — same floats, same canonical order — without
+        # materialising a TaskTrace per task.  Sub-stage queries still go
+        # through the objects (sub-stage splits are not columnised).
+        out = result.durations_array(job, kind, include_overhead).tolist()
+    else:
+        for task in result.tasks_of(job, kind):
+            if substage is not None:
+                d = task.substage_duration(substage)
+                if d is not None:
+                    out.append(d)
+            else:
+                out.append(
+                    task.duration if include_overhead else task.work_duration
+                )
     if not out:
         raise SimulationError(
             f"no task durations for {job!r}/{kind}"

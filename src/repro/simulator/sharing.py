@@ -50,8 +50,11 @@ tested against).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 
@@ -64,6 +67,11 @@ _REL_TOL = 1e-10
 # the per-flow reference keeps the two solutions — and hence fast- and
 # reference-engine traces — within ~1e-10 relative of each other.
 _REL_TOL_COLLAPSED = 1e-13
+# The damped fallback phases accept a slightly looser fixed point: damping
+# halves the step, so the oscillation amplitude — not the distance to the
+# fixed point — is what the residual measures there.
+_REL_TOL_DAMPED = 1e-9
+_REL_TOL_COLLAPSED_DAMPED = 1e-11
 
 
 @dataclass(frozen=True)
@@ -150,6 +158,181 @@ def _hungry_level_grouped(
         prefix += demand * count
         consumed += count
     return (capacity - prefix) / hungry
+
+
+def _nonconvergence(
+    residual: float, n_classes: int, damping: float, tol: float
+) -> SimulationError:
+    """Diagnostic error for a Gauss-Seidel that exhausted its sweep budget.
+
+    Historically both solvers silently returned the last iterate here, so a
+    divergent sharing problem would feed garbage rates into the engine and
+    surface (if at all) as an inexplicable trace.  Failing loudly with the
+    residual makes the pathology attributable.
+    """
+    return SimulationError(
+        "max-min sharing failed to converge: relative residual "
+        f"{residual:.3e} > {tol:.0e} after {_MAX_ITER} damped sweeps "
+        f"(classes={n_classes}, damping={damping})"
+    )
+
+
+def _hungry_level_grouped_arrays(
+    demands: np.ndarray, counts: np.ndarray, capacity: float, hungry: int
+) -> float:
+    """Vectorised :func:`_hungry_level_grouped` over parallel arrays.
+
+    Bit-identical to the scalar version by construction: ``np.lexsort`` with
+    ``demands`` primary and ``counts`` secondary reproduces the tuple sort of
+    ``sorted([(demand, count), ...])``, and ``np.cumsum`` accumulates float64
+    partial sums strictly left-to-right — the same additions in the same
+    order as the scalar ``prefix +=`` loop.  A property test
+    (``test_sharing.py::TestClassSolver``) pins the two paths to exact float
+    equality.
+    """
+    if demands.size == 0:
+        return capacity / hungry
+    order = np.lexsort((counts, demands))
+    d = demands[order]
+    c = counts[order]
+    weighted = d * c
+    prefix = np.empty(d.size)
+    prefix[0] = 0.0
+    np.cumsum(weighted[:-1], out=prefix[1:])
+    consumed = np.empty(d.size, dtype=np.int64)
+    consumed[0] = 0
+    np.cumsum(c[:-1], out=consumed[1:])
+    total = int(c.sum())
+    tau = (capacity - prefix) / (total - consumed + hungry)
+    fits = tau <= d + _EPS
+    first = int(np.argmax(fits))
+    if fits[first]:
+        return float(tau[first])
+    return float((capacity - (prefix[-1] + weighted[-1])) / hungry)
+
+
+def class_sort_key(cap: Optional[float], items: Tuple[Tuple[str, float], ...]):
+    """Canonical ordering key of one equivalence class.
+
+    Shared between :func:`_solve_collapsed` and the columnar engine's class
+    registry so both present identical class *sequences* to the solver: two
+    calls seeing the same multiset of flows perform bit-identical sweeps,
+    which is what keeps symmetric cluster nodes on float-identical rates.
+    """
+    return (cap is None, cap if cap is not None else 0.0, items)
+
+
+def solve_max_min_classes(
+    cls_weights: Sequence[Mapping[str, float]],
+    cls_caps: Sequence[Optional[float]],
+    multiplicity: Sequence[int],
+    capacities: Mapping[str, float],
+) -> np.ndarray:
+    """Array-native class-level solver — the columnar engine's entry point.
+
+    Takes the equivalence classes *pre-grouped* (in :func:`class_sort_key`
+    order) and returns one rate per class as a float64 array, skipping the
+    per-flow dict plumbing of :func:`solve_max_min` entirely.  Water levels
+    are computed by the vectorised :func:`_hungry_level_grouped_arrays`; the
+    Gauss-Seidel sweep itself stays sequential because that is what
+    Gauss-Seidel *is* — each class update must see its predecessors' fresh
+    rates within the sweep.
+
+    The arithmetic is bit-identical to :func:`_solve_collapsed` (same
+    operations, same order — pinned by a property test), so an engine
+    resolving a node through either path lands on the same float rates.
+    """
+    n_classes = len(cls_weights)
+    rates = np.zeros(n_classes)
+    if n_classes == 0:
+        return rates
+
+    # Pools in first-seen order over the canonical class sequence — the same
+    # insertion order _solve_collapsed's pool_users dict ends up with, which
+    # matters to _repair_feasible's (rarely triggered) scaling order.
+    pool_ids: List[str] = []
+    seen_pools = set()
+    for agg in cls_weights:
+        for pool_id in agg:
+            if pool_id not in seen_pools:
+                seen_pools.add(pool_id)
+                pool_ids.append(pool_id)
+    pidx = {pool_id: i for i, pool_id in enumerate(pool_ids)}
+    n_pools = len(pool_ids)
+
+    weights = np.zeros((n_classes, n_pools))
+    for ci, agg in enumerate(cls_weights):
+        for pool_id, weight in agg.items():
+            weights[ci, pidx[pool_id]] = weight
+    caps_vec = np.array([float(capacities[p]) for p in pool_ids])
+    mult = np.asarray(multiplicity, dtype=np.int64)
+    cap_arr = np.array(
+        [math.inf if c is None else float(c) for c in cls_caps]
+    )
+
+    # users[p]: classes demanding pool p (ascending ci = canonical order);
+    # others[ci][p]: those users minus ci, pre-gathered for the sweep.
+    users = [np.flatnonzero(weights[:, p] > 0.0) for p in range(n_pools)]
+    class_pools: List[List[int]] = [
+        [int(p) for p in np.flatnonzero(weights[ci] > 0.0)]
+        for ci in range(n_classes)
+    ]
+    others = [
+        {p: users[p][users[p] != ci] for p in class_pools[ci]}
+        for ci in range(n_classes)
+    ]
+
+    # Optimistic start: each class's flows alone on the cluster (min over
+    # the same divisions as the scalar start loop; min is order-free).
+    with np.errstate(divide="ignore"):
+        alone = np.where(weights > 0.0, caps_vec / weights, math.inf)
+    rates[:] = np.minimum(cap_arr, alone.min(axis=1, initial=math.inf))
+
+    def sweep(damping: float) -> float:
+        max_change = 0.0
+        for ci in range(n_classes):
+            bound = cap_arr[ci]
+            hungry = int(mult[ci])
+            for p in class_pools[ci]:
+                up = others[ci][p]
+                level = _hungry_level_grouped_arrays(
+                    weights[up, p] * rates[up],
+                    mult[up],
+                    caps_vec[p],
+                    hungry,
+                )
+                bound = min(bound, level / weights[ci, p])
+            if bound == math.inf:
+                raise SimulationError(f"class {ci} is unbounded")
+            updated = damping * rates[ci] + (1.0 - damping) * bound
+            max_change = max(
+                max_change, abs(updated - rates[ci]) / max(rates[ci], _EPS)
+            )
+            rates[ci] = updated
+        return max_change
+
+    residual = math.inf
+    converged = False
+    for _ in range(_MAX_ITER):
+        residual = sweep(damping=0.0)
+        if residual <= _REL_TOL_COLLAPSED:
+            converged = True
+            break
+    if not converged:
+        for _ in range(_MAX_ITER):
+            residual = sweep(damping=0.5)
+            if residual <= _REL_TOL_COLLAPSED_DAMPED:
+                converged = True
+                break
+    if not converged:
+        raise _nonconvergence(
+            residual, n_classes, 0.5, _REL_TOL_COLLAPSED_DAMPED
+        )
+
+    final = [max(float(r), 0.0) for r in rates]
+    pool_users = {p: [int(ci) for ci in users[pidx[p]]] for p in pool_ids}
+    _repair_feasible(final, cls_weights, [int(m) for m in mult], pool_users, capacities)
+    return np.asarray(final)
 
 
 def _repair_feasible(
@@ -280,16 +463,22 @@ def _solve_flowwise(
         return max_change
 
     converged = False
+    residual = math.inf
     for _ in range(_MAX_ITER):
-        if sweep(damping=0.0) <= _REL_TOL:
+        residual = sweep(damping=0.0)
+        if residual <= _REL_TOL:
             converged = True
             break
     if not converged:
         # The undamped iteration can (rarely) oscillate between two points;
         # a short damped phase settles it onto the same fixed point.
         for _ in range(_MAX_ITER):
-            if sweep(damping=0.5) <= 1e-9:
+            residual = sweep(damping=0.5)
+            if residual <= _REL_TOL_DAMPED:
+                converged = True
                 break
+    if not converged:
+        raise _nonconvergence(residual, len(flows), 0.5, _REL_TOL_DAMPED)
 
     final = [max(r, 0.0) for r in rates]
     _repair_feasible(final, weights, [1] * len(flows), pool_users, capacities)
@@ -320,8 +509,7 @@ def _solve_collapsed(
     # This matters to the engine — symmetric cluster nodes must converge to
     # float-identical rates so their completion deadlines coincide exactly.
     def class_order(key: Tuple):
-        cap, items = key
-        return (cap is None, cap if cap is not None else 0.0, items)
+        return class_sort_key(*key)
 
     members: List[List[int]] = []
     for key in sorted(member_map, key=class_order):
@@ -372,14 +560,22 @@ def _solve_collapsed(
         return max_change
 
     converged = False
+    residual = math.inf
     for _ in range(_MAX_ITER):
-        if sweep(damping=0.0) <= _REL_TOL_COLLAPSED:
+        residual = sweep(damping=0.0)
+        if residual <= _REL_TOL_COLLAPSED:
             converged = True
             break
     if not converged:
         for _ in range(_MAX_ITER):
-            if sweep(damping=0.5) <= 1e-11:
+            residual = sweep(damping=0.5)
+            if residual <= _REL_TOL_COLLAPSED_DAMPED:
+                converged = True
                 break
+    if not converged:
+        raise _nonconvergence(
+            residual, n_classes, 0.5, _REL_TOL_COLLAPSED_DAMPED
+        )
 
     final = [max(r, 0.0) for r in rates]
     _repair_feasible(final, cls_weights, mult, pool_users, capacities)

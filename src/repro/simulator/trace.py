@@ -117,6 +117,17 @@ class SimulationResult:
 
     # -- queries ---------------------------------------------------------------
 
+    @property
+    def task_count(self) -> int:
+        """Number of finished tasks.
+
+        Equivalent to ``len(self.tasks)`` here, but subclasses whose task
+        list materialises lazily (the columnar engine's result) override it
+        with an O(1) count — callers that only need the total should prefer
+        it.
+        """
+        return len(self.tasks)
+
     def tasks_of(self, job: str, kind: Optional[StageKind] = None) -> List[TaskTrace]:
         return [
             t

@@ -138,6 +138,27 @@ class TestReplications:
             s.duration for s in direct.states
         )
 
+    def test_workers_pick_the_columnar_engine(self, cluster, workflow, config):
+        """A variant on the default engine runs replications columnar —
+        same trace (parity-pinned), flat-array throughput — while an
+        explicit ``reference`` choice is honoured as the oracle."""
+        from repro.simulator import ColumnarResult
+
+        _, trace = run_replication(
+            VariantSpec(workflow, cluster, config), 42, 0, keep_trace=True
+        )
+        assert isinstance(trace, ColumnarResult)
+        from dataclasses import replace
+
+        _, oracle = run_replication(
+            VariantSpec(workflow, cluster, replace(config, engine="reference")),
+            42,
+            0,
+            keep_trace=True,
+        )
+        assert not isinstance(oracle, ColumnarResult)
+        assert trace.makespan == oracle.makespan
+
 
 class TestDeterminismContract:
     def test_pooled_matches_serial_bit_identical(self, cluster, workflow, config):

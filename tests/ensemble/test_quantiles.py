@@ -101,6 +101,103 @@ class TestP2Quantile:
                 P2Quantile(p)
 
 
+def _feed(p, values):
+    est = P2Quantile(p)
+    for v in values:
+        est.push(v)
+    return est
+
+
+class TestP2Adversarial:
+    """Pin the estimator against ``numpy.quantile`` on streams engineered
+    to provoke marker collapse and worst-case insertion order.
+
+    Safety argument for the ``_parabolic``/``_linear`` divisions, which
+    these streams are designed to stress: marker *positions* stay strictly
+    increasing — an adjustment of ±1 requires a position gap > 1 in the
+    move direction (positions are integer-valued floats, so > 1 means ≥ 2),
+    and new-observation increments only widen gaps — hence every
+    denominator is ≥ 1.  Heights, by contrast, may fully collapse
+    (constant/duplicate streams); the parabolic guard then falls back to
+    the linear step, which keeps heights sorted.  The tests confirm no
+    exception, markers stay ordered, and the estimate lands on/near the
+    exact sample quantile.
+    """
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9, 0.99])
+    def test_constant_stream_is_exact(self, p):
+        values = [5.0] * 500
+        est = _feed(p, values)
+        assert est.value == 5.0
+        assert est.value == float(np.quantile(values, p))
+
+    @pytest.mark.parametrize("p", [0.25, 0.5, 0.75, 0.9])
+    def test_duplicate_heavy(self, p):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10, 1000).astype(float)
+        est = _feed(p, values.tolist())
+        exact = float(np.quantile(values, p))
+        spread = float(values.max() - values.min())
+        # Worst observed error on this family is ~5% of the range (the
+        # parabolic step interpolates across duplicate plateaus).
+        assert abs(est.value - exact) <= 0.08 * spread
+        assert values.min() <= est.value <= values.max()
+
+    def test_two_valued_stream(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2, 500).astype(float)
+        for p in (0.25, 0.5, 0.75):
+            est = _feed(p, values.tolist())
+            exact = float(np.quantile(values, p))
+            assert abs(est.value - exact) <= 0.05
+            assert 0.0 <= est.value <= 1.0
+
+    @pytest.mark.parametrize("descending", [False, True])
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_presorted(self, p, descending):
+        values = [float(x) for x in range(1000)]
+        if descending:
+            values.reverse()
+        est = _feed(p, values)
+        exact = float(np.quantile(values, p))
+        # Sorted arrival is the estimator's worst insertion order; it still
+        # stays within a fraction of a percent of the sample range.
+        assert abs(est.value - exact) <= 0.005 * 999.0
+
+    def test_exact_below_five_matches_numpy_on_duplicates(self):
+        p2 = P2Quantile(0.5)
+        buffer = []
+        for v in (2.0, 2.0, 2.0, 7.0, 7.0):
+            p2.push(v)
+            buffer.append(v)
+            assert p2.value == float(np.quantile(buffer, 0.5))
+
+    def test_marker_invariants_under_duplicate_fuzz(self):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            alphabet = int(rng.integers(1, 4))
+            length = int(rng.integers(6, 60))
+            values = rng.integers(0, alphabet + 1, length).astype(float)
+            for p in (0.01, 0.5, 0.99):
+                est = P2Quantile(p)
+                for v in values.tolist():
+                    est.push(v)
+                    if est.count < 5:
+                        continue
+                    q, n = est._heights, est._positions
+                    assert all(q[i] <= q[i + 1] for i in range(4))
+                    assert all(n[i] < n[i + 1] for i in range(4))
+
+    def test_bit_reproducible(self):
+        values = _stream(400, seed=9) + [3.0] * 50
+        a = _feed(0.9, values)
+        b = _feed(0.9, values)
+        assert a.value == b.value
+        assert a._heights == b._heights
+        assert a._positions == b._positions
+        assert a._desired == b._desired
+
+
 class TestSampleQuantile:
     def test_matches_numpy_linear(self):
         values = sorted(_stream(31, seed=5))

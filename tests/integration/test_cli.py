@@ -50,8 +50,30 @@ class TestCli:
         assert main(["compare", "WC-Q1", "--scale", "0.02", "--variant", "normal"]) == 0
 
     def test_unknown_workload_fails_cleanly(self, capsys):
-        assert main(["estimate", "SortBench-Q99"]) == 1
+        assert main(["estimate", "SortBench-Q99"]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+    def test_error_hierarchy_exits_2(self, capsys, monkeypatch):
+        """Any ReproError subclass escaping a subcommand becomes a one-line
+        stderr message and exit code 2 — never a raw traceback."""
+        from repro import cli
+        from repro.errors import SimulationError
+
+        def boom(args):
+            raise SimulationError("engine stalled mid-run")
+
+        real_parser = cli.build_parser()
+
+        class _Rigged:
+            def parse_args(self, argv=None):
+                args = real_parser.parse_args(argv)
+                args.func = boom
+                return args
+
+        monkeypatch.setattr(cli, "build_parser", lambda: _Rigged())
+        assert main(["estimate", "WC-Q1"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() == "error: engine stalled mid-run"
 
     def test_table3_subset(self, capsys):
         assert main(["table3", "--names", "WC-Q1,TS-Q6", "--scale", "0.02"]) == 0
@@ -88,7 +110,7 @@ class TestCliExtensions:
         assert "evaluations" in out  # the SweepReport summary line
 
     def test_sweep_rejects_bad_worker_list(self, capsys):
-        assert main(["sweep", "wc", "--workers", "4,zero"]) == 1
+        assert main(["sweep", "wc", "--workers", "4,zero"]) == 2
         assert "workers" in capsys.readouterr().err
 
     def test_overhead_reports_sweep_ledger(self, capsys):

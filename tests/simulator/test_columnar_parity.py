@@ -1,0 +1,233 @@
+"""Columnar-engine / fast-engine trace parity — the columnar oracle suite.
+
+The columnar engine re-expresses the fast event loop's hot state as numpy
+arrays (slot columns, cohort deadline heap, class-solver rate cache).  It is
+an *optimisation*, not a different model: the object engine is retained as
+the reference oracle, and this suite pins the columnar trace to it across
+the whole Table I catalog crossed with skew on/off and failures on/off,
+plus every scheduler policy, strict-vcores admission, slow-start gating and
+a single-node cluster.
+
+Tolerance: the columnar engine replicates the fast engine's float
+arithmetic operation-for-operation (solver accumulation order, sequential
+container releases, op-order demand aggregation), so in practice every
+instant matches bit-for-bit — the sweeps used to develop it showed
+``dmakespan == 0.0`` everywhere.  The assertions still allow ``1e-9``
+relative slack on *instants only* because numpy is free to reassociate
+elementwise float kernels across platforms/SIMD widths (e.g. a different
+``np.cumsum`` or reduction codegen); structure — placements, attempt
+counts, sub-stage names, kill sets — must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.node import PAPER_NODE
+from repro.mapreduce.task import SkewModel
+from repro.simulator import (
+    ColumnarResult,
+    ColumnarSimulator,
+    FailureModel,
+    SimulationConfig,
+    Simulator,
+    simulate,
+)
+from repro.units import gb
+from repro.workloads import entry, hybrid, micro_workflow
+
+#: Relative slack for instants (see module docstring); structure is exact.
+_RTOL = 1e-9
+
+#: The Table I workload catalog, same entries as the fast/reference suite.
+CATALOG = ["WC", "TSC", "TS", "TS3R", "WC+TS", "WC+TS3R", "WC+KMeans", "TS+PageRank"]
+
+
+def _assert_traces_match(obj, col):
+    tol = _RTOL * max(1.0, obj.makespan)
+    assert abs(obj.makespan - col.makespan) <= tol
+
+    assert len(obj.tasks) == col.task_count == len(col.tasks)
+    key = lambda t: (t.job, t.kind, t.index)
+    obj_by_key = {key(t): t for t in obj.tasks}
+    for ct in col.tasks:
+        ot = obj_by_key[key(ct)]
+        assert ot.node == ct.node, key(ct)
+        assert abs(ot.t_ready - ct.t_ready) <= tol
+        assert abs(ot.t_start - ct.t_start) <= tol
+        assert abs(ot.t_end - ct.t_end) <= tol
+        assert ot.input_mb == ct.input_mb
+        assert [s.name for s in ot.substages] == [s.name for s in ct.substages]
+        for os_, cs in zip(ot.substages, ct.substages):
+            assert abs(os_.t_start - cs.t_start) <= tol
+            assert abs(os_.t_end - cs.t_end) <= tol
+
+    assert [(s.job, s.kind, s.num_tasks) for s in obj.stages] == [
+        (s.job, s.kind, s.num_tasks) for s in col.stages
+    ]
+    for os_, cs in zip(obj.stages, col.stages):
+        assert abs(os_.t_start - cs.t_start) <= tol
+        assert abs(os_.t_end - cs.t_end) <= tol
+
+    assert [s.running for s in obj.states] == [s.running for s in col.states]
+    for os_, cs in zip(obj.states, col.states):
+        assert abs(os_.t_start - cs.t_start) <= tol
+        assert abs(os_.t_end - cs.t_end) <= tol
+
+    # Same attempts killed, exact; kill instants within the instant slack.
+    obj_failed = sorted(obj.failed_attempts)
+    col_failed = sorted(col.failed_attempts)
+    assert [(t, a) for t, a, _ in obj_failed] == [(t, a) for t, a, _ in col_failed]
+    for (_, _, ow), (_, _, cw) in zip(obj_failed, col_failed):
+        assert abs(ow - cw) <= tol
+
+
+def _compare(workflow_factory, cluster, **config_kwargs):
+    obj = simulate(
+        workflow_factory(),
+        cluster,
+        SimulationConfig(engine="fast", **config_kwargs),
+    )
+    col = simulate(
+        workflow_factory(),
+        cluster,
+        SimulationConfig(engine="columnar", **config_kwargs),
+    )
+    _assert_traces_match(obj, col)
+    return obj, col
+
+
+@pytest.fixture(scope="module")
+def ten_nodes():
+    return Cluster(node=PAPER_NODE, workers=10)
+
+
+_SKEW = {"off": None, "on": SkewModel(sigma=0.4, seed=3)}
+_FAIL = {"off": None, "on": FailureModel(probability=0.04, seed=11)}
+
+
+class TestCatalogParity:
+    """Workloads x skew on/off x failures on/off — the full cross."""
+
+    @pytest.mark.parametrize("failures", sorted(_FAIL))
+    @pytest.mark.parametrize("skew", sorted(_SKEW))
+    @pytest.mark.parametrize("name", CATALOG)
+    def test_catalog_cross(self, name, skew, failures, ten_nodes):
+        kwargs = {}
+        if _SKEW[skew] is not None:
+            kwargs["skew"] = _SKEW[skew]
+        if _FAIL[failures] is not None:
+            kwargs["failures"] = _FAIL[failures]
+        _compare(lambda: entry(name).factory(0.25), ten_nodes, **kwargs)
+
+    def test_failures_actually_fired(self, ten_nodes):
+        obj, col = _compare(
+            lambda: entry("WC+TS").factory(0.25),
+            ten_nodes,
+            failures=FailureModel(probability=0.04, seed=11),
+        )
+        assert obj.failed_attempts  # the cross above exercised retries
+
+    def test_single_node(self):
+        _compare(
+            lambda: entry("WC").factory(0.2),
+            Cluster(node=PAPER_NODE, workers=1),
+        )
+
+
+class TestConfigParity:
+    """Scheduler policies, admission modes, gating."""
+
+    @staticmethod
+    def _wcts():
+        return hybrid(
+            "WC+TS", micro_workflow("wc", gb(4)), micro_workflow("ts", gb(4))
+        )
+
+    def test_fifo(self, ten_nodes):
+        _compare(self._wcts, ten_nodes, policy="fifo")
+
+    def test_fair(self, ten_nodes):
+        _compare(self._wcts, ten_nodes, policy="fair")
+
+    def test_enforce_vcores(self, ten_nodes):
+        _compare(self._wcts, ten_nodes, enforce_vcores=True)
+
+    def test_slowstart_gating(self, ten_nodes):
+        from dataclasses import replace
+
+        from repro.dag.workflow import single_job_workflow
+        from repro.workloads.terasort import terasort
+
+        def gated():
+            job = terasort(input_mb=gb(5))
+            job = replace(job, config=replace(job.config, slowstart=0.2))
+            return single_job_workflow(job)
+
+        _compare(
+            gated,
+            ten_nodes,
+            skew=SkewModel(sigma=0.3, seed=7),
+            failures=FailureModel(probability=0.03, seed=5),
+        )
+
+
+class TestEngineSelection:
+    def test_columnar_is_an_engine(self):
+        from repro.simulator.engine import ENGINES
+
+        assert "columnar" in ENGINES
+
+    def test_simulate_dispatches_columnar(self, ten_nodes):
+        result = simulate(
+            entry("WC").factory(0.1),
+            ten_nodes,
+            SimulationConfig(engine="columnar"),
+        )
+        assert isinstance(result, ColumnarResult)
+
+    def test_simulator_run_dispatches(self, ten_nodes):
+        sim = Simulator(
+            ten_nodes,
+            entry("WC").factory(0.1),
+            SimulationConfig(engine="columnar"),
+        )
+        assert isinstance(sim.run(), ColumnarResult)
+
+    def test_columnar_simulator_direct(self, ten_nodes):
+        sim = ColumnarSimulator(
+            ten_nodes,
+            entry("WC").factory(0.1),
+            SimulationConfig(engine="columnar"),
+        )
+        result = sim.run()
+        assert isinstance(result, ColumnarResult)
+        assert result.task_count == len(result.tasks)
+
+
+class TestColumnarResult:
+    """Lazy materialisation and the columnar fast-path queries."""
+
+    def test_durations_array_matches_tasks(self, ten_nodes):
+        col = simulate(
+            entry("WC+TS").factory(0.25),
+            ten_nodes,
+            SimulationConfig(engine="columnar"),
+        )
+        for job in ("wc", "ts"):
+            arr = col.durations_array(job)
+            listed = [t.work_duration for t in col.tasks if t.job == job]
+            assert arr.shape == (len(listed),)
+            np.testing.assert_allclose(arr, np.array(listed), rtol=0, atol=0)
+
+    def test_task_count_before_materialise(self, ten_nodes):
+        col = simulate(
+            entry("WC").factory(0.25),
+            ten_nodes,
+            SimulationConfig(engine="columnar"),
+        )
+        assert col._tasks_cache is None  # count must not force the build
+        n = col.task_count
+        assert col._tasks_cache is None
+        assert n == len(col.tasks)
+        assert col._tasks_cache is not None

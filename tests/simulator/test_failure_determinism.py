@@ -45,6 +45,33 @@ class TestCrossEngine:
         kills = lambda attempts: {(t, a) for t, a, _ in attempts}
         assert kills(fast) == kills(reference)
 
+    def test_columnar_matches_object_engines(self):
+        """The columnar engine plans failures from the same blake2b draws
+        over the same ``task_id/attempt`` keys — the kill set must equal
+        both object engines', and (being trace-parity twins) the kill
+        *times* must match the fast engine's too."""
+        fast_mk, fast = _run("fast")
+        col_mk, columnar = _run("columnar")
+        _, reference = _run("reference")
+        assert fast, "scenario must actually inject failures"
+        kills = lambda attempts: {(t, a) for t, a, _ in attempts}
+        assert kills(columnar) == kills(fast) == kills(reference)
+        assert col_mk == fast_mk
+        assert sorted(columnar) == sorted(fast)  # including kill instants
+
+    def test_columnar_kills_agree_with_pinned_draw_stream(self):
+        """Every attempt the columnar engine kills is one the pinned
+        ``FailureModel.draw`` stream says must die — the engine is a
+        consumer of the PR 5 seed contract, not a second RNG."""
+        config = replication_config(BASE_CONFIG, base_seed=99, index=0)
+        model = config.failures
+        _, columnar = _run("columnar")
+        assert columnar
+        for task_id, attempt, _ in columnar:
+            fails, fail_at = model.draw(task_id, attempt)
+            assert fails, (task_id, attempt)
+            assert 0.0 <= fail_at < 1.0
+
     def test_distinct_replications_distinct_failures(self):
         a = _run("fast", seed_index=0)
         b = _run("fast", seed_index=1)
@@ -59,5 +86,14 @@ class TestCrossProcess:
         parent = _run("fast")
         with ProcessPoolExecutor(max_workers=2) as pool:
             children = list(pool.map(_run, ["fast", "fast"]))
+        assert children[0] == parent
+        assert children[1] == parent
+
+    def test_columnar_subprocess_runs_reproduce_parent(self):
+        """Same contract for the columnar engine — it is the one ensemble
+        workers actually pick at scale."""
+        parent = _run("columnar")
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            children = list(pool.map(_run, ["columnar", "columnar"]))
         assert children[0] == parent
         assert children[1] == parent

@@ -61,6 +61,50 @@ class TestDurations:
         assert stage_duration(result, "j", StageKind.MAP) > 0
 
 
+class TestColumnarFastPath:
+    """task_durations answers from trace columns when the result has them."""
+
+    @pytest.fixture
+    def both(self, cluster):
+        job = MapReduceJob(
+            name="j", input_mb=gb(2), num_reducers=8, config=JobConfig(replicas=1)
+        )
+        wf = single_job_workflow(job)
+        skew = SkewModel(sigma=0.3)
+        obj = simulate(wf, cluster, SimulationConfig(skew=skew, engine="fast"))
+        col = simulate(wf, cluster, SimulationConfig(skew=skew, engine="columnar"))
+        return obj, col
+
+    def test_matches_object_path_without_materialising(self, both):
+        obj, col = both
+        for kind in (StageKind.MAP, StageKind.REDUCE):
+            for overhead in (False, True):
+                assert task_durations(
+                    col, "j", kind, include_overhead=overhead
+                ) == task_durations(obj, "j", kind, include_overhead=overhead)
+        assert col._tasks_cache is None  # the columns answered directly
+
+    def test_substage_still_served_by_objects(self, both):
+        obj, col = both
+        assert task_durations(col, "j", StageKind.REDUCE, substage="shuffle") == (
+            task_durations(obj, "j", StageKind.REDUCE, substage="shuffle")
+        )
+
+    def test_missing_stage_raises_same_error(self, both):
+        _, col = both
+        with pytest.raises(SimulationError, match="ghost"):
+            task_durations(col, "ghost", StageKind.MAP)
+
+    def test_median_statistics_agree(self, both):
+        obj, col = both
+        assert median_task_time(col, "j", StageKind.MAP) == median_task_time(
+            obj, "j", StageKind.MAP
+        )
+        assert mean_task_time(col, "j", StageKind.REDUCE) == mean_task_time(
+            obj, "j", StageKind.REDUCE
+        )
+
+
 class TestStateAttribution:
     def test_midpoint_attribution(self, result):
         s1 = result.states[0]

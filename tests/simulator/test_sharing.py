@@ -293,3 +293,155 @@ class TestFeasibilityRepair:
             used = sum(weights[i][pool] * rates[i] * mult[i] for i in users)
             assert used <= caps[pool] * (1 + 1e-9)
         assert all(r >= 0 for r in rates)
+
+
+# -- the array-native class solver (columnar engine's path) ---------------------
+
+import math
+import random
+
+import numpy as np
+
+from repro.simulator import sharing
+from repro.simulator.sharing import (
+    _hungry_level_grouped,
+    _hungry_level_grouped_arrays,
+    class_sort_key,
+    solve_max_min_classes,
+)
+
+_POOLS = ("cpu", "disk", "net")
+
+
+def _random_flows(rng, n):
+    flows = []
+    for i in range(n):
+        # Draw from a small palette so identical flows (equivalence classes
+        # with multiplicity > 1) actually occur.
+        palette = rng.randint(0, 3)
+        demands = tuple(
+            (pool, round(0.5 + palette * 0.25 + k * 0.1, 3))
+            for k, pool in enumerate(_POOLS[: 1 + palette % 3])
+        )
+        cap = None if palette % 2 else round(0.2 + palette * 0.3, 3)
+        flows.append(FlowSpec(f"f{i}", demands, cap))
+    return flows
+
+
+def _group_classes(flows):
+    """Replicates ``_solve_collapsed``'s grouping in ``class_sort_key`` order."""
+    weights = []
+    for flow in flows:
+        agg = {}
+        for pool_id, w in flow.demands:
+            agg[pool_id] = agg.get(pool_id, 0.0) + w
+        weights.append(agg)
+    member_map = {}
+    for idx, flow in enumerate(flows):
+        key = (flow.cap, tuple(sorted(weights[idx].items())))
+        member_map.setdefault(key, []).append(idx)
+    keys = sorted(member_map, key=lambda k: class_sort_key(*k))
+    cls_weights = [weights[member_map[k][0]] for k in keys]
+    cls_caps = [k[0] for k in keys]
+    mult = [len(member_map[k]) for k in keys]
+    return keys, member_map, cls_weights, cls_caps, mult
+
+
+class TestClassSolver:
+    """The vectorised water level and the array-native class solver must be
+    *bit-identical* to their scalar/dict counterparts — the columnar engine
+    relies on this to stay float-exact with the object engine."""
+
+    def test_vectorised_water_level_matches_scalar(self):
+        rng = random.Random(7)
+        for _ in range(400):
+            n = rng.randint(0, 6)
+            groups = [
+                (round(rng.uniform(0.01, 5.0), 4), rng.randint(1, 8))
+                for _ in range(n)
+            ]
+            # Inject demand ties so lexsort's secondary key is exercised.
+            if n >= 2 and rng.random() < 0.5:
+                groups[1] = (groups[0][0], groups[1][1])
+            capacity = round(rng.uniform(0.5, 20.0), 4)
+            hungry = rng.randint(1, 6)
+            scalar = _hungry_level_grouped(list(groups), capacity, hungry)
+            vector = _hungry_level_grouped_arrays(
+                np.array([d for d, _ in groups]),
+                np.array([c for _, c in groups], dtype=np.int64),
+                capacity,
+                hungry,
+            )
+            assert vector == scalar  # exact float equality, not approx
+
+    def test_empty_groups(self):
+        assert _hungry_level_grouped_arrays(
+            np.empty(0), np.empty(0, dtype=np.int64), 8.0, 4
+        ) == _hungry_level_grouped([], 8.0, 4) == 2.0
+
+    def test_class_solver_matches_collapsed(self):
+        rng = random.Random(21)
+        capacities = {"cpu": 8.0, "disk": 120.0, "net": 90.0}
+        for _ in range(100):
+            flows = _random_flows(rng, rng.randint(1, 12))
+            by_flow = solve_max_min(flows, capacities)
+            keys, member_map, cls_w, cls_c, mult = _group_classes(flows)
+            by_class = solve_max_min_classes(cls_w, cls_c, mult, capacities)
+            for ci, key in enumerate(keys):
+                for idx in member_map[key]:
+                    # Bit-identical, by construction (same ops, same order).
+                    assert by_flow[flows[idx].flow_id] == by_class[ci]
+
+    def test_class_sort_key_orders_none_caps_last(self):
+        capped = class_sort_key(0.5, (("cpu", 1.0),))
+        uncapped = class_sort_key(None, (("cpu", 1.0),))
+        assert capped < uncapped
+
+    def test_empty_class_list(self):
+        out = solve_max_min_classes([], [], [], {"cpu": 4.0})
+        assert out.size == 0
+
+
+class TestNonConvergence:
+    """Exhausting every Gauss-Seidel sweep must raise, not silently return
+    the last iterate (regression: both solvers used to fall through)."""
+
+    @staticmethod
+    def _contended_flows():
+        # A ring of pairwise-shared pools: each flow's bound depends on its
+        # neighbours', so the water level has to propagate around the ring
+        # over several sweeps — a sabotaged iteration budget cannot reach
+        # any tolerance, while the healthy budget settles fine.
+        return [
+            FlowSpec("f0", (("p0", 2.049), ("p1", 2.99)), cap=None),
+            FlowSpec("f1", (("p1", 2.767), ("p2", 2.421)), cap=None),
+            FlowSpec("f2", (("p2", 0.431), ("p3", 1.916)), cap=None),
+            FlowSpec("f3", (("p3", 1.562), ("p4", 1.964)), cap=None),
+            FlowSpec("f4", (("p4", 2.566), ("p0", 0.88)), cap=None),
+        ]
+
+    _CAPS = {"p0": 9.06, "p1": 6.31, "p2": 9.55, "p3": 6.22, "p4": 5.06}
+
+    @pytest.mark.parametrize("collapse", [True, False])
+    def test_exhausted_sweeps_raise_with_diagnostics(self, monkeypatch, collapse):
+        monkeypatch.setattr(sharing, "_MAX_ITER", 1)
+        with pytest.raises(SimulationError) as exc:
+            solve_max_min(self._contended_flows(), self._CAPS, collapse=collapse)
+        message = str(exc.value)
+        assert "failed to converge" in message
+        assert "residual" in message
+        assert "classes=5" in message
+        assert "damping=0.5" in message
+
+    def test_array_solver_raises_too(self, monkeypatch):
+        monkeypatch.setattr(sharing, "_MAX_ITER", 1)
+        keys, _, cls_w, cls_c, mult = _group_classes(self._contended_flows())
+        with pytest.raises(SimulationError, match="failed to converge"):
+            solve_max_min_classes(cls_w, cls_c, mult, self._CAPS)
+
+    @pytest.mark.parametrize("collapse", [True, False])
+    def test_healthy_budget_converges(self, collapse):
+        rates = solve_max_min(
+            self._contended_flows(), self._CAPS, collapse=collapse
+        )
+        assert all(r > 0 for r in rates.values())
