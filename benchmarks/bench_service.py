@@ -1,0 +1,119 @@
+"""Service-layer bench — what request coalescing buys on the estimate path.
+
+The paper's §V result makes one estimate cheap (milliseconds); a
+prediction *service* is dominated by redundancy — many tenants asking
+about the same workflow structure at once.  This bench fires N concurrent
+requests for one structure at :class:`repro.service.EstimateService` and
+compares against N independent library calls (what N clients would do
+without the service):
+
+* **Parity always** — every response is bit-identical to the direct
+  `estimate_workflow` call; the cache/coalescer layers are routing, never
+  approximation.
+* **One solve** — exactly one request computes; the rest are served from
+  the hot cache or join the in-flight future.
+* **A wall-clock floor** — the coalesced batch beats the N direct calls
+  by at least ``MIN_COALESCING_SPEEDUP``.
+
+Emits one ``BENCH`` JSON line per run.  Run the CI-sized subset with
+``-k smoke``.
+"""
+
+import threading
+import time
+from collections import Counter
+
+from _bench_utils import emit, emit_json
+from repro.analysis import render_table
+from repro.cluster import paper_cluster
+from repro.core.estimator import estimate_workflow
+from repro.core.parallelism import clear_parallelism_memo
+from repro.service import EstimateService
+from repro.workloads import named_workflows
+
+CONCURRENT_REQUESTS = 64
+SMOKE_REQUESTS = 16
+#: The coalesced batch must beat N independent direct calls by this much.
+MIN_COALESCING_SPEEDUP = 2.0
+
+
+def _run_coalescing_scenario(n: int) -> dict:
+    cluster = paper_cluster()
+    workflow = named_workflows(scale=0.05)["tpch"]
+
+    # Reference: n independent direct calls, as n clients would issue them.
+    clear_parallelism_memo()
+    t0 = time.perf_counter()
+    reference = [estimate_workflow(workflow, cluster) for _ in range(n)]
+    direct_s = time.perf_counter() - t0
+
+    # The service: n concurrent requests released together.
+    clear_parallelism_memo()
+    results = [None] * n
+    barrier = threading.Barrier(n)
+    with EstimateService(cluster) as service:
+
+        def request(i):
+            barrier.wait(30.0)
+            results[i] = service.estimate(workflow, timeout=120.0)
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(n)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120.0)
+        service_s = time.perf_counter() - t0
+
+    served = Counter(r["served"] for r in results)
+    for payload in results:
+        assert payload is not None and payload["ok"], payload
+        assert payload["total_time_s"] == reference[0].total_time, (
+            payload["total_time_s"],
+            reference[0].total_time,
+        )
+    assert served["computed"] == 1, served
+    return {
+        "requests": n,
+        "direct_s": direct_s,
+        "service_s": service_s,
+        "speedup": direct_s / service_s if service_s > 0 else float("inf"),
+        "served": dict(served),
+    }
+
+
+def _render(scenario: dict) -> str:
+    return render_table(
+        ["requests", "direct (s)", "service (s)", "speedup", "served"],
+        [[
+            scenario["requests"],
+            f"{scenario['direct_s']:.3f}",
+            f"{scenario['service_s']:.3f}",
+            f"{scenario['speedup']:.1f}x",
+            ", ".join(
+                f"{k}={v}" for k, v in sorted(scenario["served"].items())
+            ),
+        ]],
+        title="Estimate serving: N concurrent requests vs N direct calls",
+    )
+
+
+def _assert_floor(scenario: dict) -> None:
+    assert scenario["speedup"] >= MIN_COALESCING_SPEEDUP, scenario
+
+
+def test_service_smoke():
+    """CI-sized subset.  Run with ``-k smoke``."""
+    scenario = _run_coalescing_scenario(SMOKE_REQUESTS)
+    emit(_render(scenario))
+    emit_json("service", {"mode": "smoke", "coalescing": scenario})
+    _assert_floor(scenario)
+
+
+def test_service_full():
+    scenario = _run_coalescing_scenario(CONCURRENT_REQUESTS)
+    emit(_render(scenario))
+    emit_json("service", {"mode": "full", "coalescing": scenario})
+    _assert_floor(scenario)

@@ -16,6 +16,10 @@ Sub-commands mirror the library's main entry points:
   cluster sizes;
 * ``repro-dag fig4 | fig6 | table1 | table2 | table3 | overhead`` — print
   the corresponding reproduced table/figure;
+* ``repro-dag serve``    — run the asyncio HTTP/JSON prediction service
+  (estimate / sweep / ensemble / metrics / trace endpoints, one shared
+  crash-tolerant process pool — see ``docs/service.md``);
+* ``repro-dag call``     — one JSON request against a running service;
 * ``repro-dag list``     — show the available named workloads.
 
 Named workloads are the Table III identifiers (``WC-Q5``, ``TS-Q21``,
@@ -44,19 +48,13 @@ from repro.dag.workflow import Workflow
 from repro.errors import ReproError
 from repro.mapreduce.task import SkewModel
 from repro.simulator.engine import SimulationConfig, simulate
-from repro.units import format_seconds, gb
-from repro.workloads.hybrid import micro_workflow, table3_workflows
-from repro.workloads.tpch import tpch_query
-from repro.workloads.weblog import weblog_dag
+from repro.units import format_seconds
 
 
 def _named_workflows(scale: float) -> Dict[str, Workflow]:
-    out = dict(table3_workflows(scale=scale))
-    out["weblog"] = weblog_dag()
-    out["tpch"] = tpch_query(5, dataset_mb=gb(80) * scale)
-    for micro in ("wc", "ts", "ts2r", "ts3r"):
-        out[micro] = micro_workflow(micro, input_mb=100_000.0 * scale)
-    return out
+    from repro.workloads import named_workflows
+
+    return named_workflows(scale)
 
 
 def _resolve(name: str, scale: float) -> Workflow:
@@ -210,6 +208,42 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         after = simulate(tuned, cluster).makespan
         print(f"verified on simulator: {before:.1f}s -> {after:.1f}s "
               f"({before / after:.2f}x)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    print(f"repro-dag service on http://{args.host}:{args.port} "
+          f"(scale {args.scale}, {args.processes} pool processes, "
+          f"{args.job_workers} job workers) — Ctrl-C to stop")
+    serve(
+        host=args.host,
+        port=args.port,
+        scale=args.scale,
+        processes=args.processes,
+        job_workers=args.job_workers,
+    )
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    if args.data is not None:
+        try:
+            params = json.loads(args.data)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--data must be a JSON object: {exc}")
+        if not isinstance(params, dict):
+            raise ReproError("--data must be a JSON object")
+    else:
+        params = {}
+    method = args.method or ("POST" if args.data is not None else "GET")
+    payload = ServiceClient(args.url).request(method.upper(), args.path, params)
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -376,6 +410,20 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def _deadline_check(seconds: Optional[float]):
+    """Build the cooperative deadline check for ``--deadline`` (or None).
+
+    The runners poll it between chunks; past the deadline it raises
+    :class:`~repro.errors.JobTimeoutError` — a :class:`ReproError`, so the
+    standard exit-code-2 mapping applies.
+    """
+    if seconds is None:
+        return None
+    from repro.service.scheduler import deadline_checker
+
+    return deadline_checker(seconds)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.cluster.node import PAPER_NODE
     from repro.sweep import Candidate, SweepRunner
@@ -396,7 +444,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         [
             Candidate(workflow, cluster=cluster, label=f"{workers} workers")
             for workers, cluster in clusters.items()
-        ]
+        ],
+        cancel=_deadline_check(args.deadline),
     )
     print(f"workflow : {workflow.describe()}\n")
     rows = []
@@ -417,7 +466,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_ensemble(args: argparse.Namespace) -> int:
     from repro.cluster.node import PAPER_NODE
-    from repro.ensemble import EnsembleConfig, compare_paired, run_ensemble
+    from repro.ensemble import EnsembleConfig, EnsembleRunner, compare_paired
     from repro.simulator import FailureModel
 
     workflow = _resolve(args.workload, args.scale)
@@ -475,7 +524,9 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         if sizes == [paper_cluster().workers]
         else Cluster(node=PAPER_NODE, workers=sizes[0], name=f"{sizes[0]}w")
     )
-    result = run_ensemble(workflow, cluster, config, ensemble)
+    result = EnsembleRunner(cluster, config=config, ensemble=ensemble).run(
+        workflow, cancel=_deadline_check(args.deadline)
+    )
     stopped = (
         f"early stop at CI tol {args.ci_tol:.1%}"
         if result.early_stopped
@@ -585,6 +636,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated cluster sizes to evaluate")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes for the sweep batch (default 1)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="cooperative deadline in seconds; exceeding it "
+                        "exits with code 2")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -618,7 +672,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--paired", action="store_true",
                    help="compare two cluster sizes under common random "
                         "numbers (needs --workers A,B)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="cooperative deadline in seconds (single-size runs); "
+                        "exceeding it exits with code 2")
     p.set_defaults(func=_cmd_ensemble)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP/JSON prediction service (docs/service.md)"
+    )
+    common(p, workload=False)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8349)
+    p.add_argument("--processes", type=int, default=2,
+                   help="shared-pool worker processes (default 2)")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="concurrent sweep/ensemble jobs (default 2)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("call", help="one JSON request against a running service")
+    p.add_argument("path", help="endpoint path, e.g. /healthz or /estimate")
+    p.add_argument("--url", default="http://127.0.0.1:8349",
+                   help="service base URL (default http://127.0.0.1:8349)")
+    p.add_argument("--data", default=None,
+                   help="JSON object of request parameters")
+    p.add_argument("--method", default=None,
+                   help="HTTP method (default: POST with --data, else GET)")
+    p.set_defaults(func=_cmd_call)
 
     p = sub.add_parser("fig4", help="reproduce the Fig. 4 worked example")
     p.set_defaults(func=_cmd_fig4)

@@ -32,17 +32,21 @@ sweep layer's parity contract).
 from __future__ import annotations
 
 import logging
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.dag.workflow import Workflow
 from repro.errors import SpecificationError
 from repro.obs.metrics import get_metrics, snapshot_delta
 from repro.obs.tracer import get_tracer
+from repro.service.pool import (
+    CancelCheck,
+    ResilientPool,
+    check_cancel,
+    parent_cpu_clock,
+)
 from repro.simulator.engine import SimulationConfig, simulate
 from repro.simulator.seeding import replication_seeds
 from repro.simulator.trace import SimulationResult
@@ -431,12 +435,71 @@ def simulate_replication_chunk(
     return outputs, cpu_s, metrics
 
 
+def serial_replication_chunk(
+    payload: Tuple[VariantSpec, int, Tuple[int, ...], int],
+) -> Tuple[
+    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
+    float,
+    _MetricsDelta,
+]:
+    """Parent-side serial twin of :func:`simulate_replication_chunk`.
+
+    Used as the crash/cancellation fallback when a chunk cannot (or should
+    not) ride a pool.  Reports **zero** CPU and an empty metrics delta:
+    the work runs on the caller's own thread, so the caller's
+    ``parent_cpu_clock`` delta already accounts the CPU and the parent
+    registry records counters directly — shipping them again would
+    double-count.
+    """
+    variant, base_seed, indices, keep_trace_below = payload
+    outputs = _evaluate_items(
+        _EnsembleSetup(
+            variants=(variant,),
+            base_seed=base_seed,
+            keep_trace_below=keep_trace_below,
+            metrics_enabled=get_metrics().enabled,
+        ),
+        [(0, index) for index in indices],
+    )
+    return outputs, 0.0, {}
+
+
+def _setup_chunk(
+    payload: Tuple[_EnsembleSetup, Sequence[_Item]],
+) -> Tuple[
+    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
+    float,
+    _MetricsDelta,
+]:
+    """Self-contained chunk evaluator for *foreign* (shared) pools.
+
+    The setup ships inside the payload, so a generic service pool — one
+    whose workers were not initialised with this ensemble's setup — can
+    serve replication chunks.  Costs a setup pickle per chunk.
+    """
+    setup, items = payload
+    registry = get_metrics()
+    before = registry.snapshot() if setup.metrics_enabled else {}
+    cpu0 = time.process_time()
+    outputs = _evaluate_items(setup, items)
+    cpu_s = time.process_time() - cpu0
+    metrics = (
+        snapshot_delta(registry.snapshot(), before)
+        if setup.metrics_enabled
+        else {}
+    )
+    return outputs, cpu_s, metrics
+
+
 class _ReplicationDriver:
     """Runs work items serially or across a fork-once pool.
 
-    Owns the executor lifecycle and the telemetry plumbing; the round /
-    early-stopping policy lives with the caller.  An unpicklable setup
-    (closure-laden test stubs) silently degrades to the serial path —
+    Owns the pool lifecycle (unless borrowing a shared
+    :class:`~repro.service.pool.ResilientPool`) and the telemetry
+    plumbing; the round / early-stopping policy lives with the caller.
+    An unpicklable setup (closure-laden test stubs) degrades to the
+    serial path with a WARNING + ``pool.serial_fallback`` count, and a
+    worker crash mid-map finishes the batch serially (``pool.broken``) —
     correctness never depends on the pool.
     """
 
@@ -445,14 +508,29 @@ class _ReplicationDriver:
         setup: _EnsembleSetup,
         processes: int,
         chunksize: Optional[int],
+        pool: Optional[ResilientPool] = None,
     ):
         self._setup = setup
-        self._processes = processes
         self._chunksize = chunksize
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._pool_broken = False
+        if pool is not None:
+            self._pool = pool
+            self._own_pool = False
+            self._processes = max(1, pool.processes)
+        else:
+            self._pool = ResilientPool(
+                processes,
+                initializer=_ensemble_worker_init,
+                initargs=(setup,),
+                label="ensemble",
+            )
+            self._own_pool = True
+            self._processes = processes
         self.cpu_time_s = 0.0
         self.pool_used = False
+
+    @property
+    def processes(self) -> int:
+        return self._processes
 
     def __enter__(self) -> "_ReplicationDriver":
         return self
@@ -461,29 +539,40 @@ class _ReplicationDriver:
         self.close()
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        if self._own_pool:
+            self._pool.close()
 
     def run(
-        self, items: Sequence[_Item]
+        self, items: Sequence[_Item], cancel: Optional[CancelCheck] = None
     ) -> Iterator[Tuple[int, ReplicationRecord, Optional[SimulationResult]]]:
         if not items:
             return iter(())
         if self._processes > 1 and len(items) > 1:
-            pooled = self._run_pooled(items)
+            pooled = self._run_pooled(items, cancel)
             if pooled is not None:
                 return pooled
-        cpu0 = time.process_time()
+        check_cancel(cancel)
+        cpu0 = parent_cpu_clock()
         outputs = _evaluate_items(self._setup, items)
-        self.cpu_time_s += time.process_time() - cpu0
+        self.cpu_time_s += parent_cpu_clock() - cpu0
         return iter(outputs)
 
-    def _run_pooled(
+    def _serial_chunk(
         self, items: Sequence[_Item]
+    ) -> Tuple[
+        List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
+        float,
+        _MetricsDelta,
+    ]:
+        # Crash-fallback chunk run in the parent: zero CPU / empty metrics
+        # (the surrounding thread-clock delta and the parent registry
+        # already account this work directly).
+        return _evaluate_items(self._setup, items), 0.0, {}
+
+    def _run_pooled(
+        self, items: Sequence[_Item], cancel: Optional[CancelCheck] = None
     ) -> Optional[Iterator[Tuple[int, ReplicationRecord, Optional[SimulationResult]]]]:
-        executor = self._ensure_pool()
-        if executor is None:
+        if self._pool.executor() is None:
             return None
         chunksize = self._chunksize or max(
             1, -(-len(items) // (4 * self._processes))
@@ -491,37 +580,34 @@ class _ReplicationDriver:
         chunks = [
             items[i : i + chunksize] for i in range(0, len(items), chunksize)
         ]
+        if self._own_pool:
+            # Fork-once workers hold the setup already.
+            fn: Callable[[Any], Any] = _ensemble_chunk
+            payloads: List[Any] = list(chunks)
+            serial_fn: Callable[[Any], Any] = self._serial_chunk
+        else:
+            # Borrowed (service) pool: ship the setup with every chunk.
+            fn = _setup_chunk
+            payloads = [(self._setup, chunk) for chunk in chunks]
+            serial_fn = lambda payload: self._serial_chunk(payload[1])  # noqa: E731
         registry = get_metrics()
-        cpu0 = time.process_time()
+        # Parent CPU on the *thread* clock: concurrent service jobs drive
+        # this loop from their own threads, and a process-wide clock would
+        # attribute job A's parent work to job B (the old process_time bug).
+        cpu0 = parent_cpu_clock()
         outputs: List[
             Tuple[int, ReplicationRecord, Optional[SimulationResult]]
         ] = []
-        for chunk_out, chunk_cpu, chunk_metrics in executor.map(
-            _ensemble_chunk, chunks
+        for chunk_out, chunk_cpu, chunk_metrics in self._pool.run_chunks(
+            fn, payloads, serial_fn=serial_fn, cancel=cancel
         ):
             outputs.extend(chunk_out)
             self.cpu_time_s += chunk_cpu
             if chunk_metrics:
                 registry.merge(chunk_metrics)
-        self.cpu_time_s += time.process_time() - cpu0
+        self.cpu_time_s += parent_cpu_clock() - cpu0
         self.pool_used = True
         return iter(outputs)
-
-    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
-        if self._pool_broken:
-            return None
-        if self._executor is None:
-            try:
-                pickle.dumps(self._setup)
-            except Exception:
-                self._pool_broken = True
-                return None
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._processes,
-                initializer=_ensemble_worker_init,
-                initargs=(self._setup,),
-            )
-        return self._executor
 
 
 class EnsembleRunner:
@@ -533,6 +619,11 @@ class EnsembleRunner:
             apply to every replication while the seeds are re-derived per
             replication.  ``None`` uses the defaults.
         ensemble: the :class:`EnsembleConfig` policy.
+        pool: a *shared* :class:`~repro.service.pool.ResilientPool` to
+            borrow instead of owning one per run (the service multiplexes
+            every job over a single pool).  Chunks then ship their own
+            setup and ``ensemble.processes`` is superseded by the pool's
+            size.
     """
 
     def __init__(
@@ -540,17 +631,27 @@ class EnsembleRunner:
         cluster: Cluster,
         config: Optional[SimulationConfig] = None,
         ensemble: Optional[EnsembleConfig] = None,
+        pool: Optional[ResilientPool] = None,
     ):
         self._cluster = cluster
         self._config = config if config is not None else SimulationConfig()
         self._ensemble = ensemble if ensemble is not None else EnsembleConfig()
+        self._pool = pool
 
     @property
     def ensemble_config(self) -> EnsembleConfig:
         return self._ensemble
 
-    def run(self, workflow: Workflow) -> EnsembleResult:
-        """Run the ensemble for ``workflow`` and aggregate its distribution."""
+    def run(
+        self, workflow: Workflow, cancel: Optional[CancelCheck] = None
+    ) -> EnsembleResult:
+        """Run the ensemble for ``workflow`` and aggregate its distribution.
+
+        ``cancel`` is polled between replication chunks (see
+        :data:`~repro.service.pool.CancelCheck`): a truthy return raises
+        :class:`~repro.errors.JobCancelledError`; the check may instead
+        raise its own typed error (the service's cooperative deadlines).
+        """
         ens = self._ensemble
         t0 = time.perf_counter()
         tracer = get_tracer()
@@ -576,10 +677,12 @@ class EnsembleRunner:
             metrics_enabled=registry.enabled,
         )
         early_stopped = False
-        with _ReplicationDriver(setup, ens.processes, ens.chunksize) as driver:
+        with _ReplicationDriver(
+            setup, ens.processes, ens.chunksize, pool=self._pool
+        ) as driver:
             for target in ens.round_targets():
                 items = [(0, i) for i in range(accumulator.count, target)]
-                for _, record, trace in driver.run(items):
+                for _, record, trace in driver.run(items, cancel):
                     accumulator.add(record, trace)
                 assert accumulator.settled()
                 if ens.ci_tol is None or accumulator.count >= ens.replications:
@@ -595,6 +698,7 @@ class EnsembleRunner:
                     break
             pool_used = driver.pool_used
             cpu_s = driver.cpu_time_s
+            processes = driver.processes
 
         result = EnsembleResult(
             workflow=workflow.name,
@@ -614,7 +718,7 @@ class EnsembleRunner:
             ),
             wall_time_s=time.perf_counter() - t0,
             cpu_time_s=cpu_s,
-            processes=ens.processes,
+            processes=processes,
             pool_used=pool_used,
         )
         if span is not None:

@@ -61,3 +61,30 @@ class EstimationError(ReproError):
 
 class ProfileError(ReproError):
     """A job profile is missing, malformed, or incompatible."""
+
+
+class ServiceError(ReproError):
+    """The prediction service rejected or could not complete a request.
+
+    Raised for malformed service requests, unknown jobs, and scheduler
+    capacity problems — conditions of the serving layer rather than of the
+    models themselves.
+    """
+
+
+class JobTimeoutError(ServiceError):
+    """A scheduled job exceeded its deadline.
+
+    Deadlines are cooperative: runners poll a check between work chunks, so
+    the job stops at the next chunk boundary after the deadline passes and
+    its pool slots are released to other jobs.
+    """
+
+
+class JobCancelledError(ServiceError):
+    """A scheduled job was cancelled before it completed.
+
+    Like deadlines, cancellation is cooperative — the job observes the
+    request at its next chunk boundary, stops feeding the shared pool, and
+    surfaces this error instead of partial results.
+    """

@@ -1,0 +1,110 @@
+"""Thin stdlib HTTP client for the prediction service.
+
+``http.client`` only — the client mirrors the server's no-new-deps rule
+so scripts, tests and the ``repro-dag call`` command can talk to a
+running service from anywhere the package is installed.  Server-side
+typed errors come back as the matching exceptions:
+504 → :class:`~repro.errors.JobTimeoutError`, 409 →
+:class:`~repro.errors.JobCancelledError`, any other error status →
+:class:`~repro.errors.ServiceError` — all of them
+:class:`~repro.errors.ReproError`\\ s, so the CLI's exit-code-2 mapping
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlsplit
+
+from repro.errors import JobCancelledError, JobTimeoutError, ServiceError
+
+
+class ServiceClient:
+    """Synchronous JSON client bound to one service base URL."""
+
+    def __init__(self, url: str, timeout: float = 120.0):
+        split = urlsplit(url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServiceError(f"unsupported service URL: {url!r}")
+        self._host = split.hostname
+        self._port = split.port or 80
+        self._timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One JSON round-trip; raises the typed error on failure statuses."""
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            body = json.dumps(params or {}).encode()
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                raise ServiceError(
+                    f"service returned non-JSON ({response.status}): {raw[:200]!r}"
+                )
+            if response.status >= 400:
+                message = payload.get("error", f"HTTP {response.status}")
+                if response.status == 504:
+                    raise JobTimeoutError(message)
+                if response.status == 409:
+                    raise JobCancelledError(message)
+                raise ServiceError(message)
+            return payload
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self._host}:{self._port}: {exc}"
+            )
+        finally:
+            connection.close()
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def workloads(self) -> List[str]:
+        return self.request("GET", "/workloads")["workloads"]
+
+    def estimate(self, workload: str, **params: Any) -> Dict[str, Any]:
+        return self.request("POST", "/estimate", dict(params, workload=workload))
+
+    def sweep(
+        self, workload: str, workers: List[int], **params: Any
+    ) -> Dict[str, Any]:
+        return self.request(
+            "POST", "/sweep", dict(params, workload=workload, workers=workers)
+        )
+
+    def ensemble(self, workload: str, **params: Any) -> Dict[str, Any]:
+        return self.request("POST", "/ensemble", dict(params, workload=workload))
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/jobs/{job_id}/cancel")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/metrics")["metrics"]
+
+    def trace(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/trace")["spans"]

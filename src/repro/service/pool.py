@@ -1,0 +1,270 @@
+"""Crash-tolerant process-pool engine shared by sweeps, ensembles and jobs.
+
+Both :class:`~repro.sweep.SweepRunner` and
+:class:`~repro.ensemble.EnsembleRunner` fan chunks of pure work out over a
+``ProcessPoolExecutor``; the service multiplexes *many* such jobs over one
+pool.  All of them need the same three guarantees, centralised here:
+
+* **Loud serial degradation.**  A context that does not pickle (closures,
+  open handles) cannot ride a pool.  The pickle probe that detects this
+  used to swallow the reason silently — an order-of-magnitude perf cliff
+  with no trace.  :meth:`ResilientPool.executor` now logs the degradation
+  at WARNING and counts ``pool.serial_fallback`` in the metrics registry.
+* **Crash recovery.**  A worker that dies mid-map (OOM kill, ``os._exit``,
+  a segfaulting extension) raises :class:`BrokenProcessPool` out of
+  ``executor.map`` and poisons the executor.  :meth:`ResilientPool.run_chunks`
+  catches the crash (and mid-map :class:`pickle.PicklingError` for
+  unpicklable *items*), marks the pool broken (``pool.broken`` counter),
+  and finishes the not-yet-yielded chunks on the caller's serial path —
+  callers always receive complete, deterministic results.  With
+  ``respawn=True`` (the service configuration) the next batch builds a
+  fresh executor (``pool.respawns``); without it the pool stays serial,
+  which is the right behaviour for a short-lived runner.
+* **Cooperative cancellation.**  Chunks are submitted through a bounded
+  window (not ``executor.map``'s eager submission), so a cancelled job
+  stops feeding the pool immediately, cancels its queued futures and
+  releases the slots to other jobs instead of draining its whole batch.
+
+The work functions themselves stay with their owners (the sweep/ensemble
+modules define the chunk evaluators); this module owns only the lifecycle
+and the failure semantics.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import JobCancelledError
+from repro.obs.metrics import get_metrics
+
+logger = logging.getLogger(__name__)
+
+#: Callable polled between chunks: returns truthy to cancel the batch
+#: cooperatively (mapped to :class:`~repro.errors.JobCancelledError`), or
+#: raises its own :class:`~repro.errors.ReproError` (e.g. a deadline check
+#: raising :class:`~repro.errors.JobTimeoutError`).
+CancelCheck = Callable[[], bool]
+
+
+def check_cancel(cancel: Optional[CancelCheck]) -> None:
+    """Poll a cancellation check; raise :class:`JobCancelledError` if set."""
+    if cancel is not None and cancel():
+        raise JobCancelledError("job cancelled")
+
+
+class ResilientPool:
+    """A lazily-built, probe-guarded, crash-surviving process pool.
+
+    Args:
+        processes: worker process count; ``<= 1`` never builds an executor.
+        initializer / initargs: forwarded to the executor; ``initargs`` are
+            also the pickle-probe payload (they are what actually ships).
+        label: appears in log lines and telemetry so concurrent pools are
+            distinguishable ("sweep", "ensemble", "service").
+        respawn: rebuild a fresh executor on the batch *after* a worker
+            crash instead of staying serial forever.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+        label: str = "pool",
+        respawn: bool = False,
+    ):
+        self._processes = processes
+        self._initializer = initializer
+        self._initargs = initargs
+        self._label = label
+        self._respawn = respawn
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._serial_only = False  # probe failed: permanently serial
+        self._broken = False  # a worker crashed since the last (re)build
+        self.used = False  # did any batch actually run pooled?
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def processes(self) -> int:
+        return self._processes
+
+    @property
+    def broken(self) -> bool:
+        """A worker crash poisoned the current executor."""
+        return self._broken
+
+    @property
+    def serial_only(self) -> bool:
+        """The pickle probe rejected the worker context."""
+        return self._serial_only
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ResilientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        """The live executor, built on first use; ``None`` means serial.
+
+        The first call pickle-probes ``initargs`` — the worker context that
+        would ship at pool start-up.  A context that cannot pickle degrades
+        to the serial path *loudly*: the reason lands in the log at WARNING
+        and ``pool.serial_fallback`` is counted, because silent degradation
+        hides an order-of-magnitude throughput cliff.
+        """
+        if self._processes <= 1 or self._serial_only:
+            return None
+        if self._broken:
+            if not self._respawn:
+                return None
+            self._broken = False
+            self._executor = None
+            registry = get_metrics()
+            if registry.enabled:
+                registry.counter("pool.respawns").inc()
+            logger.info("%s pool: respawning after worker crash", self._label)
+        if self._executor is None:
+            try:
+                pickle.dumps(self._initargs)
+            except Exception as exc:
+                self._serial_only = True
+                registry = get_metrics()
+                if registry.enabled:
+                    registry.counter("pool.serial_fallback").inc()
+                logger.warning(
+                    "%s pool: worker context does not pickle (%s: %s); "
+                    "degrading to the serial path — expect an order-of-"
+                    "magnitude slowdown on multi-core machines",
+                    self._label,
+                    type(exc).__name__,
+                    exc,
+                )
+                return None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._processes,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._executor
+
+    # -- crash bookkeeping -------------------------------------------------------
+
+    def _mark_broken(self, exc: BaseException) -> None:
+        self._broken = True
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("pool.broken").inc()
+        logger.warning(
+            "%s pool: worker failure mid-map (%s: %s); completing the "
+            "remaining chunks serially%s",
+            self._label,
+            type(exc).__name__,
+            exc,
+            " and respawning for the next batch" if self._respawn else "",
+        )
+        if self._executor is not None:
+            # A broken executor shuts down without joining dead workers;
+            # unpicklable-item failures leave it healthy, but the serial
+            # tail will re-run everything pending anyway.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- the resilient map -------------------------------------------------------
+
+    def run_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        serial_fn: Optional[Callable[[Any], Any]] = None,
+        cancel: Optional[CancelCheck] = None,
+    ) -> Iterator[Any]:
+        """Yield ``fn(chunk)`` per chunk, in order, surviving worker death.
+
+        Chunks are submitted through a bounded window (two per worker) so a
+        cooperative cancellation stops feeding the pool and cancels queued
+        futures instead of draining the batch.  On
+        :class:`BrokenProcessPool` / mid-map :class:`pickle.PicklingError`
+        the pool is marked broken and every chunk not yet yielded is
+        re-evaluated with ``serial_fn`` (default ``fn``) in the calling
+        process — results stay complete and, because chunk evaluators are
+        pure, bit-identical to an all-serial run.
+
+        ``cancel`` is polled before each yield; a truthy return raises
+        :class:`~repro.errors.JobCancelledError`, and the check may raise
+        its own typed error (deadlines).  Either way queued futures are
+        cancelled and in-flight slots drain naturally to other users.
+        """
+        serial = serial_fn if serial_fn is not None else fn
+        check_cancel(cancel)
+        done = 0
+        executor = self.executor()
+        if executor is not None:
+            self.used = True
+            window = 2 * self._processes
+            pending: deque = deque()
+            index = done
+            try:
+                while done < len(chunks):
+                    while index < len(chunks) and len(pending) < window:
+                        pending.append(executor.submit(fn, chunks[index]))
+                        index += 1
+                    try:
+                        result = pending.popleft().result()
+                    except (BrokenProcessPool, pickle.PicklingError) as exc:
+                        self._mark_broken(exc)
+                        break
+                    except (AttributeError, TypeError) as exc:
+                        # pickle reports unpicklable *items* as AttributeError
+                        # ("Can't pickle local object ...") or TypeError
+                        # ("cannot pickle '_thread.lock' object"), not
+                        # PicklingError; anything else is a genuine work
+                        # error and must propagate.
+                        if "pickle" not in str(exc):
+                            raise
+                        self._mark_broken(exc)
+                        break
+                    check_cancel(cancel)
+                    yield result
+                    done += 1
+            finally:
+                for future in pending:
+                    future.cancel()
+        for chunk in chunks[done:]:
+            check_cancel(cancel)
+            yield serial(chunk)
+
+    def map_chunks(
+        self,
+        fn: Callable[[Any], Any],
+        chunks: Sequence[Any],
+        serial_fn: Optional[Callable[[Any], Any]] = None,
+        cancel: Optional[CancelCheck] = None,
+    ) -> List[Any]:
+        """Eager :meth:`run_chunks` — all results as a list."""
+        return list(self.run_chunks(fn, chunks, serial_fn=serial_fn, cancel=cancel))
+
+
+def parent_cpu_clock() -> float:
+    """The parent-side CPU clock for per-job accounting.
+
+    ``time.thread_time`` rather than ``time.process_time``: once one shared
+    pool serves concurrent service jobs (each driven from its own thread),
+    a process-wide clock would attribute job A's parent CPU to job B's
+    delta.  Thread CPU time is exactly the calling job's share.  Worker
+    processes are single-threaded, so their chunk deltas keep
+    ``process_time`` (identical there) for pickle-friendly symmetry.
+    """
+    return time.thread_time()

@@ -1,0 +1,590 @@
+"""The asyncio HTTP/JSON prediction-and-tuning server.
+
+``repro-dag serve`` turns the library into a long-running multi-tenant
+service: estimate queries answer inline through the hot-cached,
+request-coalescing :class:`~repro.service.estimates.EstimateService`,
+while sweep and ensemble jobs queue through the fair
+:class:`~repro.service.scheduler.JobScheduler` and share **one**
+crash-tolerant :class:`~repro.service.pool.ResilientPool` (respawning —
+a killed worker degrades one batch to serial and the next batch gets a
+fresh pool).
+
+The HTTP layer is deliberately minimal — stdlib ``asyncio`` streams, one
+request per connection, JSON bodies — because the interesting semantics
+live below it.  Endpoints:
+
+========================  ====================================================
+``GET  /healthz``          liveness + configuration
+``GET  /workloads``        the named-workload catalogue
+``POST /estimate``         inline estimate (cached/coalesced)
+``POST /sweep``            submit a cluster-size sweep job and wait
+``POST /ensemble``         submit a replication-ensemble job and wait
+``GET  /jobs``             job table (``/jobs/<id>`` for one)
+``POST /jobs/<id>/cancel`` cooperative cancellation
+``GET  /metrics``          metrics-registry snapshot
+``GET  /trace``            finished tracer spans
+========================  ====================================================
+
+Error mapping: :class:`~repro.errors.ServiceError` (bad request) → 400,
+unknown path → 404, :class:`~repro.errors.JobTimeoutError` → 504,
+:class:`~repro.errors.JobCancelledError` → 409, anything else typed
+(:class:`~repro.errors.ReproError`) → 422.  Every request runs inside a
+``service.request`` tracer span and counts ``service.requests`` /
+``service.errors``.
+
+See ``docs/service.md`` for the full API and the failure/degradation
+matrix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.cluster.node import PAPER_NODE
+from repro.core.distributions import Variant
+from repro.errors import (
+    JobCancelledError,
+    JobTimeoutError,
+    ReproError,
+    ServiceError,
+)
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+from repro.service.estimates import EstimateService
+from repro.service.pool import CancelCheck, ResilientPool
+from repro.service.scheduler import JobScheduler, JobSpec
+
+logger = logging.getLogger(__name__)
+
+
+def _service_worker_init(metrics_enabled: bool) -> None:
+    """Pool-worker initializer: arm the worker registry before any
+    instrumented object is built (counters bind at construction time)."""
+    if metrics_enabled:
+        get_metrics().enable()
+
+
+class DagService:
+    """The application object behind the HTTP server.
+
+    Owns the estimate service, the job scheduler and the one shared
+    process pool; every handler is a plain synchronous method returning
+    ``(status, payload)`` so the service is equally usable without HTTP
+    (tests drive it directly).
+
+    Args:
+        cluster: default cluster (the paper's 16-worker cluster).
+        scale: input-volume scale for the named-workload catalogue.
+        processes: shared-pool worker processes.
+        job_workers: concurrent jobs (scheduler threads).
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        scale: float = 0.05,
+        processes: int = 2,
+        job_workers: int = 2,
+        cache_capacity: int = 1024,
+    ):
+        self._cluster = cluster if cluster is not None else paper_cluster()
+        self._scale = scale
+        self.pool = ResilientPool(
+            processes,
+            initializer=_service_worker_init,
+            initargs=(get_metrics().enabled,),
+            label="service",
+            respawn=True,
+        )
+        self.estimates = EstimateService(self._cluster, capacity=cache_capacity)
+        self.scheduler = JobScheduler(workers=job_workers)
+        self._workflows: Dict[str, Any] = {}
+        self._workflows_lock = threading.Lock()
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        self.scheduler.close()
+        self.estimates.close()
+        self.pool.close()
+
+    def __enter__(self) -> "DagService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------------
+
+    def _workflow(self, name: str):
+        with self._workflows_lock:
+            if not self._workflows:
+                from repro.workloads import named_workflows
+
+                self._workflows = named_workflows(self._scale)
+            workflow = self._workflows.get(name)
+        if workflow is None:
+            raise ServiceError(
+                f"unknown workload {name!r}; GET /workloads for choices"
+            )
+        return workflow
+
+    @staticmethod
+    def _require(params: Dict[str, Any], key: str) -> Any:
+        value = params.get(key)
+        if value is None:
+            raise ServiceError(f"missing required parameter {key!r}")
+        return value
+
+    def handle(
+        self, method: str, path: str, params: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch one request; returns ``(http_status, json_payload)``."""
+        registry = get_metrics()
+        tracer = get_tracer()
+        if registry.enabled:
+            registry.counter("service.requests").inc()
+        span = (
+            tracer.begin("service.request", method=method, path=path)
+            if tracer.enabled
+            else None
+        )
+        try:
+            status, payload = self._route(method, path, params)
+        except JobTimeoutError as exc:
+            status, payload = 504, {"error": str(exc)}
+        except JobCancelledError as exc:
+            status, payload = 409, {"error": str(exc)}
+        except ServiceError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 422, {"error": str(exc)}
+        if status >= 400 and registry.enabled:
+            registry.counter("service.errors").inc()
+        if span is not None:
+            tracer.finish(span, status=status)
+        return status, payload
+
+    def _route(
+        self, method: str, path: str, params: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            return 200, {
+                "ok": True,
+                "uptime_s": time.time() - self.started_at,
+                "pool": {
+                    "processes": self.pool.processes,
+                    "broken": self.pool.broken,
+                    "serial_only": self.pool.serial_only,
+                },
+                "cache_entries": self.estimates.cache_size,
+            }
+        if path == "/workloads":
+            self._workflow("wc")  # force catalogue load
+            with self._workflows_lock:
+                names = sorted(self._workflows)
+            return 200, {"workloads": names, "scale": self._scale}
+        if path == "/estimate":
+            return self._handle_estimate(params)
+        if path == "/sweep":
+            return self._handle_sweep(params)
+        if path == "/ensemble":
+            return self._handle_ensemble(params)
+        if path == "/jobs":
+            return 200, {
+                "jobs": [job.describe() for job in self.scheduler.jobs()]
+            }
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/cancel") and method == "POST":
+                job = self.scheduler.cancel(rest[: -len("/cancel")])
+                return 200, job.describe()
+            return 200, self.scheduler.get(rest).describe()
+        if path == "/metrics":
+            return 200, {"metrics": get_metrics().snapshot()}
+        if path == "/trace":
+            return 200, {"spans": _span_rows(get_tracer())}
+        return 404, {"error": f"no such endpoint: {method} {path}"}
+
+    # -- endpoint handlers -------------------------------------------------------
+
+    def _handle_estimate(self, params: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        workflow = self._workflow(str(self._require(params, "workload")))
+        variant = Variant(str(params.get("variant", "mean")))
+        cluster = self._cluster_override(params)
+        payload = self.estimates.estimate(
+            workflow,
+            cluster=cluster,
+            variant=variant,
+            timeout=_opt_float(params, "timeout_s"),
+        )
+        return (200 if payload["ok"] else 422), payload
+
+    def _cluster_override(self, params: Dict[str, Any]) -> Optional[Cluster]:
+        workers = params.get("workers")
+        if workers is None:
+            return None
+        workers = int(workers)
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1: {workers}")
+        return Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
+
+    def _job_spec(
+        self,
+        kind: str,
+        label: str,
+        params: Dict[str, Any],
+        run: Callable[[Optional[CancelCheck]], Any],
+    ) -> JobSpec:
+        return JobSpec(
+            kind=kind,
+            run=run,
+            label=label,
+            priority=int(params.get("priority", 1)),
+            deadline_s=_opt_float(params, "deadline_s"),
+            retries=int(params.get("retries", 0)),
+            backoff_s=float(params.get("backoff_s", 0.05)),
+        )
+
+    def _finish_job(
+        self, job, params: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if params.get("wait", True) in (False, "0", "false", "no"):
+            return 202, job.describe()
+        result = job.outcome(_opt_float(params, "timeout_s"))
+        return 200, dict(result, job=job.describe())
+
+    def _handle_sweep(self, params: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        from repro.sweep.runner import Candidate, SweepRunner
+
+        workload = str(self._require(params, "workload"))
+        workflow = self._workflow(workload)
+        sizes = _worker_sizes(self._require(params, "workers"))
+        clusters = [
+            Cluster(node=PAPER_NODE, workers=w, name=f"{w}w") for w in sizes
+        ]
+
+        def run(cancel: Optional[CancelCheck]) -> Dict[str, Any]:
+            runner = SweepRunner(clusters[0], pool=self.pool)
+            results = runner.evaluate(
+                [
+                    Candidate(workflow, cluster=c, label=f"{w} workers")
+                    for w, c in zip(sizes, clusters)
+                ],
+                cancel=cancel,
+            )
+            return {
+                "workload": workload,
+                "results": [
+                    {
+                        "workers": w,
+                        "ok": r.ok,
+                        "total_time_s": r.total_time_s,
+                        "states": r.states,
+                        "error": r.error,
+                    }
+                    for w, r in zip(sizes, results)
+                ],
+                "report": runner.report.describe(),
+                "pool_used": runner.report.pool_used,
+            }
+
+        job = self.scheduler.submit(
+            self._job_spec("sweep", f"{workload} x{len(sizes)}", params, run)
+        )
+        return self._finish_job(job, params)
+
+    def _handle_ensemble(self, params: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        from repro.ensemble.engine import EnsembleConfig, EnsembleRunner
+        from repro.simulator.engine import SimulationConfig
+
+        workload = str(self._require(params, "workload"))
+        workflow = self._workflow(workload)
+        cluster = self._cluster_override(params) or self._cluster
+        replications = int(params.get("replications", 16))
+        ensemble = EnsembleConfig(
+            replications=replications,
+            min_replications=min(8, replications),
+            base_seed=int(params.get("seed", 42)),
+            exemplars=max(1, int(params.get("exemplars", 1))),
+            processes=self.pool.processes,
+        )
+        config = SimulationConfig()
+
+        def run(cancel: Optional[CancelCheck]) -> Dict[str, Any]:
+            runner = EnsembleRunner(
+                cluster, config=config, ensemble=ensemble, pool=self.pool
+            )
+            result = runner.run(workflow, cancel=cancel)
+            payload: Dict[str, Any] = {
+                "workload": workload,
+                "replications": result.replications,
+                "base_seed": result.base_seed,
+                "makespan": result.makespan,
+                "quantiles": {str(q): v for q, v in result.quantiles.items()},
+                "ci": list(result.ci),
+                "pool_used": result.pool_used,
+            }
+            if result.exemplars:
+                # Per-state bottleneck attribution of the first exemplar
+                # replication — the "why is it slow" answer riding along
+                # with the "how slow" distribution.
+                from repro.obs.attribution import attribute_bottlenecks
+
+                report = attribute_bottlenecks(
+                    workflow, cluster, result.exemplars[0]
+                )
+                payload["bottlenecks"] = report.to_rows()
+            return payload
+
+        job = self.scheduler.submit(
+            self._job_spec("ensemble", workload, params, run)
+        )
+        return self._finish_job(job, params)
+
+
+def _opt_float(params: Dict[str, Any], key: str) -> Optional[float]:
+    value = params.get(key)
+    return None if value is None else float(value)
+
+
+def _worker_sizes(raw: Any) -> list:
+    if isinstance(raw, str):
+        raw = [part for part in raw.split(",") if part.strip()]
+    try:
+        sizes = [int(w) for w in raw]
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"workers must be integers: {exc}")
+    if not sizes or any(w < 1 for w in sizes):
+        raise ServiceError(f"workers must be a non-empty list of sizes >= 1: {sizes}")
+    return sizes
+
+
+def _span_rows(tracer) -> list:
+    return [
+        {
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "t_start": span.t_start - tracer.epoch,
+            "t_end": (
+                span.t_end - tracer.epoch if span.t_end is not None else None
+            ),
+            "attrs": {
+                k: v for k, v in span.attrs.items() if not k.startswith("__")
+            },
+        }
+        for span in tracer.snapshot()
+    ]
+
+
+# -- the HTTP layer ---------------------------------------------------------------
+
+_MAX_BODY = 1 << 20  # 1 MiB of JSON is already an abusive request
+
+
+async def _handle_connection(
+    service: DagService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        try:
+            method, target, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            await _respond(writer, 400, {"error": "malformed request line"})
+            return
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > _MAX_BODY:
+            await _respond(writer, 413, {"error": "request body too large"})
+            return
+        body = await reader.readexactly(content_length) if content_length else b""
+        split = urlsplit(target)
+        params: Dict[str, Any] = dict(parse_qsl(split.query))
+        if body:
+            try:
+                parsed = json.loads(body)
+            except json.JSONDecodeError as exc:
+                await _respond(writer, 400, {"error": f"invalid JSON body: {exc}"})
+                return
+            if not isinstance(parsed, dict):
+                await _respond(
+                    writer, 400, {"error": "JSON body must be an object"}
+                )
+                return
+            params.update(parsed)
+        # Handlers block (futures, job waits, estimator work), so they run
+        # on the default thread-pool executor — the event loop only parses
+        # and frames, which is what keeps slow jobs from starving /healthz.
+        loop = asyncio.get_running_loop()
+        status, payload = await loop.run_in_executor(
+            None, service.handle, method.upper(), split.path, params
+        )
+        await _respond(writer, status, payload)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    504: "Gateway Timeout",
+}
+
+
+async def _respond(
+    writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+) -> None:
+    body = json.dumps(payload).encode()
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        + body
+    )
+    await writer.drain()
+
+
+async def _serve_async(
+    service: DagService,
+    host: str,
+    port: int,
+    ready: Optional[Callable[[str], None]] = None,
+    shutdown: Optional[threading.Event] = None,
+) -> None:
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port
+    )
+    bound = server.sockets[0].getsockname()
+    url = f"http://{bound[0]}:{bound[1]}"
+    logger.info("repro-dag service listening on %s", url)
+    if ready is not None:
+        ready(url)
+    async with server:
+        if shutdown is None:
+            await server.serve_forever()
+        else:
+            while not shutdown.is_set():
+                await asyncio.sleep(0.05)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8349,
+    service: Optional[DagService] = None,
+    **service_kwargs: Any,
+) -> None:
+    """Run the server until interrupted (the ``repro-dag serve`` command).
+
+    Arms tracing and metrics before building the service so request spans
+    and service counters are live from the first request.
+    """
+    get_tracer().enable()
+    get_metrics().enable()
+    own = service is None
+    if own:
+        service = DagService(**service_kwargs)
+    try:
+        asyncio.run(_serve_async(service, host, port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        if own:
+            service.close()
+
+
+class ServiceHandle:
+    """A server running on a background thread (tests, CI smoke, notebooks)."""
+
+    def __init__(self, url: str, service: DagService, stop: Callable[[], None]):
+        self.url = url
+        self.service = service
+        self._stop = stop
+
+    def stop(self) -> None:
+        self._stop()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[DagService] = None,
+    **service_kwargs: Any,
+) -> ServiceHandle:
+    """Start the server on a daemon thread; returns once it accepts requests.
+
+    ``port=0`` binds an ephemeral port; the handle's ``url`` reports it.
+
+    When the service is built here, tracing and metrics are armed first
+    (as in :func:`serve`) so spans/counters are live from the first
+    request; a caller-supplied ``service`` keeps whatever observability
+    state the caller configured.
+    """
+    own = service is None
+    if own:
+        get_tracer().enable()
+        get_metrics().enable()
+        service = DagService(**service_kwargs)
+    ready = threading.Event()
+    shutdown = threading.Event()
+    urls = []
+
+    def _ready(url: str) -> None:
+        urls.append(url)
+        ready.set()
+
+    def _run() -> None:
+        asyncio.run(_serve_async(service, host, port, _ready, shutdown))
+
+    thread = threading.Thread(target=_run, name="repro-service", daemon=True)
+    thread.start()
+    if not ready.wait(10.0):
+        shutdown.set()
+        raise ServiceError("service failed to start within 10s")
+
+    def _stop() -> None:
+        shutdown.set()
+        thread.join(10.0)
+        if own:
+            service.close()
+
+    return ServiceHandle(urls[0], service, _stop)

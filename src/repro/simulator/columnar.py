@@ -167,6 +167,20 @@ class ColumnarResult(SimulationResult):
             self._tasks_cache = self._task_builder()
         return self._tasks_cache
 
+    def __getstate__(self) -> Dict:
+        # The lazy task builder is a closure over simulator internals and
+        # cannot cross a process boundary.  A trace that is pickled at all
+        # was explicitly kept (e.g. an ensemble exemplar shipping home from
+        # a pool worker), so materialise the tasks once and drop the
+        # builder — the unpickled copy serves them from the cache.
+        _ = self.tasks
+        state = self.__dict__.copy()
+        state["_task_builder"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def task_count(self) -> int:
         return self._task_count

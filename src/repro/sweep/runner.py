@@ -26,20 +26,23 @@ batched-cached-parallel:
 
 Process-pool semantics: the worker context (cluster, task-time source,
 estimator configuration) is pickled once per worker at pool start-up, and
-each worker keeps its own task-time cache warm across batches.  A runner
-whose source does not pickle (e.g. a closure-based test stub) silently
-degrades to the serial path — correctness never depends on the pool.
+each worker keeps its own task-time cache warm across batches.  The pool
+engine is :class:`~repro.service.pool.ResilientPool`: a runner whose
+source does not pickle (e.g. a closure-based test stub) degrades to the
+serial path with a WARNING and a ``pool.serial_fallback`` count, and a
+worker that crashes mid-map (``BrokenProcessPool``) marks the pool broken
+(``pool.broken``), finishes the remaining chunks serially, and still
+returns complete results bit-identical to an all-serial run — correctness
+never depends on the pool.
 """
 
 from __future__ import annotations
 
 import logging
 import os
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster
 from repro.core.boe import BOEModel
@@ -51,6 +54,12 @@ from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
 from repro.obs.metrics import get_metrics, snapshot_delta
 from repro.obs.tracer import get_tracer
+from repro.service.pool import (
+    CancelCheck,
+    ResilientPool,
+    check_cancel,
+    parent_cpu_clock,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -332,17 +341,19 @@ _Item = Tuple[int, str, Workflow, Optional[Cluster]]
 _MetricsDelta = Dict[str, Dict[str, Any]]
 
 
-def _worker_chunk(
-    payload: Sequence[_Item],
-) -> Tuple[List[CandidateResult], CacheStats, ReuseStats, float, _MetricsDelta]:
-    """Evaluate one chunk in a worker.
+_ChunkOutcome = Tuple[
+    List[CandidateResult], CacheStats, ReuseStats, float, _MetricsDelta
+]
+
+
+def _evaluate_chunk(context: _EvalContext, payload: Sequence[_Item]) -> _ChunkOutcome:
+    """Evaluate one chunk against ``context`` (worker-side).
 
     Returns (results, cache delta, reuse delta, cpu seconds, metrics
     delta); the metrics delta is empty unless the parent shipped
-    ``metrics_enabled=True``.
+    ``metrics_enabled=True``.  Workers are single-threaded, so
+    ``process_time`` is exactly the chunk's CPU share there.
     """
-    context = _WORKER_CONTEXT
-    assert context is not None, "worker used before initialisation"
     registry = get_metrics()
     metrics_before = registry.snapshot() if context.metrics_enabled else {}
     before = context.cache_stats().snapshot()
@@ -362,6 +373,25 @@ def _worker_chunk(
         cpu_s,
         metrics,
     )
+
+
+def _worker_chunk(payload: Sequence[_Item]) -> _ChunkOutcome:
+    """Chunk evaluator for the runner's *own* pool (fork-once context)."""
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before initialisation"
+    return _evaluate_chunk(context, payload)
+
+
+def _context_chunk(payload: Tuple[_EvalContext, Sequence[_Item]]) -> _ChunkOutcome:
+    """Self-contained chunk evaluator for *foreign* (shared) pools.
+
+    The context ships inside the payload, so a generic service pool — one
+    whose workers were not initialised with this runner's context — can
+    serve estimate chunks.  Costs a context pickle per chunk; worker-side
+    cache warmth does not persist between chunks.
+    """
+    context, items = payload
+    return _evaluate_chunk(context, items)
 
 
 class SweepRunner:
@@ -394,6 +424,11 @@ class SweepRunner:
         processes: worker processes; 1 (default) evaluates in-process.
         chunksize: candidates per pool task; ``None`` picks
             ``ceil(n / (4 * processes))``.
+        pool: a *shared* :class:`~repro.service.pool.ResilientPool` to
+            borrow instead of owning one (the service multiplexes every
+            job over a single pool).  Chunks then ship their own context
+            (:func:`_context_chunk`); the pool is never closed by this
+            runner and ``processes`` follows the pool's size.
     """
 
     def __init__(
@@ -409,6 +444,7 @@ class SweepRunner:
         batch: Optional[bool] = None,
         processes: int = 1,
         chunksize: Optional[int] = None,
+        pool: Optional[ResilientPool] = None,
     ):
         if processes < 1:
             raise EstimationError(f"processes must be >= 1: {processes}")
@@ -426,11 +462,21 @@ class SweepRunner:
             reuse=memo if reuse is None else reuse,
             batch=memo if batch is None else batch,
         )
-        self._processes = processes
+        if pool is not None:
+            self._pool = pool
+            self._own_pool = False
+            self._processes = max(1, pool.processes)
+        else:
+            self._pool = ResilientPool(
+                processes,
+                initializer=_worker_init,
+                initargs=(self._context,),
+                label="sweep",
+            )
+            self._own_pool = True
+            self._processes = processes
         self._chunksize = chunksize
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._pool_broken = False
-        self._report = SweepReport(processes=processes)
+        self._report = SweepReport(processes=self._processes)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -441,10 +487,9 @@ class SweepRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op for serial runners)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Shut the worker pool down (no-op for serial or borrowed pools)."""
+        if self._own_pool:
+            self._pool.close()
 
     @property
     def report(self) -> SweepReport:
@@ -462,6 +507,12 @@ class SweepRunner:
         self._context.seed(workflow, cluster)
 
     # -- evaluation --------------------------------------------------------------
+
+    @staticmethod
+    def _checked(payload, cancel: Optional[CancelCheck]):
+        """Pass ``payload`` through after polling the cancellation check."""
+        check_cancel(cancel)
+        return payload
 
     @staticmethod
     def _locality_key(item: _Item) -> Tuple[int, ...]:
@@ -483,13 +534,21 @@ class SweepRunner:
         )
 
     def evaluate(
-        self, candidates: Sequence[Union[Candidate, Workflow]]
+        self,
+        candidates: Sequence[Union[Candidate, Workflow]],
+        cancel: Optional[CancelCheck] = None,
     ) -> List[CandidateResult]:
         """Estimate every candidate; results in submission order.
 
         Infeasible candidates (estimation errors) are captured in their
         :class:`CandidateResult` rather than raised, so one broken grid
         point cannot abort a sweep.
+
+        ``cancel`` is polled between candidates/chunks (see
+        :data:`~repro.service.pool.CancelCheck`): a truthy return raises
+        :class:`~repro.errors.JobCancelledError` and queued pool work is
+        released; the check may instead raise its own typed error (the
+        service's cooperative deadlines).
         """
         t0 = time.perf_counter()
         tracer = get_tracer()
@@ -515,12 +574,17 @@ class SweepRunner:
             return []
 
         t1 = time.perf_counter()
-        if self._processes > 1 and len(items) > 1:
-            outcome = self._evaluate_parallel(items)
-        else:
-            outcome = None
-        if outcome is None:
-            outcome = self._evaluate_serial(items)
+        try:
+            if self._processes > 1 and len(items) > 1:
+                outcome = self._evaluate_parallel(items, cancel)
+            else:
+                outcome = None
+            if outcome is None:
+                outcome = self._evaluate_serial(items, cancel)
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span, error=type(exc).__name__)
+            raise
         results, cache_delta, reuse_delta, cpu_s, pooled = outcome
         report._phase("estimate", time.perf_counter() - t1)
 
@@ -552,6 +616,7 @@ class SweepRunner:
         candidates: Sequence[Union[Candidate, Workflow]],
         config=None,
         ensemble=None,
+        cancel: Optional[CancelCheck] = None,
     ) -> List["EnsembleResult"]:
         """Evaluate candidates *distributionally*: a replication ensemble
         of the ground-truth simulator per candidate, instead of one BOE
@@ -583,6 +648,7 @@ class SweepRunner:
             EnsembleResult,
             VariantSpec,
             _Accumulator,
+            serial_replication_chunk,
             simulate_replication_chunk,
         )
         from repro.simulator.engine import SimulationConfig
@@ -635,30 +701,40 @@ class SweepRunner:
                     (cand_idx, (variant, ens.base_seed, indices, ens.exemplars))
                 )
 
-        cpu0 = time.process_time()
+        # Parent CPU is accounted on the *thread* clock: with the shared
+        # service pool several jobs drive this loop concurrently from
+        # their own threads, and a process-wide clock would cross-attribute
+        # job A's parent work to job B.  Worker chunks report their own CPU
+        # (pooled chunks only — the serial fallback wrapper reports 0 since
+        # its work already lands on this thread's clock).
+        cpu0 = parent_cpu_clock()
         worker_cpu = 0.0
-        pooled = False
-        executor = (
-            self._ensure_pool()
+        pooled = (
+            self._pool.executor() is not None
             if self._processes > 1 and len(payloads) > 1
-            else None
+            else False
         )
-        if executor is not None:
-            outcomes = executor.map(
-                simulate_replication_chunk, [p for _, p in payloads]
+        if pooled:
+            outcomes = self._pool.run_chunks(
+                simulate_replication_chunk,
+                [p for _, p in payloads],
+                serial_fn=serial_replication_chunk,
+                cancel=cancel,
             )
-            pooled = True
         else:
-            outcomes = (simulate_replication_chunk(p) for _, p in payloads)
+            outcomes = (
+                serial_replication_chunk(self._checked(p, cancel))
+                for _, p in payloads
+            )
         for (cand_idx, _), (outputs, chunk_cpu, chunk_metrics) in zip(
             payloads, outcomes
         ):
             for _, record, trace in outputs:
                 accumulators[cand_idx].add(record, trace)
             worker_cpu += chunk_cpu
-            if pooled and chunk_metrics:
+            if chunk_metrics:
                 registry.merge(chunk_metrics)
-        cpu_s = (time.process_time() - cpu0) + (worker_cpu if pooled else 0.0)
+        cpu_s = (parent_cpu_clock() - cpu0) + worker_cpu
         wall_s = time.perf_counter() - t0
 
         results = []
@@ -733,15 +809,20 @@ class SweepRunner:
         )
 
     def _evaluate_serial(
-        self, items: Sequence[_Item]
+        self, items: Sequence[_Item], cancel: Optional[CancelCheck] = None
     ) -> Tuple[List[CandidateResult], CacheStats, ReuseStats, float, bool]:
         # In-process evaluation records into the parent's registry directly;
-        # no snapshot/merge round-trip needed.
+        # no snapshot/merge round-trip needed.  Parent CPU is thread time
+        # (see :func:`repro.service.pool.parent_cpu_clock`) so concurrent
+        # service jobs never cross-attribute each other's work.
         before = self._context.cache_stats().snapshot()
         reuse_before = self._context.reuse_stats().snapshot()
-        cpu0 = time.process_time()
-        results = [self._context.evaluate(*item) for item in items]
-        cpu_s = time.process_time() - cpu0
+        cpu0 = parent_cpu_clock()
+        results = []
+        for item in items:
+            check_cancel(cancel)
+            results.append(self._context.evaluate(*item))
+        cpu_s = parent_cpu_clock() - cpu0
         return (
             results,
             self._context.cache_stats().delta(before),
@@ -750,12 +831,32 @@ class SweepRunner:
             False,
         )
 
+    def _parent_chunk(self, items: Sequence[_Item]) -> _ChunkOutcome:
+        """Serial-fallback chunk evaluation in the parent process.
+
+        Used by :meth:`~repro.service.pool.ResilientPool.run_chunks` to
+        finish a batch after a worker crash.  Reports **zero** CPU and an
+        empty metrics delta: the work runs on the caller's thread, so the
+        surrounding ``parent_cpu_clock`` delta already accounts it and the
+        parent registry records counters directly — returning them again
+        would double-count.
+        """
+        before = self._context.cache_stats().snapshot()
+        reuse_before = self._context.reuse_stats().snapshot()
+        results = [self._context.evaluate(*item) for item in items]
+        return (
+            results,
+            self._context.cache_stats().delta(before),
+            self._context.reuse_stats().delta(reuse_before),
+            0.0,
+            {},
+        )
+
     def _evaluate_parallel(
-        self, items: Sequence[_Item]
+        self, items: Sequence[_Item], cancel: Optional[CancelCheck] = None
     ) -> Optional[Tuple[List[CandidateResult], CacheStats, ReuseStats, float, bool]]:
         """Fan chunks out over the pool; ``None`` falls back to serial."""
-        executor = self._ensure_pool()
-        if executor is None:
+        if self._pool.executor() is None:
             return None
         chunksize = self._chunksize or max(
             1, -(-len(items) // (4 * self._processes))
@@ -763,7 +864,17 @@ class SweepRunner:
         chunks = [
             items[i : i + chunksize] for i in range(0, len(items), chunksize)
         ]
-        cpu0 = time.process_time()
+        if self._own_pool:
+            # Fork-once workers hold the context already.
+            fn: Callable[[Any], _ChunkOutcome] = _worker_chunk
+            payloads: List[Any] = list(chunks)
+            serial_fn: Callable[[Any], _ChunkOutcome] = self._parent_chunk
+        else:
+            # Borrowed (service) pool: ship the context with every chunk.
+            fn = _context_chunk
+            payloads = [(self._context, chunk) for chunk in chunks]
+            serial_fn = lambda payload: self._parent_chunk(payload[1])  # noqa: E731
+        cpu0 = parent_cpu_clock()
         results: List[CandidateResult] = []
         cache_delta = CacheStats()
         reuse_delta = ReuseStats()
@@ -775,36 +886,18 @@ class SweepRunner:
             chunk_reuse,
             chunk_cpu,
             chunk_metrics,
-        ) in executor.map(_worker_chunk, chunks):
+        ) in self._pool.run_chunks(fn, payloads, serial_fn=serial_fn, cancel=cancel):
             results.extend(chunk_results)
             cache_delta.add(chunk_cache)
             reuse_delta.add(chunk_reuse)
             worker_cpu += chunk_cpu
             if chunk_metrics:
                 # Fold worker activity into the parent registry; chunks merge
-                # in submission order (executor.map preserves it), keeping
+                # in submission order (run_chunks preserves it), keeping
                 # gauge last-wins deterministic.
                 registry.merge(chunk_metrics)
-        cpu_s = (time.process_time() - cpu0) + worker_cpu
+        cpu_s = (parent_cpu_clock() - cpu0) + worker_cpu
         return results, cache_delta, reuse_delta, cpu_s, True
-
-    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
-        if self._pool_broken:
-            return None
-        if self._executor is None:
-            try:
-                # The context ships to workers once; an unpicklable source
-                # (closures, open handles) degrades to the serial path.
-                pickle.dumps(self._context)
-            except Exception:
-                self._pool_broken = True
-                return None
-            self._executor = ProcessPoolExecutor(
-                max_workers=self._processes,
-                initializer=_worker_init,
-                initargs=(self._context,),
-            )
-        return self._executor
 
 
 def default_processes(cap: int = 8) -> int:

@@ -26,7 +26,26 @@ from repro.workloads.tpch import QUERY_SPECS, all_queries, table_mb, tpch_query
 from repro.workloads.weblog import weblog_dag
 from repro.workloads.wordcount import wordcount
 
+
+def named_workflows(scale: float = 0.05):
+    """The named-workload catalogue the CLI and the service both serve.
+
+    Table III identifiers plus ``weblog`` (the Fig. 1 DAG), ``tpch`` (the
+    TPC-H Q5 join tree) and the Table I micro benchmarks, all at an
+    input-volume ``scale`` relative to the paper's setup.
+    """
+    from repro.units import gb
+
+    out = dict(table3_workflows(scale=scale))
+    out["weblog"] = weblog_dag()
+    out["tpch"] = tpch_query(5, dataset_mb=gb(80) * scale)
+    for micro in ("wc", "ts", "ts2r", "ts3r"):
+        out[micro] = micro_workflow(micro, input_mb=100_000.0 * scale)
+    return out
+
+
 __all__ = [
+    "named_workflows",
     "CatalogEntry",
     "GeneratorSpec",
     "QUERY_SPECS",

@@ -312,3 +312,85 @@ class TestResultSurface:
         assert result.quantile(1.0) == max(result.samples)
         assert result.ci[0] <= result.ci[1]
         assert result.ci_halfwidth >= 0
+
+
+# -- PR 7: crash recovery and cancellation -------------------------------------
+
+import os  # noqa: E402
+
+from repro.ensemble.engine import _evaluate_items as _real_evaluate_items  # noqa: E402
+
+#: Captured at import in the parent; forked pool workers inherit it, so a
+#: pid mismatch identifies worker processes in the crash rig.
+_PARENT_PID = os.getpid()
+
+
+def _crashing_evaluate_items(setup, items):
+    """Dies like an OOM-killed worker in children; real work in the parent."""
+    if os.getpid() != _PARENT_PID:
+        os._exit(3)
+    return _real_evaluate_items(setup, items)
+
+
+class TestCrashRecovery:
+    def test_worker_crash_falls_back_serial_bit_identical(
+        self, cluster, workflow, config, monkeypatch
+    ):
+        """The acceptance criterion: a crashed worker no longer raises out
+        of ``EnsembleRunner.run`` — the remaining replications complete
+        serially and every aggregate equals the all-serial run."""
+        serial = run_ensemble(
+            workflow, cluster, config,
+            EnsembleConfig(replications=8, exemplars=0),
+        )
+        registry = get_metrics()
+        registry.enable()
+        try:
+            before = (
+                registry.snapshot().get("pool.broken", {}).get("value", 0)
+            )
+            monkeypatch.setattr(
+                "repro.ensemble.engine._evaluate_items",
+                _crashing_evaluate_items,
+            )
+            crashed = run_ensemble(
+                workflow, cluster, config,
+                EnsembleConfig(replications=8, exemplars=0, processes=2),
+            )
+            broken = (
+                registry.snapshot().get("pool.broken", {}).get("value", 0)
+                - before
+            )
+        finally:
+            registry.disable()
+        assert broken >= 1
+        assert _aggregates(crashed) == _aggregates(serial)
+
+    def test_cancel_mid_run(self, cluster, workflow, config):
+        from repro.ensemble.engine import EnsembleRunner
+        from repro.errors import JobCancelledError
+
+        runner = EnsembleRunner(
+            cluster,
+            config=config,
+            ensemble=EnsembleConfig(replications=8, exemplars=0),
+        )
+        with pytest.raises(JobCancelledError):
+            runner.run(workflow, cancel=lambda: True)
+
+    def test_deadline_raises_through_run(self, cluster, workflow, config):
+        import time
+
+        from repro.ensemble.engine import EnsembleRunner
+        from repro.errors import JobTimeoutError
+        from repro.service.scheduler import deadline_checker
+
+        expired = deadline_checker(0.0)
+        time.sleep(0.005)
+        runner = EnsembleRunner(
+            cluster,
+            config=config,
+            ensemble=EnsembleConfig(replications=8, exemplars=0),
+        )
+        with pytest.raises(JobTimeoutError):
+            runner.run(workflow, cancel=expired)

@@ -175,3 +175,60 @@ class TestCliObservability:
     def test_tpch_workload_listed(self, capsys):
         assert main(["list"]) == 0
         assert "tpch" in capsys.readouterr().out
+
+
+class TestServiceCli:
+    """PR 7: `serve`/`call` plus the cooperative --deadline flags."""
+
+    def test_sweep_deadline_exceeded_exits_2(self, capsys):
+        code = main(
+            ["sweep", "wc", "--scale", "0.02",
+             "--workers", "4,6,8", "--deadline", "0"]
+        )
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_ensemble_deadline_exceeded_exits_2(self, capsys):
+        code = main(
+            ["ensemble", "wc", "--scale", "0.02",
+             "--replications", "8", "--deadline", "0"]
+        )
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_sweep_without_deadline_still_succeeds(self, capsys):
+        assert main(
+            ["sweep", "wc", "--scale", "0.02", "--workers", "4",
+             "--deadline", "300"]
+        ) == 0
+        assert "What-if" in capsys.readouterr().out
+
+    def test_call_against_running_service(self, obs_sandbox, capsys):
+        from repro.service import serve_in_thread
+
+        with serve_in_thread(scale=0.02, processes=1, job_workers=1) as handle:
+            assert main(["call", "/healthz", "--url", handle.url]) == 0
+            health = json.loads(capsys.readouterr().out)
+            assert health["ok"] is True
+
+            assert main(
+                ["call", "/estimate", "--url", handle.url,
+                 "--data", '{"workload": "wc"}']
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["ok"] and payload["total_time_s"] > 0
+
+    def test_call_unreachable_service_exits_2(self, capsys):
+        code = main(
+            ["call", "/healthz", "--url", "http://127.0.0.1:9"]
+        )
+        assert code == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_call_rejects_bad_json_data(self, capsys):
+        code = main(
+            ["call", "/estimate", "--url", "http://127.0.0.1:9",
+             "--data", "not-json"]
+        )
+        assert code == 2
+        assert "JSON" in capsys.readouterr().err

@@ -1,0 +1,1 @@
+"""Tests for the prediction-and-tuning service stack."""

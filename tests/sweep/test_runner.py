@@ -1,5 +1,7 @@
 """Tests for repro.sweep — the batched what-if evaluation layer."""
 
+import os
+import time
 from dataclasses import replace
 
 import pytest
@@ -10,12 +12,43 @@ from repro.core.boe import BOEModel
 from repro.core.distributions import TaskTimeDistribution
 from repro.core.estimator import BOESource, estimate_workflow
 from repro.dag import single_job_workflow
-from repro.errors import EstimationError
+from repro.ensemble.engine import _evaluate_items as _real_evaluate_items
+from repro.errors import EstimationError, JobCancelledError, JobTimeoutError
 from repro.mapreduce import StageKind
+from repro.obs.metrics import get_metrics
 from repro.sweep import Candidate, SweepRunner, default_processes
+from repro.sweep.runner import _evaluate_chunk as _real_evaluate_chunk
 from repro.units import gb
 from repro.workloads import terasort, wordcount
 from repro.workloads.tpch import tpch_query
+
+#: Captured at import in the parent process; forked pool workers inherit
+#: it, so a pid mismatch identifies worker processes in the crash rigs.
+_PARENT_PID = os.getpid()
+
+
+def _crashing_evaluate_chunk(context, payload):
+    """Estimator chunk rig: dies like an OOM-killed worker in children.
+
+    Pool workers resolve ``_worker_chunk`` by name and call the (patched)
+    ``_evaluate_chunk`` module global they inherited via fork; the parent's
+    serial paths never route through it, but the pid guard keeps the rig
+    harmless there regardless.
+    """
+    if os.getpid() != _PARENT_PID:
+        os._exit(3)
+    return _real_evaluate_chunk(context, payload)
+
+
+def _crashing_evaluate_items(setup, items):
+    """Replication chunk rig for ``simulate_candidates`` (same shape)."""
+    if os.getpid() != _PARENT_PID:
+        os._exit(3)
+    return _real_evaluate_items(setup, items)
+
+
+def _counter_value(registry, name):
+    return registry.snapshot().get(name, {}).get("value", 0)
 
 
 @pytest.fixture
@@ -367,3 +400,136 @@ class TestDistributionalSweep:
             b - a
             for a, b in zip(comparison.samples_a, comparison.samples_b)
         )
+
+
+class TestCrashAndCancellation:
+    """PR 7: worker death, cooperative cancellation, loud degradation."""
+
+    def test_worker_crash_completes_serially_bit_identical(
+        self, cluster, grid, monkeypatch
+    ):
+        """A crashed worker no longer raises out of ``evaluate``: the batch
+        finishes on the serial path, bit-identical to an all-serial run."""
+        serial = SweepRunner(cluster).evaluate(grid)
+        registry = get_metrics()
+        registry.enable()
+        try:
+            before = _counter_value(registry, "pool.broken")
+            monkeypatch.setattr(
+                "repro.sweep.runner._evaluate_chunk", _crashing_evaluate_chunk
+            )
+            with SweepRunner(cluster, processes=2, chunksize=2) as runner:
+                pooled = runner.evaluate(grid)
+            broken = _counter_value(registry, "pool.broken") - before
+        finally:
+            registry.disable()
+        assert broken >= 1
+        assert [(r.index, r.label, r.total_time_s) for r in pooled] == [
+            (r.index, r.label, r.total_time_s) for r in serial
+        ]
+
+    def test_simulate_candidates_survives_worker_crash(
+        self, cluster, small_ts, monkeypatch
+    ):
+        """The other acceptance path: replication chunks through the sweep
+        pool fall back serially and stay deterministic."""
+        from repro.ensemble import EnsembleConfig
+        from repro.mapreduce import SkewModel
+        from repro.simulator import FailureModel, SimulationConfig
+
+        config = SimulationConfig(
+            skew=SkewModel(sigma=0.3), failures=FailureModel(probability=0.05)
+        )
+        ensemble = EnsembleConfig(
+            replications=4, min_replications=4, exemplars=0
+        )
+        workflows = [
+            single_job_workflow(replace(small_ts, num_reducers=r))
+            for r in (10, 40)
+        ]
+        serial = SweepRunner(cluster).simulate_candidates(
+            workflows, config=config, ensemble=ensemble
+        )
+        registry = get_metrics()
+        registry.enable()
+        try:
+            before = _counter_value(registry, "pool.broken")
+            monkeypatch.setattr(
+                "repro.ensemble.engine._evaluate_items",
+                _crashing_evaluate_items,
+            )
+            with SweepRunner(cluster, processes=2) as runner:
+                pooled = runner.simulate_candidates(
+                    workflows, config=config, ensemble=ensemble
+                )
+            broken = _counter_value(registry, "pool.broken") - before
+        finally:
+            registry.disable()
+        assert broken >= 1
+        for a, b in zip(serial, pooled):
+            assert a.samples == b.samples
+            assert a.quantiles == b.quantiles
+            assert a.ci == b.ci
+
+    def test_unpicklable_source_warns_and_counts(self, cluster, grid, caplog):
+        """Satellite: the silent probe now logs WARNING and increments
+        ``pool.serial_fallback``."""
+
+        class Closure:
+            def __init__(self):
+                self.f = lambda x: x
+
+            def distribution(self, job, kind, delta, concurrent):
+                v = self.f(2.0)
+                return TaskTimeDistribution(mean=v, median=v, std=0.0, n=0)
+
+        registry = get_metrics()
+        registry.enable()
+        try:
+            before = _counter_value(registry, "pool.serial_fallback")
+            runner = SweepRunner(cluster, source=Closure(), processes=2)
+            with caplog.at_level("WARNING", logger="repro.service.pool"):
+                results = runner.evaluate(grid)
+            fallbacks = (
+                _counter_value(registry, "pool.serial_fallback") - before
+            )
+        finally:
+            registry.disable()
+        assert all(r.ok for r in results)
+        assert not runner.report.pool_used
+        assert fallbacks == 1
+        assert "does not pickle" in caplog.text
+
+    def test_cancel_mid_evaluate(self, cluster, grid):
+        polls = []
+
+        def cancel():
+            polls.append(1)
+            return len(polls) > 2
+
+        with pytest.raises(JobCancelledError):
+            SweepRunner(cluster).evaluate(grid, cancel=cancel)
+        assert 2 < len(polls) <= len(grid)
+
+    def test_deadline_raises_through_evaluate(self, cluster, grid):
+        from repro.service.scheduler import deadline_checker
+
+        expired = deadline_checker(0.0)
+        time.sleep(0.005)
+        with pytest.raises(JobTimeoutError):
+            SweepRunner(cluster).evaluate(grid, cancel=expired)
+
+    def test_cancel_mid_simulate_candidates(self, cluster, small_ts):
+        from repro.ensemble import EnsembleConfig
+
+        def cancel():
+            return True
+
+        with pytest.raises(JobCancelledError):
+            SweepRunner(cluster).simulate_candidates(
+                [single_job_workflow(small_ts)],
+                ensemble=EnsembleConfig(
+                    replications=4, min_replications=4, exemplars=0
+                ),
+                cancel=cancel,
+            )
