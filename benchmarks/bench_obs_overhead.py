@@ -17,6 +17,14 @@ the simulator's hot loops, so the contract it must keep is twofold:
   to be bit-identical (exact ``==``) to the disabled run, at the
   ``bench_engine_scale`` full-size workload (>= 10k tasks).
 
+The same contract extends to the service request path
+(``DagService.handle``): with tracing and metrics disabled a request must
+not mint trace ids, open spans, record latency histograms or SLO samples —
+``test_obs_request_path_*`` interleaves disabled A/B batches over a warm
+service and requires the same median agreement, then proves the enabled
+path returns bit-identical estimates (and that both match a direct
+``estimate_workflow`` call).
+
 One ``BENCH`` JSON line per configuration tracks the overhead trajectory
 from PR to PR.
 """
@@ -158,3 +166,146 @@ def test_obs_overhead_full():
     row = _bench(FULL_WORKERS)
     emit(_render([row]))
     assert row["tasks"] >= 10_000, row
+
+
+# -- the service request path ------------------------------------------------------
+
+#: Cluster sizes cycled through the request sequence (cache keys differ).
+REQUEST_WORKERS = (4, 8, 16)
+#: Request-sequence repetitions per timed pass — sized so one pass is
+#: milliseconds, not microseconds, or scheduler noise dominates the ratio.
+REQUEST_CALLS_FULL = 500
+REQUEST_CALLS_SMOKE = 5
+#: Timed passes per batch (cached requests are cheap, so more reps than
+#: the simulator bench cost almost nothing and damp the noise further).
+REQUEST_REPS = 7
+
+
+def _request_sequence(service):
+    """One fixed mixed-request pass: three estimates + a health check."""
+    responses = []
+    for workers in REQUEST_WORKERS:
+        responses.append(
+            service.handle(
+                "POST", "/estimate", {"workload": "wc", "workers": workers}
+            )
+        )
+    responses.append(service.handle("GET", "/healthz", {}))
+    return responses
+
+
+def _estimate_times(responses) -> dict:
+    """``{workers: total_time_s}`` of the estimate responses in a pass."""
+    out = {}
+    for workers, (status, payload) in zip(REQUEST_WORKERS, responses):
+        assert status == 200, (status, payload)
+        out[workers] = payload["total_time_s"]
+    return out
+
+
+def _time_requests(service, calls: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        _request_sequence(service)
+    return time.perf_counter() - t0
+
+
+def _bench_request_path(calls: int, enforce_ratio: bool = True) -> dict:
+    from repro.service.server import DagService
+
+    # --- disabled A/B over a warm service -------------------------------
+    _obs_off()
+    service = DagService(processes=1, job_workers=1, scale=0.02)
+    try:
+        disabled_first = _request_sequence(service)  # warm cache/catalogue
+        batch_a, batch_b = [], []
+        for _ in range(REQUEST_REPS):
+            batch_a.append(_time_requests(service, calls))
+            batch_b.append(_time_requests(service, calls))
+        # Structural no-op proof: no spans, no metrics, no trace ids, no
+        # SLO samples while disabled.
+        assert get_tracer().span_count == 0
+        assert get_metrics().snapshot() == {}
+        assert service.slo.snapshot()["endpoints"] == {}
+        status, _, trace_id = service.handle_http("GET", "/healthz", {})
+        assert status == 200 and trace_id is None
+    finally:
+        service.close()
+    disabled_times = _estimate_times(disabled_first)
+
+    # --- the disabled service must equal the library directly ------------
+    from repro.core.estimator import estimate_workflow
+    from repro.workloads import named_workflows
+
+    workflow = named_workflows(0.02)["wc"]
+    for workers, served_time in disabled_times.items():
+        direct = estimate_workflow(
+            workflow, Cluster(node=PAPER_NODE, workers=workers, name=f"{workers}w")
+        )
+        assert direct.total_time == served_time, (workers, direct.total_time)
+
+    # --- enabled run: identical estimates, telemetry present -------------
+    enable_tracing()
+    get_metrics().enable()
+    service = DagService(processes=1, job_workers=1, scale=0.02)
+    try:
+        enabled_first = _request_sequence(service)
+        enabled_wall = _time_requests(service, calls)
+        enabled_times = _estimate_times(enabled_first)
+        assert get_tracer().span_count > 0
+        snapshot = get_metrics().snapshot()
+        assert any(
+            key.startswith("service.request_latency{") for key in snapshot
+        ), sorted(snapshot)
+        assert service.slo.snapshot()["endpoints"], "SLO window empty"
+    finally:
+        service.close()
+    _obs_off()
+    assert enabled_times == disabled_times, (enabled_times, disabled_times)
+
+    med_a = statistics.median(batch_a)
+    med_b = statistics.median(batch_b)
+    ratio = max(med_a, med_b) / min(med_a, med_b)
+    row = {
+        "bench": "obs_request_path",
+        "requests_per_pass": calls * (len(REQUEST_WORKERS) + 1),
+        "disabled_a_s": round(med_a, 4),
+        "disabled_b_s": round(med_b, 4),
+        "ab_ratio": round(ratio, 4),
+        "enabled_wall_s": round(enabled_wall, 4),
+        "enabled_ratio": round(enabled_wall / min(med_a, med_b), 4),
+        "estimates_identical": enabled_times == disabled_times,
+    }
+    print("BENCH " + json.dumps(row))
+    if enforce_ratio:
+        assert ratio <= MAX_DISABLED_OVERHEAD, row
+    return row
+
+
+def _render_request(row) -> str:
+    return render_table(
+        ["req/pass", "disabled A (s)", "disabled B (s)", "A/B ratio",
+         "enabled (s)", "bit-identical"],
+        [
+            [
+                row["requests_per_pass"],
+                f"{row['disabled_a_s']:.4f}",
+                f"{row['disabled_b_s']:.4f}",
+                f"{row['ab_ratio']:.3f}",
+                f"{row['enabled_wall_s']:.4f}",
+                "yes" if row["estimates_identical"] else "NO",
+            ]
+        ],
+        title="Service request path: disabled A/B stability + enabled parity",
+    )
+
+
+def test_obs_request_path_smoke():
+    """CI-sized request-path check: disabled no-op structure + parity."""
+    row = _bench_request_path(REQUEST_CALLS_SMOKE, enforce_ratio=False)
+    emit(_render_request(row))
+
+
+def test_obs_request_path_full():
+    row = _bench_request_path(REQUEST_CALLS_FULL)
+    emit(_render_request(row))

@@ -19,7 +19,11 @@ Sub-commands mirror the library's main entry points:
 * ``repro-dag serve``    — run the asyncio HTTP/JSON prediction service
   (estimate / sweep / ensemble / metrics / trace endpoints, one shared
   crash-tolerant process pool — see ``docs/service.md``);
-* ``repro-dag call``     — one JSON request against a running service;
+* ``repro-dag call``     — one request against a running service
+  (``--format table|prom`` renders metrics payloads; ``call trace <id>``
+  fetches one request's flame);
+* ``repro-dag top``      — live per-endpoint SLO view (``GET /status``)
+  of a running service;
 * ``repro-dag list``     — show the available named workloads.
 
 Named workloads are the Table III identifiers (``WC-Q5``, ``TS-Q21``,
@@ -241,10 +245,98 @@ def _cmd_call(args: argparse.Namespace) -> int:
             raise ReproError("--data must be a JSON object")
     else:
         params = {}
+    path = "/" + args.path.lstrip("/")
+    if args.arg is not None:
+        # `repro-dag call trace <id>` / `call jobs <id>` convenience.
+        path = path.rstrip("/") + "/" + args.arg
     method = args.method or ("POST" if args.data is not None else "GET")
-    payload = ServiceClient(args.url).request(method.upper(), args.path, params)
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    client = ServiceClient(args.url)
+    payload = client.request(method.upper(), path, params)
+    if args.format == "table":
+        from repro.obs import render_snapshot
+
+        if "metrics" not in payload:
+            raise ReproError(
+                "--format table renders a metrics payload; call /metrics"
+            )
+        rendered = render_snapshot(payload["metrics"])
+    elif args.format == "prom":
+        from repro.obs import to_prometheus
+
+        if "text" in payload:  # server already rendered (?format=prom)
+            rendered = str(payload["text"]).rstrip("\n")
+        elif "metrics" in payload:
+            rendered = to_prometheus(payload["metrics"]).rstrip("\n")
+        else:
+            raise ReproError(
+                "--format prom renders a metrics payload; call /metrics"
+            )
+    elif "text" in payload and "content_type" in payload:
+        # A text response (e.g. /metrics?format=prom) passes through raw.
+        rendered = str(payload["text"]).rstrip("\n")
+    else:
+        rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    if client.last_trace_id:
+        print(f"trace id : {client.last_trace_id}", file=sys.stderr)
     return 0
+
+
+def _render_status(status: Dict) -> str:
+    slo = status.get("slo", {})
+    pool = status.get("pool", {})
+    rows = [
+        [
+            endpoint,
+            stats["count"],
+            stats["errors"],
+            percentage(stats["error_rate"]) if stats["count"] else "-",
+            f"{stats['p50'] * 1000:.1f}",
+            f"{stats['p95'] * 1000:.1f}",
+            f"{stats['p99'] * 1000:.1f}",
+            f"{stats['max'] * 1000:.1f}",
+        ]
+        for endpoint, stats in sorted(slo.get("endpoints", {}).items())
+    ]
+    header = (
+        f"uptime {status.get('uptime_s', 0.0):.0f}s — "
+        f"window {slo.get('window_s', 0.0):.0f}s — "
+        f"pool: {pool.get('processes', '?')} processes"
+        f"{' BROKEN' if pool.get('broken') else ''}"
+        f"{' serial-only' if pool.get('serial_only') else ''}"
+    )
+    if not rows:
+        return header + "\nno requests in the window yet"
+    return header + "\n" + render_table(
+        ["endpoint", "n", "err", "err%", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        rows,
+        title="service SLO (sliding window)",
+    )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    iterations = 1 if args.once else args.iterations
+    polls = 0
+    while True:
+        print(_render_status(client.status()))
+        polls += 1
+        if iterations and polls >= iterations:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+        print()
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
@@ -689,15 +781,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent sweep/ensemble jobs (default 2)")
     p.set_defaults(func=_cmd_serve)
 
-    p = sub.add_parser("call", help="one JSON request against a running service")
+    p = sub.add_parser("call", help="one request against a running service")
     p.add_argument("path", help="endpoint path, e.g. /healthz or /estimate")
+    p.add_argument("arg", nargs="?", default=None,
+                   help="optional path suffix: `call trace <id>` fetches "
+                        "one request's flame, `call jobs <id>` one job")
     p.add_argument("--url", default="http://127.0.0.1:8349",
                    help="service base URL (default http://127.0.0.1:8349)")
     p.add_argument("--data", default=None,
                    help="JSON object of request parameters")
     p.add_argument("--method", default=None,
                    help="HTTP method (default: POST with --data, else GET)")
+    p.add_argument("--format", choices=["json", "table", "prom"],
+                   default="json",
+                   help="render metrics payloads as a table or Prometheus "
+                        "text instead of JSON")
+    p.add_argument("--out", default=None,
+                   help="write the response to a file instead of stdout "
+                        "(e.g. a /trace/<id> flame for Perfetto)")
     p.set_defaults(func=_cmd_call)
+
+    p = sub.add_parser(
+        "top", help="live per-endpoint SLO view of a running service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8349",
+                   help="service base URL (default http://127.0.0.1:8349)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N polls (default 0 = run until Ctrl-C)")
+    p.add_argument("--once", action="store_true",
+                   help="poll GET /status once and exit")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("fig4", help="reproduce the Fig. 4 worked example")
     p.set_defaults(func=_cmd_fig4)

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 from repro.cluster.cluster import Cluster
 from repro.dag.workflow import Workflow
 from repro.errors import SpecificationError
+from repro.obs.context import clear_context
 from repro.obs.metrics import get_metrics, snapshot_delta
 from repro.obs.tracer import get_tracer
 from repro.service.pool import (
@@ -342,6 +343,7 @@ class _EnsembleSetup:
     base_seed: int
     keep_trace_below: int
     metrics_enabled: bool
+    trace_enabled: bool = False
 
 
 _WORKER_SETUP: Optional[_EnsembleSetup] = None
@@ -351,14 +353,32 @@ _Item = Tuple[int, int]
 
 _MetricsDelta = Dict[str, Dict[str, Any]]
 
+#: Picklable span rows (:meth:`repro.obs.tracer.Tracer.export_since`).
+_SpanRows = List[Dict[str, Any]]
+
+#: What every pooled chunk evaluator returns.
+_ChunkOutcome = Tuple[
+    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
+    float,
+    _MetricsDelta,
+    _SpanRows,
+]
+
 
 def _ensemble_worker_init(setup: _EnsembleSetup) -> None:
     global _WORKER_SETUP
     _WORKER_SETUP = setup
+    # Forked workers inherit the submitting thread's request context and
+    # open-span stack; start trace-clean so worker spans stay unclaimed
+    # until the parent stamps the right trace id at ingest time.
+    clear_context()
+    get_tracer().clear()
     if setup.metrics_enabled:
         # Arm the worker registry before the first simulation constructs
         # its instruments (hooks bind at construction time).
         get_metrics().enable()
+    if setup.trace_enabled:
+        get_tracer().enable()
 
 
 def _evaluate_items(
@@ -376,80 +396,87 @@ def _evaluate_items(
     return out
 
 
-def _ensemble_chunk(
-    items: Sequence[_Item],
-) -> Tuple[
-    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
-    float,
-    _MetricsDelta,
-]:
-    """Evaluate one chunk in a pool worker; ships records + telemetry home."""
-    setup = _WORKER_SETUP
-    assert setup is not None, "ensemble worker used before initialisation"
+def _worker_chunk_telemetry(
+    setup: _EnsembleSetup, items: Sequence[_Item]
+) -> _ChunkOutcome:
+    """Worker-side chunk evaluation with the full telemetry envelope.
+
+    Captures the chunk's CPU share, metrics delta (when the parent armed
+    ``metrics_enabled``) and tracer spans (when the parent armed
+    ``trace_enabled``): the per-replication simulator spans are wrapped in
+    one ``ensemble.chunk`` span and exported as picklable rows for the
+    parent to :meth:`~repro.obs.tracer.Tracer.ingest`.
+    """
     registry = get_metrics()
     before = registry.snapshot() if setup.metrics_enabled else {}
+    tracer = get_tracer()
+    if setup.trace_enabled and not tracer.enabled:
+        # Foreign pools (the shared service pool) may not have armed the
+        # worker tracer at init; the setup knows the parent wants spans.
+        tracer.enable()
+    capture = setup.trace_enabled and tracer.enabled
+    span_mark = tracer.span_count if capture else 0
+    span = (
+        tracer.begin("ensemble.chunk", replications=len(items))
+        if capture
+        else None
+    )
     cpu0 = time.process_time()
     outputs = _evaluate_items(setup, items)
     cpu_s = time.process_time() - cpu0
+    tracer.finish(span)
+    spans = tracer.export_since(span_mark) if capture else []
     metrics = (
         snapshot_delta(registry.snapshot(), before)
         if setup.metrics_enabled
         else {}
     )
-    return outputs, cpu_s, metrics
+    return outputs, cpu_s, metrics, spans
+
+
+def _ensemble_chunk(items: Sequence[_Item]) -> _ChunkOutcome:
+    """Evaluate one chunk in a pool worker; ships records + telemetry home."""
+    setup = _WORKER_SETUP
+    assert setup is not None, "ensemble worker used before initialisation"
+    return _worker_chunk_telemetry(setup, items)
 
 
 def simulate_replication_chunk(
     payload: Tuple[VariantSpec, int, Tuple[int, ...], int],
-) -> Tuple[
-    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
-    float,
-    _MetricsDelta,
-]:
+) -> _ChunkOutcome:
     """Self-contained chunk evaluator for *foreign* pools.
 
     Unlike :func:`_ensemble_chunk` this carries its whole context in the
     payload, so any live :class:`~concurrent.futures.ProcessPoolExecutor`
     (e.g. a :class:`~repro.sweep.SweepRunner`'s estimator pool) can serve
-    replication work without being rebuilt.  Metrics deltas are captured
-    whenever the worker registry is armed, and merged by the caller
-    through the obs ``merge()`` path.
+    replication work without being rebuilt.  Metrics deltas and tracer
+    spans are captured whenever the worker's registry/tracer is armed
+    (whichever pool initialised this worker decided that), and folded in
+    by the caller through the obs ``merge()``/``ingest()`` paths.
     """
     variant, base_seed, indices, keep_trace_below = payload
     registry = get_metrics()
-    before = registry.snapshot() if registry.enabled else {}
-    cpu0 = time.process_time()
-    outputs = _evaluate_items(
-        _EnsembleSetup(
-            variants=(variant,),
-            base_seed=base_seed,
-            keep_trace_below=keep_trace_below,
-            metrics_enabled=registry.enabled,
-        ),
-        [(0, index) for index in indices],
+    setup = _EnsembleSetup(
+        variants=(variant,),
+        base_seed=base_seed,
+        keep_trace_below=keep_trace_below,
+        metrics_enabled=registry.enabled,
+        trace_enabled=get_tracer().enabled,
     )
-    cpu_s = time.process_time() - cpu0
-    metrics = (
-        snapshot_delta(registry.snapshot(), before) if registry.enabled else {}
-    )
-    return outputs, cpu_s, metrics
+    return _worker_chunk_telemetry(setup, [(0, index) for index in indices])
 
 
 def serial_replication_chunk(
     payload: Tuple[VariantSpec, int, Tuple[int, ...], int],
-) -> Tuple[
-    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
-    float,
-    _MetricsDelta,
-]:
+) -> _ChunkOutcome:
     """Parent-side serial twin of :func:`simulate_replication_chunk`.
 
     Used as the crash/cancellation fallback when a chunk cannot (or should
-    not) ride a pool.  Reports **zero** CPU and an empty metrics delta:
-    the work runs on the caller's own thread, so the caller's
-    ``parent_cpu_clock`` delta already accounts the CPU and the parent
-    registry records counters directly — shipping them again would
-    double-count.
+    not) ride a pool.  Reports **zero** CPU, an empty metrics delta and no
+    span rows: the work runs on the caller's own thread, so the caller's
+    ``parent_cpu_clock`` delta already accounts the CPU, and the parent
+    registry/tracer record counters and spans directly — shipping them
+    again would double-count.
     """
     variant, base_seed, indices, keep_trace_below = payload
     outputs = _evaluate_items(
@@ -461,16 +488,10 @@ def serial_replication_chunk(
         ),
         [(0, index) for index in indices],
     )
-    return outputs, 0.0, {}
+    return outputs, 0.0, {}, []
 
 
-def _setup_chunk(
-    payload: Tuple[_EnsembleSetup, Sequence[_Item]],
-) -> Tuple[
-    List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
-    float,
-    _MetricsDelta,
-]:
+def _setup_chunk(payload: Tuple[_EnsembleSetup, Sequence[_Item]]) -> _ChunkOutcome:
     """Self-contained chunk evaluator for *foreign* (shared) pools.
 
     The setup ships inside the payload, so a generic service pool — one
@@ -478,17 +499,7 @@ def _setup_chunk(
     serve replication chunks.  Costs a setup pickle per chunk.
     """
     setup, items = payload
-    registry = get_metrics()
-    before = registry.snapshot() if setup.metrics_enabled else {}
-    cpu0 = time.process_time()
-    outputs = _evaluate_items(setup, items)
-    cpu_s = time.process_time() - cpu0
-    metrics = (
-        snapshot_delta(registry.snapshot(), before)
-        if setup.metrics_enabled
-        else {}
-    )
-    return outputs, cpu_s, metrics
+    return _worker_chunk_telemetry(setup, items)
 
 
 class _ReplicationDriver:
@@ -557,17 +568,12 @@ class _ReplicationDriver:
         self.cpu_time_s += parent_cpu_clock() - cpu0
         return iter(outputs)
 
-    def _serial_chunk(
-        self, items: Sequence[_Item]
-    ) -> Tuple[
-        List[Tuple[int, ReplicationRecord, Optional[SimulationResult]]],
-        float,
-        _MetricsDelta,
-    ]:
+    def _serial_chunk(self, items: Sequence[_Item]) -> _ChunkOutcome:
         # Crash-fallback chunk run in the parent: zero CPU / empty metrics
-        # (the surrounding thread-clock delta and the parent registry
-        # already account this work directly).
-        return _evaluate_items(self._setup, items), 0.0, {}
+        # / no spans (the surrounding thread-clock delta, the parent
+        # registry and the parent tracer already account this work
+        # directly).
+        return _evaluate_items(self._setup, items), 0.0, {}, []
 
     def _run_pooled(
         self, items: Sequence[_Item], cancel: Optional[CancelCheck] = None
@@ -591,6 +597,7 @@ class _ReplicationDriver:
             payloads = [(self._setup, chunk) for chunk in chunks]
             serial_fn = lambda payload: self._serial_chunk(payload[1])  # noqa: E731
         registry = get_metrics()
+        tracer = get_tracer()
         # Parent CPU on the *thread* clock: concurrent service jobs drive
         # this loop from their own threads, and a process-wide clock would
         # attribute job A's parent work to job B (the old process_time bug).
@@ -598,13 +605,18 @@ class _ReplicationDriver:
         outputs: List[
             Tuple[int, ReplicationRecord, Optional[SimulationResult]]
         ] = []
-        for chunk_out, chunk_cpu, chunk_metrics in self._pool.run_chunks(
+        for chunk_out, chunk_cpu, chunk_metrics, chunk_spans in self._pool.run_chunks(
             fn, payloads, serial_fn=serial_fn, cancel=cancel
         ):
             outputs.extend(chunk_out)
             self.cpu_time_s += chunk_cpu
             if chunk_metrics:
                 registry.merge(chunk_metrics)
+            if chunk_spans:
+                # Re-anchor worker spans under the open ``ensemble.run``
+                # span (this runs on the run's thread); inside the service
+                # the active request context stamps its trace id too.
+                tracer.ingest(chunk_spans)
         self.cpu_time_s += parent_cpu_clock() - cpu0
         self.pool_used = True
         return iter(outputs)
@@ -675,6 +687,7 @@ class EnsembleRunner:
             base_seed=ens.base_seed,
             keep_trace_below=ens.exemplars,
             metrics_enabled=registry.enabled,
+            trace_enabled=tracer.enabled,
         )
         early_stopped = False
         with _ReplicationDriver(

@@ -12,6 +12,12 @@ renders both onto inspectable surfaces:
   a :class:`~repro.simulator.trace.SimulationResult` (and tracer spans).
 * :mod:`repro.obs.attribution` — the per-state ``p_X`` bottleneck table
   joining BOE utilisations with observed state occupancy.
+* :mod:`repro.obs.context` — the per-request ``trace_id`` carrier
+  (contextvar + logging filter) the service threads through every span.
+* :mod:`repro.obs.exposition` — Prometheus text rendering of a metrics
+  snapshot, plus the strict parser CI uses to validate it.
+* :mod:`repro.obs.slo` — sliding-window per-endpoint latency/error
+  statistics behind ``GET /status`` and ``repro-dag top``.
 * :mod:`repro.obs.logsetup` — stdlib ``logging`` wiring for the package.
 
 The tracer/metrics/logging primitives import eagerly (they are leaves the
@@ -23,17 +29,29 @@ instrumented — an eager import here would be circular.
 See ``docs/observability.md`` for the guided tour.
 """
 
+from repro.obs.context import (
+    RequestContext,
+    TraceContextFilter,
+    current_context,
+    current_trace_id,
+    new_trace_id,
+    request_context,
+)
+from repro.obs.exposition import parse_prometheus, to_prometheus
 from repro.obs.logsetup import configure_logging, package_logger
 from repro.obs.metrics import (
+    BucketHistogram,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
+    labeled_name,
     render_snapshot,
     set_metrics,
     snapshot_delta,
 )
+from repro.obs.slo import SloTracker
 from repro.obs.tracer import (
     Span,
     Tracer,
@@ -52,6 +70,7 @@ _LAZY = {
     "attribute_bottlenecks": "repro.obs.attribution",
     "simulation_events": "repro.obs.export",
     "to_chrome_trace": "repro.obs.export",
+    "trace_flame": "repro.obs.export",
     "validate_trace_events": "repro.obs.export",
     "write_trace": "repro.obs.export",
 }
@@ -77,15 +96,27 @@ __all__ = [
     "attribute_bottlenecks",
     "simulation_events",
     "to_chrome_trace",
+    "trace_flame",
     "validate_trace_events",
     "write_trace",
     "configure_logging",
     "package_logger",
+    "RequestContext",
+    "TraceContextFilter",
+    "current_context",
+    "current_trace_id",
+    "new_trace_id",
+    "request_context",
+    "parse_prometheus",
+    "to_prometheus",
+    "SloTracker",
+    "BucketHistogram",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "labeled_name",
     "render_snapshot",
     "set_metrics",
     "snapshot_delta",

@@ -38,6 +38,7 @@ from repro.simulator.trace import SimulationResult, TaskTrace
 __all__ = [
     "simulation_events",
     "to_chrome_trace",
+    "trace_flame",
     "write_trace",
     "validate_trace_events",
 ]
@@ -263,6 +264,101 @@ def to_chrome_trace(
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": other,
+    }
+
+
+def trace_flame(trace_id: str, tracer: Optional[Tracer] = None) -> Optional[dict]:
+    """The flame of one request: every span tagged with ``trace_id``.
+
+    With request tracing active (:mod:`repro.obs.context`), a single HTTP
+    request leaves spans on the handler thread, the scheduler's job
+    thread, and — ingested — inside pool workers, all stamped with the
+    request's trace id.  This assembles them into a standalone Chrome
+    trace document: one process, one lane per originating thread (worker
+    chunks keep their synthetic ingest lanes, named ``worker chunk N``),
+    timestamps relative to the earliest span so the ruler starts at 0.
+
+    Returns ``None`` when no span carries ``trace_id`` (unknown or
+    evicted trace — the service maps this to 404).
+    """
+    if tracer is None:
+        tracer = get_tracer()
+    spans = [s for s in tracer.spans_for_trace(trace_id) if s.t_end is not None]
+    if not spans:
+        return None
+    epoch = min(s.t_start for s in spans)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACER_PID,
+            "tid": 0,
+            "args": {"name": f"request {trace_id}"},
+        }
+    ]
+    # Real threads first (handler, job workers) in first-seen order, then
+    # ingested worker-chunk lanes (negative synthetic ids, newest last).
+    real = sorted(
+        {s.thread_id for s in spans if s.thread_id >= 0},
+        key=lambda t: min(s.t_start for s in spans if s.thread_id == t),
+    )
+    ingested = sorted(
+        (t for t in {s.thread_id for s in spans} if t < 0), reverse=True
+    )
+    tid_of: Dict[int, int] = {}
+    for idx, thread in enumerate(real):
+        tid_of[thread] = idx
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACER_PID,
+                "tid": idx,
+                "args": {"name": "handler" if idx == 0 else f"job thread {idx}"},
+            }
+        )
+    for n, thread in enumerate(ingested):
+        tid = len(real) + n
+        tid_of[thread] = tid
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACER_PID,
+                "tid": tid,
+                "args": {"name": f"worker chunk {n}"},
+            }
+        )
+    for span in sorted(spans, key=lambda s: (tid_of[s.thread_id], s.t_start)):
+        args: Dict[str, Any] = {
+            k: v if isinstance(v, (bool, int, float, str)) or v is None else str(v)
+            for k, v in span.attrs.items()
+        }
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args["cpu_ms"] = round(span.cpu_s * 1e3, 6)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": _sec_to_us(span.t_start - epoch),
+                "dur": _sec_to_us(span.wall_s),
+                "pid": TRACER_PID,
+                "tid": tid_of[span.thread_id],
+                "args": args,
+            }
+        )
+    duration = max(s.t_end for s in spans) - epoch
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_id,
+            "spans": len(spans),
+            "duration_s": duration,
+        },
     }
 
 

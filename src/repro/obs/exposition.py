@@ -1,0 +1,297 @@
+"""Prometheus text exposition of a metrics snapshot — and its inverse.
+
+:func:`to_prometheus` renders the plain-dict image produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` in the Prometheus text
+format (version 0.0.4), so ``GET /metrics?format=prom`` can be scraped by
+any standard collector.  The mapping:
+
+* metric names: dots become underscores (``service.requests`` →
+  ``service_requests``); labels ride from the snapshot image's
+  ``"labels"`` key as ``{k="v"}`` pairs with value escaping.
+* ``counter`` → ``counter``; ``gauge`` → ``gauge``.
+* summary-moment histograms (count/sum/min/max) → a ``summary`` family
+  with ``_count``/``_sum`` plus ``_min``/``_max`` gauges — the moments
+  are what the registry keeps, so that is what is exposed.
+* ``bucket_histogram`` → a real Prometheus ``histogram``: cumulative
+  ``_bucket{le="..."}`` series ending in ``le="+Inf"``, ``_count``,
+  ``_sum``.
+
+:func:`parse_prometheus` is the matching validator: a small, strict
+parser for the subset this module emits (CI uses it instead of an
+external ``promtool``).  It checks comment/sample syntax, ``# TYPE``
+consistency, histogram bucket monotonicity, and ``+Inf``/``_count``
+agreement, and returns the samples grouped by family for assertions.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import split_labeled_name
+
+__all__ = ["to_prometheus", "parse_prometheus", "PrometheusParseError"]
+
+
+class PrometheusParseError(ValueError):
+    """The exposition text violates the format :func:`to_prometheus` emits."""
+
+
+def _sanitize_name(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if not float(value).is_integer() else str(int(value))
+
+
+def to_prometheus(snapshot: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a registry snapshot in Prometheus text format.
+
+    Series of one family (same base name, different labels) are grouped
+    under a single ``# TYPE`` comment, as the format requires.  Output is
+    sorted by family then flat key, so the text is deterministic for a
+    given snapshot.
+    """
+    # family -> (prom type, [(flat key, image)])
+    families: Dict[str, Tuple[str, List[Tuple[str, Mapping[str, Any]]]]] = {}
+    for key in sorted(snapshot):
+        image = snapshot[key]
+        kind = image.get("type")
+        if kind == "counter":
+            prom_type = "counter"
+        elif kind == "gauge":
+            prom_type = "gauge"
+        elif kind == "histogram":
+            prom_type = "summary"
+        elif kind == "bucket_histogram":
+            prom_type = "histogram"
+        else:
+            continue
+        family = _sanitize_name(split_labeled_name(key))
+        entry = families.get(family)
+        if entry is None:
+            families[family] = (prom_type, [(key, image)])
+        elif entry[0] == prom_type:
+            entry[1].append((key, image))
+        # a family with conflicting types keeps the first-seen type and
+        # drops the stragglers — snapshot keys are sorted, so this is
+        # deterministic, and the registry never produces the situation.
+
+    lines: List[str] = []
+    for family in sorted(families):
+        prom_type, series = families[family]
+        lines.append(f"# TYPE {family} {prom_type}")
+        for _key, image in series:
+            labels = dict(image.get("labels") or {})
+            kind = image["type"]
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{family}{_format_labels(labels)} "
+                    f"{_format_value(float(image['value']))}"
+                )
+            elif kind == "histogram":
+                base = _format_labels(labels)
+                count = int(image["count"])
+                lines.append(f"{family}_count{base} {count}")
+                lines.append(
+                    f"{family}_sum{base} {_format_value(float(image['sum']))}"
+                )
+                if count:
+                    lines.append(
+                        f"{family}_min{base} "
+                        f"{_format_value(float(image['min']))}"
+                    )
+                    lines.append(
+                        f"{family}_max{base} "
+                        f"{_format_value(float(image['max']))}"
+                    )
+            elif kind == "bucket_histogram":
+                cumulative = 0
+                for bound, n in zip(image["bounds"], image["counts"]):
+                    cumulative += int(n)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(float(bound))
+                    lines.append(
+                        f"{family}_bucket{_format_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                total = int(image["count"])
+                lines.append(
+                    f"{family}_bucket{_format_labels(inf_labels)} {total}"
+                )
+                lines.append(f"{family}_count{_format_labels(labels)} {total}")
+                lines.append(
+                    f"{family}_sum{_format_labels(labels)} "
+                    f"{_format_value(float(image['sum']))}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+_TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)\s*$"
+)
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise PrometheusParseError(f"line {line_no}: bad sample value {text!r}")
+
+
+def _parse_labels(text: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        m = _LABEL_RE.match(text, pos)
+        if not m:
+            raise PrometheusParseError(
+                f"line {line_no}: bad label syntax in {{{text}}}"
+            )
+        raw = m.group("value")
+        labels[m.group("key")] = (
+            raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        pos = m.end()
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Dict[str, Any]]]:
+    """Parse and validate Prometheus exposition text.
+
+    Returns ``{family: [{"name", "labels", "value"}, ...]}`` keyed by the
+    declared ``# TYPE`` family names, with the suffixed samples
+    (``_bucket``/``_count``/``_sum``/``_min``/``_max``) attached to their
+    family.  Raises :class:`PrometheusParseError` on malformed lines,
+    samples without a preceding type declaration, non-monotonic histogram
+    buckets, or a missing/mismatched ``+Inf`` bucket.
+    """
+    families: Dict[str, List[Dict[str, Any]]] = {}
+    types: Dict[str, str] = {}
+    current: Optional[str] = None
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                m = _TYPE_RE.match(line)
+                if not m:
+                    raise PrometheusParseError(
+                        f"line {line_no}: malformed TYPE comment: {line!r}"
+                    )
+                name = m.group("name")
+                if name in types:
+                    raise PrometheusParseError(
+                        f"line {line_no}: duplicate TYPE for {name}"
+                    )
+                types[name] = m.group("type")
+                families[name] = []
+                current = name
+            continue  # HELP and other comments are permitted, uninterpreted
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise PrometheusParseError(f"line {line_no}: malformed sample: {line!r}")
+        name = m.group("name")
+        family = name
+        for suffix in ("_bucket", "_count", "_sum", "_min", "_max"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            raise PrometheusParseError(
+                f"line {line_no}: sample {name!r} has no preceding # TYPE"
+            )
+        if family != current:
+            raise PrometheusParseError(
+                f"line {line_no}: sample {name!r} outside its family block"
+            )
+        labels = _parse_labels(m.group("labels") or "", line_no)
+        families[family].append(
+            {
+                "name": name,
+                "labels": labels,
+                "value": _parse_value(m.group("value"), line_no),
+            }
+        )
+
+    for family, samples in families.items():
+        if types[family] != "histogram":
+            continue
+        # group bucket series by their non-`le` labels and check shape
+        groups: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+        for s in samples:
+            key = tuple(
+                sorted((k, v) for k, v in s["labels"].items() if k != "le")
+            )
+            if s["name"] == f"{family}_bucket":
+                le = s["labels"].get("le")
+                if le is None:
+                    raise PrometheusParseError(
+                        f"{family}: bucket sample without le label"
+                    )
+                groups.setdefault(key, []).append(
+                    (_parse_value(le, 0), s["value"])
+                )
+            elif s["name"] == f"{family}_count":
+                counts[key] = s["value"]
+        for key, buckets in groups.items():
+            ordered = sorted(buckets, key=lambda bv: bv[0])
+            values = [v for _le, v in ordered]
+            if any(b > a for a, b in zip(values[1:], values)):
+                raise PrometheusParseError(
+                    f"{family}: non-monotonic cumulative buckets for {dict(key)}"
+                )
+            if not ordered or ordered[-1][0] != math.inf:
+                raise PrometheusParseError(
+                    f"{family}: missing +Inf bucket for {dict(key)}"
+                )
+            expected = counts.get(key)
+            if expected is not None and ordered[-1][1] != expected:
+                raise PrometheusParseError(
+                    f"{family}: +Inf bucket {ordered[-1][1]} != "
+                    f"_count {expected} for {dict(key)}"
+                )
+    return families

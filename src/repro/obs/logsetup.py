@@ -18,7 +18,10 @@ __all__ = ["configure_logging", "package_logger"]
 #: Name of the package root logger every ``repro.*`` module logger rolls up to.
 ROOT_LOGGER = "repro"
 
-_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+#: ``trace_id`` is injected by :class:`repro.obs.context.TraceContextFilter`
+#: (attached to the handler below), so the field is always present: the
+#: active request's id inside a request, ``-`` outside one.
+_FORMAT = "%(asctime)s %(levelname)-7s [%(trace_id)s] %(name)s: %(message)s"
 
 
 def package_logger() -> logging.Logger:
@@ -47,10 +50,15 @@ def configure_logging(
         if not isinstance(numeric, int):
             raise ValueError(f"unknown log level: {level!r}")
         level = numeric
+    # Imported here, not at module top: context imports tracer, and this
+    # module must stay a leaf the rest of repro.obs can import freely.
+    from repro.obs.context import TraceContextFilter
+
     logger = package_logger()
     logger.setLevel(level)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    handler.addFilter(TraceContextFilter())
     handler.set_name("repro-cli")
     for existing in list(logger.handlers):
         if existing.get_name() == handler.get_name():

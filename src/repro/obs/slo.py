@@ -1,0 +1,111 @@
+"""Sliding-window SLO tracking: recent per-endpoint latency and errors.
+
+The bucket histograms in :mod:`repro.obs.metrics` answer "what has this
+process seen since it started" at bucket resolution; an operator watching
+``repro-dag top`` wants "how is the service doing *right now*" with exact
+percentiles.  :class:`SloTracker` keeps the raw ``(t, latency, error)``
+samples of the last ``window_s`` seconds per endpoint in a deque, prunes
+lazily on record and snapshot, and computes exact order-statistic
+quantiles from the sorted window — affordable because the window is
+small by construction (a bounded ``max_samples`` guards against bursts).
+
+The tracker is service-side state, not a registry instrument: it is
+windowed and non-mergeable, so it deliberately lives outside the
+snapshot/delta/merge pipeline.  ``GET /status`` serves its snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Tuple
+
+__all__ = ["SloTracker"]
+
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def _exact_quantile(ordered: list, q: float) -> float:
+    """Nearest-rank-with-interpolation quantile of a pre-sorted list."""
+    if not ordered:
+        return 0.0
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class SloTracker:
+    """Per-endpoint sliding-window latency/error statistics.
+
+    Args:
+        window_s: horizon in seconds; samples older than this fall out.
+        max_samples: per-endpoint cap so a request burst cannot grow the
+            window without bound (oldest samples drop first, which only
+            ever *shortens* the effective horizon).
+        clock: injectable monotonic clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        max_samples: int = 4096,
+        clock=time.monotonic,
+    ):
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._max_samples = int(max_samples)
+        # endpoint -> deque of (t, latency_s, is_error)
+        self._samples: Dict[str, Deque[Tuple[float, float, bool]]] = {}
+
+    def record(self, endpoint: str, latency_s: float, error: bool = False) -> None:
+        now = self._clock()
+        with self._lock:
+            window = self._samples.get(endpoint)
+            if window is None:
+                window = self._samples[endpoint] = deque(maxlen=self._max_samples)
+            window.append((now, float(latency_s), bool(error)))
+            self._prune(window, now)
+
+    def _prune(self, window: Deque[Tuple[float, float, bool]], now: float) -> None:
+        horizon = now - self.window_s
+        while window and window[0][0] < horizon:
+            window.popleft()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Exact window statistics per endpoint.
+
+        Returns ``{"window_s": ..., "endpoints": {endpoint: {count,
+        errors, error_rate, p50, p95, p99, max, mean}}}`` with latencies
+        in seconds.  Endpoints whose window emptied are omitted.
+        """
+        now = self._clock()
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            for endpoint in sorted(self._samples):
+                window = self._samples[endpoint]
+                self._prune(window, now)
+                if not window:
+                    continue
+                latencies = sorted(sample[1] for sample in window)
+                errors = sum(1 for sample in window if sample[2])
+                count = len(window)
+                out[endpoint] = {
+                    "count": count,
+                    "errors": errors,
+                    "error_rate": errors / count,
+                    "mean": sum(latencies) / count,
+                    "max": latencies[-1],
+                    **{
+                        name: _exact_quantile(latencies, q)
+                        for name, q in _QUANTILES
+                    },
+                }
+        return {"window_s": self.window_s, "endpoints": out}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()

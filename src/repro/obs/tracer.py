@@ -35,7 +35,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
     "Span",
@@ -45,8 +45,22 @@ __all__ = [
     "set_tracer",
     "enable_tracing",
     "disable_tracing",
+    "set_context_provider",
     "env_truthy",
 ]
+
+#: Installed by :mod:`repro.obs.context`; returns the active request
+#: context (an object with ``trace_id``/``span_id``) or ``None``.  Held at
+#: module level rather than per-tracer so tests swapping tracers keep the
+#: hook.  Consulted only on the *enabled* path — ``begin()`` returns before
+#: reading it when the tracer is off.
+_CONTEXT_PROVIDER: Optional[Callable[[], Any]] = None
+
+
+def set_context_provider(provider: Optional[Callable[[], Any]]) -> None:
+    """Install the request-context hook (see :mod:`repro.obs.context`)."""
+    global _CONTEXT_PROVIDER
+    _CONTEXT_PROVIDER = provider
 
 
 def env_truthy(name: str) -> bool:
@@ -175,6 +189,10 @@ class Tracer:
         self._spans: List[Span] = []
         self._dropped = 0
         self._next_id = 1
+        # Synthetic thread ids for ingested (worker-shipped) spans: one
+        # fresh negative lane per ingest call, so worker chunks never
+        # collide with real threads (or each other) in Perfetto tracks.
+        self._next_ingest_tid = -1
         self._lock = threading.Lock()
         self._local = threading.local()
         #: perf_counter origin used by exporters for relative timestamps.
@@ -227,6 +245,16 @@ class Tracer:
             threading.get_ident(),
             attrs,
         )
+        if _CONTEXT_PROVIDER is not None:
+            ctx = _CONTEXT_PROVIDER()
+            if ctx is not None:
+                # Tag every span opened inside a request with its trace id,
+                # and parent thread-root spans to the request's root span —
+                # the scheduler's job threads start with an empty stack, so
+                # without this their spans would float free of the request.
+                attrs.setdefault("trace_id", ctx.trace_id)
+                if parent is None and ctx.span_id is not None:
+                    span.parent_id = ctx.span_id
         stack.append(span)
         return span
 
@@ -272,6 +300,126 @@ class Tracer:
         with self._lock:
             self._spans.clear()
             self._dropped = 0
+        # Also forget per-thread open-span stacks.  A forked pool worker
+        # inherits the submitting thread's stack (possibly mid-span), and
+        # without this reset its own spans would parent to phantom ids.
+        # Threads still mid-span in *this* process are unaffected: finish()
+        # holds the span object directly and tolerates a missing stack
+        # entry.
+        self._local = threading.local()
+
+    # -- cross-process span shipping -------------------------------------------
+
+    def export_since(self, mark: int) -> List[dict]:
+        """Finished spans recorded after ``mark`` as picklable rows.
+
+        ``mark`` is a prior :attr:`span_count` (0 ships everything).  Wall
+        timestamps are converted to *absolute unix seconds* so a parent
+        process with a different ``perf_counter`` origin can re-anchor them
+        (:meth:`ingest`); CPU time ships as the scalar duration.  Pool
+        chunk evaluators use this to return their spans alongside the
+        metrics delta.
+        """
+        with self._lock:
+            spans = self._spans[mark:]
+            # perf_counter -> unix offset of *this* process, taken under the
+            # lock so every row in one export shares the same anchor.
+            offset = time.time() - time.perf_counter()
+            rows: List[dict] = []
+            for s in spans:
+                if s.t_end is None:  # pragma: no cover - open spans not stored
+                    continue
+                rows.append(
+                    {
+                        "name": s.name,
+                        "span_id": s.span_id,
+                        "parent_id": s.parent_id,
+                        "depth": s.depth,
+                        "t_start": s.t_start + offset,
+                        "t_end": s.t_end + offset,
+                        "cpu_s": s.cpu_s,
+                        "attrs": {
+                            k: v
+                            for k, v in s.attrs.items()
+                            if not k.startswith("__")
+                        },
+                    }
+                )
+        return rows
+
+    def ingest(
+        self,
+        rows: List[dict],
+        parent_id: Optional[int] = None,
+        trace_id: Optional[str] = None,
+    ) -> int:
+        """Adopt spans exported by another process (:meth:`export_since`).
+
+        Span ids are remapped to fresh ids in this tracer (intra-batch
+        parent links are preserved); rows whose parent is *outside* the
+        batch — a worker's top-level spans — re-parent under ``parent_id``,
+        defaulting to the innermost open span on the calling thread (the
+        runners ingest inside their batch span, so worker chunks nest
+        under it).  ``trace_id`` defaults to the active request context's,
+        stamping every ingested span into the current request's flame.
+        Timestamps are re-anchored to this process's ``perf_counter``
+        frame; recreated spans carry their CPU duration but a zero CPU
+        origin.  Returns the number of spans adopted (0 when disabled).
+        """
+        if not self._enabled or not rows:
+            return 0
+        if trace_id is None and _CONTEXT_PROVIDER is not None:
+            ctx = _CONTEXT_PROVIDER()
+            if ctx is not None:
+                trace_id = ctx.trace_id
+        if parent_id is None:
+            stack = self._stack()
+            if stack:
+                parent_id = stack[-1].span_id
+        with self._lock:
+            offset = time.time() - time.perf_counter()
+            lane = self._next_ingest_tid
+            self._next_ingest_tid -= 1
+            id_map: Dict[int, int] = {}
+            for row in rows:
+                id_map[row["span_id"]] = self._next_id
+                self._next_id += 1
+            adopted = 0
+            for row in rows:
+                attrs = dict(row.get("attrs") or {})
+                attrs["ingested"] = True
+                if trace_id is not None:
+                    # Overwrite, don't setdefault: the ingesting side owns
+                    # trace identity.  A worker row may carry a trace_id it
+                    # inherited by forking mid-request — stale by
+                    # definition, since workers never serve requests.
+                    attrs["trace_id"] = trace_id
+                row_parent = row.get("parent_id")
+                span = Span(
+                    row["name"],
+                    id_map[row["span_id"]],
+                    id_map.get(row_parent, parent_id),
+                    int(row.get("depth", 0)),
+                    lane,
+                    attrs,
+                )
+                span.t_start = float(row["t_start"]) - offset
+                span.t_end = float(row["t_end"]) - offset
+                span.cpu_start = 0.0
+                span.cpu_end = float(row.get("cpu_s", 0.0))
+                if len(self._spans) < self._max_spans:
+                    self._spans.append(span)
+                    adopted += 1
+                else:
+                    self._dropped += 1
+        return adopted
+
+    def spans_for_trace(self, trace_id: str) -> List[Span]:
+        """Finished spans whose ``trace_id`` attribute matches (a copy)."""
+        with self._lock:
+            return [
+                s for s in self._spans if s.attrs.get("trace_id") == trace_id
+            ]
 
     def to_events(self, pid: int = 0, process_name: str = "repro model") -> List[dict]:
         """Finished spans as Chrome trace-event ``X`` slices.

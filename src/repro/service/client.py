@@ -9,6 +9,13 @@ typed errors come back as the matching exceptions:
 :class:`~repro.errors.ServiceError` — all of them
 :class:`~repro.errors.ReproError`\\ s, so the CLI's exit-code-2 mapping
 applies unchanged.
+
+Tracing: every request forwards the active
+:class:`~repro.obs.context.RequestContext`'s trace id as
+``X-Repro-Trace-Id`` (so a traced caller's id spans the wire), and the
+server's echoed id is kept on :attr:`ServiceClient.last_trace_id` — feed
+it to :meth:`ServiceClient.flame` (``GET /trace/<id>``) to pull the flame
+of the request you just made.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Any, Dict, List, Optional
 from urllib.parse import urlsplit
 
 from repro.errors import JobCancelledError, JobTimeoutError, ServiceError
+from repro.obs.context import current_trace_id
 
 
 class ServiceClient:
@@ -31,6 +39,9 @@ class ServiceClient:
         self._host = split.hostname
         self._port = split.port or 80
         self._timeout = timeout
+        #: Trace id echoed by the server on the most recent request
+        #: (``None`` until a traced response arrives).
+        self.last_trace_id: Optional[str] = None
 
     def request(
         self,
@@ -38,20 +49,32 @@ class ServiceClient:
         path: str,
         params: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """One JSON round-trip; raises the typed error on failure statuses."""
+        """One JSON round-trip; raises the typed error on failure statuses.
+
+        Non-JSON success bodies (``/metrics?format=prom``) come back as
+        ``{"text": ..., "content_type": ...}``.
+        """
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
         try:
             body = json.dumps(params or {}).encode()
-            connection.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"},
-            )
+            headers = {"Content-Type": "application/json"}
+            caller_trace = current_trace_id()
+            if caller_trace is not None:
+                headers["X-Repro-Trace-Id"] = caller_trace
+            connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             raw = response.read()
+            echoed = response.getheader("X-Repro-Trace-Id")
+            if echoed:
+                self.last_trace_id = echoed
+            content_type = response.getheader("Content-Type", "") or ""
+            if response.status < 400 and "json" not in content_type:
+                return {
+                    "text": raw.decode("utf-8", "replace"),
+                    "content_type": content_type,
+                }
             try:
                 payload = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
@@ -106,5 +129,17 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self.request("GET", "/metrics")["metrics"]
 
+    def prom_metrics(self) -> str:
+        """The Prometheus text exposition of the service's metrics."""
+        return self.request("GET", "/metrics?format=prom")["text"]
+
     def trace(self) -> List[Dict[str, Any]]:
         return self.request("GET", "/trace")["spans"]
+
+    def flame(self, trace_id: str) -> Dict[str, Any]:
+        """One request's Chrome/Perfetto flame (``GET /trace/<id>``)."""
+        return self.request("GET", f"/trace/{trace_id}")
+
+    def status(self) -> Dict[str, Any]:
+        """Sliding-window SLO statistics (``GET /status``)."""
+        return self.request("GET", "/status")

@@ -20,7 +20,10 @@ module removes that redundancy in two layers:
   thread owns the runner, so its caches need no locking.
 
 Counters (armed registry only): ``service.estimate_requests``,
-``service.cache_hits``, ``service.coalesced``, ``service.batches``.
+``service.cache_hits``, ``service.coalesced``, ``service.batches``, plus the
+labeled family ``service.estimates{served=cache|coalesced|computed}``.  Each
+request also opens an ``estimate.request`` span on the calling thread, so
+estimate serving shows up inside the HTTP request's flame.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.core.distributions import Variant
 from repro.dag.workflow import Workflow
 from repro.errors import ServiceError
 from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 
 class EstimateKey(NamedTuple):
@@ -131,32 +135,44 @@ class EstimateService:
         registry = get_metrics()
         if registry.enabled:
             registry.counter("service.estimate_requests").inc()
-        key = EstimateKey(
-            hash(workflow),
-            hash(cluster if cluster is not None else self._cluster),
-            variant.value,
-        )
-        with self._cond:
-            if self._closed:
-                raise ServiceError("estimate service is closed")
-            hit = self._cache.get(key)
-            if hit is not None:
-                self._cache.move_to_end(key)
-                if registry.enabled:
-                    registry.counter("service.cache_hits").inc()
-                return dict(hit, served="cache")
-            future = self._inflight.get(key)
-            if future is not None:
-                served = "coalesced"
-                if registry.enabled:
-                    registry.counter("service.coalesced").inc()
-            else:
-                served = "computed"
-                future = Future()
-                self._inflight[key] = future
-                self._pending.append((key, workflow, cluster, variant))
-                self._cond.notify()
-        return dict(future.result(timeout), served=served)
+        # Request-thread span: the computation itself runs on the estimator
+        # thread (outside any one request's context, since a batch serves
+        # many), so this span is what places the estimate — and which path
+        # served it — inside the calling request's flame.
+        with get_tracer().span("estimate.request", variant=variant.value) as span:
+            key = EstimateKey(
+                hash(workflow),
+                hash(cluster if cluster is not None else self._cluster),
+                variant.value,
+            )
+            with self._cond:
+                if self._closed:
+                    raise ServiceError("estimate service is closed")
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._cache.move_to_end(key)
+                    if registry.enabled:
+                        registry.counter("service.cache_hits").inc()
+                        registry.labeled_counter(
+                            "service.estimates", served="cache"
+                        ).inc()
+                    span.set(served="cache")
+                    return dict(hit, served="cache")
+                future = self._inflight.get(key)
+                if future is not None:
+                    served = "coalesced"
+                    if registry.enabled:
+                        registry.counter("service.coalesced").inc()
+                else:
+                    served = "computed"
+                    future = Future()
+                    self._inflight[key] = future
+                    self._pending.append((key, workflow, cluster, variant))
+                    self._cond.notify()
+            if registry.enabled:
+                registry.labeled_counter("service.estimates", served=served).inc()
+            span.set(served=served)
+            return dict(future.result(timeout), served=served)
 
     # -- the estimator thread ----------------------------------------------------
 

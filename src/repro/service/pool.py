@@ -209,6 +209,18 @@ class ResilientPool:
         """
         serial = serial_fn if serial_fn is not None else fn
         check_cancel(cancel)
+        registry = get_metrics()
+        pooled_ctr = serial_ctr = None
+        if registry.enabled:
+            # Per-pool, per-path chunk accounting: a ``path=serial`` count
+            # on a multi-process pool is the crash/fallback tail showing up
+            # in the metrics instead of only in the logs.
+            pooled_ctr = registry.labeled_counter(
+                "pool.chunks", pool=self._label, path="pooled"
+            )
+            serial_ctr = registry.labeled_counter(
+                "pool.chunks", pool=self._label, path="serial"
+            )
         done = 0
         executor = self.executor()
         if executor is not None:
@@ -237,6 +249,8 @@ class ResilientPool:
                         self._mark_broken(exc)
                         break
                     check_cancel(cancel)
+                    if pooled_ctr is not None:
+                        pooled_ctr.inc()
                     yield result
                     done += 1
             finally:
@@ -244,7 +258,10 @@ class ResilientPool:
                     future.cancel()
         for chunk in chunks[done:]:
             check_cancel(cancel)
-            yield serial(chunk)
+            result = serial(chunk)
+            if serial_ctr is not None:
+                serial_ctr.inc()
+            yield result
 
     def map_chunks(
         self,

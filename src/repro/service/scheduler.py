@@ -21,6 +21,13 @@ multiplexes them:
 
 Counters (armed registry only): ``jobs.submitted``, ``jobs.succeeded``,
 ``jobs.failed``, ``jobs.retries``, ``jobs.cancelled``, ``jobs.timeouts``.
+
+Spans (armed tracer only): each job emits ``job.queue_wait`` (backdated to
+submission, so scheduler queueing is visible in the request flame) and
+``job.run`` around the attempt loop.  Both re-activate the *submitting*
+request's trace context on the worker thread, so they — and everything the
+work function nests under them, including worker-shipped pool chunk spans —
+carry the originating request's ``trace_id``.
 """
 
 from __future__ import annotations
@@ -34,7 +41,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import JobCancelledError, JobTimeoutError, ServiceError
+from repro.obs.context import activate, current_context, deactivate
 from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.service.pool import CancelCheck, check_cancel
 
 logger = logging.getLogger(__name__)
@@ -105,6 +114,12 @@ class Job:
         self.finished_at: Optional[float] = None
         self._done = threading.Event()
         self._cancel = threading.Event()
+        # Snapshot the submitting request's trace context: the job runs on
+        # a worker thread later, and its spans must re-parent under the
+        # HTTP request that queued it, not under whatever that thread was
+        # doing.  perf_counter at submission backdates the queue-wait span.
+        self.trace_context = current_context()
+        self._submitted_perf = time.perf_counter()
         # Built at construction (== submission), so queue time counts
         # against the deadline: a late answer is late no matter where
         # the time went.
@@ -150,6 +165,11 @@ class Job:
             "error": self.error,
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
+            "trace_id": (
+                self.trace_context.trace_id
+                if self.trace_context is not None
+                else None
+            ),
         }
 
 
@@ -279,6 +299,55 @@ class JobScheduler:
                 deadline()  # raises JobTimeoutError past the deadline
             return False
 
+        # Re-activate the submitting request's context on this worker
+        # thread for the duration of the job: thread-root spans opened
+        # below (and everything the work function nests under them) parent
+        # to the request span and carry its trace_id.
+        token = (
+            activate(job.trace_context)
+            if job.trace_context is not None
+            else None
+        )
+        tracer = get_tracer()
+        run_span = None
+        if tracer.enabled:
+            # Queue wait as a zero-CPU span backdated to submission: the
+            # gap between the request handler and the job's first chunk is
+            # scheduler queueing, and it should be visible in the flame.
+            queue_span = tracer.begin(
+                "job.queue_wait", job=job.id, kind=spec.kind
+            )
+            if queue_span is not None:
+                # Backdate wall time only; begin/finish back-to-back keeps
+                # the CPU delta ~0, which is the truth for queue waiting.
+                queue_span.t_start = job._submitted_perf
+            tracer.finish(queue_span)
+            run_span = tracer.begin(
+                "job.run",
+                job=job.id,
+                kind=spec.kind,
+                label=spec.label,
+                priority=spec.priority,
+            )
+        try:
+            self._run_job_attempts(job, spec, registry, check)
+        finally:
+            if run_span is not None:
+                tracer.finish(
+                    run_span, status=job.status, attempts=job.attempts
+                )
+            if token is not None:
+                deactivate(token)
+        job.finished_at = time.time()
+        job._done.set()
+
+    def _run_job_attempts(
+        self,
+        job: Job,
+        spec: JobSpec,
+        registry,
+        check: CancelCheck,
+    ) -> None:
         job.status = "running"
         attempt = 0
         while True:
@@ -322,5 +391,3 @@ class JobScheduler:
                     registry.counter("jobs.failed").inc()
                 logger.warning("job %s failed permanently: %s", job.id, job.error)
                 break
-        job.finished_at = time.time()
-        job._done.set()

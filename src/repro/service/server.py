@@ -21,16 +21,28 @@ live below it.  Endpoints:
 ``POST /ensemble``         submit a replication-ensemble job and wait
 ``GET  /jobs``             job table (``/jobs/<id>`` for one)
 ``POST /jobs/<id>/cancel`` cooperative cancellation
-``GET  /metrics``          metrics-registry snapshot
+``GET  /metrics``          metrics snapshot (``?format=prom`` for Prometheus
+                           text exposition)
 ``GET  /trace``            finished tracer spans
+``GET  /trace/<id>``       one request's spans as a Chrome/Perfetto flame
+``GET  /status``           sliding-window per-endpoint SLO statistics
 ========================  ====================================================
 
 Error mapping: :class:`~repro.errors.ServiceError` (bad request) → 400,
 unknown path → 404, :class:`~repro.errors.JobTimeoutError` → 504,
 :class:`~repro.errors.JobCancelledError` → 409, anything else typed
-(:class:`~repro.errors.ReproError`) → 422.  Every request runs inside a
-``service.request`` tracer span and counts ``service.requests`` /
-``service.errors``.
+(:class:`~repro.errors.ReproError`) → 422.
+
+Telemetry per request (armed tracer/registry only): a ``service.request``
+root span whose ``trace_id`` is minted here (or adopted from an inbound
+``X-Repro-Trace-Id`` header) and echoed back as ``X-Repro-Trace-Id``; the
+id rides a contextvar through the scheduler onto job threads and into
+worker-shipped pool-chunk spans, so ``GET /trace/<id>`` exports the whole
+request as one flame.  Counts: ``service.requests`` / ``service.errors``
+plus the labeled families ``service.responses{endpoint,status}`` and the
+``service.request_latency{endpoint,status}`` bucket histogram; the same
+latency sample feeds the :class:`~repro.obs.slo.SloTracker` behind
+``GET /status``.
 
 See ``docs/service.md`` for the full API and the failure/degradation
 matrix.
@@ -55,7 +67,15 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.obs.context import (
+    RequestContext,
+    activate,
+    clear_context,
+    deactivate,
+    new_trace_id,
+)
 from repro.obs.metrics import get_metrics
+from repro.obs.slo import SloTracker
 from repro.obs.tracer import get_tracer
 from repro.service.estimates import EstimateService
 from repro.service.pool import CancelCheck, ResilientPool
@@ -64,11 +84,49 @@ from repro.service.scheduler import JobScheduler, JobSpec
 logger = logging.getLogger(__name__)
 
 
-def _service_worker_init(metrics_enabled: bool) -> None:
-    """Pool-worker initializer: arm the worker registry before any
-    instrumented object is built (counters bind at construction time)."""
+def _service_worker_init(metrics_enabled: bool, trace_enabled: bool = False) -> None:
+    """Pool-worker initializer: arm the worker registry/tracer before any
+    instrumented object is built (counters bind at construction time).
+
+    Starts by wiping inherited trace state: on POSIX the worker forks from
+    whichever thread first feeds the pool — possibly mid-request, with a
+    live request context and open spans on its stack.  Left in place, every
+    span this worker ever records would be stamped with (and parented
+    under) a request it never served.
+    """
+    clear_context()
+    get_tracer().clear()
     if metrics_enabled:
         get_metrics().enable()
+    if trace_enabled:
+        get_tracer().enable()
+
+
+#: Paths that are their own label; parameterised paths collapse to a
+#: placeholder so label cardinality stays bounded no matter what ids (or
+#: garbage paths) clients send.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/healthz",
+        "/workloads",
+        "/estimate",
+        "/sweep",
+        "/ensemble",
+        "/jobs",
+        "/metrics",
+        "/trace",
+        "/status",
+    }
+)
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse a request path to a bounded-cardinality endpoint label."""
+    if path.startswith("/jobs/"):
+        return "/jobs/:id/cancel" if path.endswith("/cancel") else "/jobs/:id"
+    if path.startswith("/trace/"):
+        return "/trace/:id"
+    return path if path in _KNOWN_ENDPOINTS else "(other)"
 
 
 class DagService:
@@ -99,12 +157,13 @@ class DagService:
         self.pool = ResilientPool(
             processes,
             initializer=_service_worker_init,
-            initargs=(get_metrics().enabled,),
+            initargs=(get_metrics().enabled, get_tracer().enabled),
             label="service",
             respawn=True,
         )
         self.estimates = EstimateService(self._cluster, capacity=cache_capacity)
         self.scheduler = JobScheduler(workers=job_workers)
+        self.slo = SloTracker()
         self._workflows: Dict[str, Any] = {}
         self._workflows_lock = threading.Lock()
         self.started_at = time.time()
@@ -145,31 +204,87 @@ class DagService:
     def handle(
         self, method: str, path: str, params: Dict[str, Any]
     ) -> Tuple[int, Dict[str, Any]]:
-        """Dispatch one request; returns ``(http_status, json_payload)``."""
+        """Dispatch one request; returns ``(http_status, json_payload)``.
+
+        Convenience wrapper over :meth:`handle_http` for callers without
+        HTTP framing (tests, benchmarks, embedded use) — same telemetry,
+        no headers, trace id dropped.
+        """
+        status, payload, _ = self.handle_http(method, path, params)
+        return status, payload
+
+    def handle_http(
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Dict[str, Any], Optional[str]]:
+        """Dispatch one request; returns ``(status, payload, trace_id)``.
+
+        With the tracer armed, every request gets a trace id — adopted
+        from an inbound ``x-repro-trace-id`` header (lower-cased keys) or
+        minted fresh — a ``service.request`` root span, and an activated
+        :class:`~repro.obs.context.RequestContext` for the duration of
+        routing, so spans opened anywhere downstream (including scheduler
+        job threads and ingested worker chunks) join this request's trace.
+        ``trace_id`` is ``None`` when tracing is off; the HTTP layer echoes
+        it as ``X-Repro-Trace-Id`` when present.
+        """
         registry = get_metrics()
         tracer = get_tracer()
+        t0 = time.perf_counter()
         if registry.enabled:
             registry.counter("service.requests").inc()
-        span = (
-            tracer.begin("service.request", method=method, path=path)
-            if tracer.enabled
-            else None
-        )
+        trace_id: Optional[str] = None
+        span = None
+        token = None
+        if tracer.enabled:
+            inbound = (headers or {}).get("x-repro-trace-id", "")
+            trace_id = inbound.strip() or new_trace_id()
+            span = tracer.begin("service.request", method=method, path=path)
+            # Activated *after* the root span opens (so the span itself
+            # parents normally on this thread); everything downstream
+            # re-parents under it via the context.
+            token = activate(
+                RequestContext(
+                    trace_id, span.span_id if span is not None else None
+                )
+            )
+            if span is not None:
+                span.attrs["trace_id"] = trace_id
         try:
-            status, payload = self._route(method, path, params)
-        except JobTimeoutError as exc:
-            status, payload = 504, {"error": str(exc)}
-        except JobCancelledError as exc:
-            status, payload = 409, {"error": str(exc)}
-        except ServiceError as exc:
-            status, payload = 400, {"error": str(exc)}
-        except ReproError as exc:
-            status, payload = 422, {"error": str(exc)}
+            try:
+                status, payload = self._route(method, path, params)
+            except JobTimeoutError as exc:
+                status, payload = 504, {"error": str(exc)}
+            except JobCancelledError as exc:
+                status, payload = 409, {"error": str(exc)}
+            except ServiceError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except ReproError as exc:
+                status, payload = 422, {"error": str(exc)}
+        finally:
+            if token is not None:
+                deactivate(token)
         if status >= 400 and registry.enabled:
             registry.counter("service.errors").inc()
         if span is not None:
             tracer.finish(span, status=status)
-        return status, payload
+        if registry.enabled:
+            latency = time.perf_counter() - t0
+            endpoint = _endpoint_label(path)
+            status_label = str(status)
+            registry.labeled_counter(
+                "service.responses", endpoint=endpoint, status=status_label
+            ).inc()
+            registry.labeled_bucket_histogram(
+                "service.request_latency",
+                endpoint=endpoint,
+                status=status_label,
+            ).observe(latency)
+            self.slo.record(endpoint, latency, error=status >= 400)
+        return status, payload, trace_id
 
     def _route(
         self, method: str, path: str, params: Dict[str, Any]
@@ -207,9 +322,45 @@ class DagService:
                 return 200, job.describe()
             return 200, self.scheduler.get(rest).describe()
         if path == "/metrics":
+            fmt = str(params.get("format", "json")).lower()
+            if fmt in ("prom", "prometheus"):
+                from repro.obs.exposition import to_prometheus
+
+                return 200, {
+                    "_text": to_prometheus(get_metrics().snapshot()),
+                    "_content_type": "text/plain; version=0.0.4; charset=utf-8",
+                }
+            if fmt != "json":
+                raise ServiceError(
+                    f"unknown metrics format {fmt!r} (choose json or prom)"
+                )
             return 200, {"metrics": get_metrics().snapshot()}
         if path == "/trace":
             return 200, {"spans": _span_rows(get_tracer())}
+        if path.startswith("/trace/"):
+            wanted = path[len("/trace/"):]
+            # Lazy import: repro.obs.export pulls in the simulator stack.
+            from repro.obs.export import trace_flame
+
+            flame = trace_flame(wanted) if wanted else None
+            if flame is None:
+                return 404, {
+                    "error": (
+                        f"no spans recorded for trace {wanted!r} (tracing "
+                        "disabled, id never seen, or spans evicted)"
+                    )
+                }
+            return 200, flame
+        if path == "/status":
+            return 200, {
+                "uptime_s": time.time() - self.started_at,
+                "slo": self.slo.snapshot(),
+                "pool": {
+                    "processes": self.pool.processes,
+                    "broken": self.pool.broken,
+                    "serial_only": self.pool.serial_only,
+                },
+            }
         return 404, {"error": f"no such endpoint: {method} {path}"}
 
     # -- endpoint handlers -------------------------------------------------------
@@ -403,17 +554,17 @@ async def _handle_connection(
         except ValueError:
             await _respond(writer, 400, {"error": "malformed request line"})
             return
-        content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    content_length = 0
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            content_length = 0
         if content_length > _MAX_BODY:
             await _respond(writer, 413, {"error": "request body too large"})
             return
@@ -436,10 +587,15 @@ async def _handle_connection(
         # on the default thread-pool executor — the event loop only parses
         # and frames, which is what keeps slow jobs from starving /healthz.
         loop = asyncio.get_running_loop()
-        status, payload = await loop.run_in_executor(
-            None, service.handle, method.upper(), split.path, params
+        status, payload, trace_id = await loop.run_in_executor(
+            None, service.handle_http, method.upper(), split.path, params, headers
         )
-        await _respond(writer, status, payload)
+        await _respond(
+            writer,
+            status,
+            payload,
+            {"X-Repro-Trace-Id": trace_id} if trace_id else None,
+        )
     except (asyncio.IncompleteReadError, ConnectionResetError):
         pass
     finally:
@@ -463,18 +619,30 @@ _STATUS_TEXT = {
 
 
 async def _respond(
-    writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Dict[str, Any],
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> None:
-    body = json.dumps(payload).encode()
-    writer.write(
-        (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
-        ).encode("latin-1")
-        + body
-    )
+    # A payload carrying ``_text`` ships as a plain-text body (Prometheus
+    # exposition); everything else is JSON.
+    if isinstance(payload, dict) and "_text" in payload:
+        body = str(payload["_text"]).encode()
+        content_type = str(
+            payload.get("_content_type", "text/plain; charset=utf-8")
+        )
+    else:
+        body = json.dumps(payload).encode()
+        content_type = "application/json"
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    head.append("Connection: close")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
     await writer.drain()
 
 

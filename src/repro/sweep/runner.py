@@ -52,6 +52,7 @@ from repro.core.fingerprint import CacheStats
 from repro.core.incremental import ReuseStats, TrajectoryCache
 from repro.dag.workflow import Workflow
 from repro.errors import EstimationError
+from repro.obs.context import clear_context
 from repro.obs.metrics import get_metrics, snapshot_delta
 from repro.obs.tracer import get_tracer
 from repro.service.pool import (
@@ -193,12 +194,16 @@ class _EvalContext:
         memo: bool = True,
         max_memo_entries: int = 65_536,
         metrics_enabled: bool = False,
+        trace_enabled: bool = False,
         reuse: bool = True,
         batch: bool = True,
     ):
         # Carried to pool workers so their process-global registry is armed
         # before they build sources (counters bind at construction time).
         self.metrics_enabled = metrics_enabled
+        # Likewise for the worker tracer: chunks record spans and ship
+        # them home alongside the metrics delta when this is set.
+        self.trace_enabled = trace_enabled
         self._cluster = cluster
         self._fixed_source = source
         self._variant = variant
@@ -330,19 +335,30 @@ _WORKER_CONTEXT: Optional[_EvalContext] = None
 def _worker_init(context: _EvalContext) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
+    # Wipe trace state inherited by fork: the worker may have been forked
+    # from a thread that was mid-request (live request context) and
+    # mid-span (open stack) — left in place, every worker span would be
+    # stamped with, and parented under, work this process never did.
+    clear_context()
+    get_tracer().clear()
     if context.metrics_enabled:
         # Arm the worker's own registry before any source is built so
         # worker-side counters bind to it; deltas ship home per chunk.
         get_metrics().enable()
+    if context.trace_enabled:
+        get_tracer().enable()
 
 
 _Item = Tuple[int, str, Workflow, Optional[Cluster]]
 
 _MetricsDelta = Dict[str, Dict[str, Any]]
 
+#: Picklable span rows (:meth:`repro.obs.tracer.Tracer.export_since`).
+_SpanRows = List[Dict[str, Any]]
+
 
 _ChunkOutcome = Tuple[
-    List[CandidateResult], CacheStats, ReuseStats, float, _MetricsDelta
+    List[CandidateResult], CacheStats, ReuseStats, float, _MetricsDelta, _SpanRows
 ]
 
 
@@ -350,17 +366,31 @@ def _evaluate_chunk(context: _EvalContext, payload: Sequence[_Item]) -> _ChunkOu
     """Evaluate one chunk against ``context`` (worker-side).
 
     Returns (results, cache delta, reuse delta, cpu seconds, metrics
-    delta); the metrics delta is empty unless the parent shipped
-    ``metrics_enabled=True``.  Workers are single-threaded, so
-    ``process_time`` is exactly the chunk's CPU share there.
+    delta, span rows); the metrics delta is empty unless the parent
+    shipped ``metrics_enabled=True``, and the span rows — a ``sweep.chunk``
+    span wrapping the per-candidate estimator spans — are empty unless
+    ``trace_enabled`` rode along (the parent re-parents them via
+    :meth:`~repro.obs.tracer.Tracer.ingest`).  Workers are
+    single-threaded, so ``process_time`` is exactly the chunk's CPU share
+    there.
     """
     registry = get_metrics()
     metrics_before = registry.snapshot() if context.metrics_enabled else {}
+    tracer = get_tracer()
+    if context.trace_enabled and not tracer.enabled:
+        # Foreign pools (the shared service pool) may not have armed the
+        # worker tracer at init; the context knows the parent wants spans.
+        tracer.enable()
+    capture = context.trace_enabled and tracer.enabled
+    span_mark = tracer.span_count if capture else 0
+    span = tracer.begin("sweep.chunk", candidates=len(payload)) if capture else None
     before = context.cache_stats().snapshot()
     reuse_before = context.reuse_stats().snapshot()
     cpu0 = time.process_time()
     results = [context.evaluate(*item) for item in payload]
     cpu_s = time.process_time() - cpu0
+    tracer.finish(span)
+    spans = tracer.export_since(span_mark) if capture else []
     metrics = (
         snapshot_delta(registry.snapshot(), metrics_before)
         if context.metrics_enabled
@@ -372,6 +402,7 @@ def _evaluate_chunk(context: _EvalContext, payload: Sequence[_Item]) -> _ChunkOu
         context.reuse_stats().delta(reuse_before),
         cpu_s,
         metrics,
+        spans,
     )
 
 
@@ -459,6 +490,7 @@ class SweepRunner:
             refine,
             memo=memo,
             metrics_enabled=get_metrics().enabled,
+            trace_enabled=get_tracer().enabled,
             reuse=memo if reuse is None else reuse,
             batch=memo if batch is None else batch,
         )
@@ -726,7 +758,7 @@ class SweepRunner:
                 serial_replication_chunk(self._checked(p, cancel))
                 for _, p in payloads
             )
-        for (cand_idx, _), (outputs, chunk_cpu, chunk_metrics) in zip(
+        for (cand_idx, _), (outputs, chunk_cpu, chunk_metrics, chunk_spans) in zip(
             payloads, outcomes
         ):
             for _, record, trace in outputs:
@@ -734,6 +766,8 @@ class SweepRunner:
             worker_cpu += chunk_cpu
             if chunk_metrics:
                 registry.merge(chunk_metrics)
+            if chunk_spans:
+                tracer.ingest(chunk_spans)
         cpu_s = (parent_cpu_clock() - cpu0) + worker_cpu
         wall_s = time.perf_counter() - t0
 
@@ -835,11 +869,12 @@ class SweepRunner:
         """Serial-fallback chunk evaluation in the parent process.
 
         Used by :meth:`~repro.service.pool.ResilientPool.run_chunks` to
-        finish a batch after a worker crash.  Reports **zero** CPU and an
-        empty metrics delta: the work runs on the caller's thread, so the
-        surrounding ``parent_cpu_clock`` delta already accounts it and the
-        parent registry records counters directly — returning them again
-        would double-count.
+        finish a batch after a worker crash.  Reports **zero** CPU, an
+        empty metrics delta, and no span rows: the work runs on the
+        caller's thread, so the surrounding ``parent_cpu_clock`` delta
+        already accounts it, the parent registry records counters
+        directly, and the parent tracer records any spans directly —
+        returning them again would double-count.
         """
         before = self._context.cache_stats().snapshot()
         reuse_before = self._context.reuse_stats().snapshot()
@@ -850,6 +885,7 @@ class SweepRunner:
             self._context.reuse_stats().delta(reuse_before),
             0.0,
             {},
+            [],
         )
 
     def _evaluate_parallel(
@@ -880,12 +916,14 @@ class SweepRunner:
         reuse_delta = ReuseStats()
         worker_cpu = 0.0
         registry = get_metrics()
+        tracer = get_tracer()
         for (
             chunk_results,
             chunk_cache,
             chunk_reuse,
             chunk_cpu,
             chunk_metrics,
+            chunk_spans,
         ) in self._pool.run_chunks(fn, payloads, serial_fn=serial_fn, cancel=cancel):
             results.extend(chunk_results)
             cache_delta.add(chunk_cache)
@@ -896,6 +934,11 @@ class SweepRunner:
                 # in submission order (run_chunks preserves it), keeping
                 # gauge last-wins deterministic.
                 registry.merge(chunk_metrics)
+            if chunk_spans:
+                # Re-anchor worker spans under the open ``sweep.batch`` span
+                # (this runs on the batch's thread); inside the service the
+                # active request context stamps its trace id too.
+                tracer.ingest(chunk_spans)
         cpu_s = (parent_cpu_clock() - cpu0) + worker_cpu
         return results, cache_delta, reuse_delta, cpu_s, True
 

@@ -1,0 +1,179 @@
+"""Tests for the request context: the trace identity carrier.
+
+Covers the contextvar API itself, the tracer's provider hook (trace-id
+stamping + thread-root re-parenting), the log filter, and the two fork
+defences: ``clear_context`` and ``ingest``'s trace-id overwrite.
+"""
+
+import logging
+import threading
+
+from repro.obs import Tracer
+from repro.obs.context import (
+    RequestContext,
+    TraceContextFilter,
+    activate,
+    clear_context,
+    current_context,
+    current_trace_id,
+    deactivate,
+    new_trace_id,
+    request_context,
+)
+from repro.obs.tracer import get_tracer
+
+
+class TestContextVar:
+    def test_default_is_none(self):
+        assert current_context() is None
+        assert current_trace_id() is None
+
+    def test_activate_deactivate_round_trip(self):
+        ctx = RequestContext("abc123", span_id=7)
+        token = activate(ctx)
+        try:
+            assert current_context() is ctx
+            assert current_trace_id() == "abc123"
+        finally:
+            deactivate(token)
+        assert current_context() is None
+
+    def test_request_context_manager_mints_an_id(self):
+        with request_context() as ctx:
+            assert current_trace_id() == ctx.trace_id
+            assert len(ctx.trace_id) == 16
+        assert current_trace_id() is None
+
+    def test_new_trace_ids_are_unique_hex(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(int(t, 16) >= 0 for t in ids)
+
+    def test_clear_context_drops_active_context(self):
+        # The worker-initializer path: a forked child starts with whatever
+        # context the forking thread had; clear_context wipes it without
+        # needing the (lost) activation token.
+        activate(RequestContext("stale"))
+        clear_context()
+        assert current_context() is None
+
+    def test_context_does_not_leak_across_threads(self):
+        seen = []
+        with request_context("parent-trace"):
+            t = threading.Thread(target=lambda: seen.append(current_context()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestProviderHook:
+    def test_spans_inside_a_request_carry_the_trace_id(self):
+        tracer = get_tracer()  # conftest installs a fresh private instance
+        tracer.enable()
+        with request_context("trace-x") as ctx:
+            with tracer.span("root") as root:
+                with tracer.span("child"):
+                    pass
+        by_name = {s.name: s for s in tracer.snapshot()}
+        assert by_name["root"].attrs["trace_id"] == "trace-x"
+        assert by_name["child"].attrs["trace_id"] == "trace-x"
+        assert ctx.span_id is None  # frozen; never mutated by the tracer
+
+    def test_thread_root_spans_parent_to_the_request_span(self):
+        tracer = get_tracer()
+        tracer.enable()
+        root = tracer.begin("service.request")
+        tracer.finish(root)
+        ctx = RequestContext("trace-y", span_id=root.span_id)
+
+        def job():
+            token = activate(ctx)
+            try:
+                with tracer.span("job.run"):
+                    pass
+            finally:
+                deactivate(token)
+
+        t = threading.Thread(target=job)
+        t.start()
+        t.join()
+        job_span = next(s for s in tracer.snapshot() if s.name == "job.run")
+        assert job_span.parent_id == root.span_id
+        assert job_span.attrs["trace_id"] == "trace-y"
+
+    def test_disabled_tracer_records_nothing_inside_a_request(self):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        with request_context("trace-z"):
+            with tracer.span("noop"):
+                pass
+            assert tracer.begin("noop2") is None
+        assert tracer.span_count == 0
+
+    def test_spans_for_trace_filters_by_id(self):
+        tracer = get_tracer()
+        tracer.enable()
+        for trace_id in ("t-one", "t-two"):
+            with request_context(trace_id):
+                with tracer.span("work"):
+                    pass
+        only = tracer.spans_for_trace("t-one")
+        assert [s.attrs["trace_id"] for s in only] == ["t-one"]
+
+
+class TestIngestTraceOwnership:
+    def _worker_rows(self, stale_trace):
+        """Rows as a forked worker would export them: possibly stamped
+        with a trace id inherited from the parent mid-request."""
+        worker = Tracer(enabled=True)
+        token = activate(RequestContext(stale_trace)) if stale_trace else None
+        try:
+            with worker.span("sweep.chunk"):
+                with worker.span("est.run"):
+                    pass
+        finally:
+            if token is not None:
+                deactivate(token)
+        return worker.export_since(0)
+
+    def test_ingest_overwrites_a_stale_worker_trace_id(self):
+        # The fork-contamination defence: the ingesting side owns trace
+        # identity, even when the row already carries a (stale) id.
+        rows = self._worker_rows(stale_trace="stale-request")
+        assert rows[-1]["attrs"]["trace_id"] == "stale-request"
+        parent = Tracer(enabled=True)
+        with request_context("live-request"):
+            parent.ingest(rows)
+        assert {
+            s.attrs["trace_id"] for s in parent.snapshot()
+        } == {"live-request"}
+
+    def test_ingest_stamps_unclaimed_rows_from_the_live_context(self):
+        rows = self._worker_rows(stale_trace=None)
+        parent = Tracer(enabled=True)
+        with request_context("live-request"):
+            parent.ingest(rows)
+        assert {
+            s.attrs["trace_id"] for s in parent.snapshot()
+        } == {"live-request"}
+        assert all(s.attrs.get("ingested") for s in parent.snapshot())
+
+
+class TestLogFilter:
+    def _record(self):
+        return logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "hello", (), None
+        )
+
+    def test_injects_trace_id_inside_a_request(self):
+        f = TraceContextFilter()
+        with request_context("trace-log"):
+            record = self._record()
+            assert f.filter(record) is True
+        assert record.trace_id == "trace-log"
+
+    def test_dash_outside_any_request(self):
+        f = TraceContextFilter()
+        record = self._record()
+        f.filter(record)
+        assert record.trace_id == "-"

@@ -1,0 +1,156 @@
+"""Tests for Prometheus exposition: render + strict parser round trip.
+
+``to_prometheus`` renders a registry snapshot; ``parse_prometheus`` is
+the in-repo validator CI scrapes with — its strictness (types declared,
+family blocks contiguous, bucket monotonicity, ``+Inf == _count``) is
+itself under test here.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus, to_prometheus
+from repro.obs.exposition import PrometheusParseError
+
+
+def _registry():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("service.requests").inc(3)
+    registry.gauge("pool.workers").set(2)
+    registry.histogram("state.duration").observe(0.5)
+    registry.labeled_counter("service.responses", endpoint="/estimate", status="200").inc(2)
+    registry.labeled_counter("service.responses", endpoint="/estimate", status="400").inc(1)
+    h = registry.labeled_bucket_histogram(
+        "service.request_latency",
+        bounds=(0.01, 0.1, 1.0),
+        endpoint="/estimate",
+        status="200",
+    )
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    return registry
+
+
+class TestRender:
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({}) == ""
+
+    def test_families_are_typed_and_grouped(self):
+        text = to_prometheus(_registry().snapshot())
+        assert "# TYPE service_requests counter\n" in text
+        assert "# TYPE pool_workers gauge\n" in text
+        assert "# TYPE state_duration summary\n" in text
+        assert "# TYPE service_request_latency histogram\n" in text
+        # both labeled series under ONE type comment
+        assert text.count("# TYPE service_responses counter") == 1
+        assert 'service_responses{endpoint="/estimate",status="200"} 2' in text
+        assert 'service_responses{endpoint="/estimate",status="400"} 1' in text
+
+    def test_bucket_histogram_is_cumulative_with_inf(self):
+        text = to_prometheus(_registry().snapshot())
+        lines = [l for l in text.splitlines() if l.startswith("service_request_latency")]
+        buckets = [l for l in lines if "_bucket" in l]
+        # cumulative counts 1, 2, 3 then +Inf == 4 == _count
+        assert [int(l.rsplit(" ", 1)[1]) for l in buckets] == [1, 2, 3, 4]
+        assert 'le="+Inf"' in buckets[-1]
+        assert any(l.startswith("service_request_latency_count") and l.endswith(" 4") for l in lines)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.labeled_counter("c", path='a"b\\c\nd').inc()
+        text = to_prometheus(registry.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # and the escape round-trips through the parser
+        samples = parse_prometheus(text)["c"]
+        assert samples[0]["labels"]["path"] == 'a"b\\c\nd'
+
+
+class TestRoundTrip:
+    def test_render_then_parse(self):
+        families = parse_prometheus(to_prometheus(_registry().snapshot()))
+        assert set(families) == {
+            "service_requests",
+            "pool_workers",
+            "state_duration",
+            "service_responses",
+            "service_request_latency",
+        }
+        requests = families["service_requests"]
+        assert requests[0]["value"] == 3.0 and requests[0]["labels"] == {}
+        by_status = {
+            s["labels"]["status"]: s["value"]
+            for s in families["service_responses"]
+        }
+        assert by_status == {"200": 2.0, "400": 1.0}
+        latency = families["service_request_latency"]
+        count = next(
+            s for s in latency if s["name"] == "service_request_latency_count"
+        )
+        assert count["value"] == 4.0
+
+    def test_merged_registries_still_round_trip(self):
+        parent, worker = _registry(), _registry()
+        parent.merge(worker.snapshot())
+        families = parse_prometheus(to_prometheus(parent.snapshot()))
+        by_status = {
+            s["labels"]["status"]: s["value"]
+            for s in families["service_responses"]
+        }
+        assert by_status == {"200": 4.0, "400": 2.0}
+
+
+class TestParserStrictness:
+    def test_sample_without_type_declaration(self):
+        with pytest.raises(PrometheusParseError, match="no preceding # TYPE"):
+            parse_prometheus("orphan 1\n")
+
+    def test_sample_outside_its_family_block(self):
+        text = (
+            "# TYPE a counter\n"
+            "# TYPE b counter\n"
+            "a 1\n"  # a's block ended when b's TYPE line appeared
+        )
+        with pytest.raises(PrometheusParseError, match="outside its family"):
+            parse_prometheus(text)
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(PrometheusParseError, match="duplicate TYPE"):
+            parse_prometheus("# TYPE a counter\n# TYPE a counter\n")
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(PrometheusParseError, match="malformed sample"):
+            parse_prometheus("# TYPE a counter\na{unterminated 1\n")
+
+    def test_non_monotonic_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+            "h_sum 1\n"
+        )
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 4\n"
+            "h_sum 1\n"
+        )
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus(text)
+
+    def test_special_values_parse(self):
+        families = parse_prometheus("# TYPE g gauge\ng +Inf\n")
+        assert families["g"][0]["value"] == math.inf
+
+    def test_help_comments_are_permitted(self):
+        families = parse_prometheus(
+            "# HELP c helpful words\n# TYPE c counter\nc 1\n"
+        )
+        assert families["c"][0]["value"] == 1.0

@@ -2,6 +2,8 @@
 
 import pickle
 
+import pytest
+
 from repro.obs import MetricsRegistry, get_metrics, render_snapshot, snapshot_delta
 
 
@@ -95,6 +97,133 @@ class TestMerge:
         parent.histogram("h").observe(2.0)
         parent.merge({"h": {"type": "histogram", "count": 0, "sum": 0.0, "min": None, "max": None}})
         assert parent.snapshot()["h"]["count"] == 1
+
+
+class TestMergeConflictSemantics:
+    """What wins when parent and workers report the same series.
+
+    The rules the service depends on: counters are commutative sums,
+    gauges are last-write-wins in merge order, bucket histograms add
+    bucket-wise — and only with identical bounds.
+    """
+
+    def test_concurrent_worker_counter_deltas_sum_commutatively(self):
+        deltas = [
+            {"c": {"type": "counter", "value": n}} for n in (3, 5, 7)
+        ]
+        forward, reverse = MetricsRegistry(), MetricsRegistry()
+        for d in deltas:
+            forward.merge(d)
+        for d in reversed(deltas):
+            reverse.merge(d)
+        assert (
+            forward.snapshot()["c"]["value"]
+            == reverse.snapshot()["c"]["value"]
+            == 15
+        )
+
+    def test_gauge_conflict_is_merge_order_not_magnitude(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(100.0)
+        registry.merge({"g": {"type": "gauge", "value": 2.0}})
+        registry.merge({"g": {"type": "gauge", "value": 1.0}})
+        assert registry.snapshot()["g"]["value"] == 1.0
+
+    def test_labeled_series_merge_independently(self):
+        parent = MetricsRegistry()
+        parent.labeled_counter("pool.chunks", pool="service", path="pooled").inc(4)
+        worker = MetricsRegistry()
+        worker.labeled_counter("pool.chunks", pool="service", path="pooled").inc(2)
+        worker.labeled_counter("pool.chunks", pool="service", path="serial").inc(1)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        pooled = snap["pool.chunks{path=pooled,pool=service}"]
+        serial = snap["pool.chunks{path=serial,pool=service}"]
+        assert pooled["value"] == 6 and serial["value"] == 1
+        # label dicts ride the snapshot so the parent can regroup families
+        assert serial["labels"] == {"pool": "service", "path": "serial"}
+        assert parent.labels_for("pool.chunks{path=serial,pool=service}") == {
+            "pool": "service",
+            "path": "serial",
+        }
+
+    def test_label_key_order_cannot_fork_a_series(self):
+        parent = MetricsRegistry()
+        parent.labeled_counter("c", a="1", b="2").inc()
+        parent.labeled_counter("c", b="2", a="1").inc()
+        snap = parent.snapshot()
+        assert snap["c{a=1,b=2}"]["value"] == 2
+        assert len(snap) == 1
+
+    def test_bucket_histograms_merge_bucket_wise(self):
+        parent = MetricsRegistry()
+        parent.bucket_histogram("lat", bounds=(0.1, 1.0)).observe(0.05)
+        worker = MetricsRegistry()
+        wh = worker.bucket_histogram("lat", bounds=(0.1, 1.0))
+        wh.observe(0.5)
+        wh.observe(5.0)  # overflow bucket
+        parent.merge(worker.snapshot())
+        merged = parent.snapshot()["lat"]
+        assert merged["counts"] == [1, 1, 1]
+        assert merged["count"] == 3
+        assert merged["sum"] == pytest.approx(5.55)
+
+    def test_bucket_bounds_conflict_is_an_error_not_a_guess(self):
+        parent = MetricsRegistry()
+        parent.bucket_histogram("lat", bounds=(0.1, 1.0)).observe(0.5)
+        image = {
+            "lat": {
+                "type": "bucket_histogram",
+                "bounds": [0.2, 2.0],
+                "counts": [1, 0, 0],
+                "count": 1,
+                "sum": 0.1,
+            }
+        }
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            parent.merge(image)
+
+    def test_bucket_cell_count_conflict_is_an_error(self):
+        parent = MetricsRegistry()
+        parent.bucket_histogram("lat", bounds=(0.1, 1.0))
+        image = {
+            "lat": {
+                "type": "bucket_histogram",
+                "bounds": [0.1, 1.0],
+                "counts": [1, 0],  # missing the overflow cell
+                "count": 1,
+                "sum": 0.05,
+            }
+        }
+        with pytest.raises(ValueError, match="bucket count mismatch"):
+            parent.merge(image)
+
+    def test_invalid_bounds_rejected_at_construction(self):
+        registry = MetricsRegistry()
+        for bad in ((), (1.0, 1.0), (2.0, 1.0), (0.1, float("inf"))):
+            with pytest.raises(ValueError, match="strictly increasing"):
+                registry.bucket_histogram(f"h{bad}", bounds=bad)
+
+    def test_bucket_delta_round_trips_through_merge(self):
+        # The worker-chunk pipeline end to end: delta of worker activity,
+        # merged into a parent that already holds earlier observations.
+        parent = MetricsRegistry()
+        parent.labeled_bucket_histogram(
+            "lat", bounds=(0.1, 1.0), endpoint="/estimate"
+        ).observe(0.05)
+        worker = MetricsRegistry()
+        wh = worker.labeled_bucket_histogram(
+            "lat", bounds=(0.1, 1.0), endpoint="/estimate"
+        )
+        wh.observe(0.5)  # pre-existing worker state, not chunk activity
+        before = worker.snapshot()
+        wh.observe(0.7)
+        wh.observe(2.0)
+        parent.merge(snapshot_delta(worker.snapshot(), before))
+        merged = parent.snapshot()["lat{endpoint=/estimate}"]
+        assert merged["counts"] == [1, 1, 1]
+        assert merged["count"] == 3
+        assert merged["labels"] == {"endpoint": "/estimate"}
 
 
 class TestSnapshotDelta:

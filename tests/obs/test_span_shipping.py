@@ -1,0 +1,114 @@
+"""Worker-side spans ship home from pooled sweep and ensemble runs.
+
+These lock in the library-level half of request tracing: even with no
+service in sight, a pooled ``SweepRunner``/``EnsembleRunner`` run records
+per-chunk worker spans, exports them across the process boundary, and
+re-parents them under the batch span in the parent tracer — stamped with
+the active trace id when one is live.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dag import single_job_workflow
+from repro.ensemble import EnsembleConfig, EnsembleRunner
+from repro.obs.context import request_context
+from repro.obs.tracer import get_tracer
+from repro.simulator import SimulationConfig
+from repro.sweep import Candidate, SweepRunner
+
+
+@pytest.fixture
+def grid(small_ts):
+    return [
+        Candidate(
+            single_job_workflow(replace(small_ts, num_reducers=r)),
+            label=f"r={r}",
+        )
+        for r in (10, 20, 30, 40)
+    ]
+
+
+def _spans_by_name(tracer):
+    out = {}
+    for span in tracer.snapshot():
+        out.setdefault(span.name, []).append(span)
+    return out
+
+
+class TestSweepShipping:
+    def test_pooled_sweep_ships_chunk_spans(self, cluster, grid):
+        tracer = get_tracer()
+        tracer.enable()
+        with SweepRunner(cluster, processes=2, chunksize=2) as runner:
+            results = runner.evaluate(grid)
+        assert all(r.ok for r in results)
+        by_name = _spans_by_name(tracer)
+        assert "sweep.batch" in by_name
+        chunks = by_name["sweep.chunk"]
+        assert len(chunks) >= 2
+        batch_id = by_name["sweep.batch"][0].span_id
+        assert all(c.parent_id == batch_id for c in chunks)
+        assert all(c.attrs.get("ingested") for c in chunks)
+        # worker spans nested under the chunks came along too
+        assert "est.run" in by_name
+
+    def test_chunk_spans_carry_the_active_trace_id(self, cluster, grid):
+        tracer = get_tracer()
+        tracer.enable()
+        with request_context("lib-trace") as ctx:
+            with SweepRunner(cluster, processes=2, chunksize=2) as runner:
+                runner.evaluate(grid)
+        spans = tracer.spans_for_trace(ctx.trace_id)
+        names = {s.name for s in spans}
+        assert {"sweep.batch", "sweep.chunk", "est.run"} <= names
+
+    def test_serial_sweep_records_no_chunk_spans(self, cluster, grid):
+        tracer = get_tracer()
+        tracer.enable()
+        with SweepRunner(cluster) as runner:
+            runner.evaluate(grid)
+        by_name = _spans_by_name(tracer)
+        assert "sweep.batch" in by_name
+        assert "sweep.chunk" not in by_name  # parent-side work, no shipping
+
+    def test_disabled_tracer_ships_nothing(self, cluster, grid):
+        tracer = get_tracer()
+        assert not tracer.enabled
+        with SweepRunner(cluster, processes=2, chunksize=2) as runner:
+            results = runner.evaluate(grid)
+        assert all(r.ok for r in results)
+        assert tracer.span_count == 0
+
+    def test_shipping_does_not_perturb_results(self, cluster, grid):
+        with SweepRunner(cluster) as runner:
+            plain = runner.evaluate(grid)
+        get_tracer().enable()
+        with request_context():
+            with SweepRunner(cluster, processes=2, chunksize=2) as runner:
+                traced = runner.evaluate(grid)
+        for a, b in zip(plain, traced):
+            assert a.total_time_s == b.total_time_s
+
+
+class TestEnsembleShipping:
+    def test_pooled_ensemble_ships_chunk_spans(self, cluster, small_ts):
+        tracer = get_tracer()
+        tracer.enable()
+        workflow = single_job_workflow(small_ts)
+        runner = EnsembleRunner(
+            cluster,
+            config=SimulationConfig(engine="fast"),
+            ensemble=EnsembleConfig(
+                replications=6, min_replications=6, exemplars=0, processes=2
+            ),
+        )
+        with request_context("ens-trace") as ctx:
+            result = runner.run(workflow)
+        assert result.samples
+        spans = tracer.spans_for_trace(ctx.trace_id)
+        names = {s.name for s in spans}
+        assert "ensemble.chunk" in names
+        chunk = next(s for s in spans if s.name == "ensemble.chunk")
+        assert chunk.attrs.get("ingested")
