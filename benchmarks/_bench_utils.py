@@ -47,18 +47,30 @@ def _git_rev() -> Optional[str]:
     return rev if out.returncode == 0 and rev else None
 
 
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep of src/
+        return None
+    return numpy.__version__
+
+
 def emit_json(name: str, payload: dict) -> Path:
     """Persist one bench's machine-readable results as ``BENCH_<name>.json``.
 
-    The payload is augmented with provenance (git revision, python,
-    timestamp) so a result file is interpretable on its own; the same
-    record is also printed as a ``BENCH`` line for the run log.  Returns
-    the path written.
+    The payload is augmented with provenance (git revision, python, numpy,
+    CPU count, timestamp) so a result file is interpretable on its own —
+    perf numbers are only comparable across PRs when the machine and
+    toolchain that produced them ride along.  The same record is also
+    printed as a ``BENCH`` line for the run log.  Returns the path
+    written.
     """
     record = {
         "bench": name,
         "git_rev": _git_rev(),
         "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "cpus": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         **payload,
     }

@@ -16,6 +16,13 @@ over the historical serial-and-cold path:
   a serial and a process-pool runner, asserting identical results in
   identical order always, and a pool speedup floor when the machine
   actually has cores to parallelise over.
+* **Bound-guided pruning.**  The TPC-H Q21 capacity-planning knob grid —
+  magnitude-spanning choices on the dominant lineitem scan — is tuned
+  twice, exhaustively and with the analytic bound screen
+  (:mod:`repro.core.bounds`), asserting a bit-identical winner and tuned
+  value, a prune-rate floor and an end-to-end speedup floor.  This
+  scenario is CPU-count independent (both runs are serial), so the floor
+  holds on single-core CI boxes too.
 
 Every scenario emits one ``BENCH`` JSON line so the performance trajectory
 is tracked from PR to PR.  Run the CI-sized subset with ``-k smoke``.
@@ -35,15 +42,22 @@ from repro.core.boe import BOEModel
 from repro.core.estimator import BOESource
 from repro.core.parallelism import clear_parallelism_memo
 from repro.dag import single_job_workflow
+from repro.mapreduce.config import NO_COMPRESSION, SNAPPY_TEXT
 from repro.sweep import Candidate, SweepRunner, default_processes
-from repro.tuning import GreedyTuner
+from repro.tuning import GreedyTuner, Knob
 from repro.workloads import terasort, weblog_dag
+from repro.workloads.tpch import tpch_query
 
 #: Floors for the cached coordinate-descent tuning sweep (vs uncached serial).
 TUNE_MIN_SPEEDUP = 3.0
 TUNE_MIN_HIT_RATE = 0.5
 #: Pool speedup floor, only asserted when there are cores to win on.
 POOL_MIN_SPEEDUP = 1.2
+#: Floors for the bound-guided pruning scenario on the Q21 knob grid:
+#: at least this share of candidates skipped, at least this end-to-end
+#: tuner speedup over the exhaustive sweep — with the winner bit-identical.
+PRUNE_MIN_RATE = 0.30
+PRUNE_MIN_SPEEDUP = 2.0
 #: Timing repetitions (best-of, to shed scheduler noise).
 REPS = 3
 
@@ -146,7 +160,71 @@ def _run_grid_scenario(reducers, splits) -> dict:
     return row
 
 
-def _render(tuning: dict, grid: dict) -> str:
+def _q21_knob_grid():
+    """The Q21 capacity-planning grid: magnitude-spanning what-ifs on the
+    dominant lineitem scan (reducer count, split size, mapper memory,
+    compression).  Most extremes are analytically hopeless — exactly the
+    candidates the bound screen exists to reject without estimating."""
+    workflow = tpch_query(21)
+    job = "q21-scan-lineitem"
+    lineitem = workflow.job(job)
+    compression = (
+        NO_COMPRESSION if lineitem.config.compression.enabled else SNAPPY_TEXT
+    )
+    space = [
+        Knob(job, "num_reducers",
+             (lineitem.num_reducers, 1, 2, 3, 4, 8, 2560, 5120, 10240)),
+        Knob(job, "split_mb",
+             (lineitem.config.split_mb, 0.5, 1.0, 2.0, 4.0, 8.0,
+              1024.0, 2048.0, 4096.0, 8192.0)),
+        Knob(job, "map_memory_mb",
+             (lineitem.config.map_container.memory_mb, 500.0, 8000.0,
+              16000.0, 32000.0, 64000.0, 128000.0)),
+        Knob(job, "compression", (lineitem.config.compression, compression)),
+    ]
+    return workflow, space
+
+
+def _run_prune_scenario() -> dict:
+    cluster = paper_cluster()
+    workflow, space = _q21_knob_grid()
+    best = {}
+    for prune in (False, True):
+        best_wall = float("inf")
+        for _ in range(REPS):
+            clear_parallelism_memo()
+            tuner = GreedyTuner(cluster, prune=prune)
+            t0 = time.perf_counter()
+            result = tuner.tune(workflow, space)
+            best_wall = min(best_wall, time.perf_counter() - t0)
+        best[prune] = (result, best_wall)
+    exact, exact_s = best[False]
+    pruned, pruned_s = best[True]
+
+    # Conservativeness contract: the screened sweep picks the bit-identical
+    # winner at the bit-identical tuned value.
+    assert pruned.assignment == exact.assignment
+    assert pruned.tuned_estimate_s == exact.tuned_estimate_s
+    assert pruned.baseline_estimate_s == exact.baseline_estimate_s
+    assert exact.pruned == 0
+
+    candidates = max(1, pruned.evaluations - 1)  # minus the baseline
+    row = {
+        "bench": "sweep_prune",
+        "workflow": "TPC-H Q21",
+        "candidates": candidates,
+        "exact_wall_s": round(exact_s, 4),
+        "pruned_wall_s": round(pruned_s, 4),
+        "speedup": round(exact_s / pruned_s, 2),
+        "pruned": pruned.pruned,
+        "prune_rate": round(pruned.pruned / candidates, 3),
+        "tuned_estimate_s": round(pruned.tuned_estimate_s, 6),
+    }
+    print("BENCH " + json.dumps(row))
+    return row
+
+
+def _render(tuning: dict, grid: dict, prune: dict) -> str:
     return render_table(
         ["scenario", "evaluations", "reference (s)", "sweep (s)", "speedup", "note"],
         [
@@ -166,12 +244,20 @@ def _render(tuning: dict, grid: dict) -> str:
                 f"{grid['pool_speedup']:.1f}x",
                 f"{grid['processes']} procs, {grid['cpus']} cpus",
             ],
+            [
+                "Q21 grid (pruned)",
+                prune["candidates"],
+                f"{prune['exact_wall_s']:.3f}",
+                f"{prune['pruned_wall_s']:.3f}",
+                f"{prune['speedup']:.1f}x",
+                f"{prune['prune_rate']:.0%} pruned, same winner",
+            ],
         ],
-        title="What-if sweep layer: cached + parallel vs serial reference",
+        title="What-if sweep layer: cached + parallel + pruned vs exact reference",
     )
 
 
-def _assert_floors(tuning: dict, grid: dict) -> None:
+def _assert_floors(tuning: dict, grid: dict, prune: dict) -> None:
     assert tuning["speedup"] >= TUNE_MIN_SPEEDUP, tuning
     assert tuning["hit_rate"] >= TUNE_MIN_HIT_RATE, tuning
     assert grid["pool_used"], grid
@@ -179,6 +265,8 @@ def _assert_floors(tuning: dict, grid: dict) -> None:
         # On a single-core box the pool is pure overhead; the determinism
         # assertions above still exercised it.
         assert grid["pool_speedup"] >= POOL_MIN_SPEEDUP, grid
+    assert prune["prune_rate"] >= PRUNE_MIN_RATE, prune
+    assert prune["speedup"] >= PRUNE_MIN_SPEEDUP, prune
 
 
 def test_sweep_smoke():
@@ -186,16 +274,24 @@ def test_sweep_smoke():
     Run with ``-k smoke``."""
     tuning = _run_tuning_scenario()
     grid = _run_grid_scenario(SMOKE_GRID_REDUCERS, SMOKE_GRID_SPLITS)
-    emit(_render(tuning, grid))
-    emit_json("sweep", {"mode": "smoke", "tuning": tuning, "grid": grid})
-    _assert_floors(tuning, grid)
+    prune = _run_prune_scenario()
+    emit(_render(tuning, grid, prune))
+    emit_json(
+        "sweep",
+        {"mode": "smoke", "tuning": tuning, "grid": grid, "prune": prune},
+    )
+    _assert_floors(tuning, grid, prune)
 
 
 def test_sweep_full(benchmark):
     tuning = _run_tuning_scenario()
     grid = _run_grid_scenario(GRID_REDUCERS, GRID_SPLITS)
-    emit(_render(tuning, grid))
-    emit_json("sweep", {"mode": "full", "tuning": tuning, "grid": grid})
-    _assert_floors(tuning, grid)
+    prune = _run_prune_scenario()
+    emit(_render(tuning, grid, prune))
+    emit_json(
+        "sweep",
+        {"mode": "full", "tuning": tuning, "grid": grid, "prune": prune},
+    )
+    _assert_floors(tuning, grid, prune)
     # pytest-benchmark tracks the cached tuning sweep's absolute cost.
     benchmark(lambda: _tune_once(cached=True))

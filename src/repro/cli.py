@@ -192,12 +192,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
     cluster = paper_cluster()
     workflow = _resolve(args.workload, args.scale)
-    result, tuned = tune_workflow(workflow, cluster, processes=args.processes)
+    result, tuned = tune_workflow(
+        workflow,
+        cluster,
+        processes=args.processes,
+        prune=not args.no_prune,
+    )
     print(f"workflow          : {workflow.describe()}")
     print(f"baseline estimate : {result.baseline_estimate_s:.1f}s")
     print(f"tuned estimate    : {result.tuned_estimate_s:.1f}s "
           f"({result.improvement:.2f}x, {result.evaluations} evaluations, "
-          f"{result.infeasible} infeasible, "
+          f"{result.infeasible} infeasible, {result.pruned} pruned, "
           f"{result.wall_time_s * 1000:.0f} ms)")
     if result.sweep is not None:
         print(f"sweep             : {result.sweep.describe()}")
@@ -718,6 +723,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also verify the tuned config on the simulator")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes for candidate batches (default 1)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable the analytic bound screen and estimate "
+                        "every candidate (the exact, slower sweep)")
     p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(

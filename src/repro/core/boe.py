@@ -232,6 +232,11 @@ class BOEModel:
     def cluster(self) -> Cluster:
         return self._cluster
 
+    @property
+    def refine(self) -> bool:
+        """Whether utilisation-weighted refinement is enabled (§IV-B3)."""
+        return self._refine
+
     # -- memoisation --------------------------------------------------------------
 
     @property

@@ -1,0 +1,724 @@
+"""Analytic makespan bounds for pruning what-if candidates.
+
+The sweep/tuning layers evaluate thousands of candidate workflows through
+Algorithm 1; most of them provably cannot beat the incumbent.  This module
+computes conservative lower and upper bounds on the estimator's makespan
+*directly from the BOE sub-stage decompositions* — no Algorithm 1 state
+stepping, no fixed-point refinement — so a candidate can be rejected for
+the cost of a few vectorised numpy reductions.
+
+Per-stage lower bound (the p-grid kernel)
+-----------------------------------------
+
+Algorithm 1 drains every stage at ``total / whole_stage_time`` where the
+whole-stage time at parallelism ``delta`` is wave-quantized:
+``(waves - 1) * (t(delta) + ovh) + (t_tail + ovh)``.  Summing the drained
+fractions over the states a stage lives in shows its span is at least the
+*minimum* whole-stage time over any feasible parallelism, so
+
+``span_lb = min over integer p in [1, per_wave_ub] of
+(ceil(n/p) - 1) * (t_lb(p) + ovh) + (t_lb_tail(p) + ovh)``
+
+where ``per_wave_ub`` comes from the scheduler's container arithmetic (a
+stage can never hold more containers than memory slots — plus the vcore
+axis under DRF with ``enforce_vcores``) and ``t_lb(p)`` lower-bounds the
+BOE task time at any ``delta`` with ``int(delta) == p``:
+
+* **staggered-regime slope**: in the staggered regime the stage drains at
+  most ``p`` tasks per wave body, each wave body no shorter than the best
+  bottleneck assignment of the sub-stage demands over the resource axes
+  (``_min_assignment_slope`` — each sub-stage's cost charged to one
+  resource, the wave at least the worst per-resource total); unrefined
+  models use the aggregate-capacity slope directly.
+* **synchronized-wave bound**: when every ``delta`` mapping to ``p`` is
+  synchronized (``n <= 1.5 * p``), the BOE per-sub-stage times are exactly
+  ``max_R amount_R * max(1, users_R) / rate_R`` with self-only users, so
+  the sum of sub-stage maxima is a valid (tighter) floor; the tail wave
+  gets the same floor at its own size.
+
+Refined models (``BOEModel(refine=True)``) redistribute contention with
+sub-1 utilisation weights, which invalidates the self-contention terms;
+the refined kernel keeps only the per-sub-stage zero-contention floors
+(min over demanded resources, still sound, looser).
+
+Workflow lower bound (the cut bound, vectorised across candidates)
+------------------------------------------------------------------
+
+Algorithm 1 starts a stage only after every DAG ancestor finished, and
+the cluster serves each resource axis at most at its aggregate rate.
+Cutting the schedule at a stage ``s`` therefore splits time into three
+disjoint intervals, each with its own path *and* work floors::
+
+    makespan >= max(cp_ready(s), anc_work(s)/agg) + span_lb(s)
+                + max(cp_tail(s), desc_work(s)/agg)
+
+maximised over all cuts, plus the whole-workflow total-work floor.  The
+pure critical path and the total-work bound are special cases; the cut
+form additionally prices a stage forced serial by its own configuration
+(say, two reducers) that neither pure path nor pure work can see.
+
+Upper reference
+---------------
+
+The serial solo-stage schedule: the sum over all stages of the stage
+time alone on the cluster at its equilibrium parallelism.  Single-job
+estimates never exceed it (stages run back-to-back at exactly the solo
+times), and multi-job estimates track it within wave-quantization slop —
+concurrent branches can pay more per-wave synchronization barriers than
+any serial order would, so ``upper_s`` is a *reference* for bracket-gap
+telemetry, never a pruning gate.  Pruning decisions compare the hard
+``lower_s`` against an *evaluated* estimate only.  Each upper reference
+costs a solo BOE solve, so ``bounds_batch(..., need_upper=False)`` skips
+them on the pruning fast path (only the lower bound gates a prune once
+an incumbent is on hand).
+
+Batching mirrors :meth:`repro.core.boe.BOEModel.solve_batch`: stage
+bounds are memoised two-level (object identity first — knob candidates
+share untouched jobs by identity — then value fingerprint, so jobs
+rebuilt across coordinate-descent passes skip the kernel too), a whole
+batch's memo misses are priced in one padded numpy kernel call, and the
+cut-bound DP runs vectorised across all candidates of a topology group
+at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resources import Resource
+from repro.core.boe import BOEModel
+from repro.core.distributions import TaskTimeDistribution, Variant, stage_time
+from repro.core.fingerprint import LRUCache, default_cache_entries, job_fingerprint
+from repro.core.parallelism import RunningStage, estimate_parallelism
+from repro.dag.workflow import Workflow
+from repro.errors import EstimationError, SchedulingError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.phases import build_task_substages
+from repro.mapreduce.stage import StageKind
+from repro.scheduler.container import container_for
+
+#: Relative slack deducted from every lower bound: the estimator's wave
+#: arithmetic carries ``1e-9`` epsilons (``int(delta + 1e-9)``), so the
+#: analytic bound concedes the same order of float slop rather than claim
+#: a spuriously strict inequality.
+_LB_SLACK = 1.0 - 1e-9
+
+#: Stagger threshold — must match ``repro.core.boe._STAGGER_WAVES``.
+_STAGGER_WAVES = 1.5
+
+
+@dataclass(frozen=True)
+class WorkflowBounds:
+    """Conservative analytic bracket on one candidate's estimated makespan.
+
+    Attributes:
+        lower_s: no feasible Algorithm 1 trajectory finishes faster — the
+            hard guarantee every pruning decision rests on.
+        upper_s: the serial solo-stage reference schedule.  Single-job
+            estimates never exceed it; multi-job estimates track it within
+            wave-quantization slop (concurrent branches can pay extra
+            per-wave barriers).  Telemetry reference only — never a
+            pruning gate.  ``math.inf`` when skipped
+            (``need_upper=False``).
+    """
+
+    lower_s: float
+    upper_s: float
+
+    @property
+    def gap_s(self) -> float:
+        return self.upper_s - self.lower_s
+
+    @property
+    def relative_gap(self) -> float:
+        """``(upper - lower) / upper``; 0 means the bracket is tight.
+        1.0 when the upper bound was not computed (``need_upper=False``)."""
+        if not math.isfinite(self.upper_s):
+            return 1.0
+        return self.gap_s / self.upper_s if self.upper_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class _StagePrimitives:
+    """Everything the p-grid kernel needs about one (job, kind) stage."""
+
+    n: int
+    amounts: np.ndarray  # [substages x (cpu core-s, disk MB, net MB)]
+    per_wave_ub: int
+    overhead_s: float
+
+
+class BoundsModel:
+    """Vectorised makespan bounds for candidates on one cluster.
+
+    Bound to one (cluster, estimator configuration) like
+    :class:`~repro.core.boe.BOEModel`; the sweep layer keeps one per
+    candidate cluster.  Stage bounds are memoised by the value-hashed
+    (job, kind) key, so a batch of knob-perturbed candidates pays the
+    kernel only for the stages the knob actually changed.
+
+    Args:
+        cluster: the target cluster.
+        model: BOE model for the upper bound's solo task times; ``None``
+            builds an unrefined one.  ``model.refine`` selects the
+            refined-model fallback for the lower bound.
+        variant: estimator variant the bounded estimates use.
+        policy / enforce_vcores: scheduler configuration — fixes the
+            container-slot cap ``per_wave_ub``.
+        skew_cv / include_overhead: :class:`~repro.core.estimator.BOESource`
+            wrapping parameters of the bounded estimates.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model: Optional[BOEModel] = None,
+        *,
+        variant: Variant = Variant.MEAN,
+        policy: str = "drf",
+        enforce_vcores: bool = False,
+        skew_cv: float = 0.0,
+        include_overhead: bool = True,
+    ):
+        self._cluster = cluster
+        self._model = model if model is not None else BOEModel(cluster)
+        if self._model.cluster != cluster:
+            raise EstimationError(
+                "bounds model and BOE model must share one cluster"
+            )
+        self._refine = self._model.refine
+        self._variant = variant
+        self._policy = policy
+        self._enforce_vcores = enforce_vcores
+        self._skew_cv = skew_cv
+        self._include_overhead = include_overhead
+        node = cluster.node
+        # Best per-task service rates (CPU has no node bandwidth: one task
+        # pipelines at most one core, per repro.core.allocation).
+        self._task_rates = np.array(
+            [
+                1.0,
+                node.bandwidth(Resource.DISK),
+                node.bandwidth(Resource.NETWORK),
+            ]
+        )
+        # Aggregate cluster capacity per resource axis.
+        self._agg_rates = self._task_rates * np.array(
+            [float(cluster.total_cores), float(cluster.workers), float(cluster.workers)]
+        )
+        # Per-node sharing divisors: delta tasks spread over `workers`
+        # nodes contend for `cores` CPUs / one disk / one NIC each.
+        self._share_div = np.array(
+            [float(cluster.total_cores), float(cluster.workers), float(cluster.workers)]
+        )
+        # Two-level memoisation.  Level 1 keys on ``id(job)``: candidates
+        # produced by the knob layer share every untouched job *by object
+        # identity*, and hashing a frozen job dataclass walks its whole
+        # config — at sweep batch sizes that hash dominates the kernel
+        # itself.  Level 2 keys on the job's value fingerprint, so a
+        # value-identical job rebuilt by a later coordinate-descent pass
+        # pays one fingerprint walk instead of a kernel run.  Every
+        # id-keyed entry holds a strong reference to its job: while the
+        # entry lives its job stays alive and the id cannot be recycled,
+        # so a hit always belongs to the queried object (an evicted entry
+        # takes the only possibly-stale id with it).
+        entries = default_cache_entries()
+        self._fp_by_id = LRUCache(entries)  # id(job) -> (job, fingerprint)
+        self._prims = LRUCache(entries)  # (id, kind) -> (job, primitives)
+        self._lows = LRUCache(entries)  # (id, kind) -> (job, lb, work[3])
+        self._lows_by_fp = LRUCache(entries)  # (fp, kind) -> (lb, work[3])
+        self._uppers = LRUCache(entries)  # (id, kind) -> (job, ub)
+        self._topologies = LRUCache(entries)  # identity -> (edges, key, stages, deps)
+
+    @classmethod
+    def from_source(
+        cls,
+        source,
+        *,
+        variant: Variant = Variant.MEAN,
+        policy: str = "drf",
+        enforce_vcores: bool = False,
+    ) -> "BoundsModel":
+        """Build from a :class:`~repro.core.estimator.BOESource`, sharing
+        its model (and therefore its task-time caches and refinement
+        setting) so the bounds bracket exactly what that source's
+        estimates would produce."""
+        model = source.model
+        return cls(
+            model.cluster,
+            model,
+            variant=variant,
+            policy=policy,
+            enforce_vcores=enforce_vcores,
+            skew_cv=source.skew_cv,
+            include_overhead=source.include_overhead,
+        )
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    # -- stage primitives --------------------------------------------------------
+
+    def _per_wave_ub(self, job: MapReduceJob, kind: StageKind, n: int) -> int:
+        container = container_for(job, kind)
+        capacity = self._cluster.capacity
+        slots = float("inf")
+        if container.memory_mb > 0:
+            slots = capacity.memory_mb / container.memory_mb
+        if (
+            self._policy == "drf"
+            and self._enforce_vcores
+            and container.vcores > 0
+        ):
+            slots = min(slots, capacity.vcores / container.vcores)
+        delta_ub = min(float(n), slots)
+        return max(1, int(delta_ub + 1e-9))
+
+    def _primitives(self, job: MapReduceJob, kind: StageKind) -> _StagePrimitives:
+        key = (id(job), kind)
+        hit = self._prims.get(key)
+        if hit is not None:
+            return hit[1]
+        substages = build_task_substages(
+            job, kind, remote_fraction=self._cluster.remote_fraction
+        )
+        amounts = np.zeros((len(substages), 3))
+        for i, spec in enumerate(substages):
+            amounts[i, 0] = spec.amount(Resource.CPU)
+            amounts[i, 1] = spec.amount(Resource.DISK)
+            amounts[i, 2] = spec.amount(Resource.NETWORK)
+        n = job.num_tasks(kind)
+        prims = _StagePrimitives(
+            n=n,
+            amounts=amounts,
+            per_wave_ub=self._per_wave_ub(job, kind, n),
+            overhead_s=(
+                job.config.task_overhead_s if self._include_overhead else 0.0
+            ),
+        )
+        self._prims.put(key, (job, prims))
+        return prims
+
+    def _job_fp(self, job: MapReduceJob):
+        """Value fingerprint of a job, memoised by object identity."""
+        hit = self._fp_by_id.get(id(job))
+        if hit is not None:
+            return hit[1]
+        fp = job_fingerprint(job)
+        self._fp_by_id.put(id(job), (job, fp))
+        return fp
+
+    # -- the p-grid lower-bound kernel -------------------------------------------
+
+    def _min_assignment_slope(self, amounts: np.ndarray) -> float:
+        """Worst-case staggered work slope under refinement.
+
+        At the refinement fixed point every sub-stage keeps utilisation 1
+        on its *bottleneck* resource, so for any bottleneck assignment
+        ``sigma`` the occupancy argument still forces
+        ``t >= delta * max_R sum_{sigma(s)=R} amount_sR / agg_rate_R``.
+        The assignment is the model's to pick, so the sound slope is the
+        min-max over all of them — sub-stage counts are tiny (<= 3), so
+        plain enumeration beats being clever.
+        """
+        cost = amounts / self._agg_rates  # [S x 3] seconds per unit delta
+        used = [np.flatnonzero(row > 0) for row in cost]
+        if any(len(u) == 0 for u in used):
+            return 0.0
+        best = math.inf
+        for combo in itertools.product(*used):
+            per_resource = np.zeros(3)
+            for s, r in enumerate(combo):
+                per_resource[r] += cost[s, r]
+            best = min(best, float(per_resource.max()))
+        return best if best is not math.inf else 0.0
+
+    def _span_lower_batch(self, prims_list: Sequence[_StagePrimitives]) -> np.ndarray:
+        """Stage lower bounds for many stages in one padded numpy kernel.
+
+        The per-candidate cost of pruning is dominated by the one or two
+        stages each knob actually perturbs — every other stage hits the
+        memo — so those misses are collected across the whole candidate
+        batch and priced together: one ``[M x P x S x 3]`` broadcast
+        instead of M small kernels, which drops the per-miss numpy
+        dispatch overhead by the batch width.  Sub-stage rows are
+        zero-padded (zero demand contributes nothing to any floor) and
+        the ``p`` grid is masked per stage at its container cap.
+        """
+        M = len(prims_list)
+        out = np.zeros(M)
+        live = [m for m, p in enumerate(prims_list) if p.n > 0]
+        if not live:
+            return out
+        s_max = max(len(prims_list[m].amounts) for m in live)
+        p_max = max(prims_list[m].per_wave_ub for m in live)
+        L = len(live)
+        amounts = np.zeros((L, s_max, 3))
+        n = np.zeros(L)
+        ub = np.zeros(L)
+        ovh = np.zeros(L)
+        slope = np.zeros(L)
+        for row, m in enumerate(live):
+            prims = prims_list[m]
+            amounts[row, : len(prims.amounts)] = prims.amounts
+            n[row] = float(prims.n)
+            ub[row] = float(prims.per_wave_ub)
+            ovh[row] = prims.overhead_s
+            if self._refine:
+                # Refined models re-weight contention with sub-1
+                # utilisation, but each sub-stage's bottleneck resource
+                # keeps utilisation exactly 1 at the fixed point; the
+                # bottleneck's identity is the solver's, hence the
+                # min-max assignment slope.
+                slope[row] = self._min_assignment_slope(prims.amounts)
+            else:
+                # Work / aggregate-capacity slope (sound in every
+                # regime): the staggered fixed point serves each
+                # resource's *summed* sub-stage demand from the whole
+                # cluster, so ``t >= delta * sum_s amount_sR /
+                # agg_rate_R`` whether or not the resource ends up
+                # contended (occupancy argument).
+                slope[row] = float(
+                    (prims.amounts.sum(axis=0) / self._agg_rates).max()
+                )
+        # Zero-contention floor: every sub-stage served at the best
+        # per-task rate of its bottleneck resource.
+        base = amounts / self._task_rates  # [L x S x 3] seconds
+        t_min = base.max(axis=2).sum(axis=1)  # [L]
+        grid = np.arange(1.0, p_max + 1.0)  # [P]
+        n_ = n[:, None]
+        t_tail_sizes = n_ - (np.ceil(n_ / grid[None, :]) - 1.0) * grid[None, :]
+        # Per-sub-stage self-contention at delta tasks per wave.  For
+        # synchronized waves (n <= 1.5 p) the BOE times are exactly the
+        # per-sub-stage maxima under self-only users; refined models keep
+        # only the bottleneck's term (min over a sub-stage's *used*
+        # resources, the solver picks which).
+        def sync_time(deltas: np.ndarray) -> np.ndarray:
+            factor = np.maximum(1.0, deltas[:, :, None] / self._share_div)
+            contended = base[:, None, :, :] * factor[:, :, None, :]
+            if self._refine:
+                contended = np.where(
+                    base[:, None, :, :] > 0, contended, np.inf
+                ).min(axis=3)
+                contended[~np.isfinite(contended)] = 0.0
+                floors = np.maximum(base.max(axis=2)[:, None, :], contended)
+                return floors.sum(axis=2)
+            return contended.max(axis=3).sum(axis=2)
+
+        t_sync = sync_time(np.broadcast_to(grid[None, :], (L, len(grid))))
+        t_stag = np.maximum(t_min[:, None], grid[None, :] * slope[:, None])
+        # n <= 1.5 p: every delta in [p, p+1) is synchronized; otherwise
+        # some delta may be staggered and only the slope bound holds.
+        t_body = np.where(n_ <= _STAGGER_WAVES * grid[None, :], t_sync, t_stag)
+        t_tail = np.maximum(t_min[:, None], t_tail_sizes * slope[:, None])
+        # The ragged tail is re-priced at ``delta = last``; the model
+        # treats it as synchronized whenever ``n <= 1.5 * last``, and
+        # concurrent loads only inflate the synchronized time.
+        t_tail = np.where(
+            n_ <= _STAGGER_WAVES * t_tail_sizes,
+            np.maximum(t_tail, sync_time(t_tail_sizes)),
+            t_tail,
+        )
+        waves = np.ceil(n_ / grid[None, :])
+        whole = (waves - 1.0) * (t_body + ovh[:, None]) + (t_tail + ovh[:, None])
+        whole = np.where(grid[None, :] <= ub[:, None], whole, np.inf)
+        out[live] = whole.min(axis=1) * _LB_SLACK
+        return out
+
+    # -- the solo-stage upper bound ----------------------------------------------
+
+    def _span_upper(self, job: MapReduceJob, kind: StageKind, n: int) -> float:
+        if n <= 0:
+            return 0.0
+        deltas = estimate_parallelism(
+            (RunningStage(job, kind, float(n)),),
+            self._cluster,
+            policy=self._policy,
+            enforce_vcores=self._enforce_vcores,
+        )
+        delta = deltas.get(job.name, 0.0)
+        if delta <= 0:
+            raise EstimationError(
+                f"stage {job.name}/{kind.value} holds no containers solo"
+            )
+        estimate = self._model.task_time(job, kind, delta, ())
+        value = estimate.duration
+        if self._include_overhead:
+            value += job.config.task_overhead_s
+        dist = TaskTimeDistribution(
+            mean=value, median=value, std=value * self._skew_cv, n=0
+        )
+        return stage_time(float(n), delta, dist, self._variant)
+
+    def _resolve_lows(self, pending: Dict) -> None:
+        """Fill the lower-bound memo for the stages it is missing.
+
+        Each miss is first tried against the value-fingerprint level (a
+        later coordinate-descent pass rebuilds value-identical jobs with
+        fresh identities); the remainder run through one batched kernel
+        call.  A stage whose decomposition cannot be built is recorded
+        with a ``None`` bound — its candidates stay unprunable.
+        """
+        kernel = []
+        for key, (job, kind) in pending.items():
+            fp_key = (self._job_fp(job), kind)
+            hit = self._lows_by_fp.get(fp_key)
+            if hit is not None:
+                self._lows.put(key, (job, hit[0], hit[1]))
+                continue
+            kernel.append((key, job, kind, fp_key))
+        if not kernel:
+            return
+        prims_list = []
+        for key, job, kind, fp_key in kernel:
+            try:
+                prims_list.append(self._primitives(job, kind))
+            except (EstimationError, SchedulingError):
+                prims_list.append(None)
+        lbs = self._span_lower_batch(
+            [p for p in prims_list if p is not None]
+        )
+        cursor = 0
+        for (key, job, kind, fp_key), prims in zip(kernel, prims_list):
+            if prims is None:
+                self._lows.put(key, (job, None, None))
+                continue
+            lb = float(lbs[cursor])
+            cursor += 1
+            if self._refine or prims.n <= 0:
+                # Refined models can serve a resource above its nominal
+                # capacity (sub-1 utilisation weights), so the aggregate
+                # work bound only holds unrefined.
+                work = np.zeros(3)
+            else:
+                work = prims.n * prims.amounts.sum(axis=0) / self._agg_rates
+            self._lows.put(key, (job, lb, work))
+            self._lows_by_fp.put(fp_key, (lb, work))
+
+    def _stage_upper(self, job: MapReduceJob, kind: StageKind) -> float:
+        key = (id(job), kind)
+        hit = self._uppers.get(key)
+        if hit is not None:
+            return hit[1]
+        value = self._span_upper(job, kind, self._primitives(job, kind).n)
+        self._uppers.put(key, (job, value))
+        return value
+
+    # -- workflow-level bounds ---------------------------------------------------
+
+    def _topology(self, workflow: Workflow):
+        """Stage list + dependency indices + a grouping key.
+
+        The key depends only on the stage *structure* (names, edges, which
+        jobs are map-only), so every knob-perturbed candidate of one
+        workflow lands in the same group and shares one DP.  Knob-layer
+        candidates share the edge frozenset by object identity, which
+        makes ``(id(edges), names, map-only flags)`` a cheap memo key —
+        the entry pins the edge object so the id cannot be recycled.
+        """
+        memo_key = (
+            id(workflow.edges),
+            tuple(job.name for job in workflow.jobs),
+            tuple(job.is_map_only for job in workflow.jobs),
+        )
+        hit = self._topologies.get(memo_key)
+        if hit is not None:
+            return hit[1], hit[2], hit[3]
+        order = workflow.topological_order()
+        stages: List[Tuple[str, StageKind]] = []
+        deps: List[Tuple[int, ...]] = []
+        last_stage: Dict[str, int] = {}
+        for name in order:
+            job = workflow.job(name)
+            parent_last = tuple(
+                last_stage[p] for p in sorted(workflow.parents(name))
+            )
+            for position, kind in enumerate(job.stages()):
+                index = len(stages)
+                stages.append((name, kind))
+                deps.append(parent_last if position == 0 else (index - 1,))
+                last_stage[name] = index
+        key = (
+            tuple(order),
+            tuple(dep for dep in deps),
+            tuple(kind for _, kind in stages),
+        )
+        self._topologies.put(memo_key, (workflow.edges, key, stages, deps))
+        return key, stages, deps
+
+    @staticmethod
+    def _ancestor_matrix(deps: Sequence[Tuple[int, ...]]) -> np.ndarray:
+        """Transitive-closure matrix: ``[s, a] == 1`` iff stage ``a`` must
+        finish before stage ``s`` starts.  ``deps`` is topologically
+        ordered, so one forward pass closes the relation."""
+        anc = np.zeros((len(deps), len(deps)))
+        for col, dep in enumerate(deps):
+            for parent in dep:
+                anc[col, parent] = 1.0
+                anc[col] = np.maximum(anc[col], anc[parent])
+        return anc
+
+    def bounds(self, workflow: Workflow) -> WorkflowBounds:
+        """Bounds for one workflow; raises :class:`EstimationError` when a
+        stage cannot be bounded (e.g. it holds no containers at all)."""
+        result = self.bounds_batch([workflow])[0]
+        if result is None:
+            raise EstimationError(
+                f"could not bound workflow {workflow.name!r} on "
+                f"{self._cluster.name!r}"
+            )
+        return result
+
+    def bounds_batch(
+        self, workflows: Sequence[Workflow], *, need_upper: bool = True
+    ) -> List[Optional[WorkflowBounds]]:
+        """Bounds for every candidate at once; ``None`` marks candidates a
+        bound could not be derived for (callers must treat those as
+        unprunable).
+
+        Candidates are grouped by stage topology; within a group the
+        critical-path DP over per-stage lower bounds runs as one numpy
+        recurrence across the whole candidate axis, the per-stage kernel
+        is shared through the two-level (identity, fingerprint) memo, and
+        group-wide memo misses are priced in one batched kernel call.
+
+        ``need_upper=False`` skips the upper bounds (each one a solo BOE
+        solve): the pruning fast path needs only lower bounds once an
+        incumbent estimate is on hand.  Skipped uppers surface as
+        ``math.inf``.
+        """
+        results: List[Optional[WorkflowBounds]] = [None] * len(workflows)
+        groups: Dict[object, List[int]] = {}
+        topologies: Dict[object, Tuple[list, list]] = {}
+        for index, workflow in enumerate(workflows):
+            key, stages, deps = self._topology(workflow)
+            groups.setdefault(key, []).append(index)
+            topologies[key] = (stages, deps)
+        for key, members in groups.items():
+            stages, deps = topologies[key]
+            if not stages:
+                continue
+            jobs = [
+                [workflows[index].job(name) for name, _ in stages]
+                for index in members
+            ]
+            # One memo pass: remember each cell's entry (or its key, for
+            # misses) so hits are never looked up twice.
+            grid_cells = []
+            pending: Dict = {}
+            for row in range(len(members)):
+                cells = []
+                for col, (_, kind) in enumerate(stages):
+                    job = jobs[row][col]
+                    stage_key = (id(job), kind)
+                    entry = self._lows.get(stage_key)
+                    if entry is None:
+                        pending.setdefault(stage_key, (job, kind))
+                    cells.append((stage_key, entry))
+                grid_cells.append(cells)
+            if pending:
+                self._resolve_lows(pending)
+            low_rows = []
+            work_rows = []
+            zero_work = (0.0, 0.0, 0.0)
+            valid = [True] * len(members)
+            for row, cells in enumerate(grid_cells):
+                lows = []
+                works = []
+                for stage_key, entry in cells:
+                    if entry is None:
+                        entry = self._lows.get(stage_key)
+                    if entry is None or entry[1] is None:
+                        valid[row] = False
+                        break
+                    lows.append(entry[1])
+                    works.append(entry[2])
+                if valid[row]:
+                    low_rows.append(lows)
+                    work_rows.append(works)
+                else:
+                    low_rows.append([0.0] * len(stages))
+                    work_rows.append([zero_work] * len(stages))
+            lower = np.array(low_rows)
+            upper = np.zeros((len(members), len(stages)))
+            stage_work = np.array(work_rows)
+            if need_upper:
+                for row in range(len(members)):
+                    if not valid[row]:
+                        continue
+                    try:
+                        for col, (_, kind) in enumerate(stages):
+                            upper[row, col] = self._stage_upper(
+                                jobs[row][col], kind
+                            )
+                    except (EstimationError, SchedulingError):
+                        # A stage the scheduler would reject outright
+                        # (container exceeding the cluster) cannot be
+                        # upper-bounded; the estimator rejects the same
+                        # candidate as infeasible, so reporting it
+                        # unprunable costs one failed estimate, not
+                        # correctness.
+                        valid[row] = False
+            # Cut bound over the stage DAG, vectorised across the group's
+            # candidates.  Algorithm 1 starts a stage only after every DAG
+            # ancestor finished (child maps wait for whole parents, reduce
+            # waits for map), and the cluster serves each resource at most
+            # at its aggregate rate.  Cutting the schedule at one stage
+            # ``s`` splits time into three disjoint intervals — before
+            # ``s`` starts (all ancestor work happens here), the span of
+            # ``s`` itself, and after ``s`` finishes (all descendant work
+            # happens here) — each with its own path and work floors::
+            #
+            #   span >= max(cp_ready(s), anc_work(s) / agg_rate) + span_lb(s)
+            #           + max(cp_tail(s), desc_work(s) / agg_rate)
+            #
+            # plus the finish-time floor ``(anc + own work) / agg_rate``
+            # in place of the first two terms.  The pure critical path
+            # (work := 0) and the total-work floor (all work on one side
+            # of the cut) are special cases; the max over all cuts also
+            # prices a stage forced serial by its configuration (e.g. two
+            # reducers) that neither pure path nor pure work can see.
+            ancestors = self._ancestor_matrix(deps)
+            finish = np.zeros_like(lower)
+            ready = np.zeros_like(lower)
+            for col, dep in enumerate(deps):
+                ready[:, col] = (
+                    finish[:, list(dep)].max(axis=1) if dep else 0.0
+                )
+                finish[:, col] = ready[:, col] + lower[:, col]
+            tail = np.zeros_like(lower)
+            for col in range(len(deps) - 1, -1, -1):
+                for parent in deps[col]:
+                    tail[:, parent] = np.maximum(
+                        tail[:, parent], tail[:, col] + lower[:, col]
+                    )
+            # anc_work[c, s, r]: summed work of s's ancestors on resource
+            # r; desc_work transposes the closure.
+            anc_work = np.einsum("st,ctr->csr", ancestors, stage_work)
+            desc_work = np.einsum("ts,ctr->csr", ancestors, stage_work)
+            start = np.maximum(ready, anc_work.max(axis=2) * _LB_SLACK)
+            fin = np.maximum(
+                start + lower,
+                (anc_work + stage_work).max(axis=2) * _LB_SLACK,
+            )
+            suffix = np.maximum(tail, desc_work.max(axis=2) * _LB_SLACK)
+            lb = (fin + suffix).max(axis=1)
+            total_work = stage_work.sum(axis=1).max(axis=1)
+            lb = np.maximum(lb, total_work * _LB_SLACK)
+            if need_upper:
+                ub = np.maximum(upper.sum(axis=1), lb)
+            else:
+                ub = np.full(len(members), math.inf)
+            for row, index in enumerate(members):
+                if valid[row]:
+                    results[index] = WorkflowBounds(
+                        lower_s=float(lb[row]), upper_s=float(ub[row])
+                    )
+        return results

@@ -123,6 +123,14 @@ class BOESource:
         return self._model
 
     @property
+    def skew_cv(self) -> float:
+        return self._skew_cv
+
+    @property
+    def include_overhead(self) -> bool:
+        return self._include_overhead
+
+    @property
     def cache_stats(self) -> CacheStats:
         """The wrapped model's task-time cache ledger (sweep observability)."""
         return self._model.cache_stats

@@ -48,6 +48,8 @@ from repro.service.pool import (
     check_cancel,
     parent_cpu_clock,
 )
+from repro.service.shm import ShmHandle, pack as shm_pack, release as shm_release
+from repro.service.shm import resolve_shared
 from repro.simulator.engine import SimulationConfig, simulate
 from repro.simulator.seeding import replication_seeds
 from repro.simulator.trace import SimulationResult
@@ -491,15 +493,18 @@ def serial_replication_chunk(
     return outputs, 0.0, {}, []
 
 
-def _setup_chunk(payload: Tuple[_EnsembleSetup, Sequence[_Item]]) -> _ChunkOutcome:
+def _setup_chunk(payload: Tuple[Any, Sequence[_Item]]) -> _ChunkOutcome:
     """Self-contained chunk evaluator for *foreign* (shared) pools.
 
-    The setup ships inside the payload, so a generic service pool — one
-    whose workers were not initialised with this ensemble's setup — can
-    serve replication chunks.  Costs a setup pickle per chunk.
+    The setup ships inside the payload — raw, or as a
+    :class:`~repro.service.shm.ShmHandle` the parent packed once for the
+    whole run (:func:`~repro.service.shm.resolve_shared` memoises the
+    deserialised setup worker-side).  Either way a generic service pool —
+    one whose workers were not initialised with this ensemble's setup —
+    can serve replication chunks.
     """
     setup, items = payload
-    return _worker_chunk_telemetry(setup, items)
+    return _worker_chunk_telemetry(resolve_shared(setup), items)
 
 
 class _ReplicationDriver:
@@ -538,6 +543,10 @@ class _ReplicationDriver:
             self._processes = processes
         self.cpu_time_s = 0.0
         self.pool_used = False
+        # Borrowed-pool setup transport (see SweepRunner._shipped_context):
+        # packed lazily on the first pooled batch, released with the driver.
+        self._shm_handle: Any = None
+        self._pool_payload: Any = None
 
     @property
     def processes(self) -> int:
@@ -552,6 +561,19 @@ class _ReplicationDriver:
     def close(self) -> None:
         if self._own_pool:
             self._pool.close()
+        if isinstance(self._shm_handle, ShmHandle):
+            shm_release(self._shm_handle)
+        self._shm_handle = None
+        self._pool_payload = None
+
+    def _shipped_setup(self) -> Any:
+        """The borrowed-pool chunk payload's setup: a shared-memory handle
+        when the setup is large enough to park, the raw setup otherwise."""
+        if self._pool_payload is None:
+            handle = shm_pack(self._setup, label="ensemble")
+            self._shm_handle = handle if handle is not None else False
+            self._pool_payload = handle if handle is not None else self._setup
+        return self._pool_payload
 
     def run(
         self, items: Sequence[_Item], cancel: Optional[CancelCheck] = None
@@ -592,9 +614,12 @@ class _ReplicationDriver:
             payloads: List[Any] = list(chunks)
             serial_fn: Callable[[Any], Any] = self._serial_chunk
         else:
-            # Borrowed (service) pool: ship the setup with every chunk.
+            # Borrowed (service) pool: ship the setup with every chunk —
+            # as a shared-memory handle when large enough to park (packed
+            # once per driver), raw otherwise.
             fn = _setup_chunk
-            payloads = [(self._setup, chunk) for chunk in chunks]
+            shipped = self._shipped_setup()
+            payloads = [(shipped, chunk) for chunk in chunks]
             serial_fn = lambda payload: self._serial_chunk(payload[1])  # noqa: E731
         registry = get_metrics()
         tracer = get_tracer()

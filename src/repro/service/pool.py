@@ -28,6 +28,14 @@ pool.  All of them need the same three guarantees, centralised here:
 The work functions themselves stay with their owners (the sweep/ensemble
 modules define the chunk evaluators); this module owns only the lifecycle
 and the failure semantics.
+
+A fourth concern — *what* the chunks carry — layers on top in
+:mod:`repro.service.shm`: jobs riding a borrowed pool would otherwise
+pickle their whole read-only context into every chunk payload, so the
+sweep/ensemble evaluators park that context in a shared-memory segment
+once per job and ship a tiny handle instead, with worker-side
+memoisation and bit-transparent fallback to raw pickling.  The pool
+itself is oblivious to the transport: payloads are opaque here.
 """
 
 from __future__ import annotations

@@ -1,0 +1,192 @@
+"""Zero-copy shipping of read-only worker state over shared memory.
+
+The shared service pool multiplexes many jobs over one
+``ProcessPoolExecutor``; a job whose workers were not initialised with its
+context must ship that context *inside every chunk payload*
+(:func:`repro.sweep.runner._context_chunk`,
+:func:`repro.ensemble.engine._setup_chunk`).  For large workflows that is
+the pool hot path: the same multi-hundred-kilobyte immutable blob is
+pickled by the parent and unpickled by a worker once per chunk.
+
+This module replaces the per-chunk blob with a one-time
+:mod:`multiprocessing.shared_memory` segment:
+
+* **Parent** — :func:`pack` pickles the object once into a fresh shared
+  segment and returns a tiny :class:`ShmHandle` (name + length) that rides
+  in the chunk payload instead of the object.  The parent owns the
+  segment's lifetime and must :func:`release` it when the job ends.
+* **Worker** — :func:`resolve_shared` attaches by name, unpickles once,
+  and memoises the object in a small FIFO cache keyed by segment name, so
+  every later chunk of the same job pays a dict lookup instead of a
+  deserialisation.  Attached segments are unregistered from the worker's
+  ``resource_tracker`` (the parent unlinks; workers must not).
+
+The transport is *bit-transparent*: the worker reconstructs the object
+from the identical pickle bytes the raw path would have shipped, so
+results are bit-identical under the sweep/ensemble determinism contracts
+(``tests/service/test_shm.py``).  Every failure mode — platform without
+shared memory, segment creation denied, attach failure in the worker —
+degrades to shipping the raw object exactly as before, never to an error.
+
+Environment gates:
+
+* ``REPRO_SHM=0`` disables the transport (raw pickling everywhere).
+* ``REPRO_SHM_MIN_BYTES`` (default ``65536``) — payloads whose pickle is
+  smaller ship raw; a shared segment only pays for itself when the blob
+  is large.  Set to ``0`` to force shm for parity tests.
+
+Telemetry: ``pool.shm_ships`` counts packed segments and
+``pool.shm_bytes`` their total pickled size (both parent-side, riding the
+usual metrics registry).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.obs.metrics import get_metrics
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
+
+#: Pickle payloads below this many bytes ship raw by default; a shared
+#: segment's create/attach round-trip only wins on large blobs.
+DEFAULT_MIN_BYTES = 65536
+
+#: Deserialised objects a worker keeps, keyed by segment name.  The shared
+#: service pool runs a handful of jobs concurrently; 8 covers them while
+#: bounding worker memory when jobs churn.
+WORKER_CACHE_ENTRIES = 8
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """A picklable reference to an object parked in shared memory."""
+
+    name: str
+    size: int
+
+
+def shm_enabled() -> bool:
+    """Shared-memory shipping is available and not disabled by env."""
+    if shared_memory is None:
+        return False
+    return os.environ.get("REPRO_SHM", "1").lower() not in ("0", "false", "off")
+
+
+def min_ship_bytes() -> int:
+    """The raw-vs-shm size threshold (``REPRO_SHM_MIN_BYTES`` override)."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES")
+    if raw is None:
+        return DEFAULT_MIN_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_MIN_BYTES
+
+
+def pack(obj: Any, label: str = "pool") -> Optional[ShmHandle]:
+    """Park ``obj``'s pickle in a fresh shared segment; ``None`` ships raw.
+
+    ``None`` means the caller should fall back to shipping the raw object
+    (transport disabled, blob below the size threshold, unpicklable
+    object, or segment creation failed) — the degradation is silent for
+    the size gate and logged once at WARNING for genuine failures.
+
+    The caller owns the returned segment and must :func:`release` it when
+    the job's last chunk has been served.
+    """
+    if not shm_enabled():
+        return None
+    try:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        # The raw path would fail identically; let the pool's existing
+        # pickle probe / mid-map handling own the loud degradation.
+        return None
+    if len(blob) < min_ship_bytes():
+        return None
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+        segment.buf[: len(blob)] = blob
+    except Exception as exc:
+        logger.warning(
+            "%s: shared-memory segment creation failed (%s: %s); "
+            "shipping worker state per chunk instead",
+            label,
+            type(exc).__name__,
+            exc,
+        )
+        return None
+    handle = ShmHandle(name=segment.name, size=len(blob))
+    segment.close()
+    registry = get_metrics()
+    if registry.enabled:
+        registry.counter("pool.shm_ships").inc()
+        registry.counter("pool.shm_bytes").inc(len(blob))
+    logger.debug(
+        "%s: parked %d-byte worker state in shared memory %s",
+        label,
+        len(blob),
+        handle.name,
+    )
+    return handle
+
+
+def release(handle: Optional[ShmHandle]) -> None:
+    """Unlink a segment created by :func:`pack` (parent-side, idempotent)."""
+    if handle is None or shared_memory is None:
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=handle.name)
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    except Exception as exc:  # pragma: no cover - platform-specific
+        logger.debug(
+            "shared-memory release of %s failed: %s", handle.name, exc
+        )
+
+
+#: Worker-side FIFO of deserialised objects, keyed by segment name.
+_worker_cache: "OrderedDict[str, Any]" = OrderedDict()
+
+
+def resolve_shared(payload: Any) -> Any:
+    """Worker-side inverse of :func:`pack`; passes non-handles through.
+
+    The first chunk of a job attaches the segment, unpickles, caches and
+    detaches; later chunks hit the cache.  Attached segments are
+    unregistered from this process's ``resource_tracker`` so worker exit
+    does not unlink (or warn about) a segment the parent still owns.
+    """
+    if not isinstance(payload, ShmHandle):
+        return payload
+    cached = _worker_cache.get(payload.name)
+    if cached is not None:
+        return cached
+    segment = shared_memory.SharedMemory(name=payload.name)
+    try:
+        if resource_tracker is not None:
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        obj = pickle.loads(bytes(segment.buf[: payload.size]))
+    finally:
+        segment.close()
+    while len(_worker_cache) >= WORKER_CACHE_ENTRIES:
+        _worker_cache.popitem(last=False)
+    _worker_cache[payload.name] = obj
+    return obj

@@ -46,6 +46,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster
 from repro.core.boe import BOEModel
+from repro.core.bounds import BoundsModel
 from repro.core.distributions import Variant
 from repro.core.estimator import BOESource, DagEstimator, TaskTimeSource
 from repro.core.fingerprint import CacheStats
@@ -61,6 +62,8 @@ from repro.service.pool import (
     check_cancel,
     parent_cpu_clock,
 )
+from repro.service.shm import ShmHandle, pack as shm_pack, release as shm_release
+from repro.service.shm import resolve_shared
 
 logger = logging.getLogger(__name__)
 
@@ -98,6 +101,13 @@ class CandidateResult:
         overhead_s: the estimator's own wall-clock cost for this candidate.
         error: the :class:`~repro.errors.EstimationError` message for an
             infeasible candidate, ``None`` on success.
+        pruned: the candidate was rejected by the analytic bound screen
+            before estimation (``total_time_s`` is ``None``).
+        lower_bound_s / upper_bound_s: the analytic makespan bracket that
+            justified the prune (only populated on pruned results).
+        prune_reason: which threshold the lower bound exceeded —
+            ``"incumbent"`` (caller-supplied incumbent estimate) or
+            ``"batch_ref"`` (the evaluated in-batch reference candidate).
     """
 
     index: int
@@ -106,10 +116,14 @@ class CandidateResult:
     states: int = 0
     overhead_s: float = 0.0
     error: Optional[str] = None
+    pruned: bool = False
+    lower_bound_s: Optional[float] = None
+    upper_bound_s: Optional[float] = None
+    prune_reason: Optional[str] = None
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and not self.pruned
 
 
 @dataclass
@@ -117,9 +131,13 @@ class SweepReport:
     """Cumulative observability of a runner's evaluations.
 
     Attributes:
-        candidates: candidates submitted (including infeasible ones).
+        candidates: candidates submitted (including infeasible and pruned
+            ones — nothing is silently omitted from the accounting).
         succeeded: candidates that produced an estimate.
         infeasible: candidates rejected with an estimation error.
+        pruned: candidates skipped by the analytic bound screen; the
+            per-reason split is in ``pruned_reasons`` and each skipped
+            candidate's bracket is on its :class:`CandidateResult`.
         batches: ``evaluate`` calls served.
         wall_time_s: wall-clock time spent inside ``evaluate``.
         cpu_time_s: CPU time across the parent and every worker process
@@ -137,6 +155,8 @@ class SweepReport:
     candidates: int = 0
     succeeded: int = 0
     infeasible: int = 0
+    pruned: int = 0
+    pruned_reasons: Dict[str, int] = field(default_factory=dict)
     batches: int = 0
     wall_time_s: float = 0.0
     cpu_time_s: float = 0.0
@@ -158,8 +178,10 @@ class SweepReport:
         reuse = (
             f", trajectories {self.reuse.describe()}" if self.reuse.lookups else ""
         )
+        pruned = f", {self.pruned} pruned" if self.pruned else ""
         return (
-            f"{self.candidates} evaluations ({self.infeasible} infeasible) in "
+            f"{self.candidates} evaluations ({self.infeasible} infeasible"
+            f"{pruned}) in "
             f"{self.wall_time_s * 1000:.0f} ms "
             f"({self.evaluations_per_s:.0f}/s, cpu {self.cpu_time_s * 1000:.0f} ms, "
             f"{self.processes} proc{'s' if self.processes != 1 else ''}, "
@@ -413,16 +435,20 @@ def _worker_chunk(payload: Sequence[_Item]) -> _ChunkOutcome:
     return _evaluate_chunk(context, payload)
 
 
-def _context_chunk(payload: Tuple[_EvalContext, Sequence[_Item]]) -> _ChunkOutcome:
+def _context_chunk(payload: Tuple[Any, Sequence[_Item]]) -> _ChunkOutcome:
     """Self-contained chunk evaluator for *foreign* (shared) pools.
 
-    The context ships inside the payload, so a generic service pool — one
-    whose workers were not initialised with this runner's context — can
-    serve estimate chunks.  Costs a context pickle per chunk; worker-side
-    cache warmth does not persist between chunks.
+    The context ships inside the payload — either raw, or as a
+    :class:`~repro.service.shm.ShmHandle` referencing a shared-memory
+    segment the parent packed once for the whole job
+    (:func:`~repro.service.shm.resolve_shared` memoises the deserialised
+    context worker-side, so only a job's first chunk per worker pays the
+    unpickle).  Either way a generic service pool — one whose workers were
+    not initialised with this runner's context — can serve estimate
+    chunks.
     """
     context, items = payload
-    return _evaluate_chunk(context, items)
+    return _evaluate_chunk(resolve_shared(context), items)
 
 
 class SweepRunner:
@@ -452,6 +478,13 @@ class SweepRunner:
         batch: evaluate each state's task-time queries through the batched
             BOE kernel (``distribution_batch``) when the source supports
             it.  ``None`` (default) follows ``memo``.
+        prune: screen candidates with analytic makespan bounds
+            (:mod:`repro.core.bounds`) before estimation: a candidate whose
+            lower bound exceeds the incumbent's evaluated estimate (or,
+            without an incumbent, the evaluated in-batch reference
+            candidate's) is skipped — provably never the batch winner.
+            Default off: an exact sweep evaluates every grid point.
+            Per-call override via ``evaluate(..., prune=...)``.
         processes: worker processes; 1 (default) evaluates in-process.
         chunksize: candidates per pool task; ``None`` picks
             ``ceil(n / (4 * processes))``.
@@ -473,6 +506,7 @@ class SweepRunner:
         memo: bool = True,
         reuse: Optional[bool] = None,
         batch: Optional[bool] = None,
+        prune: bool = False,
         processes: int = 1,
         chunksize: Optional[int] = None,
         pool: Optional[ResilientPool] = None,
@@ -508,6 +542,16 @@ class SweepRunner:
             self._own_pool = True
             self._processes = processes
         self._chunksize = chunksize
+        self._prune = prune
+        # Borrowed-pool context transport: packed lazily on the first
+        # parallel batch; ``False`` records a pack that declined (small
+        # context / shm unavailable) so every later batch ships raw
+        # without re-probing.
+        self._shm_handle: Any = None
+        self._pool_payload: Any = None
+        # One BoundsModel per candidate cluster; ``None`` marks clusters
+        # whose source cannot be bounded (stubs, scaled/caching wrappers).
+        self._bounds_models: Dict[Cluster, Optional[BoundsModel]] = {}
         self._report = SweepReport(processes=self._processes)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -519,9 +563,28 @@ class SweepRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op for serial or borrowed pools)."""
+        """Shut the worker pool down (no-op for serial or borrowed pools)
+        and release the shared-memory context segment, if one was packed."""
         if self._own_pool:
             self._pool.close()
+        if isinstance(self._shm_handle, ShmHandle):
+            shm_release(self._shm_handle)
+        self._shm_handle = None
+        self._pool_payload = None
+
+    def _shipped_context(self) -> Any:
+        """What a borrowed-pool chunk payload carries as its context.
+
+        The first call tries to park the context in shared memory
+        (:func:`~repro.service.shm.pack`); success ships the tiny handle
+        with every chunk, refusal ships the raw context exactly as before.
+        The decision is made once per runner — the context is immutable.
+        """
+        if self._pool_payload is None:
+            handle = shm_pack(self._context, label="sweep")
+            self._shm_handle = handle if handle is not None else False
+            self._pool_payload = handle if handle is not None else self._context
+        return self._pool_payload
 
     @property
     def report(self) -> SweepReport:
@@ -565,16 +628,146 @@ class SweepRunner:
             *(hash(job) for job in workflow.jobs),
         )
 
+    def _bounds_for(self, cluster: Cluster) -> Optional[BoundsModel]:
+        """The bounds model matching this cluster's task-time source.
+
+        ``None`` — no pruning — when the source is not a plain
+        :class:`~repro.core.estimator.BOESource` (stubs, measured profiles,
+        scaled/caching wrappers): bounds derived from the BOE decomposition
+        would not bracket what such a source estimates.
+        """
+        if cluster in self._bounds_models:
+            return self._bounds_models[cluster]
+        model: Optional[BoundsModel] = None
+        try:
+            source = self._context.source_for(cluster)
+        except EstimationError:
+            source = None
+        if source is not None and type(source) is BOESource:
+            try:
+                model = BoundsModel.from_source(
+                    source,
+                    variant=self._context._variant,
+                    policy=self._context._policy,
+                    enforce_vcores=self._context._enforce_vcores,
+                )
+            except EstimationError:
+                model = None
+        self._bounds_models[cluster] = model
+        return model
+
+    def _prune_items(
+        self,
+        items: List[_Item],
+        incumbent_time_s: Optional[float],
+    ) -> Tuple[List[_Item], List[CandidateResult]]:
+        """Split a batch into (surviving items, pruned results).
+
+        Lower bounds are computed for every candidate with a boundable
+        source (grouped per cluster, batched through
+        :meth:`~repro.core.bounds.BoundsModel.bounds_batch`).  The prune
+        threshold is always an *evaluated* estimate: the caller's
+        incumbent, or — without one — the estimate of the in-batch
+        candidate with the smallest lower bound, evaluated here first
+        (reason ``"batch_ref"``).  Either way a candidate estimating below
+        the threshold also lower-bounds below it, so the batch winner can
+        never be pruned.
+        """
+        bounds: List[Optional["WorkflowBounds"]] = [None] * len(items)
+        by_cluster: Dict[Optional[Cluster], List[int]] = {}
+        registry = get_metrics()
+        for position, item in enumerate(items):
+            by_cluster.setdefault(item[3], []).append(position)
+        for cluster_key, positions in by_cluster.items():
+            target = cluster_key if cluster_key is not None else self._context._cluster
+            model = self._bounds_for(target)
+            if model is None:
+                continue
+            # Upper bounds (one solo BOE solve per stage) only matter for
+            # the bracket-gap telemetry; the prune test itself is pure
+            # lower bound vs evaluated threshold.
+            batch = model.bounds_batch(
+                [items[p][2] for p in positions],
+                need_upper=registry.enabled,
+            )
+            for position, bracket in zip(positions, batch):
+                bounds[position] = bracket
+        if registry.enabled:
+            gap = registry.histogram("sweep.bound_gap")
+            for bracket in bounds:
+                if bracket is not None:
+                    gap.observe(bracket.relative_gap)
+        threshold = incumbent_time_s
+        reason = "incumbent"
+        reference: Optional[CandidateResult] = None
+        if threshold is None:
+            bounded = [p for p, b in enumerate(bounds) if b is not None]
+            if len(bounded) > 1:
+                ref_pos = min(bounded, key=lambda p: bounds[p].lower_s)
+                reference = self._context.evaluate(*items[ref_pos])
+                if reference.ok:
+                    threshold = reference.total_time_s
+                    reason = "batch_ref"
+                items = [it for p, it in enumerate(items) if p != ref_pos]
+                bounds = [b for p, b in enumerate(bounds) if p != ref_pos]
+        if threshold is None:
+            kept = items
+            pruned_results: List[CandidateResult] = []
+        else:
+            kept = []
+            pruned_results = []
+            pruned_ctr = (
+                registry.labeled_counter("sweep.pruned", reason=reason)
+                if registry.enabled
+                else None
+            )
+            for item, bracket in zip(items, bounds):
+                if bracket is not None and bracket.lower_s > threshold:
+                    index, label, _, _ = item
+                    pruned_results.append(
+                        CandidateResult(
+                            index=index,
+                            label=label,
+                            total_time_s=None,
+                            pruned=True,
+                            lower_bound_s=bracket.lower_s,
+                            upper_bound_s=(
+                                bracket.upper_s
+                                if bracket.upper_s != float("inf")
+                                else None
+                            ),
+                            prune_reason=reason,
+                        )
+                    )
+                    if pruned_ctr is not None:
+                        pruned_ctr.inc()
+                else:
+                    kept.append(item)
+        if reference is not None:
+            pruned_results.append(reference)
+        return kept, pruned_results
+
     def evaluate(
         self,
         candidates: Sequence[Union[Candidate, Workflow]],
         cancel: Optional[CancelCheck] = None,
+        *,
+        prune: Optional[bool] = None,
+        incumbent_time_s: Optional[float] = None,
     ) -> List[CandidateResult]:
         """Estimate every candidate; results in submission order.
 
         Infeasible candidates (estimation errors) are captured in their
         :class:`CandidateResult` rather than raised, so one broken grid
         point cannot abort a sweep.
+
+        With pruning enabled (``prune=True`` here or on the runner), every
+        candidate's analytic lower bound (:mod:`repro.core.bounds`) is
+        compared against ``incumbent_time_s`` — the incumbent's evaluated
+        estimate, its tightest upper bound — or, absent one, against the
+        estimate of the batch's most promising candidate; candidates that
+        provably cannot win come back with ``pruned=True`` instead of an
+        estimate.  Pass ``prune=False`` for an exact sweep of every point.
 
         ``cancel`` is polled between candidates/chunks (see
         :data:`~repro.service.pool.CancelCheck`): a truthy return raises
@@ -594,20 +787,33 @@ class SweepRunner:
             if isinstance(entry, Workflow):
                 entry = Candidate(workflow=entry)
             items.append((index, entry.name, entry.workflow, entry.cluster))
+        do_prune = self._prune if prune is None else prune
+        pruned_results: List[CandidateResult] = []
+        prune_cpu = 0.0
+        bounds_before = self._report.phase_s.get("bounds", 0.0)
+        if do_prune and len(items) > 1:
+            tb = time.perf_counter()
+            cpu_b = parent_cpu_clock()
+            items, pruned_results = self._prune_items(items, incumbent_time_s)
+            prune_cpu = parent_cpu_clock() - cpu_b
+            self._report._phase("bounds", time.perf_counter() - tb)
         if self._context.reuse_enabled and len(items) > 1:
             # Evaluate in locality order so neighbouring candidates hand
             # each other long trajectory prefixes; results are re-sorted
             # into submission order below, so callers never notice.
             items.sort(key=self._locality_key)
         report = self._report
-        report._phase("build", time.perf_counter() - t0)
-        if not items:
+        bounds_wall = report.phase_s.get("bounds", 0.0) - bounds_before
+        report._phase("build", time.perf_counter() - t0 - bounds_wall)
+        if not items and not pruned_results:
             tracer.finish(span, pooled=False)
             return []
 
         t1 = time.perf_counter()
         try:
-            if self._processes > 1 and len(items) > 1:
+            if not items:
+                outcome = ([], CacheStats(), ReuseStats(), 0.0, False)
+            elif self._processes > 1 and len(items) > 1:
                 outcome = self._evaluate_parallel(items, cancel)
             else:
                 outcome = None
@@ -621,12 +827,20 @@ class SweepRunner:
         report._phase("estimate", time.perf_counter() - t1)
 
         t2 = time.perf_counter()
+        results.extend(pruned_results)
         results.sort(key=lambda r: r.index)
+        pruned_count = sum(1 for r in results if r.pruned)
         report.candidates += len(results)
         report.succeeded += sum(1 for r in results if r.ok)
-        report.infeasible += sum(1 for r in results if not r.ok)
+        report.infeasible += sum(1 for r in results if r.error is not None)
+        report.pruned += pruned_count
+        for r in results:
+            if r.pruned:
+                report.pruned_reasons[r.prune_reason] = (
+                    report.pruned_reasons.get(r.prune_reason, 0) + 1
+                )
         report.batches += 1
-        report.cpu_time_s += cpu_s
+        report.cpu_time_s += cpu_s + prune_cpu
         report.pool_used = report.pool_used or pooled
         report.cache.add(cache_delta)
         report.reuse.add(reuse_delta)
@@ -636,7 +850,8 @@ class SweepRunner:
             tracer.finish(
                 span,
                 pooled=pooled,
-                infeasible=sum(1 for r in results if not r.ok),
+                infeasible=sum(1 for r in results if r.error is not None),
+                pruned=pruned_count,
             )
         logger.debug("sweep batch: %s", report.describe())
         return results
@@ -649,7 +864,10 @@ class SweepRunner:
         config=None,
         ensemble=None,
         cancel: Optional[CancelCheck] = None,
-    ) -> List["EnsembleResult"]:
+        *,
+        prune: Optional[bool] = None,
+        incumbent_time_s: Optional[float] = None,
+    ) -> List[Optional["EnsembleResult"]]:
         """Evaluate candidates *distributionally*: a replication ensemble
         of the ground-truth simulator per candidate, instead of one BOE
         point estimate.
@@ -670,10 +888,21 @@ class SweepRunner:
                 whose seeds are re-derived per replication.
             ensemble: :class:`~repro.ensemble.EnsembleConfig`; its
                 ``processes`` field is ignored in favour of the runner's.
+            prune: screen candidates with analytic lower bounds before
+                spending any replication budget; ``None`` follows the
+                runner's ``prune`` setting.
+            incumbent_time_s: the evaluated incumbent makespan the bound
+                screen compares against; pruning a *distributional* batch
+                requires it (there is no cheap in-batch reference, so
+                without an incumbent nothing is pruned).  The analytic
+                bound brackets the deterministic estimator, which the
+                simulator validates in expectation — a pruned candidate is
+                one the model proves worse than the incumbent, spending
+                zero replications on it.
 
         Returns:
             One :class:`~repro.ensemble.EnsembleResult` per candidate, in
-            submission order.
+            submission order; a pruned candidate's slot is ``None``.
         """
         from repro.ensemble.engine import (
             EnsembleConfig,
@@ -718,6 +947,45 @@ class SweepRunner:
             _Accumulator(ens.tracked_quantiles(), replication_ctr)
             for _ in variants
         ]
+        # Bound screen: an analytic lower bound above the incumbent's
+        # evaluated makespan skips the candidate's whole replication
+        # budget — the biggest single saving pruning can buy, since one
+        # ensemble costs ``replications`` full simulations.
+        pruned_out = [False] * len(variants)
+        should_prune = self._prune if prune is None else prune
+        if should_prune and incumbent_time_s is not None and variants:
+            by_cluster: Dict[Cluster, List[int]] = {}
+            for pos, (_, variant) in enumerate(variants):
+                by_cluster.setdefault(variant.cluster, []).append(pos)
+            pruned_ctr = (
+                registry.labeled_counter("sweep.pruned", reason="incumbent")
+                if registry.enabled
+                else None
+            )
+            gap = registry.histogram("sweep.bound_gap") if registry.enabled else None
+            for cluster, positions in by_cluster.items():
+                model = self._bounds_for(cluster)
+                if model is None:
+                    continue
+                batch = model.bounds_batch(
+                    [variants[p][1].workflow for p in positions],
+                    need_upper=registry.enabled,
+                )
+                for pos, bracket in zip(positions, batch):
+                    if bracket is None:
+                        continue
+                    if gap is not None:
+                        gap.observe(bracket.relative_gap)
+                    if bracket.lower_s > incumbent_time_s:
+                        pruned_out[pos] = True
+                        if pruned_ctr is not None:
+                            pruned_ctr.inc()
+            skipped = sum(pruned_out)
+            if skipped:
+                self._report.pruned += skipped
+                self._report.pruned_reasons["incumbent"] = (
+                    self._report.pruned_reasons.get("incumbent", 0) + skipped
+                )
         # One payload per (candidate, index chunk): the chunk function is
         # self-contained, so the estimator pool serves it as-is.
         chunksize = ens.chunksize or max(
@@ -725,6 +993,8 @@ class SweepRunner:
         )
         payloads = []
         for cand_idx, (_, variant) in enumerate(variants):
+            if pruned_out[cand_idx]:
+                continue
             for start in range(0, ens.replications, chunksize):
                 indices = tuple(
                     range(start, min(start + chunksize, ens.replications))
@@ -771,8 +1041,11 @@ class SweepRunner:
         cpu_s = (parent_cpu_clock() - cpu0) + worker_cpu
         wall_s = time.perf_counter() - t0
 
-        results = []
-        for (label, _), acc in zip(variants, accumulators):
+        results: List[Optional[EnsembleResult]] = []
+        for cand_idx, ((label, _), acc) in enumerate(zip(variants, accumulators)):
+            if pruned_out[cand_idx]:
+                results.append(None)
+                continue
             assert acc.settled()
             results.append(
                 EnsembleResult(
@@ -797,9 +1070,10 @@ class SweepRunner:
                     pool_used=pooled,
                 )
             )
+        survived = sum(1 for r in results if r is not None)
         report = self._report
         report.candidates += len(results)
-        report.succeeded += len(results)
+        report.succeeded += survived
         report.batches += 1
         report.cpu_time_s += cpu_s
         report.wall_time_s += wall_s
@@ -906,9 +1180,12 @@ class SweepRunner:
             payloads: List[Any] = list(chunks)
             serial_fn: Callable[[Any], _ChunkOutcome] = self._parent_chunk
         else:
-            # Borrowed (service) pool: ship the context with every chunk.
+            # Borrowed (service) pool: ship the context with every chunk —
+            # as a shared-memory handle when the context is large enough to
+            # park (packed once per runner), raw otherwise.
             fn = _context_chunk
-            payloads = [(self._context, chunk) for chunk in chunks]
+            shipped = self._shipped_context()
+            payloads = [(shipped, chunk) for chunk in chunks]
             serial_fn = lambda payload: self._parent_chunk(payload[1])  # noqa: E731
         cpu0 = parent_cpu_clock()
         results: List[CandidateResult] = []

@@ -7,6 +7,7 @@ from repro.tuning.knobs import (
     apply_assignment,
     current_value,
     default_space,
+    wide_space,
 )
 from repro.tuning.tuner import GreedyTuner, TuningResult, tune_workflow
 
@@ -20,4 +21,5 @@ __all__ = [
     "current_value",
     "default_space",
     "tune_workflow",
+    "wide_space",
 ]

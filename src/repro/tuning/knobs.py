@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import ResourceVector
@@ -123,6 +123,77 @@ def default_space(workflow: Workflow, cluster: Cluster) -> List[Knob]:
                 job.name,
                 "map_memory_mb",
                 (memory, memory / 2, memory * 2),
+            )
+        )
+    return knobs
+
+
+def wide_space(
+    workflow: Workflow,
+    cluster: Cluster,
+    jobs: Optional[Sequence[str]] = None,
+) -> List[Knob]:
+    """A magnitude-spanning what-if grid.
+
+    :func:`default_space` explores a tight neighbourhood of the deployed
+    configuration — the greedy tuner's workhorse, where most candidates
+    are near-neutral.  ``wide_space`` spans orders of magnitude per knob
+    instead: the grid a capacity-planning sweep asks about ("what if the
+    split were 32x smaller? one reducer? 16x the memory?"), where many
+    extremes are provably bad and the analytic bound screen
+    (:mod:`repro.core.bounds`) rejects them before estimation.
+
+    Args:
+        workflow: the workflow to build knobs for.
+        cluster: sizes the reducer-count ceiling from container slots.
+        jobs: restrict to these job names (default: every job).  Sweeps
+            over a DAG's *dominant* jobs keep the grid focused where
+            configuration actually moves the makespan.
+    """
+    knobs: List[Knob] = []
+    slots = cluster.capacity.max_containers(ResourceVector(1.0, 3000.0))
+    selected = None if jobs is None else set(jobs)
+    for job in workflow.jobs:
+        if selected is not None and job.name not in selected:
+            continue
+        if not job.is_map_only:
+            current = job.num_reducers
+            candidates = sorted(
+                {
+                    current,
+                    1,
+                    2,
+                    max(2, current // 8),
+                    current * 4,
+                    slots,
+                    4 * slots,
+                    8 * slots,
+                }
+            )
+            ordered = (current, *[c for c in candidates if c != current])
+            knobs.append(Knob(job.name, "num_reducers", ordered))
+        compression = job.config.compression
+        knobs.append(
+            Knob(
+                job.name,
+                "compression",
+                (compression, SNAPPY_TEXT if not compression.enabled else NO_COMPRESSION),
+            )
+        )
+        split = job.config.split_mb
+        knobs.append(
+            Knob(
+                job.name,
+                "split_mb",
+                (split, split / 32, split / 8, split / 2, split * 2, split * 8),
+            )
+        )
+        memory = job.config.map_container.memory_mb
+        knobs.append(
+            Knob(
+                job.name,
+                "map_memory_mb",
+                (memory, memory / 4, memory / 2, memory * 2, memory * 4, memory * 16),
             )
         )
     return knobs

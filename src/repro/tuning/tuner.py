@@ -58,8 +58,12 @@ class TuningResult:
         tuned_estimate_s: estimated makespan under ``assignment``.
         assignment: chosen value per knob (only knobs that changed).
         evaluations: estimator calls *attempted* (baseline + every
-            candidate, whether or not it produced an estimate).
+            candidate, whether or not it produced an estimate or was
+            pruned).
         infeasible: attempted candidates the estimator rejected.
+        pruned: attempted candidates skipped by the analytic bound screen
+            (their lower bound exceeded the incumbent's estimate, so they
+            provably could not improve on it).
         wall_time_s: tuning cost (stays near-interactive by design).
         trajectory: (knob key, chosen value, estimate) per improvement.
         sweep: the runner's cumulative evaluation/cache telemetry.
@@ -75,6 +79,7 @@ class TuningResult:
         default_factory=list
     )
     infeasible: int = 0
+    pruned: int = 0
     sweep: Optional[SweepReport] = None
 
     @property
@@ -97,6 +102,13 @@ class GreedyTuner:
             in-process (the cache alone carries small tuning runs).
         runner: a pre-configured shared :class:`~repro.sweep.SweepRunner`;
             overrides ``source``/``variant``/``processes``.
+        prune: screen each knob batch with analytic makespan bounds
+            (:mod:`repro.core.bounds`): candidates whose lower bound
+            exceeds the incumbent's estimate are skipped before
+            estimation.  Pruning is conservative — the chosen assignment
+            and tuned estimate are bit-identical to ``prune=False`` —
+            and silently inert for sources the bounds cannot bracket
+            (non-BOE stubs and wrappers).
     """
 
     def __init__(
@@ -107,6 +119,7 @@ class GreedyTuner:
         max_passes: int = 3,
         processes: int = 1,
         runner: Optional[SweepRunner] = None,
+        prune: bool = True,
     ):
         if max_passes < 1:
             raise EstimationError(f"max_passes must be >= 1: {max_passes}")
@@ -114,6 +127,7 @@ class GreedyTuner:
         self._source = source or BOESource(BOEModel(cluster))
         self._variant = variant
         self._max_passes = max_passes
+        self._prune = prune
         self._runner = runner or SweepRunner(
             cluster, source=self._source, variant=variant, processes=processes
         )
@@ -152,6 +166,7 @@ class GreedyTuner:
         assignment: Assignment = {}
         evaluations = 1
         infeasible = 0
+        pruned = 0
         baseline = best = self._estimate_baseline(workflow)
         trajectory: List[Tuple[Tuple[str, str], object, float]] = []
         # The incumbent workflow (current assignment applied), maintained
@@ -192,11 +207,23 @@ class GreedyTuner:
                 # resume Algorithm 1 from a shared state prefix (no-op on
                 # runners without trajectory reuse).
                 self._runner.seed(incumbent)
-                results = self._runner.evaluate(batch)
+                # A candidate only wins if it estimates below
+                # ``best * (1 - 1e-6)`` (the improvement test below), so a
+                # lower bound above that threshold proves it cannot win —
+                # the bound screen changes which candidates are *estimated*,
+                # never which one is chosen.
+                results = self._runner.evaluate(
+                    batch,
+                    prune=self._prune,
+                    incumbent_time_s=best * (1.0 - 1e-6),
+                )
                 best_choice = current_choice
                 best_idx: Optional[int] = None
                 for idx, (candidate, result) in enumerate(zip(candidates, results)):
                     evaluations += 1
+                    if result.pruned:  # provably cannot beat the incumbent
+                        pruned += 1
+                        continue
                     if not result.ok:  # infeasible candidate (e.g. zero tasks)
                         infeasible += 1
                         continue
@@ -241,6 +268,7 @@ class GreedyTuner:
                 baseline_s=baseline,
                 tuned_s=best,
                 knobs_changed=len(assignment),
+                pruned=pruned,
             )
         return TuningResult(
             workflow_name=workflow.name,
@@ -249,6 +277,7 @@ class GreedyTuner:
             assignment=assignment,
             evaluations=evaluations,
             infeasible=infeasible,
+            pruned=pruned,
             wall_time_s=time.perf_counter() - t0,
             trajectory=trajectory,
             sweep=self._runner.report,
@@ -260,7 +289,10 @@ def tune_workflow(
     cluster: Cluster,
     space: Optional[Sequence[Knob]] = None,
     processes: int = 1,
+    prune: bool = True,
 ) -> Tuple[TuningResult, Workflow]:
     """Convenience: tune and return (result, re-configured workflow)."""
-    result = GreedyTuner(cluster, processes=processes).tune(workflow, space)
+    result = GreedyTuner(cluster, processes=processes, prune=prune).tune(
+        workflow, space
+    )
     return result, apply_assignment(workflow, result.assignment)

@@ -1,0 +1,187 @@
+"""Tests for repro.core.bounds — analytic makespan brackets and pruning.
+
+The load-bearing contract is *conservativeness*: a candidate is only ever
+skipped when its lower bound exceeds an evaluated estimate, so
+``lower <= estimate`` must hold for every candidate a sweep can produce,
+and the pruned coordinate descent must select the bit-identical winner the
+exhaustive one does.  Tightness is only asserted loosely (bounds must not
+be vacuous) — the speed/tightness trade-off is benchmarked, not unit
+tested.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core.boe import BOEModel
+from repro.core.bounds import BoundsModel, WorkflowBounds
+from repro.core.distributions import Variant
+from repro.core.estimator import BOESource, estimate_workflow
+from repro.mapreduce.config import NO_COMPRESSION, SNAPPY_TEXT
+from repro.tuning import GreedyTuner, default_space, wide_space
+from repro.tuning.knobs import apply_knob_value, current_value
+from repro.workloads.catalog import catalog
+from repro.workloads.tpch import tpch_query
+
+#: Catalog entries covering single jobs, chains, diamonds and joins.
+CATALOG_NAMES = ("WC", "TS3R", "WC+TS", "WC+PageRank", "TS+KMeans")
+
+
+def _bracket(workflow, cluster, *, refine=False, variant=Variant.MEAN):
+    source = BOESource(BOEModel(cluster, refine=refine))
+    model = BoundsModel.from_source(source, variant=variant)
+    est = estimate_workflow(
+        workflow, cluster, source=source, variant=variant
+    ).total_time
+    return model.bounds(workflow), est
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("name", CATALOG_NAMES)
+    @pytest.mark.parametrize("refine", (False, True))
+    def test_catalog_bracket(self, cluster, name, refine):
+        workflow = catalog()[name].factory(1.0)
+        bounds, est = _bracket(workflow, cluster, refine=refine)
+        # The lower bound is the hard pruning guarantee; the upper side is
+        # a serial solo-stage *reference* that concurrent branches may
+        # overshoot by wave-quantization slop (documented in
+        # repro.core.bounds), so it gets a tolerance, not an inequality.
+        assert bounds.lower_s <= est
+        assert est <= bounds.upper_s * 1.1
+        assert bounds.lower_s > 0.0
+
+    @pytest.mark.parametrize("refine", (False, True))
+    def test_single_job_bracket_is_hard(self, cluster, refine):
+        """With one job there is no cross-branch contention: the estimate
+        must land inside the bracket exactly."""
+        for name in ("WC", "TS3R"):
+            workflow = catalog()[name].factory(1.0)
+            bounds, est = _bracket(workflow, cluster, refine=refine)
+            assert bounds.lower_s <= est <= bounds.upper_s
+
+    @pytest.mark.parametrize("variant", (Variant.MEAN, Variant.MEDIAN))
+    def test_variants(self, cluster, variant):
+        workflow = catalog()["WC+TS"].factory(1.0)
+        bounds, est = _bracket(workflow, cluster, variant=variant)
+        assert bounds.lower_s <= est <= bounds.upper_s * 1.1
+
+    def test_knob_perturbations_stay_bracketed(self, cluster):
+        """Every candidate of the magnitude-spanning Q21 grid is bounded
+        below its estimate — the exact population pruning screens."""
+        workflow = tpch_query(21)
+        source = BOESource(BOEModel(cluster))
+        model = BoundsModel.from_source(source)
+        space = wide_space(workflow, cluster, jobs=["q21-scan-lineitem"])
+        candidates = [
+            apply_knob_value(workflow, knob.key, choice)
+            for knob in space
+            for choice in knob.choices
+            if choice != current_value(workflow, knob)
+        ]
+        batch = model.bounds_batch(candidates)
+        assert len(batch) == len(candidates)
+        for candidate, bounds in zip(candidates, batch):
+            assert bounds is not None
+            est = estimate_workflow(candidate, cluster, source=source).total_time
+            assert bounds.lower_s <= est
+
+    def test_lower_bound_not_vacuous(self, cluster):
+        """The bracket must have pruning power: on the paper's workloads
+        the lower bound lands within a factor 2 of the estimate."""
+        workflow = tpch_query(21)
+        bounds, est = _bracket(workflow, cluster)
+        assert bounds.lower_s >= est / 2.0
+
+
+class TestBatchSemantics:
+    def test_batch_matches_single(self, cluster):
+        entries = catalog()
+        workflows = [entries[name].factory(1.0) for name in CATALOG_NAMES]
+        model = BoundsModel(cluster)
+        batch = model.bounds_batch(workflows)
+        singles = [BoundsModel(cluster).bounds(w) for w in workflows]
+        assert [(b.lower_s, b.upper_s) for b in batch] == [
+            (s.lower_s, s.upper_s) for s in singles
+        ]
+
+    def test_memo_is_value_stable(self, cluster):
+        """A value-identical workflow rebuilt from scratch (fresh object
+        identities) reuses the fingerprint memo and bounds identically."""
+        model = BoundsModel(cluster)
+        first = model.bounds(tpch_query(21))
+        second = model.bounds(tpch_query(21))
+        assert (first.lower_s, first.upper_s) == (second.lower_s, second.upper_s)
+
+    def test_need_upper_false_skips_upper(self, cluster):
+        workflow = tpch_query(21)
+        model = BoundsModel(cluster)
+        (lazy,) = model.bounds_batch([workflow], need_upper=False)
+        (full,) = model.bounds_batch([workflow], need_upper=True)
+        assert lazy is not None and full is not None
+        assert lazy.lower_s == full.lower_s
+        assert math.isinf(lazy.upper_s)
+        assert lazy.relative_gap == 1.0
+        assert math.isfinite(full.upper_s)
+        assert 0.0 <= full.relative_gap < 1.0
+
+    def test_unboundable_candidate_is_none(self, cluster):
+        """A stage that holds no containers solo cannot be upper-bounded;
+        its candidate must surface as None (unprunable), not crash the
+        batch or poison its neighbours."""
+        workflow = tpch_query(21)
+        monster = apply_knob_value(
+            workflow,
+            ("q21-scan-lineitem", "map_memory_mb"),
+            cluster.capacity.memory_mb * 4.0,
+        )
+        results = BoundsModel(cluster).bounds_batch([monster, workflow])
+        assert results[0] is None
+        assert results[1] is not None
+
+    def test_mixed_topologies_group_correctly(self, cluster):
+        entries = catalog()
+        workflows = [
+            entries["WC"].factory(1.0),
+            tpch_query(21),
+            entries["WC"].factory(1.0),
+        ]
+        batch = BoundsModel(cluster).bounds_batch(workflows)
+        assert all(b is not None for b in batch)
+        assert (batch[0].lower_s, batch[0].upper_s) == (
+            batch[2].lower_s,
+            batch[2].upper_s,
+        )
+
+
+class TestWorkflowBounds:
+    def test_relative_gap(self):
+        assert WorkflowBounds(50.0, 100.0).relative_gap == 0.5
+        assert WorkflowBounds(100.0, 100.0).relative_gap == 0.0
+        assert WorkflowBounds(50.0, math.inf).relative_gap == 1.0
+        assert WorkflowBounds(0.0, 0.0).relative_gap == 0.0
+
+
+class TestPruneParity:
+    """Exhaustive-vs-pruned coordinate descent: identical winner, value."""
+
+    @pytest.mark.parametrize("name", sorted(catalog()))
+    def test_catalog_winner_parity(self, cluster, name):
+        workflow = catalog()[name].factory(1.0)
+        exact = GreedyTuner(cluster, prune=False).tune(workflow)
+        pruned = GreedyTuner(cluster, prune=True).tune(workflow)
+        assert pruned.assignment == exact.assignment
+        assert pruned.tuned_estimate_s == exact.tuned_estimate_s
+        assert pruned.baseline_estimate_s == exact.baseline_estimate_s
+        assert exact.pruned == 0
+
+    def test_wide_grid_winner_parity(self, cluster):
+        """The bench scenario's magnitude-spanning Q21 grid: high prune
+        rate, same winner."""
+        workflow = tpch_query(21)
+        space = wide_space(workflow, cluster, jobs=["q21-scan-lineitem"])
+        exact = GreedyTuner(cluster, prune=False).tune(workflow, space)
+        pruned = GreedyTuner(cluster, prune=True).tune(workflow, space)
+        assert pruned.assignment == exact.assignment
+        assert pruned.tuned_estimate_s == exact.tuned_estimate_s
+        assert pruned.pruned > 0

@@ -15,7 +15,7 @@ from repro.dag import single_job_workflow
 from repro.ensemble.engine import _evaluate_items as _real_evaluate_items
 from repro.errors import EstimationError, JobCancelledError, JobTimeoutError
 from repro.mapreduce import StageKind
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import MetricsRegistry, get_metrics, snapshot_delta
 from repro.sweep import Candidate, SweepRunner, default_processes
 from repro.sweep.runner import _evaluate_chunk as _real_evaluate_chunk
 from repro.units import gb
@@ -533,3 +533,117 @@ class TestCrashAndCancellation:
                 ),
                 cancel=cancel,
             )
+
+
+class TestPruneMetrics:
+    """Merge/delta round-trip of the pruning telemetry.
+
+    ``sweep.pruned`` and ``sweep.bound_gap`` are recorded parent-side
+    (the bound screen runs before fan-out), so a pooled sweep must report
+    the exact counts of the serial sweep after the worker deltas merge —
+    anything else would mean a worker double-counted or dropped them.
+    """
+
+    PRUNED_KEY = "sweep.pruned{reason=incumbent}"
+    GAP_KEY = "sweep.bound_gap"
+
+    def _candidates(self, cluster):
+        """Base Q21 + moderate survivors + analytically hopeless extremes."""
+        from repro.tuning.knobs import apply_knob_value
+
+        workflow = tpch_query(21)
+        job = "q21-scan-lineitem"
+        moderate = [("num_reducers", r) for r in (16, 64, 256, 640, 1280)]
+        extreme = [
+            ("num_reducers", 1),
+            ("split_mb", 0.5),
+            ("map_memory_mb", 128000.0),
+        ]
+        candidates = [Candidate(workflow, label="base")]
+        for field, value in moderate + extreme:
+            candidates.append(
+                Candidate(
+                    apply_knob_value(workflow, (job, field), value),
+                    label=f"{field}={value:g}",
+                )
+            )
+        incumbent = estimate_workflow(workflow, cluster).total_time
+        return candidates, incumbent
+
+    def _swept(self, cluster, candidates, incumbent, processes):
+        """One pruned sweep with metrics armed; returns (results, snapshot)."""
+        registry = get_metrics()
+        registry.reset()
+        registry.enable()
+        try:
+            with SweepRunner(
+                cluster, prune=True, processes=processes
+            ) as runner:
+                results = runner.evaluate(
+                    candidates, incumbent_time_s=incumbent
+                )
+            snap = registry.snapshot()
+        finally:
+            registry.disable()
+            registry.reset()
+        return results, snap
+
+    def test_pooled_merge_matches_serial(self, cluster):
+        candidates, incumbent = self._candidates(cluster)
+        serial_results, serial = self._swept(cluster, candidates, incumbent, 1)
+        pooled_results, pooled = self._swept(
+            cluster, candidates, incumbent, max(2, default_processes())
+        )
+
+        # The sweeps themselves are bit-identical (pruned flags included).
+        assert [(r.label, r.pruned, r.total_time_s) for r in pooled_results] == [
+            (r.label, r.pruned, r.total_time_s) for r in serial_results
+        ]
+        pruned = sum(1 for r in serial_results if r.pruned)
+        assert pruned > 0 and pruned < len(candidates)
+
+        # Counter: exact count, labels intact, identical after pool merge.
+        assert serial[self.PRUNED_KEY]["value"] == pruned
+        assert serial[self.PRUNED_KEY]["labels"] == {"reason": "incumbent"}
+        assert pooled[self.PRUNED_KEY] == serial[self.PRUNED_KEY]
+
+        # Histogram: one gap observation per boundable candidate, identical
+        # summary moments whichever path evaluated the survivors.
+        assert serial[self.GAP_KEY]["count"] == len(candidates)
+        assert pooled[self.GAP_KEY] == serial[self.GAP_KEY]
+
+    def test_delta_round_trip(self, cluster):
+        """snapshot_delta isolates one sweep's activity from a primed
+        registry, and merging that delta into a fresh registry reproduces
+        it exactly — the worker->parent propagation contract."""
+        candidates, incumbent = self._candidates(cluster)
+        _, reference = self._swept(cluster, candidates, incumbent, 1)
+
+        registry = get_metrics()
+        registry.reset()
+        registry.enable()
+        try:
+            # Prime with prior activity the delta must subtract away.
+            registry.labeled_counter("sweep.pruned", reason="incumbent").inc(5)
+            registry.histogram("sweep.bound_gap").observe(0.123)
+            before = registry.snapshot()
+            with SweepRunner(cluster, prune=True) as runner:
+                runner.evaluate(candidates, incumbent_time_s=incumbent)
+            delta = snapshot_delta(registry.snapshot(), before)
+        finally:
+            registry.disable()
+            registry.reset()
+
+        assert delta[self.PRUNED_KEY]["value"] == reference[self.PRUNED_KEY]["value"]
+        assert delta[self.GAP_KEY]["count"] == reference[self.GAP_KEY]["count"]
+        assert delta[self.GAP_KEY]["sum"] == pytest.approx(
+            reference[self.GAP_KEY]["sum"]
+        )
+
+        merged = MetricsRegistry()
+        merged.merge(delta)
+        image = merged.snapshot()
+        assert image[self.PRUNED_KEY]["value"] == delta[self.PRUNED_KEY]["value"]
+        assert image[self.PRUNED_KEY]["labels"] == {"reason": "incumbent"}
+        assert image[self.GAP_KEY]["count"] == delta[self.GAP_KEY]["count"]
+        assert image[self.GAP_KEY]["sum"] == delta[self.GAP_KEY]["sum"]
