@@ -55,14 +55,31 @@ def _numpy_version() -> Optional[str]:
     return numpy.__version__
 
 
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process so far, in MB.
+
+    Linux reports ``ru_maxrss`` in KB, macOS in bytes; normalise both.
+    Returns None on platforms without the ``resource`` module (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only module
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
 def emit_json(name: str, payload: dict) -> Path:
     """Persist one bench's machine-readable results as ``BENCH_<name>.json``.
 
     The payload is augmented with provenance (git revision, python, numpy,
-    CPU count, timestamp) so a result file is interpretable on its own —
-    perf numbers are only comparable across PRs when the machine and
-    toolchain that produced them ride along.  The same record is also
-    printed as a ``BENCH`` line for the run log.  Returns the path
+    CPU count, peak RSS, timestamp) so a result file is interpretable on
+    its own — perf numbers are only comparable across PRs when the machine
+    and toolchain that produced them ride along, and memory regressions
+    only show up when every result records its footprint.  The same record
+    is also printed as a ``BENCH`` line for the run log.  Returns the path
     written.
     """
     record = {
@@ -71,6 +88,7 @@ def emit_json(name: str, payload: dict) -> Path:
         "python": platform.python_version(),
         "numpy": _numpy_version(),
         "cpus": os.cpu_count(),
+        "peak_rss_mb": peak_rss_mb(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         **payload,
     }

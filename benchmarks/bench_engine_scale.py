@@ -23,7 +23,7 @@ import time
 
 import pytest
 
-from _bench_utils import emit, emit_json
+from _bench_utils import emit, emit_json, peak_rss_mb
 from repro.analysis import render_table
 from repro.cluster import Cluster
 from repro.cluster.node import PAPER_NODE
@@ -57,10 +57,21 @@ MILLION_ENV = "REPRO_BENCH_1M"
 #: core; measured ~14x on a quiet 8-core box).
 MIN_COLUMNAR_SPEEDUP = 10.0
 #: CPU-gated absolute floor for the CI smoke job: columnar throughput at
-#: 100k tasks.  ~165k tasks/s on a quiet box; the floor leaves ~8x slack
-#: for noisy shared runners and is only asserted when the runner has >= 4
-#: CPUs (below that the object-engine comparison itself gets starved).
+#: 100k tasks.  The floor leaves wide slack for noisy shared runners and
+#: is only asserted when the runner has >= 4 CPUs (below that the
+#: object-engine comparison itself gets starved).
 MIN_COLUMNAR_TASKS_PER_S = 20_000.0
+#: Soft target after the cohort-batching rewrite: ~575k tasks/s at 100k
+#: and ~345k tasks/s at 1M on a quiet 8-core box (pure-numpy kernels).
+#: Reported, not asserted — shared runners are too noisy for a hard bar
+#: this high, but the smoke log flags when a run lands below it.
+TARGET_COLUMNAR_TASKS_PER_S = 300_000.0
+#: CPU-gated ceiling on the scheduler's per-grant launch bookkeeping for a
+#: symmetric wave (see ``test_launch_bookkeeping_sublinear``).  The bulk
+#: grant path serves whole layers at ~0.1 us/grant; the historical scalar
+#: loop costs ~4 us/grant, so the ceiling catches a regression to per-grant
+#: Python bookkeeping while leaving >10x slack for slow runners.
+MAX_BULK_US_PER_GRANT = 1.5
 
 
 def _workload(workers: int):
@@ -155,6 +166,8 @@ def _run_columnar_size(workers: int, with_fast: bool = True) -> dict:
         "makespan_s": round(col.makespan, 6),
         "columnar_wall_s": round(col_s, 4),
         "columnar_tasks_per_s": round(col.task_count / col_s, 1),
+        "column_mb": round(col.column_bytes / (1024.0 * 1024.0), 2),
+        "peak_rss_mb": peak_rss_mb(),
     }
     if with_fast:
         t0 = time.perf_counter()
@@ -172,13 +185,22 @@ def _run_columnar_size(workers: int, with_fast: bool = True) -> dict:
 
 def _render_columnar(rows) -> str:
     return render_table(
-        ["workers", "tasks", "columnar (s)", "tasks/s", "fast (s)", "speedup"],
+        [
+            "workers",
+            "tasks",
+            "columnar (s)",
+            "tasks/s",
+            "cols (MB)",
+            "fast (s)",
+            "speedup",
+        ],
         [
             [
                 r["workers"],
                 r["tasks"],
                 f"{r['columnar_wall_s']:.3f}",
                 f"{r['columnar_tasks_per_s']:.0f}",
+                f"{r['column_mb']:.1f}",
                 f"{r['fast_wall_s']:.3f}" if "fast_wall_s" in r else "-",
                 f"{r['speedup']:.1f}x" if "speedup" in r else "-",
             ]
@@ -249,6 +271,58 @@ def test_engine_scale_columnar_smoke():
     assert row["speedup"] >= 1.0
     if (os.cpu_count() or 1) >= 4:
         assert row["columnar_tasks_per_s"] >= MIN_COLUMNAR_TASKS_PER_S, row
+        if row["columnar_tasks_per_s"] < TARGET_COLUMNAR_TASKS_PER_S:
+            emit(
+                f"NOTE: columnar throughput {row['columnar_tasks_per_s']:.0f}"
+                f" tasks/s is below the {TARGET_COLUMNAR_TASKS_PER_S:.0f}"
+                " soft target (hard floor"
+                f" {MIN_COLUMNAR_TASKS_PER_S:.0f} still holds)"
+            )
+
+
+def test_launch_bookkeeping_sublinear():
+    """Micro-regression: launch bookkeeping must stay sub-linear in wave size.
+
+    A symmetric wave is served by the scheduler's bulk grant paths in whole
+    round-robin layers, so growing the wave (and the cluster) 16x must cost
+    far less than 16x — and the absolute per-grant cost must stay an order
+    of magnitude under the historical scalar loop's ~4 us.  Guards against
+    the launch path regressing to per-grant Python bookkeeping.  CPU-gated
+    like the throughput floor.
+    """
+    from repro.cluster.resources import ResourceVector
+    from repro.scheduler import YarnPlacer
+
+    container = ResourceVector(1.0, 2000.0)
+
+    def wave_seconds(workers: int, grants: int) -> float:
+        placer = YarnPlacer(Cluster(node=PAPER_NODE, workers=workers))
+        t0 = time.perf_counter()
+        names, codes, nodes, qidx = placer.assign_queues_arrays(
+            {"a": [(container, grants)], "b": [(container, grants)]}
+        )
+        elapsed = time.perf_counter() - t0
+        assert codes.size == 2 * grants
+        return elapsed
+
+    wave_seconds(512, 1024)  # warm-up (imports, allocator)
+    small = wave_seconds(512, 4096)
+    big = wave_seconds(8192, 65536)
+    small_us = small / (2 * 4096) * 1e6
+    big_us = big / (2 * 65536) * 1e6
+    row = {
+        "bench": "launch_bookkeeping",
+        "small_wave_s": round(small, 5),
+        "big_wave_s": round(big, 5),
+        "small_us_per_grant": round(small_us, 3),
+        "big_us_per_grant": round(big_us, 3),
+    }
+    print("BENCH " + json.dumps(row))
+    if (os.cpu_count() or 1) >= 4:
+        # Per-grant cost must not grow with the wave (sub-linear total)...
+        assert big_us <= 4.0 * max(small_us, 0.02), row
+        # ...and must stay far below the scalar loop's ~4 us/grant.
+        assert big_us <= MAX_BULK_US_PER_GRANT, row
 
 
 def test_engine_scale_columnar_full(columnar_sweep):

@@ -287,6 +287,12 @@ class MetricsRegistry:
             self._labels.setdefault(key, {k: str(v) for k, v in labels.items()})
         return self.gauge(key)
 
+    def labeled_histogram(self, name: str, **labels: str) -> Histogram:
+        key = labeled_name(name, labels)
+        if labels:
+            self._labels.setdefault(key, {k: str(v) for k, v in labels.items()})
+        return self.histogram(key)
+
     def labeled_bucket_histogram(
         self,
         name: str,

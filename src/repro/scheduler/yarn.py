@@ -22,11 +22,18 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cluster.cluster import Cluster
 from repro.cluster.resources import ResourceVector, ZERO_VECTOR
 from repro.errors import SchedulingError
 
 _EPS = 1e-9
+
+#: Node tie window of the round-robin pick (see `_pick_node`): a granted
+#: node must fall *out* of the window, so the bulk grant path requires the
+#: container to be comfortably larger than it.
+_TIE_WINDOW = 1e-6
 
 POLICIES = ("drf", "fifo", "fair")
 
@@ -90,6 +97,11 @@ class YarnPlacer:
             (-n.free_memory, n.index) for n in self._nodes
         ]
         heapq.heapify(self._free_heap)
+        # Batch paths (bulk grants, large releases) change many nodes at
+        # once; instead of eagerly rebuilding the heap they raise this flag
+        # and the next scalar pick rebuilds lazily — consecutive batch
+        # operations then pay for at most one rebuild between them.
+        self._heap_dirty = False
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -138,20 +150,19 @@ class YarnPlacer:
             node_counts: iterable of (node index, container count) pairs.
             container: the (identical) container size being released.
         """
-        uv = self._usage_v[name]
-        um = self._usage_m[name]
         cv = container.vcores
         cm = container.memory_mb
         limit = self._cluster.node.memory_mb + _EPS
-        for node_index, count in node_counts:
-            node = self._nodes[node_index]
+        nodes = self._nodes
+        pairs = list(node_counts)
+        total = 0
+        for node_index, count in pairs:
+            node = nodes[node_index]
             fv = node.free_vcores
             fm = node.free_memory
             for _ in range(count):
                 fv += cv
                 fm += cm
-                uv = _clamp_zero(uv - cv)
-                um = _clamp_zero(um - cm)
             node.free_vcores = fv
             node.free_memory = fm
             if fm > limit:
@@ -159,9 +170,41 @@ class YarnPlacer:
                     f"released more memory than node {node_index} owns "
                     f"({fm} > {self._cluster.node.memory_mb})"
                 )
-            self._touch(node)
-        self._usage_v[name] = uv
-        self._usage_m[name] = um
+            total += count
+        # Usage: the scalar fold subtracts one container at a time with the
+        # drift clamp.  The clamp can only engage on a partial value in
+        # (-1e-6, 0), and the partials only ever decrease — so when the
+        # final cumsum value (their minimum) is non-negative the clamp
+        # provably never fired and the cumsum *is* the scalar fold (it adds
+        # strictly left to right).  Otherwise fall back to the fold itself.
+        if total:
+            acc = np.empty(total + 1)
+            acc[0] = self._usage_v[name]
+            acc[1:] = -cv
+            end_v = float(np.cumsum(acc)[-1])
+            acc[0] = self._usage_m[name]
+            acc[1:] = -cm
+            end_m = float(np.cumsum(acc)[-1])
+            if end_v >= 0.0 and end_m >= 0.0:
+                self._usage_v[name] = end_v
+                self._usage_m[name] = end_m
+            else:
+                uv = self._usage_v[name]
+                um = self._usage_m[name]
+                for _ in range(total):
+                    uv = _clamp_zero(uv - cv)
+                    um = _clamp_zero(um - cm)
+                self._usage_v[name] = uv
+                self._usage_m[name] = um
+        # Heap upkeep: a fresh entry per touched node, or — when the batch
+        # touched a sizeable slice of the cluster — a deferred wholesale
+        # rebuild (the legal compaction of the lazy heap, and cheaper than
+        # the equivalent pile of pushes).
+        if 8 * len(pairs) >= len(nodes):
+            self._heap_dirty = True
+        else:
+            for node_index, _count in pairs:
+                self._touch(nodes[node_index])
 
     def _touch(self, node: _NodeState) -> None:
         """Record a free-memory change in the lazy max-heap."""
@@ -215,8 +258,12 @@ class YarnPlacer:
         global maximum) or nothing does.  The round-robin walk then only
         pays `_node_fits` for nodes inside the 1e-6 tie window.
         """
-        heap = self._free_heap
         nodes = self._nodes
+        if self._heap_dirty:
+            self._free_heap = [(-n.free_memory, n.index) for n in nodes]
+            heapq.heapify(self._free_heap)
+            self._heap_dirty = False
+        heap = self._free_heap
         while heap and -heap[0][0] != nodes[heap[0][1]].free_memory:
             heapq.heappop(heap)  # stale: superseded by a later push
         if not heap:  # pragma: no cover - every change pushes an entry
@@ -273,6 +320,37 @@ class YarnPlacer:
         in order (Hadoop serves an application's maps before its reduces),
         while *between* jobs the policy (DRF/FIFO/fair) arbitrates every
         grant.  Returns (job, node index, queue index) triples.
+
+        Thin tuple-producing wrapper over :meth:`assign_queues_arrays` (the
+        object engines want triples; the columnar engine takes the arrays
+        directly) — the placement decisions and every float touched are
+        identical through either entry point.
+        """
+        names, codes, nodes, qidx = self.assign_queues_arrays(requests)
+        return [
+            (names[c], n, q)
+            for c, n, q in zip(codes.tolist(), nodes.tolist(), qidx.tolist())
+        ]
+
+    def assign_queues_arrays(
+        self, requests: Dict[str, List[Tuple[ResourceVector, int]]]
+    ) -> Tuple[List[str], np.ndarray, np.ndarray, np.ndarray]:
+        """Array-native :meth:`assign_queues`.
+
+        Returns ``(names, codes, nodes, queue_idx)`` where ``names`` lists
+        the granted jobs and the three equal-length arrays give, per grant
+        in grant order, an index into ``names``, the node index, and the
+        queue index.  A million-grant wave returns three arrays instead of
+        a million tuples.
+
+        Grants come from two exactness-equivalent paths: a vectorised bulk
+        path (:meth:`_bulk_uniform_grants`) that fires whole round-robin
+        layers at once whenever the cluster is in the *uniform regime* its
+        preconditions pin down, and the per-grant scalar loop for everything
+        else.  The bulk path performs the same float operations in the same
+        order as the scalar loop — its preconditions are chosen to make that
+        provable — so the placements and the placer's post-call state are
+        bit-identical whichever path served a grant.
         """
         remaining: Dict[str, List[List]] = {}
         for name, queues in requests.items():
@@ -285,7 +363,12 @@ class YarnPlacer:
                 remaining[name] = live
         for name in remaining:
             self.register_job(name)
-        placements: List[Tuple[str, int, int]] = []
+        names: List[str] = []
+        code_of: Dict[str, int] = {}
+        chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        codes: List[int] = []
+        nodes_out: List[int] = []
+        qidx_out: List[int] = []
         # This loop runs once per launched task, so it is the scheduler's
         # only hot path.  Two things keep it lean: (a) a job's priority only
         # moves when *it* receives a grant, so the sort keys are cached and
@@ -301,7 +384,27 @@ class YarnPlacer:
         cap_v = self._capacity.vcores
         cap_m = self._capacity.memory_mb
         heap_limit = max(64, 8 * len(self._nodes))
+        # Bulk is attempted on entry and after each successful bulk span
+        # (whose end may just mean a queue emptied); a failed attempt means
+        # the cluster left the uniform regime, which nothing inside this
+        # call re-establishes — so don't pay the precondition scan again.
+        try_bulk = self._fast
         while remaining:
+            if try_bulk:
+                bulk = self._bulk_uniform_grants(remaining, prio, code_of, names)
+                if bulk is not None:
+                    if codes:
+                        chunks.append(
+                            (
+                                np.asarray(codes, dtype=np.int64),
+                                np.asarray(nodes_out, dtype=np.int64),
+                                np.asarray(qidx_out, dtype=np.int64),
+                            )
+                        )
+                        codes, nodes_out, qidx_out = [], [], []
+                    chunks.append(bulk)
+                    continue
+                try_bulk = False
             candidates = sorted(remaining, key=prio.__getitem__)
             placed = False
             for name in candidates:
@@ -332,7 +435,13 @@ class YarnPlacer:
                         arrival.get(name, 1 << 30),
                         name,
                     )
-                placements.append((name, node.index, idx))
+                code = code_of.get(name)
+                if code is None:
+                    code = code_of[name] = len(names)
+                    names.append(name)
+                codes.append(code)
+                nodes_out.append(node.index)
+                qidx_out.append(idx)
                 if count == 1:
                     remaining[name].pop(0)
                     if not remaining[name]:
@@ -343,7 +452,370 @@ class YarnPlacer:
                 break
             if not placed:
                 break  # nothing fits anywhere
-        return placements
+        if codes:
+            chunks.append(
+                (
+                    np.asarray(codes, dtype=np.int64),
+                    np.asarray(nodes_out, dtype=np.int64),
+                    np.asarray(qidx_out, dtype=np.int64),
+                )
+            )
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return names, empty, empty.copy(), empty.copy()
+        if len(chunks) == 1:
+            c, n, q = chunks[0]
+        else:
+            c = np.concatenate([ch[0] for ch in chunks])
+            n = np.concatenate([ch[1] for ch in chunks])
+            q = np.concatenate([ch[2] for ch in chunks])
+        return names, c, n, q
+
+    def _bulk_uniform_grants(
+        self,
+        remaining: Dict[str, List[List]],
+        prio: Dict[str, Tuple],
+        code_of: Dict[str, int],
+        names: List[str],
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Grant a whole provable span of the scalar loop at once.
+
+        Two regimes of the scalar loop admit a closed form, and together
+        they cover the bulk of a large symmetric run:
+
+        * **round-robin layer** (:meth:`_bulk_round_robin`) — several jobs
+          bit-tied on usage, requesting the bit-identical container, over a
+          bit-uniform cluster: grants provably cycle through the jobs in
+          arrival order while walking the node ring;
+        * **winner run** (:meth:`_bulk_winner_run`) — one job strictly
+          ahead of every other (or alone, or first under FIFO): it provably
+          receives a consecutive run of grants that walks the *top tier* of
+          bit-tied least-loaded nodes in ring order.
+
+        Both paths perform the same float operations in the same order as
+        the scalar loop — their preconditions are chosen to make that
+        provable — so placements and post-call state are bit-identical
+        whichever path served a grant.  Returns the (codes, nodes, queue
+        idx) chunk, or ``None`` when neither regime's preconditions hold.
+        """
+        if len(self._nodes) < 8:
+            return None
+        jobs = sorted(remaining, key=prio.__getitem__)
+        if len(jobs) > 1:
+            out = self._bulk_round_robin(jobs, remaining, prio, code_of, names)
+            if out is not None:
+                return out
+        return self._bulk_winner_run(jobs, remaining, prio, code_of, names)
+
+    def _bulk_round_robin(
+        self,
+        jobs: List[str],
+        remaining: Dict[str, List[List]],
+        prio: Dict[str, Tuple],
+        code_of: Dict[str, int],
+        names: List[str],
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Grant one whole round-robin layer at once in the uniform regime.
+
+        In the regime that dominates large symmetric waves — every node at
+        the *bit-identical* free memory, every competing job requesting the
+        bit-identical container — the scalar loop's behaviour is provably a
+        fixed pattern: grant ``t`` lands on node ``(s + t) % n_nodes`` and
+        goes to job ``t % J`` of the (recurring) priority order.  Proof
+        sketch: all nodes tie, so a job's round-robin scan picks its own
+        cursor node unless that node was granted earlier in the span, in
+        which case it picks the node one past the granted run; a granted
+        node drops out of the 1e-6 tie window (the container is required to
+        be larger than it), so within one layer the grant frontier advances
+        one node per grant, ascending.  The span is capped at a single
+        layer (no node granted twice) because past the layer boundary the
+        scalar cursors land mid-ring and the pattern genuinely changes —
+        but a *full* layer leaves every node bit-tied again, so the next
+        bulk call chains seamlessly, re-validating per layer.
+
+        Preconditions (checked, else ``None`` and the caller stays scalar):
+
+        * >= 2 jobs and not FIFO (FIFO never rotates; both the single-job
+          and the FIFO-head cases belong to :meth:`_bulk_winner_run`);
+        * every job's head-queue container bit-equal, with memory above the
+          tie window;
+        * bit-equal usage vectors and weights across the jobs, and a
+          *strictly* increasing share at every usage level the span visits
+          — bit-tied fields plus a strict riser put each winner behind all
+          others, so arrival order provably cycles with no drift (the
+          strictness check matters: at extreme magnitudes a container add
+          can round away);
+        * every node's free memory and vcores bit-equal, the container
+          fits, and each job's cursor sits within (or just past) the run
+          the span will have granted when its first turn comes.
+
+        State updates are float-exact versus the scalar loop: each granted
+        node sees exactly one subtraction, job usage grows through a cumsum
+        (strictly left-to-right additions), cursors land where the scan
+        would have left them, and the heap is rebuilt — a legal compaction
+        of the lazy heap.  Returns the (codes, nodes, queue idx) chunk.
+        """
+        n_jobs = len(jobs)
+        nodes = self._nodes
+        n_nodes = len(nodes)
+        if self._policy == "fifo":
+            return None
+        head0 = remaining[jobs[0]][0]
+        container = head0[1]
+        cm = container.memory_mb
+        cv = container.vcores
+        if cm <= 2.0 * _TIE_WINDOW:
+            return None
+        min_count = head0[2]
+        for name in jobs:
+            _idx, cont, count = remaining[name][0]
+            if cont.memory_mb != cm or cont.vcores != cv:
+                return None
+            if count < min_count:
+                min_count = count
+        # Bit-tied jobs + bit-equal per-grant increments: after every
+        # full cycle the jobs are bit-tied again, so the winner order is
+        # provably the arrival order, every cycle, with no drift.
+        w0 = self._weights.get(jobs[0], 1.0)
+        v0 = self._usage_v[jobs[0]]
+        m0 = self._usage_m[jobs[0]]
+        for name in jobs[1:]:
+            if (
+                self._weights.get(name, 1.0) != w0
+                or self._usage_v[name] != v0
+                or self._usage_m[name] != m0
+            ):
+                return None
+        free0 = nodes[0].free_memory
+        vfree0 = nodes[0].free_vcores
+        for node in nodes:
+            if node.free_memory != free0 or node.free_vcores != vfree0:
+                return None
+        if cm > free0 + _EPS:
+            return None
+        # Cursor geometry: with every node bit-tied at the maximum, job k's
+        # scan picks its own cursor node unless that node was granted
+        # earlier in this cycle, in which case it picks the node one past
+        # the granted run.  The ascending pattern therefore holds iff each
+        # job's cursor sits within (or just past) the run granted so far.
+        start = self._next_node.get(jobs[0], 0)
+        for k, name in enumerate(jobs[1:], start=1):
+            offset = (self._next_node.get(name, 0) - start) % n_nodes
+            if offset > k:
+                return None
+        # One layer per span: every node receives at most one grant.
+        cycles = min(min_count, n_nodes // n_jobs)
+        if cycles < 2:
+            return None
+        # Strict share monotonicity across every level the span visits
+        # (see docstring).  The level values are the exact usage floats
+        # the scalar loop would store (cumsum folds left to right).
+        lv = np.empty(cycles + 1)
+        lm = np.empty(cycles + 1)
+        lv[0] = v0
+        lm[0] = m0
+        lv[1:] = cv
+        lm[1:] = cm
+        np.cumsum(lv, out=lv)
+        np.cumsum(lm, out=lm)
+        if self._policy == "fair":
+            shares = lm / self._capacity.memory_mb
+        else:  # drf
+            shares = np.maximum(
+                lv / self._capacity.vcores, lm / self._capacity.memory_mb
+            )
+        if not bool(np.all(shares[1:] > shares[:-1])):
+            return None
+
+        total = cycles * n_jobs
+        grant_nodes = (start + np.arange(total, dtype=np.int64)) % n_nodes
+        # Node state: each granted node sees exactly one subtraction, the
+        # same single float op the scalar loop would perform.
+        free_m1 = free0 - cm
+        free_v1 = vfree0 - cv
+        for index in grant_nodes.tolist():
+            node = nodes[index]
+            node.free_memory = free_m1
+            node.free_vcores = free_v1
+        # Job usage: `cycles` sequential adds per job via the cumsum trick
+        # (acc[0]=current, acc[1:]=delta — np.cumsum folds strictly left to
+        # right, the same floats as the scalar loop's += chain).
+        acc = np.empty(cycles + 1)
+        for name in jobs:
+            acc[0] = self._usage_m[name]
+            acc[1:] = cm
+            self._usage_m[name] = float(np.cumsum(acc)[-1])
+            acc[0] = self._usage_v[name]
+            acc[1:] = cv
+            self._usage_v[name] = float(np.cumsum(acc)[-1])
+            prio[name] = self._priority(name)
+        # Cursors: each job's scan stops one past its last granted node.
+        for k, name in enumerate(jobs):
+            last = (start + k + (cycles - 1) * n_jobs) % n_nodes
+            self._next_node[name] = (last + 1) % n_nodes
+        # Heap: flag for a lazy rebuild (a legal compaction, deferred to the
+        # next scalar pick so chained batch spans pay for at most one).
+        self._heap_dirty = True
+        # Queue bookkeeping, exactly as `cycles` scalar grants would leave it.
+        qidx = np.empty(total, dtype=np.int64)
+        code_arr = np.empty(total, dtype=np.int64)
+        for k, name in enumerate(jobs):
+            queue = remaining[name][0]
+            code = code_of.get(name)
+            if code is None:
+                code = code_of[name] = len(names)
+                names.append(name)
+            code_arr[k::n_jobs] = code
+            qidx[k::n_jobs] = queue[0]
+            if queue[2] == cycles:
+                remaining[name].pop(0)
+                if not remaining[name]:
+                    del remaining[name]
+            else:
+                queue[2] = queue[2] - cycles
+        return code_arr, grant_nodes, qidx
+
+    def _bulk_winner_run(
+        self,
+        jobs: List[str],
+        remaining: Dict[str, List[List]],
+        prio: Dict[str, Tuple],
+        code_of: Dict[str, int],
+        names: List[str],
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Grant a consecutive run to the strictly-winning job at once.
+
+        When one job sits strictly ahead of every other in the priority
+        order — because it is alone, or FIFO puts it first, or its share
+        stays below the runner-up's for the whole run — the scalar loop
+        hands it every grant of the run, and each grant provably lands on
+        the *top tier*: the set of nodes bit-tied at the maximum free
+        memory.  Proof sketch: `_pick_node_fast` scans the ring from the
+        job's cursor for the first node within the 1e-6 tie window of the
+        maximum; a granted node drops below the window (precondition), so
+        successive grants walk the ungranted tier nodes in ring order from
+        the cursor, and the span caps at one grant per tier node.  A fully
+        granted tier leaves its nodes bit-tied again at the new level, so
+        the next bulk call re-derives the new top tier and chains — which
+        is exactly how the scalar loop water-fills a ragged cluster.
+
+        Preconditions (checked, else ``None`` and the caller stays scalar):
+
+        * the winner's head container exceeds the tie window, fits the top
+          tier, and its subtraction leaves the window (checked in float);
+        * no node sits inside the tie window without being bit-tied at the
+          maximum (near-ties keep the scalar loop's exact semantics);
+        * multi-job, non-FIFO: the winner's share — recomputed at every
+          usage level the run visits, with the scalar loop's exact floats —
+          stays below the runner-up's static priority (ties included only
+          when the winner's arrival order wins them); the run is truncated
+          at the first level where it would not.
+
+        State updates are float-exact versus the scalar loop: one memory
+        subtraction per granted node (bit-tied inputs give the bit-equal
+        result the shared value stores), per-node vcores subtraction,
+        winner usage via the cumsum trick, cursor one past the last grant,
+        heap rebuilt (a legal compaction).  Returns the (codes, nodes,
+        queue idx) chunk.
+        """
+        winner = jobs[0]
+        head = remaining[winner][0]
+        queue_idx, container, count = head
+        cm = container.memory_mb
+        cv = container.vcores
+        if cm <= 2.0 * _TIE_WINDOW:
+            return None
+        nodes = self._nodes
+        n_nodes = len(nodes)
+        free_hi = nodes[0].free_memory
+        for node in nodes:
+            if node.free_memory > free_hi:
+                free_hi = node.free_memory
+        if cm > free_hi + _EPS:
+            return None
+        # The scalar scan's tie window, in its exact floats: a granted tier
+        # node must leave the window, and no non-tier node may sit in it.
+        window = free_hi - _TIE_WINDOW
+        if free_hi - cm >= window:
+            return None
+        tier: List[int] = []
+        for node in nodes:
+            free = node.free_memory
+            if free == free_hi:
+                tier.append(node.index)
+            elif free >= window:
+                return None
+        cycles = min(count, len(tier))
+        if len(jobs) > 1 and self._policy != "fifo":
+            # The runner-up's priority is static while the winner is served;
+            # truncate the run at the first level where the winner would no
+            # longer be sorted first.  Shares are the exact floats the
+            # scalar loop stores (cumsum folds left to right), so the cut
+            # lands on the exact grant where the scalar winner changes.
+            runner_share, runner_arrival, runner_name = prio[jobs[1]]
+            lv = np.empty(cycles)
+            lm = np.empty(cycles)
+            lv[0] = self._usage_v[winner]
+            lm[0] = self._usage_m[winner]
+            lv[1:] = cv
+            lm[1:] = cm
+            np.cumsum(lv, out=lv)
+            np.cumsum(lm, out=lm)
+            if self._policy == "fair":
+                shares = lm / self._capacity.memory_mb
+            else:  # drf
+                shares = np.maximum(
+                    lv / self._capacity.vcores, lm / self._capacity.memory_mb
+                )
+            shares /= self._weights.get(winner, 1.0)
+            winner_key = (self._arrival.get(winner, 1 << 30), winner)
+            if winner_key < (runner_arrival, runner_name):
+                allowed = shares <= runner_share
+            else:
+                allowed = shares < runner_share
+            if not bool(allowed[-1]):
+                cycles = int(np.argmin(allowed))
+        if cycles < 2:
+            return None
+        # Grants walk the ungranted tier nodes in ring order from the cursor.
+        start = self._next_node.get(winner, 0)
+        tier_arr = np.asarray(tier, dtype=np.int64)
+        rel = (tier_arr - start) % n_nodes
+        rel.sort()
+        grant_nodes = (start + rel[:cycles]) % n_nodes
+        # Node state: one subtraction per granted node, the same float op
+        # the scalar loop performs (bit-tied inputs, bit-equal result).
+        free_m1 = free_hi - cm
+        for index in grant_nodes.tolist():
+            node = nodes[index]
+            node.free_memory = free_m1
+            node.free_vcores -= cv
+        # Winner usage: `cycles` sequential adds via the cumsum trick.
+        acc = np.empty(cycles + 1)
+        acc[0] = self._usage_m[winner]
+        acc[1:] = cm
+        self._usage_m[winner] = float(np.cumsum(acc)[-1])
+        acc[0] = self._usage_v[winner]
+        acc[1:] = cv
+        self._usage_v[winner] = float(np.cumsum(acc)[-1])
+        prio[winner] = self._priority(winner)
+        self._next_node[winner] = int((grant_nodes[-1] + 1) % n_nodes)
+        # Heap: flag for a lazy rebuild (a legal compaction, deferred to the
+        # next scalar pick so chained batch spans pay for at most one).
+        self._heap_dirty = True
+        code = code_of.get(winner)
+        if code is None:
+            code = code_of[winner] = len(names)
+            names.append(winner)
+        code_arr = np.full(cycles, code, dtype=np.int64)
+        qidx = np.full(cycles, queue_idx, dtype=np.int64)
+        if count == cycles:
+            remaining[winner].pop(0)
+            if not remaining[winner]:
+                del remaining[winner]
+        else:
+            head[2] = count - cycles
+        return code_arr, grant_nodes, qidx
 
     def assign(
         self, requests: Dict[str, Tuple[ResourceVector, int]]

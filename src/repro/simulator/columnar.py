@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import logging
 import math
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -52,6 +53,8 @@ from repro.simulator.engine import (
     _TIME_TOL,
     _JobState,
 )
+from repro.obs.metrics import get_metrics
+from repro.simulator import kernels as _kernels
 from repro.simulator.events import CohortDeadlineHeap
 from repro.simulator.sharing import class_sort_key, solve_max_min_classes
 from repro.simulator.trace import (
@@ -125,6 +128,22 @@ class _TaskQueue:
         self.rhead += 1
         return uid
 
+    def pop_batch(self, n: int) -> np.ndarray:
+        """Pop ``n`` uids at once — same order as ``n`` sequential pops."""
+        avail = len(self.uids) - self.head
+        if n <= avail:
+            out = self.uids[self.head : self.head + n]
+            self.head += n
+            return out
+        parts = [self.uids[self.head :]]
+        self.head = len(self.uids)
+        take = n - avail
+        parts.append(
+            np.asarray(self.retries[self.rhead : self.rhead + take], dtype=np.int64)
+        )
+        self.rhead += take
+        return np.concatenate(parts) if avail else parts[1]
+
 
 class ColumnarResult(SimulationResult):
     """Simulation result whose per-task traces materialise lazily.
@@ -147,6 +166,7 @@ class ColumnarResult(SimulationResult):
         task_count: int,
         columns: Dict[str, np.ndarray],
         job_names: List[str],
+        column_bytes: int = 0,
     ):
         # Deliberately not the dataclass __init__: ``tasks`` is a lazy
         # property here, not a field.
@@ -160,6 +180,10 @@ class ColumnarResult(SimulationResult):
         self._task_count = task_count
         self._columns = columns
         self._job_index = {name: i for i, name in enumerate(job_names)}
+        #: Peak bytes held by the simulator's slot/task columns — the
+        #: never-reused-slot design trades memory for speed, and the scale
+        #: bench reports this next to tasks/s.
+        self.column_bytes = column_bytes
 
     @property
     def tasks(self) -> List[TaskTrace]:
@@ -265,10 +289,14 @@ class ColumnarSimulator(Simulator):
         self._job_rank = np.array(
             [rank_of[n] for n in self._job_names], dtype=np.int64
         )
-        # node -> count of this job's live reduce attempts, for slow-start
-        # dirty marking (the object engines scan all runs; the set of nodes
-        # marked must be identical, hence exact per-node live counts).
-        self._reduce_nodes: List[Dict[int, int]] = [{} for _ in self._job_names]
+        # (job, node) -> count of this job's live reduce attempts, for
+        # slow-start dirty marking (the object engines scan all runs; the
+        # set of nodes marked must be identical, hence exact per-node live
+        # counts).
+        self._n_nodes = cluster.workers
+        self._reduce_counts = np.zeros(
+            (len(self._job_names), cluster.workers), dtype=np.int64
+        )
 
         # Solver-class registry (one entry per distinct sharing signature).
         self._class_key: Dict[tuple, int] = {}
@@ -298,17 +326,32 @@ class ColumnarSimulator(Simulator):
         for name, dtype in self._TASK_FIELDS:
             setattr(self, name, np.zeros(self._task_cap, dtype=dtype))
 
-        # Insertion-ordered per-node slot sets (dict keys preserve the
-        # object engines' within-node tie-break order) and the cohort heap.
-        self._node_slots: List[Dict[int, None]] = [
-            {} for _ in range(cluster.workers)
-        ]
+        # Cohort deadline heap.  There is no per-node slot registry: a
+        # node's live slots are recovered from the columns themselves
+        # (``_s_active`` + ``_s_node``), and because slot ids are allocated
+        # monotonically and never reused, ascending slot order *is* the
+        # object engines' within-node insertion (tie-break) order.
         self._dl = CohortDeadlineHeap()
         self._epoch = 0
         self._live = 0
         self._done_slots: List[np.ndarray] = []
         self._done_count = 0
         self._failed_raw: List[Tuple[int, int, float]] = []
+
+        # Phase attribution (satellite of the cohort-batching work): wall
+        # time per hot-loop phase and fired-cohort sizes, riding the same
+        # enabled-or-None discipline as the base counters.  Timers only
+        # read the clock — instrumented runs stay bit-identical.
+        metrics = get_metrics()
+        if metrics.enabled:
+            self._hist_cohort = metrics.histogram("engine.cohort_size")
+            self._phase_hists = {
+                phase: metrics.labeled_histogram("engine.phase_time", phase=phase)
+                for phase in ("pop", "solve", "launch", "bookkeep")
+            }
+        else:
+            self._hist_cohort = None
+            self._phase_hists = None
 
     # -- capacity management ---------------------------------------------------
 
@@ -475,9 +518,9 @@ class ColumnarSimulator(Simulator):
                 self._open_stage(js, StageKind.REDUCE)
         if js.reduces_opened and js.map_stage_open:
             jid = self._jid_of[js.job.name]
-            for node, count in self._reduce_nodes[jid].items():
-                if count > 0:
-                    self._dirty_nodes.add(node)
+            self._dirty_nodes.update(
+                np.flatnonzero(self._reduce_counts[jid] > 0).tolist()
+            )
 
     # -- scheduling --------------------------------------------------------------
 
@@ -496,67 +539,55 @@ class ColumnarSimulator(Simulator):
                 requests[name] = queues
         if not requests:
             return
-        grants = self._placer.assign_queues(requests)
-        if not grants:
+        names, codes, nodes, qidx = self._placer.assign_queues_arrays(requests)
+        n = codes.size
+        if n == 0:
             return
         if self._ctr_sched is not None:
-            self._ctr_sched.inc(len(grants))
+            self._ctr_sched.inc(n)
         if self._ctr_launched is not None:
-            self._ctr_launched.inc(len(grants))
-        self._launch_batch(grants)
+            self._ctr_launched.inc(n)
+        self._launch_batch(names, codes, nodes, qidx)
 
-    def _launch_batch(self, grants: List[Tuple[str, int, int]]) -> None:
-        n = len(grants)
+    def _launch_batch(
+        self,
+        names: List[str],
+        codes: np.ndarray,
+        nodes: np.ndarray,
+        qidx: np.ndarray,
+    ) -> None:
+        n = codes.size
         slots = self._alloc_slots(n)
         now = self._now
-        # Per-grant bookkeeping is plain-python; keep it lean — locals for
-        # every per-iteration attribute, lists instead of elementwise numpy
-        # stores, and one (job-state, overhead, jid) lookup per job name.
-        slot_ids = slots.tolist()
-        uid_list: List[int] = []
-        node_list: List[int] = []
-        overhead_groups: Dict[float, List[int]] = {}
+        uids = np.empty(n, dtype=np.int64)
         jobs = self._jobs
-        node_slots = self._node_slots
-        dirty = self._dirty_nodes
         jid_of = self._jid_of
-        reduce_nodes = self._reduce_nodes
-        # Cache per (job, queue): the pending queue object, overhead, jid,
-        # and a launch tally — the enum-keyed `pending`/`running` dict
-        # lookups are done once per (job, queue) instead of once per grant.
-        info_cache: Dict[Tuple[str, int], tuple] = {}
-        for i, (name, node, queue_idx) in enumerate(grants):
-            key = (name, queue_idx)
-            info = info_cache.get(key)
-            if info is None:
-                js = jobs[name]
-                info = (
-                    js.pending[_KINDS[queue_idx]],
-                    js.job.config.task_overhead_s,
-                    jid_of[name],
-                    [0],
-                )
-                info_cache[key] = info
-            queue, overhead, jid, tally = info
-            uid = queue.pop()  # type: ignore[attr-defined]
-            tally[0] += 1
-            uid_list.append(uid)
-            node_list.append(node)
-            slot = slot_ids[i]
-            node_slots[node][slot] = None
+        # One stable-sort groupby over (job, queue): per-group work —
+        # queue pops, running tallies, reduce-node counts, the overhead
+        # event — happens once per group instead of once per grant, and
+        # the stable sort keeps each group's pops in grant order, so the
+        # uid -> slot pairing is exactly the scalar loop's.
+        key = codes * 2 + qidx
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        cuts = np.flatnonzero(skey[1:] != skey[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), cuts))
+        ends = np.concatenate((cuts, np.array([n], dtype=np.int64)))
+        overhead_groups: List[Tuple[float, np.ndarray]] = []
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            idx = order[s:e]
+            first = idx[0]
+            name = names[codes[first]]
+            queue_idx = int(qidx[first])
+            js = jobs[name]
+            kind = _KINDS[queue_idx]
+            count = e - s
+            uids[idx] = js.pending[kind].pop_batch(count)  # type: ignore[attr-defined]
+            js.running[kind] += count
             if queue_idx == 1:
-                counts = reduce_nodes[jid]
-                counts[node] = counts.get(node, 0) + 1
-            group = overhead_groups.get(overhead)
-            if group is None:
-                overhead_groups[overhead] = [slot]
-            else:
-                group.append(slot)
-            dirty.add(node)
-        for (name, queue_idx), info in info_cache.items():
-            jobs[name].running[_KINDS[queue_idx]] += info[3][0]
-        uids = np.asarray(uid_list, dtype=np.int64)
-        nodes = np.asarray(node_list, dtype=np.int32)
+                np.add.at(self._reduce_counts[jid_of[name]], nodes[idx], 1)
+            overhead_groups.append((js.job.config.task_overhead_s, slots[idx]))
+        self._dirty_nodes.update(np.unique(nodes).tolist())
         self._s_uid[slots] = uids
         self._s_node[slots] = nodes
         pid = self._t_pid[uids]
@@ -583,8 +614,7 @@ class ColumnarSimulator(Simulator):
         if self._config.failures.enabled:
             self._plan_failures(slots, uids, attempts)
         self._live += n
-        for overhead, slot_list in overhead_groups.items():
-            arr = np.asarray(slot_list, dtype=np.int64)
+        for overhead, arr in overhead_groups:
             if overhead > 0:
                 self._events.push(now + overhead, ("ready", arr))
             else:
@@ -620,7 +650,12 @@ class ColumnarSimulator(Simulator):
     # -- slow-start gating -------------------------------------------------------
 
     def _targets_for(self, slots: np.ndarray) -> np.ndarray:
-        """Vectorised ``_shuffle_target`` over a slot batch."""
+        """Vectorised ``_shuffle_target`` over a slot batch.
+
+        One stable-sort groupby pass over the gated slots' job ids — the
+        former ``np.unique`` + per-job boolean masks rescanned the whole
+        batch once per job, which made big multi-job batches quadratic.
+        """
         out = np.ones(slots.size)
         gate_mask = self._s_gate[slots]
         if not gate_mask.any():
@@ -628,14 +663,17 @@ class ColumnarSimulator(Simulator):
         gated = slots[gate_mask]
         jids = self._t_job[self._s_uid[gated]]
         values = np.ones(gated.size)
-        for jid in np.unique(jids):
-            js = self._js_by_jid[jid]
+        order = np.argsort(jids, kind="stable")
+        sorted_jids = jids[order]
+        cuts = np.flatnonzero(sorted_jids[1:] != sorted_jids[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), cuts))
+        ends = np.concatenate((cuts, np.array([jids.size], dtype=np.int64)))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            js = self._js_by_jid[int(sorted_jids[s])]
             if not js.map_stage_open:
                 continue
             total = js.job.num_map_tasks
-            values[jids == jid] = (
-                js.maps_completed / total if total else 1.0
-            )
+            values[order[s:e]] = js.maps_completed / total if total else 1.0
         out[gate_mask] = values
         return out
 
@@ -674,28 +712,29 @@ class ColumnarSimulator(Simulator):
         self._dirty_nodes.clear()
         if self._ctr_solves is not None:
             self._ctr_solves.inc(len(dirty))
-        segments = []
-        for node in dirty:
-            d = self._node_slots[node]
-            if d:
-                segments.append(np.fromiter(d.keys(), dtype=np.int64, count=len(d)))
-        if not segments:
+        if not dirty:
             return
-        slots = np.concatenate(segments) if len(segments) > 1 else segments[0]
-        act = slots[self._s_active[slots]]
-        if act.size == 0:
+        # Gather the dirty nodes' live slots straight from the columns.
+        # Slot ids are monotone and never reused, so the stable argsort by
+        # node yields node-ascending, slot-ascending order — identical to
+        # the oracle's sorted(dirty) + per-node insertion order, which is
+        # what keeps the lexsort cohort tie-breaks below bit-stable.
+        n = self._n_slots
+        node_col = self._s_node[:n]
+        dirty_mask = np.zeros(self._n_nodes, dtype=np.bool_)
+        dirty_mask[dirty] = True
+        cand = np.flatnonzero(self._s_active[:n] & dirty_mask[node_col])
+        if cand.size == 0:
             return
+        act = cand[np.argsort(node_col[cand], kind="stable")]
         now = self._now
 
         # Materialise lazily-advanced progress, exactly as _solve_node does:
         # target first (gating caps the advance), then re-base.
         targets = self._targets_for(act)
-        prog = self._s_progress[act]
         rate = self._s_rate[act]
-        tbase = self._s_tbase[act]
-        advanced = (rate > 0.0) & (now > tbase)
-        prog = np.where(
-            advanced, np.minimum(targets, prog + (now - tbase) * rate), prog
+        prog = _kernels.advance_progress(
+            self._s_progress[act], self._s_tbase[act], rate, targets, now
         )
         self._s_progress[act] = prog
         self._s_tbase[act] = now
@@ -705,25 +744,36 @@ class ColumnarSimulator(Simulator):
             g = act[gated]
             self._s_rate[g] = 0.0
             self._s_epoch[g] = -1
-        live = ~gated
-        included = act[live]
-        if included.size == 0:
-            return
+            live = ~gated
+            included = act[live]
+            if included.size == 0:
+                return
+            tgt_inc = targets[live]
+            prog_inc = prog[live]
+        else:
+            included = act
+            tgt_inc = targets
+            prog_inc = prog
         node_inc = self._s_node[included].astype(np.int64)
         scid_inc = self._s_scid[included].astype(np.int64)
-        tgt_inc = targets[live]
-        prog_inc = prog[live]
 
         # Per-node compositions, deduplicated: nodes sharing a composition
-        # share one solve (and usually a cached one).
+        # share one solve (and usually a cached one).  Symmetric waves
+        # collapse to a handful of distinct rows, so probe the all-equal
+        # case first — it skips the (hash-based) row dedup entirely.
         nc = len(self._class_weights)
         seg_nodes = np.unique(node_inc)
-        node_row = np.zeros(len(self._node_slots), dtype=np.int64)
+        node_row = np.zeros(self._n_nodes, dtype=np.int64)
         node_row[seg_nodes] = np.arange(seg_nodes.size)
         rows = node_row[node_inc]
-        comp = np.zeros((seg_nodes.size, nc), dtype=np.int64)
-        np.add.at(comp, (rows, scid_inc), 1)
-        uniq, inverse = np.unique(comp, axis=0, return_inverse=True)
+        comp = np.bincount(
+            rows * nc + scid_inc, minlength=seg_nodes.size * nc
+        ).reshape(seg_nodes.size, nc)
+        if (comp == comp[0]).all():
+            uniq = comp[:1]
+            inverse = np.zeros(comp.shape[0], dtype=np.int64)
+        else:
+            uniq, inverse = np.unique(comp, axis=0, return_inverse=True)
         dense = np.zeros((uniq.shape[0], nc))
         for i in range(uniq.shape[0]):
             present = np.flatnonzero(uniq[i])
@@ -735,19 +785,33 @@ class ColumnarSimulator(Simulator):
         new_rates = dense[inverse[rows], scid_inc]
         self._s_rate[included] = new_rates
 
-        # Re-issue deadlines as (when, class, rate) cohorts.
-        fail_cap = self._s_fail_sub[included] == self._s_stage[included]
-        tgt2 = np.where(
-            fail_cap, np.minimum(tgt_inc, self._s_fail_frac[included]), tgt_inc
-        )
+        # Re-issue deadlines as (when, class, rate) cohorts.  The failure
+        # cap only exists when injection is configured; the gathers are
+        # pure overhead otherwise.
+        if self._config.failures.enabled:
+            fail_cap = self._s_fail_sub[included] == self._s_stage[included]
+            tgt2 = np.where(
+                fail_cap, np.minimum(tgt_inc, self._s_fail_frac[included]), tgt_inc
+            )
+        else:
+            tgt2 = tgt_inc
         alive = new_rates > _EPS
-        self._s_epoch[included[~alive]] = -1  # starved: no deadline
-        ok = included[alive]
-        if ok.size == 0:
-            return
-        when = now + np.maximum(0.0, tgt2[alive] - prog_inc[alive]) / new_rates[alive]
-        scid_ok = scid_inc[alive]
-        rate_ok = new_rates[alive]
+        if alive.all():
+            ok = included
+            tgt_ok = tgt2
+            prog_ok = prog_inc
+            scid_ok = scid_inc
+            rate_ok = new_rates
+        else:
+            self._s_epoch[included[~alive]] = -1  # starved: no deadline
+            ok = included[alive]
+            if ok.size == 0:
+                return
+            tgt_ok = tgt2[alive]
+            prog_ok = prog_inc[alive]
+            scid_ok = scid_inc[alive]
+            rate_ok = new_rates[alive]
+        when = _kernels.deadline_when(now, tgt_ok, prog_ok, rate_ok)
         self._epoch += 1
         epoch = self._epoch
         self._s_epoch[ok] = epoch
@@ -808,6 +872,63 @@ class ColumnarSimulator(Simulator):
                 np.unique(self._s_node[slots[moved]]).tolist()
             )
 
+    def _fire_cohorts(self, cohorts: List[Tuple[np.ndarray, float]]) -> None:
+        """Fire several same-instant cohorts as one vectorised pass.
+
+        The advance/classify arithmetic is hoisted across the whole batch
+        (cohorts are disjoint by the epoch construction, and every valid
+        slot's rate column equals its cohort's pushed rate, so the batched
+        elementwise ops are the per-cohort ops verbatim).  Two couplings
+        force care:
+
+        * slow-start-gated slots read job state (``maps_completed``) that
+          an earlier cohort's completions may move *at this instant* — if
+          any slot in the batch is gated, fall back to the sequential
+          per-cohort path, which is the oracle there;
+        * kills and completions stay per-cohort in pop order: retry-queue
+          append order and the release/bookkeeping sequences are
+          observable, and the sequential path is their definition.
+        """
+        all_slots = np.concatenate([slots for slots, _ in cohorts])
+        if self._s_gate[all_slots].any():
+            for slots, rate in cohorts:
+                self._fire_cohort(slots, rate)
+            return
+        if self._ctr_deadlines is not None:
+            self._ctr_deadlines.inc(all_slots.size)
+        now = self._now
+        self._s_epoch[all_slots] = -1
+        rates = self._s_rate[all_slots]
+        prog = _kernels.advance_progress(
+            self._s_progress[all_slots],
+            self._s_tbase[all_slots],
+            rates,
+            np.ones(all_slots.size),
+            now,
+        )
+        self._s_progress[all_slots] = prog
+        self._s_tbase[all_slots] = now
+        failed = (self._s_fail_sub[all_slots] == self._s_stage[all_slots]) & (
+            prog >= self._s_fail_frac[all_slots] - _EPS
+        )
+        completed = ~failed & (prog >= 1.0 - _EPS)
+        moved = ~(failed | completed)
+        offset = 0
+        for slots, _rate in cohorts:
+            end = offset + slots.size
+            f = failed[offset:end]
+            c = completed[offset:end]
+            if f.any():
+                for slot in slots[f].tolist():
+                    self._kill_slot(slot)
+            if c.any():
+                self._complete_batch(slots[c])
+            offset = end
+        if moved.any():
+            self._dirty_nodes.update(
+                np.unique(self._s_node[all_slots[moved]]).tolist()
+            )
+
     def _kill_slot(self, slot: int) -> None:
         uid = int(self._s_uid[slot])
         attempt = int(self._s_attempt[slot])
@@ -824,14 +945,13 @@ class ColumnarSimulator(Simulator):
         kind = _KINDS[int(self._t_kind[uid])]
         self._s_dead[slot] = True
         self._s_active[slot] = False
-        del self._node_slots[node][slot]
         self._live -= 1
         self._dirty_nodes.add(node)
         self._placer.release(js.job.name, node, container_for(js.job, kind))
         js.running[kind] -= 1
         js.pending[kind].retries.append(uid)  # type: ignore[attr-defined]
         if kind is StageKind.REDUCE:
-            self._reduce_nodes[jid][node] -= 1
+            self._reduce_counts[jid, node] -= 1
         if self._ctr_failed is not None:
             self._ctr_failed.inc()
         self._failed_raw.append((uid, attempt, self._now))
@@ -869,26 +989,36 @@ class ColumnarSimulator(Simulator):
         self._done_slots.append(slots.copy())
         self._done_count += slots.size
         uids = self._s_uid[slots]
-        nodes = self._s_node[slots]
-        jids = self._t_job[uids]
-        kind_codes = self._t_kind[uids]
-        # Group completions by (job, kind): bookkeeping totals are
-        # order-independent within one instant, and container releases stay
-        # float-exact because release_batch adds containers back one at a
-        # time (see YarnPlacer.release_batch).
-        groups: Dict[Tuple[int, int], Dict[int, int]] = {}
-        for slot, node, jid, code in zip(
-            slots.tolist(), nodes.tolist(), jids.tolist(), kind_codes.tolist()
-        ):
-            del self._node_slots[node][slot]
-            per_node = groups.setdefault((jid, code), {})
-            per_node[node] = per_node.get(node, 0) + 1
-        for (jid, code), per_node in sorted(groups.items()):
+        nodes = self._s_node[slots].astype(np.int64)
+        jids = self._t_job[uids].astype(np.int64)
+        kind_codes = self._t_kind[uids].astype(np.int64)
+        # Group completions by (job, kind) — ascending, like the former
+        # sorted(dict) pass — with per-node release counts from np.unique.
+        # Bookkeeping totals are order-independent within one instant, and
+        # container releases stay float-exact: release_batch adds containers
+        # back one at a time, and reordering nodes only permutes independent
+        # per-node chains (the per-job usage sees the same sequence of
+        # identical subtractions either way — see YarnPlacer.release_batch).
+        key = jids * 2 + kind_codes
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        cuts = np.flatnonzero(skey[1:] != skey[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), cuts))
+        ends = np.concatenate((cuts, np.array([skey.size], dtype=np.int64)))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            first = order[s]
+            jid = int(jids[first])
+            code = int(kind_codes[first])
             js = self._js_by_jid[jid]
             kind = _KINDS[code]
-            count = sum(per_node.values())
+            count = e - s
+            group_nodes, group_counts = np.unique(
+                nodes[order[s:e]], return_counts=True
+            )
             self._placer.release_batch(
-                js.job.name, per_node.items(), container_for(js.job, kind)
+                js.job.name,
+                zip(group_nodes.tolist(), group_counts.tolist()),
+                container_for(js.job, kind),
             )
             js.running[kind] -= count
             js.completed[kind] += count
@@ -896,9 +1026,7 @@ class ColumnarSimulator(Simulator):
                 js.maps_completed += count
                 self._on_map_completed(js)
             else:
-                counts = self._reduce_nodes[jid]
-                for node, k in per_node.items():
-                    counts[node] -= k
+                self._reduce_counts[jid, group_nodes] -= group_counts
             if (
                 js.completed[kind] >= js.total[kind]
                 and not js.pending[kind]
@@ -917,6 +1045,9 @@ class ColumnarSimulator(Simulator):
         dl = self._dl
         events = self._events
         iterations = 0
+        phases = self._phase_hists
+        time_pop = time_solve = time_launch = time_book = 0.0
+        mark = 0.0
         while True:
             iterations += 1
             if iterations > self._config.max_iterations:
@@ -925,7 +1056,11 @@ class ColumnarSimulator(Simulator):
                     f"{self._config.max_iterations} iterations"
                 )
             if self._dirty_nodes:
+                if phases is not None:
+                    mark = perf_counter()
                 self._solve_dirty()
+                if phases is not None:
+                    time_solve += perf_counter() - mark
 
             # Drop heap entries whose every slot was re-shared since the
             # push (epoch mismatch) so they cannot masquerade as t_next.
@@ -950,22 +1085,24 @@ class ColumnarSimulator(Simulator):
                 break
             self._now = t_next
 
-            # Fire every cohort within its _EPS progress window of t_next —
-            # the same fuzzy-window rule as the fast loop, evaluated per
-            # cohort because a cohort shares one rate by construction.
-            while True:
-                head = dl.peek()
-                if head is None:
-                    break
-                t_d, _token, epoch, slots, rate = head
-                valid = slots[self._s_epoch[slots] == epoch]
-                if valid.size == 0:
-                    dl.pop()
-                    continue
-                if (t_d - t_next) * rate > _EPS:
-                    break
-                dl.pop()
-                self._fire_cohort(valid, rate)
+            # Pop the whole cohort group within the _EPS progress window of
+            # t_next — the same fuzzy-window rule as the fast loop, per
+            # cohort because a cohort shares one rate by construction —
+            # then fire it as one batch.
+            if phases is not None:
+                mark = perf_counter()
+            cohorts = dl.pop_due(t_next, self._s_epoch, _EPS)
+            if cohorts:
+                if self._hist_cohort is not None:
+                    for cohort_slots, _rate in cohorts:
+                        self._hist_cohort.observe(cohort_slots.size)
+                if len(cohorts) == 1:
+                    self._fire_cohort(cohorts[0][0], cohorts[0][1])
+                else:
+                    self._fire_cohorts(cohorts)
+            if phases is not None:
+                time_pop += perf_counter() - mark
+                mark = perf_counter()
 
             for payload in events.pop_all_at(t_next, tol=_TIME_TOL):
                 _kind, slots = payload
@@ -975,9 +1112,17 @@ class ColumnarSimulator(Simulator):
                 self._dirty_nodes.update(
                     np.unique(self._s_node[slots]).tolist()
                 )
+            if phases is not None:
+                time_book += perf_counter() - mark
+                mark = perf_counter()
 
             self._schedule_pending()
+            if phases is not None:
+                time_launch += perf_counter() - mark
+                mark = perf_counter()
             self._note_state_change()
+            if phases is not None:
+                time_book += perf_counter() - mark
 
             if self._live == 0 and all(
                 js.done for js in self._jobs.values()
@@ -986,6 +1131,11 @@ class ColumnarSimulator(Simulator):
 
         if self._ctr_events is not None:
             self._ctr_events.inc(iterations)
+        if phases is not None:
+            phases["pop"].observe(time_pop)
+            phases["solve"].observe(time_solve)
+            phases["launch"].observe(time_launch)
+            phases["bookkeep"].observe(time_book)
         return self._build_result()
 
     # -- diagnostics -------------------------------------------------------------------
@@ -993,18 +1143,15 @@ class ColumnarSimulator(Simulator):
     def _raise_columnar_stall(self) -> None:
         stuck_jobs = [n for n, js in self._jobs.items() if not js.done]
         zero_flows = []
-        for node_dict in self._node_slots:
-            for slot in node_dict:
-                if not self._s_active[slot]:
-                    continue
-                target = float(self._targets_for(np.array([slot]))[0])
-                if target < 1.0 and self._s_progress[slot] >= target - _EPS:
-                    continue  # gated, excluded like the object loops
-                if self._s_rate[slot] <= _EPS:
-                    uid = int(self._s_uid[slot])
-                    zero_flows.append(
-                        f"{self._task_id_str(uid)}/{int(self._s_stage[slot])}"
-                    )
+        for slot in np.flatnonzero(self._s_active[: self._n_slots]).tolist():
+            target = float(self._targets_for(np.array([slot]))[0])
+            if target < 1.0 and self._s_progress[slot] >= target - _EPS:
+                continue  # gated, excluded like the object loops
+            if self._s_rate[slot] <= _EPS:
+                uid = int(self._s_uid[slot])
+                zero_flows.append(
+                    f"{self._task_id_str(uid)}/{int(self._s_stage[slot])}"
+                )
         if zero_flows:
             raise SimulationError(
                 f"stall in {self._workflow.name!r}: flows {zero_flows} have zero "
@@ -1075,7 +1222,18 @@ class ColumnarSimulator(Simulator):
             task_count=self._done_count,
             columns=columns,
             job_names=self._job_names,
+            column_bytes=self.column_bytes(),
         )
+
+    def column_bytes(self) -> int:
+        """Current bytes held by the slot/task/sub-stage columns."""
+        total = self._sub_t0.nbytes + self._sub_t1.nbytes
+        total += self._reduce_counts.nbytes
+        for name, _dtype in self._SLOT_FIELDS:
+            total += getattr(self, name).nbytes
+        for name, _dtype in self._TASK_FIELDS:
+            total += getattr(self, name).nbytes
+        return total
 
     def _materialise_tasks(
         self, slots: np.ndarray, uids: np.ndarray

@@ -55,6 +55,32 @@ class CohortDeadlineHeap:
             raise SimulationError("pop from empty deadline heap")
         return heapq.heappop(self._heap)
 
+    def pop_due(self, now: float, epochs: Any, eps: float) -> List[Tuple[Any, float]]:
+        """Pop every cohort due at ``now``, validated against ``epochs``.
+
+        Returns ``(valid slots, rate)`` pairs in pop order — the batched
+        form of the engine's peek/validate/pop loop.  A cohort is *due*
+        when firing it now would under-run its remaining progress by at
+        most ``eps`` (the fuzzy window ``(t - now) * rate <= eps``), and
+        it *speaks for* the slots whose epoch stamp still equals the
+        entry's.  Fully stale entries are dropped in passing.
+        The heap stops at the first non-due head, so one call drains
+        exactly the same-instant (and near-tied) cohort group.
+        """
+        out: List[Tuple[Any, float]] = []
+        heap = self._heap
+        while heap:
+            time, _counter, epoch, slots, rate = heap[0]
+            valid = slots[epochs[slots] == epoch]
+            if valid.size == 0:
+                heapq.heappop(heap)
+                continue
+            if (time - now) * rate > eps:
+                break
+            heapq.heappop(heap)
+            out.append((valid, rate))
+        return out
+
     def __len__(self) -> int:
         return len(self._heap)
 

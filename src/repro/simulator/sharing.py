@@ -57,6 +57,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.simulator import kernels as _kernels
 
 _EPS = 1e-12
 _MAX_ITER = 500
@@ -189,26 +190,13 @@ def _hungry_level_grouped_arrays(
     order as the scalar ``prefix +=`` loop.  A property test
     (``test_sharing.py::TestClassSolver``) pins the two paths to exact float
     equality.
+
+    Dispatches to :mod:`repro.simulator.kernels`, which holds the canonical
+    numpy implementation plus an optional numba-compiled twin (gated by
+    ``REPRO_KERNELS``) performing the same float operations in the same
+    order — either tier returns the identical float.
     """
-    if demands.size == 0:
-        return capacity / hungry
-    order = np.lexsort((counts, demands))
-    d = demands[order]
-    c = counts[order]
-    weighted = d * c
-    prefix = np.empty(d.size)
-    prefix[0] = 0.0
-    np.cumsum(weighted[:-1], out=prefix[1:])
-    consumed = np.empty(d.size, dtype=np.int64)
-    consumed[0] = 0
-    np.cumsum(c[:-1], out=consumed[1:])
-    total = int(c.sum())
-    tau = (capacity - prefix) / (total - consumed + hungry)
-    fits = tau <= d + _EPS
-    first = int(np.argmax(fits))
-    if fits[first]:
-        return float(tau[first])
-    return float((capacity - (prefix[-1] + weighted[-1])) / hungry)
+    return _kernels.water_fill_grouped(demands, counts, capacity, hungry)
 
 
 def class_sort_key(cap: Optional[float], items: Tuple[Tuple[str, float], ...]):

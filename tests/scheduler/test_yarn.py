@@ -118,3 +118,165 @@ class TestAssignQueues:
         placer = YarnPlacer(paper_cluster())
         grants = placer.assign_queues({"a": [(CONTAINER, 0), (CONTAINER, 0)]})
         assert grants == []
+
+    def test_arrays_and_tuples_agree(self):
+        requests = {
+            "a": [(CONTAINER, 0), (CONTAINER, 30)],
+            "b": [(CONTAINER, 30), (CONTAINER, 0)],
+        }
+        tuples = YarnPlacer(paper_cluster()).assign_queues(requests)
+        names, codes, nodes, qidx = YarnPlacer(paper_cluster()).assign_queues_arrays(
+            requests
+        )
+        rebuilt = [
+            (names[c], n, q)
+            for c, n, q in zip(codes.tolist(), nodes.tolist(), qidx.tolist())
+        ]
+        assert rebuilt == tuples
+
+
+class TestBulkUniformGrants:
+    """The vectorised bulk path must be bit-identical to the scalar loop.
+
+    `_bulk_uniform_grants` fires whole round-robin layers at once whenever
+    its uniform-regime preconditions hold; these tests compare a normal
+    placer against a clone whose bulk path is disabled, over randomised
+    mixed workloads, and require *exact* equality of every grant and every
+    float of post-call state (node capacities, usage, cursors).
+    """
+
+    @staticmethod
+    def _state(placer):
+        return (
+            [(n.free_vcores, n.free_memory) for n in placer._nodes],
+            dict(placer._usage_v),
+            dict(placer._usage_m),
+            dict(placer._next_node),
+        )
+
+    def _run_pair(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        workers = rng.choice([8, 16, 33, 100])
+        node = NodeSpec(
+            cores=rng.choice([4, 8]),
+            memory_mb=rng.choice([4096.0, 8192.0]),
+            disk_mb_s=240.0,
+            network_mb_s=112.0,
+            disks=2,
+        )
+        cluster = Cluster(node=node, workers=workers)
+        policy = rng.choice(["drf", "fair", "fifo"])
+        fast = YarnPlacer(cluster, policy=policy)
+        ref = YarnPlacer(cluster, policy=policy)
+        ref._bulk_uniform_grants = lambda *a, **k: None  # scalar-only oracle
+        njobs = rng.choice([1, 1, 2, 3, 5])
+        base = ResourceVector(1.0, rng.choice([512.0, 1024.0, 1536.0]))
+        placed = []
+        for _ in range(rng.randint(1, 4)):
+            requests = {}
+            for j in range(njobs):
+                queues = []
+                for _q in range(rng.randint(1, 2)):
+                    if rng.random() < 0.8:
+                        container = base
+                    else:
+                        container = ResourceVector(
+                            1.0, rng.choice([256.0, 768.0])
+                        )
+                    queues.append((container, rng.randint(0, workers * 3)))
+                requests[f"job{j}"] = queues
+            got = fast.assign_queues(requests)
+            want = ref.assign_queues(requests)
+            assert got == want
+            assert self._state(fast) == self._state(ref)
+            # Release a random subset so later waves start from ragged,
+            # then re-converging, node states.
+            for name, node_index, queue_index in got:
+                placed.append((name, node_index, requests[name][queue_index][0]))
+            rng.shuffle(placed)
+            keep = rng.randint(0, len(placed))
+            for name, node_index, container in placed[keep:]:
+                fast.release(name, node_index, container)
+                ref.release(name, node_index, container)
+            del placed[keep:]
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_bulk_matches_scalar_exactly(self, seed):
+        self._run_pair(seed)
+
+    def test_bulk_path_actually_fires(self):
+        # Guard against the preconditions silently never matching: a fresh
+        # symmetric cluster with one big uniform wave must take the bulk
+        # path, not just agree with it.
+        placer = YarnPlacer(paper_cluster())
+        fired = []
+        original = type(placer)._bulk_uniform_grants
+
+        def spy(self, *args, **kwargs):
+            out = original(self, *args, **kwargs)
+            if out is not None:
+                fired.append(len(out[0]))
+            return out
+
+        placer._bulk_uniform_grants = spy.__get__(placer)
+        grants = placer.assign_queues({"a": [(CONTAINER, 100)]})
+        assert len(grants) == 100
+        assert sum(fired) >= 80  # the bulk span covers most of the wave
+
+    def test_winner_run_fires_on_unequal_usage(self):
+        # Two jobs with unequal usage never bit-tie, so the round-robin
+        # layer can't fire — but the job with the lower share provably wins
+        # a consecutive run, which the winner-run path must serve in bulk.
+        placer = YarnPlacer(paper_cluster())
+        placer.assign_queues({"b": [(CONTAINER, 40)]})  # b gets a head start
+        fired = []
+        original = type(placer)._bulk_winner_run
+
+        def spy(self, *args, **kwargs):
+            out = original(self, *args, **kwargs)
+            if out is not None:
+                fired.append(len(out[0]))
+            return out
+
+        placer._bulk_winner_run = spy.__get__(placer)
+        grants = placer.assign_queues(
+            {"a": [(CONTAINER, 60)], "b": [(CONTAINER, 60)]}
+        )
+        # DRF serves the idle job exclusively until it catches up to b's
+        # 40-container head start...
+        assert [name for name, _, _ in grants[:40]] == ["a"] * 40
+        # ...and that catch-up run went through the bulk winner-run path.
+        assert sum(fired) >= 30
+
+    def test_winner_run_water_fills_ragged_tiers(self):
+        # A cluster whose nodes sit at two distinct free-memory levels: the
+        # winner-run path must fill the top tier first (in bulk), then chain
+        # onto the merged tier — matching the scalar water-fill exactly.
+        cluster = paper_cluster()
+        fast = YarnPlacer(cluster)
+        ref = YarnPlacer(cluster)
+        ref._bulk_uniform_grants = lambda *a, **k: None
+        warm = {"warm": [(CONTAINER, 10)]}
+        for placer in (fast, ref):
+            grants = placer.assign_queues(warm)
+            assert len(grants) == 10  # nodes 0..9 now one container lower
+        fired = []
+        original = type(fast)._bulk_winner_run
+
+        def spy(self, *args, **kwargs):
+            out = original(self, *args, **kwargs)
+            if out is not None:
+                fired.append(len(out[0]))
+            return out
+
+        fast._bulk_winner_run = spy.__get__(fast)
+        wave = {"a": [(CONTAINER, 30)]}
+        got = fast.assign_queues(wave)
+        want = ref.assign_queues(wave)
+        assert got == want
+        assert [
+            (n.free_vcores, n.free_memory) for n in fast._nodes
+        ] == [(n.free_vcores, n.free_memory) for n in ref._nodes]
+        assert sum(fired) >= 20  # both tiers served in bulk

@@ -172,6 +172,114 @@ class TestConfigParity:
         )
 
 
+class TestTieHeavyCohorts:
+    """Adversarial same-instant load: thousands of deadlines tie per event.
+
+    Two near-identical WC jobs (the second's map speed perturbed by 1e-10,
+    so the jobs intern *distinct* solver classes whose wave deadlines land
+    inside the engine's fuzzy fire window) on a uniform 64-node cluster, no
+    skew, no failures: every map wave retires as a multi-cohort pop group
+    ~1024 slots wide, and whole waves share bit-equal instants within each
+    cohort.  This pins the three orderings the batch path must preserve:
+
+    * **cohort pop order** — FIFO within the tie window (the heap unit
+      tests pin the heap itself; here the group actually forms in anger);
+    * **within-node tie-breaks** — the object-engine parity check requires
+      *exact* node assignments for every subsequent wave, which are
+      downstream of the order tied completions release containers;
+    * **batched vs sequential firing** — ``_fire_cohorts`` (one vectorised
+      pass over the whole group) must be bit-identical to firing each
+      cohort through ``_fire_cohort`` in pop order.
+    """
+
+    @staticmethod
+    def _workload():
+        from repro.dag.builder import parallel
+        from repro.dag.workflow import single_job_workflow
+        from repro.mapreduce.config import SNAPPY_TEXT, JobConfig
+        from repro.mapreduce.job import MapReduceJob
+        from repro.workloads.wordcount import (
+            WC_MAP_SELECTIVITY,
+            WC_REDUCE_CPU_MB_S,
+            WC_REDUCE_SELECTIVITY,
+        )
+
+        def wc_variant(name, map_cpu_mb_s):
+            return MapReduceJob(
+                name=name,
+                input_mb=gb(128),  # 1024 maps = 2 full 512-slot DRF waves
+                map_selectivity=WC_MAP_SELECTIVITY,
+                reduce_selectivity=WC_REDUCE_SELECTIVITY,
+                map_cpu_mb_s=map_cpu_mb_s,
+                reduce_cpu_mb_s=WC_REDUCE_CPU_MB_S,
+                num_reducers=512,
+                config=JobConfig(compression=SNAPPY_TEXT, replicas=3),
+            )
+
+        return parallel(
+            "TIES",
+            [
+                single_job_workflow(wc_variant("wc-a", 15.0)),
+                single_job_workflow(wc_variant("wc-b", 15.0 * (1.0 + 1e-10))),
+            ],
+        )
+
+    @pytest.fixture(scope="class")
+    def big_cluster(self):
+        return Cluster(node=PAPER_NODE, workers=64)
+
+    def test_parity_with_giant_tie_groups(self, big_cluster, monkeypatch):
+        from repro.simulator.events import CohortDeadlineHeap
+
+        groups = []
+        orig = CohortDeadlineHeap.pop_due
+
+        def spy(self, now, epochs, eps):
+            out = orig(self, now, epochs, eps)
+            if out:
+                groups.append((len(out), sum(s.size for s, _ in out)))
+            return out
+
+        monkeypatch.setattr(CohortDeadlineHeap, "pop_due", spy)
+        obj, col = _compare(self._workload, big_cluster)
+        assert col.task_count >= 3000
+        # The adversarial shape actually formed: at least one pop group a
+        # thousand slots wide, and multi-cohort groups (the `_fire_cohorts`
+        # batch path, not just the single-cohort one) fired.
+        assert max(total for _, total in groups) >= 1000
+        assert any(n_cohorts > 1 for n_cohorts, _ in groups)
+
+    def test_batched_firing_matches_sequential_bit_exact(
+        self, big_cluster, monkeypatch
+    ):
+        # The batched multi-cohort pass against its own sequential oracle:
+        # not 1e-9-close — *bit*-identical, kills and completions included.
+        batched = simulate(
+            self._workload(), big_cluster, SimulationConfig(engine="columnar")
+        )
+
+        def sequential(self, cohorts):
+            for slots, rate in cohorts:
+                self._fire_cohort(slots, rate)
+
+        monkeypatch.setattr(ColumnarSimulator, "_fire_cohorts", sequential)
+        scalar = simulate(
+            self._workload(), big_cluster, SimulationConfig(engine="columnar")
+        )
+        assert batched.makespan == scalar.makespan
+        key = lambda t: (t.job, t.kind, t.index)
+        flat = lambda t: (
+            t.node,
+            t.t_ready,
+            t.t_start,
+            t.t_end,
+            tuple((s.name, s.t_start, s.t_end) for s in t.substages),
+        )
+        assert {key(t): flat(t) for t in batched.tasks} == {
+            key(t): flat(t) for t in scalar.tasks
+        }
+
+
 class TestEngineSelection:
     def test_columnar_is_an_engine(self):
         from repro.simulator.engine import ENGINES

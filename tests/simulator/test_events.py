@@ -1,9 +1,10 @@
 """Tests for repro.simulator.events."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulator.events import EventQueue
+from repro.simulator.events import CohortDeadlineHeap, EventQueue
 
 
 class TestEventQueue:
@@ -92,3 +93,54 @@ class TestEventQueue:
         while q:
             popped.append(q.pop()[1])
         assert popped == list(range(1, 500, 2))
+
+
+class TestCohortDeadlineHeap:
+    """pop_due drains the same-instant cohort group in a pinned order."""
+
+    @staticmethod
+    def _slots(*indices):
+        return np.asarray(indices, dtype=np.int64)
+
+    def test_exact_ties_pop_in_push_order(self):
+        # Cohorts at the bit-same instant must come back FIFO — the monotone
+        # counter, not heap internals, decides, so the engine's per-cohort
+        # kill/complete sequences are reproducible.
+        dl = CohortDeadlineHeap()
+        epochs = np.zeros(9, dtype=np.int64)
+        for tag, slots in enumerate([(0, 1), (2, 3), (4, 5), (6, 7)]):
+            dl.push(5.0, 0, self._slots(*slots), rate=float(tag + 1))
+        out = dl.pop_due(5.0, epochs, eps=1e-9)
+        assert [rate for _, rate in out] == [1.0, 2.0, 3.0, 4.0]
+        assert not dl
+
+    def test_fuzzy_window_included_later_excluded(self):
+        # A cohort eps/rate past `now` is due (firing it under-runs progress
+        # by at most eps); one clearly later is not, and stops the drain.
+        dl = CohortDeadlineHeap()
+        epochs = np.zeros(4, dtype=np.int64)
+        dl.push(5.0, 0, self._slots(0), rate=1.0)
+        dl.push(5.0 + 5e-10, 0, self._slots(1), rate=1.0)
+        dl.push(6.0, 0, self._slots(2), rate=1.0)
+        out = dl.pop_due(5.0, epochs, eps=1e-9)
+        assert [int(slots[0]) for slots, _ in out] == [0, 1]
+        assert len(dl) == 1  # the t=6 cohort was not touched
+
+    def test_epoch_filters_and_drops_stale(self):
+        dl = CohortDeadlineHeap()
+        epochs = np.array([7, 3, 7], dtype=np.int64)
+        dl.push(1.0, 7, self._slots(0, 1, 2), rate=1.0)  # slot 1 re-shared
+        dl.push(1.0, 4, self._slots(1), rate=1.0)  # fully stale
+        out = dl.pop_due(1.0, epochs, eps=1e-9)
+        assert len(out) == 1
+        assert out[0][0].tolist() == [0, 2]
+        assert not dl  # the stale entry was dropped in passing
+
+    def test_zero_rate_cohort_is_always_due(self):
+        # (t - now) * 0 <= eps for any t: a zero-rate cohort fires as soon
+        # as it surfaces, matching the fast loop's fuzzy-window rule.
+        dl = CohortDeadlineHeap()
+        epochs = np.zeros(1, dtype=np.int64)
+        dl.push(100.0, 0, self._slots(0), rate=0.0)
+        out = dl.pop_due(1.0, epochs, eps=1e-9)
+        assert len(out) == 1

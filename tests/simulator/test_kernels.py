@@ -1,0 +1,174 @@
+"""Parity and gating tests for the optional compiled-kernel tier.
+
+The contract of :mod:`repro.simulator.kernels` is strict: whichever tier is
+active (numba-compiled or pure numpy), every primitive returns *bit-identical*
+floats, because the engine's trace-parity discipline tolerates no drift in
+rates or deadline instants.  These tests pin
+
+* the numpy water-fill against the scalar reference fold in ``sharing`` on
+  adversarial grouped demands (ties, huge multiplicities, degenerate sizes),
+* the fused progress/deadline helpers against the engine's unfused numpy
+  expressions,
+* the ``REPRO_KERNELS`` gate semantics (``0`` forces numpy; ``1`` without
+  numba falls back with a warning, never an error),
+* and — when numba happens to be installed — numba-vs-numpy bit equality.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import kernels
+from repro.simulator.sharing import (
+    _hungry_level_grouped,
+    _hungry_level_grouped_arrays,
+)
+
+demand_values = st.one_of(
+    st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+    st.sampled_from([0.25, 0.5, 1.0, 1.0, 2.0]),  # encourage exact ties
+)
+group_lists = st.lists(
+    st.tuples(demand_values, st.integers(min_value=1, max_value=10_000)),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestWaterFillParity:
+    @given(
+        others=group_lists,
+        capacity=st.floats(min_value=1e-6, max_value=1e9, allow_nan=False),
+        hungry=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_scalar_reference_exactly(self, others, capacity, hungry):
+        scalar = _hungry_level_grouped(others, capacity, hungry)
+        demands = np.array([d for d, _ in others])
+        counts = np.array([c for _, c in others], dtype=np.int64)
+        assert kernels.water_fill_grouped(demands, counts, capacity, hungry) == scalar
+
+    def test_sharing_dispatches_through_kernels(self):
+        demands = np.array([1.0, 0.25, 1.0])
+        counts = np.array([3, 7, 2], dtype=np.int64)
+        assert _hungry_level_grouped_arrays(
+            demands, counts, 10.0, 4
+        ) == kernels.water_fill_grouped(demands, counts, 10.0, 4)
+
+    def test_empty_group(self):
+        assert kernels.water_fill_grouped(np.array([]), np.array([], dtype=np.int64), 8.0, 4) == 2.0
+
+    def test_all_tied_demands(self):
+        # Every group at exactly the same demand: either all fit or none do.
+        demands = np.full(6, 0.125)
+        counts = np.full(6, 5, dtype=np.int64)
+        scalar = _hungry_level_grouped([(0.125, 5)] * 6, 100.0, 3)
+        assert kernels.water_fill_grouped(demands, counts, 100.0, 3) == scalar
+
+
+class TestFusedColumnHelpers:
+    @given(
+        n=st.integers(min_value=0, max_value=64),
+        now=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_advance_progress_matches_unfused(self, n, now, seed):
+        rng = np.random.default_rng(seed)
+        prog = rng.uniform(0.0, 1.0, n)
+        tbase = rng.uniform(0.0, 1e6, n)
+        rate = np.where(rng.random(n) < 0.3, 0.0, rng.uniform(1e-9, 10.0, n))
+        targets = rng.uniform(0.0, 2.0, n)
+        advanced = (rate > 0.0) & (now > tbase)
+        expected = np.where(
+            advanced, np.minimum(targets, prog + (now - tbase) * rate), prog
+        )
+        got = kernels.advance_progress(prog, tbase, rate, targets, now)
+        assert np.array_equal(got, expected)
+
+    @given(
+        n=st.integers(min_value=0, max_value=64),
+        now=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_deadline_when_matches_unfused(self, n, now, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.uniform(0.0, 2.0, n)
+        prog = rng.uniform(0.0, 2.0, n)
+        rates = rng.uniform(1e-9, 10.0, n)
+        expected = now + np.maximum(0.0, targets - prog) / rates
+        assert np.array_equal(
+            kernels.deadline_when(now, targets, prog, rates), expected
+        )
+
+
+class TestGateSemantics:
+    def _tier_under(self, env_value):
+        # The repro package installs a NullHandler (library etiquette), so
+        # configure a real stderr handler *before* the import that resolves
+        # the tier — the fallback warning fires at import time.
+        code = (
+            "import logging; logging.basicConfig(level=logging.WARNING);"
+            "from repro.simulator import kernels;"
+            "print(kernels.active_tier())"
+        )
+        env = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
+        if env_value is not None:
+            env["REPRO_KERNELS"] = env_value
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        return out.stdout.strip(), out.stderr
+
+    def test_zero_forces_numpy(self):
+        tier, _ = self._tier_under("0")
+        assert tier == "numpy"
+
+    def test_requested_numba_without_numba_warns_and_falls_back(self):
+        if kernels.have_numba():
+            pytest.skip("numba installed: the forced tier compiles for real")
+        tier, stderr = self._tier_under("1")
+        assert tier == "numpy"
+        assert "falling back" in stderr
+
+    def test_auto_without_numba_is_silent(self):
+        if kernels.have_numba():
+            pytest.skip("numba installed: auto resolves to the numba tier")
+        tier, stderr = self._tier_under(None)
+        assert tier == "numpy"
+        assert "falling back" not in stderr
+
+    def test_active_tier_consistent_with_have_numba(self):
+        if kernels.active_tier() == "numba":
+            assert kernels.have_numba()
+
+
+@pytest.mark.skipif(not kernels.have_numba(), reason="numba not installed")
+class TestNumbaBitParity:
+    """Only runs where numba exists — CI's kernel-parity job provides it."""
+
+    @given(
+        others=group_lists,
+        capacity=st.floats(min_value=1e-6, max_value=1e9, allow_nan=False),
+        hungry=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_water_fill_bit_equal(self, others, capacity, hungry):
+        demands = np.array([d for d, _ in others])
+        counts = np.array([c for _, c in others], dtype=np.int64)
+        numpy_result = kernels._water_fill_grouped_numpy(
+            demands, counts, capacity, hungry
+        )
+        assert kernels.water_fill_grouped(demands, counts, capacity, hungry) == numpy_result
